@@ -1,0 +1,98 @@
+// E12 -- STID Reduction (Section 2.2.6): lossless Golomb-Rice compression,
+// lossy LTC vs error tolerance, and prediction-based transmission
+// suppression (dual prediction).
+
+#include "bench/bench_util.h"
+#include "core/random.h"
+#include "reduce/stid_compression.h"
+#include "sim/sensor_field.h"
+
+namespace sidq {
+namespace {
+
+int Run() {
+  bench::Banner("E12", "STID reduction",
+                "lossless coding preserves values exactly; lossy coding "
+                "buys higher ratios with bounded precision loss; "
+                "prediction-based suppression cuts transmissions");
+
+  Rng rng(12);
+  const geometry::BBox region(0, 0, 3000, 3000);
+  const auto field = sim::ScalarField::MakeRandom(region, 4, 12.0, 30.0, 400,
+                                                  900, 3600, &rng);
+  const auto locs = sim::DeploySensors(region, 20, &rng);
+  const StDataset truth =
+      sim::SampleField(field, locs, 0, 30'000, 400, "pm25");
+  const StDataset observed = sim::AddValueNoise(truth, 0.3, &rng);
+
+  std::printf("-- lossless Golomb-Rice (quantum sweep) --\n");
+  bench::Table table({"quantum", "bytes/record", "ratio vs raw16",
+                      "max abs err"});
+  for (double quantum : {0.001, 0.01, 0.1}) {
+    size_t bytes = 0, records = 0;
+    double max_err = 0.0;
+    for (const StSeries& s : observed.series()) {
+      const auto enc = reduce::LosslessCompress(s, quantum);
+      bytes += enc.TotalBytes();
+      records += s.size();
+      const auto dec =
+          reduce::LosslessDecompress(enc, s.sensor(), s.loc()).value();
+      for (size_t i = 0; i < s.size(); ++i) {
+        max_err = std::max(max_err, std::abs(dec[i].value - s[i].value));
+      }
+    }
+    table.AddRow({bench::F3(quantum),
+                  bench::F2(static_cast<double>(bytes) / records),
+                  bench::F1(16.0 * records / bytes), bench::F3(max_err)});
+  }
+  table.Print();
+
+  std::printf("-- lossy LTC: ratio vs error bound --\n");
+  bench::Table table2({"epsilon", "knots kept", "ratio vs raw16",
+                       "max abs err"});
+  for (double eps : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    size_t knots = 0, records = 0, bytes = 0;
+    double max_err = 0.0;
+    for (const StSeries& s : observed.series()) {
+      const auto enc = reduce::LtcCompress(s, eps).value();
+      knots += enc.knot_times.size();
+      bytes += enc.TotalBytes();
+      records += s.size();
+      std::vector<Timestamp> ts;
+      for (const auto& r : s.records()) ts.push_back(r.t);
+      const auto dec =
+          reduce::LtcDecompress(enc, ts, s.sensor(), s.loc()).value();
+      for (size_t i = 0; i < s.size(); ++i) {
+        max_err = std::max(max_err, std::abs(dec[i].value - s[i].value));
+      }
+    }
+    table2.AddRow({bench::F1(eps), std::to_string(knots),
+                   bench::F1(16.0 * records / bytes), bench::F3(max_err)});
+  }
+  table2.Print();
+
+  std::printf("-- prediction-based suppression (dual prediction) --\n");
+  bench::Table table3({"epsilon", "suppression rate", "max abs err"});
+  for (double eps : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    double suppression = 0.0, max_err = 0.0;
+    for (const StSeries& s : observed.series()) {
+      const auto values = s.Values();
+      const auto result = reduce::DualPredictionReduce(values, eps);
+      suppression += result.SuppressionRate();
+      for (size_t i = 0; i < values.size(); ++i) {
+        max_err = std::max(max_err,
+                           std::abs(result.reconstructed[i] - values[i]));
+      }
+    }
+    table3.AddRow({bench::F1(eps),
+                   bench::F3(suppression / observed.num_sensors()),
+                   bench::F3(max_err)});
+  }
+  table3.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace sidq
+
+int main() { return sidq::Run(); }

@@ -1,0 +1,148 @@
+// E11 -- Trajectory Data Reduction (Section 2.2.6): error-bounded
+// simplification (offline DP vs online DR/OPW/SQUISH vs uniform baseline)
+// swept over the SED bound, plus network-constrained compression rates.
+
+#include "bench/bench_util.h"
+#include "core/random.h"
+#include "reduce/network_compression.h"
+#include "reduce/reference_compression.h"
+#include "reduce/simplify.h"
+#include "refine/hmm_map_matcher.h"
+#include "sim/noise.h"
+#include "sim/trajectory_sim.h"
+
+namespace sidq {
+namespace {
+
+int Run() {
+  bench::Banner("E11", "trajectory data reduction",
+                "compression ratio grows with the error bound; offline DP "
+                "dominates online methods at equal bounds; map-matched "
+                "trajectories compress dramatically");
+
+  Rng rng(11);
+  const sim::Fleet fleet = sim::MakeFleet(10, 10, 170.0, 10, 30, &rng);
+  std::vector<Trajectory> noisy;
+  for (const auto& tr : fleet.trajectories) {
+    noisy.push_back(sim::AddGpsNoise(tr, 4.0, &rng));
+  }
+
+  std::printf("-- compression ratio (and max SED) vs error bound --\n");
+  bench::Table table({"eps (m)", "DP-SED ratio", "DP maxSED", "SQUISH ratio",
+                      "SQUISH maxSED", "DR ratio", "DR maxSED", "OPW ratio",
+                      "OPW maxSED"});
+  for (double eps : {2.0, 5.0, 10.0, 20.0, 40.0}) {
+    double dp_r = 0, dp_e = 0, sq_r = 0, sq_e = 0, dr_r = 0, dr_e = 0,
+           ow_r = 0, ow_e = 0;
+    for (const Trajectory& tr : noisy) {
+      const auto dp = reduce::DouglasPeuckerSed(tr, eps).value();
+      const auto sq = reduce::SquishE(tr, eps).value();
+      const auto dr = reduce::DeadReckoning(tr, eps).value();
+      const auto ow = reduce::OpeningWindow(tr, eps).value();
+      dp_r += reduce::CompressionRatio(tr, dp);
+      dp_e += reduce::MaxSedError(tr, dp);
+      sq_r += reduce::CompressionRatio(tr, sq);
+      sq_e += reduce::MaxSedError(tr, sq);
+      dr_r += reduce::CompressionRatio(tr, dr);
+      dr_e += reduce::MaxSedError(tr, dr);
+      ow_r += reduce::CompressionRatio(tr, ow);
+      ow_e += reduce::MaxSedError(tr, ow);
+    }
+    const double n = noisy.size();
+    table.AddRow({bench::F1(eps), bench::F1(dp_r / n), bench::F1(dp_e / n),
+                  bench::F1(sq_r / n), bench::F1(sq_e / n),
+                  bench::F1(dr_r / n), bench::F1(dr_e / n),
+                  bench::F1(ow_r / n), bench::F1(ow_e / n)});
+  }
+  table.Print();
+
+  std::printf("-- uniform-sampling baseline at matched point budgets --\n");
+  bench::Table table2({"eps (m)", "DP points", "DP maxSED",
+                       "uniform maxSED @ same budget"});
+  for (double eps : {10.0, 20.0, 40.0}) {
+    double dp_pts = 0, dp_err = 0, uni_err = 0;
+    for (const Trajectory& tr : noisy) {
+      const auto dp = reduce::DouglasPeuckerSed(tr, eps).value();
+      const size_t every =
+          std::max<size_t>(1, tr.size() / std::max<size_t>(1, dp.size()));
+      const auto uni = reduce::UniformSample(tr, every).value();
+      dp_pts += dp.size();
+      dp_err += reduce::MaxSedError(tr, dp);
+      uni_err += reduce::MaxSedError(tr, uni);
+    }
+    const double n = noisy.size();
+    table2.AddRow({bench::F1(eps), bench::F1(dp_pts / n),
+                   bench::F1(dp_err / n), bench::F1(uni_err / n)});
+  }
+  table2.Print();
+
+  std::printf("-- reference-based compression (REST-style) vs corpus "
+              "size --\n");
+  {
+    // Commuter routes: new rides repeat historical paths.
+    sim::TrajectorySimulator::Options ropts;
+    ropts.mean_speed_mps = 12.0;
+    ropts.speed_jitter = 0.0;
+    sim::TrajectorySimulator rsim(ropts, &rng);
+    std::vector<std::vector<NodeId>> routes;
+    for (int r = 0; r < 8; ++r) {
+      routes.push_back(sim::RandomRoute(fleet.network, 20, &rng).value());
+    }
+    bench::Table tabler({"references", "matched frac", "bytes/point",
+                         "vs raw24"});
+    for (size_t refs : {2, 4, 8}) {
+      std::vector<Trajectory> corpus;
+      for (size_t r = 0; r < refs; ++r) {
+        corpus.push_back(
+            rsim.AlongRoute(fleet.network, routes[r], 100 + r).value());
+      }
+      reduce::ReferenceCompressor compressor;
+      compressor.BuildReferences(&corpus);
+      double matched = 0.0;
+      size_t bytes = 0, pts = 0;
+      for (int ride = 0; ride < 8; ++ride) {
+        const Trajectory noisy_ride = sim::AddGpsNoise(
+            rsim.AlongRoute(fleet.network, routes[ride % routes.size()],
+                            ride)
+                .value(),
+            4.0, &rng);
+        const auto enc = compressor.Compress(noisy_ride).value();
+        matched += enc.MatchedFraction();
+        bytes += enc.ApproxBytes();
+        pts += noisy_ride.size();
+      }
+      tabler.AddRow({std::to_string(refs), bench::F3(matched / 8),
+                     bench::F2(static_cast<double>(bytes) / pts),
+                     bench::F1(24.0 * pts / bytes)});
+    }
+    tabler.Print();
+    std::printf("(rides on routes absent from the reference corpus fall "
+                "back to literals)\n\n");
+  }
+
+  std::printf("-- network-constrained compression (map-matched rides) --\n");
+  refine::HmmMapMatcher matcher(&fleet.network);
+  size_t raw_bytes = 0, net_bytes = 0, points = 0;
+  for (const Trajectory& tr : noisy) {
+    const auto matched = matcher.Match(tr);
+    if (!matched.ok()) continue;
+    std::vector<Timestamp> times;
+    for (const auto& pt : matched->matched.points()) times.push_back(pt.t);
+    const auto compressed =
+        reduce::CompressMatched(matched->edges, times).value();
+    raw_bytes += reduce::RawPointBytes(tr.size());
+    net_bytes += compressed.TotalBytes();
+    points += tr.size();
+  }
+  std::printf("%zu points: raw %zu B, compressed %zu B -> %.1fx "
+              "(%.1f bits/point)\n",
+              points, raw_bytes, net_bytes,
+              static_cast<double>(raw_bytes) / net_bytes,
+              8.0 * net_bytes / points);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sidq
+
+int main() { return sidq::Run(); }

@@ -1,0 +1,103 @@
+// E9 -- Fault Correction (Section 2.2.4): RFID symbolic cleaning under
+// false-negative and false-positive sweeps (smoothing vs constraints vs
+// HMM), plus timestamp repair accuracy under jitter.
+
+#include "bench/bench_util.h"
+#include "core/random.h"
+#include "fault/rfid_cleaning.h"
+#include "fault/timestamp_repair.h"
+#include "sim/noise.h"
+#include "sim/rfid.h"
+
+namespace sidq {
+namespace {
+
+int Run() {
+  bench::Banner("E9", "fault correction (symbolic + timestamps)",
+                "probabilistic and constraint-based repair that exploits "
+                "deployment structure beats purely local smoothing");
+
+  Rng rng(9);
+  const auto deployment = sim::RfidDeployment::Corridor(14);
+  const int kTags = 15;
+  auto scenario_accuracy = [&](double fn, double fp, double* dirty_acc,
+                               double* smooth_acc, double* constraint_acc,
+                               double* hmm_acc) {
+    fault::SmoothingWindowCleaner smoothing;
+    fault::ConstraintCleaner constraints(&deployment);
+    fault::HmmCleaner hmm(&deployment);
+    *dirty_acc = *smooth_acc = *constraint_acc = *hmm_acc = 0.0;
+    for (int tag = 0; tag < kTags; ++tag) {
+      const auto truth = deployment.SimulateWalk(tag, 40, 4, 1000, &rng);
+      const auto dirty = deployment.Degrade(truth, fn, fp, &rng);
+      *dirty_acc += fault::TickAccuracy(dirty, truth, 1000);
+      *smooth_acc +=
+          fault::TickAccuracy(smoothing.Clean(dirty).value(), truth, 1000);
+      *constraint_acc +=
+          fault::TickAccuracy(constraints.Clean(dirty).value(), truth, 1000);
+      *hmm_acc +=
+          fault::TickAccuracy(hmm.Clean(dirty).value(), truth, 1000);
+    }
+    *dirty_acc /= kTags;
+    *smooth_acc /= kTags;
+    *constraint_acc /= kTags;
+    *hmm_acc /= kTags;
+  };
+
+  std::printf("-- per-tick accuracy vs false-negative rate (fp = 0.10) --\n");
+  bench::Table table({"fn rate", "dirty", "smoothing", "constraints", "hmm"});
+  for (double fn : {0.05, 0.15, 0.30, 0.45}) {
+    double d, s, c, h;
+    scenario_accuracy(fn, 0.10, &d, &s, &c, &h);
+    table.AddRow({bench::F2(fn), bench::F3(d), bench::F3(s), bench::F3(c),
+                  bench::F3(h)});
+  }
+  table.Print();
+
+  std::printf("-- per-tick accuracy vs false-positive rate (fn = 0.15) --\n");
+  bench::Table table2({"fp rate", "dirty", "smoothing", "constraints",
+                       "hmm"});
+  for (double fp : {0.05, 0.15, 0.30, 0.45}) {
+    double d, s, c, h;
+    scenario_accuracy(0.15, fp, &d, &s, &c, &h);
+    table2.AddRow({bench::F2(fp), bench::F3(d), bench::F3(s), bench::F3(c),
+                   bench::F3(h)});
+  }
+  table2.Print();
+
+  std::printf("-- timestamp repair (PAVA) under jitter --\n");
+  bench::Table table3({"jitter sigma (ms)", "disorder rate before",
+                       "disorder after", "mean |change| (ms)"});
+  for (double jitter : {200.0, 600.0, 1500.0, 3000.0}) {
+    Trajectory tr(1);
+    for (int i = 0; i < 500; ++i) {
+      tr.AppendUnordered(
+          TrajectoryPoint(i * 1000, geometry::Point(i * 10.0, 0)));
+    }
+    const Trajectory jittered = sim::JitterTimestamps(tr, jitter, &rng);
+    size_t before = 0;
+    for (size_t i = 1; i < jittered.size(); ++i) {
+      before += jittered[i].t < jittered[i - 1].t ? 1 : 0;
+    }
+    const auto repaired =
+        fault::RepairTrajectoryTimestamps(jittered, 1).value();
+    size_t after = 0;
+    double change = 0.0;
+    for (size_t i = 0; i < repaired.size(); ++i) {
+      if (i > 0 && repaired[i].t < repaired[i - 1].t) ++after;
+      change += std::abs(
+          static_cast<double>(repaired[i].t - jittered[i].t));
+    }
+    table3.AddRow({bench::FInt(jitter),
+                   bench::F3(static_cast<double>(before) / jittered.size()),
+                   bench::F3(static_cast<double>(after) / repaired.size()),
+                   bench::F1(change / repaired.size())});
+  }
+  table3.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace sidq
+
+int main() { return sidq::Run(); }

@@ -1,0 +1,73 @@
+// E3 -- Motion-based Location Refinement (Section 2.2.1): raw GPS vs
+// Kalman filter, RTS smoother, particle filter (free and road-constrained)
+// and HMM map matching, swept over GPS noise.
+
+#include "bench/bench_util.h"
+#include "core/random.h"
+#include "refine/hmm_map_matcher.h"
+#include "refine/kalman.h"
+#include "refine/particle_filter.h"
+#include "sim/noise.h"
+#include "sim/trajectory_sim.h"
+
+namespace sidq {
+namespace {
+
+int Run() {
+  bench::Banner("E3", "motion-based location refinement",
+                "introducing motion dynamics and map constraints improves "
+                "positioning; gains grow with measurement noise");
+
+  Rng rng(3);
+  sim::RoadNetwork net = sim::MakeGridRoadNetwork(10, 10, 160.0, 6.0, 0.0,
+                                                  &rng);
+  sim::TrajectorySimulator::Options sopts;
+  sopts.mean_speed_mps = 12.0;
+  sim::TrajectorySimulator simulator(sopts, &rng);
+  const int kTrajectories = 8;
+  std::vector<Trajectory> truths;
+  for (int i = 0; i < kTrajectories; ++i) {
+    truths.push_back(simulator.RandomOnNetwork(net, 20, i).value());
+  }
+
+  refine::KalmanFilter2D::Options kopts;
+  kopts.process_noise = 0.5;
+  const refine::KalmanFilter2D kalman(kopts);
+  refine::HmmMapMatcher matcher(&net);
+
+  bench::Table table({"gps sigma (m)", "raw", "kalman", "rts smooth",
+                      "particle", "particle+road", "hmm match"});
+
+  for (double sigma : {5.0, 10.0, 20.0, 30.0, 40.0}) {
+    double raw = 0, kf = 0, rts = 0, pf = 0, pfr = 0, hmm = 0;
+    for (const Trajectory& truth : truths) {
+      const Trajectory noisy = sim::AddGpsNoise(truth, sigma, &rng);
+      raw += RmseBetween(truth, noisy).value();
+      kf += RmseBetween(truth, kalman.Filter(noisy).value()).value();
+      rts += RmseBetween(truth, kalman.Smooth(noisy).value()).value();
+      refine::ParticleFilter2D::Options popts;
+      popts.num_particles = 250;
+      refine::ParticleFilter2D free_pf(popts, &rng);
+      pf += RmseBetween(truth, free_pf.Filter(noisy).value()).value();
+      refine::ParticleFilter2D road_pf(popts, &rng);
+      road_pf.AttachNetwork(&net);
+      pfr += RmseBetween(truth, road_pf.Filter(noisy).value()).value();
+      refine::HmmMapMatcher::Options mopts;
+      mopts.gps_sigma_m = sigma;
+      mopts.candidate_radius_m = std::max(60.0, 3.0 * sigma);
+      refine::HmmMapMatcher sized(&net, mopts);
+      hmm += RmseBetween(truth, sized.Match(noisy)->matched).value();
+    }
+    const double n = kTrajectories;
+    table.AddRow({bench::F1(sigma), bench::F2(raw / n), bench::F2(kf / n),
+                  bench::F2(rts / n), bench::F2(pf / n), bench::F2(pfr / n),
+                  bench::F2(hmm / n)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace sidq
+
+int main() { return sidq::Run(); }

@@ -1,0 +1,162 @@
+// E6 -- STID Uncertainty Elimination (Section 2.2.2): spatiotemporal
+// interpolation (IDW / kernel / trend clusters) vs sensor density, the
+// degradation as the queried range expands beyond the instrumented region,
+// and measurement-fusion gains.
+
+#include "bench/bench_util.h"
+#include "core/random.h"
+#include "sim/sensor_field.h"
+#include "uncertainty/cotraining.h"
+#include "uncertainty/fusion.h"
+#include "uncertainty/interpolation.h"
+
+namespace sidq {
+namespace {
+
+int Run() {
+  bench::Banner("E6", "STID uncertainty elimination",
+                "interpolation improves with sensor density and degrades as "
+                "the spatiotemporal range expands; fusing a second source "
+                "reduces measurement uncertainty");
+
+  Rng rng(6);
+  const geometry::BBox region(0, 0, 4000, 4000);
+  const auto field = sim::ScalarField::MakeRandom(region, 5, 12.0, 30.0, 400,
+                                                  900, 3600, &rng);
+
+  // Part A: error vs sensor density.
+  std::printf("-- interpolation error vs sensor count (probes inside the "
+              "instrumented region) --\n");
+  bench::Table table(
+      {"sensors", "IDW err", "kernel err", "trend-cluster err"});
+  for (int sensors : {15, 30, 60, 120, 240}) {
+    const auto locs = sim::DeploySensors(region, sensors, &rng);
+    const StDataset truth =
+        sim::SampleField(field, locs, 0, 60'000, 40, "pm25");
+    const StDataset data = sim::AddValueNoise(truth, 1.0, &rng);
+    uncertainty::IdwInterpolator idw(&data);
+    uncertainty::KernelInterpolator kern(&data);
+    uncertainty::TrendClusterInterpolator tc(&data);
+    double idw_err = 0, kern_err = 0, tc_err = 0;
+    const int probes = 200;
+    Rng prng(99);
+    for (int i = 0; i < probes; ++i) {
+      const geometry::Point p(prng.Uniform(400, 3600),
+                              prng.Uniform(400, 3600));
+      const Timestamp t = 60'000 * prng.UniformInt(1, 38);
+      const double tv = field.Value(p, t);
+      idw_err += std::abs(idw.Estimate(p, t).value_or(tv) - tv);
+      kern_err += std::abs(kern.Estimate(p, t).value_or(tv) - tv);
+      tc_err += std::abs(tc.Estimate(p, t).value_or(tv) - tv);
+    }
+    table.AddRow({std::to_string(sensors), bench::F2(idw_err / probes),
+                  bench::F2(kern_err / probes), bench::F2(tc_err / probes)});
+  }
+  table.Print();
+
+  // Part B: degradation with spatial range expansion (probes farther and
+  // farther outside the instrumented core).
+  std::printf("-- interpolation error vs distance outside the instrumented "
+              "core (60 sensors) --\n");
+  const geometry::BBox core(1500, 1500, 2500, 2500);
+  const auto core_locs = sim::DeploySensors(core, 60, &rng);
+  const StDataset core_truth =
+      sim::SampleField(field, core_locs, 0, 60'000, 40, "pm25");
+  const StDataset core_data = sim::AddValueNoise(core_truth, 1.0, &rng);
+  uncertainty::IdwInterpolator idw(&core_data);
+  bench::Table table2({"probe offset (m)", "IDW err"});
+  for (double offset : {0.0, 300.0, 600.0, 1200.0, 1800.0}) {
+    double err = 0.0;
+    const int probes = 200;
+    Rng prng(77);
+    for (int i = 0; i < probes; ++i) {
+      // Random direction at the given distance from the core boundary.
+      const double ang = prng.Uniform(0, 2 * M_PI);
+      const geometry::Point p(
+          2000.0 + std::cos(ang) * (500.0 + offset),
+          2000.0 + std::sin(ang) * (500.0 + offset));
+      const Timestamp t = 60'000 * prng.UniformInt(1, 38);
+      const double tv = field.Value(p, t);
+      err += std::abs(idw.Estimate(p, t).value_or(tv) - tv);
+    }
+    table2.AddRow({bench::FInt(offset), bench::F2(err / probes)});
+  }
+  table2.Print();
+
+  // Part B2: semi-supervised co-training vs plain IDW when labels are
+  // scarce (the "semi-supervised learning" bucket of the technique
+  // taxonomy).
+  std::printf("-- co-training vs IDW at scarce, noisy sensor labels "
+              "(label sigma 2.0) --\n");
+  bench::Table tablec({"sensors", "IDW err", "co-training err",
+                       "pseudo-labeled frac"});
+  for (int sensors : {10, 20, 40}) {
+    const auto locs = sim::DeploySensors(region, sensors, &rng);
+    const StDataset labeled = sim::AddValueNoise(
+        sim::SampleField(field, locs, 0, 60'000, 40, "pm25"), 2.0, &rng);
+    uncertainty::IdwInterpolator idw_only(&labeled);
+    std::vector<uncertainty::CoTrainingEstimator::Query> queries;
+    std::vector<double> truth_vals;
+    Rng prng(55);
+    for (int loc = 0; loc < 20; ++loc) {
+      const geometry::Point p(prng.Uniform(400, 3600),
+                              prng.Uniform(400, 3600));
+      for (int k = 1; k < 39; ++k) {
+        queries.push_back({p, k * 60'000});
+        truth_vals.push_back(field.Value(p, k * 60'000));
+      }
+    }
+    const auto ct =
+        uncertainty::CoTrainingEstimator().Run(labeled, queries).value();
+    double idw_err = 0.0, ct_err = 0.0, pseudo = 0.0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      idw_err += std::abs(
+          idw_only.Estimate(queries[i].p, queries[i].t).value_or(0.0) -
+          truth_vals[i]);
+      ct_err += std::abs(ct[i].value - truth_vals[i]);
+      pseudo += ct[i].pseudo_labeled ? 1.0 : 0.0;
+    }
+    tablec.AddRow({std::to_string(sensors),
+                   bench::F2(idw_err / queries.size()),
+                   bench::F2(ct_err / queries.size()),
+                   bench::F3(pseudo / queries.size())});
+  }
+  tablec.Print();
+
+  // Part C: data fusion reduces per-record uncertainty.
+  std::printf("-- measurement fusion (co-located primary + auxiliary) --\n");
+  const auto locs = sim::DeploySensors(region, 50, &rng);
+  const StDataset truth =
+      sim::SampleField(field, locs, 0, 60'000, 30, "pm25");
+  bench::Table table3({"aux sigma", "primary RMSE", "fused RMSE"});
+  auto rmse = [&](const StDataset& ds) {
+    double acc = 0.0;
+    size_t n = 0;
+    for (size_t s = 0; s < ds.num_sensors(); ++s) {
+      for (size_t i = 0; i < ds.series()[s].size(); ++i) {
+        const double e =
+            ds.series()[s][i].value - truth.series()[s][i].value;
+        acc += e * e;
+        ++n;
+      }
+    }
+    return std::sqrt(acc / n);
+  };
+  for (double aux_sigma : {2.0, 4.0, 8.0}) {
+    const StDataset primary = sim::AddValueNoise(truth, 4.0, &rng);
+    const StDataset aux = sim::AddValueNoise(truth, aux_sigma, &rng);
+    uncertainty::StidFusionOptions fopts;
+    fopts.radius_m = 1.0;
+    fopts.window_ms = 1000;
+    const auto fused = uncertainty::FuseStid(primary, aux, fopts).value();
+    table3.AddRow({bench::F1(aux_sigma), bench::F2(rmse(primary)),
+                   bench::F2(rmse(fused))});
+  }
+  table3.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace sidq
+
+int main() { return sidq::Run(); }

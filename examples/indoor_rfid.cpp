@@ -1,0 +1,97 @@
+// Indoor RFID tracking: symbolic trajectory cleaning and exploitation.
+// A warehouse corridor is instrumented with RFID readers; tags are missed
+// (false negatives) and cross-read by neighbouring antennas (false
+// positives). We clean the streams three ways, then mine movement patterns
+// and annotate mobility semantics on the repaired data.
+
+#include <cstdio>
+#include <set>
+
+#include "analytics/pattern_mining.h"
+#include "core/random.h"
+#include "fault/rfid_cleaning.h"
+#include "query/symbolic_range.h"
+#include "sim/rfid.h"
+
+int main() {
+  using namespace sidq;
+
+  Rng rng(5);
+  const auto deployment = sim::RfidDeployment::Corridor(16);
+  const int kTags = 25;
+  std::vector<SymbolicTrajectory> truth_streams, dirty_streams,
+      cleaned_streams;
+
+  std::printf("indoor_rfid: %zu readers, %d tags\n\n",
+              deployment.num_readers(), kTags);
+
+  fault::SmoothingWindowCleaner smoothing;
+  fault::ConstraintCleaner constraints(&deployment);
+  fault::HmmCleaner hmm(&deployment);
+
+  double acc_dirty = 0.0, acc_smooth = 0.0, acc_constraint = 0.0,
+         acc_hmm = 0.0;
+  std::vector<analytics::UncertainSequence> cleaned_sequences;
+
+  for (int tag = 0; tag < kTags; ++tag) {
+    const SymbolicTrajectory truth =
+        deployment.SimulateWalk(tag, 50, 4, 1000, &rng);
+    const SymbolicTrajectory dirty =
+        deployment.Degrade(truth, /*fn_rate=*/0.25, /*fp_rate=*/0.15, &rng);
+
+    acc_dirty += fault::TickAccuracy(dirty, truth, 1000);
+    acc_smooth +=
+        fault::TickAccuracy(smoothing.Clean(dirty).value(), truth, 1000);
+    acc_constraint +=
+        fault::TickAccuracy(constraints.Clean(dirty).value(), truth, 1000);
+    const SymbolicTrajectory repaired = hmm.Clean(dirty).value();
+    acc_hmm += fault::TickAccuracy(repaired, truth, 1000);
+
+    cleaned_sequences.push_back(
+        analytics::FromSymbolic(repaired, /*confidence=*/0.95));
+    truth_streams.push_back(truth);
+    dirty_streams.push_back(dirty);
+    cleaned_streams.push_back(repaired);
+  }
+
+  std::printf("per-tick region accuracy (fn=0.25, fp=0.15)\n");
+  std::printf("  dirty stream:        %.3f\n", acc_dirty / kTags);
+  std::printf("  smoothing window:    %.3f\n", acc_smooth / kTags);
+  std::printf("  adjacency constraints: %.3f\n", acc_constraint / kTags);
+  std::printf("  HMM (Viterbi):       %.3f\n\n", acc_hmm / kTags);
+
+  // Mine frequent movement patterns over the *cleaned* symbolic streams.
+  analytics::PatternMiner::Options mopts;
+  mopts.min_expected_support = kTags * 0.25;
+  mopts.min_length = 3;
+  mopts.max_length = 4;
+  const auto patterns =
+      analytics::PatternMiner(mopts).Mine(cleaned_sequences);
+  std::printf("frequent movement patterns (expected support >= %.1f)\n",
+              mopts.min_expected_support);
+  const size_t show = std::min<size_t>(5, patterns.size());
+  for (size_t i = 0; i < show; ++i) {
+    std::printf("  #%zu: ", i + 1);
+    for (size_t j = 0; j < patterns[i].symbols.size(); ++j) {
+      std::printf("%sR%u", j ? " -> " : "", patterns[i].symbols[j]);
+    }
+    std::printf("   (support %.1f)\n", patterns[i].expected_support);
+  }
+  if (patterns.empty()) {
+    std::printf("  (none above threshold)\n");
+  }
+
+  // Exploitation: a zone-occupancy query (how many tags are in the packing
+  // area, readers 6-9?) answered from raw vs cleaned streams.
+  const std::set<RegionId> packing_area{6, 7, 8, 9};
+  const double dirty_err = query::CountError(
+      truth_streams, dirty_streams, packing_area, 1000, 8000);
+  const double cleaned_err = query::CountError(
+      truth_streams, cleaned_streams, packing_area, 1000, 8000);
+  std::printf("\nzone occupancy query (readers 6-9)\n");
+  std::printf("  mean count error on raw streams:     %.2f tags\n",
+              dirty_err);
+  std::printf("  mean count error on cleaned streams: %.2f tags\n",
+              cleaned_err);
+  return 0;
+}

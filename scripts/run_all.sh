@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, regenerates every experiment
+# table, and runs the examples. Mirrors EXPERIMENTS.md's provenance.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do "$b"; done
+for e in build/examples/*; do "$e"; done

@@ -1,0 +1,97 @@
+#include "analytics/burst.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidq {
+namespace analytics {
+
+std::vector<BurstDetector::BurstRegion> BurstDetector::Feed(
+    const geometry::Point& loc, Timestamp t) {
+  std::vector<BurstRegion> fired;
+  if (window_start_ == kMinTimestamp) {
+    window_start_ = t;
+  }
+  while (t >= window_start_ + options_.window_ms) {
+    auto regions = CloseWindow();
+    fired.insert(fired.end(), regions.begin(), regions.end());
+    window_start_ += options_.window_ms;
+  }
+  const int32_t cx = static_cast<int32_t>(std::floor(loc.x / options_.cell_m));
+  const int32_t cy = static_cast<int32_t>(std::floor(loc.y / options_.cell_m));
+  cells_[KeyOf(cx, cy)].current += 1;
+  return fired;
+}
+
+std::vector<BurstDetector::BurstRegion> BurstDetector::CloseWindow() {
+  ++windows_processed_;
+  // Identify bursty cells. A burst must clear three hurdles: an absolute
+  // floor, a multiplicative factor over the cell's baseline, and a Poisson
+  // significance guard (counts fluctuate with sd ~ sqrt(baseline)).
+  const bool warmed =
+      windows_processed_ >= static_cast<size_t>(options_.warmup_windows);
+  std::unordered_map<CellKey, size_t> bursty;  // key -> count
+  for (auto& [key, state] : cells_) {
+    const double count = static_cast<double>(state.current);
+    const bool fires =
+        warmed && state.current >= options_.min_count &&
+        count > options_.burst_factor * std::max(state.baseline, 0.5) &&
+        count > state.baseline +
+                    options_.poisson_sigmas *
+                        std::sqrt(state.baseline + 1.0);
+    if (fires) bursty[key] = state.current;
+    state.baseline = (1.0 - options_.baseline_alpha) * state.baseline +
+                     options_.baseline_alpha * count;
+    state.current = 0;
+  }
+  // Merge 8-adjacent bursty cells into regions via BFS.
+  std::vector<BurstRegion> regions;
+  std::unordered_map<CellKey, bool> visited;
+  for (const auto& [key, count] : bursty) {
+    if (visited[key]) continue;
+    BurstRegion region;
+    region.window_end = window_start_ + options_.window_ms;
+    std::vector<CellKey> stack{key};
+    visited[key] = true;
+    while (!stack.empty()) {
+      const CellKey cur = stack.back();
+      stack.pop_back();
+      const int32_t cx = static_cast<int32_t>(cur >> 32);
+      const int32_t cy = static_cast<int32_t>(cur & 0xFFFFFFFFull);
+      region.cells += 1;
+      region.events += bursty.at(cur);
+      region.bounds.Extend(
+          geometry::Point(cx * options_.cell_m, cy * options_.cell_m));
+      region.bounds.Extend(geometry::Point((cx + 1) * options_.cell_m,
+                                           (cy + 1) * options_.cell_m));
+      for (int dx = -1; dx <= 1; ++dx) {
+        for (int dy = -1; dy <= 1; ++dy) {
+          if (dx == 0 && dy == 0) continue;
+          const CellKey nb = KeyOf(cx + dx, cy + dy);
+          if (bursty.count(nb) > 0 && !visited[nb]) {
+            visited[nb] = true;
+            stack.push_back(nb);
+          }
+        }
+      }
+    }
+    regions.push_back(region);
+  }
+  return regions;
+}
+
+std::vector<BurstDetector::BurstRegion> BurstDetector::Scan(
+    const std::vector<StRecord>& records) {
+  std::vector<StRecord> sorted = records;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const StRecord& a, const StRecord& b) { return a.t < b.t; });
+  std::vector<BurstRegion> out;
+  for (const StRecord& r : sorted) {
+    auto fired = Feed(r.loc, r.t);
+    out.insert(out.end(), fired.begin(), fired.end());
+  }
+  return out;
+}
+
+}  // namespace analytics
+}  // namespace sidq

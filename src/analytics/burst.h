@@ -1,0 +1,85 @@
+#ifndef SIDQ_ANALYTICS_BURST_H_
+#define SIDQ_ANALYTICS_BURST_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/stid.h"
+#include "core/types.h"
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace analytics {
+
+// Continuous detection of bursty regions over a stream of spatial records
+// (Section 2.3.2 "event discovery"; SURGE, Feng et al., TKDE 2019 family).
+// The space is gridded; each cell keeps an exponential baseline of its
+// arrival rate per window. A cell whose current-window count exceeds the
+// baseline by `burst_factor` (and a minimum count) is bursty; adjacent
+// bursty cells are merged into burst regions.
+class BurstDetector {
+ public:
+  struct Options {
+    double cell_m = 400.0;
+    Timestamp window_ms = 60'000;
+    // Baseline smoothing: baseline <- (1-alpha)*baseline + alpha*count.
+    double baseline_alpha = 0.2;
+    // Current count must exceed burst_factor * baseline...
+    double burst_factor = 3.0;
+    // ...and a Poisson significance guard of this many sigmas...
+    double poisson_sigmas = 5.0;
+    // ...and this absolute floor.
+    size_t min_count = 8;
+    // Windows the detector must have processed before any cell can fire
+    // (baselines need time to converge). Cells never seen before count as
+    // baseline 0, so cold-spot bursts do fire after the global warmup.
+    int warmup_windows = 5;
+  };
+
+  explicit BurstDetector(Options options) : options_(options) {}
+  BurstDetector() : BurstDetector(Options{}) {}
+
+  struct BurstRegion {
+    geometry::BBox bounds;
+    size_t cells = 0;
+    size_t events = 0;    // records in the window across the region
+    Timestamp window_end = 0;
+  };
+
+  // Feeds one record; records must arrive in non-decreasing time order.
+  // Returns the burst regions that fired when a window closed (usually
+  // empty). Out-of-order records are counted into the current window.
+  std::vector<BurstRegion> Feed(const geometry::Point& loc, Timestamp t);
+
+  // Convenience: stream a whole dataset in time order, collecting every
+  // region that fires.
+  std::vector<BurstRegion> Scan(const std::vector<StRecord>& records);
+
+  size_t windows_processed() const { return windows_processed_; }
+
+ private:
+  struct CellState {
+    double baseline = 0.0;
+    size_t current = 0;
+  };
+  using CellKey = uint64_t;
+  static CellKey KeyOf(int32_t cx, int32_t cy) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(cy));
+  }
+
+  std::vector<BurstRegion> CloseWindow();
+
+  Options options_;
+  Timestamp window_start_ = kMinTimestamp;
+  size_t windows_processed_ = 0;
+  std::unordered_map<CellKey, CellState> cells_;
+};
+
+}  // namespace analytics
+}  // namespace sidq
+
+#endif  // SIDQ_ANALYTICS_BURST_H_

@@ -1,0 +1,133 @@
+#include "analytics/next_location.h"
+
+#include <cmath>
+
+namespace sidq {
+namespace analytics {
+
+namespace {
+
+uint64_t PairKey(uint64_t a, uint64_t b) { return (a * 1000003ull) ^ b; }
+
+template <typename Map>
+const typename Map::mapped_type* FindOrNull(const Map& m,
+                                            const typename Map::key_type& k) {
+  const auto it = m.find(k);
+  return it == m.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+NextCellPredictor::CellId NextCellPredictor::CellOf(
+    const geometry::Point& p) const {
+  const int64_t cx = static_cast<int64_t>(std::floor(p.x / options_.cell_m));
+  const int64_t cy = static_cast<int64_t>(std::floor(p.y / options_.cell_m));
+  return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(cy));
+}
+
+geometry::Point NextCellPredictor::CenterOf(CellId c) const {
+  const int32_t cx = static_cast<int32_t>(c >> 32);
+  const int32_t cy = static_cast<int32_t>(c & 0xFFFFFFFFull);
+  return geometry::Point((cx + 0.5) * options_.cell_m,
+                         (cy + 0.5) * options_.cell_m);
+}
+
+std::vector<NextCellPredictor::CellId> NextCellPredictor::CellSequence(
+    const Trajectory& tr) const {
+  std::vector<CellId> out;
+  for (const TrajectoryPoint& pt : tr.points()) {
+    const CellId c = CellOf(pt.p);
+    if (out.empty() || out.back() != c) out.push_back(c);
+  }
+  return out;
+}
+
+void NextCellPredictor::Train(const std::vector<Trajectory>& corpus) {
+  order1_.clear();
+  order2_.clear();
+  for (const Trajectory& tr : corpus) Observe(tr);
+}
+
+void NextCellPredictor::Observe(const Trajectory& trajectory) {
+  const std::vector<CellId> cells = CellSequence(trajectory);
+  for (size_t i = 1; i < cells.size(); ++i) {
+    order1_[cells[i - 1]][cells[i]] += 1;
+    if (i >= 2) {
+      order2_[PairKey(cells[i - 2], cells[i - 1])][cells[i]] += 1;
+    }
+  }
+}
+
+void NextCellPredictor::MergeFrom(const NextCellPredictor& other) {
+  for (const auto& [ctx, dist] : other.order1_) {
+    for (const auto& [cell, count] : dist) {
+      order1_[ctx][cell] += count;
+    }
+  }
+  for (const auto& [ctx, dist] : other.order2_) {
+    for (const auto& [cell, count] : dist) {
+      order2_[ctx][cell] += count;
+    }
+  }
+}
+
+StatusOr<geometry::Point> NextCellPredictor::PredictNext(
+    const Trajectory& recent) const {
+  const std::vector<CellId> cells = CellSequence(recent);
+  if (cells.empty()) return Status::InvalidArgument("no history");
+  const std::unordered_map<CellId, size_t>* dist = nullptr;
+  if (cells.size() >= 2) {
+    dist = FindOrNull(order2_,
+                      PairKey(cells[cells.size() - 2], cells.back()));
+  }
+  if (dist == nullptr || dist->empty()) {
+    dist = FindOrNull(order1_, cells.back());
+  }
+  if (dist == nullptr || dist->empty()) {
+    return Status::NotFound("no matching context");
+  }
+  CellId best = dist->begin()->first;
+  size_t best_count = dist->begin()->second;
+  for (const auto& [cell, count] : *dist) {
+    // Ties break on the cell id so results do not depend on hash-map
+    // iteration order (important for federated-vs-central equivalence).
+    if (count > best_count || (count == best_count && cell < best)) {
+      best = cell;
+      best_count = count;
+    }
+  }
+  return CenterOf(best);
+}
+
+double NextCellPredictor::Evaluate(
+    const std::vector<Trajectory>& held_out) const {
+  size_t total = 0, correct = 0;
+  for (const Trajectory& tr : held_out) {
+    const std::vector<CellId> cells = CellSequence(tr);
+    for (size_t i = 2; i < cells.size(); ++i) {
+      const std::unordered_map<CellId, size_t>* dist =
+          FindOrNull(order2_, PairKey(cells[i - 2], cells[i - 1]));
+      if (dist == nullptr || dist->empty()) {
+        dist = FindOrNull(order1_, cells[i - 1]);
+      }
+      if (dist == nullptr || dist->empty()) continue;
+      CellId best = dist->begin()->first;
+      size_t best_count = dist->begin()->second;
+      for (const auto& [cell, count] : *dist) {
+        if (count > best_count || (count == best_count && cell < best)) {
+          best = cell;
+          best_count = count;
+        }
+      }
+      ++total;
+      if (best == cells[i]) ++correct;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+}  // namespace analytics
+}  // namespace sidq

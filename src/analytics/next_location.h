@@ -1,0 +1,63 @@
+#ifndef SIDQ_ANALYTICS_NEXT_LOCATION_H_
+#define SIDQ_ANALYTICS_NEXT_LOCATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/trajectory.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace analytics {
+
+// Next-location prediction as a decision-making task over low-quality SID
+// (Section 2.3.3): a Markov model over grid cells with order-2 -> order-1
+// backoff, which tolerates the incomplete histories that trip fixed-order
+// models (the "incompleteness in sequential decision-making" issue).
+class NextCellPredictor {
+ public:
+  struct Options {
+    double cell_m = 250.0;
+  };
+
+  explicit NextCellPredictor(Options options) : options_(options) {}
+  NextCellPredictor() : NextCellPredictor(Options{}) {}
+
+  void Train(const std::vector<Trajectory>& corpus);
+  // Incremental (online) learning: folds one more trajectory into the
+  // model without retraining -- the "incremental learning" trend of
+  // Section 2.4 (models must keep up with evolving SID).
+  void Observe(const Trajectory& trajectory);
+  // Federated aggregation: folds another node's locally-trained model into
+  // this one by summing transition counts. For count-based Markov models
+  // this is exact -- merging K edge models equals central training on the
+  // union -- so decentralised training shares no raw trajectories
+  // (Section 2.4, federated learning for decentralised models).
+  void MergeFrom(const NextCellPredictor& other);
+
+  // Predicted centre of the next cell given the recent cell history (the
+  // trajectory's trailing points); NotFound when no context matches.
+  StatusOr<geometry::Point> PredictNext(const Trajectory& recent) const;
+
+  // Fraction of correct next-cell predictions over held-out trajectories
+  // (each prefix of length >= 2 predicts its successor).
+  double Evaluate(const std::vector<Trajectory>& held_out) const;
+
+ private:
+  using CellId = uint64_t;
+  CellId CellOf(const geometry::Point& p) const;
+  geometry::Point CenterOf(CellId c) const;
+  // Distinct-cell sequence of a trajectory.
+  std::vector<CellId> CellSequence(const Trajectory& tr) const;
+
+  Options options_;
+  std::unordered_map<uint64_t, std::unordered_map<CellId, size_t>> order2_;
+  std::unordered_map<CellId, std::unordered_map<CellId, size_t>> order1_;
+};
+
+}  // namespace analytics
+}  // namespace sidq
+
+#endif  // SIDQ_ANALYTICS_NEXT_LOCATION_H_

@@ -1,0 +1,104 @@
+#include "analytics/pattern_mining.h"
+
+#include <algorithm>
+#include <map>
+
+namespace sidq {
+namespace analytics {
+
+double PatternMiner::OccurrenceProbability(
+    const UncertainSequence& seq, const std::vector<RegionId>& pattern) {
+  const size_t n = seq.symbols.size();
+  const size_t m = pattern.size();
+  if (m == 0 || n < m) return 0.0;
+  // P(at least one occurrence) = 1 - prod over candidate windows of
+  // (1 - P(window matches)), treating windows as independent.
+  double p_none = 1.0;
+  for (size_t i = 0; i + m <= n; ++i) {
+    double p_match = 1.0;
+    for (size_t j = 0; j < m; ++j) {
+      if (seq.symbols[i + j] != pattern[j]) {
+        p_match = 0.0;
+        break;
+      }
+      p_match *= seq.confidence[i + j];
+    }
+    p_none *= 1.0 - p_match;
+  }
+  return 1.0 - p_none;
+}
+
+std::vector<SequentialPattern> PatternMiner::Mine(
+    const std::vector<UncertainSequence>& database) const {
+  // Enumerate candidate contiguous patterns occurring in the data, then
+  // keep those whose expected support clears the threshold. Apriori-style
+  // pruning: a length-(k+1) pattern can only be frequent if its length-k
+  // prefix is.
+  std::vector<SequentialPattern> result;
+  std::vector<std::vector<RegionId>> frontier;
+  // Length-1 candidates.
+  {
+    std::map<RegionId, bool> seen;
+    for (const UncertainSequence& seq : database) {
+      for (RegionId s : seq.symbols) seen[s] = true;
+    }
+    for (const auto& [s, unused] : seen) frontier.push_back({s});
+  }
+  for (size_t len = 1; len <= options_.max_length && !frontier.empty();
+       ++len) {
+    std::vector<std::vector<RegionId>> survivors;
+    for (const auto& pattern : frontier) {
+      double support = 0.0;
+      for (const UncertainSequence& seq : database) {
+        support += OccurrenceProbability(seq, pattern);
+      }
+      if (support >= options_.min_expected_support) {
+        survivors.push_back(pattern);
+        if (pattern.size() >= options_.min_length) {
+          result.push_back({pattern, support});
+        }
+      }
+    }
+    // Extend survivors by every symbol that follows the pattern somewhere.
+    std::vector<std::vector<RegionId>> next;
+    for (const auto& pattern : survivors) {
+      std::map<RegionId, bool> followers;
+      for (const UncertainSequence& seq : database) {
+        const size_t n = seq.symbols.size();
+        const size_t m = pattern.size();
+        for (size_t i = 0; i + m < n; ++i) {
+          bool match = true;
+          for (size_t j = 0; j < m && match; ++j) {
+            match = seq.symbols[i + j] == pattern[j];
+          }
+          if (match) followers[seq.symbols[i + m]] = true;
+        }
+      }
+      for (const auto& [s, unused] : followers) {
+        std::vector<RegionId> extended = pattern;
+        extended.push_back(s);
+        next.push_back(std::move(extended));
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const SequentialPattern& a, const SequentialPattern& b) {
+              if (a.expected_support != b.expected_support) {
+                return a.expected_support > b.expected_support;
+              }
+              return a.symbols.size() > b.symbols.size();
+            });
+  return result;
+}
+
+UncertainSequence FromSymbolic(const SymbolicTrajectory& trajectory,
+                               double confidence) {
+  UncertainSequence out;
+  out.symbols = trajectory.RegionSequence();
+  out.confidence.assign(out.symbols.size(), confidence);
+  return out;
+}
+
+}  // namespace analytics
+}  // namespace sidq

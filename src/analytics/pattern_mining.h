@@ -1,0 +1,61 @@
+#ifndef SIDQ_ANALYTICS_PATTERN_MINING_H_
+#define SIDQ_ANALYTICS_PATTERN_MINING_H_
+
+#include <vector>
+
+#include "core/symbolic.h"
+#include "core/types.h"
+
+namespace sidq {
+namespace analytics {
+
+// Probabilistic frequent sequential pattern mining over uncertain symbolic
+// sequences (Section 2.3.2; Li et al. ICDM 2013 / Zhao et al. EDBT 2012
+// family). Each sequence element carries an existence confidence in (0, 1];
+// a pattern's expected support across a database is the sum over sequences
+// of the probability that the pattern occurs (contiguously) at least once.
+struct UncertainSequence {
+  std::vector<RegionId> symbols;
+  std::vector<double> confidence;  // aligned with symbols
+};
+
+struct SequentialPattern {
+  std::vector<RegionId> symbols;
+  double expected_support = 0.0;
+};
+
+class PatternMiner {
+ public:
+  struct Options {
+    double min_expected_support = 2.0;
+    size_t max_length = 4;
+    size_t min_length = 2;
+  };
+
+  explicit PatternMiner(Options options) : options_(options) {}
+  PatternMiner() : PatternMiner(Options{}) {}
+
+  // Mines all contiguous patterns with expected support >=
+  // min_expected_support, sorted by support (descending).
+  std::vector<SequentialPattern> Mine(
+      const std::vector<UncertainSequence>& database) const;
+
+  // Probability that `pattern` occurs contiguously at least once in `seq`
+  // (inclusion-exclusion via the complement of independent window misses;
+  // exact for non-overlapping windows, a tight approximation otherwise).
+  static double OccurrenceProbability(const UncertainSequence& seq,
+                                      const std::vector<RegionId>& pattern);
+
+ private:
+  Options options_;
+};
+
+// Builds an UncertainSequence from a deduplicated symbolic trajectory with
+// uniform confidence.
+UncertainSequence FromSymbolic(const SymbolicTrajectory& trajectory,
+                               double confidence);
+
+}  // namespace analytics
+}  // namespace sidq
+
+#endif  // SIDQ_ANALYTICS_PATTERN_MINING_H_

@@ -1,0 +1,112 @@
+#include "analytics/popular_route.h"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace sidq {
+namespace analytics {
+
+PopularRouteFinder::CellId PopularRouteFinder::CellOf(
+    const geometry::Point& p) const {
+  const int64_t cx = static_cast<int64_t>(std::floor(p.x / options_.cell_m));
+  const int64_t cy = static_cast<int64_t>(std::floor(p.y / options_.cell_m));
+  return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(cy));
+}
+
+geometry::Point PopularRouteFinder::CenterOf(CellId c) const {
+  const int32_t cx = static_cast<int32_t>(c >> 32);
+  const int32_t cy = static_cast<int32_t>(c & 0xFFFFFFFFull);
+  return geometry::Point((cx + 0.5) * options_.cell_m,
+                         (cy + 0.5) * options_.cell_m);
+}
+
+void PopularRouteFinder::Build(const std::vector<Trajectory>& corpus) {
+  out_edges_.clear();
+  for (const Trajectory& tr : corpus) {
+    CellId last = 0;
+    bool has_last = false;
+    for (const TrajectoryPoint& pt : tr.points()) {
+      const CellId cell = CellOf(pt.p);
+      if (has_last && cell != last) {
+        out_edges_[last][cell] += 1;
+        // Ensure the destination exists as a node.
+        out_edges_.try_emplace(cell);
+      } else if (!has_last) {
+        out_edges_.try_emplace(cell);
+      }
+      last = cell;
+      has_last = true;
+    }
+  }
+  // Drop low-support transitions.
+  for (auto& [cell, nexts] : out_edges_) {
+    for (auto it = nexts.begin(); it != nexts.end();) {
+      if (it->second < options_.min_transitions) {
+        it = nexts.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+StatusOr<PopularRouteFinder::Route> PopularRouteFinder::FindRoute(
+    const geometry::Point& from, const geometry::Point& to) const {
+  const CellId src = CellOf(from);
+  const CellId dst = CellOf(to);
+  if (out_edges_.find(src) == out_edges_.end()) {
+    return Status::NotFound("source cell not in transfer network");
+  }
+  // Dijkstra on -log(transition probability).
+  std::unordered_map<CellId, double> cost;
+  std::unordered_map<CellId, CellId> prev;
+  using QE = std::pair<double, CellId>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<QE>> pq;
+  cost[src] = 0.0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [c, cell] = pq.top();
+    pq.pop();
+    if (c > cost[cell]) continue;
+    if (cell == dst) break;
+    const auto it = out_edges_.find(cell);
+    if (it == out_edges_.end()) continue;
+    double total = 0.0;
+    for (const auto& [next, count] : it->second) {
+      total += static_cast<double>(count);
+    }
+    if (total <= 0.0) continue;
+    for (const auto& [next, count] : it->second) {
+      const double p = static_cast<double>(count) / total;
+      const double w = -std::log(p);
+      const double nc = c + w;
+      const auto found = cost.find(next);
+      if (found == cost.end() || nc < found->second) {
+        cost[next] = nc;
+        prev[next] = cell;
+        pq.emplace(nc, next);
+      }
+    }
+  }
+  const auto found = cost.find(dst);
+  if (found == cost.end()) {
+    return Status::NotFound("destination unreachable in transfer network");
+  }
+  Route route;
+  route.popularity = std::exp(-found->second);
+  std::vector<CellId> cells{dst};
+  CellId cur = dst;
+  while (cur != src) {
+    cur = prev.at(cur);
+    cells.push_back(cur);
+  }
+  for (size_t i = cells.size(); i-- > 0;) {
+    route.cells.push_back(CenterOf(cells[i]));
+  }
+  return route;
+}
+
+}  // namespace analytics
+}  // namespace sidq

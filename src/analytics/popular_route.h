@@ -1,0 +1,59 @@
+#ifndef SIDQ_ANALYTICS_POPULAR_ROUTE_H_
+#define SIDQ_ANALYTICS_POPULAR_ROUTE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/trajectory.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace analytics {
+
+// Popular-route discovery from uncertain trajectories (Wei, Zheng & Peng,
+// KDD 2012 family): low-sampling-rate trajectories are aggregated into a
+// grid transfer network whose edge weights are transition probabilities;
+// the most popular route between two locations maximises the product of
+// transition probabilities (min-cost path on -log p).
+class PopularRouteFinder {
+ public:
+  struct Options {
+    double cell_m = 300.0;
+    // Transitions seen fewer times are dropped from the transfer network.
+    size_t min_transitions = 1;
+  };
+
+  explicit PopularRouteFinder(Options options) : options_(options) {}
+  PopularRouteFinder() : PopularRouteFinder(Options{}) {}
+
+  // Builds the transfer network from a (possibly sparse and noisy) corpus.
+  void Build(const std::vector<Trajectory>& corpus);
+
+  struct Route {
+    std::vector<geometry::Point> cells;  // cell centres along the route
+    double popularity = 0.0;             // product of transition probs
+  };
+
+  // Most popular route between the cells containing `from` and `to`;
+  // NotFound when they are not connected in the transfer network.
+  StatusOr<Route> FindRoute(const geometry::Point& from,
+                            const geometry::Point& to) const;
+
+  size_t num_cells() const { return out_edges_.size(); }
+
+ private:
+  using CellId = uint64_t;
+  CellId CellOf(const geometry::Point& p) const;
+  geometry::Point CenterOf(CellId c) const;
+
+  Options options_;
+  // cell -> (next cell -> count)
+  std::unordered_map<CellId, std::unordered_map<CellId, size_t>> out_edges_;
+};
+
+}  // namespace analytics
+}  // namespace sidq
+
+#endif  // SIDQ_ANALYTICS_POPULAR_ROUTE_H_

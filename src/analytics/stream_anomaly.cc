@@ -1,0 +1,68 @@
+#include "analytics/stream_anomaly.h"
+
+#include <cmath>
+
+namespace sidq {
+namespace analytics {
+
+namespace {
+
+// Packs a (from, to) cell pair into one key. Cell ids are 32-bit hashes of
+// the integer cell coordinates.
+uint64_t PairKey(uint64_t from, uint64_t to) {
+  return (from << 32) ^ (to & 0xFFFFFFFFull);
+}
+
+}  // namespace
+
+uint64_t StreamAnomalyDetector::CellOf(const geometry::Point& p) const {
+  const int64_t cx = static_cast<int64_t>(std::floor(p.x / options_.cell_m));
+  const int64_t cy = static_cast<int64_t>(std::floor(p.y / options_.cell_m));
+  // 16/16-bit pack is plenty for city-scale grids.
+  return (static_cast<uint64_t>(static_cast<uint16_t>(cx)) << 16) |
+         static_cast<uint64_t>(static_cast<uint16_t>(cy));
+}
+
+void StreamAnomalyDetector::Train(
+    const std::vector<Trajectory>& normal_corpus) {
+  transitions_.clear();
+  for (const Trajectory& tr : normal_corpus) {
+    uint64_t last = 0;
+    bool has_last = false;
+    for (const TrajectoryPoint& pt : tr.points()) {
+      const uint64_t cell = CellOf(pt.p);
+      // Only cell *changes* carry signal; self-transitions would dominate
+      // the statistics of any slow-moving object and mask anomalies.
+      if (has_last && cell != last) {
+        transitions_[PairKey(last, cell)] += 1;
+      }
+      last = cell;
+      has_last = true;
+    }
+  }
+}
+
+void StreamAnomalyDetector::Feed(StreamState* state,
+                                 const geometry::Point& p) const {
+  const uint64_t cell = CellOf(p);
+  // Dwelling inside a cell is never anomalous by itself; only score moves.
+  if (state->has_last && cell != state->last_cell) {
+    ++state->transitions;
+    const auto it = transitions_.find(PairKey(state->last_cell, cell));
+    const size_t support = it == transitions_.end() ? 0 : it->second;
+    if (support < options_.min_support) ++state->unsupported;
+  }
+  state->last_cell = cell;
+  state->has_last = true;
+}
+
+double StreamAnomalyDetector::Score(const Trajectory& trajectory) const {
+  StreamState state;
+  for (const TrajectoryPoint& pt : trajectory.points()) {
+    Feed(&state, pt.p);
+  }
+  return state.Score();
+}
+
+}  // namespace analytics
+}  // namespace sidq

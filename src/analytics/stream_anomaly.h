@@ -1,0 +1,70 @@
+#ifndef SIDQ_ANALYTICS_STREAM_ANOMALY_H_
+#define SIDQ_ANALYTICS_STREAM_ANOMALY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/trajectory.h"
+
+namespace sidq {
+namespace analytics {
+
+// Streaming trajectory anomaly detection (Section 2.3.2; Chen et al.,
+// Mobiquitous 2011 / Bu et al., KDD 2009 family): normal traffic induces a
+// grid-cell transition model; a trajectory whose transitions have little
+// support is anomalous. Scoring is incremental -- one point at a time --
+// so the detector runs on live streams.
+class StreamAnomalyDetector {
+ public:
+  struct Options {
+    double cell_m = 250.0;
+    // Transitions observed fewer than this many times count as unsupported.
+    size_t min_support = 2;
+    // A trajectory is anomalous when its unsupported-transition fraction
+    // exceeds this threshold.
+    double anomaly_threshold = 0.45;
+  };
+
+  explicit StreamAnomalyDetector(Options options) : options_(options) {}
+  StreamAnomalyDetector() : StreamAnomalyDetector(Options{}) {}
+
+  // Learns the transition support model from normal trajectories.
+  void Train(const std::vector<Trajectory>& normal_corpus);
+
+  // Fraction of a trajectory's cell transitions with support below
+  // min_support (0 = fully normal, 1 = fully unsupported).
+  double Score(const Trajectory& trajectory) const;
+  bool IsAnomalous(const Trajectory& trajectory) const {
+    return Score(trajectory) > options_.anomaly_threshold;
+  }
+
+  // --- incremental (streaming) API ---
+  struct StreamState {
+    uint64_t last_cell = 0;
+    bool has_last = false;
+    size_t transitions = 0;
+    size_t unsupported = 0;
+
+    double Score() const {
+      return transitions == 0 ? 0.0
+                              : static_cast<double>(unsupported) /
+                                    static_cast<double>(transitions);
+    }
+  };
+  // Feeds one point; updates the per-object state in O(1).
+  void Feed(StreamState* state, const geometry::Point& p) const;
+
+  size_t num_transitions_learned() const { return transitions_.size(); }
+
+ private:
+  uint64_t CellOf(const geometry::Point& p) const;
+
+  Options options_;
+  std::unordered_map<uint64_t, size_t> transitions_;  // (from,to) -> count
+};
+
+}  // namespace analytics
+}  // namespace sidq
+
+#endif  // SIDQ_ANALYTICS_STREAM_ANOMALY_H_

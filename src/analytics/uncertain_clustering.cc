@@ -1,0 +1,89 @@
+#include "analytics/uncertain_clustering.h"
+
+#include <cmath>
+#include <deque>
+#include <map>
+
+namespace sidq {
+namespace analytics {
+
+UncertainDbscan::Result UncertainDbscan::Cluster(
+    const std::vector<query::UncertainPoint>& objects) const {
+  const size_t n = objects.size();
+  Result result;
+  result.labels.assign(n, -2);  // -2 unvisited, -1 noise
+
+  auto close = [&](size_t i, size_t j) {
+    if (options_.use_expected_distance) {
+      return objects[i].ExpectedDistance(objects[j].mean()) <= options_.eps_m;
+    }
+    return geometry::Distance(objects[i].mean(), objects[j].mean()) <=
+           options_.eps_m;
+  };
+  auto neighbors_of = [&](size_t i) {
+    std::vector<size_t> out;
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i && close(i, j)) out.push_back(j);
+    }
+    return out;
+  };
+
+  int cluster = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (result.labels[i] != -2) continue;
+    std::vector<size_t> seeds = neighbors_of(i);
+    if (seeds.size() + 1 < options_.min_pts) {
+      result.labels[i] = -1;
+      continue;
+    }
+    result.labels[i] = cluster;
+    std::deque<size_t> queue(seeds.begin(), seeds.end());
+    while (!queue.empty()) {
+      const size_t j = queue.front();
+      queue.pop_front();
+      if (result.labels[j] == -1) result.labels[j] = cluster;  // border
+      if (result.labels[j] != -2) continue;
+      result.labels[j] = cluster;
+      std::vector<size_t> nb = neighbors_of(j);
+      if (nb.size() + 1 >= options_.min_pts) {
+        for (size_t q : nb) {
+          if (result.labels[q] == -2 || result.labels[q] == -1) {
+            queue.push_back(q);
+          }
+        }
+      }
+    }
+    ++cluster;
+  }
+  result.num_clusters = cluster;
+  for (int& l : result.labels) {
+    if (l == -2) l = -1;
+  }
+  return result;
+}
+
+double AdjustedRandIndex(const std::vector<int>& a,
+                         const std::vector<int>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 1.0;
+  std::map<std::pair<int, int>, double> joint;
+  std::map<int, double> ca, cb;
+  for (size_t i = 0; i < n; ++i) {
+    joint[{a[i], b[i]}] += 1.0;
+    ca[a[i]] += 1.0;
+    cb[b[i]] += 1.0;
+  }
+  auto choose2 = [](double m) { return m * (m - 1.0) / 2.0; };
+  double sum_joint = 0.0, sum_a = 0.0, sum_b = 0.0;
+  for (const auto& [k, v] : joint) sum_joint += choose2(v);
+  for (const auto& [k, v] : ca) sum_a += choose2(v);
+  for (const auto& [k, v] : cb) sum_b += choose2(v);
+  const double total = choose2(static_cast<double>(n));
+  const double expected = sum_a * sum_b / total;
+  const double max_index = (sum_a + sum_b) / 2.0;
+  if (max_index - expected == 0.0) return 1.0;
+  return (sum_joint - expected) / (max_index - expected);
+}
+
+}  // namespace analytics
+}  // namespace sidq

@@ -1,0 +1,46 @@
+#ifndef SIDQ_ANALYTICS_UNCERTAIN_CLUSTERING_H_
+#define SIDQ_ANALYTICS_UNCERTAIN_CLUSTERING_H_
+
+#include <vector>
+
+#include "query/uncertain_point.h"
+
+namespace sidq {
+namespace analytics {
+
+// Clustering under location uncertainty (Section 2.3.2; FDBSCAN/Pelekis
+// et al. family): DBSCAN where point closeness is judged by the *expected*
+// distance between uncertain objects, so noisy objects near a cluster edge
+// are treated by their distribution rather than a single noisy fix.
+class UncertainDbscan {
+ public:
+  struct Options {
+    double eps_m = 150.0;
+    size_t min_pts = 4;
+    // true: expected-distance semantics (uncertainty-aware);
+    // false: plain DBSCAN on the means (naive baseline).
+    bool use_expected_distance = true;
+  };
+
+  explicit UncertainDbscan(Options options) : options_(options) {}
+  UncertainDbscan() : UncertainDbscan(Options{}) {}
+
+  struct Result {
+    std::vector<int> labels;  // cluster per object; -1 = noise
+    int num_clusters = 0;
+  };
+
+  Result Cluster(const std::vector<query::UncertainPoint>& objects) const;
+
+ private:
+  Options options_;
+};
+
+// Adjusted Rand Index between two labelings (noise label -1 participates
+// as its own class). 1.0 = identical partitions, ~0 = random agreement.
+double AdjustedRandIndex(const std::vector<int>& a, const std::vector<int>& b);
+
+}  // namespace analytics
+}  // namespace sidq
+
+#endif  // SIDQ_ANALYTICS_UNCERTAIN_CLUSTERING_H_

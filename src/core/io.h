@@ -1,0 +1,46 @@
+#ifndef SIDQ_CORE_IO_H_
+#define SIDQ_CORE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/statusor.h"
+#include "core/stid.h"
+#include "core/trajectory.h"
+
+namespace sidq {
+
+// CSV interchange for the core data types, so datasets can move between
+// sidq and the usual spatial tooling (GeoPandas, MobilityDB exports, ...).
+//
+// Trajectory CSV columns: object_id,t_ms,x,y[,accuracy]
+// STID CSV columns:       sensor_id,t_ms,x,y,value[,stddev]
+// A single header line is written/expected; extra columns are rejected.
+
+// Writes trajectories (may be multiple objects) as CSV.
+Status WriteTrajectoriesCsv(const std::vector<Trajectory>& trajectories,
+                            std::ostream& out);
+Status WriteTrajectoriesCsvFile(const std::vector<Trajectory>& trajectories,
+                                const std::string& path);
+
+// Reads trajectories grouped by object_id (each sorted by time).
+StatusOr<std::vector<Trajectory>> ReadTrajectoriesCsv(std::istream& in);
+StatusOr<std::vector<Trajectory>> ReadTrajectoriesCsvFile(
+    const std::string& path);
+
+// Writes an STID dataset as CSV.
+Status WriteStidCsv(const StDataset& dataset, std::ostream& out);
+Status WriteStidCsvFile(const StDataset& dataset, const std::string& path);
+
+// Reads an STID dataset; the field name is supplied by the caller (CSV
+// stores no metadata). Sensor locations are taken from each sensor's first
+// record.
+StatusOr<StDataset> ReadStidCsv(std::istream& in, std::string field_name);
+StatusOr<StDataset> ReadStidCsvFile(const std::string& path,
+                                    std::string field_name);
+
+}  // namespace sidq
+
+#endif  // SIDQ_CORE_IO_H_

@@ -1,0 +1,60 @@
+#ifndef SIDQ_CORE_LOGGING_H_
+#define SIDQ_CORE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace sidq {
+namespace internal_logging {
+
+// Accumulates a fatal message and aborts the process when destroyed.
+// Used only via the SIDQ_CHECK family below.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " Check failed: " << condition << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Turns a streamed expression into void so both branches of the SIDQ_CHECK
+// ternary have type void. operator& binds looser than operator<<.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace sidq
+
+// Aborts with a diagnostic when `condition` is false. Active in all builds;
+// reserve for programmer errors (API misuse), not data errors -- those are
+// reported via Status.
+#define SIDQ_CHECK(condition)                                   \
+  (condition) ? (void)0                                         \
+              : ::sidq::internal_logging::Voidify() &           \
+                    ::sidq::internal_logging::FatalLogMessage(  \
+                        __FILE__, __LINE__, #condition)         \
+                        .stream()
+
+#define SIDQ_CHECK_OK(expr)                    \
+  do {                                         \
+    const ::sidq::Status& _s = (expr);         \
+    SIDQ_CHECK(_s.ok()) << _s.ToString();      \
+  } while (0)
+
+#ifdef NDEBUG
+// Compiles the condition (keeping it well-formed) but never evaluates it.
+#define SIDQ_DCHECK(condition) SIDQ_CHECK(true || (condition))
+#else
+#define SIDQ_DCHECK(condition) SIDQ_CHECK(condition)
+#endif
+
+#endif  // SIDQ_CORE_LOGGING_H_

@@ -1,0 +1,49 @@
+#include "core/pipeline.h"
+
+namespace sidq {
+
+StatusOr<Trajectory> TrajectoryPipeline::Run(const Trajectory& input) const {
+  Trajectory current = input;
+  for (const auto& stage : stages_) {
+    auto result = stage->Apply(current);
+    if (!result.ok()) {
+      return Status(result.status().code(),
+                    "stage '" + stage->name() +
+                        "' failed: " + result.status().message());
+    }
+    current = std::move(result).value();
+  }
+  return current;
+}
+
+StatusOr<Trajectory> TrajectoryPipeline::RunProfiled(
+    const Trajectory& input, const Trajectory* truth,
+    const TrajectoryProfiler& profiler,
+    std::vector<StageReport>* reports) const {
+  auto profile_one = [&](const std::string& name, const Trajectory& tr) {
+    if (reports == nullptr) return;
+    std::vector<Trajectory> obs{tr};
+    std::vector<Trajectory> tru;
+    if (truth != nullptr) tru.push_back(*truth);
+    StageReport sr;
+    sr.stage_name = name;
+    sr.report = profiler.Profile(obs, truth != nullptr ? &tru : nullptr);
+    reports->push_back(std::move(sr));
+  };
+
+  profile_one("input", input);
+  Trajectory current = input;
+  for (const auto& stage : stages_) {
+    auto result = stage->Apply(current);
+    if (!result.ok()) {
+      return Status(result.status().code(),
+                    "stage '" + stage->name() +
+                        "' failed: " + result.status().message());
+    }
+    current = std::move(result).value();
+    profile_one(stage->name(), current);
+  }
+  return current;
+}
+
+}  // namespace sidq

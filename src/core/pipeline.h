@@ -1,0 +1,85 @@
+#ifndef SIDQ_CORE_PIPELINE_H_
+#define SIDQ_CORE_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/quality.h"
+#include "core/status.h"
+#include "core/statusor.h"
+#include "core/trajectory.h"
+
+namespace sidq {
+
+// A single trajectory-cleaning step. Implementations live in the refine /
+// uncertainty / outlier / fault / reduce modules; the pipeline composes them.
+class TrajectoryStage {
+ public:
+  virtual ~TrajectoryStage() = default;
+  virtual std::string name() const = 0;
+  virtual StatusOr<Trajectory> Apply(const Trajectory& input) const = 0;
+};
+
+// Adapts a plain callable into a TrajectoryStage.
+class LambdaStage : public TrajectoryStage {
+ public:
+  using Fn = std::function<StatusOr<Trajectory>(const Trajectory&)>;
+  LambdaStage(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  std::string name() const override { return name_; }
+  StatusOr<Trajectory> Apply(const Trajectory& input) const override {
+    return fn_(input);
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+// Quality report captured after one pipeline stage.
+struct StageReport {
+  std::string stage_name;
+  DqReport report;
+};
+
+// Composes cleaning stages into a quality-management pipeline and, when a
+// profiler is attached, records the DQ report after every stage -- the
+// "means to resolve DQ issues" workflow of Section 2.1.
+class TrajectoryPipeline {
+ public:
+  TrajectoryPipeline() = default;
+
+  // Appends a stage; returns *this for chaining.
+  TrajectoryPipeline& Add(std::unique_ptr<TrajectoryStage> stage) {
+    stages_.push_back(std::move(stage));
+    return *this;
+  }
+  TrajectoryPipeline& Add(std::string name, LambdaStage::Fn fn) {
+    return Add(std::make_unique<LambdaStage>(std::move(name), std::move(fn)));
+  }
+
+  size_t num_stages() const { return stages_.size(); }
+  const TrajectoryStage& stage(size_t i) const { return *stages_[i]; }
+
+  // Runs all stages in order. Fails fast on the first stage error.
+  StatusOr<Trajectory> Run(const Trajectory& input) const;
+
+  // Runs all stages, profiling the data before the first stage and after
+  // every stage against `truth` (may be nullptr). `reports` receives
+  // num_stages()+1 entries, the first named "input".
+  StatusOr<Trajectory> RunProfiled(const Trajectory& input,
+                                   const Trajectory* truth,
+                                   const TrajectoryProfiler& profiler,
+                                   std::vector<StageReport>* reports) const;
+
+ private:
+  std::vector<std::unique_ptr<TrajectoryStage>> stages_;
+};
+
+}  // namespace sidq
+
+#endif  // SIDQ_CORE_PIPELINE_H_

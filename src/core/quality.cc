@@ -1,0 +1,480 @@
+#include "core/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "core/logging.h"
+
+namespace sidq {
+
+const char* DqDimensionName(DqDimension d) {
+  switch (d) {
+    case DqDimension::kPrecision:
+      return "precision";
+    case DqDimension::kAccuracy:
+      return "accuracy";
+    case DqDimension::kConsistency:
+      return "consistency";
+    case DqDimension::kTimeSparsity:
+      return "time_sparsity";
+    case DqDimension::kSpaceCoverage:
+      return "space_coverage";
+    case DqDimension::kCompleteness:
+      return "completeness";
+    case DqDimension::kRedundancy:
+      return "redundancy";
+    case DqDimension::kLatency:
+      return "latency";
+    case DqDimension::kStaleness:
+      return "staleness";
+    case DqDimension::kDataVolume:
+      return "data_volume";
+    case DqDimension::kTruthVolume:
+      return "truth_volume";
+    case DqDimension::kResolution:
+      return "resolution";
+    case DqDimension::kInterpretability:
+      return "interpretability";
+  }
+  return "unknown";
+}
+
+bool MetricLargerIsWorse(DqDimension d) {
+  switch (d) {
+    // Metrics reported as error / gap / violation / count: larger is worse.
+    case DqDimension::kPrecision:      // scatter (m)
+    case DqDimension::kAccuracy:       // error vs truth (m or units)
+    case DqDimension::kConsistency:    // violation fraction
+    case DqDimension::kTimeSparsity:   // mean interval (s)
+    case DqDimension::kRedundancy:     // duplicate fraction
+    case DqDimension::kLatency:        // delay (s)
+    case DqDimension::kStaleness:      // age (s)
+    case DqDimension::kDataVolume:     // record count
+    case DqDimension::kResolution:     // quantization step (m or units)
+      return true;
+    // Metrics reported as fractions of "good": larger is better.
+    case DqDimension::kSpaceCoverage:
+    case DqDimension::kCompleteness:
+    case DqDimension::kTruthVolume:
+    case DqDimension::kInterpretability:
+      return false;
+  }
+  return true;
+}
+
+double DqReport::Get(DqDimension d) const {
+  const auto it = metrics_.find(d);
+  SIDQ_CHECK(it != metrics_.end())
+      << "dimension not profiled: " << DqDimensionName(d);
+  return it->second;
+}
+
+std::string DqReport::ToString() const {
+  std::ostringstream os;
+  for (const auto& [dim, value] : metrics_) {
+    os << DqDimensionName(dim) << "=" << value << " ";
+  }
+  return os.str();
+}
+
+std::vector<DqIssue> DiagnoseChanges(const DqReport& clean,
+                                     const DqReport& dirty,
+                                     double rel_threshold,
+                                     double abs_threshold) {
+  std::vector<DqIssue> issues;
+  for (const auto& [dim, clean_value] : clean.metrics()) {
+    if (!dirty.Has(dim)) continue;
+    const double dirty_value = dirty.Get(dim);
+    const double delta = dirty_value - clean_value;
+    const double denom =
+        std::max({std::abs(clean_value), std::abs(dirty_value),
+                  abs_threshold});
+    if (std::abs(delta) <= abs_threshold) continue;
+    if (std::abs(delta) / denom <= rel_threshold) continue;
+    DqIssue issue;
+    issue.dimension = dim;
+    issue.degraded = (delta > 0.0) == MetricLargerIsWorse(dim);
+    issue.clean_value = clean_value;
+    issue.dirty_value = dirty_value;
+    issues.push_back(issue);
+  }
+  return issues;
+}
+
+namespace {
+
+// Integer grid cell key for coverage computations.
+std::pair<int64_t, int64_t> CellOf(const geometry::Point& p, double cell) {
+  return {static_cast<int64_t>(std::floor(p.x / cell)),
+          static_cast<int64_t>(std::floor(p.y / cell))};
+}
+
+// Median of the positive gaps between adjacent sorted distinct values;
+// estimates the quantization step of a coordinate/value stream. Returns 0
+// for fewer than 2 distinct values.
+double QuantizationStep(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  if (values.size() < 2) return 0.0;
+  std::vector<double> gaps;
+  gaps.reserve(values.size() - 1);
+  for (size_t i = 1; i < values.size(); ++i) {
+    gaps.push_back(values[i] - values[i - 1]);
+  }
+  std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2, gaps.end());
+  return gaps[gaps.size() / 2];
+}
+
+double MedianOf(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+DqReport TrajectoryProfiler::Profile(
+    const std::vector<Trajectory>& observed,
+    const std::vector<Trajectory>* truth,
+    const std::vector<std::vector<Timestamp>>* arrival_times) const {
+  DqReport report;
+  size_t total_points = 0;
+  double volatility_sum = 0.0;
+  size_t volatility_n = 0;
+  size_t speed_pairs = 0, speed_violations = 0;
+  double interval_sum = 0.0;
+  size_t interval_n = 0;
+  size_t duplicate_n = 0;
+  Timestamp max_t = kMinTimestamp;
+  std::set<std::pair<int64_t, int64_t>> observed_cells;
+  std::vector<double> xs, ys;
+  std::vector<double> median_speeds;
+
+  for (const Trajectory& tr : observed) {
+    total_points += tr.size();
+    std::vector<double> speeds;
+    for (size_t i = 0; i < tr.size(); ++i) {
+      const TrajectoryPoint& pt = tr[i];
+      max_t = std::max(max_t, pt.t);
+      observed_cells.insert(CellOf(pt.p, options_.coverage_cell_m));
+      xs.push_back(pt.p.x);
+      ys.push_back(pt.p.y);
+      if (i >= 1) {
+        const Timestamp dt = pt.t - tr[i - 1].t;
+        interval_sum += TimestampToSeconds(dt);
+        ++interval_n;
+        const double d = geometry::Distance(pt.p, tr[i - 1].p);
+        if (dt <= options_.duplicate_window_ms &&
+            d <= options_.duplicate_radius_m) {
+          ++duplicate_n;
+        }
+        if (dt > 0) {
+          const double v = d / TimestampToSeconds(dt);
+          speeds.push_back(v);
+          ++speed_pairs;
+          if (v > options_.max_speed_mps) ++speed_violations;
+        }
+      }
+      if (i >= 1 && i + 1 < tr.size()) {
+        const geometry::Point mid =
+            geometry::Lerp(tr[i - 1].p, tr[i + 1].p, 0.5);
+        volatility_sum += geometry::Distance(pt.p, mid);
+        ++volatility_n;
+      }
+    }
+    if (!speeds.empty()) median_speeds.push_back(MedianOf(speeds));
+  }
+
+  report.Set(DqDimension::kDataVolume, static_cast<double>(total_points));
+  if (volatility_n > 0) {
+    report.Set(DqDimension::kPrecision,
+               volatility_sum / static_cast<double>(volatility_n));
+  }
+  if (speed_pairs > 0) {
+    report.Set(DqDimension::kConsistency,
+               static_cast<double>(speed_violations) /
+                   static_cast<double>(speed_pairs));
+  }
+  if (interval_n > 0) {
+    report.Set(DqDimension::kTimeSparsity,
+               interval_sum / static_cast<double>(interval_n));
+  }
+  if (total_points > 1) {
+    report.Set(DqDimension::kRedundancy,
+               static_cast<double>(duplicate_n) /
+                   static_cast<double>(total_points));
+  }
+  if (!xs.empty()) {
+    report.Set(DqDimension::kResolution,
+               (QuantizationStep(xs) + QuantizationStep(ys)) / 2.0);
+  }
+
+  // Staleness: mean age of each trajectory's newest sample relative to `now`.
+  Timestamp now = options_.now == kMinTimestamp ? max_t : options_.now;
+  double staleness_sum = 0.0;
+  size_t staleness_n = 0;
+  for (const Trajectory& tr : observed) {
+    if (tr.empty()) continue;
+    staleness_sum += TimestampToSeconds(now - tr.back().t);
+    ++staleness_n;
+  }
+  if (staleness_n > 0) {
+    report.Set(DqDimension::kStaleness,
+               staleness_sum / static_cast<double>(staleness_n));
+  }
+
+  // Interpretability: fraction of trajectories whose speed statistics agree
+  // with the corpus (detects unit/format heterogeneity across sources).
+  if (median_speeds.size() > 1) {
+    const double global_median = MedianOf(median_speeds);
+    size_t coherent = 0;
+    for (double v : median_speeds) {
+      if (global_median <= 0.0 ||
+          (v >= 0.5 * global_median && v <= 2.0 * global_median)) {
+        ++coherent;
+      }
+    }
+    report.Set(DqDimension::kInterpretability,
+               static_cast<double>(coherent) /
+                   static_cast<double>(median_speeds.size()));
+  }
+
+  // Latency: mean (arrival - event) delay.
+  if (arrival_times != nullptr) {
+    double delay_sum = 0.0;
+    size_t delay_n = 0;
+    for (size_t k = 0; k < observed.size() && k < arrival_times->size(); ++k) {
+      const Trajectory& tr = observed[k];
+      const std::vector<Timestamp>& arr = (*arrival_times)[k];
+      for (size_t i = 0; i < tr.size() && i < arr.size(); ++i) {
+        delay_sum += TimestampToSeconds(arr[i] - tr[i].t);
+        ++delay_n;
+      }
+    }
+    if (delay_n > 0) {
+      report.Set(DqDimension::kLatency,
+                 delay_sum / static_cast<double>(delay_n));
+    }
+  }
+
+  if (truth != nullptr) {
+    // Accuracy: mean distance to the time-aligned true position.
+    double err_sum = 0.0;
+    size_t err_n = 0;
+    size_t with_truth = 0;
+    std::set<std::pair<int64_t, int64_t>> truth_cells;
+    double expected_points = 0.0;
+    for (size_t k = 0; k < observed.size(); ++k) {
+      const Trajectory& obs = observed[k];
+      const Trajectory* tt =
+          k < truth->size() && !(*truth)[k].empty() ? &(*truth)[k] : nullptr;
+      if (tt == nullptr) continue;
+      ++with_truth;
+      expected_points +=
+          1.0 + static_cast<double>(tt->Duration()) /
+                    static_cast<double>(options_.expected_interval_ms);
+      for (const TrajectoryPoint& pt : tt->points()) {
+        truth_cells.insert(CellOf(pt.p, options_.coverage_cell_m));
+      }
+      for (const TrajectoryPoint& pt : obs.points()) {
+        auto true_p = tt->InterpolateAt(
+            std::clamp(pt.t, tt->front().t, tt->back().t));
+        if (true_p.ok()) {
+          err_sum += geometry::Distance(pt.p, true_p.value());
+          ++err_n;
+        }
+      }
+    }
+    if (err_n > 0) {
+      report.Set(DqDimension::kAccuracy,
+                 err_sum / static_cast<double>(err_n));
+    }
+    if (!observed.empty()) {
+      report.Set(DqDimension::kTruthVolume,
+                 static_cast<double>(with_truth) /
+                     static_cast<double>(observed.size()));
+    }
+    if (!truth_cells.empty()) {
+      size_t covered = 0;
+      for (const auto& c : truth_cells) {
+        if (observed_cells.count(c) > 0) ++covered;
+      }
+      report.Set(DqDimension::kSpaceCoverage,
+                 static_cast<double>(covered) /
+                     static_cast<double>(truth_cells.size()));
+    }
+    if (expected_points > 0.0) {
+      report.Set(DqDimension::kCompleteness,
+                 std::min(1.0, static_cast<double>(total_points) /
+                                   expected_points));
+    }
+  }
+
+  return report;
+}
+
+DqReport StidProfiler::Profile(const StDataset& observed,
+                               const StDataset* truth) const {
+  DqReport report;
+  size_t total_records = 0;
+  double volatility_sum = 0.0;
+  size_t volatility_n = 0;
+  size_t rate_pairs = 0, rate_violations = 0;
+  double interval_sum = 0.0;
+  size_t interval_n = 0;
+  size_t duplicate_n = 0;
+  Timestamp max_t = kMinTimestamp;
+  std::vector<double> all_values;
+  std::vector<double> series_ranges;
+
+  for (const StSeries& s : observed.series()) {
+    total_records += s.size();
+    double lo = 0.0, hi = 0.0;
+    for (size_t i = 0; i < s.size(); ++i) {
+      const StRecord& r = s[i];
+      max_t = std::max(max_t, r.t);
+      all_values.push_back(r.value);
+      if (i == 0) {
+        lo = hi = r.value;
+      } else {
+        lo = std::min(lo, r.value);
+        hi = std::max(hi, r.value);
+        const Timestamp dt = r.t - s[i - 1].t;
+        interval_sum += TimestampToSeconds(dt);
+        ++interval_n;
+        if (dt <= 0) ++duplicate_n;
+        if (dt > 0) {
+          ++rate_pairs;
+          const double rate =
+              std::abs(r.value - s[i - 1].value) / TimestampToSeconds(dt);
+          if (rate > options_.max_rate_per_s) ++rate_violations;
+        }
+      }
+      if (i >= 1 && i + 1 < s.size()) {
+        const double mid = (s[i - 1].value + s[i + 1].value) / 2.0;
+        volatility_sum += std::abs(r.value - mid);
+        ++volatility_n;
+      }
+    }
+    if (s.size() > 1) series_ranges.push_back(hi - lo);
+  }
+
+  report.Set(DqDimension::kDataVolume, static_cast<double>(total_records));
+  if (volatility_n > 0) {
+    report.Set(DqDimension::kPrecision,
+               volatility_sum / static_cast<double>(volatility_n));
+  }
+  if (rate_pairs > 0) {
+    report.Set(DqDimension::kConsistency,
+               static_cast<double>(rate_violations) /
+                   static_cast<double>(rate_pairs));
+  }
+  if (interval_n > 0) {
+    report.Set(DqDimension::kTimeSparsity,
+               interval_sum / static_cast<double>(interval_n));
+  }
+  if (total_records > 1) {
+    report.Set(DqDimension::kRedundancy,
+               static_cast<double>(duplicate_n) /
+                   static_cast<double>(total_records));
+  }
+  if (!all_values.empty()) {
+    report.Set(DqDimension::kResolution, QuantizationStep(all_values));
+  }
+
+  // Space coverage: fraction of the dataset's bounding-box cells that hold a
+  // sensor (against the truth deployment's box when given).
+  {
+    const StDataset& region_src = truth != nullptr ? *truth : observed;
+    geometry::BBox box = region_src.SpatialBounds();
+    if (!box.Empty() && box.Area() > 0.0) {
+      const double cell = options_.coverage_cell_m;
+      std::set<std::pair<int64_t, int64_t>> cells;
+      for (const StSeries& s : observed.series()) {
+        if (!s.empty()) cells.insert(CellOf(s.loc(), cell));
+      }
+      const double nx = std::max(1.0, std::ceil(box.Width() / cell));
+      const double ny = std::max(1.0, std::ceil(box.Height() / cell));
+      report.Set(DqDimension::kSpaceCoverage,
+                 static_cast<double>(cells.size()) / (nx * ny));
+    }
+  }
+
+  // Staleness.
+  Timestamp now = options_.now == kMinTimestamp ? max_t : options_.now;
+  double staleness_sum = 0.0;
+  size_t staleness_n = 0;
+  for (const StSeries& s : observed.series()) {
+    if (s.empty()) continue;
+    staleness_sum += TimestampToSeconds(now - s.records().back().t);
+    ++staleness_n;
+  }
+  if (staleness_n > 0) {
+    report.Set(DqDimension::kStaleness,
+               staleness_sum / static_cast<double>(staleness_n));
+  }
+
+  // Interpretability: agreement of per-series value ranges (detects unit
+  // heterogeneity across sensor vendors).
+  if (series_ranges.size() > 1) {
+    const double global_median = MedianOf(series_ranges);
+    size_t coherent = 0;
+    for (double r : series_ranges) {
+      if (global_median <= 0.0 ||
+          (r >= 0.5 * global_median && r <= 2.0 * global_median)) {
+        ++coherent;
+      }
+    }
+    report.Set(DqDimension::kInterpretability,
+               static_cast<double>(coherent) /
+                   static_cast<double>(series_ranges.size()));
+  }
+
+  if (truth != nullptr) {
+    double err_sq = 0.0;
+    size_t err_n = 0;
+    size_t with_truth = 0;
+    double expected_records = 0.0;
+    for (const StSeries& s : observed.series()) {
+      auto ts = truth->FindSeries(s.sensor());
+      if (!ts.ok() || (*ts)->empty()) continue;
+      ++with_truth;
+      const StSeries& t_series = **ts;
+      expected_records +=
+          1.0 +
+          static_cast<double>(t_series.records().back().t -
+                              t_series.records().front().t) /
+              static_cast<double>(options_.expected_interval_ms);
+      for (const StRecord& r : s.records()) {
+        auto tv = t_series.InterpolateAt(std::clamp(
+            r.t, t_series.records().front().t, t_series.records().back().t));
+        if (tv.ok()) {
+          const double e = r.value - tv.value();
+          err_sq += e * e;
+          ++err_n;
+        }
+      }
+    }
+    if (err_n > 0) {
+      report.Set(DqDimension::kAccuracy,
+                 std::sqrt(err_sq / static_cast<double>(err_n)));
+    }
+    if (observed.num_sensors() > 0) {
+      report.Set(DqDimension::kTruthVolume,
+                 static_cast<double>(with_truth) /
+                     static_cast<double>(observed.num_sensors()));
+    }
+    if (expected_records > 0.0) {
+      report.Set(DqDimension::kCompleteness,
+                 std::min(1.0, static_cast<double>(total_records) /
+                                   expected_records));
+    }
+  }
+
+  return report;
+}
+
+}  // namespace sidq

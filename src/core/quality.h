@@ -1,0 +1,138 @@
+#ifndef SIDQ_CORE_QUALITY_H_
+#define SIDQ_CORE_QUALITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/stid.h"
+#include "core/trajectory.h"
+#include "core/types.h"
+
+namespace sidq {
+
+// The major data-quality dimensions of spatial IoT data, following
+// Section 2.1 of the tutorial. The three groups correspond to the three
+// consumption requirements: accurate & reliable; comprehensive &
+// informative; easy to use.
+enum class DqDimension : int {
+  // -- accurate and reliable --
+  kPrecision = 0,     // scatter of repeated measurements
+  kAccuracy,          // deviation from the true state
+  kConsistency,       // agreement with constraints / other observations
+  // -- comprehensive and informative --
+  kTimeSparsity,      // temporal gap between consecutive samples
+  kSpaceCoverage,     // fraction of the region observed
+  kCompleteness,      // fraction of expected records present
+  kRedundancy,        // fraction of duplicated records
+  // -- easy to use --
+  kLatency,           // delay between event and availability
+  kStaleness,         // age of the most recent record
+  kDataVolume,        // number of records to process
+  kTruthVolume,       // availability of ground-truth labels
+  kResolution,        // spatial/thematic granularity
+  kInterpretability,  // availability of semantics / uniform schema
+};
+
+inline constexpr int kNumDqDimensions = 13;
+
+// Short canonical name, e.g. "precision".
+const char* DqDimensionName(DqDimension d);
+
+// True when a larger metric value means *worse* quality for `d`
+// (e.g. accuracy is reported as RMSE; coverage as a fraction covered).
+bool MetricLargerIsWorse(DqDimension d);
+
+// A set of measured quality metrics keyed by dimension. Metric values are
+// raw (metres, seconds, fractions, counts) -- not normalized scores -- so
+// reports are comparable across runs of the same profiler.
+class DqReport {
+ public:
+  void Set(DqDimension d, double value) { metrics_[d] = value; }
+  bool Has(DqDimension d) const { return metrics_.count(d) > 0; }
+  double Get(DqDimension d) const;
+  const std::map<DqDimension, double>& metrics() const { return metrics_; }
+
+  std::string ToString() const;
+
+ private:
+  std::map<DqDimension, double> metrics_;
+};
+
+// One detected quality change between a clean and a dirty dataset.
+struct DqIssue {
+  DqDimension dimension;
+  bool degraded = false;  // true: quality got worse ("low" in Table 1 terms)
+  double clean_value = 0.0;
+  double dirty_value = 0.0;
+};
+
+// Compares two reports dimension-by-dimension and returns the dimensions
+// whose metric moved by more than `rel_threshold` (relative) or
+// `abs_threshold` (absolute), tagged with the direction of quality change.
+// This is the machinery behind the Table 1 reproduction (bench E1).
+std::vector<DqIssue> DiagnoseChanges(const DqReport& clean,
+                                     const DqReport& dirty,
+                                     double rel_threshold = 0.10,
+                                     double abs_threshold = 1e-9);
+
+// Measures DQ dimensions of a trajectory dataset. Metrics that need ground
+// truth or arrival times are only emitted when those inputs are provided.
+class TrajectoryProfiler {
+ public:
+  struct Options {
+    // Grid cell size for space-coverage estimation, metres.
+    double coverage_cell_m = 250.0;
+    // Expected sampling interval; completeness = observed / expected count.
+    Timestamp expected_interval_ms = 1000;
+    // Speed above which consecutive samples are counted as inconsistent.
+    double max_speed_mps = 50.0;
+    // Two samples closer than this in time and space count as duplicates.
+    Timestamp duplicate_window_ms = 1;
+    double duplicate_radius_m = 0.5;
+    // "now" for staleness; defaults to the max timestamp in the data.
+    Timestamp now = kMinTimestamp;
+  };
+
+  explicit TrajectoryProfiler(Options options) : options_(options) {}
+  TrajectoryProfiler() : TrajectoryProfiler(Options{}) {}
+
+  // Profiles `observed`. `truth` (same object, any sampling) enables
+  // kAccuracy and kTruthVolume; `arrival_times` (aligned with observed
+  // points) enables kLatency.
+  DqReport Profile(const std::vector<Trajectory>& observed,
+                   const std::vector<Trajectory>* truth = nullptr,
+                   const std::vector<std::vector<Timestamp>>* arrival_times =
+                       nullptr) const;
+
+ private:
+  Options options_;
+};
+
+// Measures DQ dimensions of an STID dataset (thematic sensor readings).
+class StidProfiler {
+ public:
+  struct Options {
+    double coverage_cell_m = 250.0;
+    Timestamp expected_interval_ms = 60'000;
+    // Rate-of-change (per second) beyond which consecutive values are
+    // inconsistent.
+    double max_rate_per_s = 10.0;
+    Timestamp now = kMinTimestamp;
+  };
+
+  explicit StidProfiler(Options options) : options_(options) {}
+  StidProfiler() : StidProfiler(Options{}) {}
+
+  // Profiles `observed`; `truth_fn` values aligned per sensor per record
+  // enable kAccuracy (pass nullptr to skip).
+  DqReport Profile(const StDataset& observed,
+                   const StDataset* truth = nullptr) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace sidq
+
+#endif  // SIDQ_CORE_QUALITY_H_

@@ -1,0 +1,63 @@
+#ifndef SIDQ_CORE_RANDOM_H_
+#define SIDQ_CORE_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sidq {
+
+// Deterministic random source used throughout simulators and randomized
+// algorithms. Wraps a fixed engine so that experiments are reproducible
+// bit-for-bit given the same seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+  // Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  // Exponential with the given rate (lambda).
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+  // Poisson sample with the given mean.
+  int Poisson(double mean) {
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  size_t Categorical(const std::vector<double>& weights) {
+    std::discrete_distribution<size_t> d(weights.begin(), weights.end());
+    return d(engine_);
+  }
+  // Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sidq
+
+#endif  // SIDQ_CORE_RANDOM_H_

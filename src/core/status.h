@@ -1,0 +1,101 @@
+#ifndef SIDQ_CORE_STATUS_H_
+#define SIDQ_CORE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace sidq {
+
+// Canonical error space, modelled after the Arrow/RocksDB Status idiom.
+// Library code must not throw on fallible paths; it returns Status or
+// StatusOr<T> instead.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kAlreadyExists = 5,
+  kResourceExhausted = 6,
+  kDataLoss = 7,
+  kInternal = 8,
+  kUnimplemented = 9,
+};
+
+// Returns the canonical name of `code`, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+// A Status holds an error code plus a human-readable message. The OK status
+// carries no message and is cheap to copy.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace sidq
+
+// Propagates a non-OK status to the caller.
+#define SIDQ_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::sidq::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // SIDQ_CORE_STATUS_H_

@@ -1,0 +1,81 @@
+#ifndef SIDQ_CORE_STATUSOR_H_
+#define SIDQ_CORE_STATUSOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "core/logging.h"
+#include "core/status.h"
+
+namespace sidq {
+
+// Holds either a value of type T or a non-OK Status explaining why the value
+// is absent. Accessing the value of a non-OK StatusOr aborts the process,
+// mirroring absl::StatusOr semantics.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit conversions from Status/T are intentional: they let functions
+  // `return Status::Invalid(...)` or `return value;` directly.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {
+    SIDQ_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SIDQ_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SIDQ_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SIDQ_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    if (ok()) return *value_;
+    return fallback;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sidq
+
+// Evaluates `rexpr` (a StatusOr expression); on error returns the status,
+// otherwise assigns the value to `lhs`.
+#define SIDQ_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  SIDQ_ASSIGN_OR_RETURN_IMPL_(                            \
+      SIDQ_STATUS_MACROS_CONCAT_(_statusor_, __LINE__), lhs, rexpr)
+
+#define SIDQ_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                \
+  if (!statusor.ok()) return statusor.status();           \
+  lhs = std::move(statusor).value()
+
+#define SIDQ_STATUS_MACROS_CONCAT_(x, y) SIDQ_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define SIDQ_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+#endif  // SIDQ_CORE_STATUSOR_H_

@@ -1,0 +1,76 @@
+#include "core/stid.h"
+
+#include <algorithm>
+
+namespace sidq {
+
+Status StSeries::Append(Timestamp t, double value, double stddev) {
+  if (!records_.empty() && t < records_.back().t) {
+    return Status::OutOfRange("Append would violate time order");
+  }
+  records_.emplace_back(sensor_, t, loc_, value, stddev);
+  return Status::OK();
+}
+
+void StSeries::SortByTime() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const StRecord& a, const StRecord& b) {
+                     return a.t < b.t;
+                   });
+}
+
+std::vector<double> StSeries::Values() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const StRecord& r : records_) out.push_back(r.value);
+  return out;
+}
+
+StatusOr<double> StSeries::InterpolateAt(Timestamp t) const {
+  if (records_.empty()) {
+    return Status::FailedPrecondition("empty series");
+  }
+  if (t < records_.front().t || t > records_.back().t) {
+    return Status::OutOfRange("time outside series span");
+  }
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), t,
+      [](const StRecord& r, Timestamp ts) { return r.t < ts; });
+  if (it == records_.begin()) return it->value;
+  const StRecord& hi = *it;
+  const StRecord& lo = *(it - 1);
+  if (hi.t == lo.t) return lo.value;
+  const double f =
+      static_cast<double>(t - lo.t) / static_cast<double>(hi.t - lo.t);
+  return lo.value + (hi.value - lo.value) * f;
+}
+
+StatusOr<const StSeries*> StDataset::FindSeries(SensorId sensor) const {
+  for (const StSeries& s : series_) {
+    if (s.sensor() == sensor) return &s;
+  }
+  return Status::NotFound("no series for sensor");
+}
+
+std::vector<StRecord> StDataset::AllRecords() const {
+  std::vector<StRecord> out;
+  out.reserve(TotalRecords());
+  for (const StSeries& s : series_) {
+    out.insert(out.end(), s.records().begin(), s.records().end());
+  }
+  return out;
+}
+
+size_t StDataset::TotalRecords() const {
+  size_t n = 0;
+  for (const StSeries& s : series_) n += s.size();
+  return n;
+}
+
+geometry::BBox StDataset::SpatialBounds() const {
+  geometry::BBox box;
+  for (const StSeries& s : series_) box.Extend(s.loc());
+  return box;
+}
+
+}  // namespace sidq

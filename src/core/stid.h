@@ -1,0 +1,94 @@
+#ifndef SIDQ_CORE_STID_H_
+#define SIDQ_CORE_STID_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/statusor.h"
+#include "core/types.h"
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+
+namespace sidq {
+
+// One spatiotemporal IoT data (STID) record: a thematic measurement `value`
+// taken by `sensor` at location `loc` and time `t`. `stddev` is the reported
+// 1-sigma measurement noise (<= 0 means unknown).
+struct StRecord {
+  SensorId sensor = kInvalidSensorId;
+  Timestamp t = 0;
+  geometry::Point loc;
+  double value = 0.0;
+  double stddev = -1.0;
+
+  StRecord() = default;
+  StRecord(SensorId s, Timestamp ts, geometry::Point l, double v,
+           double sd = -1.0)
+      : sensor(s), t(ts), loc(l), value(v), stddev(sd) {}
+};
+
+// The time series of one stationary sensor.
+class StSeries {
+ public:
+  StSeries() = default;
+  StSeries(SensorId sensor, geometry::Point loc)
+      : sensor_(sensor), loc_(loc) {}
+
+  SensorId sensor() const { return sensor_; }
+  const geometry::Point& loc() const { return loc_; }
+  void set_loc(const geometry::Point& p) { loc_ = p; }
+
+  const std::vector<StRecord>& records() const { return records_; }
+  std::vector<StRecord>& mutable_records() { return records_; }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const StRecord& operator[](size_t i) const { return records_[i]; }
+
+  // Appends a measurement taken at this sensor's location; fails on
+  // decreasing timestamps.
+  Status Append(Timestamp t, double value, double stddev = -1.0);
+  void SortByTime();
+
+  // Values as a contiguous vector (for coders and predictors).
+  std::vector<double> Values() const;
+
+  // Value linearly interpolated at time t; fails outside the series span.
+  StatusOr<double> InterpolateAt(Timestamp t) const;
+
+ private:
+  SensorId sensor_ = kInvalidSensorId;
+  geometry::Point loc_;
+  std::vector<StRecord> records_;
+};
+
+// A collection of sensor series measuring one thematic field (e.g. PM2.5).
+class StDataset {
+ public:
+  StDataset() = default;
+  explicit StDataset(std::string field_name)
+      : field_name_(std::move(field_name)) {}
+
+  const std::string& field_name() const { return field_name_; }
+  const std::vector<StSeries>& series() const { return series_; }
+  std::vector<StSeries>& mutable_series() { return series_; }
+  size_t num_sensors() const { return series_.size(); }
+
+  void AddSeries(StSeries s) { series_.push_back(std::move(s)); }
+  // Series for `sensor`, or NotFound.
+  StatusOr<const StSeries*> FindSeries(SensorId sensor) const;
+
+  // All records across sensors, unordered.
+  std::vector<StRecord> AllRecords() const;
+  size_t TotalRecords() const;
+  geometry::BBox SpatialBounds() const;
+
+ private:
+  std::string field_name_;
+  std::vector<StSeries> series_;
+};
+
+}  // namespace sidq
+
+#endif  // SIDQ_CORE_STID_H_

@@ -1,0 +1,83 @@
+#ifndef SIDQ_CORE_SYMBOLIC_H_
+#define SIDQ_CORE_SYMBOLIC_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sidq {
+
+// One symbolic detection: object `object` was seen by detector/region
+// `region` at time `t`. This is the record type of RFID / Bluetooth /
+// infrared tracking (Section 2.2.4 of the tutorial).
+struct SymbolicReading {
+  ObjectId object = kInvalidObjectId;
+  RegionId region = 0;
+  Timestamp t = 0;
+
+  SymbolicReading() = default;
+  SymbolicReading(ObjectId o, RegionId r, Timestamp ts)
+      : object(o), region(r), t(ts) {}
+
+  bool operator==(const SymbolicReading& o) const {
+    return object == o.object && region == o.region && t == o.t;
+  }
+};
+
+// A time-ordered sequence of symbolic detections for one object.
+class SymbolicTrajectory {
+ public:
+  SymbolicTrajectory() = default;
+  explicit SymbolicTrajectory(ObjectId object) : object_(object) {}
+
+  ObjectId object() const { return object_; }
+  const std::vector<SymbolicReading>& readings() const { return readings_; }
+  std::vector<SymbolicReading>& mutable_readings() { return readings_; }
+  size_t size() const { return readings_.size(); }
+  bool empty() const { return readings_.empty(); }
+  const SymbolicReading& operator[](size_t i) const { return readings_[i]; }
+
+  void Append(RegionId region, Timestamp t) {
+    readings_.emplace_back(object_, region, t);
+  }
+  void SortByTime() {
+    std::stable_sort(readings_.begin(), readings_.end(),
+                     [](const SymbolicReading& a, const SymbolicReading& b) {
+                       return a.t < b.t;
+                     });
+  }
+
+  // Collapses consecutive readings in the same region into one, keeping the
+  // earliest timestamp; the usual first step of symbolic-trajectory analysis.
+  SymbolicTrajectory Deduplicated() const;
+
+  // The region sequence with consecutive duplicates collapsed.
+  std::vector<RegionId> RegionSequence() const;
+
+ private:
+  ObjectId object_ = kInvalidObjectId;
+  std::vector<SymbolicReading> readings_;
+};
+
+inline SymbolicTrajectory SymbolicTrajectory::Deduplicated() const {
+  SymbolicTrajectory out(object_);
+  for (const SymbolicReading& r : readings_) {
+    if (out.readings_.empty() || out.readings_.back().region != r.region) {
+      out.readings_.push_back(r);
+    }
+  }
+  return out;
+}
+
+inline std::vector<RegionId> SymbolicTrajectory::RegionSequence() const {
+  std::vector<RegionId> out;
+  for (const SymbolicReading& r : readings_) {
+    if (out.empty() || out.back() != r.region) out.push_back(r.region);
+  }
+  return out;
+}
+
+}  // namespace sidq
+
+#endif  // SIDQ_CORE_SYMBOLIC_H_

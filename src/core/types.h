@@ -1,0 +1,44 @@
+#ifndef SIDQ_CORE_TYPES_H_
+#define SIDQ_CORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace sidq {
+
+// Milliseconds since an arbitrary epoch. All sidq timestamps share one epoch
+// within a dataset; simulators start at 0.
+using Timestamp = int64_t;
+
+inline constexpr Timestamp kMinTimestamp =
+    std::numeric_limits<Timestamp>::min();
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+
+// Identifier of a moving object (vehicle, person, tag, ...).
+using ObjectId = uint64_t;
+// Identifier of a stationary IoT device (sensor, RFID reader, WiFi AP, ...).
+using SensorId = uint64_t;
+// Identifier of a road-network node/edge, grid cell, or symbolic region.
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+using RegionId = uint32_t;
+
+inline constexpr ObjectId kInvalidObjectId =
+    std::numeric_limits<ObjectId>::max();
+inline constexpr SensorId kInvalidSensorId =
+    std::numeric_limits<SensorId>::max();
+inline constexpr NodeId kInvalidNodeId = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdgeId = std::numeric_limits<EdgeId>::max();
+
+// Converts between seconds (double) and Timestamp milliseconds.
+inline constexpr Timestamp SecondsToTimestamp(double seconds) {
+  return static_cast<Timestamp>(seconds * 1000.0);
+}
+inline constexpr double TimestampToSeconds(Timestamp t) {
+  return static_cast<double>(t) / 1000.0;
+}
+
+}  // namespace sidq
+
+#endif  // SIDQ_CORE_TYPES_H_

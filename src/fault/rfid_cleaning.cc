@@ -1,0 +1,264 @@
+#include "fault/rfid_cleaning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace sidq {
+namespace fault {
+
+namespace {
+
+// Buckets readings into ticks; tick k covers [t0 + k*tick, t0 + (k+1)*tick).
+struct TickGrid {
+  Timestamp t0 = 0;
+  Timestamp tick = 1;
+  size_t num_ticks = 0;
+  std::vector<std::vector<RegionId>> observed;  // regions per tick
+};
+
+StatusOr<TickGrid> MakeGrid(const SymbolicTrajectory& traj,
+                            Timestamp tick_ms) {
+  if (traj.empty()) return Status::FailedPrecondition("empty trajectory");
+  if (tick_ms <= 0) return Status::InvalidArgument("tick must be positive");
+  TickGrid grid;
+  grid.t0 = traj.readings().front().t;
+  Timestamp t_max = grid.t0;
+  for (const SymbolicReading& r : traj.readings()) {
+    grid.t0 = std::min(grid.t0, r.t);
+    t_max = std::max(t_max, r.t);
+  }
+  grid.tick = tick_ms;
+  grid.num_ticks = static_cast<size_t>((t_max - grid.t0) / tick_ms) + 1;
+  grid.observed.resize(grid.num_ticks);
+  for (const SymbolicReading& r : traj.readings()) {
+    const size_t k = static_cast<size_t>((r.t - grid.t0) / tick_ms);
+    grid.observed[k].push_back(r.region);
+  }
+  return grid;
+}
+
+SymbolicTrajectory FromRegions(ObjectId object,
+                               const std::vector<RegionId>& regions,
+                               Timestamp t0, Timestamp tick) {
+  SymbolicTrajectory out(object);
+  for (size_t k = 0; k < regions.size(); ++k) {
+    out.Append(regions[k], t0 + static_cast<Timestamp>(k) * tick);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<SymbolicTrajectory> SmoothingWindowCleaner::Clean(
+    const SymbolicTrajectory& dirty) const {
+  SIDQ_ASSIGN_OR_RETURN(TickGrid grid, MakeGrid(dirty, options_.tick_ms));
+  std::vector<RegionId> repaired(grid.num_ticks, 0);
+  RegionId prev = grid.observed.empty() || grid.observed[0].empty()
+                      ? 0
+                      : grid.observed[0].front();
+  // Find the first observed region for leading gap fill.
+  for (const auto& obs : grid.observed) {
+    if (!obs.empty()) {
+      prev = obs.front();
+      break;
+    }
+  }
+  int w = options_.half_window_ticks;
+  if (options_.adaptive) {
+    // Estimated per-tick read probability over the whole stream; the
+    // window grows until it is expected to hold target_reads readings.
+    size_t ticks_with_reads = 0;
+    for (const auto& obs : grid.observed) {
+      ticks_with_reads += obs.empty() ? 0 : 1;
+    }
+    const double read_rate =
+        std::max(0.05, static_cast<double>(ticks_with_reads) /
+                           static_cast<double>(grid.num_ticks));
+    w = static_cast<int>(
+        std::ceil(options_.target_reads / read_rate / 2.0));
+    w = std::clamp(w, 1, options_.max_half_window_ticks);
+  }
+  for (size_t k = 0; k < grid.num_ticks; ++k) {
+    std::map<RegionId, int> counts;
+    const size_t lo = k >= static_cast<size_t>(w) ? k - w : 0;
+    const size_t hi = std::min(grid.num_ticks - 1, k + static_cast<size_t>(w));
+    for (size_t j = lo; j <= hi; ++j) {
+      for (RegionId r : grid.observed[j]) counts[r] += 1;
+    }
+    if (!counts.empty()) {
+      // Mode; ties resolved toward the previous region for continuity.
+      RegionId best = counts.begin()->first;
+      int best_count = counts.begin()->second;
+      for (const auto& [r, c] : counts) {
+        if (c > best_count || (c == best_count && r == prev)) {
+          best = r;
+          best_count = c;
+        }
+      }
+      repaired[k] = best;
+    } else {
+      repaired[k] = prev;
+    }
+    prev = repaired[k];
+  }
+  return FromRegions(dirty.object(), repaired, grid.t0, grid.tick);
+}
+
+StatusOr<SymbolicTrajectory> ConstraintCleaner::Clean(
+    const SymbolicTrajectory& dirty) const {
+  SIDQ_ASSIGN_OR_RETURN(TickGrid grid, MakeGrid(dirty, options_.tick_ms));
+  std::vector<RegionId> repaired(grid.num_ticks, 0);
+  // Seed: first observed region that is consistent with the next
+  // observation (equal or adjacent), otherwise just the first observed.
+  RegionId prev = 0;
+  bool have_prev = false;
+  for (size_t k = 0; k < grid.num_ticks && !have_prev; ++k) {
+    for (RegionId r : grid.observed[k]) {
+      prev = r;
+      have_prev = true;
+      break;
+    }
+  }
+  for (size_t k = 0; k < grid.num_ticks; ++k) {
+    const auto& obs = grid.observed[k];
+    RegionId chosen = prev;
+    bool found = false;
+    // Prefer a reading equal to the previous region (no move), then an
+    // adjacent one (legal move); everything else is a false positive.
+    for (RegionId r : obs) {
+      if (r == prev) {
+        chosen = r;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      for (RegionId r : obs) {
+        if (deployment_->Adjacent(prev, r)) {
+          chosen = r;
+          found = true;
+          break;
+        }
+      }
+    }
+    repaired[k] = chosen;
+    prev = chosen;
+  }
+  return FromRegions(dirty.object(), repaired, grid.t0, grid.tick);
+}
+
+StatusOr<SymbolicTrajectory> HmmCleaner::Clean(
+    const SymbolicTrajectory& dirty) const {
+  SIDQ_ASSIGN_OR_RETURN(TickGrid grid, MakeGrid(dirty, options_.tick_ms));
+  const size_t num_regions = deployment_->num_readers();
+  const size_t T = grid.num_ticks;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  constexpr double kFalseProb = 0.01;  // spurious read from a far reader
+
+  const double log_det = std::log(options_.detection_prob);
+  const double log_no_det = std::log(1.0 - options_.detection_prob);
+  const double log_cross = std::log(options_.cross_read_prob);
+  const double log_no_cross = std::log(1.0 - options_.cross_read_prob);
+  const double log_false = std::log(kFalseProb);
+  const double log_no_false = std::log(1.0 - kFalseProb);
+
+  // Baseline emission mass assuming nothing was observed, per state.
+  std::vector<double> absent_base(num_regions);
+  for (size_t s = 0; s < num_regions; ++s) {
+    const double deg =
+        static_cast<double>(deployment_->neighbors(static_cast<RegionId>(s))
+                                .size());
+    absent_base[s] = log_no_det + deg * log_no_cross +
+                     (static_cast<double>(num_regions) - 1.0 - deg) *
+                         log_no_false;
+  }
+  auto present_adjust = [&](size_t s, RegionId o) {
+    if (o == s) return log_det - log_no_det;
+    if (deployment_->Adjacent(static_cast<RegionId>(s), o)) {
+      return log_cross - log_no_cross;
+    }
+    return log_false - log_no_false;
+  };
+
+  std::vector<std::vector<double>> score(T,
+                                         std::vector<double>(num_regions));
+  std::vector<std::vector<int>> back(T, std::vector<int>(num_regions, -1));
+  auto emission = [&](size_t t, size_t s) {
+    double e = absent_base[s];
+    for (RegionId o : grid.observed[t]) e += present_adjust(s, o);
+    return e;
+  };
+  for (size_t s = 0; s < num_regions; ++s) {
+    score[0][s] = emission(0, s) - std::log(static_cast<double>(num_regions));
+  }
+  const double log_stay = std::log(options_.stay_prob);
+  for (size_t t = 1; t < T; ++t) {
+    for (size_t s = 0; s < num_regions; ++s) {
+      double best = score[t - 1][s] + log_stay;
+      int best_from = static_cast<int>(s);
+      for (RegionId nb : deployment_->neighbors(static_cast<RegionId>(s))) {
+        const double move_deg = static_cast<double>(
+            deployment_->neighbors(nb).size());
+        const double log_move =
+            std::log((1.0 - options_.stay_prob) / std::max(1.0, move_deg));
+        const double cand = score[t - 1][nb] + log_move;
+        if (cand > best) {
+          best = cand;
+          best_from = static_cast<int>(nb);
+        }
+      }
+      score[t][s] = best + emission(t, s);
+      back[t][s] = best_from;
+    }
+  }
+  // Backtrack.
+  std::vector<RegionId> repaired(T);
+  size_t cur = 0;
+  for (size_t s = 1; s < num_regions; ++s) {
+    if (score[T - 1][s] > score[T - 1][cur]) cur = s;
+  }
+  repaired[T - 1] = static_cast<RegionId>(cur);
+  for (size_t t = T - 1; t-- > 0;) {
+    cur = static_cast<size_t>(back[t + 1][cur]);
+    repaired[t] = static_cast<RegionId>(cur);
+  }
+  (void)kNegInf;
+  return FromRegions(dirty.object(), repaired, grid.t0, grid.tick);
+}
+
+double TickAccuracy(const SymbolicTrajectory& repaired,
+                    const SymbolicTrajectory& truth, Timestamp tick_ms) {
+  if (truth.empty() || repaired.empty()) return 0.0;
+  // Piecewise-constant region lookup.
+  auto region_at = [](const SymbolicTrajectory& tr,
+                      Timestamp t) -> int64_t {
+    int64_t region = -1;
+    for (const SymbolicReading& r : tr.readings()) {
+      if (r.t <= t) {
+        region = r.region;
+      } else {
+        break;
+      }
+    }
+    return region;
+  };
+  const Timestamp t0 = truth.readings().front().t;
+  const Timestamp t1 = truth.readings().back().t;
+  size_t total = 0, correct = 0;
+  for (Timestamp t = t0; t <= t1; t += tick_ms) {
+    const int64_t tr = region_at(truth, t);
+    const int64_t rr = region_at(repaired, t);
+    if (tr < 0) continue;
+    ++total;
+    if (tr == rr) ++correct;
+  }
+  return total > 0 ? static_cast<double>(correct) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace fault
+}  // namespace sidq

@@ -1,0 +1,100 @@
+#ifndef SIDQ_FAULT_RFID_CLEANING_H_
+#define SIDQ_FAULT_RFID_CLEANING_H_
+
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/symbolic.h"
+#include "core/types.h"
+#include "sim/rfid.h"
+
+namespace sidq {
+namespace fault {
+
+// Symbolic (RFID) trajectory fault correction, Section 2.2.4: false
+// negatives (missed reads) and false positives (cross reads) are detected
+// and repaired. All cleaners emit a dense repaired trajectory with exactly
+// one reading per tick of `tick_ms` spanning the observation window.
+
+// Smoothing-window cleaning (SMURF family, Jeffery et al. VLDB 2006):
+// a tick's region is the most frequent region observed within a window of
+// `half_window_ticks` ticks around it; empty windows inherit the previous
+// repaired region. With `adaptive` set, the window instead sizes itself
+// from the observed read rate so that it is expected to contain at least
+// `target_reads` readings -- SMURF's core idea: lossy readers need wider
+// windows, reliable readers need narrow ones to track motion.
+class SmoothingWindowCleaner {
+ public:
+  struct Options {
+    int half_window_ticks = 2;
+    Timestamp tick_ms = 1000;
+    bool adaptive = false;
+    double target_reads = 2.5;
+    int max_half_window_ticks = 10;
+  };
+
+  explicit SmoothingWindowCleaner(Options options) : options_(options) {}
+  SmoothingWindowCleaner() : SmoothingWindowCleaner(Options{}) {}
+
+  StatusOr<SymbolicTrajectory> Clean(const SymbolicTrajectory& dirty) const;
+
+ private:
+  Options options_;
+};
+
+// Constraint-based cleaning (Chen et al. SIGMOD 2010 / Fazzinga et al.
+// TODS 2016 family): readings violating the deployment's adjacency
+// constraints against their temporal neighbours are discarded as false
+// positives; remaining gaps are filled from the previous region.
+class ConstraintCleaner {
+ public:
+  struct Options {
+    Timestamp tick_ms = 1000;
+  };
+
+  ConstraintCleaner(const sim::RfidDeployment* deployment, Options options)
+      : deployment_(deployment), options_(options) {}
+  explicit ConstraintCleaner(const sim::RfidDeployment* deployment)
+      : ConstraintCleaner(deployment, Options{}) {}
+
+  StatusOr<SymbolicTrajectory> Clean(const SymbolicTrajectory& dirty) const;
+
+ private:
+  const sim::RfidDeployment* deployment_;
+  Options options_;
+};
+
+// Probabilistic (HMM) cleaning (Baba et al. SIGMOD 2016 family): hidden
+// state = true region per tick; transitions allow staying or moving to an
+// adjacent region; emissions model detection probability and cross-read
+// rate. Viterbi decodes the most likely region sequence.
+class HmmCleaner {
+ public:
+  struct Options {
+    Timestamp tick_ms = 1000;
+    double stay_prob = 0.8;        // P(region unchanged between ticks)
+    double detection_prob = 0.85;  // P(read | object in region)
+    double cross_read_prob = 0.05; // P(ghost read from a neighbour)
+  };
+
+  HmmCleaner(const sim::RfidDeployment* deployment, Options options)
+      : deployment_(deployment), options_(options) {}
+  explicit HmmCleaner(const sim::RfidDeployment* deployment)
+      : HmmCleaner(deployment, Options{}) {}
+
+  StatusOr<SymbolicTrajectory> Clean(const SymbolicTrajectory& dirty) const;
+
+ private:
+  const sim::RfidDeployment* deployment_;
+  Options options_;
+};
+
+// Fraction of ticks whose repaired region equals the truth region
+// (both trajectories interpreted as piecewise-constant in time).
+double TickAccuracy(const SymbolicTrajectory& repaired,
+                    const SymbolicTrajectory& truth, Timestamp tick_ms);
+
+}  // namespace fault
+}  // namespace sidq
+
+#endif  // SIDQ_FAULT_RFID_CLEANING_H_

@@ -1,0 +1,80 @@
+#include "fault/timestamp_repair.h"
+
+#include <cmath>
+
+namespace sidq {
+namespace fault {
+
+StatusOr<std::vector<Timestamp>> RepairTimestamps(
+    const std::vector<Timestamp>& observed, Timestamp min_gap_ms) {
+  if (min_gap_ms < 0) {
+    return Status::InvalidArgument("min_gap_ms must be >= 0");
+  }
+  const size_t n = observed.size();
+  if (n == 0) return std::vector<Timestamp>{};
+  // Shift by -i*gap so the min-gap constraint becomes plain monotonicity.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<double>(observed[i]) -
+           static_cast<double>(min_gap_ms) * static_cast<double>(i);
+  }
+  // PAVA with blocks (value = block mean, weight = block size).
+  std::vector<double> value;
+  std::vector<double> weight;
+  std::vector<size_t> count;
+  value.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    value.push_back(y[i]);
+    weight.push_back(1.0);
+    count.push_back(1);
+    while (value.size() >= 2 &&
+           value[value.size() - 2] > value[value.size() - 1]) {
+      const double w = weight[weight.size() - 2] + weight.back();
+      const double v = (value[value.size() - 2] * weight[weight.size() - 2] +
+                        value.back() * weight.back()) /
+                       w;
+      value.pop_back();
+      weight.pop_back();
+      const size_t c = count.back();
+      count.pop_back();
+      value.back() = v;
+      weight.back() = w;
+      count.back() += c;
+    }
+  }
+  std::vector<Timestamp> out;
+  out.reserve(n);
+  size_t idx = 0;
+  for (size_t b = 0; b < value.size(); ++b) {
+    for (size_t k = 0; k < count[b]; ++k, ++idx) {
+      const double repaired =
+          value[b] +
+          static_cast<double>(min_gap_ms) * static_cast<double>(idx);
+      out.push_back(static_cast<Timestamp>(std::llround(repaired)));
+    }
+  }
+  // Rounding can reintroduce an off-by-one order violation; fix forward.
+  for (size_t i = 1; i < out.size(); ++i) {
+    if (out[i] < out[i - 1] + min_gap_ms) out[i] = out[i - 1] + min_gap_ms;
+  }
+  return out;
+}
+
+StatusOr<Trajectory> RepairTrajectoryTimestamps(const Trajectory& input,
+                                                Timestamp min_gap_ms) {
+  std::vector<Timestamp> ts;
+  ts.reserve(input.size());
+  for (const TrajectoryPoint& pt : input.points()) ts.push_back(pt.t);
+  SIDQ_ASSIGN_OR_RETURN(std::vector<Timestamp> repaired,
+                        RepairTimestamps(ts, min_gap_ms));
+  Trajectory out(input.object_id());
+  for (size_t i = 0; i < input.size(); ++i) {
+    TrajectoryPoint pt = input[i];
+    pt.t = repaired[i];
+    out.AppendUnordered(pt);
+  }
+  return out;
+}
+
+}  // namespace fault
+}  // namespace sidq

@@ -1,0 +1,31 @@
+#ifndef SIDQ_FAULT_TIMESTAMP_REPAIR_H_
+#define SIDQ_FAULT_TIMESTAMP_REPAIR_H_
+
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/trajectory.h"
+#include "core/types.h"
+
+namespace sidq {
+namespace fault {
+
+// Timestamp fault correction under temporal constraints (Song et al.,
+// VLDB Journal 2021 family): repairs imprecise or disordered timestamps
+// with the minimum total change that restores the constraints.
+
+// Minimal-L2-change repair restoring non-decreasing order: isotonic
+// regression via the pool-adjacent-violators algorithm (PAVA). When
+// min_gap_ms > 0 the repaired sequence additionally satisfies
+// t[i+1] >= t[i] + min_gap_ms (solved by PAVA on t[i] - i*min_gap).
+StatusOr<std::vector<Timestamp>> RepairTimestamps(
+    const std::vector<Timestamp>& observed, Timestamp min_gap_ms = 0);
+
+// Applies RepairTimestamps to a trajectory's timestamps in record order.
+StatusOr<Trajectory> RepairTrajectoryTimestamps(const Trajectory& input,
+                                                Timestamp min_gap_ms = 0);
+
+}  // namespace fault
+}  // namespace sidq
+
+#endif  // SIDQ_FAULT_TIMESTAMP_REPAIR_H_

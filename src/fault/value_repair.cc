@@ -1,0 +1,143 @@
+#include "fault/value_repair.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sidq {
+namespace fault {
+
+namespace {
+
+// Weighted median: the value at which the cumulative weight reaches half.
+// Robust to a minority of faulty neighbours, unlike a weighted mean.
+double WeightedMedian(std::vector<std::pair<double, double>> value_weight) {
+  if (value_weight.empty()) return 0.0;
+  std::sort(value_weight.begin(), value_weight.end());
+  double total = 0.0;
+  for (const auto& [v, w] : value_weight) total += w;
+  double acc = 0.0;
+  for (const auto& [v, w] : value_weight) {
+    acc += w;
+    if (acc >= total / 2.0) return v;
+  }
+  return value_weight.back().first;
+}
+
+}  // namespace
+
+StatusOr<StDataset> ConsensusValueRepairer::Repair(
+    const StDataset& dirty,
+    std::vector<std::vector<bool>>* repaired_flags) const {
+  StDataset out(dirty.field_name());
+  if (repaired_flags != nullptr) repaired_flags->clear();
+  const double r_sq = options_.radius_m * options_.radius_m;
+  for (size_t si = 0; si < dirty.num_sensors(); ++si) {
+    const StSeries& s = dirty.series()[si];
+    StSeries repaired(s.sensor(), s.loc());
+    std::vector<bool> flags(s.size(), false);
+    for (size_t i = 0; i < s.size(); ++i) {
+      const StRecord& rec = s[i];
+      std::vector<std::pair<double, double>> neighbor_values;
+      for (size_t sj = 0; sj < dirty.num_sensors(); ++sj) {
+        if (sj == si) continue;
+        const StSeries& other = dirty.series()[sj];
+        if (other.empty()) continue;
+        const double d_sq = geometry::DistanceSq(other.loc(), rec.loc);
+        if (d_sq > r_sq) continue;
+        // Closest-in-time record of the neighbour within the window.
+        const StRecord* best = nullptr;
+        Timestamp best_dt = options_.window_ms + 1;
+        for (const StRecord& orec : other.records()) {
+          const Timestamp dt = std::abs(orec.t - rec.t);
+          if (dt <= options_.window_ms && dt < best_dt) {
+            best = &orec;
+            best_dt = dt;
+          }
+        }
+        if (best == nullptr) continue;
+        const double w =
+            std::exp(-std::sqrt(d_sq) / options_.distance_scale_m);
+        neighbor_values.emplace_back(best->value, w);
+      }
+      double value = rec.value;
+      if (neighbor_values.size() >= options_.min_neighbors) {
+        // Robust consensus: weighted median tolerates faulty neighbours.
+        const double consensus = WeightedMedian(std::move(neighbor_values));
+        if (std::abs(rec.value - consensus) > options_.max_deviation) {
+          value = consensus;
+          flags[i] = true;
+        }
+      }
+      SIDQ_CHECK_OK(repaired.Append(rec.t, value, rec.stddev));
+    }
+    out.AddSeries(std::move(repaired));
+    if (repaired_flags != nullptr) repaired_flags->push_back(std::move(flags));
+  }
+  return out;
+}
+
+StatusOr<StDataset> DriftCorrector::Repair(const StDataset& dirty,
+                                           std::vector<bool>* corrected) const {
+  StDataset out(dirty.field_name());
+  if (corrected != nullptr) corrected->clear();
+  const size_t n = dirty.num_sensors();
+  for (size_t si = 0; si < n; ++si) {
+    const StSeries& s = dirty.series()[si];
+    // Spatial neighbours by distance.
+    std::vector<std::pair<double, size_t>> others;
+    for (size_t sj = 0; sj < n; ++sj) {
+      if (sj == si || dirty.series()[sj].empty()) continue;
+      others.emplace_back(
+          geometry::DistanceSq(dirty.series()[sj].loc(), s.loc()), sj);
+    }
+    const size_t k = std::min(options_.neighbors, others.size());
+    std::partial_sort(others.begin(), others.begin() + k, others.end());
+
+    // Residual against neighbour consensus per record, then an OLS slope
+    // over the record index.
+    double sum_i = 0.0, sum_r = 0.0, sum_ii = 0.0, sum_ir = 0.0;
+    size_t m = 0;
+    for (size_t i = 0; i < s.size(); ++i) {
+      // Median of neighbour values: robust to neighbours that drift too.
+      std::vector<std::pair<double, double>> neighbor_values;
+      for (size_t q = 0; q < k; ++q) {
+        const StSeries& other = dirty.series()[others[q].second];
+        auto v = other.InterpolateAt(std::clamp(
+            s[i].t, other.records().front().t, other.records().back().t));
+        if (v.ok()) neighbor_values.emplace_back(v.value(), 1.0);
+      }
+      if (neighbor_values.empty()) continue;
+      const double residual =
+          s[i].value - WeightedMedian(std::move(neighbor_values));
+      const double x = static_cast<double>(i);
+      sum_i += x;
+      sum_r += residual;
+      sum_ii += x * x;
+      sum_ir += x * residual;
+      ++m;
+    }
+    double slope = 0.0;
+    if (m >= 3) {
+      const double denom =
+          static_cast<double>(m) * sum_ii - sum_i * sum_i;
+      if (std::abs(denom) > 1e-12) {
+        slope = (static_cast<double>(m) * sum_ir - sum_i * sum_r) / denom;
+      }
+    }
+    const bool fix = std::abs(slope) >= options_.min_slope;
+    StSeries repaired(s.sensor(), s.loc());
+    for (size_t i = 0; i < s.size(); ++i) {
+      const double v =
+          fix ? s[i].value - slope * static_cast<double>(i) : s[i].value;
+      SIDQ_CHECK_OK(repaired.Append(s[i].t, v, s[i].stddev));
+    }
+    out.AddSeries(std::move(repaired));
+    if (corrected != nullptr) corrected->push_back(fix);
+  }
+  return out;
+}
+
+}  // namespace fault
+}  // namespace sidq

@@ -1,0 +1,68 @@
+#ifndef SIDQ_FAULT_VALUE_REPAIR_H_
+#define SIDQ_FAULT_VALUE_REPAIR_H_
+
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/stid.h"
+#include "core/types.h"
+
+namespace sidq {
+namespace fault {
+
+// STID thematic value repair (Section 2.2.4): wrong values are found and
+// fixed by comparative analysis against spatiotemporal neighbours.
+
+// Belief-based repair (Pumpichet et al., ICC 2012 family): a record whose
+// value deviates from the weighted consensus of its ST-neighbours by more
+// than `max_deviation` is replaced by that consensus. Weights decay with
+// spatial distance.
+class ConsensusValueRepairer {
+ public:
+  struct Options {
+    double radius_m = 500.0;
+    Timestamp window_ms = 90'000;
+    double max_deviation = 8.0;
+    size_t min_neighbors = 3;
+    double distance_scale_m = 250.0;  // weight = exp(-d / scale)
+  };
+
+  explicit ConsensusValueRepairer(Options options) : options_(options) {}
+  ConsensusValueRepairer() : ConsensusValueRepairer(Options{}) {}
+
+  // Repairs values in place across the dataset; returns the repaired copy
+  // and (optionally) per-series repair flags.
+  StatusOr<StDataset> Repair(
+      const StDataset& dirty,
+      std::vector<std::vector<bool>>* repaired_flags = nullptr) const;
+
+ private:
+  Options options_;
+};
+
+// Drift correction: estimates a per-sensor linear drift as the slope of the
+// residual between the sensor's series and the consensus of its spatial
+// neighbours, and subtracts it when the slope is significant.
+class DriftCorrector {
+ public:
+  struct Options {
+    size_t neighbors = 5;
+    // Minimum |slope| (units per sample) considered a real drift; residual
+    // slopes below this are measurement noise, not systematic drift.
+    double min_slope = 0.1;
+  };
+
+  explicit DriftCorrector(Options options) : options_(options) {}
+  DriftCorrector() : DriftCorrector(Options{}) {}
+
+  StatusOr<StDataset> Repair(const StDataset& dirty,
+                             std::vector<bool>* corrected = nullptr) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace fault
+}  // namespace sidq
+
+#endif  // SIDQ_FAULT_VALUE_REPAIR_H_

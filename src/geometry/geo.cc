@@ -1,0 +1,50 @@
+#include "geometry/geo.h"
+
+#include <cmath>
+
+namespace sidq {
+namespace geometry {
+
+double HaversineDistance(const LatLon& a, const LatLon& b) {
+  const double phi1 = a.lat * kDegToRad;
+  const double phi2 = b.lat * kDegToRad;
+  const double dphi = (b.lat - a.lat) * kDegToRad;
+  const double dlam = (b.lon - a.lon) * kDegToRad;
+  const double s1 = std::sin(dphi / 2.0);
+  const double s2 = std::sin(dlam / 2.0);
+  const double h = s1 * s1 + std::cos(phi1) * std::cos(phi2) * s2 * s2;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double InitialBearing(const LatLon& a, const LatLon& b) {
+  const double phi1 = a.lat * kDegToRad;
+  const double phi2 = b.lat * kDegToRad;
+  const double dlam = (b.lon - a.lon) * kDegToRad;
+  const double y = std::sin(dlam) * std::cos(phi2);
+  const double x = std::cos(phi1) * std::sin(phi2) -
+                   std::sin(phi1) * std::cos(phi2) * std::cos(dlam);
+  double theta = std::atan2(y, x);
+  if (theta < 0.0) theta += 2.0 * M_PI;
+  return theta;
+}
+
+LocalProjection::LocalProjection(const LatLon& origin)
+    : origin_(origin), cos_lat_(std::cos(origin.lat * kDegToRad)) {}
+
+Point LocalProjection::Forward(const LatLon& g) const {
+  const double x =
+      (g.lon - origin_.lon) * kDegToRad * cos_lat_ * kEarthRadiusMeters;
+  const double y = (g.lat - origin_.lat) * kDegToRad * kEarthRadiusMeters;
+  return Point(x, y);
+}
+
+LatLon LocalProjection::Backward(const Point& p) const {
+  const double lat =
+      origin_.lat + p.y / kEarthRadiusMeters / kDegToRad;
+  const double lon =
+      origin_.lon + p.x / (kEarthRadiusMeters * cos_lat_) / kDegToRad;
+  return LatLon(lat, lon);
+}
+
+}  // namespace geometry
+}  // namespace sidq

@@ -1,0 +1,53 @@
+#ifndef SIDQ_GEOMETRY_GEO_H_
+#define SIDQ_GEOMETRY_GEO_H_
+
+#include "geometry/point.h"
+
+namespace sidq {
+namespace geometry {
+
+// A geographic coordinate in degrees (WGS-84 spherical approximation).
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+
+  constexpr LatLon() = default;
+  constexpr LatLon(double la, double lo) : lat(la), lon(lo) {}
+  constexpr bool operator==(const LatLon& o) const {
+    return lat == o.lat && lon == o.lon;
+  }
+};
+
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+inline constexpr double kDegToRad = 0.017453292519943295;
+
+// Great-circle (haversine) distance in metres.
+double HaversineDistance(const LatLon& a, const LatLon& b);
+
+// Initial bearing from a to b, radians in [0, 2*pi).
+double InitialBearing(const LatLon& a, const LatLon& b);
+
+// Equirectangular local projection around a reference origin. Accurate to
+// well under 0.1% for extents up to tens of kilometres -- more than enough
+// for city-scale IoT workloads -- and exactly invertible.
+class LocalProjection {
+ public:
+  explicit LocalProjection(const LatLon& origin);
+
+  // Projects a geographic coordinate to planar metres (east = +x,
+  // north = +y) relative to the origin.
+  Point Forward(const LatLon& g) const;
+  // Inverse projection back to geographic coordinates.
+  LatLon Backward(const Point& p) const;
+
+  const LatLon& origin() const { return origin_; }
+
+ private:
+  LatLon origin_;
+  double cos_lat_;
+};
+
+}  // namespace geometry
+}  // namespace sidq
+
+#endif  // SIDQ_GEOMETRY_GEO_H_

@@ -1,0 +1,81 @@
+#ifndef SIDQ_GEOMETRY_POINT_H_
+#define SIDQ_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace sidq {
+namespace geometry {
+
+// A point (or vector) in a local planar coordinate system, in metres.
+// Geographic coordinates are projected into this system via LocalProjection
+// (see geo.h); all library algorithms operate on planar metres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double px, double py) : x(px), y(py) {}
+
+  constexpr Point operator+(const Point& o) const {
+    return Point(x + o.x, y + o.y);
+  }
+  constexpr Point operator-(const Point& o) const {
+    return Point(x - o.x, y - o.y);
+  }
+  constexpr Point operator*(double s) const { return Point(x * s, y * s); }
+  constexpr Point operator/(double s) const { return Point(x / s, y / s); }
+  Point& operator+=(const Point& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Point& operator-=(const Point& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+
+  constexpr bool operator==(const Point& o) const {
+    return x == o.x && y == o.y;
+  }
+
+  // Dot product with `o`.
+  constexpr double Dot(const Point& o) const { return x * o.x + y * o.y; }
+  // Z-component of the cross product with `o`.
+  constexpr double Cross(const Point& o) const { return x * o.y - y * o.x; }
+  // Squared Euclidean norm.
+  constexpr double NormSq() const { return x * x + y * y; }
+  // Euclidean norm.
+  double Norm() const { return std::sqrt(NormSq()); }
+  // Unit vector in this direction; returns (0,0) for the zero vector.
+  Point Normalized() const {
+    double n = Norm();
+    if (n == 0.0) return Point(0.0, 0.0);
+    return Point(x / n, y / n);
+  }
+};
+
+inline constexpr Point operator*(double s, const Point& p) { return p * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+// Euclidean distance between `a` and `b`.
+inline double Distance(const Point& a, const Point& b) {
+  return (a - b).Norm();
+}
+// Squared Euclidean distance between `a` and `b`.
+inline constexpr double DistanceSq(const Point& a, const Point& b) {
+  return (a - b).NormSq();
+}
+// Linear interpolation: a at f=0, b at f=1.
+inline constexpr Point Lerp(const Point& a, const Point& b, double f) {
+  return Point(a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f);
+}
+
+}  // namespace geometry
+}  // namespace sidq
+
+#endif  // SIDQ_GEOMETRY_POINT_H_

@@ -1,0 +1,109 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/segment.h"
+
+namespace sidq {
+namespace geometry {
+
+Polygon::Polygon(std::vector<Point> vertices)
+    : vertices_(std::move(vertices)) {
+  for (const Point& v : vertices_) bounds_.Extend(v);
+}
+
+bool Polygon::Contains(const Point& p) const {
+  if (!Valid() || !bounds_.Contains(p)) return false;
+  const size_t n = vertices_.size();
+  // Boundary counts as inside.
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    if (PointSegmentDistance(p, a, b) < 1e-12) return true;
+  }
+  bool inside = false;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& vi = vertices_[i];
+    const Point& vj = vertices_[j];
+    const bool crosses = (vi.y > p.y) != (vj.y > p.y);
+    if (crosses) {
+      const double x_at =
+          vj.x + (vi.x - vj.x) * (p.y - vj.y) / (vi.y - vj.y);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::SignedArea() const {
+  if (!Valid()) return 0.0;
+  double acc = 0.0;
+  const size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % n];
+    acc += a.Cross(b);
+  }
+  return acc / 2.0;
+}
+
+double Polygon::Area() const { return std::abs(SignedArea()); }
+
+double Polygon::BoundaryDistance(const Point& p) const {
+  if (!Valid()) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  const size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    best = std::min(
+        best, PointSegmentDistance(p, vertices_[i], vertices_[(i + 1) % n]));
+  }
+  return best;
+}
+
+Polygon Polygon::Rectangle(const BBox& box) {
+  return Polygon({Point(box.min_x, box.min_y), Point(box.max_x, box.min_y),
+                  Point(box.max_x, box.max_y), Point(box.min_x, box.max_y)});
+}
+
+Polygon Polygon::Circle(const Point& center, double radius, int segments) {
+  std::vector<Point> vs;
+  vs.reserve(segments);
+  for (int i = 0; i < segments; ++i) {
+    const double a = 2.0 * M_PI * i / segments;
+    vs.emplace_back(center.x + radius * std::cos(a),
+                    center.y + radius * std::sin(a));
+  }
+  return Polygon(std::move(vs));
+}
+
+std::vector<Point> ConvexHull(std::vector<Point> points) {
+  if (points.size() < 3) return points;
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  if (points.size() < 3) return points;
+  std::vector<Point> hull(2 * points.size());
+  size_t k = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    while (k >= 2 && (hull[k - 1] - hull[k - 2])
+                             .Cross(points[i] - hull[k - 2]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  const size_t lower = k + 1;
+  for (size_t i = points.size() - 1; i-- > 0;) {
+    while (k >= lower && (hull[k - 1] - hull[k - 2])
+                                 .Cross(points[i] - hull[k - 2]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+}  // namespace geometry
+}  // namespace sidq

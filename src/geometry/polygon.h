@@ -1,0 +1,49 @@
+#ifndef SIDQ_GEOMETRY_POLYGON_H_
+#define SIDQ_GEOMETRY_POLYGON_H_
+
+#include <vector>
+
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace geometry {
+
+// A simple polygon given by its vertices in order (closing edge implied).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  const BBox& bounds() const { return bounds_; }
+  bool Valid() const { return vertices_.size() >= 3; }
+
+  // Even-odd (ray casting) point-in-polygon test; boundary points count as
+  // inside.
+  bool Contains(const Point& p) const;
+
+  // Signed area (positive for counter-clockwise vertex order).
+  double SignedArea() const;
+  double Area() const;
+
+  // Minimum distance from p to the polygon boundary (0 when on boundary).
+  double BoundaryDistance(const Point& p) const;
+
+  // Axis-aligned rectangle helper.
+  static Polygon Rectangle(const BBox& box);
+  // Regular n-gon approximation of a circle.
+  static Polygon Circle(const Point& center, double radius, int segments = 32);
+
+ private:
+  std::vector<Point> vertices_;
+  BBox bounds_;
+};
+
+// Area of the convex hull of `points` (monotone chain); 0 for <3 points.
+std::vector<Point> ConvexHull(std::vector<Point> points);
+
+}  // namespace geometry
+}  // namespace sidq
+
+#endif  // SIDQ_GEOMETRY_POLYGON_H_

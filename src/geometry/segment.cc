@@ -1,0 +1,72 @@
+#include "geometry/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidq {
+namespace geometry {
+
+double ProjectFraction(const Point& p, const Point& a, const Point& b) {
+  const Point d = b - a;
+  const double len_sq = d.NormSq();
+  if (len_sq == 0.0) return 0.0;
+  double f = (p - a).Dot(d) / len_sq;
+  return std::clamp(f, 0.0, 1.0);
+}
+
+Point ClosestPointOnSegment(const Point& p, const Point& a, const Point& b) {
+  return Lerp(a, b, ProjectFraction(p, a, b));
+}
+
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b) {
+  return Distance(p, ClosestPointOnSegment(p, a, b));
+}
+
+double PointLineDistance(const Point& p, const Point& a, const Point& b) {
+  const Point d = b - a;
+  const double len = d.Norm();
+  if (len == 0.0) return Distance(p, a);
+  return std::abs(d.Cross(p - a)) / len;
+}
+
+double SynchronizedEuclideanDistance(const Point& p, double tp, const Point& a,
+                                     double ta, const Point& b, double tb) {
+  if (tb <= ta) return Distance(p, a);
+  const double f = std::clamp((tp - ta) / (tb - ta), 0.0, 1.0);
+  return Distance(p, Lerp(a, b, f));
+}
+
+namespace {
+
+// Orientation of the triple (a, b, c): >0 counter-clockwise, <0 clockwise,
+// 0 collinear.
+int Orientation(const Point& a, const Point& b, const Point& c) {
+  const double v = (b - a).Cross(c - a);
+  if (v > 0.0) return 1;
+  if (v < 0.0) return -1;
+  return 0;
+}
+
+bool OnSegment(const Point& p, const Point& a, const Point& b) {
+  return p.x >= std::min(a.x, b.x) && p.x <= std::max(a.x, b.x) &&
+         p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+bool SegmentsIntersect(const Point& a, const Point& b, const Point& c,
+                       const Point& d) {
+  const int o1 = Orientation(a, b, c);
+  const int o2 = Orientation(a, b, d);
+  const int o3 = Orientation(c, d, a);
+  const int o4 = Orientation(c, d, b);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && OnSegment(c, a, b)) return true;
+  if (o2 == 0 && OnSegment(d, a, b)) return true;
+  if (o3 == 0 && OnSegment(a, c, d)) return true;
+  if (o4 == 0 && OnSegment(b, c, d)) return true;
+  return false;
+}
+
+}  // namespace geometry
+}  // namespace sidq

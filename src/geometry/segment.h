@@ -1,0 +1,49 @@
+#ifndef SIDQ_GEOMETRY_SEGMENT_H_
+#define SIDQ_GEOMETRY_SEGMENT_H_
+
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace geometry {
+
+// A directed line segment from `a` to `b`.
+struct Segment {
+  Point a;
+  Point b;
+
+  Segment() = default;
+  Segment(const Point& pa, const Point& pb) : a(pa), b(pb) {}
+
+  double Length() const { return Distance(a, b); }
+  BBox Bounds() const { return BBox(a, b); }
+};
+
+// Fraction f in [0,1] such that a + f*(b-a) is the point of segment (a,b)
+// closest to p. Returns 0 for degenerate segments.
+double ProjectFraction(const Point& p, const Point& a, const Point& b);
+
+// Closest point of segment (a,b) to p.
+Point ClosestPointOnSegment(const Point& p, const Point& a, const Point& b);
+
+// Perpendicular (closest-point) distance from p to segment (a,b).
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b);
+
+// Distance from p to the infinite line through (a,b); falls back to
+// point distance when a==b.
+double PointLineDistance(const Point& p, const Point& a, const Point& b);
+
+// Synchronized Euclidean distance: distance between p (timestamped tp) and
+// the position linearly interpolated on segment (a@ta, b@tb) at time tp.
+// The workhorse error metric of error-bounded trajectory simplification.
+double SynchronizedEuclideanDistance(const Point& p, double tp, const Point& a,
+                                     double ta, const Point& b, double tb);
+
+// True when segments (a,b) and (c,d) intersect (including touching).
+bool SegmentsIntersect(const Point& a, const Point& b, const Point& c,
+                       const Point& d);
+
+}  // namespace geometry
+}  // namespace sidq
+
+#endif  // SIDQ_GEOMETRY_SEGMENT_H_

@@ -1,0 +1,58 @@
+#ifndef SIDQ_INDEX_GRID_INDEX_H_
+#define SIDQ_INDEX_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace index {
+
+// A uniform hash-grid index over 2-D points. Supports dynamic insert/remove,
+// which the heavier trees do not need to; this is the workhorse index for
+// streaming IoT feeds.
+class GridIndex {
+ public:
+  explicit GridIndex(double cell_size);
+
+  double cell_size() const { return cell_size_; }
+  size_t size() const { return size_; }
+
+  void Insert(uint64_t id, const geometry::Point& p);
+  // Removes one entry with this id at (approximately) this point; returns
+  // false if absent.
+  bool Remove(uint64_t id, const geometry::Point& p);
+  void Clear();
+
+  // Ids of points inside `box` (inclusive).
+  std::vector<uint64_t> RangeQuery(const geometry::BBox& box) const;
+  // Ids of points within `radius` of `center`.
+  std::vector<uint64_t> RadiusQuery(const geometry::Point& center,
+                                    double radius) const;
+  // Ids of the k nearest points to `p` (fewer when the index is smaller),
+  // ordered by increasing distance.
+  std::vector<uint64_t> Knn(const geometry::Point& p, size_t k) const;
+
+ private:
+  struct Entry {
+    uint64_t id;
+    geometry::Point p;
+  };
+  using CellKey = uint64_t;
+
+  CellKey KeyOf(const geometry::Point& p) const;
+  CellKey KeyOf(int64_t cx, int64_t cy) const;
+  void CellCoords(const geometry::Point& p, int64_t* cx, int64_t* cy) const;
+
+  double cell_size_;
+  size_t size_ = 0;
+  std::unordered_map<CellKey, std::vector<Entry>> cells_;
+};
+
+}  // namespace index
+}  // namespace sidq
+
+#endif  // SIDQ_INDEX_GRID_INDEX_H_

@@ -1,0 +1,146 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidq {
+namespace index {
+
+KdTree::KdTree(std::vector<Item> items) : items_(std::move(items)) {
+  if (!items_.empty()) {
+    nodes_.reserve(2 * items_.size() / kLeafSize + 2);
+    root_ = Build(0, static_cast<uint32_t>(items_.size()), 0);
+  }
+}
+
+int32_t KdTree::Build(uint32_t begin, uint32_t end, int depth) {
+  Node node;
+  if (end - begin <= kLeafSize) {
+    node.leaf = true;
+    node.begin = begin;
+    node.end = end;
+    nodes_.push_back(node);
+    return static_cast<int32_t>(nodes_.size()) - 1;
+  }
+  const uint8_t axis = static_cast<uint8_t>(depth % 2);
+  const uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(items_.begin() + begin, items_.begin() + mid,
+                   items_.begin() + end,
+                   [axis](const Item& a, const Item& b) {
+                     return axis == 0 ? a.p.x < b.p.x : a.p.y < b.p.y;
+                   });
+  node.axis = axis;
+  node.split = axis == 0 ? items_[mid].p.x : items_[mid].p.y;
+  const int32_t self = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  const int32_t left = Build(begin, mid, depth + 1);
+  const int32_t right = Build(mid, end, depth + 1);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+void KdTree::KnnRecurse(
+    int32_t node_idx, const geometry::Point& q, size_t k,
+    std::vector<std::pair<double, uint64_t>>* heap) const {
+  const Node& node = nodes_[node_idx];
+  if (node.leaf) {
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      const double d = geometry::DistanceSq(items_[i].p, q);
+      if (heap->size() < k) {
+        heap->emplace_back(d, items_[i].id);
+        std::push_heap(heap->begin(), heap->end());
+      } else if (d < heap->front().first) {
+        std::pop_heap(heap->begin(), heap->end());
+        heap->back() = {d, items_[i].id};
+        std::push_heap(heap->begin(), heap->end());
+      }
+    }
+    return;
+  }
+  const double qv = node.axis == 0 ? q.x : q.y;
+  const int32_t near = qv < node.split ? node.left : node.right;
+  const int32_t far = qv < node.split ? node.right : node.left;
+  KnnRecurse(near, q, k, heap);
+  const double plane_d = qv - node.split;
+  if (heap->size() < k || plane_d * plane_d < heap->front().first) {
+    KnnRecurse(far, q, k, heap);
+  }
+}
+
+std::vector<std::pair<uint64_t, double>> KdTree::KnnWithDistance(
+    const geometry::Point& q, size_t k) const {
+  std::vector<std::pair<uint64_t, double>> out;
+  if (empty() || k == 0) return out;
+  std::vector<std::pair<double, uint64_t>> heap;
+  heap.reserve(k);
+  KnnRecurse(root_, q, k, &heap);
+  std::sort_heap(heap.begin(), heap.end());
+  out.reserve(heap.size());
+  for (const auto& [d, id] : heap) out.emplace_back(id, std::sqrt(d));
+  return out;
+}
+
+std::vector<uint64_t> KdTree::Knn(const geometry::Point& q, size_t k) const {
+  std::vector<uint64_t> out;
+  for (const auto& [id, d] : KnnWithDistance(q, k)) out.push_back(id);
+  return out;
+}
+
+void KdTree::RangeRecurse(int32_t node_idx, const geometry::BBox& box,
+                          std::vector<uint64_t>* out) const {
+  const Node& node = nodes_[node_idx];
+  if (node.leaf) {
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      if (box.Contains(items_[i].p)) out->push_back(items_[i].id);
+    }
+    return;
+  }
+  const double lo = node.axis == 0 ? box.min_x : box.min_y;
+  const double hi = node.axis == 0 ? box.max_x : box.max_y;
+  if (lo < node.split) RangeRecurse(node.left, box, out);
+  if (hi >= node.split) RangeRecurse(node.right, box, out);
+}
+
+std::vector<uint64_t> KdTree::RangeQuery(const geometry::BBox& box) const {
+  std::vector<uint64_t> out;
+  if (!empty() && !box.Empty()) RangeRecurse(root_, box, &out);
+  return out;
+}
+
+std::vector<uint64_t> KdTree::RadiusQuery(const geometry::Point& center,
+                                          double radius) const {
+  const geometry::BBox box(center.x - radius, center.y - radius,
+                           center.x + radius, center.y + radius);
+  std::vector<uint64_t> out;
+  const double r_sq = radius * radius;
+  struct Filter {
+    const KdTree* tree;
+    const geometry::Point* c;
+    double r_sq;
+    std::vector<uint64_t>* out;
+    void Recurse(int32_t node_idx, const geometry::BBox& box) {
+      const Node& node = tree->nodes_[node_idx];
+      if (node.leaf) {
+        for (uint32_t i = node.begin; i < node.end; ++i) {
+          if (geometry::DistanceSq(tree->items_[i].p, *c) <= r_sq) {
+            out->push_back(tree->items_[i].id);
+          }
+        }
+        return;
+      }
+      const double lo = node.axis == 0 ? box.min_x : box.min_y;
+      const double hi = node.axis == 0 ? box.max_x : box.max_y;
+      if (lo < node.split) Recurse(node.left, box);
+      if (hi >= node.split) Recurse(node.right, box);
+    }
+  };
+  if (!empty()) {
+    Filter f{this, &center, r_sq, &out};
+    f.Recurse(root_, box);
+  }
+  return out;
+}
+
+}  // namespace index
+}  // namespace sidq

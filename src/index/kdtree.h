@@ -1,0 +1,66 @@
+#ifndef SIDQ_INDEX_KDTREE_H_
+#define SIDQ_INDEX_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace index {
+
+// A static 2-d tree bulk-built over a point set. Best for
+// build-once/query-many workloads such as fingerprint maps and kNN joins.
+class KdTree {
+ public:
+  struct Item {
+    uint64_t id;
+    geometry::Point p;
+  };
+
+  KdTree() = default;
+  explicit KdTree(std::vector<Item> items);
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  // Ids of the k nearest points to `q`, ordered by increasing distance.
+  std::vector<uint64_t> Knn(const geometry::Point& q, size_t k) const;
+  // (id, distance) pairs of the k nearest points, ordered by distance.
+  std::vector<std::pair<uint64_t, double>> KnnWithDistance(
+      const geometry::Point& q, size_t k) const;
+  // Ids of points inside `box`.
+  std::vector<uint64_t> RangeQuery(const geometry::BBox& box) const;
+  // Ids of points within `radius` of `center`.
+  std::vector<uint64_t> RadiusQuery(const geometry::Point& center,
+                                    double radius) const;
+
+ private:
+  struct Node {
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t begin = 0;  // leaf: range into items_
+    uint32_t end = 0;
+    uint8_t axis = 0;
+    double split = 0.0;
+    bool leaf = false;
+  };
+
+  static constexpr size_t kLeafSize = 16;
+
+  int32_t Build(uint32_t begin, uint32_t end, int depth);
+  void KnnRecurse(int32_t node, const geometry::Point& q, size_t k,
+                  std::vector<std::pair<double, uint64_t>>* heap) const;
+  void RangeRecurse(int32_t node, const geometry::BBox& box,
+                    std::vector<uint64_t>* out) const;
+
+  std::vector<Item> items_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace index
+}  // namespace sidq
+
+#endif  // SIDQ_INDEX_KDTREE_H_

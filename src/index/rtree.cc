@@ -1,0 +1,292 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "core/logging.h"
+
+namespace sidq {
+namespace index {
+
+RTree::RTree(size_t max_entries) : max_entries_(max_entries) {
+  SIDQ_CHECK(max_entries >= 4) << "max_entries must be >= 4";
+}
+
+int32_t RTree::NewNode(bool leaf) {
+  Node node;
+  node.leaf = leaf;
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size()) - 1;
+}
+
+void RTree::RecomputeBox(int32_t n) {
+  Node& node = nodes_[n];
+  node.box = geometry::BBox();
+  if (node.leaf) {
+    for (const Item& it : node.items) node.box.Extend(it.box);
+  } else {
+    for (int32_t c : node.children) node.box.Extend(nodes_[c].box);
+  }
+}
+
+int RTree::height() const {
+  if (root_ < 0) return 0;
+  int h = 1;
+  int32_t n = root_;
+  while (!nodes_[n].leaf) {
+    n = nodes_[n].children.front();
+    ++h;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------- bulk load
+
+int32_t RTree::BuildStr(std::vector<Item>* items, size_t begin, size_t end) {
+  const size_t n = end - begin;
+  if (n <= max_entries_) {
+    const int32_t leaf = NewNode(true);
+    nodes_[leaf].items.assign(items->begin() + begin, items->begin() + end);
+    RecomputeBox(leaf);
+    return leaf;
+  }
+  // STR: P = ceil(n / M) leaf pages, S = ceil(sqrt(P)) vertical slices.
+  const size_t pages =
+      (n + max_entries_ - 1) / max_entries_;
+  const size_t slices = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(pages))));
+  const size_t slice_cap = (n + slices - 1) / slices;
+  std::sort(items->begin() + begin, items->begin() + end,
+            [](const Item& a, const Item& b) {
+              return a.box.Center().x < b.box.Center().x;
+            });
+  std::vector<int32_t> children;
+  for (size_t s = begin; s < end; s += slice_cap) {
+    const size_t s_end = std::min(s + slice_cap, end);
+    std::sort(items->begin() + s, items->begin() + s_end,
+              [](const Item& a, const Item& b) {
+                return a.box.Center().y < b.box.Center().y;
+              });
+    for (size_t p = s; p < s_end; p += max_entries_) {
+      const size_t p_end = std::min(p + max_entries_, s_end);
+      const int32_t leaf = NewNode(true);
+      nodes_[leaf].items.assign(items->begin() + p, items->begin() + p_end);
+      RecomputeBox(leaf);
+      children.push_back(leaf);
+    }
+  }
+  // Pack children upward until one root remains.
+  while (children.size() > 1) {
+    std::vector<int32_t> parents;
+    for (size_t i = 0; i < children.size(); i += max_entries_) {
+      const size_t i_end = std::min(i + max_entries_, children.size());
+      const int32_t parent = NewNode(false);
+      nodes_[parent].children.assign(children.begin() + i,
+                                     children.begin() + i_end);
+      RecomputeBox(parent);
+      parents.push_back(parent);
+    }
+    children = std::move(parents);
+  }
+  return children.front();
+}
+
+void RTree::BulkLoad(std::vector<Item> items) {
+  nodes_.clear();
+  size_ = items.size();
+  if (items.empty()) {
+    root_ = -1;
+    return;
+  }
+  root_ = BuildStr(&items, 0, items.size());
+}
+
+// ------------------------------------------------------------------ insert
+
+namespace {
+
+double Enlargement(const geometry::BBox& box, const geometry::BBox& add) {
+  geometry::BBox merged = box;
+  merged.Extend(add);
+  return merged.Area() - box.Area();
+}
+
+}  // namespace
+
+int32_t RTree::SplitNode(int32_t n) {
+  Node& node = nodes_[n];
+  const int32_t sibling_idx = NewNode(node.leaf);
+  // NewNode may reallocate nodes_, so re-take the reference.
+  Node& self = nodes_[n];
+  Node& sibling = nodes_[sibling_idx];
+
+  // Quadratic split over item/child boxes.
+  auto box_of = [&](size_t i) -> geometry::BBox {
+    return self.leaf ? self.items[i].box : nodes_[self.children[i]].box;
+  };
+  const size_t count = self.leaf ? self.items.size() : self.children.size();
+  // Pick the pair of seeds wasting the most area together.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t j = i + 1; j < count; ++j) {
+      geometry::BBox merged = box_of(i);
+      merged.Extend(box_of(j));
+      const double waste =
+          merged.Area() - box_of(i).Area() - box_of(j).Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  std::vector<size_t> group_a{seed_a}, group_b{seed_b};
+  geometry::BBox box_a = box_of(seed_a), box_b = box_of(seed_b);
+  for (size_t i = 0; i < count; ++i) {
+    if (i == seed_a || i == seed_b) continue;
+    const double ea = Enlargement(box_a, box_of(i));
+    const double eb = Enlargement(box_b, box_of(i));
+    if (ea < eb || (ea == eb && group_a.size() <= group_b.size())) {
+      group_a.push_back(i);
+      box_a.Extend(box_of(i));
+    } else {
+      group_b.push_back(i);
+      box_b.Extend(box_of(i));
+    }
+  }
+  // Rebuild self from group_a, sibling from group_b.
+  if (self.leaf) {
+    std::vector<Item> items_a, items_b;
+    for (size_t i : group_a) items_a.push_back(self.items[i]);
+    for (size_t i : group_b) items_b.push_back(self.items[i]);
+    self.items = std::move(items_a);
+    sibling.items = std::move(items_b);
+  } else {
+    std::vector<int32_t> kids_a, kids_b;
+    for (size_t i : group_a) kids_a.push_back(self.children[i]);
+    for (size_t i : group_b) kids_b.push_back(self.children[i]);
+    self.children = std::move(kids_a);
+    sibling.children = std::move(kids_b);
+  }
+  RecomputeBox(n);
+  RecomputeBox(sibling_idx);
+  return sibling_idx;
+}
+
+void RTree::Insert(uint64_t id, const geometry::BBox& box) {
+  ++size_;
+  if (root_ < 0) {
+    root_ = NewNode(true);
+    nodes_[root_].items.push_back(Item{id, box});
+    RecomputeBox(root_);
+    return;
+  }
+  // Descend to a leaf, remembering the path.
+  std::vector<int32_t> path;
+  int32_t n = root_;
+  path.push_back(n);
+  while (!nodes_[n].leaf) {
+    const Node& node = nodes_[n];
+    int32_t best = node.children.front();
+    double best_enlarge = Enlargement(nodes_[best].box, box);
+    for (int32_t c : node.children) {
+      const double e = Enlargement(nodes_[c].box, box);
+      if (e < best_enlarge ||
+          (e == best_enlarge && nodes_[c].box.Area() < nodes_[best].box.Area())) {
+        best = c;
+        best_enlarge = e;
+      }
+    }
+    n = best;
+    path.push_back(n);
+  }
+  nodes_[n].items.push_back(Item{id, box});
+
+  // Walk back up: fix boxes and split overflowing nodes.
+  int32_t pending_split = -1;  // newly created sibling at the child level
+  for (size_t level = path.size(); level-- > 0;) {
+    const int32_t cur = path[level];
+    if (pending_split >= 0) {
+      nodes_[cur].children.push_back(pending_split);
+      pending_split = -1;
+    }
+    RecomputeBox(cur);
+    const size_t count =
+        nodes_[cur].leaf ? nodes_[cur].items.size() : nodes_[cur].children.size();
+    if (count > max_entries_) {
+      pending_split = SplitNode(cur);
+    }
+  }
+  if (pending_split >= 0) {
+    // Root split: grow the tree.
+    const int32_t new_root = NewNode(false);
+    nodes_[new_root].children = {root_, pending_split};
+    RecomputeBox(new_root);
+    root_ = new_root;
+  }
+}
+
+// ----------------------------------------------------------------- queries
+
+std::vector<uint64_t> RTree::RangeQuery(const geometry::BBox& query) const {
+  std::vector<uint64_t> out;
+  last_nodes_visited = 0;
+  if (root_ < 0 || query.Empty()) return out;
+  std::vector<int32_t> stack{root_};
+  while (!stack.empty()) {
+    const int32_t n = stack.back();
+    stack.pop_back();
+    ++last_nodes_visited;
+    const Node& node = nodes_[n];
+    if (!node.box.Intersects(query)) continue;
+    if (node.leaf) {
+      for (const Item& it : node.items) {
+        if (it.box.Intersects(query)) out.push_back(it.id);
+      }
+    } else {
+      for (int32_t c : node.children) {
+        if (nodes_[c].box.Intersects(query)) stack.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> RTree::Knn(const geometry::Point& q, size_t k) const {
+  std::vector<uint64_t> out;
+  if (root_ < 0 || k == 0) return out;
+  // Best-first search over (min-distance, is_item, index/id).
+  struct Entry {
+    double dist;
+    bool is_item;
+    uint64_t id;
+    int32_t node;
+    bool operator>(const Entry& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  pq.push(Entry{nodes_[root_].box.MinDistance(q), false, 0, root_});
+  while (!pq.empty() && out.size() < k) {
+    const Entry e = pq.top();
+    pq.pop();
+    if (e.is_item) {
+      out.push_back(e.id);
+      continue;
+    }
+    const Node& node = nodes_[e.node];
+    if (node.leaf) {
+      for (const Item& it : node.items) {
+        pq.push(Entry{it.box.MinDistance(q), true, it.id, -1});
+      }
+    } else {
+      for (int32_t c : node.children) {
+        pq.push(Entry{nodes_[c].box.MinDistance(q), false, 0, c});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace index
+}  // namespace sidq

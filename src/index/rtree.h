@@ -1,0 +1,66 @@
+#ifndef SIDQ_INDEX_RTREE_H_
+#define SIDQ_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace index {
+
+// An R-tree over rectangles, bulk-loaded with Sort-Tile-Recursive (STR) and
+// supporting quadratic-split dynamic inserts. Used for indexing trajectory
+// segments, uncertainty regions, and sensor footprints.
+class RTree {
+ public:
+  struct Item {
+    uint64_t id;
+    geometry::BBox box;
+  };
+
+  explicit RTree(size_t max_entries = 16);
+
+  // Bulk-loads (replaces) the tree contents with STR packing.
+  void BulkLoad(std::vector<Item> items);
+  // Dynamic insert with quadratic split.
+  void Insert(uint64_t id, const geometry::BBox& box);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const;
+
+  // Ids of items whose box intersects `query`.
+  std::vector<uint64_t> RangeQuery(const geometry::BBox& query) const;
+  // Ids of the k items nearest to `q` by box MinDistance (best-first).
+  std::vector<uint64_t> Knn(const geometry::Point& q, size_t k) const;
+  // Number of nodes visited by the last RangeQuery (pruning statistics).
+  mutable size_t last_nodes_visited = 0;
+
+ private:
+  struct Node {
+    geometry::BBox box;
+    std::vector<int32_t> children;  // internal nodes
+    std::vector<Item> items;        // leaves
+    bool leaf = true;
+  };
+
+  int32_t NewNode(bool leaf);
+  void RecomputeBox(int32_t n);
+  int32_t ChooseLeaf(int32_t n, const geometry::BBox& box, int level,
+                     std::vector<int32_t>* path) const;
+  // Splits node `n` in two (quadratic split); returns the new sibling.
+  int32_t SplitNode(int32_t n);
+  int32_t BuildStr(std::vector<Item>* items, size_t begin, size_t end);
+
+  size_t max_entries_;
+  size_t size_ = 0;
+  int32_t root_ = -1;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace index
+}  // namespace sidq
+
+#endif  // SIDQ_INDEX_RTREE_H_

@@ -1,0 +1,48 @@
+#include "integrate/attachment.h"
+
+namespace sidq {
+namespace integrate {
+
+double EnrichedTrajectory::AttachmentRate() const {
+  if (values.empty()) return 0.0;
+  size_t attached = 0;
+  for (const auto& v : values) {
+    if (v.has_value()) ++attached;
+  }
+  return static_cast<double>(attached) / static_cast<double>(values.size());
+}
+
+StatusOr<EnrichedTrajectory> AttachStid(
+    const Trajectory& trajectory,
+    const uncertainty::StInterpolator& interpolator) {
+  EnrichedTrajectory out;
+  out.trajectory = trajectory;
+  out.values.reserve(trajectory.size());
+  for (const TrajectoryPoint& pt : trajectory.points()) {
+    auto v = interpolator.Estimate(pt.p, pt.t);
+    if (v.ok()) {
+      out.values.emplace_back(v.value());
+    } else {
+      out.values.emplace_back(std::nullopt);
+    }
+  }
+  return out;
+}
+
+StatusOr<double> MeanAttachedValue(const EnrichedTrajectory& enriched,
+                                   Timestamp t_begin, Timestamp t_end) {
+  double acc = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < enriched.trajectory.size(); ++i) {
+    const Timestamp t = enriched.trajectory[i].t;
+    if (t < t_begin || t > t_end) continue;
+    if (!enriched.values[i].has_value()) continue;
+    acc += *enriched.values[i];
+    ++n;
+  }
+  if (n == 0) return Status::NotFound("no attached values in range");
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace integrate
+}  // namespace sidq

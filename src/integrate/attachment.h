@@ -1,0 +1,43 @@
+#ifndef SIDQ_INTEGRATE_ATTACHMENT_H_
+#define SIDQ_INTEGRATE_ATTACHMENT_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/stid.h"
+#include "core/trajectory.h"
+#include "uncertainty/interpolation.h"
+
+namespace sidq {
+namespace integrate {
+
+// Trajectory+STID integration (Section 2.2.5): attaches thematic
+// measurements (e.g. air quality) to each trajectory point based on
+// spatiotemporal proximity, yielding an enriched trajectory a consumer can
+// interpret directly ("exposure along the commute").
+struct EnrichedTrajectory {
+  Trajectory trajectory;
+  // One attached value per point; nullopt when no measurement was close
+  // enough (controlled by the interpolator's data coverage).
+  std::vector<std::optional<double>> values;
+
+  // Fraction of points that received a value.
+  double AttachmentRate() const;
+};
+
+// Attaches values from `interpolator` (built over the STID source) to every
+// point of `trajectory`.
+StatusOr<EnrichedTrajectory> AttachStid(
+    const Trajectory& trajectory,
+    const uncertainty::StInterpolator& interpolator);
+
+// Mean attached value over a trajectory segment [t_begin, t_end]
+// (aggregation used by exposure analyses); fails when nothing is attached.
+StatusOr<double> MeanAttachedValue(const EnrichedTrajectory& enriched,
+                                   Timestamp t_begin, Timestamp t_end);
+
+}  // namespace integrate
+}  // namespace sidq
+
+#endif  // SIDQ_INTEGRATE_ATTACHMENT_H_

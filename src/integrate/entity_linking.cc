@@ -1,0 +1,96 @@
+#include "integrate/entity_linking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace sidq {
+namespace integrate {
+
+namespace {
+
+using Signature = std::unordered_map<uint64_t, double>;
+
+uint64_t CellKey(int64_t cx, int64_t cy, int64_t ct) {
+  // 24/24/16-bit packing of space-time cell coordinates.
+  return (static_cast<uint64_t>(static_cast<uint32_t>(cx) & 0xFFFFFF) << 40) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(cy) & 0xFFFFFF) << 16) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(ct) & 0xFFFF));
+}
+
+Signature BuildSignature(const Trajectory& tr, double cell_m,
+                         Timestamp slot_ms) {
+  Signature sig;
+  for (const TrajectoryPoint& pt : tr.points()) {
+    const int64_t cx = static_cast<int64_t>(std::floor(pt.p.x / cell_m));
+    const int64_t cy = static_cast<int64_t>(std::floor(pt.p.y / cell_m));
+    const int64_t ct = pt.t / slot_ms;
+    sig[CellKey(cx, cy, ct)] += 1.0;
+  }
+  // L2 normalise.
+  double norm = 0.0;
+  for (const auto& [k, v] : sig) norm += v * v;
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (auto& [k, v] : sig) v /= norm;
+  }
+  return sig;
+}
+
+double Cosine(const Signature& a, const Signature& b) {
+  const Signature& small = a.size() <= b.size() ? a : b;
+  const Signature& large = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [k, v] : small) {
+    const auto it = large.find(k);
+    if (it != large.end()) dot += v * it->second;
+  }
+  return dot;
+}
+
+}  // namespace
+
+double EntityLinker::Similarity(const Trajectory& a,
+                                const Trajectory& b) const {
+  return Cosine(BuildSignature(a, options_.cell_m, options_.time_slot_ms),
+                BuildSignature(b, options_.cell_m, options_.time_slot_ms));
+}
+
+std::vector<EntityLinker::Match> EntityLinker::Link(
+    const std::vector<Trajectory>& set_a,
+    const std::vector<Trajectory>& set_b) const {
+  std::vector<Signature> sig_a, sig_b;
+  sig_a.reserve(set_a.size());
+  sig_b.reserve(set_b.size());
+  for (const Trajectory& t : set_a) {
+    sig_a.push_back(BuildSignature(t, options_.cell_m, options_.time_slot_ms));
+  }
+  for (const Trajectory& t : set_b) {
+    sig_b.push_back(BuildSignature(t, options_.cell_m, options_.time_slot_ms));
+  }
+  struct Cand {
+    double sim;
+    size_t i, j;
+  };
+  std::vector<Cand> cands;
+  for (size_t i = 0; i < sig_a.size(); ++i) {
+    for (size_t j = 0; j < sig_b.size(); ++j) {
+      const double s = Cosine(sig_a[i], sig_b[j]);
+      if (s >= options_.min_similarity) cands.push_back({s, i, j});
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& x, const Cand& y) { return x.sim > y.sim; });
+  std::vector<bool> used_a(set_a.size(), false), used_b(set_b.size(), false);
+  std::vector<EntityLinker::Match> links;
+  for (const Cand& c : cands) {
+    if (used_a[c.i] || used_b[c.j]) continue;
+    used_a[c.i] = true;
+    used_b[c.j] = true;
+    links.push_back({c.i, c.j, c.sim});
+  }
+  return links;
+}
+
+}  // namespace integrate
+}  // namespace sidq

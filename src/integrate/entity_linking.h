@@ -1,0 +1,49 @@
+#ifndef SIDQ_INTEGRATE_ENTITY_LINKING_H_
+#define SIDQ_INTEGRATE_ENTITY_LINKING_H_
+
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/trajectory.h"
+
+namespace sidq {
+namespace integrate {
+
+// Non-semantic trajectory+trajectory integration: spatiotemporal entity
+// linking across ID systems (Jin et al., TKDE 2020 family). Two sources
+// observe the same moving objects under unrelated identifiers; trajectories
+// are linked by the similarity of their spatiotemporal signatures
+// (normalised visit histograms over space-time cells).
+class EntityLinker {
+ public:
+  struct Options {
+    double cell_m = 200.0;
+    Timestamp time_slot_ms = 60'000;
+    // Pairs below this cosine similarity stay unlinked.
+    double min_similarity = 0.1;
+  };
+
+  explicit EntityLinker(Options options) : options_(options) {}
+  EntityLinker() : EntityLinker(Options{}) {}
+
+  struct Match {
+    size_t a_index;
+    size_t b_index;
+    double similarity;
+  };
+
+  // Greedy best-first one-to-one matching between the two sets.
+  std::vector<Match> Link(const std::vector<Trajectory>& set_a,
+                         const std::vector<Trajectory>& set_b) const;
+
+  // Cosine similarity of two trajectories' space-time signatures.
+  double Similarity(const Trajectory& a, const Trajectory& b) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace integrate
+}  // namespace sidq
+
+#endif  // SIDQ_INTEGRATE_ENTITY_LINKING_H_

@@ -1,0 +1,93 @@
+#include "integrate/semantic.h"
+
+#include <limits>
+
+namespace sidq {
+namespace integrate {
+
+std::vector<StayPoint> DetectStayPoints(const Trajectory& trajectory,
+                                        double radius_m,
+                                        Timestamp min_duration_ms) {
+  std::vector<StayPoint> stays;
+  const size_t n = trajectory.size();
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i + 1;
+    while (j < n &&
+           geometry::Distance(trajectory[j].p, trajectory[i].p) <= radius_m) {
+      ++j;
+    }
+    // Points [i, j) are within radius of point i.
+    const Timestamp duration = trajectory[j - 1].t - trajectory[i].t;
+    if (j - i >= 2 && duration >= min_duration_ms) {
+      StayPoint sp;
+      geometry::Point acc(0.0, 0.0);
+      for (size_t k = i; k < j; ++k) acc += trajectory[k].p;
+      sp.centroid = acc / static_cast<double>(j - i);
+      sp.t_begin = trajectory[i].t;
+      sp.t_end = trajectory[j - 1].t;
+      sp.first_index = i;
+      sp.last_index = j - 1;
+      stays.push_back(sp);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return stays;
+}
+
+StatusOr<std::vector<Episode>> SemanticAnnotator::Annotate(
+    const Trajectory& trajectory) const {
+  if (trajectory.empty()) {
+    return Status::FailedPrecondition("empty trajectory");
+  }
+  const std::vector<StayPoint> stays = DetectStayPoints(
+      trajectory, options_.stay_radius_m, options_.min_stay_ms);
+  std::vector<Episode> episodes;
+  Timestamp cursor = trajectory.front().t;
+  auto nearest_poi = [&](const geometry::Point& p) -> const Poi* {
+    const Poi* best = nullptr;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (const Poi& poi : pois_) {
+      const double d = geometry::Distance(poi.p, p);
+      if (d <= options_.poi_match_radius_m && d < best_d) {
+        best = &poi;
+        best_d = d;
+      }
+    }
+    return best;
+  };
+  for (const StayPoint& sp : stays) {
+    if (sp.t_begin > cursor) {
+      Episode move;
+      move.kind = Episode::Kind::kMove;
+      move.t_begin = cursor;
+      move.t_end = sp.t_begin;
+      move.label = "move";
+      episodes.push_back(move);
+    }
+    Episode stay;
+    stay.kind = Episode::Kind::kStay;
+    stay.t_begin = sp.t_begin;
+    stay.t_end = sp.t_end;
+    stay.anchor = sp.centroid;
+    const Poi* poi = nearest_poi(sp.centroid);
+    stay.label = poi != nullptr ? poi->name : "unknown";
+    stay.category = poi != nullptr ? poi->category : "unknown";
+    episodes.push_back(stay);
+    cursor = sp.t_end;
+  }
+  if (cursor < trajectory.back().t) {
+    Episode move;
+    move.kind = Episode::Kind::kMove;
+    move.t_begin = cursor;
+    move.t_end = trajectory.back().t;
+    move.label = "move";
+    episodes.push_back(move);
+  }
+  return episodes;
+}
+
+}  // namespace integrate
+}  // namespace sidq

@@ -1,0 +1,82 @@
+#ifndef SIDQ_INTEGRATE_SEMANTIC_H_
+#define SIDQ_INTEGRATE_SEMANTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/trajectory.h"
+#include "core/types.h"
+
+namespace sidq {
+namespace integrate {
+
+// Semantic data integration for trajectories (Section 2.2.5): annotates raw
+// location traces with stay/move episodes and POI labels, turning
+// coordinates into interpretable mobility semantics (Yan et al., TIST 2013;
+// Li et al., TDS 2020 families).
+
+// A point of interest used for annotation.
+struct Poi {
+  geometry::Point p;
+  std::string name;
+  std::string category;
+};
+
+// A detected stay: the object remained within `radius` of the centroid from
+// t_begin to t_end.
+struct StayPoint {
+  geometry::Point centroid;
+  Timestamp t_begin = 0;
+  Timestamp t_end = 0;
+  size_t first_index = 0;  // point range in the source trajectory
+  size_t last_index = 0;
+
+  Timestamp Duration() const { return t_end - t_begin; }
+};
+
+// Classic stay-point detection (Li/Zheng style): a maximal run of points
+// within `radius_m` of its first point lasting at least `min_duration_ms`.
+std::vector<StayPoint> DetectStayPoints(const Trajectory& trajectory,
+                                        double radius_m,
+                                        Timestamp min_duration_ms);
+
+// One semantic episode of the annotated trajectory.
+struct Episode {
+  enum class Kind { kMove, kStay };
+  Kind kind = Kind::kMove;
+  Timestamp t_begin = 0;
+  Timestamp t_end = 0;
+  // For stays: annotation from the nearest POI within the match radius
+  // ("unknown" when none).
+  std::string label;
+  std::string category;
+  geometry::Point anchor;
+};
+
+// Segments the trajectory into alternating move/stay episodes and labels
+// stays with the nearest POI within `poi_match_radius_m`.
+class SemanticAnnotator {
+ public:
+  struct Options {
+    double stay_radius_m = 60.0;
+    Timestamp min_stay_ms = 120'000;
+    double poi_match_radius_m = 120.0;
+  };
+
+  SemanticAnnotator(std::vector<Poi> pois, Options options)
+      : pois_(std::move(pois)), options_(options) {}
+  explicit SemanticAnnotator(std::vector<Poi> pois)
+      : SemanticAnnotator(std::move(pois), Options{}) {}
+
+  StatusOr<std::vector<Episode>> Annotate(const Trajectory& trajectory) const;
+
+ private:
+  std::vector<Poi> pois_;
+  Options options_;
+};
+
+}  // namespace integrate
+}  // namespace sidq
+
+#endif  // SIDQ_INTEGRATE_SEMANTIC_H_

@@ -1,0 +1,173 @@
+#include "integrate/stid_fusion.h"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "core/logging.h"
+
+namespace sidq {
+namespace integrate {
+
+StatusOr<GridFuser::Result> GridFuser::Fuse(
+    const std::vector<StDataset>& sources) const {
+  if (sources.empty()) {
+    return Status::InvalidArgument("no sources to fuse");
+  }
+  // Cell key -> per-source mean observation in that space-time cell.
+  using CellKey = std::tuple<int64_t, int64_t, int64_t>;
+  struct CellObs {
+    std::vector<double> sum;
+    std::vector<int> count;
+  };
+  std::map<CellKey, CellObs> cells;
+  const double cell = options_.cell_m;
+  const Timestamp slot = options_.slot_ms;
+  const size_t num_sources = sources.size();
+  for (size_t src = 0; src < num_sources; ++src) {
+    for (const StSeries& s : sources[src].series()) {
+      for (const StRecord& r : s.records()) {
+        const CellKey key{static_cast<int64_t>(std::floor(r.loc.x / cell)),
+                          static_cast<int64_t>(std::floor(r.loc.y / cell)),
+                          r.t / slot};
+        CellObs& obs = cells[key];
+        if (obs.sum.empty()) {
+          obs.sum.assign(num_sources, 0.0);
+          obs.count.assign(num_sources, 0);
+        }
+        obs.sum[src] += r.value;
+        obs.count[src] += 1;
+      }
+    }
+  }
+
+  // Truth discovery by pairwise deviations: D[a][b] = mean squared
+  // difference of the two sources' cell means over co-observed cells.
+  // Deviations are estimated on a finer grid than the fusion grid:
+  // averaging many records per cell before differencing shrinks the
+  // per-cell noise and starves the estimator of degrees of freedom.
+  std::map<CellKey, CellObs> est_cells;
+  {
+    const double est_cell = cell / 2.0;
+    const Timestamp est_slot = std::max<Timestamp>(1, slot / 5);
+    for (size_t src = 0; src < num_sources; ++src) {
+      for (const StSeries& s : sources[src].series()) {
+        for (const StRecord& r : s.records()) {
+          const CellKey key{
+              static_cast<int64_t>(std::floor(r.loc.x / est_cell)),
+              static_cast<int64_t>(std::floor(r.loc.y / est_cell)),
+              r.t / est_slot};
+          CellObs& obs = est_cells[key];
+          if (obs.sum.empty()) {
+            obs.sum.assign(num_sources, 0.0);
+            obs.count.assign(num_sources, 0);
+          }
+          obs.sum[src] += r.value;
+          obs.count[src] += 1;
+        }
+      }
+    }
+  }
+  std::vector<std::vector<double>> dev(num_sources,
+                                       std::vector<double>(num_sources, 0.0));
+  std::vector<std::vector<int>> dev_cnt(num_sources,
+                                        std::vector<int>(num_sources, 0));
+  for (const auto& [key, obs] : est_cells) {
+    for (size_t a = 0; a < num_sources; ++a) {
+      if (obs.count[a] == 0) continue;
+      const double ma = obs.sum[a] / obs.count[a];
+      for (size_t b = a + 1; b < num_sources; ++b) {
+        if (obs.count[b] == 0) continue;
+        const double mb = obs.sum[b] / obs.count[b];
+        dev[a][b] += (ma - mb) * (ma - mb);
+        dev_cnt[a][b] += 1;
+      }
+    }
+  }
+  auto pair_dev = [&](size_t a, size_t b) -> double {
+    const size_t lo = std::min(a, b), hi = std::max(a, b);
+    if (dev_cnt[lo][hi] == 0) return -1.0;
+    return dev[lo][hi] / dev_cnt[lo][hi];
+  };
+
+  std::vector<double> variance(num_sources, 1.0);
+  if (num_sources == 1) {
+    variance[0] = 1.0;
+  } else if (num_sources == 2) {
+    const double d = pair_dev(0, 1);
+    variance[0] = variance[1] = d > 0.0 ? d / 2.0 : 1.0;
+  } else {
+    for (size_t a = 0; a < num_sources; ++a) {
+      double acc = 0.0;
+      int cnt = 0;
+      for (size_t b = 0; b < num_sources; ++b) {
+        if (b == a) continue;
+        for (size_t c = b + 1; c < num_sources; ++c) {
+          if (c == a) continue;
+          const double dab = pair_dev(a, b);
+          const double dac = pair_dev(a, c);
+          const double dbc = pair_dev(b, c);
+          if (dab < 0.0 || dac < 0.0 || dbc < 0.0) continue;
+          acc += (dab + dac - dbc) / 2.0;
+          ++cnt;
+        }
+      }
+      if (cnt > 0) {
+        variance[a] = std::max(options_.min_variance, acc / cnt);
+      }
+    }
+  }
+  std::vector<double> weights(num_sources, 1.0);
+  double wtotal = 0.0;
+  for (size_t src = 0; src < num_sources; ++src) {
+    weights[src] = 1.0 / std::max(options_.min_variance, variance[src]);
+    wtotal += weights[src];
+  }
+  // Normalise to mean 1 for interpretability.
+  if (wtotal > 0.0) {
+    for (double& w : weights) {
+      w *= static_cast<double>(num_sources) / wtotal;
+    }
+  }
+
+  // Emit fused virtual sensors: one series per spatial cell, one record per
+  // time slot.
+  Result result;
+  result.fused = StDataset(sources.front().field_name());
+  result.source_weights = weights;
+  // Group by spatial cell.
+  std::map<std::pair<int64_t, int64_t>,
+           std::map<int64_t, std::pair<double, double>>>
+      spatial;  // (cx,cy) -> slot -> (weighted sum, weight)
+  for (const auto& [key, obs] : cells) {
+    const auto [cx, cy, ct] = key;
+    double wsum = 0.0, acc = 0.0;
+    for (size_t src = 0; src < num_sources; ++src) {
+      if (obs.count[src] == 0) continue;
+      const double mean = obs.sum[src] / obs.count[src];
+      acc += weights[src] * mean;
+      wsum += weights[src];
+    }
+    if (wsum <= 0.0) continue;
+    auto& slot_map = spatial[{cx, cy}];
+    auto& entry = slot_map[ct];
+    entry.first += acc;
+    entry.second += wsum;
+  }
+  SensorId next_id = 0;
+  for (const auto& [cell_xy, slots] : spatial) {
+    const geometry::Point center(
+        (static_cast<double>(cell_xy.first) + 0.5) * cell,
+        (static_cast<double>(cell_xy.second) + 0.5) * cell);
+    StSeries series(next_id++, center);
+    for (const auto& [ct, sumw] : slots) {
+      const Timestamp t = ct * slot + slot / 2;
+      SIDQ_CHECK_OK(series.Append(t, sumw.first / sumw.second));
+    }
+    result.fused.AddSeries(std::move(series));
+  }
+  return result;
+}
+
+}  // namespace integrate
+}  // namespace sidq

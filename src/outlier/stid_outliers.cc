@@ -1,0 +1,115 @@
+#include "outlier/stid_outliers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace sidq {
+namespace outlier {
+
+StDbscan::Result StDbscan::Cluster(
+    const std::vector<StRecord>& records) const {
+  const size_t n = records.size();
+  Result result;
+  result.labels.assign(n, -2);  // -2 = unvisited, -1 = noise
+  const double eps_sq = options_.eps_space_m * options_.eps_space_m;
+
+  auto neighbors_of = [&](size_t i) {
+    std::vector<size_t> out;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (std::abs(records[j].t - records[i].t) > options_.eps_time_ms) {
+        continue;
+      }
+      if (geometry::DistanceSq(records[j].loc, records[i].loc) > eps_sq) {
+        continue;
+      }
+      out.push_back(j);
+    }
+    return out;
+  };
+
+  int cluster = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (result.labels[i] != -2) continue;
+    std::vector<size_t> seeds = neighbors_of(i);
+    if (seeds.size() + 1 < options_.min_pts) {
+      result.labels[i] = -1;
+      continue;
+    }
+    // Average value of the forming cluster, used for the delta_value test.
+    double cluster_mean = records[i].value;
+    size_t cluster_size = 1;
+    result.labels[i] = cluster;
+    std::deque<size_t> queue(seeds.begin(), seeds.end());
+    while (!queue.empty()) {
+      const size_t j = queue.front();
+      queue.pop_front();
+      if (result.labels[j] == -1) {
+        // Previously noise: border point, absorb if thematically close.
+        const double mean = cluster_mean / static_cast<double>(cluster_size);
+        if (std::abs(records[j].value - mean) <= options_.delta_value) {
+          result.labels[j] = cluster;
+        }
+        continue;
+      }
+      if (result.labels[j] != -2) continue;
+      const double mean = cluster_mean / static_cast<double>(cluster_size);
+      if (std::abs(records[j].value - mean) > options_.delta_value) {
+        // Thematically incompatible with this cluster; leave for another.
+        result.labels[j] = -1;
+        continue;
+      }
+      result.labels[j] = cluster;
+      cluster_mean += records[j].value;
+      ++cluster_size;
+      std::vector<size_t> nb = neighbors_of(j);
+      if (nb.size() + 1 >= options_.min_pts) {
+        for (size_t q : nb) {
+          if (result.labels[q] == -2 || result.labels[q] == -1) {
+            queue.push_back(q);
+          }
+        }
+      }
+    }
+    ++cluster;
+  }
+  result.num_clusters = cluster;
+  for (int& l : result.labels) {
+    if (l == -2) l = -1;
+  }
+  return result;
+}
+
+std::vector<bool> StNeighborhoodDetector::Detect(
+    const std::vector<StRecord>& records) const {
+  const size_t n = records.size();
+  std::vector<bool> flags(n, false);
+  const double r_sq = options_.radius_m * options_.radius_m;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> values;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (std::abs(records[j].t - records[i].t) > options_.window_ms) {
+        continue;
+      }
+      if (geometry::DistanceSq(records[j].loc, records[i].loc) > r_sq) {
+        continue;
+      }
+      values.push_back(records[j].value);
+    }
+    if (values.size() < options_.min_neighbors) continue;
+    double mean = 0.0;
+    for (double v : values) mean += v;
+    mean /= static_cast<double>(values.size());
+    double var = 0.0;
+    for (double v : values) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(values.size());
+    const double sd = std::max(1e-6, std::sqrt(var));
+    flags[i] = std::abs(records[i].value - mean) / sd > options_.z_threshold;
+  }
+  return flags;
+}
+
+}  // namespace outlier
+}  // namespace sidq

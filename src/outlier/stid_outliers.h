@@ -1,0 +1,68 @@
+#ifndef SIDQ_OUTLIER_STID_OUTLIERS_H_
+#define SIDQ_OUTLIER_STID_OUTLIERS_H_
+
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/stid.h"
+#include "core/types.h"
+
+namespace sidq {
+namespace outlier {
+
+// ST-DBSCAN (Birant & Kut, DKE 2007): density-based clustering of
+// spatiotemporal records with separate spatial (eps1), temporal (eps2) and
+// thematic (delta_value) neighbourhood radii. Records in no cluster are
+// spatiotemporal outliers (label -1).
+class StDbscan {
+ public:
+  struct Options {
+    double eps_space_m = 300.0;
+    Timestamp eps_time_ms = 120'000;
+    double delta_value = 5.0;  // max thematic difference within a cluster
+    size_t min_pts = 5;
+  };
+
+  explicit StDbscan(Options options) : options_(options) {}
+  StDbscan() : StDbscan(Options{}) {}
+
+  struct Result {
+    std::vector<int> labels;  // cluster id per record; -1 = outlier
+    int num_clusters = 0;
+  };
+
+  // Clusters `records` (any order). O(n^2) neighbourhood computation; for
+  // the sensor-scale data of this library that is the right trade-off.
+  Result Cluster(const std::vector<StRecord>& records) const;
+
+ private:
+  Options options_;
+};
+
+// Spatiotemporal-neighbourhood thematic outlier detection: a record is an
+// outlier when its value deviates from the mean of its ST-neighbours by
+// more than `z_threshold` robust standard deviations (Aggarwal's
+// "contextual attributes = space+time, thematic attribute = value" view).
+class StNeighborhoodDetector {
+ public:
+  struct Options {
+    double radius_m = 400.0;
+    Timestamp window_ms = 120'000;
+    double z_threshold = 3.0;
+    size_t min_neighbors = 3;
+  };
+
+  explicit StNeighborhoodDetector(Options options) : options_(options) {}
+  StNeighborhoodDetector() : StNeighborhoodDetector(Options{}) {}
+
+  // One flag per record, aligned with `records`.
+  std::vector<bool> Detect(const std::vector<StRecord>& records) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace outlier
+}  // namespace sidq
+
+#endif  // SIDQ_OUTLIER_STID_OUTLIERS_H_

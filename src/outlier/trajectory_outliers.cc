@@ -1,0 +1,228 @@
+#include "outlier/trajectory_outliers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidq {
+namespace outlier {
+
+namespace {
+
+double SegmentSpeed(const TrajectoryPoint& a, const TrajectoryPoint& b) {
+  const Timestamp dt = b.t - a.t;
+  if (dt <= 0) return 0.0;
+  return geometry::Distance(a.p, b.p) / TimestampToSeconds(dt);
+}
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+StatusOr<std::vector<bool>> SpeedConstraintDetector::Detect(
+    const Trajectory& input) const {
+  if (!input.IsTimeOrdered()) {
+    return Status::FailedPrecondition("trajectory must be time-ordered");
+  }
+  const size_t n = input.size();
+  std::vector<bool> flags(n, false);
+  if (n < 2) return flags;
+  const double vmax = options_.max_speed_mps;
+  for (size_t i = 0; i < n; ++i) {
+    const bool fast_in = i > 0 && SegmentSpeed(input[i - 1], input[i]) > vmax;
+    const bool fast_out =
+        i + 1 < n && SegmentSpeed(input[i], input[i + 1]) > vmax;
+    if (i == 0) {
+      flags[i] = fast_out;
+    } else if (i + 1 == n) {
+      flags[i] = fast_in;
+    } else {
+      flags[i] = fast_in && fast_out;
+    }
+  }
+  return flags;
+}
+
+StatusOr<std::vector<bool>> StatisticalDetector::Detect(
+    const Trajectory& input) const {
+  if (!input.IsTimeOrdered()) {
+    return Status::FailedPrecondition("trajectory must be time-ordered");
+  }
+  const size_t n = input.size();
+  std::vector<bool> flags(n, false);
+  if (n < 3) return flags;
+  // Deviation of each point from its window median position.
+  std::vector<double> deviations(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i >= options_.half_window ? i - options_.half_window : 0;
+    const size_t hi = std::min(n - 1, i + options_.half_window);
+    // The window includes the point itself: the median is robust to it,
+    // and excluding it would bias the window centre off the path.
+    std::vector<double> xs, ys;
+    for (size_t j = lo; j <= hi; ++j) {
+      xs.push_back(input[j].p.x);
+      ys.push_back(input[j].p.y);
+    }
+    const geometry::Point med(Median(xs), Median(ys));
+    deviations[i] = geometry::Distance(input[i].p, med);
+  }
+  // Robust scale: 1.4826 * MAD of the deviations, floored at the typical
+  // step length so that a deviation of one inter-sample hop (which the
+  // window median can introduce near a genuine outlier) never triggers.
+  std::vector<double> dev_copy = deviations;
+  const double med_dev = Median(dev_copy);
+  std::vector<double> abs_dev;
+  abs_dev.reserve(n);
+  for (double d : deviations) abs_dev.push_back(std::abs(d - med_dev));
+  const double mad = Median(abs_dev);
+  std::vector<double> steps;
+  steps.reserve(n - 1);
+  for (size_t i = 1; i < n; ++i) {
+    steps.push_back(geometry::Distance(input[i].p, input[i - 1].p));
+  }
+  const double median_step = Median(std::move(steps));
+  const double scale =
+      std::max({options_.min_scale_m, 1.4826 * mad, median_step});
+  for (size_t i = 0; i < n; ++i) {
+    flags[i] = (deviations[i] - med_dev) / scale > options_.z_threshold;
+  }
+  return flags;
+}
+
+Status PredictiveDetector::Run(const Trajectory& input,
+                               std::vector<bool>* flags,
+                               Trajectory* repaired) const {
+  if (!input.IsTimeOrdered()) {
+    return Status::FailedPrecondition("trajectory must be time-ordered");
+  }
+  const size_t n = input.size();
+  flags->assign(n, false);
+  if (repaired != nullptr) {
+    *repaired = Trajectory(input.object_id());
+  }
+  // Working copy holding repaired positions for sequential prediction.
+  std::vector<geometry::Point> pos;
+  pos.reserve(n);
+  double scale = options_.initial_scale_m;
+  for (size_t i = 0; i < n; ++i) {
+    geometry::Point predicted = input[i].p;
+    bool have_prediction = false;
+    if (i >= 2) {
+      const double dt01 =
+          TimestampToSeconds(input[i - 1].t - input[i - 2].t);
+      const double dt12 = TimestampToSeconds(input[i].t - input[i - 1].t);
+      if (dt01 > 0.0 && dt12 > 0.0) {
+        const geometry::Point vel = (pos[i - 1] - pos[i - 2]) / dt01;
+        predicted = pos[i - 1] + vel * dt12;
+        have_prediction = true;
+      }
+    }
+    bool is_outlier = false;
+    if (have_prediction) {
+      const double innovation = geometry::Distance(input[i].p, predicted);
+      if (innovation > options_.threshold_factor * scale) {
+        is_outlier = true;
+      } else {
+        scale = (1.0 - options_.scale_alpha) * scale +
+                options_.scale_alpha * std::max(innovation, 0.5);
+      }
+    }
+    (*flags)[i] = is_outlier;
+    pos.push_back(is_outlier ? predicted : input[i].p);
+    if (repaired != nullptr) {
+      TrajectoryPoint pt = input[i];
+      pt.p = pos.back();
+      repaired->AppendUnordered(pt);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<bool>> PredictiveDetector::Detect(
+    const Trajectory& input) const {
+  std::vector<bool> flags;
+  SIDQ_RETURN_IF_ERROR(Run(input, &flags, nullptr));
+  return flags;
+}
+
+StatusOr<Trajectory> PredictiveDetector::Repair(
+    const Trajectory& input) const {
+  std::vector<bool> flags;
+  Trajectory repaired;
+  SIDQ_RETURN_IF_ERROR(Run(input, &flags, &repaired));
+  return repaired;
+}
+
+StatusOr<Trajectory> RemoveFlagged(const Trajectory& input,
+                                   const std::vector<bool>& flags) {
+  if (flags.size() != input.size()) {
+    return Status::InvalidArgument("flag count mismatch");
+  }
+  Trajectory out(input.object_id());
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (!flags[i]) out.AppendUnordered(input[i]);
+  }
+  return out;
+}
+
+StatusOr<Trajectory> RepairFlagged(const Trajectory& input,
+                                   const std::vector<bool>& flags) {
+  if (flags.size() != input.size()) {
+    return Status::InvalidArgument("flag count mismatch");
+  }
+  const size_t n = input.size();
+  Trajectory out(input.object_id());
+  for (size_t i = 0; i < n; ++i) {
+    TrajectoryPoint pt = input[i];
+    if (flags[i]) {
+      // Nearest unflagged neighbours on both sides.
+      size_t prev = i;
+      while (prev > 0 && flags[prev]) --prev;
+      size_t next = i;
+      while (next + 1 < n && flags[next]) ++next;
+      const bool prev_ok = !flags[prev];
+      const bool next_ok = !flags[next];
+      if (prev_ok && next_ok && input[next].t > input[prev].t) {
+        const double f = static_cast<double>(pt.t - input[prev].t) /
+                         static_cast<double>(input[next].t - input[prev].t);
+        pt.p = geometry::Lerp(input[prev].p, input[next].p, f);
+      } else if (prev_ok) {
+        pt.p = input[prev].p;
+      } else if (next_ok) {
+        pt.p = input[next].p;
+      }
+    }
+    out.AppendUnordered(pt);
+  }
+  return out;
+}
+
+DetectionQuality EvaluateDetection(const std::vector<bool>& predicted,
+                                   const std::vector<bool>& truth) {
+  size_t tp = 0, fp = 0, fn = 0;
+  const size_t n = std::min(predicted.size(), truth.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (predicted[i] && truth[i]) ++tp;
+    if (predicted[i] && !truth[i]) ++fp;
+    if (!predicted[i] && truth[i]) ++fn;
+  }
+  DetectionQuality q;
+  q.precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  q.recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  q.f1 = q.precision + q.recall > 0.0
+             ? 2.0 * q.precision * q.recall / (q.precision + q.recall)
+             : 0.0;
+  return q;
+}
+
+StatusOr<Trajectory> SpeedOutlierRepairStage::Apply(
+    const Trajectory& input) const {
+  SIDQ_ASSIGN_OR_RETURN(std::vector<bool> flags, detector_.Detect(input));
+  return RepairFlagged(input, flags);
+}
+
+}  // namespace outlier
+}  // namespace sidq

@@ -1,0 +1,81 @@
+#include "query/cloaking.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidq {
+namespace query {
+
+namespace {
+
+// Recursive quadtree descent: returns, for each user index in `members`,
+// the smallest cell on its root-to-leaf path that still holds >= k users.
+void Descend(const geometry::BBox& cell,
+             const std::vector<std::pair<ObjectId, geometry::Point>>& users,
+             const std::vector<size_t>& members, size_t k, int depth,
+             int max_depth, std::vector<geometry::BBox>* out) {
+  // This cell is the current best cloak for all members.
+  for (size_t i : members) (*out)[i] = cell;
+  if (depth >= max_depth) return;
+  const geometry::Point c = cell.Center();
+  const geometry::BBox quads[4] = {
+      geometry::BBox(cell.min_x, cell.min_y, c.x, c.y),
+      geometry::BBox(c.x, cell.min_y, cell.max_x, c.y),
+      geometry::BBox(cell.min_x, c.y, c.x, cell.max_y),
+      geometry::BBox(c.x, c.y, cell.max_x, cell.max_y)};
+  std::vector<size_t> buckets[4];
+  for (size_t i : members) {
+    const geometry::Point& p = users[i].second;
+    const int qx = p.x < c.x ? 0 : 1;
+    const int qy = p.y < c.y ? 0 : 1;
+    buckets[qy * 2 + qx].push_back(i);
+  }
+  for (int q = 0; q < 4; ++q) {
+    // Only sub-cells that still satisfy k-anonymity may shrink the cloak.
+    if (buckets[q].size() >= k) {
+      Descend(quads[q], users, buckets[q], k, depth + 1, max_depth, out);
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<SpatialCloaker::Cloak>> SpatialCloaker::CloakAll(
+    const std::vector<std::pair<ObjectId, geometry::Point>>& users) const {
+  if (users.size() < options_.k) {
+    return Status::FailedPrecondition(
+        "fewer users than the anonymity level k");
+  }
+  geometry::BBox root;
+  for (const auto& [id, p] : users) root.Extend(p);
+  root = root.Expanded(1.0);
+  std::vector<size_t> all(users.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  std::vector<geometry::BBox> regions(users.size());
+  Descend(root, users, all, options_.k, 0, options_.max_depth, &regions);
+  std::vector<Cloak> out(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    out[i].id = users[i].first;
+    out[i].region = regions[i];
+  }
+  return out;
+}
+
+double ExpectedCountInRange(const std::vector<SpatialCloaker::Cloak>& cloaks,
+                            const geometry::BBox& range) {
+  double expected = 0.0;
+  for (const auto& cloak : cloaks) {
+    if (!cloak.region.Intersects(range) || cloak.region.Area() <= 0.0) {
+      continue;
+    }
+    const double ox = std::min(cloak.region.max_x, range.max_x) -
+                      std::max(cloak.region.min_x, range.min_x);
+    const double oy = std::min(cloak.region.max_y, range.max_y) -
+                      std::max(cloak.region.min_y, range.min_y);
+    expected += std::max(0.0, ox) * std::max(0.0, oy) / cloak.region.Area();
+  }
+  return expected;
+}
+
+}  // namespace query
+}  // namespace sidq

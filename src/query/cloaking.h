@@ -1,0 +1,51 @@
+#ifndef SIDQ_QUERY_CLOAKING_H_
+#define SIDQ_QUERY_CLOAKING_H_
+
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/types.h"
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace query {
+
+// Spatial k-anonymity cloaking (Section 2.4 privacy-preserving computing;
+// Casper/quadtree cloaking family): each user's exact location is replaced
+// by the smallest quadtree cell containing at least k users, so any report
+// is indistinguishable among >= k people. Queries over cloaked regions
+// return expected counts under a uniform-within-cell assumption -- privacy
+// noise handled, once again, as quantified uncertainty.
+class SpatialCloaker {
+ public:
+  struct Options {
+    size_t k = 5;
+    int max_depth = 16;
+  };
+
+  explicit SpatialCloaker(Options options) : options_(options) {}
+  SpatialCloaker() : SpatialCloaker(Options{}) {}
+
+  struct Cloak {
+    ObjectId id = kInvalidObjectId;
+    geometry::BBox region;
+  };
+
+  // Cloaks every user; fails when fewer than k users exist in total.
+  StatusOr<std::vector<Cloak>> CloakAll(
+      const std::vector<std::pair<ObjectId, geometry::Point>>& users) const;
+
+ private:
+  Options options_;
+};
+
+// Expected number of cloaked users inside `range`, counting each cloak by
+// its area overlap fraction (uniform-within-cloak model).
+double ExpectedCountInRange(const std::vector<SpatialCloaker::Cloak>& cloaks,
+                            const geometry::BBox& range);
+
+}  // namespace query
+}  // namespace sidq
+
+#endif  // SIDQ_QUERY_CLOAKING_H_

@@ -1,0 +1,47 @@
+#include "query/continuous.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidq {
+namespace query {
+
+double SafeRegionMonitor::BoundaryDistance(const geometry::Point& p) const {
+  if (range_.Contains(p)) {
+    // Distance to the nearest side from inside.
+    return std::min({p.x - range_.min_x, range_.max_x - p.x,
+                     p.y - range_.min_y, range_.max_y - p.y});
+  }
+  return range_.MinDistance(p);
+}
+
+bool SafeRegionMonitor::ProcessUpdate(ObjectId id, const geometry::Point& p) {
+  ++updates_processed_;
+  auto it = states_.find(id);
+  const bool is_new = it == states_.end();
+  bool must_report = is_new;
+  if (!is_new) {
+    const ObjectState& st = it->second;
+    // Still within the safe circle: the inside/outside answer cannot have
+    // changed, no message needed.
+    must_report =
+        geometry::Distance(p, st.last_reported) > st.safe_radius;
+  }
+  if (!must_report) return false;
+
+  ++messages_sent_;
+  ObjectState st;
+  st.last_reported = p;
+  st.inside = range_.Contains(p);
+  st.safe_radius = BoundaryDistance(p);
+  states_[id] = st;
+  if (st.inside) {
+    inside_.insert(id);
+  } else {
+    inside_.erase(id);
+  }
+  return true;
+}
+
+}  // namespace query
+}  // namespace sidq

@@ -1,0 +1,61 @@
+#ifndef SIDQ_QUERY_CONTINUOUS_H_
+#define SIDQ_QUERY_CONTINUOUS_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/types.h"
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace query {
+
+// Continuous range monitoring over evolving SID (Section 2.3.1, "queries
+// over evolving SID"): a server maintains the set of objects inside a fixed
+// rectangular query. With safe regions (Qi et al., CSUR 2018) an object
+// only communicates when it leaves the circular safe region assigned at its
+// last report, slashing the message volume against naive per-update
+// reporting.
+class SafeRegionMonitor {
+ public:
+  explicit SafeRegionMonitor(const geometry::BBox& range) : range_(range) {}
+
+  // Processes one location update as evaluated on the *object* side;
+  // returns true when the object had to send a message to the server.
+  bool ProcessUpdate(ObjectId id, const geometry::Point& p);
+
+  // Objects currently known to be inside the range (server view).
+  const std::unordered_set<ObjectId>& inside() const { return inside_; }
+
+  size_t messages_sent() const { return messages_sent_; }
+  size_t updates_processed() const { return updates_processed_; }
+  double MessageSavings() const {
+    return updates_processed_ == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(messages_sent_) /
+                           static_cast<double>(updates_processed_);
+  }
+
+ private:
+  struct ObjectState {
+    geometry::Point last_reported;
+    double safe_radius = 0.0;
+    bool inside = false;
+  };
+
+  // Distance from p to the range boundary (positive inside and outside).
+  double BoundaryDistance(const geometry::Point& p) const;
+
+  geometry::BBox range_;
+  std::unordered_map<ObjectId, ObjectState> states_;
+  std::unordered_set<ObjectId> inside_;
+  size_t messages_sent_ = 0;
+  size_t updates_processed_ = 0;
+};
+
+}  // namespace query
+}  // namespace sidq
+
+#endif  // SIDQ_QUERY_CONTINUOUS_H_

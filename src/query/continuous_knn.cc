@@ -1,0 +1,66 @@
+#include "query/continuous_knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidq {
+namespace query {
+
+bool ContinuousKnnMonitor::ProcessUpdate(ObjectId id,
+                                         const geometry::Point& p) {
+  ++updates_processed_;
+  const auto it = states_.find(id);
+  if (it != states_.end() &&
+      geometry::Distance(p, it->second.last_reported) <=
+          it->second.safe_radius) {
+    return false;  // movement cannot have crossed the k-th boundary
+  }
+  ++messages_sent_;
+  states_[id].last_reported = p;
+  ReassignSafeRadii();
+  return true;
+}
+
+void ContinuousKnnMonitor::ReassignSafeRadii() {
+  // Distances of all known objects to the query point.
+  std::vector<std::pair<double, ObjectId>> dist;
+  dist.reserve(states_.size());
+  for (const auto& [id, st] : states_) {
+    dist.emplace_back(geometry::Distance(st.last_reported, query_), id);
+  }
+  std::sort(dist.begin(), dist.end());
+  if (dist.size() <= k_) {
+    // Everyone is in the result; no boundary to protect.
+    for (auto& [id, st] : states_) st.safe_radius = 0.0;
+    return;
+  }
+  const double d_k = dist[k_ - 1].first;      // k-th (last inside)
+  const double d_k1 = dist[k_].first;         // (k+1)-th (first outside)
+  for (size_t i = 0; i < dist.size(); ++i) {
+    ObjectState& st = states_[dist[i].second];
+    if (i < k_) {
+      // Inside: safe while it cannot pass the first outsider.
+      st.safe_radius = std::max(0.0, (d_k1 - dist[i].first) / 2.0);
+    } else {
+      // Outside: safe while it cannot pass the k-th insider.
+      st.safe_radius = std::max(0.0, (dist[i].first - d_k) / 2.0);
+    }
+  }
+}
+
+std::vector<ObjectId> ContinuousKnnMonitor::Result() const {
+  std::vector<std::pair<double, ObjectId>> dist;
+  dist.reserve(states_.size());
+  for (const auto& [id, st] : states_) {
+    dist.emplace_back(geometry::Distance(st.last_reported, query_), id);
+  }
+  std::sort(dist.begin(), dist.end());
+  std::vector<ObjectId> out;
+  for (size_t i = 0; i < std::min(k_, dist.size()); ++i) {
+    out.push_back(dist[i].second);
+  }
+  return out;
+}
+
+}  // namespace query
+}  // namespace sidq

@@ -1,0 +1,62 @@
+#ifndef SIDQ_QUERY_CONTINUOUS_KNN_H_
+#define SIDQ_QUERY_CONTINUOUS_KNN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace query {
+
+// Continuous k-nearest-neighbour monitoring over moving objects
+// (Section 2.3.1 "queries over evolving SID"; safe-region family, Qi et
+// al., CSUR 2018). The server maintains the k objects nearest to a fixed
+// query point. After each accepted report the server assigns the object a
+// safe radius -- half its distance gap to the k-th boundary -- within
+// which its own movement cannot change the result ordering relative to the
+// snapshot. Objects suppress updates inside their safe radius, trading a
+// bounded staleness (other objects may move concurrently) for most of the
+// communication; the harness measures both the savings and the resulting
+// result accuracy.
+class ContinuousKnnMonitor {
+ public:
+  ContinuousKnnMonitor(const geometry::Point& query, size_t k)
+      : query_(query), k_(k) {}
+
+  // Processes one object-side location update; returns true when the
+  // object had to send it to the server (outside its safe radius).
+  bool ProcessUpdate(ObjectId id, const geometry::Point& p);
+
+  // The server's current k nearest objects (ordered by distance).
+  std::vector<ObjectId> Result() const;
+
+  size_t messages_sent() const { return messages_sent_; }
+  size_t updates_processed() const { return updates_processed_; }
+  double MessageSavings() const {
+    return updates_processed_ == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(messages_sent_) /
+                           static_cast<double>(updates_processed_);
+  }
+
+ private:
+  struct ObjectState {
+    geometry::Point last_reported;
+    double safe_radius = 0.0;
+  };
+
+  void ReassignSafeRadii();
+
+  geometry::Point query_;
+  size_t k_;
+  std::unordered_map<ObjectId, ObjectState> states_;
+  size_t messages_sent_ = 0;
+  size_t updates_processed_ = 0;
+};
+
+}  // namespace query
+}  // namespace sidq
+
+#endif  // SIDQ_QUERY_CONTINUOUS_KNN_H_

@@ -1,0 +1,100 @@
+#include "query/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidq {
+namespace query {
+
+PartitionStats ComputeStats(const std::vector<Partition>& partitions) {
+  PartitionStats stats;
+  stats.num_partitions = partitions.size();
+  if (partitions.empty()) return stats;
+  size_t total = 0;
+  for (const Partition& p : partitions) {
+    stats.max_load = std::max(stats.max_load, p.load);
+    total += p.load;
+  }
+  stats.mean_load =
+      static_cast<double>(total) / static_cast<double>(partitions.size());
+  stats.imbalance = stats.mean_load > 0.0
+                        ? static_cast<double>(stats.max_load) /
+                              stats.mean_load
+                        : 0.0;
+  return stats;
+}
+
+std::vector<Partition> UniformGridPartition(
+    const std::vector<geometry::Point>& points, int cols, int rows) {
+  std::vector<Partition> out;
+  if (points.empty() || cols < 1 || rows < 1) return out;
+  geometry::BBox bounds;
+  for (const geometry::Point& p : points) bounds.Extend(p);
+  const double dx = std::max(1e-9, bounds.Width() / cols);
+  const double dy = std::max(1e-9, bounds.Height() / rows);
+  out.resize(static_cast<size_t>(cols) * rows);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      out[static_cast<size_t>(r) * cols + c].box =
+          geometry::BBox(bounds.min_x + c * dx, bounds.min_y + r * dy,
+                         bounds.min_x + (c + 1) * dx,
+                         bounds.min_y + (r + 1) * dy);
+    }
+  }
+  for (const geometry::Point& p : points) {
+    int c = static_cast<int>((p.x - bounds.min_x) / dx);
+    int r = static_cast<int>((p.y - bounds.min_y) / dy);
+    c = std::clamp(c, 0, cols - 1);
+    r = std::clamp(r, 0, rows - 1);
+    out[static_cast<size_t>(r) * cols + c].load += 1;
+  }
+  return out;
+}
+
+namespace {
+
+void QuadSplit(const geometry::BBox& box, std::vector<geometry::Point> pts,
+               size_t max_load, int depth, int max_depth,
+               std::vector<Partition>* out) {
+  if (pts.size() <= max_load || depth >= max_depth) {
+    out->push_back(Partition{box, pts.size()});
+    return;
+  }
+  const geometry::Point c = box.Center();
+  const geometry::BBox quads[4] = {
+      geometry::BBox(box.min_x, box.min_y, c.x, c.y),
+      geometry::BBox(c.x, box.min_y, box.max_x, c.y),
+      geometry::BBox(box.min_x, c.y, c.x, box.max_y),
+      geometry::BBox(c.x, c.y, box.max_x, box.max_y)};
+  std::vector<geometry::Point> buckets[4];
+  for (const geometry::Point& p : pts) {
+    const int qx = p.x < c.x ? 0 : 1;
+    const int qy = p.y < c.y ? 0 : 1;
+    buckets[qy * 2 + qx].push_back(p);
+  }
+  pts.clear();
+  pts.shrink_to_fit();
+  for (int q = 0; q < 4; ++q) {
+    QuadSplit(quads[q], std::move(buckets[q]), max_load, depth + 1,
+              max_depth, out);
+  }
+}
+
+}  // namespace
+
+std::vector<Partition> AdaptiveQuadPartition(
+    const std::vector<geometry::Point>& points, size_t max_load_per_partition,
+    int max_depth) {
+  std::vector<Partition> out;
+  if (points.empty()) return out;
+  geometry::BBox bounds;
+  for (const geometry::Point& p : points) bounds.Extend(p);
+  // Nudge the bounds so boundary points fall strictly inside.
+  bounds = bounds.Expanded(1e-6);
+  QuadSplit(bounds, points, std::max<size_t>(1, max_load_per_partition), 0,
+            max_depth, &out);
+  return out;
+}
+
+}  // namespace query
+}  // namespace sidq

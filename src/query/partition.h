@@ -1,0 +1,45 @@
+#ifndef SIDQ_QUERY_PARTITION_H_
+#define SIDQ_QUERY_PARTITION_H_
+
+#include <vector>
+
+#include "core/statusor.h"
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace query {
+
+// Data partitioning for skewed SID (Section 2.3.1, "queries over skewed
+// SID"; SATO / load-balancing family): points are assigned to spatial
+// partitions for parallel processing. A uniform grid suffers under skew;
+// adaptive quad-splitting bounds the per-partition load.
+struct Partition {
+  geometry::BBox box;
+  size_t load = 0;
+};
+
+struct PartitionStats {
+  size_t num_partitions = 0;
+  size_t max_load = 0;
+  double mean_load = 0.0;
+  // max/mean; 1.0 is perfectly balanced.
+  double imbalance = 0.0;
+};
+
+PartitionStats ComputeStats(const std::vector<Partition>& partitions);
+
+// Fixed cols x rows grid partitioning.
+std::vector<Partition> UniformGridPartition(
+    const std::vector<geometry::Point>& points, int cols, int rows);
+
+// Adaptive quadtree partitioning: recursively splits any partition whose
+// load exceeds `max_load_per_partition` (up to `max_depth` levels).
+std::vector<Partition> AdaptiveQuadPartition(
+    const std::vector<geometry::Point>& points, size_t max_load_per_partition,
+    int max_depth = 12);
+
+}  // namespace query
+}  // namespace sidq
+
+#endif  // SIDQ_QUERY_PARTITION_H_

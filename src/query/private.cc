@@ -1,0 +1,42 @@
+#include "query/private.h"
+
+#include <cmath>
+
+namespace sidq {
+namespace query {
+
+geometry::Point PlanarLaplaceObfuscator::Obfuscate(const geometry::Point& p,
+                                                   Rng* rng) const {
+  // Radius of the planar Laplace is Gamma(2, 1/epsilon): the sum of two
+  // independent exponentials with rate epsilon.
+  const double r =
+      (rng->Exponential(epsilon_) + rng->Exponential(epsilon_));
+  const double theta = rng->Uniform(0.0, 2.0 * M_PI);
+  return geometry::Point(p.x + r * std::cos(theta),
+                         p.y + r * std::sin(theta));
+}
+
+UncertainPoint PlanarLaplaceObfuscator::ToUncertainPoint(
+    ObjectId id, const geometry::Point& reported) const {
+  // E[r^2] = 6 / eps^2 for Gamma(2, 1/eps) => per-axis variance 3 / eps^2.
+  const double sigma = std::sqrt(3.0) / epsilon_;
+  return UncertainPoint::MakeGaussian(id, reported, sigma);
+}
+
+PrivateRangeResult PrivateRangeQuery(
+    const std::vector<std::pair<ObjectId, geometry::Point>>& reports,
+    const PlanarLaplaceObfuscator& mechanism, const geometry::BBox& range,
+    double tau) {
+  PrivateRangeResult result;
+  std::vector<UncertainPoint> uncertain;
+  uncertain.reserve(reports.size());
+  for (const auto& [id, reported] : reports) {
+    if (range.Contains(reported)) result.naive.push_back(id);
+    uncertain.push_back(mechanism.ToUncertainPoint(id, reported));
+  }
+  result.aware = ProbabilisticRangeQuery(uncertain, range, tau);
+  return result;
+}
+
+}  // namespace query
+}  // namespace sidq

@@ -1,0 +1,64 @@
+#ifndef SIDQ_QUERY_PRIVATE_H_
+#define SIDQ_QUERY_PRIVATE_H_
+
+#include <vector>
+
+#include "core/random.h"
+#include "core/statusor.h"
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+#include "query/uncertain_point.h"
+
+namespace sidq {
+namespace query {
+
+// Privacy-preserving spatial computing (Section 2.4 "emerging trends";
+// geo-indistinguishability, Andres et al.): locations are obfuscated with
+// planar Laplace noise before leaving the device, and the server queries
+// the obfuscated feed. Because the noise distribution is public, the
+// server can treat each obfuscated report as an *uncertain point* and run
+// the probabilistic machinery of this module -- turning the privacy noise
+// into just another quality issue to manage.
+class PlanarLaplaceObfuscator {
+ public:
+  // epsilon is the geo-indistinguishability parameter in 1/metres:
+  // locations r metres apart are e^(epsilon*r)-indistinguishable. Smaller
+  // epsilon = stronger privacy = more noise.
+  explicit PlanarLaplaceObfuscator(double epsilon_per_m)
+      : epsilon_(epsilon_per_m) {}
+
+  double epsilon() const { return epsilon_; }
+  // Mean displacement of the mechanism: E[r] = 2 / epsilon.
+  double MeanDisplacement() const { return 2.0 / epsilon_; }
+
+  // Draws one obfuscated location: uniform angle, radius ~ Gamma(2,
+  // 1/epsilon) (the planar Laplace radial law).
+  geometry::Point Obfuscate(const geometry::Point& p, Rng* rng) const;
+
+  // The server-side uncertainty model for a report: a Gaussian with the
+  // planar Laplace's per-axis variance 3 / epsilon^2 (moment matched).
+  UncertainPoint ToUncertainPoint(ObjectId id,
+                                  const geometry::Point& reported) const;
+
+ private:
+  double epsilon_;
+};
+
+// Server-side range query over obfuscated reports.
+struct PrivateRangeResult {
+  // Naive: objects whose obfuscated report falls inside the range.
+  std::vector<ObjectId> naive;
+  // Noise-aware: objects with P(true location inside) >= tau under the
+  // public noise model.
+  std::vector<ObjectId> aware;
+};
+
+PrivateRangeResult PrivateRangeQuery(
+    const std::vector<std::pair<ObjectId, geometry::Point>>& reports,
+    const PlanarLaplaceObfuscator& mechanism, const geometry::BBox& range,
+    double tau);
+
+}  // namespace query
+}  // namespace sidq
+
+#endif  // SIDQ_QUERY_PRIVATE_H_

@@ -1,0 +1,184 @@
+#include "query/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sidq {
+namespace query {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Minimum distance between two boxes (0 when they intersect).
+double BoxGap(const geometry::BBox& a, const geometry::BBox& b) {
+  const double dx =
+      std::max({a.min_x - b.max_x, b.min_x - a.max_x, 0.0});
+  const double dy =
+      std::max({a.min_y - b.max_y, b.min_y - a.max_y, 0.0});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+double DtwDistance(const Trajectory& a, const Trajectory& b, int band) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return n == m ? 0.0 : kInf;
+  // Two-row DP; rows over a, columns over b.
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    size_t lo = 1, hi = m;
+    if (band > 0) {
+      // Keep |i*m/n - j| within the band (scaled Sakoe-Chiba).
+      const double center = static_cast<double>(i) * m / n;
+      lo = static_cast<size_t>(std::max(1.0, center - band));
+      hi = static_cast<size_t>(
+          std::min(static_cast<double>(m), center + band));
+    }
+    for (size_t j = lo; j <= hi; ++j) {
+      const double d = geometry::Distance(a[i - 1].p, b[j - 1].p);
+      const double best =
+          std::min({prev[j], prev[j - 1], cur[j - 1]});
+      if (best != kInf) cur[j] = d + best;
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double DiscreteFrechetDistance(const Trajectory& a, const Trajectory& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return n == m ? 0.0 : kInf;
+  std::vector<double> prev(m), cur(m);
+  for (size_t j = 0; j < m; ++j) {
+    const double d = geometry::Distance(a[0].p, b[j].p);
+    prev[j] = j == 0 ? d : std::max(prev[j - 1], d);
+  }
+  for (size_t i = 1; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const double d = geometry::Distance(a[i].p, b[j].p);
+      double reach;
+      if (j == 0) {
+        reach = prev[0];
+      } else {
+        reach = std::min({prev[j], prev[j - 1], cur[j - 1]});
+      }
+      cur[j] = std::max(reach, d);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m - 1];
+}
+
+double EdrDistance(const Trajectory& a, const Trajectory& b,
+                   double epsilon_m) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 0.0;
+  if (n == 0 || m == 0) return 1.0;
+  std::vector<double> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<double>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<double>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const bool match =
+          geometry::Distance(a[i - 1].p, b[j - 1].p) <= epsilon_m;
+      const double sub = prev[j - 1] + (match ? 0.0 : 1.0);
+      cur[j] = std::min({sub, prev[j] + 1.0, cur[j - 1] + 1.0});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m] / static_cast<double>(std::max(n, m));
+}
+
+double LcssSimilarity(const Trajectory& a, const Trajectory& b,
+                      double epsilon_m, Timestamp delta_ms) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return 0.0;
+  std::vector<double> prev(m + 1, 0.0), cur(m + 1, 0.0);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      const bool match =
+          geometry::Distance(a[i - 1].p, b[j - 1].p) <= epsilon_m &&
+          std::abs(a[i - 1].t - b[j - 1].t) <= delta_ms;
+      if (match) {
+        cur[j] = prev[j - 1] + 1.0;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m] / static_cast<double>(std::min(n, m));
+}
+
+void TrajectorySimilaritySearch::Build(
+    const std::vector<Trajectory>* collection) {
+  collection_ = collection;
+  mbrs_.clear();
+  mbrs_.reserve(collection->size());
+  for (const Trajectory& tr : *collection) {
+    mbrs_.push_back(tr.Bounds());
+  }
+}
+
+StatusOr<std::vector<size_t>> TrajectorySimilaritySearch::Knn(
+    const Trajectory& queried, size_t k, SearchStats* stats) const {
+  if (collection_ == nullptr) {
+    return Status::FailedPrecondition("Build() not called");
+  }
+  if (queried.empty()) {
+    return Status::InvalidArgument("empty query trajectory");
+  }
+  SearchStats local;
+  local.candidates = collection_->size();
+  const geometry::BBox qbox = queried.Bounds();
+
+  // Process candidates in increasing MBR-gap order so the pruning bound
+  // tightens as early as possible.
+  std::vector<std::pair<double, size_t>> order;
+  order.reserve(collection_->size());
+  for (size_t i = 0; i < collection_->size(); ++i) {
+    order.emplace_back(BoxGap(qbox, mbrs_[i]), i);
+  }
+  std::sort(order.begin(), order.end());
+
+  // Max-heap of the best k (dtw, index).
+  std::vector<std::pair<double, size_t>> best;
+  for (const auto& [gap, i] : order) {
+    const Trajectory& cand = (*collection_)[i];
+    // Every DTW alignment has at least max(|q|, |c|) matched pairs, each
+    // costing at least the MBR gap.
+    const double lower_bound =
+        gap * static_cast<double>(std::max(queried.size(), cand.size()));
+    if (best.size() == k && lower_bound >= best.front().first) {
+      ++local.pruned;
+      continue;
+    }
+    ++local.dtw_computed;
+    const double d = DtwDistance(queried, cand, options_.dtw_band);
+    if (best.size() < k) {
+      best.emplace_back(d, i);
+      std::push_heap(best.begin(), best.end());
+    } else if (d < best.front().first) {
+      std::pop_heap(best.begin(), best.end());
+      best.back() = {d, i};
+      std::push_heap(best.begin(), best.end());
+    }
+  }
+  std::sort_heap(best.begin(), best.end());
+  std::vector<size_t> out;
+  out.reserve(best.size());
+  for (const auto& [d, i] : best) out.push_back(i);
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace query
+}  // namespace sidq

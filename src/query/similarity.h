@@ -1,0 +1,76 @@
+#ifndef SIDQ_QUERY_SIMILARITY_H_
+#define SIDQ_QUERY_SIMILARITY_H_
+
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/trajectory.h"
+#include "core/types.h"
+
+namespace sidq {
+namespace query {
+
+// Trajectory similarity measures and similarity search over large
+// collections (Section 2.3.1, "queries over massive SID"; Xie et al.
+// PVLDB 2017 / Yuan & Li ICDE 2019 families). The robust measures (DTW,
+// EDR, LCSS) are exactly the tools used to query *low-quality* trajectory
+// data: they tolerate noise, differing sampling rates, and gaps that break
+// naive pointwise distances.
+
+// Dynamic time warping distance with an optional Sakoe-Chiba band
+// (band <= 0 disables the constraint). O(n*m) time, O(min(n,m)) memory.
+double DtwDistance(const Trajectory& a, const Trajectory& b, int band = -1);
+
+// Discrete Frechet distance. O(n*m).
+double DiscreteFrechetDistance(const Trajectory& a, const Trajectory& b);
+
+// Edit distance on real sequences (EDR): edit cost with a match tolerance
+// `epsilon_m`; insertions/deletions/substitutions cost 1. Normalised by
+// max(|a|, |b|) so 0 = identical (within tolerance) and 1 = nothing
+// matches.
+double EdrDistance(const Trajectory& a, const Trajectory& b,
+                   double epsilon_m);
+
+// Longest common subsequence similarity with spatial tolerance `epsilon_m`
+// and temporal tolerance `delta_ms`; returned as a fraction of
+// min(|a|, |b|), so 1 = fully matching.
+double LcssSimilarity(const Trajectory& a, const Trajectory& b,
+                      double epsilon_m, Timestamp delta_ms);
+
+// k-nearest-trajectory search under DTW with bounding-box pruning: a
+// candidate whose MBR distance to the query's MBR already exceeds the
+// current k-th best DTW is skipped without computing DTW (the MBR gap is
+// a lower bound of any pointwise alignment cost).
+class TrajectorySimilaritySearch {
+ public:
+  struct Options {
+    int dtw_band = 32;
+  };
+
+  explicit TrajectorySimilaritySearch(Options options)
+      : options_(options) {}
+  TrajectorySimilaritySearch() : TrajectorySimilaritySearch(Options{}) {}
+
+  // Indexes the collection (kept by reference; must outlive the search).
+  void Build(const std::vector<Trajectory>* collection);
+
+  struct SearchStats {
+    size_t candidates = 0;
+    size_t pruned = 0;
+    size_t dtw_computed = 0;
+  };
+
+  // Indices of the k most similar trajectories by DTW, most similar first.
+  StatusOr<std::vector<size_t>> Knn(const Trajectory& queried, size_t k,
+                                    SearchStats* stats = nullptr) const;
+
+ private:
+  Options options_;
+  const std::vector<Trajectory>* collection_ = nullptr;
+  std::vector<geometry::BBox> mbrs_;
+};
+
+}  // namespace query
+}  // namespace sidq
+
+#endif  // SIDQ_QUERY_SIMILARITY_H_

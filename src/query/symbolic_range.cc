@@ -1,0 +1,68 @@
+#include "query/symbolic_range.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidq {
+namespace query {
+
+void SymbolicRangeMonitor::ProcessReading(const SymbolicReading& reading) {
+  ObjectState& st = states_[reading.object];
+  st.region = reading.region;
+  st.last_seen = reading.t;
+}
+
+std::vector<ObjectId> SymbolicRangeMonitor::Inside(Timestamp now) const {
+  std::vector<ObjectId> out;
+  for (const auto& [id, st] : states_) {
+    if (query_regions_.count(st.region) == 0) continue;
+    if (now - st.last_seen > stale_after_ms_) continue;
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double CountError(const std::vector<SymbolicTrajectory>& truth_streams,
+                  const std::vector<SymbolicTrajectory>& observed_streams,
+                  const std::set<RegionId>& query_regions,
+                  Timestamp tick_ms, Timestamp stale_after_ms) {
+  // Merge all readings into one time-ordered stream per variant.
+  auto merge = [](const std::vector<SymbolicTrajectory>& streams) {
+    std::vector<SymbolicReading> all;
+    for (const auto& s : streams) {
+      all.insert(all.end(), s.readings().begin(), s.readings().end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const SymbolicReading& a, const SymbolicReading& b) {
+                return a.t < b.t;
+              });
+    return all;
+  };
+  const auto truth_all = merge(truth_streams);
+  const auto observed_all = merge(observed_streams);
+  if (truth_all.empty()) return 0.0;
+
+  SymbolicRangeMonitor truth_monitor(query_regions, stale_after_ms);
+  SymbolicRangeMonitor observed_monitor(query_regions, stale_after_ms);
+  size_t ti = 0, oi = 0;
+  double err = 0.0;
+  size_t ticks = 0;
+  const Timestamp t0 = truth_all.front().t;
+  const Timestamp t1 = truth_all.back().t;
+  for (Timestamp now = t0; now <= t1; now += tick_ms) {
+    while (ti < truth_all.size() && truth_all[ti].t <= now) {
+      truth_monitor.ProcessReading(truth_all[ti++]);
+    }
+    while (oi < observed_all.size() && observed_all[oi].t <= now) {
+      observed_monitor.ProcessReading(observed_all[oi++]);
+    }
+    err += std::abs(static_cast<double>(truth_monitor.CountInside(now)) -
+                    static_cast<double>(observed_monitor.CountInside(now)));
+    ++ticks;
+  }
+  return ticks > 0 ? err / static_cast<double>(ticks) : 0.0;
+}
+
+}  // namespace query
+}  // namespace sidq

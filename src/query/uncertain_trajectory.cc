@@ -1,0 +1,286 @@
+#include "query/uncertain_trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sidq {
+namespace query {
+
+namespace {
+
+// Bracketing sample indices for time t; false when outside the span.
+bool Bracket(const Trajectory& tr, Timestamp t, size_t* lo, size_t* hi) {
+  if (tr.empty() || t < tr.front().t || t > tr.back().t) return false;
+  size_t a = 0, b = tr.size() - 1;
+  while (a + 1 < b) {
+    const size_t mid = (a + b) / 2;
+    if (tr[mid].t <= t) {
+      a = mid;
+    } else {
+      b = mid;
+    }
+  }
+  if (tr.size() == 1) {
+    *lo = *hi = 0;
+    return true;
+  }
+  *lo = a;
+  *hi = b;
+  return true;
+}
+
+}  // namespace
+
+geometry::BBox BeadModel::PossibleRegionBounds(Timestamp t) const {
+  size_t lo, hi;
+  if (!Bracket(*trajectory_, t, &lo, &hi)) return geometry::BBox();
+  const TrajectoryPoint& a = (*trajectory_)[lo];
+  const TrajectoryPoint& b = (*trajectory_)[hi];
+  const double r1 = vmax_ * TimestampToSeconds(t - a.t);
+  const double r2 = vmax_ * TimestampToSeconds(b.t - t);
+  const geometry::BBox box1(a.p.x - r1, a.p.y - r1, a.p.x + r1, a.p.y + r1);
+  if (lo == hi) return box1;
+  const geometry::BBox box2(b.p.x - r2, b.p.y - r2, b.p.x + r2, b.p.y + r2);
+  // The lens is contained in the intersection of the two disks' boxes.
+  geometry::BBox out(std::max(box1.min_x, box2.min_x),
+                     std::max(box1.min_y, box2.min_y),
+                     std::min(box1.max_x, box2.max_x),
+                     std::min(box1.max_y, box2.max_y));
+  return out;
+}
+
+bool BeadModel::PossiblyAt(const geometry::Point& p, Timestamp t) const {
+  size_t lo, hi;
+  if (!Bracket(*trajectory_, t, &lo, &hi)) return false;
+  const TrajectoryPoint& a = (*trajectory_)[lo];
+  const TrajectoryPoint& b = (*trajectory_)[hi];
+  const double r1 = vmax_ * TimestampToSeconds(t - a.t);
+  if (geometry::Distance(p, a.p) > r1) return false;
+  if (lo == hi) return true;
+  const double r2 = vmax_ * TimestampToSeconds(b.t - t);
+  return geometry::Distance(p, b.p) <= r2;
+}
+
+bool BeadModel::PossiblyInside(const geometry::BBox& box, Timestamp t_begin,
+                               Timestamp t_end, int steps) const {
+  if (steps < 1) steps = 1;
+  for (int s = 0; s <= steps; ++s) {
+    const Timestamp t =
+        t_begin + (t_end - t_begin) * s / std::max(1, steps);
+    const geometry::BBox region = PossibleRegionBounds(t);
+    if (region.Empty()) continue;
+    if (!region.Intersects(box)) continue;
+    // The box intersects the lens bounds; verify with a corner/center
+    // containment test against the exact lens.
+    const geometry::Point probes[5] = {
+        region.Center(),
+        geometry::Point(std::clamp(region.Center().x, box.min_x, box.max_x),
+                        std::clamp(region.Center().y, box.min_y, box.max_y)),
+        geometry::Point(box.min_x, box.min_y),
+        geometry::Point(box.max_x, box.max_y),
+        geometry::Point((box.min_x + box.max_x) / 2.0,
+                        (box.min_y + box.max_y) / 2.0)};
+    for (const geometry::Point& p : probes) {
+      if (box.Contains(p) && PossiblyAt(p, t)) return true;
+    }
+  }
+  return false;
+}
+
+bool BeadModel::DefinitelyInside(const geometry::BBox& box, Timestamp t_begin,
+                                 Timestamp t_end, int steps) const {
+  if (steps < 1) steps = 1;
+  for (int s = 0; s <= steps; ++s) {
+    const Timestamp t =
+        t_begin + (t_end - t_begin) * s / std::max(1, steps);
+    const geometry::BBox region = PossibleRegionBounds(t);
+    if (region.Empty()) return false;  // outside the observed span
+    if (!box.Contains(region)) return false;
+  }
+  return true;
+}
+
+double MarkovGridModel::ProbInBox(const geometry::BBox& box,
+                                  Timestamp t) const {
+  size_t lo, hi;
+  if (!Bracket(*trajectory_, t, &lo, &hi)) return 0.0;
+  const TrajectoryPoint& a = (*trajectory_)[lo];
+  const TrajectoryPoint& b = (*trajectory_)[hi];
+  const double cell = options_.cell_m;
+  // The forward and backward diffusions must be able to meet: the step
+  // budget has to cover the Chebyshev cell distance between the endpoints.
+  const int cheb = std::max(
+      std::abs(static_cast<int>(std::floor(a.p.x / cell)) -
+               static_cast<int>(std::floor(b.p.x / cell))),
+      std::abs(static_cast<int>(std::floor(a.p.y / cell)) -
+               static_cast<int>(std::floor(b.p.y / cell))));
+  const int total_steps =
+      std::max({1, options_.steps_per_interval, cheb + 1});
+  int fwd_steps = 0;
+  if (hi != lo && b.t > a.t) {
+    fwd_steps = static_cast<int>(std::lround(
+        static_cast<double>(total_steps) * static_cast<double>(t - a.t) /
+        static_cast<double>(b.t - a.t)));
+    fwd_steps = std::clamp(fwd_steps, 0, total_steps);
+  }
+  const int bwd_steps = hi == lo ? 0 : total_steps - fwd_steps;
+
+  // Local window covering both endpoints plus diffusion reach.
+  const int margin = total_steps + 1;
+  const int ax = static_cast<int>(std::floor(a.p.x / cell));
+  const int ay = static_cast<int>(std::floor(a.p.y / cell));
+  const int bx = static_cast<int>(std::floor(b.p.x / cell));
+  const int by = static_cast<int>(std::floor(b.p.y / cell));
+  const int min_x = std::min(ax, bx) - margin;
+  const int max_x = std::max(ax, bx) + margin;
+  const int min_y = std::min(ay, by) - margin;
+  const int max_y = std::max(ay, by) + margin;
+  const int w = max_x - min_x + 1;
+  const int h = max_y - min_y + 1;
+  auto idx = [&](int cx, int cy) {
+    return static_cast<size_t>((cy - min_y) * w + (cx - min_x));
+  };
+
+  auto diffuse = [&](std::vector<double>& dist, int steps) {
+    std::vector<double> next(dist.size());
+    for (int s = 0; s < steps; ++s) {
+      std::fill(next.begin(), next.end(), 0.0);
+      for (int cy = min_y; cy <= max_y; ++cy) {
+        for (int cx = min_x; cx <= max_x; ++cx) {
+          const double p = dist[idx(cx, cy)];
+          if (p == 0.0) continue;
+          const double share = p / 9.0;
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              const int nx = std::clamp(cx + dx, min_x, max_x);
+              const int ny = std::clamp(cy + dy, min_y, max_y);
+              next[idx(nx, ny)] += share;
+            }
+          }
+        }
+      }
+      dist.swap(next);
+    }
+  };
+
+  std::vector<double> fwd(static_cast<size_t>(w) * h, 0.0);
+  fwd[idx(ax, ay)] = 1.0;
+  diffuse(fwd, fwd_steps);
+  std::vector<double> prob;
+  if (hi == lo) {
+    prob = std::move(fwd);
+  } else {
+    std::vector<double> bwd(static_cast<size_t>(w) * h, 0.0);
+    bwd[idx(bx, by)] = 1.0;
+    diffuse(bwd, bwd_steps);
+    prob.resize(fwd.size());
+    double total = 0.0;
+    for (size_t i = 0; i < prob.size(); ++i) {
+      prob[i] = fwd[i] * bwd[i];
+      total += prob[i];
+    }
+    if (total <= 0.0) return 0.0;
+    for (double& p : prob) p /= total;
+  }
+
+  double mass = 0.0;
+  for (int cy = min_y; cy <= max_y; ++cy) {
+    for (int cx = min_x; cx <= max_x; ++cx) {
+      const geometry::Point center((cx + 0.5) * cell, (cy + 0.5) * cell);
+      if (box.Contains(center)) mass += prob[idx(cx, cy)];
+    }
+  }
+  return mass;
+}
+
+namespace {
+
+// The lens (possible-location region) of a bead model at time t, described
+// by up to two disks whose intersection is the region. Returns false when
+// t is outside the trajectory span.
+struct Lens {
+  geometry::Point center[2];
+  double radius[2];
+  int disks = 0;
+};
+
+bool LensAt(const Trajectory& tr, double vmax, Timestamp t, Lens* lens) {
+  size_t lo, hi;
+  if (!Bracket(tr, t, &lo, &hi)) return false;
+  const TrajectoryPoint& a = tr[lo];
+  const TrajectoryPoint& b = tr[hi];
+  lens->center[0] = a.p;
+  lens->radius[0] = vmax * TimestampToSeconds(t - a.t);
+  lens->disks = 1;
+  if (hi != lo) {
+    lens->center[1] = b.p;
+    lens->radius[1] = vmax * TimestampToSeconds(b.t - t);
+    lens->disks = 2;
+  }
+  return true;
+}
+
+// Projects p onto the lens by alternating projection onto its disks.
+geometry::Point ProjectToLens(const Lens& lens, geometry::Point p) {
+  for (int iter = 0; iter < 24; ++iter) {
+    bool inside_all = true;
+    for (int d = 0; d < lens.disks; ++d) {
+      const geometry::Point diff = p - lens.center[d];
+      const double dist = diff.Norm();
+      if (dist > lens.radius[d]) {
+        inside_all = false;
+        p = lens.center[d] +
+            (dist > 0.0 ? diff * (lens.radius[d] / dist)
+                        : geometry::Point(lens.radius[d], 0.0));
+      }
+    }
+    if (inside_all) break;
+  }
+  return p;
+}
+
+}  // namespace
+
+bool AlibiPossiblyMet(const Trajectory& a, const Trajectory& b,
+                      double vmax_mps, Timestamp t_begin, Timestamp t_end,
+                      double meet_distance_m, int steps) {
+  if (steps < 1) steps = 1;
+  for (int s = 0; s <= steps; ++s) {
+    const Timestamp t =
+        t_begin + (t_end - t_begin) * s / std::max(1, steps);
+    Lens la, lb;
+    if (!LensAt(a, vmax_mps, t, &la) || !LensAt(b, vmax_mps, t, &lb)) {
+      continue;
+    }
+    // Alternating projection between the two lenses approximates the
+    // set-to-set distance.
+    geometry::Point pa = geometry::Lerp(la.center[0], lb.center[0], 0.5);
+    geometry::Point pb = pa;
+    for (int iter = 0; iter < 32; ++iter) {
+      pa = ProjectToLens(la, pb);
+      pb = ProjectToLens(lb, pa);
+    }
+    if (geometry::Distance(pa, pb) <= meet_distance_m + 1e-6) return true;
+  }
+  return false;
+}
+
+UncertainRangeResult UncertainTrajectoryRange(
+    const std::vector<Trajectory>& trajectories, double vmax_mps,
+    const geometry::BBox& box, Timestamp t_begin, Timestamp t_end) {
+  UncertainRangeResult out;
+  for (const Trajectory& tr : trajectories) {
+    BeadModel model(&tr, vmax_mps);
+    if (model.PossiblyInside(box, t_begin, t_end)) {
+      out.possible.push_back(tr.object_id());
+      if (model.DefinitelyInside(box, t_begin, t_end)) {
+        out.definite.push_back(tr.object_id());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace query
+}  // namespace sidq

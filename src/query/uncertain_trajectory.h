@@ -1,0 +1,97 @@
+#ifndef SIDQ_QUERY_UNCERTAIN_TRAJECTORY_H_
+#define SIDQ_QUERY_UNCERTAIN_TRAJECTORY_H_
+
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/trajectory.h"
+#include "core/types.h"
+#include "geometry/bbox.h"
+
+namespace sidq {
+namespace query {
+
+// Uncertainty caused by discrete sampling (Section 2.3.1): where was the
+// object *between* its samples? Two classic models are provided.
+
+// Space-time prism ("beads/necklace") model (Kuijpers et al.; Trajcevski
+// et al.): between samples (t_i, p_i) and (t_{i+1}, p_{i+1}) with maximum
+// speed vmax, the object's possible location at time t is the lens
+//   |p - p_i| <= vmax (t - t_i)  AND  |p - p_{i+1}| <= vmax (t_{i+1} - t).
+class BeadModel {
+ public:
+  BeadModel(const Trajectory* trajectory, double vmax_mps)
+      : trajectory_(trajectory), vmax_(vmax_mps) {}
+
+  // The bounding box of the possible-location lens at time t; empty box
+  // when t is outside the trajectory span.
+  geometry::BBox PossibleRegionBounds(Timestamp t) const;
+  // True when `p` is a possible location at time t.
+  bool PossiblyAt(const geometry::Point& p, Timestamp t) const;
+  // True when the object may have been inside `box` at some time in
+  // [t_begin, t_end] (checked at `steps` evenly spaced instants).
+  bool PossiblyInside(const geometry::BBox& box, Timestamp t_begin,
+                      Timestamp t_end, int steps = 16) const;
+  // True when the object was certainly inside `box` during the whole
+  // interval (every lens fits inside the box).
+  bool DefinitelyInside(const geometry::BBox& box, Timestamp t_begin,
+                        Timestamp t_end, int steps = 16) const;
+
+ private:
+  const Trajectory* trajectory_;
+  double vmax_;
+};
+
+// First-order Markov grid model (Zhang et al., PVLDB 2009 family): space is
+// discretised; between consecutive samples the location distribution
+// diffuses step by step over the 8-neighbourhood, conditioned to end at the
+// next sample (forward-backward product).
+class MarkovGridModel {
+ public:
+  struct Options {
+    double cell_m = 50.0;
+    // Diffusion steps per sampling interval.
+    int steps_per_interval = 4;
+  };
+
+  MarkovGridModel(const Trajectory* trajectory, Options options)
+      : trajectory_(trajectory), options_(options) {}
+  MarkovGridModel(const Trajectory* trajectory)
+      : MarkovGridModel(trajectory, Options{}) {}
+
+  // P(object inside box at time t); 0 outside the trajectory span.
+  double ProbInBox(const geometry::BBox& box, Timestamp t) const;
+
+ private:
+  const Trajectory* trajectory_;
+  Options options_;
+};
+
+// Range query over a set of uncertain trajectories under the bead model:
+// returns ids that possibly / definitely intersect `box` during
+// [t_begin, t_end].
+struct UncertainRangeResult {
+  std::vector<ObjectId> possible;
+  std::vector<ObjectId> definite;
+};
+
+UncertainRangeResult UncertainTrajectoryRange(
+    const std::vector<Trajectory>& trajectories, double vmax_mps,
+    const geometry::BBox& box, Timestamp t_begin, Timestamp t_end);
+
+// The alibi query (Kuijpers, Grimson & Othman, IJGIS 2011): given two
+// sampled trajectories and a speed bound, could the objects have been
+// within `meet_distance_m` of each other at some instant of
+// [t_begin, t_end]? Returns false when the space-time prisms provably
+// never come close -- the "alibi" is confirmed. The prism-to-prism
+// distance at each probed instant is computed by alternating projection
+// onto the two lens regions (each the intersection of two disks), which
+// converges for these convex sets; `steps` instants are probed.
+bool AlibiPossiblyMet(const Trajectory& a, const Trajectory& b,
+                      double vmax_mps, Timestamp t_begin, Timestamp t_end,
+                      double meet_distance_m, int steps = 32);
+
+}  // namespace query
+}  // namespace sidq
+
+#endif  // SIDQ_QUERY_UNCERTAIN_TRAJECTORY_H_

@@ -1,0 +1,160 @@
+#include "reduce/coding.h"
+
+#include <algorithm>
+
+namespace sidq {
+namespace reduce {
+
+void BitWriter::WriteBit(bool bit) {
+  const size_t byte = bit_count_ / 8;
+  if (byte >= bytes_.size()) bytes_.push_back(0);
+  if (bit) {
+    bytes_[byte] |= static_cast<uint8_t>(1u << (7 - bit_count_ % 8));
+  }
+  ++bit_count_;
+}
+
+void BitWriter::WriteBits(uint64_t value, int count) {
+  for (int i = count - 1; i >= 0; --i) {
+    WriteBit((value >> i) & 1u);
+  }
+}
+
+void BitWriter::WriteUnary(uint64_t value) {
+  for (uint64_t i = 0; i < value; ++i) WriteBit(true);
+  WriteBit(false);
+}
+
+std::vector<uint8_t> BitWriter::Finish() { return std::move(bytes_); }
+
+StatusOr<bool> BitReader::ReadBit() {
+  if (AtEnd()) return Status::OutOfRange("bit stream exhausted");
+  const bool bit =
+      (bytes_[pos_ / 8] >> (7 - pos_ % 8)) & 1u;
+  ++pos_;
+  return bit;
+}
+
+StatusOr<uint64_t> BitReader::ReadBits(int count) {
+  uint64_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    SIDQ_ASSIGN_OR_RETURN(bool bit, ReadBit());
+    value = (value << 1) | (bit ? 1u : 0u);
+  }
+  return value;
+}
+
+StatusOr<uint64_t> BitReader::ReadUnary() {
+  uint64_t value = 0;
+  while (true) {
+    SIDQ_ASSIGN_OR_RETURN(bool bit, ReadBit());
+    if (!bit) break;
+    ++value;
+    if (value > (1ull << 32)) {
+      return Status::DataLoss("unary run too long; corrupt stream");
+    }
+  }
+  return value;
+}
+
+void GolombRiceEncode(uint64_t value, int k, BitWriter* writer) {
+  writer->WriteUnary(value >> k);
+  if (k > 0) writer->WriteBits(value & ((1ull << k) - 1), k);
+}
+
+StatusOr<uint64_t> GolombRiceDecode(int k, BitReader* reader) {
+  SIDQ_ASSIGN_OR_RETURN(uint64_t q, reader->ReadUnary());
+  uint64_t r = 0;
+  if (k > 0) {
+    SIDQ_ASSIGN_OR_RETURN(r, reader->ReadBits(k));
+  }
+  return (q << k) | r;
+}
+
+int OptimalRiceParameter(const std::vector<uint64_t>& values) {
+  int best_k = 0;
+  uint64_t best_bits = ~0ull;
+  for (int k = 0; k < 32; ++k) {
+    uint64_t bits = 0;
+    for (uint64_t v : values) {
+      bits += (v >> k) + 1 + static_cast<uint64_t>(k);
+      if (bits >= best_bits) break;
+    }
+    if (bits < best_bits) {
+      best_bits = bits;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+std::vector<uint8_t> EncodeIntegerSeries(const std::vector<int64_t>& values) {
+  BitWriter writer;
+  if (values.empty()) {
+    writer.WriteBits(0, 6);
+    writer.WriteBits(0, 32);
+    return writer.Finish();
+  }
+  std::vector<uint64_t> deltas;
+  deltas.reserve(values.size() - 1);
+  for (size_t i = 1; i < values.size(); ++i) {
+    deltas.push_back(ZigZagEncode(values[i] - values[i - 1]));
+  }
+  const int k = OptimalRiceParameter(deltas);
+  writer.WriteBits(static_cast<uint64_t>(k), 6);
+  writer.WriteBits(values.size(), 32);
+  writer.WriteBits(static_cast<uint64_t>(values.front()), 64);
+  for (uint64_t d : deltas) GolombRiceEncode(d, k, &writer);
+  return writer.Finish();
+}
+
+StatusOr<std::vector<int64_t>> DecodeIntegerSeries(
+    const std::vector<uint8_t>& bytes) {
+  BitReader reader(bytes);
+  SIDQ_ASSIGN_OR_RETURN(uint64_t k64, reader.ReadBits(6));
+  SIDQ_ASSIGN_OR_RETURN(uint64_t count, reader.ReadBits(32));
+  std::vector<int64_t> out;
+  if (count == 0) return out;
+  // Every coded delta occupies at least one bit, so a count beyond the
+  // remaining bit budget means a corrupt header -- reject it before
+  // attempting a multi-gigabyte allocation.
+  if (count - 1 > bytes.size() * 8) {
+    return Status::DataLoss("count exceeds stream capacity");
+  }
+  SIDQ_ASSIGN_OR_RETURN(uint64_t first, reader.ReadBits(64));
+  out.reserve(count);
+  out.push_back(static_cast<int64_t>(first));
+  const int k = static_cast<int>(k64);
+  for (uint64_t i = 1; i < count; ++i) {
+    SIDQ_ASSIGN_OR_RETURN(uint64_t code, GolombRiceDecode(k, &reader));
+    out.push_back(out.back() + ZigZagDecode(code));
+  }
+  return out;
+}
+
+void PutVarint(uint64_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+StatusOr<uint64_t> GetVarint(const std::vector<uint8_t>& bytes, size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (*pos >= bytes.size()) {
+      return Status::OutOfRange("varint stream exhausted");
+    }
+    const uint8_t b = bytes[(*pos)++];
+    value |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) return Status::DataLoss("varint too long");
+  }
+  return value;
+}
+
+}  // namespace reduce
+}  // namespace sidq

@@ -1,0 +1,80 @@
+#ifndef SIDQ_REDUCE_CODING_H_
+#define SIDQ_REDUCE_CODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/statusor.h"
+
+namespace sidq {
+namespace reduce {
+
+// Bit-level writer for compression codecs. Bits are appended MSB-first
+// within each byte.
+class BitWriter {
+ public:
+  void WriteBit(bool bit);
+  // Writes the `count` low bits of `value`, most significant first.
+  void WriteBits(uint64_t value, int count);
+  // Unary coding: `value` one-bits followed by a zero.
+  void WriteUnary(uint64_t value);
+
+  // Pads the final partial byte with zeros and returns the buffer.
+  std::vector<uint8_t> Finish();
+  size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t bit_count_ = 0;
+};
+
+// Bit-level reader mirroring BitWriter.
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  StatusOr<bool> ReadBit();
+  StatusOr<uint64_t> ReadBits(int count);
+  StatusOr<uint64_t> ReadUnary();
+  bool AtEnd() const { return pos_ >= bytes_.size() * 8; }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+// Maps signed to unsigned so small-magnitude values stay small:
+// 0,-1,1,-2,2,... -> 0,1,2,3,4,...
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+// Golomb-Rice codec with divisor 2^k: quotient in unary, remainder in k
+// bits. The workhorse of lossless smart-grid/IoT value compression
+// (Tate, IEEE TSG 2015).
+void GolombRiceEncode(uint64_t value, int k, BitWriter* writer);
+StatusOr<uint64_t> GolombRiceDecode(int k, BitReader* reader);
+
+// Rice parameter minimising the total coded size of `values` (scans k in
+// [0, 32)).
+int OptimalRiceParameter(const std::vector<uint64_t>& values);
+
+// Encodes a signed integer sequence with delta + zigzag + Golomb-Rice.
+// Layout: [k: 6 bits][count: 32 bits][first value: 64 bits][codes...].
+std::vector<uint8_t> EncodeIntegerSeries(const std::vector<int64_t>& values);
+StatusOr<std::vector<int64_t>> DecodeIntegerSeries(
+    const std::vector<uint8_t>& bytes);
+
+// LEB128-style varint over a byte vector (for the network-constrained
+// trajectory codec).
+void PutVarint(uint64_t value, std::vector<uint8_t>* out);
+StatusOr<uint64_t> GetVarint(const std::vector<uint8_t>& bytes, size_t* pos);
+
+}  // namespace reduce
+}  // namespace sidq
+
+#endif  // SIDQ_REDUCE_CODING_H_

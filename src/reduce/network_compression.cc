@@ -1,0 +1,78 @@
+#include "reduce/network_compression.h"
+
+#include "reduce/coding.h"
+
+namespace sidq {
+namespace reduce {
+
+StatusOr<NetworkCompressed> CompressMatched(
+    const std::vector<EdgeId>& edges, const std::vector<Timestamp>& times) {
+  if (edges.size() != times.size()) {
+    return Status::InvalidArgument("edges/times length mismatch");
+  }
+  NetworkCompressed out;
+  std::vector<uint8_t>& b = out.bytes;
+  PutVarint(edges.size(), &b);
+  if (edges.empty()) return out;
+  // Run-length encode the edge sequence: (edge delta zigzag, run length).
+  PutVarint(times.front() >= 0 ? static_cast<uint64_t>(times.front()) * 2
+                               : static_cast<uint64_t>(-times.front()) * 2 + 1,
+            &b);
+  // Timestamp deltas.
+  Timestamp prev_t = times.front();
+  for (size_t i = 1; i < times.size(); ++i) {
+    PutVarint(ZigZagEncode(times[i] - prev_t), &b);
+    prev_t = times[i];
+  }
+  // Edge runs.
+  size_t i = 0;
+  EdgeId prev_edge = 0;
+  while (i < edges.size()) {
+    size_t run = 1;
+    while (i + run < edges.size() && edges[i + run] == edges[i]) ++run;
+    PutVarint(ZigZagEncode(static_cast<int64_t>(edges[i]) -
+                           static_cast<int64_t>(prev_edge)),
+              &b);
+    PutVarint(run, &b);
+    prev_edge = edges[i];
+    i += run;
+  }
+  return out;
+}
+
+StatusOr<NetworkDecompressed> DecompressMatched(
+    const NetworkCompressed& compressed) {
+  NetworkDecompressed out;
+  const std::vector<uint8_t>& b = compressed.bytes;
+  size_t pos = 0;
+  SIDQ_ASSIGN_OR_RETURN(uint64_t count, GetVarint(b, &pos));
+  if (count == 0) return out;
+  SIDQ_ASSIGN_OR_RETURN(uint64_t t0z, GetVarint(b, &pos));
+  Timestamp t = (t0z & 1) ? -static_cast<Timestamp>(t0z / 2)
+                          : static_cast<Timestamp>(t0z / 2);
+  out.times.reserve(count);
+  out.times.push_back(t);
+  for (uint64_t i = 1; i < count; ++i) {
+    SIDQ_ASSIGN_OR_RETURN(uint64_t dz, GetVarint(b, &pos));
+    t += ZigZagDecode(dz);
+    out.times.push_back(t);
+  }
+  out.edges.reserve(count);
+  int64_t prev_edge = 0;
+  while (out.edges.size() < count) {
+    SIDQ_ASSIGN_OR_RETURN(uint64_t ez, GetVarint(b, &pos));
+    SIDQ_ASSIGN_OR_RETURN(uint64_t run, GetVarint(b, &pos));
+    const int64_t edge = prev_edge + ZigZagDecode(ez);
+    if (edge < 0 || run == 0 || out.edges.size() + run > count) {
+      return Status::DataLoss("corrupt edge run");
+    }
+    for (uint64_t k = 0; k < run; ++k) {
+      out.edges.push_back(static_cast<EdgeId>(edge));
+    }
+    prev_edge = edge;
+  }
+  return out;
+}
+
+}  // namespace reduce
+}  // namespace sidq

@@ -1,0 +1,45 @@
+#ifndef SIDQ_REDUCE_NETWORK_COMPRESSION_H_
+#define SIDQ_REDUCE_NETWORK_COMPRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/types.h"
+#include "sim/road_network.h"
+
+namespace sidq {
+namespace reduce {
+
+// Network-constrained trajectory compression (Section 2.2.6; Han et al.
+// TODS 2017 / Koide et al. ICDE 2018 family): once map-matched, a
+// trajectory is an edge sequence plus timestamps. Consecutive duplicate
+// edges collapse into (edge, dwell) runs; edge ids and timestamps are
+// delta+varint coded.
+struct NetworkCompressed {
+  std::vector<uint8_t> bytes;
+
+  size_t TotalBytes() const { return bytes.size(); }
+};
+
+// Encodes per-point matched edges + timestamps (parallel arrays from
+// HmmMapMatcher). Fails on length mismatch.
+StatusOr<NetworkCompressed> CompressMatched(
+    const std::vector<EdgeId>& edges, const std::vector<Timestamp>& times);
+
+struct NetworkDecompressed {
+  std::vector<EdgeId> edges;
+  std::vector<Timestamp> times;
+};
+
+StatusOr<NetworkDecompressed> DecompressMatched(
+    const NetworkCompressed& compressed);
+
+// Raw cost baseline: the byte size of storing the same points as
+// (x, y, t) doubles -- used to report compression factors.
+inline size_t RawPointBytes(size_t num_points) { return num_points * 24; }
+
+}  // namespace reduce
+}  // namespace sidq
+
+#endif  // SIDQ_REDUCE_NETWORK_COMPRESSION_H_

@@ -1,0 +1,141 @@
+#include "reduce/reference_compression.h"
+
+#include <cmath>
+
+namespace sidq {
+namespace reduce {
+
+namespace {
+
+uint64_t CellKey(double x, double y, double cell) {
+  const int32_t cx = static_cast<int32_t>(std::floor(x / cell));
+  const int32_t cy = static_cast<int32_t>(std::floor(y / cell));
+  return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(cy));
+}
+
+}  // namespace
+
+void ReferenceCompressor::BuildReferences(
+    const std::vector<Trajectory>* references) {
+  references_ = references;
+  buckets_.clear();
+  for (uint32_t r = 0; r < references->size(); ++r) {
+    const Trajectory& tr = (*references)[r];
+    for (uint32_t i = 0; i < tr.size(); ++i) {
+      buckets_[CellKey(tr[i].p.x, tr[i].p.y, options_.candidate_cell_m)]
+          .push_back(RefPoint{r, i});
+    }
+  }
+}
+
+std::vector<ReferenceCompressor::RefPoint>
+ReferenceCompressor::CandidatesNear(const geometry::Point& p) const {
+  std::vector<RefPoint> out;
+  const double cell = options_.candidate_cell_m;
+  const int32_t cx = static_cast<int32_t>(std::floor(p.x / cell));
+  const int32_t cy = static_cast<int32_t>(std::floor(p.y / cell));
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      const uint64_t key =
+          (static_cast<uint64_t>(static_cast<uint32_t>(cx + dx)) << 32) |
+          static_cast<uint64_t>(static_cast<uint32_t>(cy + dy));
+      const auto it = buckets_.find(key);
+      if (it == buckets_.end()) continue;
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return out;
+}
+
+StatusOr<ReferenceCompressor::Encoded> ReferenceCompressor::Compress(
+    const Trajectory& input) const {
+  if (references_ == nullptr) {
+    return Status::FailedPrecondition("BuildReferences() not called");
+  }
+  Encoded out;
+  out.times.reserve(input.size());
+  for (const TrajectoryPoint& pt : input.points()) out.times.push_back(pt.t);
+
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    // Greedily find the longest 1:1 forward match starting at input[i] in
+    // any reference: input[i + k] must lie within tolerance of
+    // ref[first + k]. The 1:1 discipline is what makes decompression
+    // per-point exact within tolerance.
+    uint32_t best_ref = 0, best_first = 0;
+    size_t best_len = 0;
+    for (const RefPoint& cand : CandidatesNear(input[i].p)) {
+      const Trajectory& ref = (*references_)[cand.ref];
+      size_t len = 0;
+      while (i + len < n && cand.idx + len < ref.size() &&
+             geometry::Distance(ref[cand.idx + len].p, input[i + len].p) <=
+                 options_.tolerance_m) {
+        ++len;
+      }
+      if (len > best_len) {
+        best_len = len;
+        best_ref = cand.ref;
+        best_first = cand.idx;
+      }
+    }
+    if (best_len >= options_.min_match_points) {
+      Segment seg;
+      seg.is_match = true;
+      seg.ref = best_ref;
+      seg.first = best_first;
+      seg.last = best_first + static_cast<uint32_t>(best_len) - 1;
+      out.segments.push_back(seg);
+      out.matched_points += best_len;
+      i += best_len;
+    } else {
+      Segment seg;
+      seg.is_match = false;
+      seg.literal = input[i];
+      out.segments.push_back(seg);
+      out.literal_points += 1;
+      ++i;
+    }
+  }
+  return out;
+}
+
+StatusOr<Trajectory> ReferenceCompressor::Decompress(
+    const Encoded& encoded, ObjectId object_id) const {
+  if (references_ == nullptr) {
+    return Status::FailedPrecondition("BuildReferences() not called");
+  }
+  Trajectory out(object_id);
+  size_t t_idx = 0;
+  auto emit = [&](const geometry::Point& p) -> Status {
+    if (t_idx >= encoded.times.size()) {
+      return Status::DataLoss("more positions than timestamps");
+    }
+    out.AppendUnordered(TrajectoryPoint(encoded.times[t_idx++], p));
+    return Status::OK();
+  };
+  for (const Segment& seg : encoded.segments) {
+    if (!seg.is_match) {
+      SIDQ_RETURN_IF_ERROR(emit(seg.literal.p));
+      continue;
+    }
+    if (seg.ref >= references_->size()) {
+      return Status::DataLoss("reference id out of range");
+    }
+    const Trajectory& ref = (*references_)[seg.ref];
+    if (seg.last >= ref.size() || seg.first > seg.last) {
+      return Status::DataLoss("reference range out of bounds");
+    }
+    for (uint32_t k = seg.first; k <= seg.last; ++k) {
+      SIDQ_RETURN_IF_ERROR(emit(ref[k].p));
+    }
+  }
+  if (t_idx != encoded.times.size()) {
+    return Status::DataLoss("fewer positions than timestamps");
+  }
+  return out;
+}
+
+}  // namespace reduce
+}  // namespace sidq

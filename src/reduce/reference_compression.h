@@ -1,0 +1,99 @@
+#ifndef SIDQ_REDUCE_REFERENCE_COMPRESSION_H_
+#define SIDQ_REDUCE_REFERENCE_COMPRESSION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/trajectory.h"
+#include "core/types.h"
+
+namespace sidq {
+namespace reduce {
+
+// Reference-based trajectory compression (REST family, Zhao et al.,
+// KDD 2018): urban trajectories repeat — most rides follow paths already
+// present in a historical reference set. A new trajectory is encoded as a
+// sequence of *matches* into reference trajectories (reference id + point
+// range) plus literal points where nothing in the reference set is within
+// the error tolerance. Decompression is exact up to the tolerance.
+class ReferenceCompressor {
+ public:
+  struct Options {
+    // A point matches a reference point within this distance.
+    double tolerance_m = 25.0;
+    // Matches shorter than this many points are stored as literals
+    // (avoids per-match overhead dominating).
+    size_t min_match_points = 3;
+    // Spatial cell used to find candidate reference points.
+    double candidate_cell_m = 50.0;
+  };
+
+  explicit ReferenceCompressor(Options options) : options_(options) {}
+  ReferenceCompressor() : ReferenceCompressor(Options{}) {}
+
+  // Indexes the reference set (kept by pointer; must outlive the
+  // compressor).
+  void BuildReferences(const std::vector<Trajectory>* references);
+
+  // One piece of the encoding: either a run borrowed from a reference or
+  // one literal point.
+  struct Segment {
+    bool is_match = false;
+    // Match: points [first, last] of references[ref].
+    uint32_t ref = 0;
+    uint32_t first = 0;
+    uint32_t last = 0;
+    // Literal: the point itself.
+    TrajectoryPoint literal;
+  };
+
+  struct Encoded {
+    std::vector<Segment> segments;
+    // Timestamps of the original points (delta-codable; stored raw here).
+    std::vector<Timestamp> times;
+    size_t matched_points = 0;
+    size_t literal_points = 0;
+
+    // Storage estimate: a match costs 12 bytes, a literal 16, a timestamp
+    // delta ~2 (what EncodeIntegerSeries achieves on regular sampling).
+    size_t ApproxBytes() const {
+      size_t matches = 0;
+      for (const auto& s : segments) matches += s.is_match ? 1 : 0;
+      return matches * 12 + literal_points * 16 + times.size() * 2;
+    }
+    double MatchedFraction() const {
+      const size_t total = matched_points + literal_points;
+      return total == 0 ? 0.0
+                        : static_cast<double>(matched_points) /
+                              static_cast<double>(total);
+    }
+  };
+
+  // Encodes `input` against the reference set; fails when BuildReferences
+  // has not run.
+  StatusOr<Encoded> Compress(const Trajectory& input) const;
+
+  // Reconstructs the trajectory (positions from references/literals,
+  // timestamps from `times`). Exact within tolerance_m of the input.
+  StatusOr<Trajectory> Decompress(const Encoded& encoded,
+                                  ObjectId object_id) const;
+
+ private:
+  Options options_;
+  const std::vector<Trajectory>* references_ = nullptr;
+  // spatial cell -> reference points inside it
+  struct RefPoint {
+    uint32_t ref;
+    uint32_t idx;
+  };
+  std::unordered_map<uint64_t, std::vector<RefPoint>> buckets_;
+
+  std::vector<RefPoint> CandidatesNear(const geometry::Point& p) const;
+};
+
+}  // namespace reduce
+}  // namespace sidq
+
+#endif  // SIDQ_REDUCE_REFERENCE_COMPRESSION_H_

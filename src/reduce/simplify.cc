@@ -1,0 +1,272 @@
+#include "reduce/simplify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "geometry/segment.h"
+
+namespace sidq {
+namespace reduce {
+
+namespace {
+
+double SedToSegment(const TrajectoryPoint& p, const TrajectoryPoint& a,
+                    const TrajectoryPoint& b) {
+  return geometry::SynchronizedEuclideanDistance(
+      p.p, static_cast<double>(p.t), a.p, static_cast<double>(a.t), b.p,
+      static_cast<double>(b.t));
+}
+
+// Shared Douglas-Peucker skeleton parameterised by the error metric.
+template <typename ErrorFn>
+void DpRecurse(const Trajectory& input, size_t lo, size_t hi,
+               double epsilon, ErrorFn error, std::vector<bool>* keep) {
+  if (hi <= lo + 1) return;
+  double worst = -1.0;
+  size_t worst_i = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    const double e = error(input[i], input[lo], input[hi]);
+    if (e > worst) {
+      worst = e;
+      worst_i = i;
+    }
+  }
+  if (worst > epsilon) {
+    (*keep)[worst_i] = true;
+    DpRecurse(input, lo, worst_i, epsilon, error, keep);
+    DpRecurse(input, worst_i, hi, epsilon, error, keep);
+  }
+}
+
+template <typename ErrorFn>
+StatusOr<Trajectory> DpSimplify(const Trajectory& input, double epsilon,
+                                ErrorFn error) {
+  if (epsilon < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
+  if (!input.IsTimeOrdered()) {
+    return Status::FailedPrecondition("trajectory must be time-ordered");
+  }
+  const size_t n = input.size();
+  Trajectory out(input.object_id());
+  if (n <= 2) {
+    for (size_t i = 0; i < n; ++i) out.AppendUnordered(input[i]);
+    return out;
+  }
+  std::vector<bool> keep(n, false);
+  keep.front() = keep.back() = true;
+  DpRecurse(input, 0, n - 1, epsilon, error, &keep);
+  for (size_t i = 0; i < n; ++i) {
+    if (keep[i]) out.AppendUnordered(input[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Trajectory> DouglasPeuckerSed(const Trajectory& input,
+                                       double epsilon_m) {
+  return DpSimplify(input, epsilon_m,
+                    [](const TrajectoryPoint& p, const TrajectoryPoint& a,
+                       const TrajectoryPoint& b) {
+                      return SedToSegment(p, a, b);
+                    });
+}
+
+StatusOr<Trajectory> DouglasPeuckerPerp(const Trajectory& input,
+                                        double epsilon_m) {
+  return DpSimplify(input, epsilon_m,
+                    [](const TrajectoryPoint& p, const TrajectoryPoint& a,
+                       const TrajectoryPoint& b) {
+                      return geometry::PointSegmentDistance(p.p, a.p, b.p);
+                    });
+}
+
+StatusOr<Trajectory> DeadReckoning(const Trajectory& input,
+                                   double epsilon_m) {
+  if (epsilon_m < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
+  if (!input.IsTimeOrdered()) {
+    return Status::FailedPrecondition("trajectory must be time-ordered");
+  }
+  const size_t n = input.size();
+  Trajectory out(input.object_id());
+  if (n == 0) return out;
+  out.AppendUnordered(input[0]);
+  geometry::Point velocity(0.0, 0.0);
+  size_t last_kept = 0;
+  bool have_velocity = false;
+  for (size_t i = 1; i < n; ++i) {
+    const double dt = TimestampToSeconds(input[i].t - input[last_kept].t);
+    geometry::Point predicted = input[last_kept].p;
+    if (have_velocity) predicted += velocity * dt;
+    if (!have_velocity ||
+        geometry::Distance(predicted, input[i].p) > epsilon_m) {
+      // Emit; new velocity from the segment just closed.
+      if (i + 1 <= n) {
+        const double seg_dt = TimestampToSeconds(input[i].t - input[last_kept].t);
+        if (seg_dt > 0.0) {
+          velocity = (input[i].p - input[last_kept].p) / seg_dt;
+          have_velocity = true;
+        }
+      }
+      out.AppendUnordered(input[i]);
+      last_kept = i;
+    }
+  }
+  if (out.back().t != input.back().t) out.AppendUnordered(input.back());
+  return out;
+}
+
+StatusOr<Trajectory> OpeningWindow(const Trajectory& input,
+                                   double epsilon_m) {
+  if (epsilon_m < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
+  if (!input.IsTimeOrdered()) {
+    return Status::FailedPrecondition("trajectory must be time-ordered");
+  }
+  const size_t n = input.size();
+  Trajectory out(input.object_id());
+  if (n == 0) return out;
+  out.AppendUnordered(input[0]);
+  size_t anchor = 0;
+  for (size_t i = 2; i < n; ++i) {
+    // Test window (anchor, i): all intermediates within epsilon of the
+    // anchor->i segment (SED metric).
+    bool ok = true;
+    for (size_t j = anchor + 1; j < i && ok; ++j) {
+      ok = SedToSegment(input[j], input[anchor], input[i]) <= epsilon_m;
+    }
+    if (!ok) {
+      out.AppendUnordered(input[i - 1]);
+      anchor = i - 1;
+    }
+  }
+  if (n > 1) out.AppendUnordered(input[n - 1]);
+  return out;
+}
+
+StatusOr<Trajectory> SquishE(const Trajectory& input, double epsilon_m) {
+  if (epsilon_m < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
+  if (!input.IsTimeOrdered()) {
+    return Status::FailedPrecondition("trajectory must be time-ordered");
+  }
+  const size_t n = input.size();
+  Trajectory out(input.object_id());
+  if (n <= 2) {
+    for (size_t i = 0; i < n; ++i) out.AppendUnordered(input[i]);
+    return out;
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<size_t> prev(n), next(n);
+  std::vector<double> acc(n, 0.0), pri(n, kInf);
+  std::vector<bool> removed(n, false);
+  using HeapEntry = std::pair<double, size_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>> heap;
+
+  auto compute_pri = [&](size_t i) {
+    if (prev[i] == i || next[i] == i) return kInf;  // endpoint sentinel
+    return acc[i] + SedToSegment(input[i], input[prev[i]], input[next[i]]);
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    prev[i] = i == 0 ? i : i - 1;
+    next[i] = i;  // provisional: no successor yet
+    if (i >= 2) {
+      // Point i-1 now has both neighbours.
+      next[i - 1] = i;
+      pri[i - 1] = compute_pri(i - 1);
+      heap.emplace(pri[i - 1], i - 1);
+    }
+    // Shrink while the cheapest removal stays within budget.
+    while (!heap.empty()) {
+      const auto [p, j] = heap.top();
+      if (removed[j] || p != pri[j]) {
+        heap.pop();
+        continue;
+      }
+      if (p > epsilon_m) break;
+      heap.pop();
+      removed[j] = true;
+      const size_t a = prev[j];
+      const size_t b = next[j];
+      next[a] = b;
+      prev[b] = a;
+      acc[a] = std::max(acc[a], pri[j]);
+      acc[b] = std::max(acc[b], pri[j]);
+      for (size_t k : {a, b}) {
+        const double np = compute_pri(k);
+        if (np != pri[k]) {
+          pri[k] = np;
+          if (np != kInf) heap.emplace(np, k);
+        }
+      }
+    }
+  }
+  next[n - 1] = n - 1;
+  for (size_t i = 0; i < n; ++i) {
+    if (!removed[i]) out.AppendUnordered(input[i]);
+  }
+  return out;
+}
+
+StatusOr<Trajectory> UniformSample(const Trajectory& input, size_t every_n) {
+  if (every_n == 0) return Status::InvalidArgument("every_n must be >= 1");
+  Trajectory out(input.object_id());
+  for (size_t i = 0; i < input.size(); i += every_n) {
+    out.AppendUnordered(input[i]);
+  }
+  if (!input.empty() && !out.empty() && out.back().t != input.back().t) {
+    out.AppendUnordered(input.back());
+  }
+  return out;
+}
+
+namespace {
+
+double SedToSimplified(const TrajectoryPoint& p, const Trajectory& simp) {
+  // Bracket p.t within the simplified trajectory.
+  const auto& pts = simp.points();
+  if (pts.empty()) return 0.0;
+  if (p.t <= pts.front().t) return geometry::Distance(p.p, pts.front().p);
+  if (p.t >= pts.back().t) return geometry::Distance(p.p, pts.back().p);
+  size_t lo = 0, hi = pts.size() - 1;
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (pts[mid].t <= p.t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return SedToSegment(p, pts[lo], pts[hi]);
+}
+
+}  // namespace
+
+double MaxSedError(const Trajectory& original, const Trajectory& simplified) {
+  double worst = 0.0;
+  for (const TrajectoryPoint& p : original.points()) {
+    worst = std::max(worst, SedToSimplified(p, simplified));
+  }
+  return worst;
+}
+
+double MeanSedError(const Trajectory& original,
+                    const Trajectory& simplified) {
+  if (original.empty()) return 0.0;
+  double acc = 0.0;
+  for (const TrajectoryPoint& p : original.points()) {
+    acc += SedToSimplified(p, simplified);
+  }
+  return acc / static_cast<double>(original.size());
+}
+
+double CompressionRatio(const Trajectory& original,
+                        const Trajectory& simplified) {
+  if (simplified.empty()) return 0.0;
+  return static_cast<double>(original.size()) /
+         static_cast<double>(simplified.size());
+}
+
+}  // namespace reduce
+}  // namespace sidq

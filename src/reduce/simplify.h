@@ -1,0 +1,56 @@
+#ifndef SIDQ_REDUCE_SIMPLIFY_H_
+#define SIDQ_REDUCE_SIMPLIFY_H_
+
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/trajectory.h"
+
+namespace sidq {
+namespace reduce {
+
+// Error-bounded trajectory simplification (Section 2.2.6 / Lin et al.,
+// TODS 2021 evaluation family). All algorithms guarantee (or target) a
+// bound on the synchronized Euclidean distance (SED) between the original
+// points and the simplified trajectory.
+
+// Offline: Douglas-Peucker with the SED metric (time-aware split).
+StatusOr<Trajectory> DouglasPeuckerSed(const Trajectory& input,
+                                       double epsilon_m);
+// Offline: classic Douglas-Peucker with perpendicular distance.
+StatusOr<Trajectory> DouglasPeuckerPerp(const Trajectory& input,
+                                        double epsilon_m);
+
+// Online: dead reckoning -- emit a point when the constant-velocity
+// forecast from the last emitted point misses the actual position by more
+// than epsilon.
+StatusOr<Trajectory> DeadReckoning(const Trajectory& input, double epsilon_m);
+
+// Online: opening window with SED (OPW-SP): grow the window anchored at the
+// last emitted point while every buffered point stays within epsilon of the
+// anchor->candidate segment.
+StatusOr<Trajectory> OpeningWindow(const Trajectory& input, double epsilon_m);
+
+// Online: SQUISH-E(epsilon) -- bounded-priority-queue simplification that
+// removes the point whose removal introduces the least SED error while that
+// error stays below epsilon (Muckell et al.).
+StatusOr<Trajectory> SquishE(const Trajectory& input, double epsilon_m);
+
+// Baseline: keep every n-th point (plus the last).
+StatusOr<Trajectory> UniformSample(const Trajectory& input, size_t every_n);
+
+// --- quality metrics ---
+
+// Maximum SED from any original point to the simplified trajectory
+// (piecewise linear in time).
+double MaxSedError(const Trajectory& original, const Trajectory& simplified);
+// Mean SED over all original points.
+double MeanSedError(const Trajectory& original, const Trajectory& simplified);
+// |original| / |simplified|.
+double CompressionRatio(const Trajectory& original,
+                        const Trajectory& simplified);
+
+}  // namespace reduce
+}  // namespace sidq
+
+#endif  // SIDQ_REDUCE_SIMPLIFY_H_

@@ -1,0 +1,154 @@
+#include "reduce/stid_compression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "reduce/coding.h"
+
+namespace sidq {
+namespace reduce {
+
+LosslessEncoded LosslessCompress(const StSeries& series, double quantum) {
+  LosslessEncoded out;
+  out.quantum = quantum;
+  std::vector<int64_t> ts, vs;
+  ts.reserve(series.size());
+  vs.reserve(series.size());
+  for (const StRecord& r : series.records()) {
+    ts.push_back(r.t);
+    vs.push_back(static_cast<int64_t>(std::llround(r.value / quantum)));
+  }
+  out.timestamps = EncodeIntegerSeries(ts);
+  out.values = EncodeIntegerSeries(vs);
+  return out;
+}
+
+StatusOr<StSeries> LosslessDecompress(const LosslessEncoded& encoded,
+                                      SensorId sensor,
+                                      const geometry::Point& loc) {
+  SIDQ_ASSIGN_OR_RETURN(std::vector<int64_t> ts,
+                        DecodeIntegerSeries(encoded.timestamps));
+  SIDQ_ASSIGN_OR_RETURN(std::vector<int64_t> vs,
+                        DecodeIntegerSeries(encoded.values));
+  if (ts.size() != vs.size()) {
+    return Status::DataLoss("timestamp/value count mismatch");
+  }
+  StSeries out(sensor, loc);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    SIDQ_RETURN_IF_ERROR(out.Append(
+        ts[i], static_cast<double>(vs[i]) * encoded.quantum));
+  }
+  return out;
+}
+
+StatusOr<LtcEncoded> LtcCompress(const StSeries& series, double epsilon) {
+  if (epsilon < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
+  LtcEncoded out;
+  out.epsilon = epsilon;
+  const auto& recs = series.records();
+  const size_t n = recs.size();
+  if (n == 0) return out;
+  // Greedy segment growth with knots at actual samples: extend while every
+  // intermediate sample stays within epsilon of the knot->candidate line.
+  size_t knot = 0;
+  out.knot_times.push_back(recs[0].t);
+  out.knot_values.push_back(recs[0].value);
+  size_t i = 1;
+  while (i < n) {
+    size_t best = i;
+    for (size_t j = i; j < n; ++j) {
+      // Validate segment knot -> j.
+      bool ok = true;
+      const double t0 = static_cast<double>(recs[knot].t);
+      const double t1 = static_cast<double>(recs[j].t);
+      const double v0 = recs[knot].value;
+      const double v1 = recs[j].value;
+      for (size_t m = knot + 1; m < j && ok; ++m) {
+        const double tm = static_cast<double>(recs[m].t);
+        const double f = t1 > t0 ? (tm - t0) / (t1 - t0) : 0.0;
+        const double interp = v0 + (v1 - v0) * f;
+        ok = std::abs(interp - recs[m].value) <= epsilon;
+      }
+      if (ok) {
+        best = j;
+      } else {
+        break;
+      }
+    }
+    out.knot_times.push_back(recs[best].t);
+    out.knot_values.push_back(recs[best].value);
+    knot = best;
+    i = best + 1;
+  }
+  return out;
+}
+
+StatusOr<StSeries> LtcDecompress(const LtcEncoded& encoded,
+                                 const std::vector<Timestamp>& timestamps,
+                                 SensorId sensor,
+                                 const geometry::Point& loc) {
+  if (encoded.knot_times.empty()) {
+    if (!timestamps.empty()) {
+      return Status::InvalidArgument("no knots but timestamps requested");
+    }
+    return StSeries(sensor, loc);
+  }
+  StSeries out(sensor, loc);
+  size_t seg = 0;
+  for (Timestamp t : timestamps) {
+    while (seg + 1 < encoded.knot_times.size() &&
+           encoded.knot_times[seg + 1] < t) {
+      ++seg;
+    }
+    double value;
+    if (t <= encoded.knot_times.front()) {
+      value = encoded.knot_values.front();
+    } else if (t >= encoded.knot_times.back()) {
+      value = encoded.knot_values.back();
+    } else {
+      const Timestamp t0 = encoded.knot_times[seg];
+      const Timestamp t1 = encoded.knot_times[seg + 1];
+      const double f =
+          t1 > t0 ? static_cast<double>(t - t0) /
+                        static_cast<double>(t1 - t0)
+                  : 0.0;
+      value = encoded.knot_values[seg] +
+              (encoded.knot_values[seg + 1] - encoded.knot_values[seg]) * f;
+    }
+    SIDQ_RETURN_IF_ERROR(out.Append(t, value));
+  }
+  return out;
+}
+
+DualPredictionResult DualPredictionReduce(const std::vector<double>& values,
+                                          double epsilon) {
+  DualPredictionResult out;
+  out.total = values.size();
+  out.reconstructed.reserve(values.size());
+  double prev = 0.0, prev2 = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    double predicted;
+    if (i == 0) {
+      predicted = values[0] + 2.0 * epsilon + 1.0;  // force first transmit
+    } else if (i == 1) {
+      predicted = prev;
+    } else {
+      predicted = prev + (prev - prev2);  // last value + slope
+    }
+    double received;
+    if (std::abs(predicted - values[i]) > epsilon) {
+      received = values[i];  // transmit the true reading
+      ++out.transmitted;
+    } else {
+      received = predicted;  // receiver keeps its prediction
+    }
+    out.reconstructed.push_back(received);
+    prev2 = i == 0 ? received : prev;
+    prev = received;
+  }
+  return out;
+}
+
+}  // namespace reduce
+}  // namespace sidq

@@ -1,0 +1,82 @@
+#ifndef SIDQ_REDUCE_STID_COMPRESSION_H_
+#define SIDQ_REDUCE_STID_COMPRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/stid.h"
+#include "core/types.h"
+
+namespace sidq {
+namespace reduce {
+
+// STID reduction (Section 2.2.6): lossless coding, lossy error-bounded
+// coding, and prediction-based transmission suppression for sensor series.
+
+// --- Lossless: quantised delta + Golomb-Rice (Tate, IEEE TSG 2015) ---
+//
+// Sensor readings are fixed-point values (quantum = measurement
+// resolution); compression is exact at that resolution.
+struct LosslessEncoded {
+  std::vector<uint8_t> timestamps;
+  std::vector<uint8_t> values;
+  double quantum = 0.01;
+
+  size_t TotalBytes() const { return timestamps.size() + values.size(); }
+};
+
+// Encodes timestamps and values of a series; values are quantised to
+// multiples of `quantum` first.
+LosslessEncoded LosslessCompress(const StSeries& series, double quantum);
+// Exact inverse at the quantised resolution.
+StatusOr<StSeries> LosslessDecompress(const LosslessEncoded& encoded,
+                                      SensorId sensor,
+                                      const geometry::Point& loc);
+
+// --- Lossy: Lightweight Temporal Compression (Li et al., Big Data 2018) --
+//
+// Error-bounded piecewise-linear approximation: keeps only knot points such
+// that reconstruction error never exceeds epsilon.
+struct LtcEncoded {
+  std::vector<Timestamp> knot_times;
+  std::vector<double> knot_values;
+  double epsilon = 0.0;
+
+  // Serialised size estimate (8 bytes per knot time + value pair halves).
+  size_t TotalBytes() const { return knot_times.size() * 16; }
+};
+
+StatusOr<LtcEncoded> LtcCompress(const StSeries& series, double epsilon);
+// Reconstructs the series at the original timestamps (linear between knots).
+StatusOr<StSeries> LtcDecompress(const LtcEncoded& encoded,
+                                 const std::vector<Timestamp>& timestamps,
+                                 SensorId sensor, const geometry::Point& loc);
+
+// --- Prediction-based suppression (dual prediction, Zhang et al. 2018) ---
+//
+// Sender and receiver run the same predictor; the sender transmits a
+// reading only when the prediction error would exceed epsilon. The receiver
+// reconstructs non-transmitted readings from the predictor.
+struct DualPredictionResult {
+  // Reconstruction as seen by the receiver (same timestamps as input).
+  std::vector<double> reconstructed;
+  size_t transmitted = 0;
+  size_t total = 0;
+
+  double SuppressionRate() const {
+    return total == 0 ? 0.0
+                      : 1.0 - static_cast<double>(transmitted) /
+                                  static_cast<double>(total);
+  }
+};
+
+// Last-value-plus-slope predictor; guarantees |reconstructed - actual| <=
+// epsilon at every sample.
+DualPredictionResult DualPredictionReduce(const std::vector<double>& values,
+                                          double epsilon);
+
+}  // namespace reduce
+}  // namespace sidq
+
+#endif  // SIDQ_REDUCE_STID_COMPRESSION_H_

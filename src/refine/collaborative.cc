@@ -1,0 +1,67 @@
+#include "refine/collaborative.h"
+
+#include <cmath>
+
+namespace sidq {
+namespace refine {
+
+StatusOr<std::vector<geometry::Point>> JointDenoise(
+    const std::vector<JointDenoiseInput>& inputs) {
+  geometry::Point bias(0.0, 0.0);
+  size_t anchors = 0;
+  for (const JointDenoiseInput& in : inputs) {
+    if (in.is_anchor) {
+      bias += in.observed - in.anchor_truth;
+      ++anchors;
+    }
+  }
+  if (anchors == 0) {
+    return Status::FailedPrecondition("joint denoising needs >= 1 anchor");
+  }
+  bias = bias / static_cast<double>(anchors);
+  std::vector<geometry::Point> out;
+  out.reserve(inputs.size());
+  for (const JointDenoiseInput& in : inputs) {
+    out.push_back(in.observed - bias);
+  }
+  return out;
+}
+
+StatusOr<std::vector<geometry::Point>> IterativeRefiner::Refine(
+    const std::vector<geometry::Point>& observed,
+    const std::vector<PairRange>& ranges) const {
+  for (const PairRange& r : ranges) {
+    if (r.i >= observed.size() || r.j >= observed.size() || r.i == r.j) {
+      return Status::InvalidArgument("bad pair indices");
+    }
+  }
+  std::vector<geometry::Point> pos = observed;
+  std::vector<geometry::Point> grad(pos.size());
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    for (geometry::Point& g : grad) g = geometry::Point(0.0, 0.0);
+    for (const PairRange& r : ranges) {
+      const geometry::Point diff = pos[r.i] - pos[r.j];
+      const double d = std::max(1e-9, diff.Norm());
+      const double w = 1.0 / (r.sigma * r.sigma);
+      // d/dp_i of (d - d_ij)^2 = 2 (d - d_ij) * diff / d.
+      const geometry::Point g_pair = diff * (2.0 * w * (d - r.distance) / d);
+      grad[r.i] += g_pair;
+      grad[r.j] -= g_pair;
+    }
+    for (size_t i = 0; i < pos.size(); ++i) {
+      grad[i] += (pos[i] - observed[i]) * (2.0 * options_.anchor_lambda);
+    }
+    // Damped step, normalised per point so a single bad pair cannot blow up.
+    const double step = options_.step / (1.0 + 0.02 * iter);
+    for (size_t i = 0; i < pos.size(); ++i) {
+      geometry::Point g = grad[i];
+      const double gn = g.Norm();
+      if (gn > 10.0) g = g * (10.0 / gn);
+      pos[i] -= g * step;
+    }
+  }
+  return pos;
+}
+
+}  // namespace refine
+}  // namespace sidq

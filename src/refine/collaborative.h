@@ -1,0 +1,66 @@
+#ifndef SIDQ_REFINE_COLLABORATIVE_H_
+#define SIDQ_REFINE_COLLABORATIVE_H_
+
+#include <vector>
+
+#include "core/statusor.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace refine {
+
+// Collaborative Location Refinement (Section 2.2.1): positions of multiple
+// objects observed at the same instant are optimised together.
+
+// Joint denoising: assumes a *system* error shared by all observations
+// (e.g. a miscalibrated positioning infrastructure shifts every estimate by
+// the same unknown offset). Objects with known true positions (anchors)
+// reveal the offset; the statistically best estimate under Gaussian noise
+// is the mean anchor residual, which is removed from every observation.
+struct JointDenoiseInput {
+  geometry::Point observed;
+  bool is_anchor = false;
+  geometry::Point anchor_truth;  // valid when is_anchor
+};
+
+StatusOr<std::vector<geometry::Point>> JointDenoise(
+    const std::vector<JointDenoiseInput>& inputs);
+
+// Iterative optimisation: assumes independent *random* errors and refines a
+// batch of noisy positions using noisy pairwise range measurements between
+// objects (e.g. BLE/UWB peer ranging). Minimises
+//   sum_pairs w_ij (|p_i - p_j| - d_ij)^2 + lambda * sum_i |p_i - obs_i|^2
+// by damped gradient descent -- a spring-relaxation refinement in the
+// spirit of swarm-optimised WiFi positioning (Chen & Zou 2017).
+struct PairRange {
+  size_t i = 0;
+  size_t j = 0;
+  double distance = 0.0;
+  double sigma = 1.0;
+};
+
+class IterativeRefiner {
+ public:
+  struct Options {
+    int iterations = 200;
+    double step = 0.15;           // gradient step scale
+    double anchor_lambda = 0.05;  // pull toward the original observations
+  };
+
+  explicit IterativeRefiner(Options options) : options_(options) {}
+  IterativeRefiner() : IterativeRefiner(Options{}) {}
+
+  // Refines `observed` given pairwise ranges; fails on out-of-range pair
+  // indices.
+  StatusOr<std::vector<geometry::Point>> Refine(
+      const std::vector<geometry::Point>& observed,
+      const std::vector<PairRange>& ranges) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace refine
+}  // namespace sidq
+
+#endif  // SIDQ_REFINE_COLLABORATIVE_H_

@@ -1,0 +1,160 @@
+#include "refine/hmm_map_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sidq {
+namespace refine {
+
+std::vector<HmmMapMatcher::Candidate> HmmMapMatcher::CandidatesFor(
+    const geometry::Point& p) const {
+  std::vector<Candidate> out;
+  double radius = options_.candidate_radius_m;
+  std::vector<EdgeId> edges;
+  for (int attempt = 0; attempt < 3 && edges.empty(); ++attempt) {
+    edges = network_->EdgesNear(p, radius);
+    radius *= 2.0;
+  }
+  const double inv_2s2 =
+      1.0 / (2.0 * options_.gps_sigma_m * options_.gps_sigma_m);
+  for (EdgeId e : edges) {
+    Candidate c;
+    c.edge = e;
+    c.proj = network_->ProjectToEdge(e, p);
+    const double d = geometry::Distance(c.proj, p);
+    c.emission_logp = -d * d * inv_2s2;
+    out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    return a.emission_logp > b.emission_logp;
+  });
+  if (out.size() > options_.max_candidates) {
+    out.resize(options_.max_candidates);
+  }
+  return out;
+}
+
+double HmmMapMatcher::NodeDistance(NodeId u, NodeId v) const {
+  if (u == v) return 0.0;
+  const uint64_t key = (static_cast<uint64_t>(std::min(u, v)) << 32) |
+                       static_cast<uint64_t>(std::max(u, v));
+  auto it = node_dist_cache_.find(key);
+  if (it != node_dist_cache_.end()) return it->second;
+  const double d = network_->ShortestPathLength(u, v);
+  node_dist_cache_.emplace(key, d);
+  return d;
+}
+
+double HmmMapMatcher::RouteDistance(const Candidate& a,
+                                    const Candidate& b) const {
+  if (a.edge == b.edge) return geometry::Distance(a.proj, b.proj);
+  const auto& ea = network_->edge(a.edge);
+  const auto& eb = network_->edge(b.edge);
+  const NodeId a_nodes[2] = {ea.u, ea.v};
+  const NodeId b_nodes[2] = {eb.u, eb.v};
+  double best = std::numeric_limits<double>::infinity();
+  for (NodeId an : a_nodes) {
+    const double da = geometry::Distance(a.proj, network_->node(an).p);
+    for (NodeId bn : b_nodes) {
+      const double db = geometry::Distance(b.proj, network_->node(bn).p);
+      const double mid = NodeDistance(an, bn);
+      best = std::min(best, da + mid + db);
+    }
+  }
+  return best;
+}
+
+StatusOr<HmmMapMatcher::MatchResult> HmmMapMatcher::Match(
+    const Trajectory& noisy) const {
+  if (noisy.empty()) return Status::FailedPrecondition("empty trajectory");
+  if (!noisy.IsTimeOrdered()) {
+    return Status::FailedPrecondition("trajectory must be time-ordered");
+  }
+  const size_t n = noisy.size();
+  std::vector<std::vector<Candidate>> layers(n);
+  for (size_t i = 0; i < n; ++i) {
+    layers[i] = CandidatesFor(noisy[i].p);
+    if (layers[i].empty()) {
+      return Status::NotFound("no road candidates near point");
+    }
+  }
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> score(n);
+  std::vector<std::vector<int>> back(n);
+  score[0].resize(layers[0].size());
+  back[0].assign(layers[0].size(), -1);
+  for (size_t c = 0; c < layers[0].size(); ++c) {
+    score[0][c] = layers[0][c].emission_logp;
+  }
+  for (size_t i = 1; i < n; ++i) {
+    const double straight =
+        geometry::Distance(noisy[i - 1].p, noisy[i].p);
+    score[i].assign(layers[i].size(), kNegInf);
+    back[i].assign(layers[i].size(), -1);
+    for (size_t c = 0; c < layers[i].size(); ++c) {
+      for (size_t p = 0; p < layers[i - 1].size(); ++p) {
+        if (score[i - 1][p] == kNegInf) continue;
+        const double route =
+            RouteDistance(layers[i - 1][p], layers[i][c]);
+        if (!std::isfinite(route)) continue;
+        const double trans_logp =
+            -std::abs(route - straight) / options_.beta_m;
+        const double s =
+            score[i - 1][p] + trans_logp + layers[i][c].emission_logp;
+        if (s > score[i][c]) {
+          score[i][c] = s;
+          back[i][c] = static_cast<int>(p);
+        }
+      }
+    }
+    // If everything is unreachable (disconnected network), restart the
+    // chain at this layer.
+    bool any = false;
+    for (double s : score[i]) any = any || s != kNegInf;
+    if (!any) {
+      for (size_t c = 0; c < layers[i].size(); ++c) {
+        score[i][c] = layers[i][c].emission_logp;
+        back[i][c] = -1;
+      }
+    }
+  }
+
+  // Backtrack.
+  std::vector<int> choice(n, 0);
+  {
+    size_t best = 0;
+    for (size_t c = 1; c < layers[n - 1].size(); ++c) {
+      if (score[n - 1][c] > score[n - 1][best]) best = c;
+    }
+    choice[n - 1] = static_cast<int>(best);
+    for (size_t i = n - 1; i-- > 0;) {
+      const int b = back[i + 1][choice[i + 1]];
+      if (b >= 0) {
+        choice[i] = b;
+      } else {
+        size_t loc_best = 0;
+        for (size_t c = 1; c < layers[i].size(); ++c) {
+          if (score[i][c] > score[i][loc_best]) loc_best = c;
+        }
+        choice[i] = static_cast<int>(loc_best);
+      }
+    }
+  }
+
+  MatchResult result;
+  result.matched.set_object_id(noisy.object_id());
+  result.edges.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Candidate& c = layers[i][choice[i]];
+    TrajectoryPoint pt = noisy[i];
+    pt.p = c.proj;
+    result.matched.AppendUnordered(pt);
+    result.edges.push_back(c.edge);
+  }
+  return result;
+}
+
+}  // namespace refine
+}  // namespace sidq

@@ -1,0 +1,67 @@
+#ifndef SIDQ_REFINE_HMM_MAP_MATCHER_H_
+#define SIDQ_REFINE_HMM_MAP_MATCHER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/trajectory.h"
+#include "core/types.h"
+#include "sim/road_network.h"
+
+namespace sidq {
+namespace refine {
+
+// Motion-based Location Refinement with a probabilistic graph model:
+// HMM map matching in the Newson-Krumm style. Hidden states are candidate
+// road positions; emissions follow a Gaussian on the GPS-to-road distance;
+// transitions prefer candidates whose route distance matches the
+// great-circle distance between fixes. Decoded with Viterbi.
+class HmmMapMatcher {
+ public:
+  struct Options {
+    double candidate_radius_m = 60.0;  // search radius for candidate edges
+    size_t max_candidates = 6;         // per point
+    double gps_sigma_m = 15.0;         // emission sigma
+    double beta_m = 30.0;              // transition exponential scale
+  };
+
+  HmmMapMatcher(const sim::RoadNetwork* network, Options options)
+      : network_(network), options_(options) {}
+  explicit HmmMapMatcher(const sim::RoadNetwork* network)
+      : HmmMapMatcher(network, Options{}) {}
+
+  struct MatchResult {
+    // Input points snapped to the matched road positions (same timestamps).
+    Trajectory matched;
+    // Matched edge per input point.
+    std::vector<EdgeId> edges;
+  };
+
+  // Matches a time-ordered trajectory to the network. Fails when empty or
+  // when no candidates exist for some point at 4x the configured radius.
+  StatusOr<MatchResult> Match(const Trajectory& noisy) const;
+
+ private:
+  struct Candidate {
+    EdgeId edge;
+    geometry::Point proj;
+    double emission_logp;
+  };
+
+  std::vector<Candidate> CandidatesFor(const geometry::Point& p) const;
+  // Network route distance between two candidate road positions.
+  double RouteDistance(const Candidate& a, const Candidate& b) const;
+  double NodeDistance(NodeId u, NodeId v) const;
+
+  const sim::RoadNetwork* network_;
+  Options options_;
+  // Node-pair shortest path cache (Dijkstra results are reused heavily
+  // between consecutive points).
+  mutable std::unordered_map<uint64_t, double> node_dist_cache_;
+};
+
+}  // namespace refine
+}  // namespace sidq
+
+#endif  // SIDQ_REFINE_HMM_MAP_MATCHER_H_

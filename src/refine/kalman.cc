@@ -1,0 +1,166 @@
+#include "refine/kalman.h"
+
+#include <cmath>
+
+namespace sidq {
+namespace refine {
+
+namespace {
+
+// One predict step of the per-axis [pos, vel] constant-velocity model:
+//   F = [1 dt; 0 1],  Q = q * [dt^3/3 dt^2/2; dt^2/2 dt].
+void Predict(double dt, double q, double* x, double* v, double* p00,
+             double* p01, double* p11) {
+  *x += dt * *v;
+  const double p00n = *p00 + dt * (*p01 + *p01) + dt * dt * *p11 +
+                      q * dt * dt * dt / 3.0;
+  const double p01n = *p01 + dt * *p11 + q * dt * dt / 2.0;
+  const double p11n = *p11 + q * dt;
+  *p00 = p00n;
+  *p01 = p01n;
+  *p11 = p11n;
+}
+
+// Measurement update with z ~ N(pos, r2).
+void Update(double z, double r2, double* x, double* v, double* p00,
+            double* p01, double* p11) {
+  const double s = *p00 + r2;
+  const double k0 = *p00 / s;
+  const double k1 = *p01 / s;
+  const double innov = z - *x;
+  *x += k0 * innov;
+  *v += k1 * innov;
+  const double p00n = (1.0 - k0) * *p00;
+  const double p01n = (1.0 - k0) * *p01;
+  const double p11n = *p11 - k1 * *p01;
+  *p00 = p00n;
+  *p01 = p01n;
+  *p11 = p11n;
+}
+
+}  // namespace
+
+Status KalmanFilter2D::RunForward(
+    const Trajectory& noisy,
+    std::vector<std::array<Step, 2>>* steps) const {
+  if (noisy.empty()) return Status::FailedPrecondition("empty trajectory");
+  if (!noisy.IsTimeOrdered()) {
+    return Status::FailedPrecondition("trajectory must be time-ordered");
+  }
+  steps->clear();
+  steps->reserve(noisy.size());
+
+  const double default_r2 =
+      options_.measurement_noise * options_.measurement_noise;
+  const double q = options_.process_noise;
+
+  std::array<AxisState, 2> state;
+  for (size_t i = 0; i < noisy.size(); ++i) {
+    const TrajectoryPoint& pt = noisy[i];
+    const double z[2] = {pt.p.x, pt.p.y};
+    const double r2 =
+        pt.accuracy > 0.0 ? pt.accuracy * pt.accuracy : default_r2;
+    std::array<Step, 2> step;
+    const double dt =
+        i == 0 ? 0.0 : TimestampToSeconds(pt.t - noisy[i - 1].t);
+    for (int axis = 0; axis < 2; ++axis) {
+      AxisState& s = state[axis];
+      if (i == 0) {
+        // Initialize at the first measurement with large prior covariance.
+        s.x = z[axis];
+        s.v = 0.0;
+        s.p00 = r2;
+        s.p01 = 0.0;
+        s.p11 = 100.0;
+      } else {
+        Predict(dt, q, &s.x, &s.v, &s.p00, &s.p01, &s.p11);
+      }
+      step[axis].predicted = s;
+      step[axis].dt = dt;
+      Update(z[axis], r2, &s.x, &s.v, &s.p00, &s.p01, &s.p11);
+      step[axis].filtered = s;
+    }
+    steps->push_back(step);
+  }
+  return Status::OK();
+}
+
+StatusOr<Trajectory> KalmanFilter2D::Filter(const Trajectory& noisy) const {
+  std::vector<std::array<Step, 2>> steps;
+  SIDQ_RETURN_IF_ERROR(RunForward(noisy, &steps));
+  Trajectory out(noisy.object_id());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    TrajectoryPoint pt = noisy[i];
+    pt.p = geometry::Point(steps[i][0].filtered.x, steps[i][1].filtered.x);
+    pt.accuracy = std::sqrt(
+        std::max(0.0, (steps[i][0].filtered.p00 + steps[i][1].filtered.p00) /
+                          2.0));
+    out.AppendUnordered(pt);
+  }
+  return out;
+}
+
+StatusOr<Trajectory> KalmanFilter2D::Smooth(const Trajectory& noisy) const {
+  std::vector<std::array<Step, 2>> steps;
+  SIDQ_RETURN_IF_ERROR(RunForward(noisy, &steps));
+  const size_t n = steps.size();
+  // RTS backward pass per axis.
+  std::vector<std::array<AxisState, 2>> smoothed(n);
+  for (int axis = 0; axis < 2; ++axis) {
+    smoothed[n - 1][axis] = steps[n - 1][axis].filtered;
+    for (size_t i = n - 1; i-- > 0;) {
+      const AxisState& f = steps[i][axis].filtered;
+      const AxisState& pr = steps[i + 1][axis].predicted;
+      const AxisState& sn = smoothed[i + 1][axis];
+      const double dt = steps[i + 1][axis].dt;
+      // F = [1 dt; 0 1]; C = P_f F^T P_pred^-1 (2x2 solve).
+      // P_f F^T:
+      const double a00 = f.p00 + dt * f.p01;
+      const double a01 = f.p01;
+      const double a10 = f.p01 + dt * f.p11;
+      const double a11 = f.p11;
+      // invert predicted covariance
+      const double det = pr.p00 * pr.p11 - pr.p01 * pr.p01;
+      if (std::abs(det) < 1e-18) {
+        smoothed[i][axis] = f;
+        continue;
+      }
+      const double i00 = pr.p11 / det;
+      const double i01 = -pr.p01 / det;
+      const double i11 = pr.p00 / det;
+      const double c00 = a00 * i00 + a01 * i01;
+      const double c01 = a00 * i01 + a01 * i11;
+      const double c10 = a10 * i00 + a11 * i01;
+      const double c11 = a10 * i01 + a11 * i11;
+      AxisState s;
+      const double dx = sn.x - pr.x;
+      const double dv = sn.v - pr.v;
+      s.x = f.x + c00 * dx + c01 * dv;
+      s.v = f.v + c10 * dx + c11 * dv;
+      // Covariance: P_s = P_f + C (P_s,next - P_pred) C^T.
+      const double q00 = sn.p00 - pr.p00;
+      const double q01 = sn.p01 - pr.p01;
+      const double q11 = sn.p11 - pr.p11;
+      const double t00 = c00 * q00 + c01 * q01;
+      const double t01 = c00 * q01 + c01 * q11;
+      const double t10 = c10 * q00 + c11 * q01;
+      const double t11 = c10 * q01 + c11 * q11;
+      s.p00 = f.p00 + t00 * c00 + t01 * c01;
+      s.p01 = f.p01 + t00 * c10 + t01 * c11;
+      s.p11 = f.p11 + t10 * c10 + t11 * c11;
+      smoothed[i][axis] = s;
+    }
+  }
+  Trajectory out(noisy.object_id());
+  for (size_t i = 0; i < n; ++i) {
+    TrajectoryPoint pt = noisy[i];
+    pt.p = geometry::Point(smoothed[i][0].x, smoothed[i][1].x);
+    pt.accuracy = std::sqrt(std::max(
+        0.0, (smoothed[i][0].p00 + smoothed[i][1].p00) / 2.0));
+    out.AppendUnordered(pt);
+  }
+  return out;
+}
+
+}  // namespace refine
+}  // namespace sidq

@@ -1,0 +1,59 @@
+#ifndef SIDQ_REFINE_KALMAN_H_
+#define SIDQ_REFINE_KALMAN_H_
+
+#include <array>
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/trajectory.h"
+
+namespace sidq {
+namespace refine {
+
+// Motion-based Location Refinement via Bayes filtering: a 2-D
+// constant-velocity Kalman filter with an optional Rauch-Tung-Striebel
+// smoothing pass. State is [x, y, vx, vy]; x and y evolve independently,
+// so the filter runs two decoupled 2-state filters for speed and stability.
+class KalmanFilter2D {
+ public:
+  struct Options {
+    // Continuous white-noise acceleration spectral density (m^2/s^3).
+    double process_noise = 1.0;
+    // Default 1-sigma measurement noise (m); per-point `accuracy` overrides
+    // it when positive.
+    double measurement_noise = 10.0;
+  };
+
+  explicit KalmanFilter2D(Options options) : options_(options) {}
+  KalmanFilter2D() : KalmanFilter2D(Options{}) {}
+
+  // Causal (online) filtering: each output point uses only measurements up
+  // to its own time. Requires a time-ordered, non-empty trajectory.
+  StatusOr<Trajectory> Filter(const Trajectory& noisy) const;
+
+  // Forward filter + RTS backward smoothing: each output point uses the
+  // whole trajectory (offline refinement; strictly better than Filter).
+  StatusOr<Trajectory> Smooth(const Trajectory& noisy) const;
+
+ private:
+  struct AxisState {
+    // State mean [pos, vel] and covariance for one axis.
+    double x = 0.0, v = 0.0;
+    double p00 = 0.0, p01 = 0.0, p11 = 0.0;
+  };
+  struct Step {
+    AxisState predicted;  // prior at time k (before update)
+    AxisState filtered;   // posterior at time k
+    double dt = 0.0;      // seconds since step k-1
+  };
+
+  Status RunForward(const Trajectory& noisy,
+                    std::vector<std::array<Step, 2>>* steps) const;
+
+  Options options_;
+};
+
+}  // namespace refine
+}  // namespace sidq
+
+#endif  // SIDQ_REFINE_KALMAN_H_

@@ -1,0 +1,76 @@
+#include "refine/least_squares.h"
+
+#include <cmath>
+
+namespace sidq {
+namespace refine {
+
+StatusOr<geometry::Point> WlsTrilaterator::Solve(
+    const std::vector<RangeMeasurement>& measurements) const {
+  if (measurements.size() < 3) {
+    return Status::InvalidArgument("trilateration needs >= 3 ranges");
+  }
+  // Start at the weighted anchor centroid.
+  geometry::Point x(0.0, 0.0);
+  double wsum = 0.0;
+  for (const RangeMeasurement& m : measurements) {
+    const double w = 1.0 / (m.sigma * m.sigma);
+    x += m.anchor * w;
+    wsum += w;
+  }
+  x = x / wsum;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // Normal equations J^T W J dx = J^T W r for residuals
+    // r_i = range_i - |x - anchor_i|.
+    double a11 = options_.damping, a12 = 0.0, a22 = options_.damping;
+    double b1 = 0.0, b2 = 0.0;
+    for (const RangeMeasurement& m : measurements) {
+      const geometry::Point diff = x - m.anchor;
+      const double d = std::max(1e-9, diff.Norm());
+      const double w = 1.0 / (m.sigma * m.sigma);
+      // d(|x-a|)/dx = diff/d; residual derivative is -diff/d.
+      const double jx = diff.x / d;
+      const double jy = diff.y / d;
+      const double r = m.range - d;
+      a11 += w * jx * jx;
+      a12 += w * jx * jy;
+      a22 += w * jy * jy;
+      // Solving J^T W J dx = -J^T W r with residual r = measured - model and
+      // jacobian of the model being +j, the update is dx = (JtWJ)^-1 JtW r.
+      b1 += w * jx * r;
+      b2 += w * jy * r;
+    }
+    const double det = a11 * a22 - a12 * a12;
+    if (std::abs(det) < 1e-18) {
+      return Status::Internal("degenerate trilateration geometry");
+    }
+    const double dx = (a22 * b1 - a12 * b2) / det;
+    const double dy = (-a12 * b1 + a11 * b2) / det;
+    x.x += dx;
+    x.y += dy;
+    if (std::sqrt(dx * dx + dy * dy) < options_.tolerance_m) break;
+  }
+  return x;
+}
+
+StatusOr<LocationEstimate> FuseEstimates(
+    const std::vector<LocationEstimate>& estimates) {
+  if (estimates.empty()) {
+    return Status::InvalidArgument("no estimates to fuse");
+  }
+  geometry::Point acc(0.0, 0.0);
+  double wsum = 0.0;
+  for (const LocationEstimate& e : estimates) {
+    const double w = 1.0 / std::max(1e-12, e.variance);
+    acc += e.p * w;
+    wsum += w;
+  }
+  LocationEstimate out;
+  out.p = acc / wsum;
+  out.variance = 1.0 / wsum;
+  return out;
+}
+
+}  // namespace refine
+}  // namespace sidq

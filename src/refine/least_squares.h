@@ -1,0 +1,60 @@
+#ifndef SIDQ_REFINE_LEAST_SQUARES_H_
+#define SIDQ_REFINE_LEAST_SQUARES_H_
+
+#include <vector>
+
+#include "core/statusor.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace refine {
+
+// One range observation: measured distance to a known anchor, with its
+// 1-sigma noise (used as the WLS weight 1/sigma^2).
+struct RangeMeasurement {
+  geometry::Point anchor;
+  double range = 0.0;
+  double sigma = 1.0;
+};
+
+// Ensemble LR, multi-source flavour: weighted-least-squares trilateration
+// (Gauss-Newton on the range residuals), as in INS/WiFi WLS systems
+// (Chen et al., Sensors 2018).
+class WlsTrilaterator {
+ public:
+  struct Options {
+    int max_iterations = 25;
+    double tolerance_m = 1e-4;
+    // Levenberg damping added to the normal equations for stability.
+    double damping = 1e-6;
+  };
+
+  explicit WlsTrilaterator(Options options) : options_(options) {}
+  WlsTrilaterator() : WlsTrilaterator(Options{}) {}
+
+  // Solves for the position from >= 3 range measurements, starting the
+  // iteration from the anchors' weighted centroid.
+  StatusOr<geometry::Point> Solve(
+      const std::vector<RangeMeasurement>& measurements) const;
+
+ private:
+  Options options_;
+};
+
+// A location estimate with its error variance (m^2), as produced by one
+// positioning process.
+struct LocationEstimate {
+  geometry::Point p;
+  double variance = 1.0;
+};
+
+// Ensemble LR, multi-source fusion: combines independent estimates by
+// inverse-variance weighting -- the minimum-variance unbiased combination
+// when sources are independent. Fails on an empty input.
+StatusOr<LocationEstimate> FuseEstimates(
+    const std::vector<LocationEstimate>& estimates);
+
+}  // namespace refine
+}  // namespace sidq
+
+#endif  // SIDQ_REFINE_LEAST_SQUARES_H_

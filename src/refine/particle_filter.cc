@@ -1,0 +1,111 @@
+#include "refine/particle_filter.h"
+
+#include <cmath>
+
+namespace sidq {
+namespace refine {
+
+StatusOr<Trajectory> ParticleFilter2D::Filter(const Trajectory& noisy) const {
+  if (noisy.empty()) return Status::FailedPrecondition("empty trajectory");
+  if (!noisy.IsTimeOrdered()) {
+    return Status::FailedPrecondition("trajectory must be time-ordered");
+  }
+  const double default_r =
+      options_.measurement_noise;
+  std::vector<Particle> particles(options_.num_particles);
+
+  // Initialize around the first measurement.
+  {
+    const TrajectoryPoint& p0 = noisy[0];
+    const double r = p0.accuracy > 0.0 ? p0.accuracy : default_r;
+    for (Particle& pa : particles) {
+      pa.p = geometry::Point(p0.p.x + rng_->Gaussian(0.0, r),
+                             p0.p.y + rng_->Gaussian(0.0, r));
+      pa.v = geometry::Point(rng_->Gaussian(0.0, 2.0),
+                             rng_->Gaussian(0.0, 2.0));
+      pa.weight = 1.0 / static_cast<double>(particles.size());
+    }
+  }
+
+  Trajectory out(noisy.object_id());
+  std::vector<Particle> resampled(particles.size());
+  for (size_t i = 0; i < noisy.size(); ++i) {
+    const TrajectoryPoint& pt = noisy[i];
+    const double r = pt.accuracy > 0.0 ? pt.accuracy : default_r;
+    const double inv_2r2 = 1.0 / (2.0 * r * r);
+    const double inv_2road2 =
+        1.0 / (2.0 * options_.road_sigma * options_.road_sigma);
+
+    if (i > 0) {
+      const double dt = TimestampToSeconds(pt.t - noisy[i - 1].t);
+      for (Particle& pa : particles) {
+        const double ax = rng_->Gaussian(0.0, options_.accel_noise);
+        const double ay = rng_->Gaussian(0.0, options_.accel_noise);
+        pa.p.x += pa.v.x * dt + 0.5 * ax * dt * dt;
+        pa.p.y += pa.v.y * dt + 0.5 * ay * dt * dt;
+        pa.v.x += ax * dt;
+        pa.v.y += ay * dt;
+      }
+    }
+
+    // Weight by measurement likelihood (and road proximity if attached).
+    double wsum = 0.0;
+    for (Particle& pa : particles) {
+      const double d2 = geometry::DistanceSq(pa.p, pt.p);
+      double logw = -d2 * inv_2r2;
+      if (network_ != nullptr) {
+        auto e = network_->NearestEdge(pa.p);
+        if (e.ok()) {
+          const double road_d = network_->DistanceToEdge(e.value(), pa.p);
+          logw += -road_d * road_d * inv_2road2;
+        }
+      }
+      pa.weight *= std::exp(logw);
+      wsum += pa.weight;
+    }
+    if (wsum <= 0.0 || !std::isfinite(wsum)) {
+      // Degenerate weights: re-spread around the measurement.
+      for (Particle& pa : particles) {
+        pa.p = geometry::Point(pt.p.x + rng_->Gaussian(0.0, r),
+                               pt.p.y + rng_->Gaussian(0.0, r));
+        pa.weight = 1.0 / static_cast<double>(particles.size());
+      }
+      wsum = 1.0;
+    } else {
+      for (Particle& pa : particles) pa.weight /= wsum;
+    }
+
+    // Output: weighted mean.
+    geometry::Point mean(0.0, 0.0);
+    for (const Particle& pa : particles) mean += pa.p * pa.weight;
+    TrajectoryPoint out_pt = pt;
+    out_pt.p = mean;
+    out.AppendUnordered(out_pt);
+
+    // Resample (systematic) when ESS drops.
+    double ess_denom = 0.0;
+    for (const Particle& pa : particles) ess_denom += pa.weight * pa.weight;
+    const double ess = 1.0 / std::max(1e-300, ess_denom);
+    if (ess < options_.resample_threshold *
+                  static_cast<double>(particles.size())) {
+      const double step = 1.0 / static_cast<double>(particles.size());
+      double u = rng_->Uniform(0.0, step);
+      double cum = particles[0].weight;
+      size_t j = 0;
+      for (size_t k = 0; k < particles.size(); ++k) {
+        while (u > cum && j + 1 < particles.size()) {
+          ++j;
+          cum += particles[j].weight;
+        }
+        resampled[k] = particles[j];
+        resampled[k].weight = step;
+        u += step;
+      }
+      particles.swap(resampled);
+    }
+  }
+  return out;
+}
+
+}  // namespace refine
+}  // namespace sidq

@@ -1,0 +1,58 @@
+#ifndef SIDQ_REFINE_PARTICLE_FILTER_H_
+#define SIDQ_REFINE_PARTICLE_FILTER_H_
+
+#include <vector>
+
+#include "core/random.h"
+#include "core/statusor.h"
+#include "core/trajectory.h"
+#include "sim/road_network.h"
+
+namespace sidq {
+namespace refine {
+
+// Motion-based Location Refinement via sequential Monte Carlo: a bootstrap
+// particle filter with a constant-velocity proposal. When a road network is
+// attached, particle weights additionally favour on-road positions --
+// the spatial-constraint modelling of Section 2.1 applied to filtering.
+class ParticleFilter2D {
+ public:
+  struct Options {
+    size_t num_particles = 300;
+    // 1-sigma process acceleration noise (m/s^2).
+    double accel_noise = 2.0;
+    // Default 1-sigma measurement noise (m); per-point accuracy overrides.
+    double measurement_noise = 10.0;
+    // When a network is attached: soft road-constraint width (m).
+    double road_sigma = 15.0;
+    // Resample when effective sample size falls below this fraction.
+    double resample_threshold = 0.5;
+  };
+
+  ParticleFilter2D(Options options, Rng* rng)
+      : options_(options), rng_(rng) {}
+
+  // Attaches a road network used as a soft spatial constraint (must
+  // outlive the filter; pass nullptr to detach).
+  void AttachNetwork(const sim::RoadNetwork* network) { network_ = network; }
+
+  // Causal filtering of a time-ordered trajectory: each output point is the
+  // weighted particle mean after assimilating that measurement.
+  StatusOr<Trajectory> Filter(const Trajectory& noisy) const;
+
+ private:
+  struct Particle {
+    geometry::Point p;
+    geometry::Point v;
+    double weight = 1.0;
+  };
+
+  Options options_;
+  Rng* rng_;
+  const sim::RoadNetwork* network_ = nullptr;
+};
+
+}  // namespace refine
+}  // namespace sidq
+
+#endif  // SIDQ_REFINE_PARTICLE_FILTER_H_

@@ -1,0 +1,56 @@
+#include "refine/wknn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidq {
+namespace refine {
+
+WknnLocalizer::WknnLocalizer(std::vector<sim::Fingerprint> database,
+                             Options options)
+    : database_(std::move(database)), options_(options) {}
+
+StatusOr<geometry::Point> WknnLocalizer::EstimateK(
+    const std::vector<double>& rssi, size_t k, bool weighted) const {
+  if (database_.empty()) {
+    return Status::FailedPrecondition("empty fingerprint database");
+  }
+  if (rssi.size() != database_.front().rssi.size()) {
+    return Status::InvalidArgument("rssi vector length mismatch");
+  }
+  // Signal-space Euclidean distances to all reference points.
+  std::vector<std::pair<double, size_t>> dists;
+  dists.reserve(database_.size());
+  for (size_t i = 0; i < database_.size(); ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < rssi.size(); ++j) {
+      const double d = rssi[j] - database_[i].rssi[j];
+      acc += d * d;
+    }
+    dists.emplace_back(std::sqrt(acc), i);
+  }
+  k = std::min(k, dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+  geometry::Point acc(0.0, 0.0);
+  double weight_sum = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double w =
+        weighted ? 1.0 / (dists[i].first + options_.epsilon_db) : 1.0;
+    acc += database_[dists[i].second].p * w;
+    weight_sum += w;
+  }
+  return acc / weight_sum;
+}
+
+StatusOr<geometry::Point> WknnLocalizer::Estimate(
+    const std::vector<double>& rssi) const {
+  return EstimateK(rssi, options_.k, /*weighted=*/true);
+}
+
+StatusOr<geometry::Point> WknnLocalizer::EstimateNn(
+    const std::vector<double>& rssi) const {
+  return EstimateK(rssi, 1, /*weighted=*/false);
+}
+
+}  // namespace refine
+}  // namespace sidq

@@ -1,0 +1,48 @@
+#ifndef SIDQ_REFINE_WKNN_H_
+#define SIDQ_REFINE_WKNN_H_
+
+#include <vector>
+
+#include "core/statusor.h"
+#include "geometry/point.h"
+#include "sim/fingerprint.h"
+
+namespace sidq {
+namespace refine {
+
+// Ensemble Location Refinement, single-source: weighted k-nearest-neighbour
+// fingerprint positioning (Fang et al., IET Comm. 2018 family). Aggregates
+// the k reference points closest in signal space, weighted by inverse
+// signal distance -- the "aggregate a set of possible results produced by a
+// single process" pattern of Section 2.2.1.
+class WknnLocalizer {
+ public:
+  struct Options {
+    size_t k = 4;
+    // Added to signal distances before inversion to avoid divide-by-zero.
+    double epsilon_db = 1e-3;
+  };
+
+  WknnLocalizer(std::vector<sim::Fingerprint> database, Options options);
+  WknnLocalizer(std::vector<sim::Fingerprint> database)
+      : WknnLocalizer(std::move(database), Options{}) {}
+
+  // Location estimate for an observed RSSI vector; fails when the vector
+  // length does not match the database or the database is empty.
+  StatusOr<geometry::Point> Estimate(const std::vector<double>& rssi) const;
+
+  // Plain nearest-neighbour baseline (k = 1, unweighted).
+  StatusOr<geometry::Point> EstimateNn(const std::vector<double>& rssi) const;
+
+ private:
+  StatusOr<geometry::Point> EstimateK(const std::vector<double>& rssi,
+                                      size_t k, bool weighted) const;
+
+  std::vector<sim::Fingerprint> database_;
+  Options options_;
+};
+
+}  // namespace refine
+}  // namespace sidq
+
+#endif  // SIDQ_REFINE_WKNN_H_

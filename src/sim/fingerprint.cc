@@ -1,0 +1,70 @@
+#include "sim/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidq {
+namespace sim {
+
+double RssiWorld::TrueRssi(size_t i, const geometry::Point& p) const {
+  const AccessPoint& ap = aps_[i];
+  const double d = std::max(1.0, geometry::Distance(ap.p, p));
+  return ap.tx_power_dbm - 10.0 * ap.path_loss_exponent * std::log10(d);
+}
+
+std::vector<double> RssiWorld::Measure(const geometry::Point& p,
+                                       double sigma_db, Rng* rng) const {
+  std::vector<double> out(aps_.size());
+  for (size_t i = 0; i < aps_.size(); ++i) {
+    out[i] = TrueRssi(i, p) + rng->Gaussian(0.0, sigma_db);
+  }
+  return out;
+}
+
+double RssiWorld::MeasureRange(size_t i, const geometry::Point& p,
+                               double sigma_m, Rng* rng) const {
+  const double d = geometry::Distance(aps_[i].p, p);
+  return std::max(0.0, d + rng->Gaussian(0.0, sigma_m));
+}
+
+RssiWorld RssiWorld::MakeRandom(const geometry::BBox& bounds, int num_aps,
+                                Rng* rng) {
+  std::vector<AccessPoint> aps;
+  aps.reserve(num_aps);
+  for (int i = 0; i < num_aps; ++i) {
+    AccessPoint ap;
+    ap.p = geometry::Point(rng->Uniform(bounds.min_x, bounds.max_x),
+                           rng->Uniform(bounds.min_y, bounds.max_y));
+    ap.tx_power_dbm = rng->Uniform(-35.0, -25.0);
+    ap.path_loss_exponent = rng->Uniform(2.5, 3.5);
+    aps.push_back(ap);
+  }
+  return RssiWorld(std::move(aps));
+}
+
+std::vector<Fingerprint> BuildFingerprintDatabase(
+    const RssiWorld& world, const geometry::BBox& bounds, int cols, int rows,
+    int samples_per_cell, double sigma_db, Rng* rng) {
+  std::vector<Fingerprint> db;
+  db.reserve(static_cast<size_t>(cols) * rows);
+  const double dx = bounds.Width() / cols;
+  const double dy = bounds.Height() / rows;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      Fingerprint fp;
+      fp.p = geometry::Point(bounds.min_x + (c + 0.5) * dx,
+                             bounds.min_y + (r + 0.5) * dy);
+      fp.rssi.assign(world.num_aps(), 0.0);
+      for (int s = 0; s < samples_per_cell; ++s) {
+        const std::vector<double> m = world.Measure(fp.p, sigma_db, rng);
+        for (size_t i = 0; i < m.size(); ++i) fp.rssi[i] += m[i];
+      }
+      for (double& v : fp.rssi) v /= std::max(1, samples_per_cell);
+      db.push_back(std::move(fp));
+    }
+  }
+  return db;
+}
+
+}  // namespace sim
+}  // namespace sidq

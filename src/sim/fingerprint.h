@@ -1,0 +1,63 @@
+#ifndef SIDQ_SIM_FINGERPRINT_H_
+#define SIDQ_SIM_FINGERPRINT_H_
+
+#include <vector>
+
+#include "core/random.h"
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace sim {
+
+// A WiFi/BLE access point with a log-distance path-loss radio model.
+struct AccessPoint {
+  geometry::Point p;
+  double tx_power_dbm = -30.0;   // RSSI at 1 m
+  double path_loss_exponent = 3.0;
+};
+
+// Simulated radio environment for fingerprint- and range-based indoor
+// positioning: produces RSSI vectors and range measurements with
+// controllable noise.
+class RssiWorld {
+ public:
+  RssiWorld(std::vector<AccessPoint> aps) : aps_(std::move(aps)) {}
+
+  size_t num_aps() const { return aps_.size(); }
+  const std::vector<AccessPoint>& aps() const { return aps_; }
+
+  // Noise-free RSSI (dBm) of AP `i` at location `p`.
+  double TrueRssi(size_t i, const geometry::Point& p) const;
+  // RSSI vector across all APs with Gaussian shadowing noise sigma (dB).
+  std::vector<double> Measure(const geometry::Point& p, double sigma_db,
+                              Rng* rng) const;
+  // Range (m) to AP `i` with Gaussian ranging noise sigma (m), floored at 0.
+  double MeasureRange(size_t i, const geometry::Point& p, double sigma_m,
+                      Rng* rng) const;
+
+  // Random deployment of `num_aps` APs inside `bounds`.
+  static RssiWorld MakeRandom(const geometry::BBox& bounds, int num_aps,
+                              Rng* rng);
+
+ private:
+  std::vector<AccessPoint> aps_;
+};
+
+// One labelled radio fingerprint: the survey location and its RSSI vector.
+struct Fingerprint {
+  geometry::Point p;
+  std::vector<double> rssi;
+};
+
+// Builds a survey database on a uniform grid of `cols` x `rows` cells over
+// `bounds`; each fingerprint averages `samples_per_cell` noisy measurements
+// (the offline phase of fingerprint positioning).
+std::vector<Fingerprint> BuildFingerprintDatabase(
+    const RssiWorld& world, const geometry::BBox& bounds, int cols, int rows,
+    int samples_per_cell, double sigma_db, Rng* rng);
+
+}  // namespace sim
+}  // namespace sidq
+
+#endif  // SIDQ_SIM_FINGERPRINT_H_

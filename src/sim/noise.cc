@@ -1,0 +1,141 @@
+#include "sim/noise.h"
+
+#include <cmath>
+
+namespace sidq {
+namespace sim {
+
+Trajectory AddGpsNoise(const Trajectory& truth, double sigma, Rng* rng) {
+  Trajectory out(truth.object_id());
+  for (const TrajectoryPoint& pt : truth.points()) {
+    geometry::Point noisy(pt.p.x + rng->Gaussian(0.0, sigma),
+                          pt.p.y + rng->Gaussian(0.0, sigma));
+    out.AppendUnordered(TrajectoryPoint(pt.t, noisy, sigma));
+  }
+  return out;
+}
+
+Trajectory AddOutliers(const Trajectory& truth, double rate, double min_mag,
+                       double max_mag, Rng* rng,
+                       std::vector<bool>* is_outlier) {
+  Trajectory out(truth.object_id());
+  if (is_outlier != nullptr) {
+    is_outlier->assign(truth.size(), false);
+  }
+  for (size_t i = 0; i < truth.size(); ++i) {
+    TrajectoryPoint pt = truth[i];
+    if (rng->Bernoulli(rate)) {
+      const double mag = rng->Uniform(min_mag, max_mag);
+      const double dir = rng->Uniform(0.0, 2.0 * M_PI);
+      pt.p.x += mag * std::cos(dir);
+      pt.p.y += mag * std::sin(dir);
+      if (is_outlier != nullptr) (*is_outlier)[i] = true;
+    }
+    out.AppendUnordered(pt);
+  }
+  return out;
+}
+
+Trajectory DropSamples(const Trajectory& truth, double drop_prob, Rng* rng) {
+  Trajectory out(truth.object_id());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const bool endpoint = i == 0 || i + 1 == truth.size();
+    if (endpoint || !rng->Bernoulli(drop_prob)) {
+      out.AppendUnordered(truth[i]);
+    }
+  }
+  return out;
+}
+
+Trajectory Resample(const Trajectory& truth, Timestamp interval_ms) {
+  Trajectory out(truth.object_id());
+  if (truth.empty()) return out;
+  Timestamp next = truth.front().t;
+  for (const TrajectoryPoint& pt : truth.points()) {
+    if (pt.t >= next) {
+      out.AppendUnordered(pt);
+      next = pt.t + interval_ms;
+    }
+  }
+  if (out.back().t != truth.back().t) {
+    out.AppendUnordered(truth.back());
+  }
+  return out;
+}
+
+Trajectory DuplicateSamples(const Trajectory& truth, double dup_prob,
+                            Rng* rng) {
+  Trajectory out(truth.object_id());
+  for (const TrajectoryPoint& pt : truth.points()) {
+    out.AppendUnordered(pt);
+    if (rng->Bernoulli(dup_prob)) {
+      TrajectoryPoint dup = pt;
+      dup.t += rng->UniformInt(0, 1);
+      out.AppendUnordered(dup);
+    }
+  }
+  out.SortByTime();
+  return out;
+}
+
+Trajectory AddDeliveryDelay(const Trajectory& truth, double mean_delay_s,
+                            Rng* rng, std::vector<Timestamp>* arrival) {
+  Trajectory out = truth;
+  if (arrival != nullptr) {
+    arrival->clear();
+    arrival->reserve(truth.size());
+    for (const TrajectoryPoint& pt : truth.points()) {
+      const double delay_s =
+          mean_delay_s > 0.0 ? rng->Exponential(1.0 / mean_delay_s) : 0.0;
+      arrival->push_back(pt.t + SecondsToTimestamp(delay_s));
+    }
+  }
+  return out;
+}
+
+Trajectory JitterTimestamps(const Trajectory& truth, double sigma_ms,
+                            Rng* rng) {
+  Trajectory out(truth.object_id());
+  for (const TrajectoryPoint& pt : truth.points()) {
+    TrajectoryPoint jittered = pt;
+    jittered.t = pt.t + static_cast<Timestamp>(rng->Gaussian(0.0, sigma_ms));
+    out.AppendUnordered(jittered);
+  }
+  return out;
+}
+
+Trajectory QuantizeCoordinates(const Trajectory& truth, double step) {
+  Trajectory out(truth.object_id());
+  for (const TrajectoryPoint& pt : truth.points()) {
+    TrajectoryPoint q = pt;
+    q.p.x = std::round(pt.p.x / step) * step;
+    q.p.y = std::round(pt.p.y / step) * step;
+    out.AppendUnordered(q);
+  }
+  return out;
+}
+
+Trajectory ScaleUnits(const Trajectory& truth, double factor) {
+  Trajectory out(truth.object_id());
+  for (const TrajectoryPoint& pt : truth.points()) {
+    TrajectoryPoint s = pt;
+    s.p.x *= factor;
+    s.p.y *= factor;
+    out.AppendUnordered(s);
+  }
+  return out;
+}
+
+Trajectory TruncateTail(const Trajectory& truth, Timestamp cut_ms) {
+  Trajectory out(truth.object_id());
+  if (truth.empty()) return out;
+  const Timestamp cutoff = truth.back().t - cut_ms;
+  for (const TrajectoryPoint& pt : truth.points()) {
+    if (pt.t <= cutoff) out.AppendUnordered(pt);
+  }
+  if (out.empty()) out.AppendUnordered(truth.front());
+  return out;
+}
+
+}  // namespace sim
+}  // namespace sidq

@@ -1,0 +1,66 @@
+#ifndef SIDQ_SIM_NOISE_H_
+#define SIDQ_SIM_NOISE_H_
+
+#include <vector>
+
+#include "core/random.h"
+#include "core/trajectory.h"
+#include "core/types.h"
+
+namespace sidq {
+namespace sim {
+
+// Degradation injectors. Each one reproduces a single SID characteristic
+// from Table 1 of the tutorial on ground-truth data, so that the resulting
+// quality issue can be measured against known truth.
+
+// [Noisy and erroneous] Adds isotropic Gaussian position noise of the given
+// standard deviation (metres); sets each point's reported accuracy to sigma.
+Trajectory AddGpsNoise(const Trajectory& truth, double sigma, Rng* rng);
+
+// [Noisy and erroneous] Replaces a fraction `rate` of points with gross
+// outliers displaced by Uniform(min_mag, max_mag) metres in a random
+// direction. `is_outlier` (if non-null) receives per-point truth labels.
+Trajectory AddOutliers(const Trajectory& truth, double rate, double min_mag,
+                       double max_mag, Rng* rng,
+                       std::vector<bool>* is_outlier = nullptr);
+
+// [Temporally discrete] Keeps each point independently with probability
+// (1 - drop_prob); always keeps the first and last points.
+Trajectory DropSamples(const Trajectory& truth, double drop_prob, Rng* rng);
+
+// [Temporally discrete] Downsamples to one point every `interval_ms`.
+Trajectory Resample(const Trajectory& truth, Timestamp interval_ms);
+
+// [Voluminous and duplicated] Re-emits each point with probability dup_prob
+// (same location, timestamp + 0..1 ms), as duplicate-prone gateways do.
+Trajectory DuplicateSamples(const Trajectory& truth, double dup_prob,
+                            Rng* rng);
+
+// [Decentralized] Simulates network delivery: per-point arrival time is
+// event time plus Exponential(1/mean_delay_s) seconds. `arrival` receives
+// arrival timestamps aligned with the returned (still event-time-ordered)
+// trajectory.
+Trajectory AddDeliveryDelay(const Trajectory& truth, double mean_delay_s,
+                            Rng* rng, std::vector<Timestamp>* arrival);
+
+// [Decentralized / disordered] Perturbs timestamps with Gaussian jitter of
+// sigma_ms, producing possibly out-of-order records (points NOT re-sorted).
+Trajectory JitterTimestamps(const Trajectory& truth, double sigma_ms,
+                            Rng* rng);
+
+// [Hierarchical and multi-scaled] Snaps coordinates to a `step`-metre grid.
+Trajectory QuantizeCoordinates(const Trajectory& truth, double step);
+
+// [Heterogeneous] Rescales coordinates by `factor` (e.g. a source reporting
+// feet instead of metres: factor = 3.2808).
+Trajectory ScaleUnits(const Trajectory& truth, double factor);
+
+// [Dynamic] Drops every sample newer than (last_t - cut_ms): the feed went
+// stale `cut_ms` ago.
+Trajectory TruncateTail(const Trajectory& truth, Timestamp cut_ms);
+
+}  // namespace sim
+}  // namespace sidq
+
+#endif  // SIDQ_SIM_NOISE_H_

@@ -1,0 +1,85 @@
+#include "sim/rfid.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace sidq {
+namespace sim {
+
+RfidDeployment RfidDeployment::Corridor(int num_readers) {
+  SIDQ_CHECK(num_readers >= 2) << "corridor needs >= 2 readers";
+  RfidDeployment d;
+  d.adjacency_.resize(num_readers);
+  for (int i = 0; i < num_readers; ++i) {
+    if (i > 0) d.adjacency_[i].push_back(static_cast<RegionId>(i - 1));
+    if (i + 1 < num_readers) {
+      d.adjacency_[i].push_back(static_cast<RegionId>(i + 1));
+    }
+  }
+  return d;
+}
+
+RfidDeployment RfidDeployment::Ring(int num_readers) {
+  SIDQ_CHECK(num_readers >= 3) << "ring needs >= 3 readers";
+  RfidDeployment d;
+  d.adjacency_.resize(num_readers);
+  for (int i = 0; i < num_readers; ++i) {
+    d.adjacency_[i].push_back(
+        static_cast<RegionId>((i + num_readers - 1) % num_readers));
+    d.adjacency_[i].push_back(static_cast<RegionId>((i + 1) % num_readers));
+  }
+  return d;
+}
+
+bool RfidDeployment::Adjacent(RegionId a, RegionId b) const {
+  if (a >= adjacency_.size()) return false;
+  const auto& nb = adjacency_[a];
+  return std::find(nb.begin(), nb.end(), b) != nb.end();
+}
+
+SymbolicTrajectory RfidDeployment::SimulateWalk(ObjectId object,
+                                                int num_steps,
+                                                int dwell_ticks,
+                                                Timestamp tick_ms,
+                                                Rng* rng) const {
+  SymbolicTrajectory out(object);
+  RegionId cur = static_cast<RegionId>(
+      rng->UniformInt(0, static_cast<int64_t>(num_readers()) - 1));
+  Timestamp t = 0;
+  for (int step = 0; step < num_steps; ++step) {
+    for (int tick = 0; tick < dwell_ticks; ++tick) {
+      out.Append(cur, t);
+      t += tick_ms;
+    }
+    const auto& nb = adjacency_[cur];
+    if (nb.empty()) break;
+    cur = nb[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(nb.size()) - 1))];
+  }
+  return out;
+}
+
+SymbolicTrajectory RfidDeployment::Degrade(const SymbolicTrajectory& truth,
+                                           double fn_rate, double fp_rate,
+                                           Rng* rng) const {
+  SymbolicTrajectory out(truth.object());
+  for (const SymbolicReading& r : truth.readings()) {
+    if (!rng->Bernoulli(fn_rate)) {
+      out.Append(r.region, r.t);
+    }
+    if (rng->Bernoulli(fp_rate)) {
+      const auto& nb = adjacency_[r.region];
+      if (!nb.empty()) {
+        const RegionId ghost = nb[static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(nb.size()) - 1))];
+        out.Append(ghost, r.t);
+      }
+    }
+  }
+  out.SortByTime();
+  return out;
+}
+
+}  // namespace sim
+}  // namespace sidq

@@ -1,0 +1,54 @@
+#ifndef SIDQ_SIM_RFID_H_
+#define SIDQ_SIM_RFID_H_
+
+#include <vector>
+
+#include "core/random.h"
+#include "core/symbolic.h"
+#include "core/types.h"
+
+namespace sidq {
+namespace sim {
+
+// An RFID (or Bluetooth/infrared) reader deployment: readers are regions
+// with an adjacency graph induced by the walkable space. Objects move from
+// region to adjacent region; readers detect imperfectly, yielding the false
+// negatives and false positives that Section 2.2.4 targets.
+class RfidDeployment {
+ public:
+  // A corridor of `num_readers` readers in a chain: reader i is adjacent to
+  // i-1 and i+1.
+  static RfidDeployment Corridor(int num_readers);
+  // A ring of `num_readers` readers (closed corridor).
+  static RfidDeployment Ring(int num_readers);
+
+  size_t num_readers() const { return adjacency_.size(); }
+  const std::vector<RegionId>& neighbors(RegionId r) const {
+    return adjacency_[r];
+  }
+  bool Adjacent(RegionId a, RegionId b) const;
+
+  // Simulates an object walking `num_steps` region transitions starting at
+  // a random reader, dwelling `dwell_ticks` ticks (of `tick_ms`) in each
+  // region; returns the ground-truth symbolic trajectory with one reading
+  // per tick.
+  SymbolicTrajectory SimulateWalk(ObjectId object, int num_steps,
+                                  int dwell_ticks, Timestamp tick_ms,
+                                  Rng* rng) const;
+
+  // Degrades a ground-truth symbolic trajectory:
+  //  - each reading is missed (false negative) with probability `fn_rate`;
+  //  - with probability `fp_rate` an extra ghost reading from a random
+  //    neighbouring reader is emitted at the same tick (cross-reads).
+  // The result keeps time order.
+  SymbolicTrajectory Degrade(const SymbolicTrajectory& truth, double fn_rate,
+                             double fp_rate, Rng* rng) const;
+
+ private:
+  std::vector<std::vector<RegionId>> adjacency_;
+};
+
+}  // namespace sim
+}  // namespace sidq
+
+#endif  // SIDQ_SIM_RFID_H_

@@ -1,0 +1,207 @@
+#include "sim/sensor_field.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sidq {
+namespace sim {
+
+double ScalarField::Value(const geometry::Point& p, Timestamp t) const {
+  double v = base_;
+  const double ts = TimestampToSeconds(t);
+  for (const Plume& plume : plumes_) {
+    const double d_sq = geometry::DistanceSq(p, plume.center);
+    const double spatial =
+        std::exp(-d_sq / (2.0 * plume.sigma * plume.sigma));
+    const double temporal =
+        1.0 + 0.3 * std::sin(2.0 * M_PI * ts / period_s_ + plume.phase);
+    v += plume.amplitude * spatial * temporal;
+  }
+  return v;
+}
+
+ScalarField ScalarField::MakeRandom(const geometry::BBox& bounds,
+                                    int num_plumes, double base,
+                                    double max_amplitude, double min_sigma,
+                                    double max_sigma, double period_s,
+                                    Rng* rng) {
+  std::vector<Plume> plumes;
+  plumes.reserve(num_plumes);
+  for (int i = 0; i < num_plumes; ++i) {
+    Plume p;
+    p.center = geometry::Point(rng->Uniform(bounds.min_x, bounds.max_x),
+                               rng->Uniform(bounds.min_y, bounds.max_y));
+    p.amplitude = rng->Uniform(max_amplitude / 4.0, max_amplitude);
+    p.sigma = rng->Uniform(min_sigma, max_sigma);
+    p.phase = rng->Uniform(0.0, 2.0 * M_PI);
+    plumes.push_back(p);
+  }
+  return ScalarField(base, period_s, std::move(plumes));
+}
+
+std::vector<geometry::Point> DeploySensors(const geometry::BBox& bounds,
+                                           int num_sensors, Rng* rng) {
+  std::vector<geometry::Point> out;
+  out.reserve(num_sensors);
+  for (int i = 0; i < num_sensors; ++i) {
+    out.emplace_back(rng->Uniform(bounds.min_x, bounds.max_x),
+                     rng->Uniform(bounds.min_y, bounds.max_y));
+  }
+  return out;
+}
+
+StDataset SampleField(const ScalarField& field,
+                      const std::vector<geometry::Point>& sensors,
+                      Timestamp start, Timestamp interval_ms, int num_samples,
+                      const std::string& field_name) {
+  StDataset out(field_name);
+  for (size_t s = 0; s < sensors.size(); ++s) {
+    StSeries series(static_cast<SensorId>(s), sensors[s]);
+    for (int i = 0; i < num_samples; ++i) {
+      const Timestamp t = start + i * interval_ms;
+      SIDQ_CHECK_OK(series.Append(t, field.Value(sensors[s], t)));
+    }
+    out.AddSeries(std::move(series));
+  }
+  return out;
+}
+
+StDataset AddValueNoise(const StDataset& truth, double sigma, Rng* rng) {
+  StDataset out(truth.field_name());
+  for (const StSeries& s : truth.series()) {
+    StSeries noisy(s.sensor(), s.loc());
+    for (const StRecord& r : s.records()) {
+      SIDQ_CHECK_OK(
+          noisy.Append(r.t, r.value + rng->Gaussian(0.0, sigma), sigma));
+    }
+    out.AddSeries(std::move(noisy));
+  }
+  return out;
+}
+
+StDataset AddValueSpikes(const StDataset& truth, double rate,
+                         double magnitude, Rng* rng,
+                         std::vector<std::vector<bool>>* labels) {
+  StDataset out(truth.field_name());
+  if (labels != nullptr) labels->clear();
+  for (const StSeries& s : truth.series()) {
+    StSeries spiked(s.sensor(), s.loc());
+    std::vector<bool> flags(s.size(), false);
+    for (size_t i = 0; i < s.size(); ++i) {
+      double v = s[i].value;
+      if (rng->Bernoulli(rate)) {
+        v += rng->Bernoulli(0.5) ? magnitude : -magnitude;
+        flags[i] = true;
+      }
+      SIDQ_CHECK_OK(spiked.Append(s[i].t, v, s[i].stddev));
+    }
+    out.AddSeries(std::move(spiked));
+    if (labels != nullptr) labels->push_back(std::move(flags));
+  }
+  return out;
+}
+
+StDataset AddStuckSensors(const StDataset& truth, double sensor_fraction,
+                          Rng* rng, std::vector<bool>* stuck) {
+  StDataset out(truth.field_name());
+  if (stuck != nullptr) stuck->clear();
+  for (const StSeries& s : truth.series()) {
+    const bool is_stuck = rng->Bernoulli(sensor_fraction) && s.size() > 2;
+    StSeries series(s.sensor(), s.loc());
+    size_t stuck_from =
+        is_stuck ? static_cast<size_t>(rng->UniformInt(
+                       1, static_cast<int64_t>(s.size()) - 1))
+                 : s.size();
+    double stuck_value = 0.0;
+    for (size_t i = 0; i < s.size(); ++i) {
+      double v = s[i].value;
+      if (i >= stuck_from) {
+        if (i == stuck_from) stuck_value = s[i - 1].value;
+        v = stuck_value;
+      }
+      SIDQ_CHECK_OK(series.Append(s[i].t, v, s[i].stddev));
+    }
+    out.AddSeries(std::move(series));
+    if (stuck != nullptr) stuck->push_back(is_stuck);
+  }
+  return out;
+}
+
+StDataset AddSensorDrift(const StDataset& truth, double sensor_fraction,
+                         double drift_per_sample, Rng* rng,
+                         std::vector<bool>* drifting) {
+  StDataset out(truth.field_name());
+  if (drifting != nullptr) drifting->clear();
+  for (const StSeries& s : truth.series()) {
+    const bool drifts = rng->Bernoulli(sensor_fraction);
+    StSeries series(s.sensor(), s.loc());
+    for (size_t i = 0; i < s.size(); ++i) {
+      const double v =
+          s[i].value +
+          (drifts ? drift_per_sample * static_cast<double>(i) : 0.0);
+      SIDQ_CHECK_OK(series.Append(s[i].t, v, s[i].stddev));
+    }
+    out.AddSeries(std::move(series));
+    if (drifting != nullptr) drifting->push_back(drifts);
+  }
+  return out;
+}
+
+StDataset DropRecords(const StDataset& truth, double drop_prob, Rng* rng) {
+  StDataset out(truth.field_name());
+  for (const StSeries& s : truth.series()) {
+    StSeries series(s.sensor(), s.loc());
+    for (size_t i = 0; i < s.size(); ++i) {
+      const bool endpoint = i == 0 || i + 1 == s.size();
+      if (endpoint || !rng->Bernoulli(drop_prob)) {
+        SIDQ_CHECK_OK(series.Append(s[i].t, s[i].value, s[i].stddev));
+      }
+    }
+    out.AddSeries(std::move(series));
+  }
+  return out;
+}
+
+StDataset DropSensors(const StDataset& truth, double keep_fraction,
+                      Rng* rng) {
+  StDataset out(truth.field_name());
+  for (const StSeries& s : truth.series()) {
+    if (rng->Bernoulli(keep_fraction)) out.AddSeries(s);
+  }
+  if (out.num_sensors() == 0 && truth.num_sensors() > 0) {
+    out.AddSeries(truth.series().front());
+  }
+  return out;
+}
+
+StDataset ScaleSeriesUnits(const StDataset& truth, double sensor_fraction,
+                           double factor, Rng* rng) {
+  StDataset out(truth.field_name());
+  for (const StSeries& s : truth.series()) {
+    const bool scaled = rng->Bernoulli(sensor_fraction);
+    StSeries series(s.sensor(), s.loc());
+    for (const StRecord& r : s.records()) {
+      SIDQ_CHECK_OK(
+          series.Append(r.t, scaled ? r.value * factor : r.value, r.stddev));
+    }
+    out.AddSeries(std::move(series));
+  }
+  return out;
+}
+
+StDataset QuantizeValues(const StDataset& truth, double step) {
+  StDataset out(truth.field_name());
+  for (const StSeries& s : truth.series()) {
+    StSeries series(s.sensor(), s.loc());
+    for (const StRecord& r : s.records()) {
+      SIDQ_CHECK_OK(
+          series.Append(r.t, std::round(r.value / step) * step, r.stddev));
+    }
+    out.AddSeries(std::move(series));
+  }
+  return out;
+}
+
+}  // namespace sim
+}  // namespace sidq

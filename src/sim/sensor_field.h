@@ -1,0 +1,99 @@
+#ifndef SIDQ_SIM_SENSOR_FIELD_H_
+#define SIDQ_SIM_SENSOR_FIELD_H_
+
+#include <vector>
+
+#include "core/random.h"
+#include "core/stid.h"
+#include "core/types.h"
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace sim {
+
+// A synthetic spatiotemporal scalar field (e.g. PM2.5 concentration):
+// a base level plus Gaussian plumes whose intensity oscillates over time.
+// Spatially autocorrelated and varying smoothly -- the two SID
+// characteristics Table 1 lists as exploitable by dependency modelling.
+class ScalarField {
+ public:
+  struct Plume {
+    geometry::Point center;
+    double amplitude = 1.0;
+    double sigma = 300.0;   // spatial spread (m)
+    double phase = 0.0;     // temporal phase (rad)
+  };
+
+  ScalarField(double base, double period_s, std::vector<Plume> plumes)
+      : base_(base), period_s_(period_s), plumes_(std::move(plumes)) {}
+
+  // True field value at location p and time t.
+  double Value(const geometry::Point& p, Timestamp t) const;
+
+  const std::vector<Plume>& plumes() const { return plumes_; }
+  double base() const { return base_; }
+
+  // Random field with `num_plumes` plumes inside `bounds`.
+  static ScalarField MakeRandom(const geometry::BBox& bounds, int num_plumes,
+                                double base, double max_amplitude,
+                                double min_sigma, double max_sigma,
+                                double period_s, Rng* rng);
+
+ private:
+  double base_;
+  double period_s_;
+  std::vector<Plume> plumes_;
+};
+
+// Uniformly random sensor locations inside `bounds`.
+std::vector<geometry::Point> DeploySensors(const geometry::BBox& bounds,
+                                           int num_sensors, Rng* rng);
+
+// Samples the true field at each sensor every `interval_ms` for
+// `num_samples` steps starting at `start`; no noise (ground truth).
+StDataset SampleField(const ScalarField& field,
+                      const std::vector<geometry::Point>& sensors,
+                      Timestamp start, Timestamp interval_ms,
+                      int num_samples, const std::string& field_name);
+
+// --- STID degradation injectors (Table 1 characteristics) ---
+
+// [Noisy] Gaussian measurement noise on every value; stddev recorded.
+StDataset AddValueNoise(const StDataset& truth, double sigma, Rng* rng);
+
+// [Noisy/erroneous] Replaces a fraction `rate` of records with spikes of
+// +/- `magnitude`; per-series outlier labels (aligned with records) go to
+// `labels` when non-null.
+StDataset AddValueSpikes(const StDataset& truth, double rate,
+                         double magnitude, Rng* rng,
+                         std::vector<std::vector<bool>>* labels = nullptr);
+
+// [Erroneous] A fraction of sensors gets stuck: from a random time on they
+// repeat their last value. `stuck` (if non-null) receives per-series flags.
+StDataset AddStuckSensors(const StDataset& truth, double sensor_fraction,
+                          Rng* rng, std::vector<bool>* stuck = nullptr);
+
+// [Erroneous] A fraction of sensors drifts linearly by `drift_per_sample`
+// units per record.
+StDataset AddSensorDrift(const StDataset& truth, double sensor_fraction,
+                         double drift_per_sample, Rng* rng,
+                         std::vector<bool>* drifting = nullptr);
+
+// [Temporally discrete] Drops each record with probability drop_prob.
+StDataset DropRecords(const StDataset& truth, double drop_prob, Rng* rng);
+
+// [Spatially discrete] Keeps only a random subset of sensors.
+StDataset DropSensors(const StDataset& truth, double keep_fraction, Rng* rng);
+
+// [Heterogeneous] Rescales a fraction of series by `factor` (unit mismatch).
+StDataset ScaleSeriesUnits(const StDataset& truth, double sensor_fraction,
+                           double factor, Rng* rng);
+
+// [Multi-scaled] Quantizes all values to multiples of `step`.
+StDataset QuantizeValues(const StDataset& truth, double step);
+
+}  // namespace sim
+}  // namespace sidq
+
+#endif  // SIDQ_SIM_SENSOR_FIELD_H_

@@ -1,0 +1,123 @@
+#include "sim/trajectory_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sidq {
+namespace sim {
+
+StatusOr<Trajectory> TrajectorySimulator::AlongRoute(
+    const RoadNetwork& net, const std::vector<NodeId>& route,
+    ObjectId object_id) const {
+  if (route.size() < 2) {
+    return Status::InvalidArgument("route needs at least 2 nodes");
+  }
+  // Build the polyline of the route.
+  std::vector<geometry::Point> polyline;
+  polyline.reserve(route.size());
+  for (NodeId n : route) {
+    if (n >= net.num_nodes()) {
+      return Status::InvalidArgument("route node out of range");
+    }
+    polyline.push_back(net.node(n).p);
+  }
+
+  Trajectory out(object_id);
+  Timestamp t = options_.start_time;
+  size_t seg = 0;                  // current polyline segment
+  double seg_pos = 0.0;            // metres travelled along current segment
+  geometry::Point cur = polyline.front();
+  SIDQ_CHECK_OK(out.Append(TrajectoryPoint(t, cur)));
+  const double dt = TimestampToSeconds(options_.sample_interval_ms);
+
+  while (seg + 1 < polyline.size()) {
+    double speed = std::max(
+        0.5, rng_->Gaussian(options_.mean_speed_mps, options_.speed_jitter));
+    double remaining = speed * dt;
+    while (remaining > 0.0 && seg + 1 < polyline.size()) {
+      const double seg_len =
+          geometry::Distance(polyline[seg], polyline[seg + 1]);
+      const double left_in_seg = seg_len - seg_pos;
+      if (remaining < left_in_seg) {
+        seg_pos += remaining;
+        remaining = 0.0;
+      } else {
+        remaining -= left_in_seg;
+        ++seg;
+        seg_pos = 0.0;
+      }
+    }
+    if (seg + 1 >= polyline.size()) {
+      cur = polyline.back();
+    } else {
+      const double seg_len =
+          geometry::Distance(polyline[seg], polyline[seg + 1]);
+      const double f = seg_len > 0.0 ? seg_pos / seg_len : 0.0;
+      cur = geometry::Lerp(polyline[seg], polyline[seg + 1], f);
+    }
+    t += options_.sample_interval_ms;
+    SIDQ_CHECK_OK(out.Append(TrajectoryPoint(t, cur)));
+  }
+  return out;
+}
+
+StatusOr<Trajectory> TrajectorySimulator::RandomOnNetwork(
+    const RoadNetwork& net, size_t min_hops, ObjectId object_id) const {
+  SIDQ_ASSIGN_OR_RETURN(std::vector<NodeId> route,
+                        RandomRoute(net, min_hops, rng_));
+  return AlongRoute(net, route, object_id);
+}
+
+Trajectory TrajectorySimulator::RandomWaypoint(const geometry::BBox& bounds,
+                                               size_t num_samples,
+                                               ObjectId object_id) const {
+  Trajectory out(object_id);
+  if (num_samples == 0) return out;
+  geometry::Point cur(rng_->Uniform(bounds.min_x, bounds.max_x),
+                      rng_->Uniform(bounds.min_y, bounds.max_y));
+  geometry::Point target(rng_->Uniform(bounds.min_x, bounds.max_x),
+                         rng_->Uniform(bounds.min_y, bounds.max_y));
+  Timestamp t = options_.start_time;
+  const double dt = TimestampToSeconds(options_.sample_interval_ms);
+  for (size_t i = 0; i < num_samples; ++i) {
+    SIDQ_CHECK_OK(out.Append(TrajectoryPoint(t, cur)));
+    const double speed = std::max(
+        0.5, rng_->Gaussian(options_.mean_speed_mps, options_.speed_jitter));
+    double step = speed * dt;
+    while (step > 0.0) {
+      const double to_target = geometry::Distance(cur, target);
+      if (to_target <= step) {
+        cur = target;
+        step -= to_target;
+        target = geometry::Point(rng_->Uniform(bounds.min_x, bounds.max_x),
+                                 rng_->Uniform(bounds.min_y, bounds.max_y));
+      } else {
+        cur = cur + (target - cur).Normalized() * step;
+        step = 0.0;
+      }
+    }
+    t += options_.sample_interval_ms;
+  }
+  return out;
+}
+
+Fleet MakeFleet(int cols, int rows, double spacing, int num_objects,
+                size_t min_hops, Rng* rng,
+                TrajectorySimulator::Options sim_options) {
+  Fleet fleet;
+  fleet.network =
+      MakeGridRoadNetwork(cols, rows, spacing, spacing * 0.05, 0.05, rng);
+  TrajectorySimulator simulator(sim_options, rng);
+  for (int i = 0; i < num_objects; ++i) {
+    auto tr = simulator.RandomOnNetwork(fleet.network, min_hops,
+                                        static_cast<ObjectId>(i));
+    SIDQ_CHECK(tr.ok()) << tr.status();
+    fleet.trajectories.push_back(std::move(tr).value());
+  }
+  return fleet;
+}
+
+}  // namespace sim
+}  // namespace sidq

@@ -1,0 +1,65 @@
+#ifndef SIDQ_SIM_TRAJECTORY_SIM_H_
+#define SIDQ_SIM_TRAJECTORY_SIM_H_
+
+#include <vector>
+
+#include "core/random.h"
+#include "core/statusor.h"
+#include "core/trajectory.h"
+#include "core/types.h"
+#include "sim/road_network.h"
+
+namespace sidq {
+namespace sim {
+
+// Generates ground-truth trajectories for moving IoT objects. Observed
+// (degraded) versions are produced by the injectors in sim/noise.h.
+class TrajectorySimulator {
+ public:
+  struct Options {
+    double mean_speed_mps = 12.0;    // cruising speed
+    double speed_jitter = 2.0;       // per-step 1-sigma speed variation
+    Timestamp sample_interval_ms = 1000;
+    Timestamp start_time = 0;
+  };
+
+  TrajectorySimulator(Options options, Rng* rng)
+      : options_(options), rng_(rng) {}
+
+  // Moves along `route` (a node sequence of `net`) at a jittered speed and
+  // samples the position every sample_interval_ms.
+  StatusOr<Trajectory> AlongRoute(const RoadNetwork& net,
+                                  const std::vector<NodeId>& route,
+                                  ObjectId object_id) const;
+
+  // Convenience: a random route of at least min_hops nodes.
+  StatusOr<Trajectory> RandomOnNetwork(const RoadNetwork& net,
+                                       size_t min_hops,
+                                       ObjectId object_id) const;
+
+  // Free-space random-waypoint motion inside `bounds` for `num_samples`
+  // samples (pedestrian/drone style movement).
+  Trajectory RandomWaypoint(const geometry::BBox& bounds, size_t num_samples,
+                            ObjectId object_id) const;
+
+ private:
+  Options options_;
+  Rng* rng_;
+};
+
+// A fleet of ground-truth trajectories over one network.
+struct Fleet {
+  RoadNetwork network;
+  std::vector<Trajectory> trajectories;
+};
+
+// Builds a cols x rows grid network and `num_objects` trajectories of
+// at least `min_hops` hops each.
+Fleet MakeFleet(int cols, int rows, double spacing, int num_objects,
+                size_t min_hops, Rng* rng,
+                TrajectorySimulator::Options sim_options = {});
+
+}  // namespace sim
+}  // namespace sidq
+
+#endif  // SIDQ_SIM_TRAJECTORY_SIM_H_

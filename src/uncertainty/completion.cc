@@ -1,0 +1,161 @@
+#include "uncertainty/completion.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace sidq {
+namespace uncertainty {
+
+StatusOr<Trajectory> LinearComplete(const Trajectory& sparse,
+                                    Timestamp target_interval_ms) {
+  if (!sparse.IsTimeOrdered()) {
+    return Status::FailedPrecondition("trajectory must be time-ordered");
+  }
+  if (target_interval_ms <= 0) {
+    return Status::InvalidArgument("interval must be positive");
+  }
+  Trajectory out(sparse.object_id());
+  for (size_t i = 0; i < sparse.size(); ++i) {
+    if (i > 0) {
+      const TrajectoryPoint& a = sparse[i - 1];
+      const TrajectoryPoint& b = sparse[i];
+      for (Timestamp t = a.t + target_interval_ms; t < b.t;
+           t += target_interval_ms) {
+        const double f = static_cast<double>(t - a.t) /
+                         static_cast<double>(b.t - a.t);
+        out.AppendUnordered(
+            TrajectoryPoint(t, geometry::Lerp(a.p, b.p, f)));
+      }
+    }
+    out.AppendUnordered(sparse[i]);
+  }
+  return out;
+}
+
+StatusOr<Trajectory> RoadCompleter::Complete(const Trajectory& sparse) const {
+  if (!sparse.IsTimeOrdered()) {
+    return Status::FailedPrecondition("trajectory must be time-ordered");
+  }
+  Trajectory out(sparse.object_id());
+  const Timestamp interval = options_.target_interval_ms;
+  for (size_t i = 0; i < sparse.size(); ++i) {
+    if (i > 0) {
+      const TrajectoryPoint& a = sparse[i - 1];
+      const TrajectoryPoint& b = sparse[i];
+      const Timestamp gap = b.t - a.t;
+      if (gap >= options_.min_gap_ms) {
+        // Build the route polyline a -> nodes(shortest path) -> b.
+        std::vector<geometry::Point> route;
+        bool have_route = false;
+        auto ea = network_->NearestEdge(a.p);
+        auto eb = network_->NearestEdge(b.p);
+        if (ea.ok() && eb.ok()) {
+          const geometry::Point pa = network_->ProjectToEdge(*ea, a.p);
+          const geometry::Point pb = network_->ProjectToEdge(*eb, b.p);
+          if (*ea == *eb) {
+            // Both fixes on one edge: the route is the edge itself.
+            route = {a.p, pa, pb, b.p};
+            have_route = true;
+          } else {
+            // Pick the endpoint pair minimising the full route cost;
+            // entering at the blindly-closest endpoint can backtrack by up
+            // to a whole edge length.
+            const auto& edge_a = network_->edge(*ea);
+            const auto& edge_b = network_->edge(*eb);
+            double best_cost = std::numeric_limits<double>::infinity();
+            NodeId best_na = kInvalidNodeId, best_nb = kInvalidNodeId;
+            for (NodeId na : {edge_a.u, edge_a.v}) {
+              for (NodeId nb : {edge_b.u, edge_b.v}) {
+                const double cost =
+                    geometry::Distance(pa, network_->node(na).p) +
+                    network_->ShortestPathLength(na, nb) +
+                    geometry::Distance(network_->node(nb).p, pb);
+                if (cost < best_cost) {
+                  best_cost = cost;
+                  best_na = na;
+                  best_nb = nb;
+                }
+              }
+            }
+            if (best_na != kInvalidNodeId) {
+              auto path = network_->ShortestPath(best_na, best_nb);
+              if (path.ok()) {
+                route.push_back(a.p);
+                route.push_back(pa);
+                for (NodeId n : path.value()) {
+                  route.push_back(network_->node(n).p);
+                }
+                route.push_back(pb);
+                route.push_back(b.p);
+                have_route = true;
+              }
+            }
+          }
+        }
+        double route_len = 0.0;
+        for (size_t k = 1; k < route.size(); ++k) {
+          route_len += geometry::Distance(route[k - 1], route[k]);
+        }
+        const double straight = geometry::Distance(a.p, b.p);
+        if (have_route && route_len > 0.0 &&
+            route_len <= options_.max_detour_factor * std::max(straight, 1.0)) {
+          // Walk the route, emitting points at the target interval with
+          // time proportional to distance travelled.
+          size_t seg = 0;
+          double seg_pos = 0.0;
+          for (Timestamp t = a.t + interval; t < b.t; t += interval) {
+            const double frac = static_cast<double>(t - a.t) /
+                                static_cast<double>(gap);
+            double target_dist = frac * route_len;
+            // advance along route
+            double travelled = 0.0;
+            seg = 0;
+            seg_pos = 0.0;
+            while (seg + 1 < route.size()) {
+              const double sl =
+                  geometry::Distance(route[seg], route[seg + 1]);
+              if (travelled + sl >= target_dist) {
+                seg_pos = target_dist - travelled;
+                break;
+              }
+              travelled += sl;
+              ++seg;
+            }
+            geometry::Point p;
+            if (seg + 1 >= route.size()) {
+              p = route.back();
+            } else {
+              const double sl =
+                  geometry::Distance(route[seg], route[seg + 1]);
+              p = sl > 0.0
+                      ? geometry::Lerp(route[seg], route[seg + 1],
+                                       seg_pos / sl)
+                      : route[seg];
+            }
+            out.AppendUnordered(TrajectoryPoint(t, p));
+          }
+        } else {
+          for (Timestamp t = a.t + interval; t < b.t; t += interval) {
+            const double f = static_cast<double>(t - a.t) /
+                             static_cast<double>(gap);
+            out.AppendUnordered(
+                TrajectoryPoint(t, geometry::Lerp(a.p, b.p, f)));
+          }
+        }
+      } else if (gap > interval) {
+        for (Timestamp t = a.t + interval; t < b.t; t += interval) {
+          const double f =
+              static_cast<double>(t - a.t) / static_cast<double>(gap);
+          out.AppendUnordered(
+              TrajectoryPoint(t, geometry::Lerp(a.p, b.p, f)));
+        }
+      }
+    }
+    out.AppendUnordered(sparse[i]);
+  }
+  return out;
+}
+
+}  // namespace uncertainty
+}  // namespace sidq

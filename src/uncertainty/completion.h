@@ -1,0 +1,52 @@
+#ifndef SIDQ_UNCERTAINTY_COMPLETION_H_
+#define SIDQ_UNCERTAINTY_COMPLETION_H_
+
+#include "core/statusor.h"
+#include "core/trajectory.h"
+#include "core/types.h"
+#include "sim/road_network.h"
+
+namespace sidq {
+namespace uncertainty {
+
+// Inference-based trajectory uncertainty elimination (Section 2.2.2):
+// restores the unobserved path between temporally sparse samples.
+
+// Baseline: fills gaps longer than `target_interval_ms` with points
+// linearly interpolated at that interval.
+StatusOr<Trajectory> LinearComplete(const Trajectory& sparse,
+                                    Timestamp target_interval_ms);
+
+// Route-inference completion using explicit spatial constraints: for each
+// gap the most plausible road route between the two observed points is
+// reconstructed (nearest edges + network shortest path), and points are
+// placed along it at `target_interval_ms`, with timestamps allocated in
+// proportion to route distance (Zheng et al., ICDE 2012 / Wu et al.,
+// KDD 2016 family).
+class RoadCompleter {
+ public:
+  struct Options {
+    Timestamp target_interval_ms = 1000;
+    // Gaps shorter than this are linearly interpolated instead.
+    Timestamp min_gap_ms = 2500;
+    // When the route detour exceeds straight-line distance by this factor,
+    // fall back to linear interpolation (the match is likely wrong).
+    double max_detour_factor = 3.0;
+  };
+
+  RoadCompleter(const sim::RoadNetwork* network, Options options)
+      : network_(network), options_(options) {}
+  explicit RoadCompleter(const sim::RoadNetwork* network)
+      : RoadCompleter(network, Options{}) {}
+
+  StatusOr<Trajectory> Complete(const Trajectory& sparse) const;
+
+ private:
+  const sim::RoadNetwork* network_;
+  Options options_;
+};
+
+}  // namespace uncertainty
+}  // namespace sidq
+
+#endif  // SIDQ_UNCERTAINTY_COMPLETION_H_

@@ -1,0 +1,97 @@
+#include "uncertainty/cotraining.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidq {
+namespace uncertainty {
+
+namespace {
+
+// (distance, series index) pairs of the k nearest non-empty series.
+std::vector<std::pair<double, size_t>> NearestSeries(
+    const StDataset& data, const geometry::Point& p, size_t k) {
+  std::vector<std::pair<double, size_t>> d;
+  for (size_t i = 0; i < data.num_sensors(); ++i) {
+    if (data.series()[i].empty()) continue;
+    d.emplace_back(geometry::DistanceSq(data.series()[i].loc(), p), i);
+  }
+  k = std::min(k, d.size());
+  std::partial_sort(d.begin(), d.begin() + k, d.end());
+  d.resize(k);
+  for (auto& [dist_sq, idx] : d) dist_sq = std::sqrt(dist_sq);
+  return d;
+}
+
+double SeriesValueAt(const StSeries& s, Timestamp t) {
+  const Timestamp clamped =
+      std::clamp(t, s.records().front().t, s.records().back().t);
+  return s.InterpolateAt(clamped).value_or(s.records().front().value);
+}
+
+}  // namespace
+
+StatusOr<std::vector<CoTrainingEstimator::Estimate>>
+CoTrainingEstimator::Run(const StDataset& labeled,
+                         const std::vector<Query>& queries) const {
+  if (labeled.TotalRecords() == 0) {
+    return Status::FailedPrecondition("no labelled data");
+  }
+  // Per-sensor time means (the static spatial component of each label).
+  std::vector<double> means(labeled.num_sensors(), 0.0);
+  for (size_t i = 0; i < labeled.num_sensors(); ++i) {
+    const StSeries& s = labeled.series()[i];
+    if (s.empty()) continue;
+    double acc = 0.0;
+    for (const StRecord& r : s.records()) acc += r.value;
+    means[i] = acc / static_cast<double>(s.size());
+  }
+
+  std::vector<Estimate> out(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const Query& q = queries[qi];
+    const auto nn = NearestSeries(labeled, q.p, options_.k);
+    if (nn.empty()) {
+      return Status::NotFound("no labelled series near query " +
+                              std::to_string(qi));
+    }
+    // View 1 (spatial): IDW over the k nearest sensors' *instantaneous*
+    // values. View 2 (decomposition): IDW over the same sensors' *time
+    // means* plus the mean temporal deviation of a 3x wider neighbourhood
+    // -- temporal modulation varies more smoothly in space than the field
+    // itself, so a wider average denoises it. The two views exploit the
+    // labels' temporal structure differently, which makes their errors
+    // only partially correlated -- the premise of co-training.
+    double wsum = 0.0, inst = 0.0, mean_field = 0.0;
+    for (const auto& [dist, idx] : nn) {
+      const StSeries& s = labeled.series()[idx];
+      const double w =
+          1.0 / std::pow(std::max(1.0, dist), options_.idw_power);
+      inst += w * SeriesValueAt(s, q.t);
+      mean_field += w * means[idx];
+      wsum += w;
+    }
+    const auto wide = NearestSeries(labeled, q.p, options_.k * 3);
+    double delta = 0.0;
+    for (const auto& [dist, idx] : wide) {
+      delta += SeriesValueAt(labeled.series()[idx], q.t) - means[idx];
+    }
+    delta /= static_cast<double>(wide.size());
+    const double spatial = inst / wsum;
+    const double decomposed = mean_field / wsum + delta;
+    // For a pure IDW the two views coincide; they diverge once the label
+    // noise or local dynamics break the decomposition. Average them when
+    // they agree (variance reduction); trust the spatial view otherwise.
+    if (std::abs(spatial - decomposed) <= options_.agreement_tolerance) {
+      out[qi].value = (spatial + decomposed) / 2.0;
+      out[qi].pseudo_labeled = true;
+    } else {
+      out[qi].value = spatial;
+      out[qi].pseudo_labeled = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace uncertainty
+}  // namespace sidq

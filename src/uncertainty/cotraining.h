@@ -1,0 +1,62 @@
+#ifndef SIDQ_UNCERTAINTY_COTRAINING_H_
+#define SIDQ_UNCERTAINTY_COTRAINING_H_
+
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/stid.h"
+#include "core/types.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace uncertainty {
+
+// Semi-supervised field estimation by co-training views (Section 2.1
+// "learning paradigm" perspective; Chen et al., UbiComp 2016 family for
+// fine-grained air quality). Two partially independent views estimate the
+// value at an unlabelled location-time point:
+//   - the SPATIAL view: IDW over the nearest sensors' instantaneous values;
+//   - the DECOMPOSITION view: IDW over the same sensors' *time means* plus
+//     the temporal deviation averaged over a wider neighbourhood.
+// Where the views agree within `agreement_tolerance`, their average is a
+// *pseudo-label*: an unlabelled point whose estimate is trustworthy enough
+// to act as a label for downstream consumers -- the way semi-supervised
+// methods mitigate label scarcity. Disagreement flags the estimate as
+// uncertain and the spatial view is used alone.
+class CoTrainingEstimator {
+ public:
+  struct Options {
+    // Spatial view: IDW neighbours.
+    size_t k = 5;
+    double idw_power = 2.0;
+    // Views agreeing within this tolerance create a pseudo-label.
+    double agreement_tolerance = 2.0;
+  };
+
+  explicit CoTrainingEstimator(Options options) : options_(options) {}
+  CoTrainingEstimator() : CoTrainingEstimator(Options{}) {}
+
+  struct Query {
+    geometry::Point p;
+    Timestamp t = 0;
+  };
+  struct Estimate {
+    double value = 0.0;
+    // True when the estimate was reinforced by view agreement (higher
+    // confidence).
+    bool pseudo_labeled = false;
+  };
+
+  // Estimates values at `queries` given the labelled dataset. Queries
+  // should share time instants with the data (standard STID gridding).
+  StatusOr<std::vector<Estimate>> Run(const StDataset& labeled,
+                                      const std::vector<Query>& queries) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace uncertainty
+}  // namespace sidq
+
+#endif  // SIDQ_UNCERTAINTY_COTRAINING_H_

@@ -1,0 +1,54 @@
+#include "uncertainty/fusion.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace sidq {
+namespace uncertainty {
+
+StatusOr<StDataset> FuseStid(const StDataset& primary,
+                             const StDataset& auxiliary,
+                             const StidFusionOptions& options) {
+  if (options.radius_m <= 0.0 || options.window_ms <= 0) {
+    return Status::InvalidArgument("radius and window must be positive");
+  }
+  StDataset out(primary.field_name());
+  const double r_sq = options.radius_m * options.radius_m;
+  for (const StSeries& s : primary.series()) {
+    StSeries fused(s.sensor(), s.loc());
+    for (const StRecord& rec : s.records()) {
+      const double sigma =
+          rec.stddev > 0.0 ? rec.stddev : options.default_sigma;
+      double wsum = 1.0 / (sigma * sigma);
+      double acc = rec.value * wsum;
+      for (const StSeries& aux : auxiliary.series()) {
+        if (geometry::DistanceSq(aux.loc(), rec.loc) > r_sq) continue;
+        // Use the aux record closest in time within the window.
+        const StRecord* best = nullptr;
+        Timestamp best_dt = options.window_ms + 1;
+        for (const StRecord& ar : aux.records()) {
+          const Timestamp dt = std::abs(ar.t - rec.t);
+          if (dt <= options.window_ms && dt < best_dt) {
+            best = &ar;
+            best_dt = dt;
+          }
+        }
+        if (best != nullptr) {
+          const double as =
+              best->stddev > 0.0 ? best->stddev : options.default_sigma;
+          const double w = 1.0 / (as * as);
+          acc += best->value * w;
+          wsum += w;
+        }
+      }
+      SIDQ_CHECK_OK(
+          fused.Append(rec.t, acc / wsum, std::sqrt(1.0 / wsum)));
+    }
+    out.AddSeries(std::move(fused));
+  }
+  return out;
+}
+
+}  // namespace uncertainty
+}  // namespace sidq

@@ -1,0 +1,31 @@
+#ifndef SIDQ_UNCERTAINTY_FUSION_H_
+#define SIDQ_UNCERTAINTY_FUSION_H_
+
+#include "core/statusor.h"
+#include "core/stid.h"
+#include "core/types.h"
+
+namespace sidq {
+namespace uncertainty {
+
+// Data-fusion-based measurement uncertainty reduction (Okafor et al., ICT
+// Express 2020 family): each primary record is fused with auxiliary-source
+// records taken nearby in space and time by inverse-variance weighting.
+// Per-record `stddev` fields drive the weights (records with stddev <= 0
+// get `default_sigma`).
+struct StidFusionOptions {
+  double radius_m = 150.0;
+  Timestamp window_ms = 60'000;
+  double default_sigma = 1.0;
+};
+
+// Returns a copy of `primary` whose values (and stddevs) are fused with
+// matching `auxiliary` records. Records with no auxiliary match are kept.
+StatusOr<StDataset> FuseStid(const StDataset& primary,
+                             const StDataset& auxiliary,
+                             const StidFusionOptions& options);
+
+}  // namespace uncertainty
+}  // namespace sidq
+
+#endif  // SIDQ_UNCERTAINTY_FUSION_H_

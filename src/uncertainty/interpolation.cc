@@ -1,0 +1,170 @@
+#include "uncertainty/interpolation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+namespace sidq {
+namespace uncertainty {
+
+namespace {
+
+// Value of series `s` at time t, clamped to the series span; error when the
+// series is empty.
+StatusOr<double> SeriesValueAt(const StSeries& s, Timestamp t) {
+  if (s.empty()) return Status::FailedPrecondition("empty series");
+  const Timestamp clamped =
+      std::clamp(t, s.records().front().t, s.records().back().t);
+  return s.InterpolateAt(clamped);
+}
+
+// Indices of the k sensors nearest to p.
+std::vector<size_t> NearestSensors(const StDataset& data,
+                                   const geometry::Point& p, size_t k) {
+  std::vector<std::pair<double, size_t>> d;
+  d.reserve(data.num_sensors());
+  for (size_t i = 0; i < data.num_sensors(); ++i) {
+    if (data.series()[i].empty()) continue;
+    d.emplace_back(geometry::DistanceSq(data.series()[i].loc(), p), i);
+  }
+  k = std::min(k, d.size());
+  std::partial_sort(d.begin(), d.begin() + k, d.end());
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(d[i].second);
+  return out;
+}
+
+}  // namespace
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  double ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+IdwInterpolator::IdwInterpolator(const StDataset* data, Options options)
+    : data_(data), options_(options) {}
+
+StatusOr<double> IdwInterpolator::Estimate(const geometry::Point& p,
+                                           Timestamp t) const {
+  const std::vector<size_t> nn =
+      NearestSensors(*data_, p, options_.k);
+  if (nn.empty()) return Status::NotFound("no sensors with data");
+  double wsum = 0.0, acc = 0.0;
+  for (size_t idx : nn) {
+    const StSeries& s = data_->series()[idx];
+    auto v = SeriesValueAt(s, t);
+    if (!v.ok()) continue;
+    const double d =
+        std::max(options_.epsilon_m, geometry::Distance(s.loc(), p));
+    const double w = 1.0 / std::pow(d, options_.power);
+    acc += w * v.value();
+    wsum += w;
+  }
+  if (wsum <= 0.0) return Status::NotFound("no usable neighbour series");
+  return acc / wsum;
+}
+
+StatusOr<double> KernelInterpolator::Estimate(const geometry::Point& p,
+                                              Timestamp t) const {
+  const double inv_2h2 =
+      1.0 / (2.0 * options_.bandwidth_m * options_.bandwidth_m);
+  double wsum = 0.0, acc = 0.0;
+  for (const StSeries& s : data_->series()) {
+    auto v = SeriesValueAt(s, t);
+    if (!v.ok()) continue;
+    const double d_sq = geometry::DistanceSq(s.loc(), p);
+    const double w = std::exp(-d_sq * inv_2h2);
+    acc += w * v.value();
+    wsum += w;
+  }
+  if (wsum <= 1e-300) return Status::NotFound("no usable series");
+  return acc / wsum;
+}
+
+TrendClusterInterpolator::TrendClusterInterpolator(const StDataset* data,
+                                                   Options options)
+    : data_(data), options_(options) {
+  const size_t n = data_->num_sensors();
+  // Union-find over sensors; join spatial neighbours with correlated trends.
+  std::vector<size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::vector<std::vector<double>> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = data_->series()[i].Values();
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<size_t> nb = NearestSensors(
+        *data_, data_->series()[i].loc(), options_.neighbors + 1);
+    for (size_t j : nb) {
+      if (j == i) continue;
+      if (PearsonCorrelation(values[i], values[j]) >=
+          options_.min_correlation) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+  cluster_of_.assign(n, -1);
+  num_clusters_ = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t root = find(i);
+    if (cluster_of_[root] < 0) cluster_of_[root] = num_clusters_++;
+    cluster_of_[i] = cluster_of_[root];
+  }
+}
+
+StatusOr<double> TrendClusterInterpolator::Estimate(const geometry::Point& p,
+                                                    Timestamp t) const {
+  const std::vector<size_t> nearest = NearestSensors(*data_, p, 1);
+  if (nearest.empty()) return Status::NotFound("no sensors with data");
+  const int cluster = cluster_of_[nearest.front()];
+  // IDW over same-cluster sensors only.
+  std::vector<std::pair<double, size_t>> members;
+  for (size_t i = 0; i < data_->num_sensors(); ++i) {
+    if (cluster_of_[i] != cluster || data_->series()[i].empty()) continue;
+    members.emplace_back(
+        geometry::DistanceSq(data_->series()[i].loc(), p), i);
+  }
+  const size_t k = std::min(options_.idw.k, members.size());
+  std::partial_sort(members.begin(), members.begin() + k, members.end());
+  double wsum = 0.0, acc = 0.0;
+  for (size_t m = 0; m < k; ++m) {
+    const StSeries& s = data_->series()[members[m].second];
+    auto v = SeriesValueAt(s, t);
+    if (!v.ok()) continue;
+    const double d =
+        std::max(options_.idw.epsilon_m, geometry::Distance(s.loc(), p));
+    const double w = 1.0 / std::pow(d, options_.idw.power);
+    acc += w * v.value();
+    wsum += w;
+  }
+  if (wsum <= 0.0) return Status::NotFound("no usable cluster members");
+  return acc / wsum;
+}
+
+}  // namespace uncertainty
+}  // namespace sidq

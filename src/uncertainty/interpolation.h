@@ -1,0 +1,109 @@
+#ifndef SIDQ_UNCERTAINTY_INTERPOLATION_H_
+#define SIDQ_UNCERTAINTY_INTERPOLATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/statusor.h"
+#include "core/stid.h"
+#include "core/types.h"
+#include "geometry/point.h"
+
+namespace sidq {
+namespace uncertainty {
+
+// STID uncertainty elimination via spatiotemporal interpolation
+// (Section 2.2.2): estimates the thematic value at an unsampled
+// location-time point from spatiotemporally nearby samples. All
+// implementations resolve time by per-sensor linear interpolation and
+// differ in how they combine across sensors.
+class StInterpolator {
+ public:
+  virtual ~StInterpolator() = default;
+  // Estimated value at (p, t); fails when no sensor has data covering t.
+  virtual StatusOr<double> Estimate(const geometry::Point& p,
+                                    Timestamp t) const = 0;
+};
+
+// Inverse-distance weighting over the k spatially nearest sensors.
+class IdwInterpolator : public StInterpolator {
+ public:
+  struct Options {
+    size_t k = 6;
+    double power = 2.0;
+    double epsilon_m = 1.0;  // distance floor
+  };
+
+  IdwInterpolator(const StDataset* data, Options options);
+  explicit IdwInterpolator(const StDataset* data)
+      : IdwInterpolator(data, Options{}) {}
+
+  StatusOr<double> Estimate(const geometry::Point& p,
+                            Timestamp t) const override;
+
+ private:
+  const StDataset* data_;
+  Options options_;
+};
+
+// Gaussian kernel regression (Nadaraya-Watson) with bandwidth h over all
+// sensors.
+class KernelInterpolator : public StInterpolator {
+ public:
+  struct Options {
+    double bandwidth_m = 400.0;
+  };
+
+  KernelInterpolator(const StDataset* data, Options options)
+      : data_(data), options_(options) {}
+  explicit KernelInterpolator(const StDataset* data)
+      : KernelInterpolator(data, Options{}) {}
+
+  StatusOr<double> Estimate(const geometry::Point& p,
+                            Timestamp t) const override;
+
+ private:
+  const StDataset* data_;
+  Options options_;
+};
+
+// Trend-cluster interpolation (Appice et al., JoSIS 2013 family): sensors
+// are grouped by the similarity of their temporal trends (Pearson
+// correlation over value series >= min_correlation joins two sensors);
+// estimation uses IDW restricted to the cluster of the nearest sensor, so
+// values never leak across spatial regimes with different dynamics.
+class TrendClusterInterpolator : public StInterpolator {
+ public:
+  struct Options {
+    double min_correlation = 0.7;
+    // Candidate edges: each sensor is tested against its m nearest sensors.
+    size_t neighbors = 8;
+    IdwInterpolator::Options idw;
+  };
+
+  TrendClusterInterpolator(const StDataset* data, Options options);
+  explicit TrendClusterInterpolator(const StDataset* data)
+      : TrendClusterInterpolator(data, Options{}) {}
+
+  StatusOr<double> Estimate(const geometry::Point& p,
+                            Timestamp t) const override;
+
+  // Cluster label per sensor index (for inspection/tests).
+  const std::vector<int>& cluster_of() const { return cluster_of_; }
+  int num_clusters() const { return num_clusters_; }
+
+ private:
+  const StDataset* data_;
+  Options options_;
+  std::vector<int> cluster_of_;
+  int num_clusters_ = 0;
+};
+
+// Pearson correlation between two equally-long series; 0 when degenerate.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace uncertainty
+}  // namespace sidq
+
+#endif  // SIDQ_UNCERTAINTY_INTERPOLATION_H_

@@ -1,0 +1,51 @@
+#include "uncertainty/smoothing.h"
+
+#include <algorithm>
+
+namespace sidq {
+namespace uncertainty {
+
+StatusOr<Trajectory> MovingAverageSmooth(const Trajectory& input,
+                                         size_t half_window) {
+  if (!input.IsTimeOrdered()) {
+    return Status::FailedPrecondition("trajectory must be time-ordered");
+  }
+  Trajectory out(input.object_id());
+  const size_t n = input.size();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i >= half_window ? i - half_window : 0;
+    const size_t hi = std::min(n - 1, i + half_window);
+    geometry::Point acc(0.0, 0.0);
+    for (size_t j = lo; j <= hi; ++j) acc += input[j].p;
+    TrajectoryPoint pt = input[i];
+    pt.p = acc / static_cast<double>(hi - lo + 1);
+    out.AppendUnordered(pt);
+  }
+  return out;
+}
+
+StatusOr<Trajectory> ExponentialSmooth(const Trajectory& input,
+                                       double alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  if (!input.IsTimeOrdered()) {
+    return Status::FailedPrecondition("trajectory must be time-ordered");
+  }
+  Trajectory out(input.object_id());
+  geometry::Point state;
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (i == 0) {
+      state = input[i].p;
+    } else {
+      state = state * (1.0 - alpha) + input[i].p * alpha;
+    }
+    TrajectoryPoint pt = input[i];
+    pt.p = state;
+    out.AppendUnordered(pt);
+  }
+  return out;
+}
+
+}  // namespace uncertainty
+}  // namespace sidq

@@ -1,0 +1,318 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "analytics/next_location.h"
+#include "analytics/pattern_mining.h"
+#include "analytics/popular_route.h"
+#include "analytics/stream_anomaly.h"
+#include "analytics/uncertain_clustering.h"
+#include "sim/noise.h"
+#include "sim/rfid.h"
+#include "sim/trajectory_sim.h"
+
+namespace sidq {
+namespace analytics {
+namespace {
+
+using geometry::BBox;
+using geometry::Point;
+
+// ---------------------------------------------------- UncertainClustering
+
+struct ClusterScenario {
+  std::vector<query::UncertainPoint> objects;
+  std::vector<int> truth_labels;
+};
+
+// Two well-separated groups observed with noise `sigma`.
+ClusterScenario MakeClusters(double sigma, uint64_t seed) {
+  Rng rng(seed);
+  ClusterScenario s;
+  for (int c = 0; c < 2; ++c) {
+    const Point center(c * 2000.0, 0.0);
+    for (int i = 0; i < 25; ++i) {
+      const Point truth(center.x + rng.Gaussian(0, 60),
+                        center.y + rng.Gaussian(0, 60));
+      const Point observed(truth.x + rng.Gaussian(0, sigma),
+                           truth.y + rng.Gaussian(0, sigma));
+      s.objects.push_back(query::UncertainPoint::MakeGaussian(
+          s.objects.size(), observed, sigma));
+      s.truth_labels.push_back(c);
+    }
+  }
+  return s;
+}
+
+TEST(UncertainDbscanTest, RecoversClusters) {
+  const ClusterScenario s = MakeClusters(20.0, 1);
+  UncertainDbscan::Options opts;
+  opts.eps_m = 250.0;
+  opts.min_pts = 4;
+  const auto result = UncertainDbscan(opts).Cluster(s.objects);
+  EXPECT_EQ(result.num_clusters, 2);
+  EXPECT_GT(AdjustedRandIndex(result.labels, s.truth_labels), 0.9);
+}
+
+TEST(UncertainDbscanTest, NaiveBaselineAgreesOnEasyData) {
+  const ClusterScenario s = MakeClusters(5.0, 2);
+  UncertainDbscan::Options naive;
+  naive.eps_m = 250.0;
+  naive.use_expected_distance = false;
+  const auto result = UncertainDbscan(naive).Cluster(s.objects);
+  EXPECT_EQ(result.num_clusters, 2);
+}
+
+TEST(UncertainDbscanTest, EmptyInput) {
+  const auto result = UncertainDbscan().Cluster({});
+  EXPECT_EQ(result.num_clusters, 0);
+}
+
+TEST(AdjustedRandIndexTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({0, 0, 1, 1}, {0, 0, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({0, 0, 1, 1}, {1, 1, 0, 0}), 1.0);
+  EXPECT_LT(AdjustedRandIndex({0, 1, 0, 1}, {0, 0, 1, 1}), 0.1);
+}
+
+// --------------------------------------------------------- StreamAnomaly
+
+struct AnomalyScenario {
+  std::vector<Trajectory> normal;
+  std::vector<Trajectory> anomalous;
+};
+
+AnomalyScenario MakeAnomalyScenario(uint64_t seed) {
+  Rng rng(seed);
+  AnomalyScenario s;
+  // Normal traffic: along the x axis with small noise.
+  for (int k = 0; k < 40; ++k) {
+    Trajectory tr(k);
+    const double y = rng.Uniform(-50, 50);
+    for (int i = 0; i < 60; ++i) {
+      tr.AppendUnordered(TrajectoryPoint(
+          i * 1000, Point(i * 100.0 + rng.Gaussian(0, 10),
+                          y + rng.Gaussian(0, 10))));
+    }
+    s.normal.push_back(tr);
+  }
+  // Anomalies: diagonal detours.
+  for (int k = 0; k < 10; ++k) {
+    Trajectory tr(100 + k);
+    for (int i = 0; i < 60; ++i) {
+      tr.AppendUnordered(TrajectoryPoint(
+          i * 1000, Point(i * 100.0, i * 80.0 + rng.Gaussian(0, 10))));
+    }
+    s.anomalous.push_back(tr);
+  }
+  return s;
+}
+
+TEST(StreamAnomalyTest, SeparatesNormalFromAnomalous) {
+  const AnomalyScenario s = MakeAnomalyScenario(3);
+  StreamAnomalyDetector detector;
+  // Hold out some normal trajectories for scoring.
+  std::vector<Trajectory> train(s.normal.begin(), s.normal.end() - 10);
+  detector.Train(train);
+  size_t false_alarms = 0;
+  for (size_t i = s.normal.size() - 10; i < s.normal.size(); ++i) {
+    false_alarms += detector.IsAnomalous(s.normal[i]) ? 1 : 0;
+  }
+  size_t detected = 0;
+  for (const auto& tr : s.anomalous) {
+    detected += detector.IsAnomalous(tr) ? 1 : 0;
+  }
+  EXPECT_LE(false_alarms, 2u);
+  EXPECT_GE(detected, 9u);
+}
+
+TEST(StreamAnomalyTest, IncrementalMatchesBatch) {
+  const AnomalyScenario s = MakeAnomalyScenario(4);
+  StreamAnomalyDetector detector;
+  detector.Train(s.normal);
+  const Trajectory& tr = s.anomalous[0];
+  StreamAnomalyDetector::StreamState state;
+  for (const auto& pt : tr.points()) detector.Feed(&state, pt.p);
+  EXPECT_DOUBLE_EQ(state.Score(), detector.Score(tr));
+}
+
+TEST(StreamAnomalyTest, UntrainedFlagsEverything) {
+  StreamAnomalyDetector detector;
+  Trajectory tr(1);
+  for (int i = 0; i < 20; ++i) {
+    tr.AppendUnordered(TrajectoryPoint(i * 1000, Point(i * 300.0, 0)));
+  }
+  EXPECT_GT(detector.Score(tr), 0.9);
+}
+
+// ---------------------------------------------------------- PatternMining
+
+TEST(PatternMinerTest, OccurrenceProbability) {
+  UncertainSequence seq;
+  seq.symbols = {1, 2, 3};
+  seq.confidence = {0.9, 0.8, 1.0};
+  EXPECT_NEAR(PatternMiner::OccurrenceProbability(seq, {1, 2}), 0.72, 1e-12);
+  EXPECT_NEAR(PatternMiner::OccurrenceProbability(seq, {2, 3}), 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(PatternMiner::OccurrenceProbability(seq, {3, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(PatternMiner::OccurrenceProbability(seq, {}), 0.0);
+}
+
+TEST(PatternMinerTest, FindsPlantedPattern) {
+  Rng rng(5);
+  std::vector<UncertainSequence> db;
+  for (int k = 0; k < 30; ++k) {
+    UncertainSequence seq;
+    // Random prefix, then the planted pattern 7 -> 8 -> 9.
+    for (int i = 0; i < 3; ++i) {
+      seq.symbols.push_back(static_cast<RegionId>(rng.UniformInt(0, 4)));
+    }
+    for (RegionId r : {7u, 8u, 9u}) seq.symbols.push_back(r);
+    seq.confidence.assign(seq.symbols.size(), 0.9);
+    db.push_back(seq);
+  }
+  PatternMiner::Options opts;
+  opts.min_expected_support = 15.0;
+  opts.min_length = 3;
+  opts.max_length = 3;
+  const auto patterns = PatternMiner(opts).Mine(db);
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_EQ(patterns.front().symbols, (std::vector<RegionId>{7, 8, 9}));
+  EXPECT_GT(patterns.front().expected_support, 20.0);
+}
+
+TEST(PatternMinerTest, ConfidenceLowersSupport) {
+  UncertainSequence certain{{1, 2}, {1.0, 1.0}};
+  UncertainSequence doubtful{{1, 2}, {0.5, 0.5}};
+  PatternMiner::Options opts;
+  opts.min_expected_support = 0.1;
+  opts.min_length = 2;
+  const auto high = PatternMiner(opts).Mine({certain});
+  const auto low = PatternMiner(opts).Mine({doubtful});
+  ASSERT_FALSE(high.empty());
+  ASSERT_FALSE(low.empty());
+  EXPECT_GT(high.front().expected_support, low.front().expected_support);
+}
+
+TEST(PatternMinerTest, FromSymbolicHelper) {
+  SymbolicTrajectory tr(1);
+  tr.Append(3, 0);
+  tr.Append(3, 1000);
+  tr.Append(4, 2000);
+  const UncertainSequence seq = FromSymbolic(tr, 0.8);
+  EXPECT_EQ(seq.symbols, (std::vector<RegionId>{3, 4}));
+  EXPECT_EQ(seq.confidence, (std::vector<double>{0.8, 0.8}));
+}
+
+// ----------------------------------------------------------- PopularRoute
+
+TEST(PopularRouteTest, RecoversDominantRoute) {
+  Rng rng(6);
+  // Corpus: 30 trajectories along y=0, 3 along a detour via y=1000.
+  std::vector<Trajectory> corpus;
+  for (int k = 0; k < 30; ++k) {
+    Trajectory tr(k);
+    for (int i = 0; i <= 10; ++i) {
+      tr.AppendUnordered(TrajectoryPoint(
+          i * 10'000, Point(i * 300.0, rng.Gaussian(0, 20))));
+    }
+    corpus.push_back(tr);
+  }
+  for (int k = 0; k < 3; ++k) {
+    Trajectory tr(100 + k);
+    for (int i = 0; i <= 5; ++i) {
+      tr.AppendUnordered(
+          TrajectoryPoint(i * 10'000, Point(i * 600.0, i * 200.0)));
+    }
+    for (int i = 6; i <= 10; ++i) {
+      tr.AppendUnordered(TrajectoryPoint(
+          i * 10'000, Point(i * 300.0 + 1500, 2000.0 - (i - 5) * 400.0)));
+    }
+    corpus.push_back(tr);
+  }
+  PopularRouteFinder finder;
+  finder.Build(corpus);
+  EXPECT_GT(finder.num_cells(), 5u);
+  const auto route = finder.FindRoute(Point(0, 0), Point(3000, 0));
+  ASSERT_TRUE(route.ok());
+  // Popularity is a product over ~10 transitions, each < 1 due to noise.
+  EXPECT_GT(route->popularity, 1e-4);
+  // The popular route should hug y=0.
+  for (const Point& c : route->cells) {
+    EXPECT_LT(std::abs(c.y), 400.0);
+  }
+}
+
+TEST(PopularRouteTest, UnknownSourceFails) {
+  PopularRouteFinder finder;
+  finder.Build({});
+  EXPECT_FALSE(finder.FindRoute(Point(0, 0), Point(100, 100)).ok());
+}
+
+// ------------------------------------------------------------ NextLocation
+
+TEST(NextCellPredictorTest, LearnsDeterministicMotion) {
+  // All objects loop through the same cells.
+  std::vector<Trajectory> corpus;
+  for (int k = 0; k < 10; ++k) {
+    Trajectory tr(k);
+    for (int i = 0; i < 30; ++i) {
+      tr.AppendUnordered(TrajectoryPoint(i * 10'000, Point(i * 300.0, 0)));
+    }
+    corpus.push_back(tr);
+  }
+  NextCellPredictor predictor;
+  predictor.Train(corpus);
+  EXPECT_GT(predictor.Evaluate(corpus), 0.95);
+
+  Trajectory recent(99);
+  recent.AppendUnordered(TrajectoryPoint(0, Point(600, 0)));
+  recent.AppendUnordered(TrajectoryPoint(10'000, Point(900, 0)));
+  const auto next = predictor.PredictNext(recent);
+  ASSERT_TRUE(next.ok());
+  EXPECT_NEAR(next->x, 1125.0, 250.0 / 2 + 1.0);  // centre of cell 4
+}
+
+TEST(NextCellPredictorTest, BackoffOnUnseenContext) {
+  std::vector<Trajectory> corpus;
+  Trajectory tr(1);
+  for (int i = 0; i < 10; ++i) {
+    tr.AppendUnordered(TrajectoryPoint(i * 10'000, Point(i * 300.0, 0)));
+  }
+  corpus.push_back(tr);
+  NextCellPredictor predictor;
+  predictor.Train(corpus);
+  // A history whose (prev, cur) pair was never seen, but whose current
+  // cell was: order-1 backoff should still answer.
+  Trajectory recent(2);
+  recent.AppendUnordered(TrajectoryPoint(0, Point(0, 5000)));
+  recent.AppendUnordered(TrajectoryPoint(10'000, Point(900, 0)));
+  EXPECT_TRUE(predictor.PredictNext(recent).ok());
+  // Fully unknown context fails.
+  Trajectory unknown(3);
+  unknown.AppendUnordered(TrajectoryPoint(0, Point(90000, 90000)));
+  EXPECT_FALSE(predictor.PredictNext(unknown).ok());
+  EXPECT_FALSE(predictor.PredictNext(Trajectory(4)).ok());
+}
+
+TEST(NextCellPredictorTest, IncompletenessDegradesGracefully) {
+  Rng rng(7);
+  const sim::Fleet fleet = sim::MakeFleet(8, 8, 250.0, 30, 16, &rng);
+  std::vector<Trajectory> train(fleet.trajectories.begin(),
+                                fleet.trajectories.end() - 8);
+  std::vector<Trajectory> held(fleet.trajectories.end() - 8,
+                               fleet.trajectories.end());
+  NextCellPredictor predictor;
+  predictor.Train(train);
+  const double full_acc = predictor.Evaluate(held);
+  // Drop half the points from the held-out histories.
+  std::vector<Trajectory> sparse;
+  for (const auto& tr : held) {
+    sparse.push_back(sim::DropSamples(tr, 0.5, &rng));
+  }
+  const double sparse_acc = predictor.Evaluate(sparse);
+  EXPECT_GT(full_acc, 0.25);
+  EXPECT_GT(sparse_acc, 0.1);
+}
+
+}  // namespace
+}  // namespace analytics
+}  // namespace sidq

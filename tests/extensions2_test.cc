@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "analytics/next_location.h"
+#include "core/random.h"
+#include "reduce/reference_compression.h"
+#include "sim/noise.h"
+#include "sim/road_network.h"
+#include "sim/sensor_field.h"
+#include "sim/trajectory_sim.h"
+#include "uncertainty/cotraining.h"
+
+namespace sidq {
+namespace {
+
+using geometry::BBox;
+using geometry::Point;
+
+// ----------------------------------------------------------------- A-star
+
+TEST(AStarTest, MatchesDijkstraOnRandomPairs) {
+  Rng rng(1);
+  const sim::RoadNetwork net =
+      sim::MakeGridRoadNetwork(12, 12, 150.0, 10.0, 0.05, &rng);
+  for (int trial = 0; trial < 30; ++trial) {
+    const NodeId a = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1));
+    const NodeId b = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1));
+    const auto dijkstra = net.ShortestPath(a, b);
+    const auto astar = net.ShortestPathAStar(a, b);
+    ASSERT_EQ(dijkstra.ok(), astar.ok());
+    if (!dijkstra.ok()) continue;
+    auto path_len = [&](const std::vector<NodeId>& p) {
+      double len = 0.0;
+      for (size_t i = 1; i < p.size(); ++i) {
+        len += geometry::Distance(net.node(p[i - 1]).p, net.node(p[i]).p);
+      }
+      return len;
+    };
+    EXPECT_NEAR(path_len(dijkstra.value()), path_len(astar.value()), 1e-6);
+  }
+}
+
+TEST(AStarTest, ExpandsFewerNodesThanDijkstra) {
+  Rng rng(2);
+  const sim::RoadNetwork net =
+      sim::MakeGridRoadNetwork(20, 20, 150.0, 5.0, 0.0, &rng);
+  size_t dijkstra_total = 0, astar_total = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId a = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1));
+    const NodeId b = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(net.num_nodes()) - 1));
+    ASSERT_TRUE(net.ShortestPath(a, b).ok());
+    dijkstra_total += net.last_nodes_expanded;
+    ASSERT_TRUE(net.ShortestPathAStar(a, b).ok());
+    astar_total += net.last_nodes_expanded;
+  }
+  EXPECT_LT(astar_total, dijkstra_total);
+}
+
+TEST(AStarTest, RejectsBadNodes) {
+  Rng rng(3);
+  const sim::RoadNetwork net =
+      sim::MakeGridRoadNetwork(3, 3, 100.0, 0.0, 0.0, &rng);
+  EXPECT_FALSE(net.ShortestPathAStar(0, 999).ok());
+}
+
+// ----------------------------------------------------- Federated learning
+
+TEST(FederatedMergeTest, MergedModelEqualsCentralTraining) {
+  Rng rng(4);
+  const sim::Fleet fleet = sim::MakeFleet(8, 8, 250.0, 30, 14, &rng);
+  std::vector<Trajectory> held(fleet.trajectories.end() - 6,
+                               fleet.trajectories.end());
+  std::vector<Trajectory> train(fleet.trajectories.begin(),
+                                fleet.trajectories.end() - 6);
+
+  // Three edge nodes each see a third of the fleet.
+  analytics::NextCellPredictor nodes[3];
+  for (size_t i = 0; i < train.size(); ++i) {
+    nodes[i % 3].Observe(train[i]);
+  }
+  analytics::NextCellPredictor global;
+  for (auto& node : nodes) global.MergeFrom(node);
+
+  analytics::NextCellPredictor central;
+  central.Train(train);
+  EXPECT_DOUBLE_EQ(global.Evaluate(held), central.Evaluate(held));
+  EXPECT_GT(global.Evaluate(held), 0.2);
+  // Each single node alone is weaker than the federation.
+  for (auto& node : nodes) {
+    EXPECT_LE(node.Evaluate(held), global.Evaluate(held) + 1e-12);
+  }
+}
+
+// ------------------------------------------------ Reference compression
+
+class ReferenceCompressionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(5);
+    net_ = sim::MakeGridRoadNetwork(8, 8, 200.0, 0.0, 0.0, rng_.get());
+    sim::TrajectorySimulator::Options sopts;
+    sopts.mean_speed_mps = 12.0;
+    sopts.speed_jitter = 0.0;  // deterministic speeds: repeated rides align
+    simulator_ =
+        std::make_unique<sim::TrajectorySimulator>(sopts, rng_.get());
+    // Historical corpus: rides along fixed commuter routes.
+    for (int r = 0; r < 6; ++r) {
+      routes_.push_back(
+          sim::RandomRoute(net_, 16, rng_.get()).value());
+      references_.push_back(
+          simulator_->AlongRoute(net_, routes_[r], 100 + r).value());
+    }
+    compressor_.BuildReferences(&references_);
+  }
+
+  std::unique_ptr<Rng> rng_;
+  sim::RoadNetwork net_;
+  std::unique_ptr<sim::TrajectorySimulator> simulator_;
+  std::vector<std::vector<NodeId>> routes_;
+  std::vector<Trajectory> references_;
+  reduce::ReferenceCompressor compressor_;
+};
+
+TEST_F(ReferenceCompressionTest, RepeatedRideMostlyMatches) {
+  // A new ride along a known route, mildly noisy.
+  const Trajectory ride = sim::AddGpsNoise(
+      simulator_->AlongRoute(net_, routes_[2], 1).value(), 4.0, rng_.get());
+  const auto encoded = compressor_.Compress(ride);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_GT(encoded->MatchedFraction(), 0.8);
+  EXPECT_LT(encoded->ApproxBytes(), ride.size() * 16);
+
+  const auto decoded = compressor_.Decompress(encoded.value(), 1);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), ride.size());
+  for (size_t i = 0; i < ride.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].t, ride[i].t);
+    EXPECT_LE(geometry::Distance((*decoded)[i].p, ride[i].p), 25.0 + 1e-9);
+  }
+}
+
+TEST_F(ReferenceCompressionTest, NovelRideFallsBackToLiterals) {
+  // A free-space trajectory far from every reference: nothing matches,
+  // decompression still round-trips exactly through literals.
+  Trajectory offroad(9);
+  for (int i = 0; i < 40; ++i) {
+    offroad.AppendUnordered(
+        TrajectoryPoint(i * 1000, Point(50'000 + i * 10.0, 50'000)));
+  }
+  const auto encoded = compressor_.Compress(offroad);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_DOUBLE_EQ(encoded->MatchedFraction(), 0.0);
+  const auto decoded = compressor_.Decompress(encoded.value(), 9);
+  ASSERT_TRUE(decoded.ok());
+  for (size_t i = 0; i < offroad.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].p, offroad[i].p);
+  }
+}
+
+TEST_F(ReferenceCompressionTest, ErrorsWithoutBuild) {
+  reduce::ReferenceCompressor fresh;
+  EXPECT_FALSE(fresh.Compress(references_[0]).ok());
+}
+
+// ------------------------------------------------------------ Co-training
+
+TEST(CoTrainingTest, AgreementPropagatesLabels) {
+  Rng rng(6);
+  const BBox bounds(0, 0, 2000, 2000);
+  const auto field = sim::ScalarField::MakeRandom(bounds, 3, 10.0, 20.0, 500,
+                                                  900, 7200, &rng);
+  const auto sensors = sim::DeploySensors(bounds, 40, &rng);
+  const StDataset labeled = sim::AddValueNoise(
+      sim::SampleField(field, sensors, 0, 60'000, 30, "pm25"), 0.5, &rng);
+
+  // Queries: a time series at unsampled locations.
+  std::vector<uncertainty::CoTrainingEstimator::Query> queries;
+  std::vector<double> truth_values;
+  for (int loc = 0; loc < 15; ++loc) {
+    const Point p(rng.Uniform(200, 1800), rng.Uniform(200, 1800));
+    for (int k = 1; k < 29; ++k) {
+      queries.push_back({p, k * 60'000});
+      truth_values.push_back(field.Value(p, k * 60'000));
+    }
+  }
+  uncertainty::CoTrainingEstimator estimator;
+  const auto result = uncertainty::CoTrainingEstimator().Run(labeled,
+                                                             queries);
+  ASSERT_TRUE(result.ok());
+  size_t pseudo = 0;
+  double err = 0.0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    pseudo += (*result)[i].pseudo_labeled ? 1 : 0;
+    err += std::abs((*result)[i].value - truth_values[i]);
+  }
+  // Co-training should pseudo-label a substantial share and stay accurate.
+  EXPECT_GT(static_cast<double>(pseudo) / queries.size(), 0.3);
+  EXPECT_LT(err / queries.size(), 4.0);
+}
+
+TEST(CoTrainingTest, FailsWithoutLabels) {
+  StDataset empty("x");
+  uncertainty::CoTrainingEstimator estimator;
+  EXPECT_FALSE(estimator.Run(empty, {{Point(0, 0), 0}}).ok());
+}
+
+}  // namespace
+}  // namespace sidq

@@ -1,0 +1,240 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "fault/timestamp_repair.h"
+#include "query/cloaking.h"
+#include "query/continuous_knn.h"
+#include "query/symbolic_range.h"
+#include "fault/rfid_cleaning.h"
+#include "sim/rfid.h"
+#include "reduce/coding.h"
+#include "sim/trajectory_sim.h"
+
+namespace sidq {
+namespace {
+
+using geometry::BBox;
+using geometry::Point;
+
+// ----------------------------------------------------- Continuous kNN
+
+TEST(ContinuousKnnTest, SavesMessagesWithHighAccuracy) {
+  Rng rng(1);
+  const Point query(1000, 1000);
+  query::ContinuousKnnMonitor monitor(query, 5);
+  // 30 objects moving smoothly; track truth alongside.
+  sim::TrajectorySimulator simulator({}, &rng);
+  std::vector<Trajectory> trs;
+  for (int i = 0; i < 30; ++i) {
+    trs.push_back(
+        simulator.RandomWaypoint(BBox(0, 0, 2000, 2000), 400, i));
+  }
+  size_t correct = 0, checked = 0;
+  for (size_t step = 0; step < 400; ++step) {
+    for (const auto& tr : trs) {
+      monitor.ProcessUpdate(tr.object_id(), tr[step].p);
+    }
+    // Ground-truth kNN at this step.
+    std::vector<std::pair<double, ObjectId>> truth;
+    for (const auto& tr : trs) {
+      truth.emplace_back(geometry::Distance(tr[step].p, query),
+                         tr.object_id());
+    }
+    std::sort(truth.begin(), truth.end());
+    const auto result = monitor.Result();
+    const std::set<ObjectId> got(result.begin(), result.end());
+    for (size_t i = 0; i < 5; ++i) {
+      ++checked;
+      correct += got.count(truth[i].second) > 0 ? 1 : 0;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / checked, 0.97);
+  EXPECT_GT(monitor.MessageSavings(), 0.3);
+  EXPECT_EQ(monitor.updates_processed(), 30u * 400u);
+}
+
+TEST(ContinuousKnnTest, FirstUpdatesAlwaysReport) {
+  query::ContinuousKnnMonitor monitor(Point(0, 0), 2);
+  EXPECT_TRUE(monitor.ProcessUpdate(1, Point(10, 0)));
+  EXPECT_TRUE(monitor.ProcessUpdate(2, Point(20, 0)));
+  EXPECT_EQ(monitor.Result(), (std::vector<ObjectId>{1, 2}));
+}
+
+TEST(ContinuousKnnTest, FewerObjectsThanK) {
+  query::ContinuousKnnMonitor monitor(Point(0, 0), 10);
+  monitor.ProcessUpdate(1, Point(1, 0));
+  monitor.ProcessUpdate(2, Point(2, 0));
+  EXPECT_EQ(monitor.Result().size(), 2u);
+}
+
+// ------------------------------------------------------------- Cloaking
+
+TEST(CloakingTest, EveryCloakHoldsAtLeastKUsers) {
+  Rng rng(2);
+  std::vector<std::pair<ObjectId, Point>> users;
+  for (int i = 0; i < 200; ++i) {
+    users.emplace_back(i, Point(rng.Uniform(0, 5000), rng.Uniform(0, 5000)));
+  }
+  query::SpatialCloaker::Options opts;
+  opts.k = 8;
+  const auto cloaks = query::SpatialCloaker(opts).CloakAll(users);
+  ASSERT_TRUE(cloaks.ok());
+  ASSERT_EQ(cloaks->size(), users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    const auto& cloak = (*cloaks)[i];
+    EXPECT_TRUE(cloak.region.Contains(users[i].second));
+    size_t inside = 0;
+    for (const auto& [id, p] : users) {
+      inside += cloak.region.Contains(p) ? 1 : 0;
+    }
+    EXPECT_GE(inside, opts.k) << "user " << i;
+  }
+}
+
+TEST(CloakingTest, StrongerKMeansLargerRegions) {
+  Rng rng(3);
+  std::vector<std::pair<ObjectId, Point>> users;
+  for (int i = 0; i < 300; ++i) {
+    users.emplace_back(i, Point(rng.Uniform(0, 4000), rng.Uniform(0, 4000)));
+  }
+  double mean_area_k4 = 0.0, mean_area_k32 = 0.0;
+  {
+    query::SpatialCloaker::Options opts;
+    opts.k = 4;
+    for (const auto& c :
+         query::SpatialCloaker(opts).CloakAll(users).value()) {
+      mean_area_k4 += c.region.Area();
+    }
+  }
+  {
+    query::SpatialCloaker::Options opts;
+    opts.k = 32;
+    for (const auto& c :
+         query::SpatialCloaker(opts).CloakAll(users).value()) {
+      mean_area_k32 += c.region.Area();
+    }
+  }
+  EXPECT_LT(mean_area_k4, mean_area_k32);
+}
+
+TEST(CloakingTest, ExpectedCountTracksTruth) {
+  Rng rng(4);
+  std::vector<std::pair<ObjectId, Point>> users;
+  for (int i = 0; i < 400; ++i) {
+    users.emplace_back(i, Point(rng.Uniform(0, 4000), rng.Uniform(0, 4000)));
+  }
+  query::SpatialCloaker::Options opts;
+  opts.k = 10;
+  const auto cloaks = query::SpatialCloaker(opts).CloakAll(users).value();
+  const BBox range(1000, 1000, 3000, 3000);
+  size_t truth = 0;
+  for (const auto& [id, p] : users) truth += range.Contains(p) ? 1 : 0;
+  const double expected = query::ExpectedCountInRange(cloaks, range);
+  EXPECT_NEAR(expected, static_cast<double>(truth),
+              static_cast<double>(truth) * 0.25 + 5.0);
+}
+
+TEST(CloakingTest, TooFewUsersFails) {
+  query::SpatialCloaker::Options opts;
+  opts.k = 10;
+  EXPECT_FALSE(query::SpatialCloaker(opts)
+                   .CloakAll({{1, Point(0, 0)}, {2, Point(1, 1)}})
+                   .ok());
+}
+
+// ------------------------------------------------------- Symbolic range
+
+TEST(SymbolicRangeTest, TracksMembershipExactly) {
+  query::SymbolicRangeMonitor monitor({2, 3}, 10'000);
+  monitor.ProcessReading({1, 2, 0});       // object 1 enters region 2
+  monitor.ProcessReading({2, 5, 0});       // object 2 elsewhere
+  EXPECT_EQ(monitor.Inside(1000), (std::vector<ObjectId>{1}));
+  monitor.ProcessReading({2, 3, 2000});    // object 2 enters region 3
+  EXPECT_EQ(monitor.Inside(2500).size(), 2u);
+  monitor.ProcessReading({1, 7, 3000});    // object 1 leaves
+  EXPECT_EQ(monitor.Inside(3500), (std::vector<ObjectId>{2}));
+  // Staleness: object 2 unseen for too long drops out.
+  EXPECT_TRUE(monitor.Inside(20'000).empty());
+}
+
+TEST(SymbolicRangeTest, CleaningImprovesCountAccuracy) {
+  Rng rng(8);
+  const auto deployment = sim::RfidDeployment::Corridor(12);
+  std::vector<SymbolicTrajectory> truth, dirty, cleaned;
+  fault::HmmCleaner cleaner(&deployment);
+  for (int tag = 0; tag < 12; ++tag) {
+    truth.push_back(deployment.SimulateWalk(tag, 40, 4, 1000, &rng));
+    dirty.push_back(deployment.Degrade(truth.back(), 0.3, 0.15, &rng));
+    cleaned.push_back(cleaner.Clean(dirty.back()).value());
+  }
+  const std::set<RegionId> zone{4, 5, 6};
+  const double dirty_err =
+      query::CountError(truth, dirty, zone, 1000, 8000);
+  const double cleaned_err =
+      query::CountError(truth, cleaned, zone, 1000, 8000);
+  EXPECT_LT(cleaned_err, dirty_err);
+}
+
+// ---------------------------------------------------------- Fuzz/property
+
+TEST(CodingFuzzTest, TruncatedStreamsErrorNotCrash) {
+  Rng rng(5);
+  std::vector<int64_t> values;
+  int64_t v = 0;
+  for (int i = 0; i < 200; ++i) {
+    v += rng.UniformInt(-100, 100);
+    values.push_back(v);
+  }
+  const auto bytes = reduce::EncodeIntegerSeries(values);
+  for (size_t cut = 0; cut < bytes.size(); cut += 3) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    const auto decoded = reduce::DecodeIntegerSeries(truncated);
+    // Either a clean error or (for long-enough prefixes that happen to
+    // parse) a result; never a crash. Full-length must round-trip.
+    (void)decoded;
+  }
+  EXPECT_EQ(reduce::DecodeIntegerSeries(bytes).value(), values);
+}
+
+TEST(CodingFuzzTest, CorruptedBytesNeverCrash) {
+  Rng rng(6);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 100; ++i) values.push_back(rng.UniformInt(-500, 500));
+  const auto bytes = reduce::EncodeIntegerSeries(values);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> corrupted = bytes;
+    const size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(corrupted.size()) - 1));
+    corrupted[pos] = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    const auto decoded = reduce::DecodeIntegerSeries(corrupted);
+    (void)decoded;  // must not crash; error or garbage values both fine
+  }
+  SUCCEED();
+}
+
+TEST(PavaPropertyTest, IdempotentAndOrderPreserving) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Timestamp> ts;
+    Timestamp t = 0;
+    for (int i = 0; i < 100; ++i) {
+      t += rng.UniformInt(-500, 1500);
+      ts.push_back(t);
+    }
+    const auto once = fault::RepairTimestamps(ts).value();
+    const auto twice = fault::RepairTimestamps(once).value();
+    EXPECT_EQ(once, twice);  // repairing a repaired sequence is a no-op
+    for (size_t i = 1; i < once.size(); ++i) {
+      EXPECT_GE(once[i], once[i - 1]);
+    }
+    // Already-sorted inputs are untouched.
+    std::vector<Timestamp> sorted = ts;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(fault::RepairTimestamps(sorted).value(), sorted);
+  }
+}
+
+}  // namespace
+}  // namespace sidq

@@ -1,0 +1,359 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "fault/rfid_cleaning.h"
+#include "fault/timestamp_repair.h"
+#include "fault/value_repair.h"
+#include "sim/noise.h"
+#include "sim/rfid.h"
+#include "sim/sensor_field.h"
+
+namespace sidq {
+namespace fault {
+namespace {
+
+using geometry::BBox;
+using geometry::Point;
+
+// ------------------------------------------------------------ RFID fixture
+
+struct RfidScenario {
+  sim::RfidDeployment deployment = sim::RfidDeployment::Corridor(12);
+  SymbolicTrajectory truth;
+  SymbolicTrajectory dirty;
+};
+
+RfidScenario MakeScenario(double fn_rate, double fp_rate, uint64_t seed) {
+  RfidScenario s;
+  Rng rng(seed);
+  s.truth = s.deployment.SimulateWalk(1, 40, 4, 1000, &rng);
+  s.dirty = s.deployment.Degrade(s.truth, fn_rate, fp_rate, &rng);
+  return s;
+}
+
+// Fraction of truth ticks that have an *explicit* matching reading in
+// `observed` -- the strict per-tick view, under which dropped reads count
+// as wrong (TickAccuracy's carry-forward view masks them).
+double StrictTickAccuracy(const SymbolicTrajectory& observed,
+                          const SymbolicTrajectory& truth) {
+  size_t correct = 0;
+  for (const SymbolicReading& tr : truth.readings()) {
+    for (const SymbolicReading& orr : observed.readings()) {
+      if (orr.t == tr.t && orr.region == tr.region) {
+        ++correct;
+        break;
+      }
+    }
+  }
+  return truth.empty() ? 0.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(truth.size());
+}
+
+TEST(SmoothingWindowTest, RepairsFalseNegatives) {
+  const RfidScenario s = MakeScenario(0.3, 0.0, 1);
+  SmoothingWindowCleaner cleaner;
+  const auto repaired = cleaner.Clean(s.dirty);
+  ASSERT_TRUE(repaired.ok());
+  const double dirty_acc = StrictTickAccuracy(s.dirty, s.truth);
+  const double clean_acc = StrictTickAccuracy(repaired.value(), s.truth);
+  EXPECT_LT(dirty_acc, 0.85);  // a large share of reads is missing
+  EXPECT_GT(clean_acc, dirty_acc);
+  EXPECT_GT(clean_acc, 0.8);
+}
+
+TEST(SmoothingWindowTest, AdaptiveAvoidsWideWindowCollapse) {
+  // The adaptive window sizes itself from the observed read rate. On a
+  // reliable, fast-moving stream it must stay narrow: a fixed wide window
+  // (the right choice for lossy readers) collapses there because its mode
+  // lags every region transition.
+  double adaptive_acc = 0.0, wide_acc = 0.0;
+  for (uint64_t seed = 30; seed < 36; ++seed) {
+    RfidScenario s;
+    Rng rng(seed);
+    s.truth = s.deployment.SimulateWalk(1, 25, 3, 1000, &rng);
+    s.dirty = s.deployment.Degrade(s.truth, 0.05, 0.0, &rng);
+    SmoothingWindowCleaner::Options wide_opts;
+    wide_opts.half_window_ticks = 5;
+    SmoothingWindowCleaner::Options adaptive_opts;
+    adaptive_opts.adaptive = true;
+    wide_acc += fault::TickAccuracy(
+        SmoothingWindowCleaner(wide_opts).Clean(s.dirty).value(), s.truth,
+        1000);
+    adaptive_acc += fault::TickAccuracy(
+        SmoothingWindowCleaner(adaptive_opts).Clean(s.dirty).value(),
+        s.truth, 1000);
+  }
+  EXPECT_GT(adaptive_acc / 6, 0.85);
+  EXPECT_GT(adaptive_acc, wide_acc + 0.5);
+}
+
+TEST(SmoothingWindowTest, AdaptiveTracksWideWindowUnderHeavyLoss) {
+  // Under heavy read loss the adaptive window widens on its own and must
+  // stay competitive with a hand-tuned wide window.
+  double adaptive_acc = 0.0, wide_acc = 0.0;
+  for (uint64_t seed = 50; seed < 58; ++seed) {
+    RfidScenario s;
+    Rng rng(seed);
+    s.truth = s.deployment.SimulateWalk(1, 25, 8, 1000, &rng);
+    s.dirty = s.deployment.Degrade(s.truth, 0.7, 0.0, &rng);
+    SmoothingWindowCleaner::Options wide_opts;
+    wide_opts.half_window_ticks = 5;
+    SmoothingWindowCleaner::Options adaptive_opts;
+    adaptive_opts.adaptive = true;
+    wide_acc += fault::TickAccuracy(
+        SmoothingWindowCleaner(wide_opts).Clean(s.dirty).value(), s.truth,
+        1000);
+    adaptive_acc += fault::TickAccuracy(
+        SmoothingWindowCleaner(adaptive_opts).Clean(s.dirty).value(),
+        s.truth, 1000);
+  }
+  EXPECT_GT(adaptive_acc, wide_acc - 0.4);
+}
+
+TEST(SmoothingWindowTest, AdaptiveStaysNarrowOnCleanStream) {
+  // On a loss-free stream the adaptive window should not be worse than a
+  // narrow fixed window (wide windows lag transitions).
+  const RfidScenario s = MakeScenario(0.0, 0.0, 40);
+  SmoothingWindowCleaner::Options adaptive_opts;
+  adaptive_opts.adaptive = true;
+  const auto repaired =
+      SmoothingWindowCleaner(adaptive_opts).Clean(s.dirty).value();
+  EXPECT_GT(fault::TickAccuracy(repaired, s.truth, 1000), 0.9);
+}
+
+TEST(SmoothingWindowTest, EmptyFails) {
+  SmoothingWindowCleaner cleaner;
+  EXPECT_FALSE(cleaner.Clean(SymbolicTrajectory(1)).ok());
+}
+
+TEST(ConstraintCleanerTest, RemovesFalsePositives) {
+  const RfidScenario s = MakeScenario(0.05, 0.35, 2);
+  ConstraintCleaner cleaner(&s.deployment);
+  const auto repaired = cleaner.Clean(s.dirty);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_GT(TickAccuracy(repaired.value(), s.truth, 1000), 0.8);
+  // Repaired sequence must respect adjacency.
+  const auto seq = repaired->RegionSequence();
+  for (size_t i = 1; i < seq.size(); ++i) {
+    EXPECT_TRUE(s.deployment.Adjacent(seq[i - 1], seq[i]) ||
+                seq[i - 1] == seq[i]);
+  }
+}
+
+TEST(HmmCleanerTest, HandlesBothFaultTypes) {
+  const RfidScenario s = MakeScenario(0.25, 0.15, 3);
+  HmmCleaner cleaner(&s.deployment);
+  const auto repaired = cleaner.Clean(s.dirty);
+  ASSERT_TRUE(repaired.ok());
+  const double dirty_acc = TickAccuracy(s.dirty, s.truth, 1000);
+  const double hmm_acc = TickAccuracy(repaired.value(), s.truth, 1000);
+  EXPECT_GT(hmm_acc, dirty_acc);
+  EXPECT_GT(hmm_acc, 0.85);
+}
+
+TEST(HmmCleanerTest, BeatsSmoothingUnderCrossReads) {
+  // With many cross reads, constraint/probabilistic reasoning should beat
+  // pure smoothing (tutorial claim: exploiting spatiotemporal redundancy
+  // and constraints outperforms purely local repair).
+  double hmm_total = 0.0, smooth_total = 0.0;
+  for (uint64_t seed = 10; seed < 16; ++seed) {
+    const RfidScenario s = MakeScenario(0.25, 0.30, seed);
+    HmmCleaner hmm(&s.deployment);
+    SmoothingWindowCleaner smooth;
+    hmm_total += TickAccuracy(hmm.Clean(s.dirty).value(), s.truth, 1000);
+    smooth_total +=
+        TickAccuracy(smooth.Clean(s.dirty).value(), s.truth, 1000);
+  }
+  EXPECT_GT(hmm_total, smooth_total);
+}
+
+TEST(TickAccuracyTest, IdenticalIsPerfect) {
+  const RfidScenario s = MakeScenario(0.0, 0.0, 4);
+  EXPECT_DOUBLE_EQ(TickAccuracy(s.truth, s.truth, 1000), 1.0);
+}
+
+// -------------------------------------------------------- TimestampRepair
+
+TEST(TimestampRepairTest, AlreadySortedUnchanged) {
+  const std::vector<Timestamp> ts{0, 10, 20, 30};
+  const auto repaired = RepairTimestamps(ts);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired.value(), ts);
+}
+
+TEST(TimestampRepairTest, RestoresMonotonicity) {
+  const std::vector<Timestamp> ts{0, 50, 30, 40, 100};
+  const auto repaired = RepairTimestamps(ts);
+  ASSERT_TRUE(repaired.ok());
+  for (size_t i = 1; i < repaired->size(); ++i) {
+    EXPECT_GE((*repaired)[i], (*repaired)[i - 1]);
+  }
+  // PAVA pools {50,30,40} -> 40,40,40; endpoints untouched.
+  EXPECT_EQ(repaired->front(), 0);
+  EXPECT_EQ(repaired->back(), 100);
+  EXPECT_EQ((*repaired)[1], 40);
+}
+
+TEST(TimestampRepairTest, MinGapEnforced) {
+  const std::vector<Timestamp> ts{0, 1, 2, 3};
+  const auto repaired = RepairTimestamps(ts, 10);
+  ASSERT_TRUE(repaired.ok());
+  for (size_t i = 1; i < repaired->size(); ++i) {
+    EXPECT_GE((*repaired)[i] - (*repaired)[i - 1], 10);
+  }
+}
+
+TEST(TimestampRepairTest, MinimalChangeProperty) {
+  // PAVA minimises total squared change; sanity-check it does not move
+  // values that are already consistent.
+  Rng rng(5);
+  std::vector<Timestamp> truth(200);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = static_cast<Timestamp>(i) * 1000;
+  }
+  std::vector<Timestamp> jittered = truth;
+  for (Timestamp& t : jittered) {
+    t += static_cast<Timestamp>(rng.Gaussian(0, 600));
+  }
+  const auto repaired = RepairTimestamps(jittered);
+  ASSERT_TRUE(repaired.ok());
+  double err_before = 0.0, err_after = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    err_before += std::abs(static_cast<double>(jittered[i] - truth[i]));
+    err_after += std::abs(static_cast<double>((*repaired)[i] - truth[i]));
+  }
+  // Order repair should not increase the deviation from the truth.
+  EXPECT_LE(err_after, err_before * 1.05);
+  for (size_t i = 1; i < repaired->size(); ++i) {
+    EXPECT_GE((*repaired)[i], (*repaired)[i - 1]);
+  }
+}
+
+TEST(TimestampRepairTest, NegativeGapRejected) {
+  EXPECT_FALSE(RepairTimestamps({1, 2}, -5).ok());
+}
+
+TEST(TimestampRepairTest, EmptyAndTrajectoryVariants) {
+  EXPECT_TRUE(RepairTimestamps({}).ok());
+  Rng rng(6);
+  Trajectory tr(1);
+  for (int i = 0; i < 50; ++i) {
+    tr.AppendUnordered(TrajectoryPoint(i * 1000, Point(i * 10.0, 0)));
+  }
+  const Trajectory jittered = sim::JitterTimestamps(tr, 1500.0, &rng);
+  ASSERT_FALSE(jittered.IsTimeOrdered());
+  const auto repaired = RepairTrajectoryTimestamps(jittered, 1);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(repaired->IsTimeOrdered());
+  EXPECT_EQ(repaired->size(), tr.size());
+}
+
+// ------------------------------------------------------------ ValueRepair
+
+class ValueRepairTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const BBox bounds(0, 0, 2000, 2000);
+    field_ = std::make_unique<sim::ScalarField>(sim::ScalarField::MakeRandom(
+        bounds, 3, 10.0, 20.0, 500, 900, 3600, &rng_));
+    sensors_ = sim::DeploySensors(bounds, 40, &rng_);
+    truth_ = sim::SampleField(*field_, sensors_, 0, 60'000, 30, "pm25");
+  }
+
+  double Rmse(const StDataset& ds) {
+    double acc = 0.0;
+    size_t n = 0;
+    for (size_t s = 0; s < ds.num_sensors(); ++s) {
+      for (size_t i = 0; i < ds.series()[s].size(); ++i) {
+        const double e =
+            ds.series()[s][i].value - truth_.series()[s][i].value;
+        acc += e * e;
+        ++n;
+      }
+    }
+    return std::sqrt(acc / n);
+  }
+
+  Rng rng_{7};
+  std::unique_ptr<sim::ScalarField> field_;
+  std::vector<Point> sensors_;
+  StDataset truth_;
+};
+
+TEST_F(ValueRepairTest, ConsensusFixesSpikes) {
+  std::vector<std::vector<bool>> labels;
+  const StDataset dirty =
+      sim::AddValueSpikes(truth_, 0.05, 40.0, &rng_, &labels);
+  ConsensusValueRepairer repairer;
+  std::vector<std::vector<bool>> repaired_flags;
+  const auto repaired = repairer.Repair(dirty, &repaired_flags);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_LT(Rmse(repaired.value()), Rmse(dirty) * 0.5);
+  // Most repairs should land on actual spikes.
+  size_t hits = 0, repairs = 0;
+  for (size_t s = 0; s < repaired_flags.size(); ++s) {
+    for (size_t i = 0; i < repaired_flags[s].size(); ++i) {
+      if (repaired_flags[s][i]) {
+        ++repairs;
+        if (labels[s][i]) ++hits;
+      }
+    }
+  }
+  ASSERT_GT(repairs, 0u);
+  EXPECT_GT(static_cast<double>(hits) / repairs, 0.8);
+}
+
+TEST_F(ValueRepairTest, CleanDataMostlyUntouched) {
+  ConsensusValueRepairer repairer;
+  std::vector<std::vector<bool>> flags;
+  const auto repaired = repairer.Repair(truth_, &flags);
+  ASSERT_TRUE(repaired.ok());
+  size_t repairs = 0, total = 0;
+  for (const auto& f : flags) {
+    for (bool b : f) {
+      ++total;
+      repairs += b ? 1 : 0;
+    }
+  }
+  EXPECT_LT(static_cast<double>(repairs) / total, 0.05);
+}
+
+TEST_F(ValueRepairTest, DriftCorrected) {
+  std::vector<bool> drifting;
+  const StDataset dirty =
+      sim::AddSensorDrift(truth_, 0.2, 0.5, &rng_, &drifting);
+  DriftCorrector::Options dopts;
+  dopts.neighbors = 8;
+  DriftCorrector corrector(dopts);
+  std::vector<bool> corrected;
+  const auto repaired = corrector.Repair(dirty, &corrected);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_LT(Rmse(repaired.value()), Rmse(dirty) * 0.5);
+  // Correction decisions should match the injected drift flags well.
+  size_t agree = 0;
+  for (size_t i = 0; i < drifting.size(); ++i) {
+    agree += drifting[i] == corrected[i] ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(agree) / drifting.size(), 0.8);
+}
+
+// Parameterised: HMM cleaning degrades gracefully with the FN rate.
+class FnRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FnRateSweep, HmmKeepsAccuracyAboveFloor) {
+  const RfidScenario s = MakeScenario(GetParam(), 0.1, 77);
+  HmmCleaner cleaner(&s.deployment);
+  const auto repaired = cleaner.Clean(s.dirty);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_GT(TickAccuracy(repaired.value(), s.truth, 1000), 0.7)
+      << "fn_rate=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(FnRates, FnRateSweep,
+                         ::testing::Values(0.05, 0.15, 0.30, 0.45));
+
+}  // namespace
+}  // namespace fault
+}  // namespace sidq

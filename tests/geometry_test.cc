@@ -1,0 +1,234 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geometry/bbox.h"
+#include "geometry/geo.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+#include "geometry/segment.h"
+
+namespace sidq {
+namespace geometry {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(PointTest, Arithmetic) {
+  const Point a(1.0, 2.0);
+  const Point b(3.0, -1.0);
+  EXPECT_EQ(a + b, Point(4.0, 1.0));
+  EXPECT_EQ(a - b, Point(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Point(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Point(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Point(0.5, 1.0));
+}
+
+TEST(PointTest, DotCrossNorm) {
+  const Point a(3.0, 4.0);
+  EXPECT_DOUBLE_EQ(a.Dot(Point(1.0, 0.0)), 3.0);
+  EXPECT_DOUBLE_EQ(a.Cross(Point(1.0, 0.0)), -4.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.NormSq(), 25.0);
+}
+
+TEST(PointTest, NormalizedZeroVector) {
+  EXPECT_EQ(Point(0.0, 0.0).Normalized(), Point(0.0, 0.0));
+  const Point u = Point(0.0, 5.0).Normalized();
+  EXPECT_NEAR(u.Norm(), 1.0, kTol);
+}
+
+TEST(PointTest, DistanceAndLerp) {
+  EXPECT_DOUBLE_EQ(Distance(Point(0, 0), Point(3, 4)), 5.0);
+  EXPECT_EQ(Lerp(Point(0, 0), Point(10, 20), 0.5), Point(5, 10));
+  EXPECT_EQ(Lerp(Point(0, 0), Point(10, 20), 0.0), Point(0, 0));
+  EXPECT_EQ(Lerp(Point(0, 0), Point(10, 20), 1.0), Point(10, 20));
+}
+
+TEST(BBoxTest, EmptyAndExtend) {
+  BBox box;
+  EXPECT_TRUE(box.Empty());
+  box.Extend(Point(1, 2));
+  EXPECT_FALSE(box.Empty());
+  EXPECT_DOUBLE_EQ(box.Area(), 0.0);
+  box.Extend(Point(3, 5));
+  EXPECT_DOUBLE_EQ(box.Width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 3.0);
+  EXPECT_DOUBLE_EQ(box.Area(), 6.0);
+}
+
+TEST(BBoxTest, ContainsAndIntersects) {
+  const BBox a(0, 0, 10, 10);
+  EXPECT_TRUE(a.Contains(Point(5, 5)));
+  EXPECT_TRUE(a.Contains(Point(0, 0)));   // boundary inclusive
+  EXPECT_TRUE(a.Contains(Point(10, 10)));
+  EXPECT_FALSE(a.Contains(Point(10.01, 5)));
+  const BBox b(5, 5, 15, 15);
+  const BBox c(11, 11, 12, 12);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Contains(BBox(1, 1, 9, 9)));
+  EXPECT_FALSE(a.Contains(b));
+}
+
+TEST(BBoxTest, MinMaxDistance) {
+  const BBox a(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(a.MinDistance(Point(5, 5)), 0.0);
+  EXPECT_DOUBLE_EQ(a.MinDistance(Point(13, 14)), 5.0);
+  EXPECT_DOUBLE_EQ(a.MaxDistance(Point(0, 0)), std::sqrt(200.0));
+}
+
+TEST(BBoxTest, ExpandedGrowsAllSides) {
+  const BBox a(0, 0, 10, 10);
+  const BBox e = a.Expanded(2.0);
+  EXPECT_DOUBLE_EQ(e.min_x, -2.0);
+  EXPECT_DOUBLE_EQ(e.max_y, 12.0);
+}
+
+TEST(SegmentTest, ProjectFraction) {
+  const Point a(0, 0), b(10, 0);
+  EXPECT_DOUBLE_EQ(ProjectFraction(Point(5, 3), a, b), 0.5);
+  EXPECT_DOUBLE_EQ(ProjectFraction(Point(-5, 0), a, b), 0.0);  // clamped
+  EXPECT_DOUBLE_EQ(ProjectFraction(Point(20, 0), a, b), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(ProjectFraction(Point(1, 1), a, a), 0.0);   // degenerate
+}
+
+TEST(SegmentTest, PointSegmentDistance) {
+  const Point a(0, 0), b(10, 0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point(5, 3), a, b), 3.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point(-3, 4), a, b), 5.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point(13, -4), a, b), 5.0);
+}
+
+TEST(SegmentTest, PointLineDistanceUnclamped) {
+  const Point a(0, 0), b(10, 0);
+  // Beyond the endpoint, the *line* distance ignores the segment extent.
+  EXPECT_DOUBLE_EQ(PointLineDistance(Point(20, 3), a, b), 3.0);
+  EXPECT_DOUBLE_EQ(PointLineDistance(Point(1, 1), a, a), std::sqrt(2.0));
+}
+
+TEST(SegmentTest, SynchronizedEuclideanDistance) {
+  const Point a(0, 0), b(10, 0);
+  // At the midpoint in time, the reference position is the midpoint.
+  EXPECT_DOUBLE_EQ(
+      SynchronizedEuclideanDistance(Point(5, 4), 5.0, a, 0.0, b, 10.0), 4.0);
+  // Degenerate time span falls back to distance from a.
+  EXPECT_DOUBLE_EQ(
+      SynchronizedEuclideanDistance(Point(3, 4), 5.0, a, 10.0, b, 10.0), 5.0);
+  // Clamped outside the interval.
+  EXPECT_DOUBLE_EQ(
+      SynchronizedEuclideanDistance(Point(0, 3), -2.0, a, 0.0, b, 10.0), 3.0);
+}
+
+TEST(SegmentTest, SegmentsIntersect) {
+  EXPECT_TRUE(SegmentsIntersect(Point(0, 0), Point(10, 10), Point(0, 10),
+                                Point(10, 0)));
+  EXPECT_FALSE(SegmentsIntersect(Point(0, 0), Point(1, 1), Point(2, 2),
+                                 Point(3, 3)));
+  // Collinear overlap counts as intersection.
+  EXPECT_TRUE(SegmentsIntersect(Point(0, 0), Point(5, 0), Point(3, 0),
+                                Point(8, 0)));
+  // Touching endpoints count.
+  EXPECT_TRUE(SegmentsIntersect(Point(0, 0), Point(5, 0), Point(5, 0),
+                                Point(5, 5)));
+}
+
+TEST(GeoTest, HaversineKnownDistance) {
+  // 1 degree of latitude is ~111.2 km.
+  const LatLon a(0.0, 0.0), b(1.0, 0.0);
+  EXPECT_NEAR(HaversineDistance(a, b), 111195.0, 100.0);
+  EXPECT_DOUBLE_EQ(HaversineDistance(a, a), 0.0);
+}
+
+TEST(GeoTest, InitialBearingCardinal) {
+  const LatLon a(0.0, 0.0);
+  EXPECT_NEAR(InitialBearing(a, LatLon(1.0, 0.0)), 0.0, 1e-6);       // north
+  EXPECT_NEAR(InitialBearing(a, LatLon(0.0, 1.0)), M_PI / 2, 1e-6);  // east
+  EXPECT_NEAR(InitialBearing(a, LatLon(-1.0, 0.0)), M_PI, 1e-6);     // south
+}
+
+TEST(GeoTest, LocalProjectionRoundTrip) {
+  const LocalProjection proj(LatLon(55.68, 12.57));  // Copenhagen
+  const LatLon g(55.70, 12.60);
+  const Point p = proj.Forward(g);
+  const LatLon back = proj.Backward(p);
+  EXPECT_NEAR(back.lat, g.lat, 1e-9);
+  EXPECT_NEAR(back.lon, g.lon, 1e-9);
+}
+
+TEST(GeoTest, LocalProjectionMatchesHaversine) {
+  const LocalProjection proj(LatLon(55.68, 12.57));
+  const LatLon g(55.69, 12.59);
+  const double planar = proj.Forward(g).Norm();
+  const double sphere = HaversineDistance(LatLon(55.68, 12.57), g);
+  EXPECT_NEAR(planar / sphere, 1.0, 1e-3);
+}
+
+TEST(PolygonTest, RectangleContains) {
+  const Polygon rect = Polygon::Rectangle(BBox(0, 0, 10, 10));
+  EXPECT_TRUE(rect.Contains(Point(5, 5)));
+  EXPECT_TRUE(rect.Contains(Point(0, 5)));  // boundary
+  EXPECT_FALSE(rect.Contains(Point(11, 5)));
+  EXPECT_DOUBLE_EQ(rect.Area(), 100.0);
+}
+
+TEST(PolygonTest, CircleApproximation) {
+  const Polygon circle = Polygon::Circle(Point(0, 0), 10.0, 64);
+  EXPECT_TRUE(circle.Contains(Point(0, 0)));
+  EXPECT_TRUE(circle.Contains(Point(9.0, 0.0)));
+  EXPECT_FALSE(circle.Contains(Point(10.5, 0.0)));
+  EXPECT_NEAR(circle.Area(), M_PI * 100.0, 1.5);
+}
+
+TEST(PolygonTest, InvalidPolygon) {
+  const Polygon p(std::vector<Point>{Point(0, 0), Point(1, 1)});
+  EXPECT_FALSE(p.Valid());
+  EXPECT_FALSE(p.Contains(Point(0.5, 0.5)));
+  EXPECT_DOUBLE_EQ(p.Area(), 0.0);
+}
+
+TEST(PolygonTest, BoundaryDistance) {
+  const Polygon rect = Polygon::Rectangle(BBox(0, 0, 10, 10));
+  EXPECT_DOUBLE_EQ(rect.BoundaryDistance(Point(5, 5)), 5.0);
+  EXPECT_DOUBLE_EQ(rect.BoundaryDistance(Point(15, 5)), 5.0);
+}
+
+TEST(ConvexHullTest, SquareWithInteriorPoints) {
+  std::vector<Point> pts{Point(0, 0), Point(10, 0), Point(10, 10),
+                         Point(0, 10), Point(5, 5), Point(2, 3)};
+  const std::vector<Point> hull = ConvexHull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+}
+
+TEST(ConvexHullTest, DegenerateInputs) {
+  EXPECT_EQ(ConvexHull({}).size(), 0u);
+  EXPECT_EQ(ConvexHull({Point(1, 1)}).size(), 1u);
+  EXPECT_EQ(ConvexHull({Point(1, 1), Point(2, 2)}).size(), 2u);
+  // All-collinear input collapses to the two extremes.
+  const auto hull =
+      ConvexHull({Point(0, 0), Point(1, 1), Point(2, 2), Point(3, 3)});
+  EXPECT_EQ(hull.size(), 2u);
+}
+
+// Property sweep: SED of the segment midpoint at the time midpoint equals
+// half the distance between endpoint perpendicular offsets.
+class SedPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SedPropertyTest, SedLessOrEqualMaxEndpointDistance) {
+  const double offset = GetParam();
+  const Point a(0, 0), b(100, 0);
+  const Point p(50, offset);
+  const double sed =
+      SynchronizedEuclideanDistance(p, 50.0, a, 0.0, b, 100.0);
+  EXPECT_DOUBLE_EQ(sed, std::abs(offset));
+  // SED can never exceed the max distance to the endpoints.
+  EXPECT_LE(sed, std::max(Distance(p, a), Distance(p, b)) + kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, SedPropertyTest,
+                         ::testing::Values(-20.0, -1.0, 0.0, 0.5, 7.0,
+                                           100.0));
+
+}  // namespace
+}  // namespace geometry
+}  // namespace sidq

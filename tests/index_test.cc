@@ -1,0 +1,287 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "index/grid_index.h"
+#include "index/kdtree.h"
+#include "index/rtree.h"
+
+namespace sidq {
+namespace index {
+namespace {
+
+using geometry::BBox;
+using geometry::Point;
+
+std::vector<Point> RandomPoints(size_t n, double extent, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.emplace_back(rng.Uniform(0, extent), rng.Uniform(0, extent));
+  }
+  return out;
+}
+
+std::vector<uint64_t> BruteRange(const std::vector<Point>& pts,
+                                 const BBox& box) {
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (box.Contains(pts[i])) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<uint64_t> BruteKnn(const std::vector<Point>& pts, const Point& q,
+                               size_t k) {
+  std::vector<std::pair<double, uint64_t>> d;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    d.emplace_back(geometry::DistanceSq(pts[i], q), i);
+  }
+  std::sort(d.begin(), d.end());
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < std::min(k, d.size()); ++i) out.push_back(d[i].second);
+  return out;
+}
+
+// ------------------------------------------------------------- GridIndex
+
+TEST(GridIndexTest, InsertRemove) {
+  GridIndex idx(10.0);
+  idx.Insert(1, Point(5, 5));
+  idx.Insert(2, Point(15, 5));
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_TRUE(idx.Remove(1, Point(5, 5)));
+  EXPECT_FALSE(idx.Remove(1, Point(5, 5)));
+  EXPECT_FALSE(idx.Remove(2, Point(500, 500)));  // wrong cell
+  EXPECT_EQ(idx.size(), 1u);
+  idx.Clear();
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST(GridIndexTest, RangeMatchesBruteForce) {
+  const auto pts = RandomPoints(500, 1000.0, 5);
+  GridIndex idx(50.0);
+  for (size_t i = 0; i < pts.size(); ++i) idx.Insert(i, pts[i]);
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng rng(100 + trial);
+    const double x = rng.Uniform(0, 900), y = rng.Uniform(0, 900);
+    const BBox box(x, y, x + rng.Uniform(10, 300), y + rng.Uniform(10, 300));
+    auto got = idx.RangeQuery(box);
+    auto want = BruteRange(pts, box);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(GridIndexTest, RadiusMatchesBruteForce) {
+  const auto pts = RandomPoints(400, 800.0, 6);
+  GridIndex idx(40.0);
+  for (size_t i = 0; i < pts.size(); ++i) idx.Insert(i, pts[i]);
+  const Point q(400, 400);
+  auto got = idx.RadiusQuery(q, 120.0);
+  std::set<uint64_t> got_set(got.begin(), got.end());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(got_set.count(i) > 0,
+              geometry::Distance(pts[i], q) <= 120.0)
+        << "point " << i;
+  }
+}
+
+TEST(GridIndexTest, KnnMatchesBruteForce) {
+  const auto pts = RandomPoints(300, 500.0, 7);
+  GridIndex idx(25.0);
+  for (size_t i = 0; i < pts.size(); ++i) idx.Insert(i, pts[i]);
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng(200 + trial);
+    const Point q(rng.Uniform(0, 500), rng.Uniform(0, 500));
+    const auto got = idx.Knn(q, 5);
+    const auto want = BruteKnn(pts, q, 5);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(GridIndexTest, KnnMoreThanSize) {
+  GridIndex idx(10.0);
+  idx.Insert(1, Point(0, 0));
+  idx.Insert(2, Point(5, 0));
+  const auto got = idx.Knn(Point(1, 0), 10);
+  EXPECT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 1u);
+}
+
+TEST(GridIndexTest, EmptyQueries) {
+  GridIndex idx(10.0);
+  EXPECT_TRUE(idx.RangeQuery(BBox(0, 0, 100, 100)).empty());
+  EXPECT_TRUE(idx.Knn(Point(0, 0), 3).empty());
+  EXPECT_TRUE(idx.RadiusQuery(Point(0, 0), 50).empty());
+}
+
+// ----------------------------------------------------------------- KdTree
+
+TEST(KdTreeTest, KnnMatchesBruteForce) {
+  const auto pts = RandomPoints(1000, 2000.0, 8);
+  std::vector<KdTree::Item> items;
+  for (size_t i = 0; i < pts.size(); ++i) items.push_back({i, pts[i]});
+  const KdTree tree(items);
+  EXPECT_EQ(tree.size(), 1000u);
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng rng(300 + trial);
+    const Point q(rng.Uniform(0, 2000), rng.Uniform(0, 2000));
+    EXPECT_EQ(tree.Knn(q, 7), BruteKnn(pts, q, 7));
+  }
+}
+
+TEST(KdTreeTest, KnnWithDistanceSorted) {
+  const auto pts = RandomPoints(200, 100.0, 9);
+  std::vector<KdTree::Item> items;
+  for (size_t i = 0; i < pts.size(); ++i) items.push_back({i, pts[i]});
+  const KdTree tree(items);
+  const auto result = tree.KnnWithDistance(Point(50, 50), 10);
+  ASSERT_EQ(result.size(), 10u);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].second, result[i].second);
+  }
+}
+
+TEST(KdTreeTest, RangeMatchesBruteForce) {
+  const auto pts = RandomPoints(600, 1000.0, 10);
+  std::vector<KdTree::Item> items;
+  for (size_t i = 0; i < pts.size(); ++i) items.push_back({i, pts[i]});
+  const KdTree tree(items);
+  const BBox box(200, 300, 600, 800);
+  auto got = tree.RangeQuery(box);
+  auto want = BruteRange(pts, box);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(KdTreeTest, RadiusQuery) {
+  const auto pts = RandomPoints(300, 400.0, 11);
+  std::vector<KdTree::Item> items;
+  for (size_t i = 0; i < pts.size(); ++i) items.push_back({i, pts[i]});
+  const KdTree tree(items);
+  const Point q(200, 200);
+  auto got = tree.RadiusQuery(q, 80.0);
+  std::set<uint64_t> got_set(got.begin(), got.end());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(got_set.count(i) > 0, geometry::Distance(pts[i], q) <= 80.0);
+  }
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  const KdTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Knn(Point(0, 0), 5).empty());
+  EXPECT_TRUE(tree.RangeQuery(BBox(0, 0, 1, 1)).empty());
+}
+
+// ------------------------------------------------------------------ RTree
+
+TEST(RTreeTest, BulkLoadRange) {
+  const auto pts = RandomPoints(800, 1500.0, 12);
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    items.push_back({i, BBox(pts[i], pts[i])});
+  }
+  RTree tree;
+  tree.BulkLoad(items);
+  EXPECT_EQ(tree.size(), 800u);
+  EXPECT_GE(tree.height(), 2);
+  const BBox box(100, 100, 700, 900);
+  auto got = tree.RangeQuery(box);
+  auto want = BruteRange(pts, box);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, want);
+  EXPECT_GT(tree.last_nodes_visited, 0u);
+}
+
+TEST(RTreeTest, DynamicInsertRange) {
+  const auto pts = RandomPoints(500, 1000.0, 13);
+  RTree tree(8);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    tree.Insert(i, BBox(pts[i], pts[i]));
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng(400 + trial);
+    const double x = rng.Uniform(0, 800), y = rng.Uniform(0, 800);
+    const BBox box(x, y, x + 200, y + 200);
+    auto got = tree.RangeQuery(box);
+    auto want = BruteRange(pts, box);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(RTreeTest, KnnMatchesBruteForce) {
+  const auto pts = RandomPoints(400, 900.0, 14);
+  std::vector<RTree::Item> items;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    items.push_back({i, BBox(pts[i], pts[i])});
+  }
+  RTree tree;
+  tree.BulkLoad(items);
+  const Point q(450, 450);
+  EXPECT_EQ(tree.Knn(q, 9), BruteKnn(pts, q, 9));
+}
+
+TEST(RTreeTest, RectangleItems) {
+  RTree tree;
+  tree.Insert(1, BBox(0, 0, 10, 10));
+  tree.Insert(2, BBox(20, 20, 30, 30));
+  tree.Insert(3, BBox(5, 5, 25, 25));
+  auto got = tree.RangeQuery(BBox(8, 8, 12, 12));
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<uint64_t>{1, 3}));
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_TRUE(tree.RangeQuery(BBox(0, 0, 1, 1)).empty());
+  EXPECT_TRUE(tree.Knn(Point(0, 0), 3).empty());
+}
+
+// Parameterised consistency sweep: all three indexes agree with brute force
+// across sizes.
+class IndexConsistencyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(IndexConsistencyTest, AllIndexesAgree) {
+  const size_t n = GetParam();
+  const auto pts = RandomPoints(n, 500.0, 42 + n);
+  GridIndex grid(20.0);
+  std::vector<KdTree::Item> kd_items;
+  std::vector<RTree::Item> rt_items;
+  for (size_t i = 0; i < n; ++i) {
+    grid.Insert(i, pts[i]);
+    kd_items.push_back({i, pts[i]});
+    rt_items.push_back({i, BBox(pts[i], pts[i])});
+  }
+  const KdTree kd(kd_items);
+  RTree rt;
+  rt.BulkLoad(rt_items);
+  const BBox box(100, 100, 400, 350);
+  auto want = BruteRange(pts, box);
+  auto g = grid.RangeQuery(box);
+  auto k = kd.RangeQuery(box);
+  auto r = rt.RangeQuery(box);
+  std::sort(g.begin(), g.end());
+  std::sort(k.begin(), k.end());
+  std::sort(r.begin(), r.end());
+  EXPECT_EQ(g, want);
+  EXPECT_EQ(k, want);
+  EXPECT_EQ(r, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IndexConsistencyTest,
+                         ::testing::Values(1, 10, 64, 256, 1000));
+
+}  // namespace
+}  // namespace index
+}  // namespace sidq

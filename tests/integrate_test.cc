@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include "integrate/attachment.h"
+#include "integrate/entity_linking.h"
+#include "integrate/semantic.h"
+#include "integrate/stid_fusion.h"
+#include "sim/noise.h"
+#include "sim/sensor_field.h"
+#include "sim/trajectory_sim.h"
+
+namespace sidq {
+namespace integrate {
+namespace {
+
+using geometry::BBox;
+using geometry::Point;
+
+// ---------------------------------------------------------- EntityLinking
+
+TEST(EntityLinkerTest, LinksNoisyCopiesOfSameFleet) {
+  Rng rng(1);
+  const sim::Fleet fleet = sim::MakeFleet(8, 8, 200.0, 12, 14, &rng);
+  // Source A and B observe the same objects with different noise and IDs.
+  std::vector<Trajectory> a, b;
+  for (size_t i = 0; i < fleet.trajectories.size(); ++i) {
+    a.push_back(sim::AddGpsNoise(fleet.trajectories[i], 10.0, &rng));
+    Trajectory bt = sim::AddGpsNoise(fleet.trajectories[i], 10.0, &rng);
+    bt.set_object_id(1000 + i);
+    b.push_back(std::move(bt));
+  }
+  // Shuffle B so index != identity.
+  std::vector<size_t> perm(b.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.Shuffle(perm);
+  std::vector<Trajectory> b_shuffled;
+  for (size_t i : perm) b_shuffled.push_back(b[i]);
+
+  const EntityLinker linker;
+  const auto links = linker.Link(a, b_shuffled);
+  EXPECT_EQ(links.size(), a.size());
+  size_t correct = 0;
+  for (const auto& link : links) {
+    if (perm[link.b_index] == link.a_index) ++correct;
+  }
+  EXPECT_GE(static_cast<double>(correct) / links.size(), 0.9);
+}
+
+TEST(EntityLinkerTest, SimilaritySelfIsHighest) {
+  Rng rng(2);
+  const sim::Fleet fleet = sim::MakeFleet(6, 6, 200.0, 4, 10, &rng);
+  const EntityLinker linker;
+  const Trajectory& t0 = fleet.trajectories[0];
+  const double self_sim =
+      linker.Similarity(t0, sim::AddGpsNoise(t0, 5.0, &rng));
+  EXPECT_GT(self_sim, 0.5);
+  for (size_t j = 1; j < fleet.trajectories.size(); ++j) {
+    EXPECT_GT(self_sim, linker.Similarity(t0, fleet.trajectories[j]));
+  }
+}
+
+TEST(EntityLinkerTest, NoSpuriousLinksBelowThreshold) {
+  // Two trajectories in disjoint areas and times: no link.
+  Trajectory a(1), b(2);
+  for (int i = 0; i < 20; ++i) {
+    a.AppendUnordered(TrajectoryPoint(i * 1000, Point(i * 10.0, 0)));
+    b.AppendUnordered(
+        TrajectoryPoint(1'000'000 + i * 1000, Point(50000 + i * 10.0, 0)));
+  }
+  const EntityLinker linker;
+  EXPECT_TRUE(linker.Link({a}, {b}).empty());
+}
+
+// -------------------------------------------------------------- Attachment
+
+TEST(AttachmentTest, AttachesFieldValues) {
+  Rng rng(3);
+  const BBox bounds(0, 0, 2000, 2000);
+  const auto field = sim::ScalarField::MakeRandom(bounds, 3, 10.0, 25.0, 400,
+                                                  800, 3600, &rng);
+  const auto sensors = sim::DeploySensors(bounds, 50, &rng);
+  const StDataset data =
+      sim::SampleField(field, sensors, 0, 60'000, 30, "pm25");
+  uncertainty::IdwInterpolator interp(&data);
+
+  sim::TrajectorySimulator simulator({}, &rng);
+  const Trajectory traj = simulator.RandomWaypoint(bounds, 200, 1);
+  const auto enriched = AttachStid(traj, interp);
+  ASSERT_TRUE(enriched.ok());
+  EXPECT_EQ(enriched->values.size(), traj.size());
+  EXPECT_GT(enriched->AttachmentRate(), 0.95);
+
+  // Attached values should approximate the true field along the way.
+  double err = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < traj.size(); ++i) {
+    if (!enriched->values[i].has_value()) continue;
+    err += std::abs(*enriched->values[i] -
+                    field.Value(traj[i].p, traj[i].t));
+    ++n;
+  }
+  ASSERT_GT(n, 0u);
+  EXPECT_LT(err / n, 6.0);
+}
+
+TEST(AttachmentTest, MeanAttachedValueRangeChecks) {
+  Rng rng(4);
+  const BBox bounds(0, 0, 500, 500);
+  const auto field =
+      sim::ScalarField::MakeRandom(bounds, 1, 5.0, 10.0, 100, 200, 3600, &rng);
+  const StDataset data = sim::SampleField(
+      field, sim::DeploySensors(bounds, 10, &rng), 0, 60'000, 10, "x");
+  uncertainty::IdwInterpolator interp(&data);
+  sim::TrajectorySimulator simulator({}, &rng);
+  const Trajectory traj = simulator.RandomWaypoint(bounds, 50, 1);
+  const auto enriched = AttachStid(traj, interp);
+  ASSERT_TRUE(enriched.ok());
+  EXPECT_TRUE(MeanAttachedValue(enriched.value(), 0, 50'000).ok());
+  EXPECT_FALSE(
+      MeanAttachedValue(enriched.value(), 10'000'000, 20'000'000).ok());
+}
+
+// -------------------------------------------------------------- GridFuser
+
+TEST(GridFuserTest, DownweightsUnreliableSource) {
+  Rng rng(5);
+  const BBox bounds(0, 0, 2000, 2000);
+  const auto field = sim::ScalarField::MakeRandom(bounds, 3, 10.0, 20.0, 400,
+                                                  800, 3600, &rng);
+  const auto sensors = sim::DeploySensors(bounds, 40, &rng);
+  const StDataset truth =
+      sim::SampleField(field, sensors, 0, 60'000, 20, "pm25");
+  // Truth discovery needs >= 3 sources to break the two-source symmetry.
+  const StDataset good_a = sim::AddValueNoise(truth, 1.0, &rng);
+  const StDataset good_b = sim::AddValueNoise(truth, 1.0, &rng);
+  const StDataset bad = sim::AddValueNoise(truth, 10.0, &rng);
+
+  const GridFuser fuser;
+  const auto result = fuser.Fuse({good_a, good_b, bad});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->source_weights.size(), 3u);
+  EXPECT_GT(result->source_weights[0], result->source_weights[2] * 3.0);
+  EXPECT_GT(result->source_weights[1], result->source_weights[2] * 3.0);
+  EXPECT_GT(result->fused.num_sensors(), 0u);
+}
+
+TEST(GridFuserTest, FusedBeatsBadSource) {
+  Rng rng(6);
+  const BBox bounds(0, 0, 1500, 1500);
+  const auto field = sim::ScalarField::MakeRandom(bounds, 2, 10.0, 15.0, 300,
+                                                  600, 3600, &rng);
+  const auto sensors = sim::DeploySensors(bounds, 30, &rng);
+  const StDataset truth =
+      sim::SampleField(field, sensors, 0, 60'000, 20, "pm25");
+  const StDataset good = sim::AddValueNoise(truth, 1.5, &rng);
+  const StDataset bad = sim::AddValueNoise(truth, 8.0, &rng);
+  GridFuser::Options opts;
+  opts.cell_m = 300.0;
+  opts.slot_ms = 300'000;
+  const auto result = GridFuser(opts).Fuse({good, bad});
+  ASSERT_TRUE(result.ok());
+
+  // Compare fused cell values against the true field at cell centres.
+  double fused_err = 0.0;
+  size_t n = 0;
+  for (const StSeries& s : result->fused.series()) {
+    for (const StRecord& r : s.records()) {
+      fused_err += std::abs(r.value - field.Value(r.loc, r.t));
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0u);
+  fused_err /= n;
+  // An 8-sigma source alone would average ~6.4 error; fusion must do
+  // clearly better (cell-centre displacement adds some baseline error).
+  EXPECT_LT(fused_err, 6.0);
+}
+
+TEST(GridFuserTest, EmptyInputFails) {
+  EXPECT_FALSE(GridFuser().Fuse({}).ok());
+}
+
+// ---------------------------------------------------------------- Semantic
+
+Trajectory TrajectoryWithStops() {
+  Trajectory tr(1);
+  Timestamp t = 0;
+  // Move 0 -> 1000 m.
+  for (int i = 0; i <= 20; ++i) {
+    tr.AppendUnordered(TrajectoryPoint(t, Point(i * 50.0, 0)));
+    t += 30'000;
+  }
+  // Stay near (1000, 0) for 10 minutes.
+  for (int i = 0; i < 20; ++i) {
+    tr.AppendUnordered(
+        TrajectoryPoint(t, Point(1000.0 + (i % 3) * 5.0, 2.0)));
+    t += 30'000;
+  }
+  // Move on to (2000, 0).
+  for (int i = 1; i <= 20; ++i) {
+    tr.AppendUnordered(TrajectoryPoint(t, Point(1000.0 + i * 50.0, 0)));
+    t += 30'000;
+  }
+  return tr;
+}
+
+TEST(StayPointTest, DetectsTheStop) {
+  const Trajectory tr = TrajectoryWithStops();
+  const auto stays = DetectStayPoints(tr, 60.0, 120'000);
+  ASSERT_EQ(stays.size(), 1u);
+  EXPECT_NEAR(stays[0].centroid.x, 1003.0, 10.0);
+  EXPECT_GE(stays[0].Duration(), 120'000);
+}
+
+TEST(StayPointTest, NoStayOnConstantMotion) {
+  Trajectory tr(1);
+  for (int i = 0; i < 50; ++i) {
+    tr.AppendUnordered(TrajectoryPoint(i * 10'000, Point(i * 100.0, 0)));
+  }
+  EXPECT_TRUE(DetectStayPoints(tr, 60.0, 120'000).empty());
+}
+
+TEST(SemanticAnnotatorTest, LabelsStayWithNearestPoi) {
+  std::vector<Poi> pois{
+      {Point(1010, 0), "Cafe Aroma", "food"},
+      {Point(5000, 5000), "Gym", "sport"},
+  };
+  SemanticAnnotator annotator(pois);
+  const auto episodes = annotator.Annotate(TrajectoryWithStops());
+  ASSERT_TRUE(episodes.ok());
+  // move, stay, move.
+  ASSERT_EQ(episodes->size(), 3u);
+  EXPECT_EQ((*episodes)[0].kind, Episode::Kind::kMove);
+  EXPECT_EQ((*episodes)[1].kind, Episode::Kind::kStay);
+  EXPECT_EQ((*episodes)[1].label, "Cafe Aroma");
+  EXPECT_EQ((*episodes)[1].category, "food");
+  EXPECT_EQ((*episodes)[2].kind, Episode::Kind::kMove);
+}
+
+TEST(SemanticAnnotatorTest, UnknownWhenNoPoiNearby) {
+  SemanticAnnotator annotator(std::vector<Poi>{});
+  const auto episodes = annotator.Annotate(TrajectoryWithStops());
+  ASSERT_TRUE(episodes.ok());
+  bool found_stay = false;
+  for (const Episode& e : episodes.value()) {
+    if (e.kind == Episode::Kind::kStay) {
+      found_stay = true;
+      EXPECT_EQ(e.label, "unknown");
+    }
+  }
+  EXPECT_TRUE(found_stay);
+}
+
+TEST(SemanticAnnotatorTest, EmptyTrajectoryFails) {
+  SemanticAnnotator annotator(std::vector<Poi>{});
+  EXPECT_FALSE(annotator.Annotate(Trajectory(1)).ok());
+}
+
+// Parameterised: linking accuracy degrades gracefully with noise
+// (integration claim: spatiotemporal signatures tolerate moderate error).
+class LinkingNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LinkingNoiseSweep, AccuracyAboveFloor) {
+  Rng rng(42);
+  const sim::Fleet fleet = sim::MakeFleet(8, 8, 200.0, 10, 14, &rng);
+  std::vector<Trajectory> a, b;
+  for (size_t i = 0; i < fleet.trajectories.size(); ++i) {
+    a.push_back(sim::AddGpsNoise(fleet.trajectories[i], GetParam(), &rng));
+    b.push_back(sim::AddGpsNoise(fleet.trajectories[i], GetParam(), &rng));
+  }
+  const EntityLinker linker;
+  const auto links = linker.Link(a, b);
+  size_t correct = 0;
+  for (const auto& link : links) {
+    if (link.a_index == link.b_index) ++correct;
+  }
+  EXPECT_GE(static_cast<double>(correct) /
+                std::max<size_t>(1, fleet.trajectories.size()),
+            0.7)
+      << "noise=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, LinkingNoiseSweep,
+                         ::testing::Values(5.0, 15.0, 30.0));
+
+}  // namespace
+}  // namespace integrate
+}  // namespace sidq

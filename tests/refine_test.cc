@@ -1,0 +1,394 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "refine/collaborative.h"
+#include "refine/hmm_map_matcher.h"
+#include "refine/kalman.h"
+#include "refine/least_squares.h"
+#include "refine/particle_filter.h"
+#include "refine/wknn.h"
+#include "sim/noise.h"
+#include "sim/trajectory_sim.h"
+
+namespace sidq {
+namespace refine {
+namespace {
+
+using geometry::BBox;
+using geometry::Point;
+
+// ------------------------------------------------------------------- WkNN
+
+class WknnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<sim::RssiWorld>(
+        sim::RssiWorld::MakeRandom(bounds_, 8, &rng_));
+    db_ = sim::BuildFingerprintDatabase(*world_, bounds_, 12, 12, 6, 2.0,
+                                        &rng_);
+  }
+
+  Rng rng_{101};
+  BBox bounds_{0, 0, 120, 120};
+  std::unique_ptr<sim::RssiWorld> world_;
+  std::vector<sim::Fingerprint> db_;
+};
+
+TEST_F(WknnTest, LocalizesWithinReason) {
+  const WknnLocalizer localizer(db_);
+  double total_err = 0.0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    const Point truth(rng_.Uniform(10, 110), rng_.Uniform(10, 110));
+    const auto est = localizer.Estimate(world_->Measure(truth, 2.0, &rng_));
+    ASSERT_TRUE(est.ok());
+    total_err += geometry::Distance(est.value(), truth);
+  }
+  // Cell size is 10 m; WkNN should land within a few cells.
+  EXPECT_LT(total_err / trials, 15.0);
+}
+
+TEST_F(WknnTest, WeightedBeatsNearestNeighbour) {
+  const WknnLocalizer localizer(db_);
+  double wknn_err = 0.0, nn_err = 0.0;
+  for (int i = 0; i < 120; ++i) {
+    const Point truth(rng_.Uniform(10, 110), rng_.Uniform(10, 110));
+    const auto m = world_->Measure(truth, 3.0, &rng_);
+    wknn_err += geometry::Distance(localizer.Estimate(m).value(), truth);
+    nn_err += geometry::Distance(localizer.EstimateNn(m).value(), truth);
+  }
+  EXPECT_LT(wknn_err, nn_err);
+}
+
+TEST_F(WknnTest, RejectsBadInput) {
+  const WknnLocalizer localizer(db_);
+  EXPECT_FALSE(localizer.Estimate(std::vector<double>(3, -50.0)).ok());
+  const WknnLocalizer empty{std::vector<sim::Fingerprint>{}};
+  EXPECT_FALSE(empty.Estimate(std::vector<double>(8, -50.0)).ok());
+}
+
+// ----------------------------------------------------------- Trilateration
+
+TEST(WlsTrilaterationTest, ExactRangesRecoverPosition) {
+  const Point truth(30.0, 40.0);
+  std::vector<RangeMeasurement> ms;
+  for (const Point anchor :
+       {Point(0, 0), Point(100, 0), Point(0, 100), Point(100, 100)}) {
+    ms.push_back({anchor, geometry::Distance(anchor, truth), 1.0});
+  }
+  const WlsTrilaterator solver;
+  const auto est = solver.Solve(ms);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->x, truth.x, 1e-3);
+  EXPECT_NEAR(est->y, truth.y, 1e-3);
+}
+
+TEST(WlsTrilaterationTest, NoisyRangesStillClose) {
+  Rng rng(7);
+  const Point truth(55.0, 25.0);
+  std::vector<RangeMeasurement> ms;
+  for (const Point anchor : {Point(0, 0), Point(100, 0), Point(0, 100),
+                             Point(100, 100), Point(50, 120)}) {
+    ms.push_back(
+        {anchor,
+         std::max(0.0, geometry::Distance(anchor, truth) +
+                           rng.Gaussian(0.0, 2.0)),
+         2.0});
+  }
+  const auto est = WlsTrilaterator().Solve(ms);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(geometry::Distance(est.value(), truth), 6.0);
+}
+
+TEST(WlsTrilaterationTest, WeightsFavourAccurateAnchors) {
+  // Three accurate anchors plus one wildly wrong but high-sigma anchor:
+  // WLS must hold close to the truth.
+  const Point truth(50.0, 50.0);
+  std::vector<RangeMeasurement> ms;
+  for (const Point anchor : {Point(0, 0), Point(100, 0), Point(0, 100)}) {
+    ms.push_back({anchor, geometry::Distance(anchor, truth), 0.5});
+  }
+  ms.push_back({Point(100, 100), 5.0, 50.0});  // wrong by ~65 m, downweighted
+  const auto est = WlsTrilaterator().Solve(ms);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(geometry::Distance(est.value(), truth), 3.0);
+}
+
+TEST(WlsTrilaterationTest, RejectsTooFewRanges) {
+  std::vector<RangeMeasurement> ms(2);
+  EXPECT_FALSE(WlsTrilaterator().Solve(ms).ok());
+}
+
+TEST(FuseEstimatesTest, InverseVarianceFusion) {
+  std::vector<LocationEstimate> es{{Point(0, 0), 1.0}, {Point(10, 0), 4.0}};
+  const auto fused = FuseEstimates(es);
+  ASSERT_TRUE(fused.ok());
+  // Weight 1 vs 0.25 -> x = 10*0.25/1.25 = 2.
+  EXPECT_NEAR(fused->p.x, 2.0, 1e-9);
+  EXPECT_NEAR(fused->variance, 0.8, 1e-9);
+  EXPECT_FALSE(FuseEstimates({}).ok());
+}
+
+TEST(FuseEstimatesTest, FusionBeatsEverySingleSource) {
+  Rng rng(8);
+  const Point truth(0.0, 0.0);
+  double fused_err = 0.0, best_single_err = 0.0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    std::vector<LocationEstimate> es;
+    double single = 1e9;
+    for (double sigma : {5.0, 8.0, 12.0}) {
+      LocationEstimate e;
+      e.p = Point(rng.Gaussian(0, sigma), rng.Gaussian(0, sigma));
+      e.variance = sigma * sigma;
+      single = std::min(single, 5.0);  // best individual sigma is 5
+      es.push_back(e);
+    }
+    fused_err += FuseEstimates(es)->p.Norm();
+    best_single_err += es[0].p.Norm();  // the sigma=5 source
+    (void)single;
+  }
+  EXPECT_LT(fused_err / trials, best_single_err / trials);
+}
+
+// ----------------------------------------------------------------- Kalman
+
+class KalmanTest : public ::testing::Test {
+ protected:
+  Trajectory MakeNoisyLine(double sigma, int n = 200) {
+    Trajectory truth(1);
+    for (int i = 0; i < n; ++i) {
+      truth.AppendUnordered(
+          TrajectoryPoint(i * 1000, Point(i * 10.0, i * 5.0)));
+    }
+    truth_ = truth;
+    return sim::AddGpsNoise(truth, sigma, &rng_);
+  }
+
+  Rng rng_{202};
+  Trajectory truth_;
+};
+
+TEST_F(KalmanTest, FilterReducesError) {
+  const Trajectory noisy = MakeNoisyLine(15.0);
+  KalmanFilter2D::Options opts;
+  opts.process_noise = 0.5;
+  const KalmanFilter2D kf(opts);
+  const auto filtered = kf.Filter(noisy);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_LT(RmseBetween(truth_, filtered.value()).value(),
+            RmseBetween(truth_, noisy).value() * 0.8);
+}
+
+TEST_F(KalmanTest, SmootherBeatsFilter) {
+  const Trajectory noisy = MakeNoisyLine(15.0);
+  KalmanFilter2D::Options opts;
+  opts.process_noise = 0.5;
+  const KalmanFilter2D kf(opts);
+  const double filter_err =
+      RmseBetween(truth_, kf.Filter(noisy).value()).value();
+  const double smooth_err =
+      RmseBetween(truth_, kf.Smooth(noisy).value()).value();
+  EXPECT_LT(smooth_err, filter_err);
+}
+
+TEST_F(KalmanTest, RejectsBadInput) {
+  const KalmanFilter2D kf;
+  EXPECT_FALSE(kf.Filter(Trajectory(1)).ok());
+  Trajectory unordered(1);
+  unordered.AppendUnordered(TrajectoryPoint(1000, {0, 0}));
+  unordered.AppendUnordered(TrajectoryPoint(0, {1, 1}));
+  EXPECT_FALSE(kf.Filter(unordered).ok());
+}
+
+TEST_F(KalmanTest, UsesPerPointAccuracy) {
+  // Points with tiny reported accuracy should be followed closely.
+  Trajectory noisy(1);
+  for (int i = 0; i < 50; ++i) {
+    noisy.AppendUnordered(
+        TrajectoryPoint(i * 1000, Point(i * 10.0, 0.0), 0.01));
+  }
+  const auto filtered = KalmanFilter2D().Filter(noisy);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_LT(MeanErrorBetween(noisy, filtered.value()).value(), 0.5);
+}
+
+// ---------------------------------------------------------- ParticleFilter
+
+TEST(ParticleFilterTest, ReducesNoise) {
+  Rng rng(303);
+  Trajectory truth(1);
+  for (int i = 0; i < 150; ++i) {
+    truth.AppendUnordered(TrajectoryPoint(i * 1000, Point(i * 8.0, 0.0)));
+  }
+  const Trajectory noisy = sim::AddGpsNoise(truth, 12.0, &rng);
+  ParticleFilter2D::Options opts;
+  opts.num_particles = 400;
+  ParticleFilter2D pf(opts, &rng);
+  const auto filtered = pf.Filter(noisy);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_LT(RmseBetween(truth, filtered.value()).value(),
+            RmseBetween(truth, noisy).value());
+}
+
+TEST(ParticleFilterTest, RoadConstraintHelps) {
+  Rng rng(304);
+  sim::RoadNetwork net = sim::MakeGridRoadNetwork(6, 6, 200.0, 0.0, 0.0, &rng);
+  sim::TrajectorySimulator::Options sopts;
+  sopts.mean_speed_mps = 10.0;
+  sim::TrajectorySimulator simulator(sopts, &rng);
+  const auto truth = simulator.RandomOnNetwork(net, 10, 1);
+  ASSERT_TRUE(truth.ok());
+  const Trajectory noisy = sim::AddGpsNoise(truth.value(), 20.0, &rng);
+
+  ParticleFilter2D::Options opts;
+  opts.num_particles = 300;
+  ParticleFilter2D free_pf(opts, &rng);
+  const double free_err =
+      RmseBetween(truth.value(), free_pf.Filter(noisy).value()).value();
+
+  ParticleFilter2D road_pf(opts, &rng);
+  road_pf.AttachNetwork(&net);
+  const double road_err =
+      RmseBetween(truth.value(), road_pf.Filter(noisy).value()).value();
+  EXPECT_LT(road_err, free_err * 1.05);  // constraint must not hurt; usually helps
+}
+
+TEST(ParticleFilterTest, RejectsEmpty) {
+  Rng rng(305);
+  ParticleFilter2D pf({}, &rng);
+  EXPECT_FALSE(pf.Filter(Trajectory(1)).ok());
+}
+
+// ------------------------------------------------------------ MapMatching
+
+TEST(HmmMapMatcherTest, SnapsToTrueRoute) {
+  Rng rng(404);
+  sim::RoadNetwork net =
+      sim::MakeGridRoadNetwork(8, 8, 150.0, 5.0, 0.0, &rng);
+  sim::TrajectorySimulator::Options sopts;
+  sopts.mean_speed_mps = 12.0;
+  sim::TrajectorySimulator simulator(sopts, &rng);
+  const auto truth = simulator.RandomOnNetwork(net, 14, 1);
+  ASSERT_TRUE(truth.ok());
+  const Trajectory noisy = sim::AddGpsNoise(truth.value(), 15.0, &rng);
+
+  HmmMapMatcher matcher(&net);
+  const auto result = matcher.Match(noisy);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->matched.size(), noisy.size());
+  ASSERT_EQ(result->edges.size(), noisy.size());
+  EXPECT_LT(RmseBetween(truth.value(), result->matched).value(),
+            RmseBetween(truth.value(), noisy).value());
+  // Matched points must lie on their edges.
+  for (size_t i = 0; i < result->edges.size(); ++i) {
+    EXPECT_LT(net.DistanceToEdge(result->edges[i], result->matched[i].p),
+              1e-6);
+  }
+}
+
+TEST(HmmMapMatcherTest, RejectsEmpty) {
+  Rng rng(405);
+  sim::RoadNetwork net = sim::MakeGridRoadNetwork(3, 3, 100.0, 0.0, 0.0, &rng);
+  HmmMapMatcher matcher(&net);
+  EXPECT_FALSE(matcher.Match(Trajectory(1)).ok());
+}
+
+// ---------------------------------------------------------- Collaborative
+
+TEST(JointDenoiseTest, RemovesSharedBias) {
+  Rng rng(505);
+  const Point bias(12.0, -7.0);
+  std::vector<JointDenoiseInput> inputs;
+  std::vector<Point> truths;
+  for (int i = 0; i < 20; ++i) {
+    const Point truth(rng.Uniform(0, 100), rng.Uniform(0, 100));
+    truths.push_back(truth);
+    JointDenoiseInput in;
+    in.observed = truth + bias +
+                  Point(rng.Gaussian(0, 0.5), rng.Gaussian(0, 0.5));
+    in.is_anchor = i < 4;
+    in.anchor_truth = truth;
+    inputs.push_back(in);
+  }
+  const auto corrected = JointDenoise(inputs);
+  ASSERT_TRUE(corrected.ok());
+  double err = 0.0;
+  for (size_t i = 0; i < truths.size(); ++i) {
+    err += geometry::Distance(corrected.value()[i], truths[i]);
+  }
+  EXPECT_LT(err / truths.size(), 1.5);  // bias (|14|) nearly eliminated
+}
+
+TEST(JointDenoiseTest, NeedsAnchor) {
+  std::vector<JointDenoiseInput> inputs(3);
+  EXPECT_FALSE(JointDenoise(inputs).ok());
+}
+
+TEST(IterativeRefinerTest, PairRangesImproveBatch) {
+  Rng rng(606);
+  std::vector<Point> truths;
+  for (int i = 0; i < 15; ++i) {
+    truths.emplace_back(rng.Uniform(0, 200), rng.Uniform(0, 200));
+  }
+  std::vector<Point> observed;
+  for (const Point& t : truths) {
+    observed.emplace_back(t.x + rng.Gaussian(0, 8.0),
+                          t.y + rng.Gaussian(0, 8.0));
+  }
+  std::vector<PairRange> ranges;
+  for (size_t i = 0; i < truths.size(); ++i) {
+    for (size_t j = i + 1; j < truths.size(); ++j) {
+      PairRange r;
+      r.i = i;
+      r.j = j;
+      r.distance = geometry::Distance(truths[i], truths[j]) +
+                   rng.Gaussian(0, 0.5);
+      r.sigma = 0.5;
+      ranges.push_back(r);
+    }
+  }
+  const auto refined = IterativeRefiner().Refine(observed, ranges);
+  ASSERT_TRUE(refined.ok());
+  double before = 0.0, after = 0.0;
+  for (size_t i = 0; i < truths.size(); ++i) {
+    before += geometry::Distance(observed[i], truths[i]);
+    after += geometry::Distance(refined.value()[i], truths[i]);
+  }
+  EXPECT_LT(after, before);
+}
+
+TEST(IterativeRefinerTest, RejectsBadPairIndices) {
+  std::vector<Point> observed(3);
+  std::vector<PairRange> ranges{{0, 9, 10.0, 1.0}};
+  EXPECT_FALSE(IterativeRefiner().Refine(observed, ranges).ok());
+  ranges = {{1, 1, 10.0, 1.0}};
+  EXPECT_FALSE(IterativeRefiner().Refine(observed, ranges).ok());
+}
+
+// Parameterised: Kalman improvement grows with noise.
+class KalmanNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(KalmanNoiseSweep, AlwaysImprovesOnStraightMotion) {
+  const double sigma = GetParam();
+  Rng rng(707);
+  Trajectory truth(1);
+  for (int i = 0; i < 300; ++i) {
+    truth.AppendUnordered(TrajectoryPoint(i * 1000, Point(i * 12.0, 0.0)));
+  }
+  const Trajectory noisy = sim::AddGpsNoise(truth, sigma, &rng);
+  KalmanFilter2D::Options opts;
+  opts.process_noise = 0.3;
+  const auto smoothed = KalmanFilter2D(opts).Smooth(noisy);
+  ASSERT_TRUE(smoothed.ok());
+  EXPECT_LT(RmseBetween(truth, smoothed.value()).value(),
+            RmseBetween(truth, noisy).value() * 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, KalmanNoiseSweep,
+                         ::testing::Values(5.0, 10.0, 20.0, 40.0));
+
+}  // namespace
+}  // namespace refine
+}  // namespace sidq

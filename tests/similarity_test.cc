@@ -1,0 +1,224 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "query/private.h"
+#include "query/similarity.h"
+#include "query/uncertain_trajectory.h"
+#include "sim/noise.h"
+#include "sim/trajectory_sim.h"
+
+namespace sidq {
+namespace query {
+namespace {
+
+using geometry::BBox;
+using geometry::Point;
+
+Trajectory Line(double y, int n = 50, double dx = 10.0) {
+  Trajectory tr(1);
+  for (int i = 0; i < n; ++i) {
+    tr.AppendUnordered(TrajectoryPoint(i * 1000, Point(i * dx, y)));
+  }
+  return tr;
+}
+
+// ------------------------------------------------------------ similarity
+
+TEST(DtwTest, IdenticalIsZero) {
+  const Trajectory a = Line(0.0);
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a, 8), 0.0);
+}
+
+TEST(DtwTest, ParallelLinesScaleWithOffset) {
+  const Trajectory a = Line(0.0);
+  const double d10 = DtwDistance(a, Line(10.0));
+  const double d20 = DtwDistance(a, Line(20.0));
+  EXPECT_NEAR(d10, 50 * 10.0, 1e-6);
+  EXPECT_NEAR(d20 / d10, 2.0, 1e-9);
+}
+
+TEST(DtwTest, ToleratesResampling) {
+  // The same path sampled at half the rate should stay close under DTW.
+  Rng rng(1);
+  sim::TrajectorySimulator simulator({}, &rng);
+  const Trajectory full =
+      simulator.RandomWaypoint(BBox(0, 0, 1000, 1000), 200, 1);
+  const Trajectory half = sim::Resample(full, 2000);
+  const double self_like = DtwDistance(full, half);
+  const Trajectory other =
+      simulator.RandomWaypoint(BBox(0, 0, 1000, 1000), 200, 2);
+  EXPECT_LT(self_like, DtwDistance(full, other));
+}
+
+TEST(DtwTest, EmptyTrajectories) {
+  const Trajectory empty(1);
+  EXPECT_DOUBLE_EQ(DtwDistance(empty, empty), 0.0);
+  EXPECT_TRUE(std::isinf(DtwDistance(empty, Line(0.0))));
+}
+
+TEST(FrechetTest, KnownValue) {
+  const Trajectory a = Line(0.0);
+  const Trajectory b = Line(7.0);
+  EXPECT_NEAR(DiscreteFrechetDistance(a, b), 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(DiscreteFrechetDistance(a, a), 0.0);
+}
+
+TEST(FrechetTest, DominatedByWorstExcursion) {
+  Trajectory a = Line(0.0);
+  Trajectory b = Line(0.0);
+  b.mutable_points()[25].p.y = 100.0;  // single spike
+  EXPECT_NEAR(DiscreteFrechetDistance(a, b), 100.0, 1e-9);
+  // DTW, in contrast, pays the spike only once among many cheap steps.
+  EXPECT_LT(DtwDistance(a, b), 100.0 * 2.5);
+}
+
+TEST(EdrTest, ToleranceControlsMatching) {
+  const Trajectory a = Line(0.0);
+  const Trajectory b = Line(5.0);
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 10.0), 0.0);  // all within tolerance
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b, 1.0), 1.0);   // nothing matches
+  EXPECT_DOUBLE_EQ(EdrDistance(Trajectory(1), Trajectory(2), 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(EdrDistance(a, Trajectory(2), 1.0), 1.0);
+}
+
+TEST(LcssTest, FractionOfMatchedPrefix) {
+  const Trajectory a = Line(0.0, 40);
+  Trajectory b = Line(0.0, 40);
+  // Corrupt the second half badly.
+  for (size_t i = 20; i < b.size(); ++i) {
+    b.mutable_points()[i].p.y = 1000.0;
+  }
+  const double s = LcssSimilarity(a, b, 5.0, 1000);
+  EXPECT_NEAR(s, 0.5, 0.05);
+  EXPECT_DOUBLE_EQ(LcssSimilarity(a, a, 5.0, 1000), 1.0);
+}
+
+TEST(SimilaritySearchTest, FindsNoisyCopiesWithPruning) {
+  Rng rng(2);
+  // A large city with short rides: most candidate MBRs are far from the
+  // query's MBR, so the lower bound can prune them.
+  const sim::Fleet fleet = sim::MakeFleet(20, 20, 300.0, 30, 8, &rng);
+  std::vector<Trajectory> collection;
+  for (const auto& tr : fleet.trajectories) {
+    collection.push_back(sim::AddGpsNoise(tr, 8.0, &rng));
+  }
+  TrajectorySimilaritySearch search;
+  search.Build(&collection);
+  // Query with a differently-noised copy of trajectory 5.
+  const Trajectory queried =
+      sim::AddGpsNoise(fleet.trajectories[5], 8.0, &rng);
+  TrajectorySimilaritySearch::SearchStats stats;
+  const auto result = search.Knn(queried, 3, &stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ(result->front(), 5u);
+  EXPECT_GT(stats.pruned, 0u);
+  EXPECT_EQ(stats.pruned + stats.dtw_computed, stats.candidates);
+}
+
+TEST(SimilaritySearchTest, ErrorsWithoutBuild) {
+  TrajectorySimilaritySearch search;
+  EXPECT_FALSE(search.Knn(Line(0.0), 1).ok());
+  std::vector<Trajectory> collection{Line(0.0)};
+  search.Build(&collection);
+  EXPECT_FALSE(search.Knn(Trajectory(1), 1).ok());
+}
+
+// ----------------------------------------------------------------- privacy
+
+TEST(PlanarLaplaceTest, MeanDisplacementMatchesTheory) {
+  Rng rng(3);
+  const PlanarLaplaceObfuscator mech(0.01);  // eps = 0.01/m -> E[r] = 200 m
+  double mean_r = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    mean_r += geometry::Distance(
+        mech.Obfuscate(Point(0, 0), &rng), Point(0, 0));
+  }
+  mean_r /= n;
+  EXPECT_NEAR(mean_r, mech.MeanDisplacement(), 5.0);
+}
+
+TEST(PlanarLaplaceTest, UncertainModelCoversTruth) {
+  Rng rng(4);
+  const PlanarLaplaceObfuscator mech(0.02);
+  const Point truth(100, 100);
+  // The Gaussian surrogate should assign decent probability to a box
+  // centred on the truth, on average over the mechanism's randomness.
+  double prob = 0.0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const Point reported = mech.Obfuscate(truth, &rng);
+    const auto up = mech.ToUncertainPoint(1, reported);
+    prob += up.ProbInBox(BBox(truth.x - 200, truth.y - 200, truth.x + 200,
+                              truth.y + 200));
+  }
+  EXPECT_GT(prob / n, 0.5);
+}
+
+TEST(PrivateRangeQueryTest, AwareBeatsNaiveRecall) {
+  Rng rng(5);
+  const PlanarLaplaceObfuscator mech(0.02);  // E[r] = 100 m
+  const BBox range(400, 400, 900, 900);
+  std::vector<std::pair<ObjectId, Point>> reports;
+  std::vector<bool> truly_inside;
+  for (int i = 0; i < 400; ++i) {
+    const Point truth(rng.Uniform(0, 1300), rng.Uniform(0, 1300));
+    truly_inside.push_back(range.Contains(truth));
+    reports.emplace_back(i, mech.Obfuscate(truth, &rng));
+  }
+  const auto result = PrivateRangeQuery(reports, mech, range, 0.25);
+  auto recall = [&](const std::vector<ObjectId>& found) {
+    size_t tp = 0, total = 0;
+    std::vector<bool> in_found(400, false);
+    for (ObjectId id : found) in_found[id] = true;
+    for (size_t i = 0; i < truly_inside.size(); ++i) {
+      if (truly_inside[i]) {
+        ++total;
+        tp += in_found[i] ? 1 : 0;
+      }
+    }
+    return total > 0 ? static_cast<double>(tp) / total : 0.0;
+  };
+  // With tau below 0.5, the aware query keeps borderline objects that the
+  // naive query loses when the noise pushed them outside.
+  EXPECT_GT(recall(result.aware), recall(result.naive));
+}
+
+// ------------------------------------------------------------------ alibi
+
+TEST(AlibiTest, ConfirmsAlibiForDistantObjects) {
+  // Objects 10 km apart with low vmax cannot have met.
+  Trajectory a(1), b(2);
+  a.AppendUnordered(TrajectoryPoint(0, Point(0, 0)));
+  a.AppendUnordered(TrajectoryPoint(600'000, Point(600, 0)));
+  b.AppendUnordered(TrajectoryPoint(0, Point(10'000, 0)));
+  b.AppendUnordered(TrajectoryPoint(600'000, Point(10'600, 0)));
+  EXPECT_FALSE(AlibiPossiblyMet(a, b, 5.0, 0, 600'000, 50.0));
+}
+
+TEST(AlibiTest, DetectsPossibleMeeting) {
+  // Objects whose samples are 400 m apart at matching times, with enough
+  // slack speed to have met in between.
+  Trajectory a(1), b(2);
+  a.AppendUnordered(TrajectoryPoint(0, Point(0, 0)));
+  a.AppendUnordered(TrajectoryPoint(100'000, Point(0, 0)));
+  b.AppendUnordered(TrajectoryPoint(0, Point(400, 0)));
+  b.AppendUnordered(TrajectoryPoint(100'000, Point(400, 0)));
+  // vmax 10 m/s over 100 s: each lens reaches up to 500 m at mid time.
+  EXPECT_TRUE(AlibiPossiblyMet(a, b, 10.0, 0, 100'000, 10.0));
+  // vmax 1 m/s: lenses reach only 50 m; a 400 m gap cannot close.
+  EXPECT_FALSE(AlibiPossiblyMet(a, b, 1.0, 0, 100'000, 10.0));
+}
+
+TEST(AlibiTest, SameTrajectoryAlwaysMeets) {
+  const Trajectory a = Line(0.0, 20);
+  EXPECT_TRUE(AlibiPossiblyMet(a, a, 5.0, 0, 19'000, 1.0));
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace sidq
