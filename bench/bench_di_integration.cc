@@ -90,7 +90,11 @@ int Run() {
     }
     const auto fused = integrate::GridFuser().Fuse(sources).value();
     for (size_t i = 0; i < sigmas.size(); ++i) {
-      table3.AddRow({"S" + std::to_string(i), bench::F1(sigmas[i]),
+      // Built via snprintf: `"S" + std::to_string(i)` trips a GCC 12
+      // -Wrestrict false positive in the inlined libstdc++ operator+.
+      char label[32];
+      std::snprintf(label, sizeof(label), "S%zu", i);
+      table3.AddRow({label, bench::F1(sigmas[i]),
                      bench::F2(fused.source_weights[i])});
     }
   }

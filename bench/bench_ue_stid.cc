@@ -4,6 +4,7 @@
 // and measurement-fusion gains.
 
 #include "bench/bench_util.h"
+#include "core/logging.h"
 #include "core/random.h"
 #include "sim/sensor_field.h"
 #include "uncertainty/cotraining.h"
@@ -39,18 +40,32 @@ int Run() {
     uncertainty::TrendClusterInterpolator tc(&data);
     double idw_err = 0, kern_err = 0, tc_err = 0;
     const int probes = 200;
+    int used = 0;
     Rng prng(99);
     for (int i = 0; i < probes; ++i) {
       const geometry::Point p(prng.Uniform(400, 3600),
                               prng.Uniform(400, 3600));
       const Timestamp t = 60'000 * prng.UniformInt(1, 38);
       const double tv = field.Value(p, t);
-      idw_err += std::abs(idw.Estimate(p, t).value_or(tv) - tv);
-      kern_err += std::abs(kern.Estimate(p, t).value_or(tv) - tv);
-      tc_err += std::abs(tc.Estimate(p, t).value_or(tv) - tv);
+      // A probe every estimator can answer; a failed estimate must not
+      // silently count as zero error (it would inflate accuracy).
+      const auto ie = idw.Estimate(p, t);
+      const auto ke = kern.Estimate(p, t);
+      const auto te = tc.Estimate(p, t);
+      if (!ie.ok() || !ke.ok() || !te.ok()) continue;
+      idw_err += std::abs(ie.value() - tv);
+      kern_err += std::abs(ke.value() - tv);
+      tc_err += std::abs(te.value() - tv);
+      ++used;
     }
-    table.AddRow({std::to_string(sensors), bench::F2(idw_err / probes),
-                  bench::F2(kern_err / probes), bench::F2(tc_err / probes)});
+    SIDQ_CHECK(used > 0) << "no usable interpolation probes at " << sensors
+                         << " sensors";
+    if (used < probes) {
+      SIDQ_WARN() << "skipped " << (probes - used) << "/" << probes
+                  << " probes without coverage at " << sensors << " sensors";
+    }
+    table.AddRow({std::to_string(sensors), bench::F2(idw_err / used),
+                  bench::F2(kern_err / used), bench::F2(tc_err / used)});
   }
   table.Print();
 
@@ -68,6 +83,7 @@ int Run() {
   for (double offset : {0.0, 300.0, 600.0, 1200.0, 1800.0}) {
     double err = 0.0;
     const int probes = 200;
+    int used = 0;
     Rng prng(77);
     for (int i = 0; i < probes; ++i) {
       // Random direction at the given distance from the core boundary.
@@ -77,9 +93,17 @@ int Run() {
           2000.0 + std::sin(ang) * (500.0 + offset));
       const Timestamp t = 60'000 * prng.UniformInt(1, 38);
       const double tv = field.Value(p, t);
-      err += std::abs(idw.Estimate(p, t).value_or(tv) - tv);
+      const auto est = idw.Estimate(p, t);
+      if (!est.ok()) continue;
+      err += std::abs(est.value() - tv);
+      ++used;
     }
-    table2.AddRow({bench::FInt(offset), bench::F2(err / probes)});
+    SIDQ_CHECK(used > 0) << "no usable probes at offset " << offset;
+    if (used < probes) {
+      SIDQ_WARN() << "skipped " << (probes - used) << "/" << probes
+                  << " probes without coverage at offset " << offset;
+    }
+    table2.AddRow({bench::FInt(offset), bench::F2(err / used)});
   }
   table2.Print();
 
@@ -109,16 +133,27 @@ int Run() {
     const auto ct =
         uncertainty::CoTrainingEstimator().Run(labeled, queries).value();
     double idw_err = 0.0, ct_err = 0.0, pseudo = 0.0;
+    size_t compared = 0;
     for (size_t i = 0; i < queries.size(); ++i) {
-      idw_err += std::abs(
-          idw_only.Estimate(queries[i].p, queries[i].t).value_or(0.0) -
-          truth_vals[i]);
-      ct_err += std::abs(ct[i].value - truth_vals[i]);
       pseudo += ct[i].pseudo_labeled ? 1.0 : 0.0;
+      // Compare the two estimators only on queries both can answer; a
+      // failed IDW estimate must not silently count as a 0.0 estimate.
+      const auto est = idw_only.Estimate(queries[i].p, queries[i].t);
+      if (!est.ok()) continue;
+      idw_err += std::abs(est.value() - truth_vals[i]);
+      ct_err += std::abs(ct[i].value - truth_vals[i]);
+      ++compared;
+    }
+    SIDQ_CHECK(compared > 0) << "no comparable queries at " << sensors
+                             << " sensors";
+    if (compared < queries.size()) {
+      SIDQ_WARN() << "skipped " << (queries.size() - compared) << "/"
+                  << queries.size() << " queries IDW could not answer at "
+                  << sensors << " sensors";
     }
     tablec.AddRow({std::to_string(sensors),
-                   bench::F2(idw_err / queries.size()),
-                   bench::F2(ct_err / queries.size()),
+                   bench::F2(idw_err / compared),
+                   bench::F2(ct_err / compared),
                    bench::F3(pseudo / queries.size())});
   }
   tablec.Print();

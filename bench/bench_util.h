@@ -1,5 +1,4 @@
-#ifndef SIDQ_BENCH_BENCH_UTIL_H_
-#define SIDQ_BENCH_BENCH_UTIL_H_
+#pragma once
 
 // Shared table-printing helpers for the experiment harness. Every bench
 // binary regenerates one experiment from DESIGN.md and prints it as a
@@ -69,5 +68,3 @@ inline void Banner(const char* experiment, const char* title,
 
 }  // namespace bench
 }  // namespace sidq
-
-#endif  // SIDQ_BENCH_BENCH_UTIL_H_

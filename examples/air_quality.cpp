@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "core/logging.h"
 #include "core/random.h"
 #include "fault/value_repair.h"
 #include "integrate/attachment.h"
@@ -70,15 +71,25 @@ int main() {
   uncertainty::IdwInterpolator idw(&cleaned);
   double interp_err = 0.0;
   const int kProbes = 300;
+  int answered = 0;
   for (int i = 0; i < kProbes; ++i) {
     const geometry::Point p(rng.Uniform(200, 3800), rng.Uniform(200, 3800));
     const Timestamp t = 60'000 * rng.UniformInt(1, 58);
-    interp_err += std::abs(idw.Estimate(p, t).value_or(0.0) -
-                           field.Value(p, t));
+    // A probe without coverage must be reported, not counted as a 0.0
+    // reading (that would corrupt the mean-error stat).
+    const auto est = idw.Estimate(p, t);
+    if (!est.ok()) continue;
+    interp_err += std::abs(est.value() - field.Value(p, t));
+    ++answered;
+  }
+  SIDQ_CHECK(answered > 0) << "IDW answered none of the probes";
+  if (answered < kProbes) {
+    SIDQ_WARN() << "IDW could not answer " << (kProbes - answered) << "/"
+                << kProbes << " probes";
   }
   std::printf("spatiotemporal interpolation (IDW)\n");
-  std::printf("  mean error at %d unsampled probes: %.2f\n\n", kProbes,
-              interp_err / kProbes);
+  std::printf("  mean error at %d answered probes (of %d): %.2f\n\n",
+              answered, kProbes, interp_err / answered);
 
   // 3. Fusion with a mobile second source (e.g. bus-mounted sensors).
   const auto mobile_sensors = sim::DeploySensors(city, 40, &rng);
@@ -114,10 +125,12 @@ int main() {
   auto enriched = integrate::AttachStid(commute, idw);
   auto exposure = integrate::MeanAttachedValue(
       enriched.value(), commute.front().t, commute.back().t);
+  SIDQ_CHECK(exposure.ok()) << "exposure computation failed: "
+                            << exposure.status();
   std::printf("commuter exposure\n");
   std::printf("  %zu trajectory points, %.0f%% attached, mean PM2.5 along "
               "route: %.1f\n",
               commute.size(), 100.0 * enriched->AttachmentRate(),
-              exposure.value_or(-1.0));
+              exposure.value());
   return 0;
 }

@@ -1,10 +1,39 @@
 #!/usr/bin/env bash
-# Builds everything, runs the full test suite, regenerates every experiment
-# table, and runs the examples. Mirrors EXPERIMENTS.md's provenance.
+# Builds everything, runs the full test suite (incl. sidq-lint and the
+# nodiscard compile probe), regenerates every experiment table, and runs the
+# examples. Mirrors EXPERIMENTS.md's provenance.
+#
+# A failing binary fails the whole run, loudly and by name: a bench that
+# dies halfway must never be mistaken for one that was merely skipped (the
+# same silent-drop failure mode sidq exists to prevent in sensor data).
 set -euo pipefail
+shopt -s nullglob
 cd "$(dirname "$0")/.."
+
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
-for b in build/bench/*; do "$b"; done
-for e in build/examples/*; do "$e"; done
+
+# Runs every executable in a directory; aborts naming the first failure.
+run_dir() {
+  local dir="$1" ran=0
+  for bin in "$dir"/*; do
+    [[ -f "$bin" && -x "$bin" ]] || continue  # skip CMake droppings
+    echo "== running ${bin} =="
+    local rc=0
+    "$bin" || rc=$?
+    if [[ "$rc" -ne 0 ]]; then
+      echo "FAILED: ${bin} (exit ${rc})" >&2
+      exit 1
+    fi
+    ran=$((ran + 1))
+  done
+  if [[ "$ran" -eq 0 ]]; then
+    echo "FAILED: no executables found in ${dir}" >&2
+    exit 1
+  fi
+}
+
+run_dir build/bench
+run_dir build/examples
+echo "run_all: OK"

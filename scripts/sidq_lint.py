@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""sidq-lint: repo-specific invariants the compiler cannot enforce.
+
+Rules
+-----
+  R1 ignored-status      `(void)` cast of a call expression needs an
+                         explicit `// sidq: ignore-status(<reason>)`
+                         annotation on the same or the preceding line.
+                         A swallowed Status is indistinguishable from
+                         success; the annotation forces a written reason.
+  R2 banned-rand         `rand()` / `srand()` are banned; use the seeded,
+                         reproducible `sidq::Rng` from src/core/random.h.
+  R3 using-namespace     `using namespace` in a header leaks into every
+                         includer; banned in *.h.
+  R4 pragma-once         every header starts with `#pragma once` as its
+                         first non-comment line.
+  R5 naked-new-delete    `new` / `delete` outside index internals; use
+                         std::make_unique / containers. Index node pools
+                         (src/index/) are the one sanctioned exception.
+
+Usage: scripts/sidq_lint.py [--root DIR] [paths...]
+Exits 0 when the tree is clean, 1 with findings on stderr otherwise.
+
+Registered as the tier-1 `sidq_lint` ctest; CI runs it on every PR.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+EXTENSIONS = {".h", ".cc", ".cpp"}
+
+IGNORE_STATUS_RE = re.compile(r"//\s*sidq:\s*ignore-status\([^)]+\)")
+VOID_CAST_CALL_RE = re.compile(r"\(void\)\s*[\w:\->.\[\]]+\s*\(")
+RAND_RE = re.compile(r"\b(?:srand|rand)\s*\(")
+USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (ptr) T` placement incl.
+DELETE_RE = re.compile(r"\bdelete(\[\])?\b")
+
+# Files allowed to use naked new/delete: index node pools and arenas.
+NAKED_NEW_ALLOWED = re.compile(r"(^|/)src/index/|arena")
+
+
+def strip_comments_and_strings(text: str):
+    """Returns text with comments and string/char literals blanked out
+    (newlines kept), plus the original lines for annotation lookups."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            seg = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    break
+                j += 1
+            out.append(quote + " " * (j - i - 1) + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def lint_file(path: Path, rel: str):
+    findings = []
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    code_lines = strip_comments_and_strings(raw).splitlines()
+    is_header = path.suffix == ".h"
+
+    # R4: #pragma once first non-comment line of every header.
+    if is_header:
+        first_code = next((ln.strip() for ln in code_lines if ln.strip()), "")
+        if first_code != "#pragma once":
+            findings.append((1, "R4", "header must start with '#pragma once'"))
+
+    for idx, code in enumerate(code_lines):
+        lineno = idx + 1
+        raw_line = raw_lines[idx] if idx < len(raw_lines) else ""
+        prev_raw = raw_lines[idx - 1] if idx > 0 else ""
+
+        # R1: (void)-cast of a call expression without an annotation.
+        if VOID_CAST_CALL_RE.search(code):
+            annotated = IGNORE_STATUS_RE.search(raw_line) or IGNORE_STATUS_RE.search(prev_raw)
+            if not annotated:
+                findings.append(
+                    (lineno, "R1",
+                     "discarded call result via (void) cast without "
+                     "'// sidq: ignore-status(<reason>)' annotation"))
+
+        # R2: rand()/srand() banned outside the Rng implementation.
+        if rel != "src/core/random.h" and RAND_RE.search(code):
+            findings.append(
+                (lineno, "R2",
+                 "rand()/srand() banned; use sidq::Rng (src/core/random.h)"))
+
+        # R3: using namespace in a header.
+        if is_header and USING_NAMESPACE_RE.search(code):
+            findings.append(
+                (lineno, "R3", "'using namespace' is banned in headers"))
+
+        # R5: naked new/delete outside index internals.
+        if not NAKED_NEW_ALLOWED.search(rel):
+            if NEW_RE.search(code) or DELETE_RE.search(
+                    re.sub(r"=\s*delete", "", code)):
+                findings.append(
+                    (lineno, "R5",
+                     "naked new/delete outside src/index/; use "
+                     "std::make_unique or a container"))
+
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("paths", nargs="*",
+                        help="files to lint (default: whole tree)")
+    args = parser.parse_args()
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    if args.paths:
+        files = [Path(p).resolve() for p in args.paths]
+    else:
+        files = []
+        for d in SCAN_DIRS:
+            base = root / d
+            if base.is_dir():
+                files.extend(p for p in sorted(base.rglob("*"))
+                             if p.suffix in EXTENSIONS)
+
+    total = 0
+    for f in files:
+        if not f.is_file():
+            print(f"sidq-lint: no such file: {f}", file=sys.stderr)
+            return 2
+        try:
+            rel = str(f.relative_to(root))
+        except ValueError:
+            rel = str(f)
+        for lineno, rule, msg in lint_file(f, rel):
+            print(f"{rel}:{lineno}: [{rule}] {msg}", file=sys.stderr)
+            total += 1
+
+    if total:
+        print(f"sidq-lint: {total} finding(s) in {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"sidq-lint: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,4 @@
-#ifndef SIDQ_ANALYTICS_BURST_H_
-#define SIDQ_ANALYTICS_BURST_H_
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -81,5 +80,3 @@ class BurstDetector {
 
 }  // namespace analytics
 }  // namespace sidq
-
-#endif  // SIDQ_ANALYTICS_BURST_H_

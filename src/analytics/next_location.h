@@ -1,5 +1,4 @@
-#ifndef SIDQ_ANALYTICS_NEXT_LOCATION_H_
-#define SIDQ_ANALYTICS_NEXT_LOCATION_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -39,7 +38,7 @@ class NextCellPredictor {
 
   // Predicted centre of the next cell given the recent cell history (the
   // trajectory's trailing points); NotFound when no context matches.
-  StatusOr<geometry::Point> PredictNext(const Trajectory& recent) const;
+  [[nodiscard]] StatusOr<geometry::Point> PredictNext(const Trajectory& recent) const;
 
   // Fraction of correct next-cell predictions over held-out trajectories
   // (each prefix of length >= 2 predicts its successor).
@@ -59,5 +58,3 @@ class NextCellPredictor {
 
 }  // namespace analytics
 }  // namespace sidq
-
-#endif  // SIDQ_ANALYTICS_NEXT_LOCATION_H_

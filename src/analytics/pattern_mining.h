@@ -1,5 +1,4 @@
-#ifndef SIDQ_ANALYTICS_PATTERN_MINING_H_
-#define SIDQ_ANALYTICS_PATTERN_MINING_H_
+#pragma once
 
 #include <vector>
 
@@ -57,5 +56,3 @@ UncertainSequence FromSymbolic(const SymbolicTrajectory& trajectory,
 
 }  // namespace analytics
 }  // namespace sidq
-
-#endif  // SIDQ_ANALYTICS_PATTERN_MINING_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_ANALYTICS_POPULAR_ROUTE_H_
-#define SIDQ_ANALYTICS_POPULAR_ROUTE_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -38,7 +37,7 @@ class PopularRouteFinder {
 
   // Most popular route between the cells containing `from` and `to`;
   // NotFound when they are not connected in the transfer network.
-  StatusOr<Route> FindRoute(const geometry::Point& from,
+  [[nodiscard]] StatusOr<Route> FindRoute(const geometry::Point& from,
                             const geometry::Point& to) const;
 
   size_t num_cells() const { return out_edges_.size(); }
@@ -55,5 +54,3 @@ class PopularRouteFinder {
 
 }  // namespace analytics
 }  // namespace sidq
-
-#endif  // SIDQ_ANALYTICS_POPULAR_ROUTE_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_ANALYTICS_STREAM_ANOMALY_H_
-#define SIDQ_ANALYTICS_STREAM_ANOMALY_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -66,5 +65,3 @@ class StreamAnomalyDetector {
 
 }  // namespace analytics
 }  // namespace sidq
-
-#endif  // SIDQ_ANALYTICS_STREAM_ANOMALY_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_ANALYTICS_UNCERTAIN_CLUSTERING_H_
-#define SIDQ_ANALYTICS_UNCERTAIN_CLUSTERING_H_
+#pragma once
 
 #include <vector>
 
@@ -42,5 +41,3 @@ double AdjustedRandIndex(const std::vector<int>& a, const std::vector<int>& b);
 
 }  // namespace analytics
 }  // namespace sidq
-
-#endif  // SIDQ_ANALYTICS_UNCERTAIN_CLUSTERING_H_

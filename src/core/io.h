@@ -1,5 +1,4 @@
-#ifndef SIDQ_CORE_IO_H_
-#define SIDQ_CORE_IO_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -20,27 +19,25 @@ namespace sidq {
 // A single header line is written/expected; extra columns are rejected.
 
 // Writes trajectories (may be multiple objects) as CSV.
-Status WriteTrajectoriesCsv(const std::vector<Trajectory>& trajectories,
+[[nodiscard]] Status WriteTrajectoriesCsv(const std::vector<Trajectory>& trajectories,
                             std::ostream& out);
-Status WriteTrajectoriesCsvFile(const std::vector<Trajectory>& trajectories,
+[[nodiscard]] Status WriteTrajectoriesCsvFile(const std::vector<Trajectory>& trajectories,
                                 const std::string& path);
 
 // Reads trajectories grouped by object_id (each sorted by time).
-StatusOr<std::vector<Trajectory>> ReadTrajectoriesCsv(std::istream& in);
-StatusOr<std::vector<Trajectory>> ReadTrajectoriesCsvFile(
+[[nodiscard]] StatusOr<std::vector<Trajectory>> ReadTrajectoriesCsv(std::istream& in);
+[[nodiscard]] StatusOr<std::vector<Trajectory>> ReadTrajectoriesCsvFile(
     const std::string& path);
 
 // Writes an STID dataset as CSV.
-Status WriteStidCsv(const StDataset& dataset, std::ostream& out);
-Status WriteStidCsvFile(const StDataset& dataset, const std::string& path);
+[[nodiscard]] Status WriteStidCsv(const StDataset& dataset, std::ostream& out);
+[[nodiscard]] Status WriteStidCsvFile(const StDataset& dataset, const std::string& path);
 
 // Reads an STID dataset; the field name is supplied by the caller (CSV
 // stores no metadata). Sensor locations are taken from each sensor's first
 // record.
-StatusOr<StDataset> ReadStidCsv(std::istream& in, std::string field_name);
-StatusOr<StDataset> ReadStidCsvFile(const std::string& path,
+[[nodiscard]] StatusOr<StDataset> ReadStidCsv(std::istream& in, std::string field_name);
+[[nodiscard]] StatusOr<StDataset> ReadStidCsvFile(const std::string& path,
                                     std::string field_name);
 
 }  // namespace sidq
-
-#endif  // SIDQ_CORE_IO_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_CORE_LOGGING_H_
-#define SIDQ_CORE_LOGGING_H_
+#pragma once
 
 #include <cstdlib>
 #include <iostream>
@@ -31,6 +30,20 @@ struct Voidify {
   void operator&(std::ostream&) {}
 };
 
+// Accumulates a non-fatal message and flushes it to stderr when destroyed.
+// Used only via SIDQ_WARN below.
+class WarnLogMessage {
+ public:
+  WarnLogMessage(const char* file, int line) {
+    stream_ << file << ":" << line << " WARNING: ";
+  }
+  ~WarnLogMessage() { std::cerr << stream_.str() << std::endl; }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
 }  // namespace internal_logging
 }  // namespace sidq
 
@@ -44,6 +57,11 @@ struct Voidify {
                         __FILE__, __LINE__, #condition)         \
                         .stream()
 
+// Non-fatal diagnostic to stderr, for recoverable anomalies that must not be
+// silent (e.g. a probe with no sensor coverage that a stat loop skips).
+#define SIDQ_WARN()                                          \
+  ::sidq::internal_logging::WarnLogMessage(__FILE__, __LINE__).stream()
+
 #define SIDQ_CHECK_OK(expr)                    \
   do {                                         \
     const ::sidq::Status& _s = (expr);         \
@@ -56,5 +74,3 @@ struct Voidify {
 #else
 #define SIDQ_DCHECK(condition) SIDQ_CHECK(condition)
 #endif
-
-#endif  // SIDQ_CORE_LOGGING_H_

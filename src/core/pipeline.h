@@ -1,5 +1,4 @@
-#ifndef SIDQ_CORE_PIPELINE_H_
-#define SIDQ_CORE_PIPELINE_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -31,7 +30,7 @@ class LambdaStage : public TrajectoryStage {
       : name_(std::move(name)), fn_(std::move(fn)) {}
 
   std::string name() const override { return name_; }
-  StatusOr<Trajectory> Apply(const Trajectory& input) const override {
+  [[nodiscard]] StatusOr<Trajectory> Apply(const Trajectory& input) const override {
     return fn_(input);
   }
 
@@ -66,12 +65,12 @@ class TrajectoryPipeline {
   const TrajectoryStage& stage(size_t i) const { return *stages_[i]; }
 
   // Runs all stages in order. Fails fast on the first stage error.
-  StatusOr<Trajectory> Run(const Trajectory& input) const;
+  [[nodiscard]] StatusOr<Trajectory> Run(const Trajectory& input) const;
 
   // Runs all stages, profiling the data before the first stage and after
   // every stage against `truth` (may be nullptr). `reports` receives
   // num_stages()+1 entries, the first named "input".
-  StatusOr<Trajectory> RunProfiled(const Trajectory& input,
+  [[nodiscard]] StatusOr<Trajectory> RunProfiled(const Trajectory& input,
                                    const Trajectory* truth,
                                    const TrajectoryProfiler& profiler,
                                    std::vector<StageReport>* reports) const;
@@ -81,5 +80,3 @@ class TrajectoryPipeline {
 };
 
 }  // namespace sidq
-
-#endif  // SIDQ_CORE_PIPELINE_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_CORE_QUALITY_H_
-#define SIDQ_CORE_QUALITY_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -49,11 +48,11 @@ bool MetricLargerIsWorse(DqDimension d);
 class DqReport {
  public:
   void Set(DqDimension d, double value) { metrics_[d] = value; }
-  bool Has(DqDimension d) const { return metrics_.count(d) > 0; }
-  double Get(DqDimension d) const;
+  [[nodiscard]] bool Has(DqDimension d) const { return metrics_.count(d) > 0; }
+  [[nodiscard]] double Get(DqDimension d) const;
   const std::map<DqDimension, double>& metrics() const { return metrics_; }
 
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   std::map<DqDimension, double> metrics_;
@@ -134,5 +133,3 @@ class StidProfiler {
 };
 
 }  // namespace sidq
-
-#endif  // SIDQ_CORE_QUALITY_H_

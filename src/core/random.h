@@ -1,5 +1,4 @@
-#ifndef SIDQ_CORE_RANDOM_H_
-#define SIDQ_CORE_RANDOM_H_
+#pragma once
 
 #include <cstdint>
 #include <random>
@@ -59,5 +58,3 @@ class Rng {
 };
 
 }  // namespace sidq
-
-#endif  // SIDQ_CORE_RANDOM_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_CORE_STATUS_H_
-#define SIDQ_CORE_STATUS_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -27,8 +26,12 @@ enum class StatusCode : int {
 const char* StatusCodeToString(StatusCode code);
 
 // A Status holds an error code plus a human-readable message. The OK status
-// carries no message and is cheap to copy.
-class Status {
+// carries no message and is cheap to copy. The class itself is [[nodiscard]]:
+// any call expression returning a Status by value must be consumed, so a
+// failed cleaning/repair step can never be silently mistaken for success.
+// Intentional discards require `(void)` plus a `// sidq: ignore-status(...)`
+// annotation (enforced by scripts/sidq_lint.py).
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -69,12 +72,12 @@ class Status {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   // "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
@@ -97,5 +100,3 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
     ::sidq::Status _st = (expr);               \
     if (!_st.ok()) return _st;                 \
   } while (0)
-
-#endif  // SIDQ_CORE_STATUS_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_CORE_STATUSOR_H_
-#define SIDQ_CORE_STATUSOR_H_
+#pragma once
 
 #include <cstdlib>
 #include <optional>
@@ -14,7 +13,7 @@ namespace sidq {
 // is absent. Accessing the value of a non-OK StatusOr aborts the process,
 // mirroring absl::StatusOr semantics.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Implicit conversions from Status/T are intentional: they let functions
   // `return Status::Invalid(...)` or `return value;` directly.
@@ -30,18 +29,18 @@ class StatusOr {
   StatusOr(StatusOr&&) = default;
   StatusOr& operator=(StatusOr&&) = default;
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     SIDQ_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
     return *value_;
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     SIDQ_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
     return *value_;
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     SIDQ_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
     return std::move(*value_);
   }
@@ -52,7 +51,7 @@ class StatusOr {
   T* operator->() { return &value(); }
 
   // Returns the contained value or `fallback` when in the error state.
-  T value_or(T fallback) const {
+  [[nodiscard]] T value_or(T fallback) const {
     if (ok()) return *value_;
     return fallback;
   }
@@ -77,5 +76,3 @@ class StatusOr {
 
 #define SIDQ_STATUS_MACROS_CONCAT_(x, y) SIDQ_STATUS_MACROS_CONCAT_IMPL_(x, y)
 #define SIDQ_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
-
-#endif  // SIDQ_CORE_STATUSOR_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_CORE_STID_H_
-#define SIDQ_CORE_STID_H_
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -42,20 +41,20 @@ class StSeries {
 
   const std::vector<StRecord>& records() const { return records_; }
   std::vector<StRecord>& mutable_records() { return records_; }
-  size_t size() const { return records_.size(); }
-  bool empty() const { return records_.empty(); }
+  [[nodiscard]] size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
   const StRecord& operator[](size_t i) const { return records_[i]; }
 
   // Appends a measurement taken at this sensor's location; fails on
   // decreasing timestamps.
-  Status Append(Timestamp t, double value, double stddev = -1.0);
+  [[nodiscard]] Status Append(Timestamp t, double value, double stddev = -1.0);
   void SortByTime();
 
   // Values as a contiguous vector (for coders and predictors).
-  std::vector<double> Values() const;
+  [[nodiscard]] std::vector<double> Values() const;
 
   // Value linearly interpolated at time t; fails outside the series span.
-  StatusOr<double> InterpolateAt(Timestamp t) const;
+  [[nodiscard]] StatusOr<double> InterpolateAt(Timestamp t) const;
 
  private:
   SensorId sensor_ = kInvalidSensorId;
@@ -73,16 +72,16 @@ class StDataset {
   const std::string& field_name() const { return field_name_; }
   const std::vector<StSeries>& series() const { return series_; }
   std::vector<StSeries>& mutable_series() { return series_; }
-  size_t num_sensors() const { return series_.size(); }
+  [[nodiscard]] size_t num_sensors() const { return series_.size(); }
 
   void AddSeries(StSeries s) { series_.push_back(std::move(s)); }
   // Series for `sensor`, or NotFound.
-  StatusOr<const StSeries*> FindSeries(SensorId sensor) const;
+  [[nodiscard]] StatusOr<const StSeries*> FindSeries(SensorId sensor) const;
 
   // All records across sensors, unordered.
-  std::vector<StRecord> AllRecords() const;
-  size_t TotalRecords() const;
-  geometry::BBox SpatialBounds() const;
+  [[nodiscard]] std::vector<StRecord> AllRecords() const;
+  [[nodiscard]] size_t TotalRecords() const;
+  [[nodiscard]] geometry::BBox SpatialBounds() const;
 
  private:
   std::string field_name_;
@@ -90,5 +89,3 @@ class StDataset {
 };
 
 }  // namespace sidq
-
-#endif  // SIDQ_CORE_STID_H_

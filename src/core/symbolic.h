@@ -1,5 +1,4 @@
-#ifndef SIDQ_CORE_SYMBOLIC_H_
-#define SIDQ_CORE_SYMBOLIC_H_
+#pragma once
 
 #include <algorithm>
 #include <vector>
@@ -34,8 +33,8 @@ class SymbolicTrajectory {
   ObjectId object() const { return object_; }
   const std::vector<SymbolicReading>& readings() const { return readings_; }
   std::vector<SymbolicReading>& mutable_readings() { return readings_; }
-  size_t size() const { return readings_.size(); }
-  bool empty() const { return readings_.empty(); }
+  [[nodiscard]] size_t size() const { return readings_.size(); }
+  [[nodiscard]] bool empty() const { return readings_.empty(); }
   const SymbolicReading& operator[](size_t i) const { return readings_[i]; }
 
   void Append(RegionId region, Timestamp t) {
@@ -53,7 +52,7 @@ class SymbolicTrajectory {
   SymbolicTrajectory Deduplicated() const;
 
   // The region sequence with consecutive duplicates collapsed.
-  std::vector<RegionId> RegionSequence() const;
+  [[nodiscard]] std::vector<RegionId> RegionSequence() const;
 
  private:
   ObjectId object_ = kInvalidObjectId;
@@ -79,5 +78,3 @@ inline std::vector<RegionId> SymbolicTrajectory::RegionSequence() const {
 }
 
 }  // namespace sidq
-
-#endif  // SIDQ_CORE_SYMBOLIC_H_

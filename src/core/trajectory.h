@@ -1,5 +1,4 @@
-#ifndef SIDQ_CORE_TRAJECTORY_H_
-#define SIDQ_CORE_TRAJECTORY_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -38,38 +37,38 @@ class Trajectory {
 
   const std::vector<TrajectoryPoint>& points() const { return points_; }
   std::vector<TrajectoryPoint>& mutable_points() { return points_; }
-  size_t size() const { return points_.size(); }
-  bool empty() const { return points_.empty(); }
+  [[nodiscard]] size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
   const TrajectoryPoint& operator[](size_t i) const { return points_[i]; }
   const TrajectoryPoint& front() const { return points_.front(); }
   const TrajectoryPoint& back() const { return points_.back(); }
 
   // Appends a sample; fails if its timestamp precedes the current last one.
-  Status Append(const TrajectoryPoint& pt);
+  [[nodiscard]] Status Append(const TrajectoryPoint& pt);
   // Appends without ordering checks (raw IoT ingestion); call SortByTime()
   // before using time-ordered algorithms.
   void AppendUnordered(const TrajectoryPoint& pt) { points_.push_back(pt); }
   // Stable-sorts samples by timestamp.
   void SortByTime();
   // True when timestamps are non-decreasing.
-  bool IsTimeOrdered() const;
+  [[nodiscard]] bool IsTimeOrdered() const;
 
   // Total elapsed time in ms (0 for <2 points).
-  Timestamp Duration() const;
+  [[nodiscard]] Timestamp Duration() const;
   // Total path length in metres.
-  double Length() const;
+  [[nodiscard]] double Length() const;
   // Mean sampling interval in seconds (0 for <2 points).
-  double MeanSamplingIntervalSeconds() const;
+  [[nodiscard]] double MeanSamplingIntervalSeconds() const;
   // Speed of segment ending at index i (metres/second); 0 for i==0 or
   // zero-duration segments.
-  double SpeedAt(size_t i) const;
-  geometry::BBox Bounds() const;
+  [[nodiscard]] double SpeedAt(size_t i) const;
+  [[nodiscard]] geometry::BBox Bounds() const;
 
   // Location linearly interpolated at time t; fails when the trajectory is
   // empty or t is outside [front().t, back().t].
-  StatusOr<geometry::Point> InterpolateAt(Timestamp t) const;
+  [[nodiscard]] StatusOr<geometry::Point> InterpolateAt(Timestamp t) const;
   // Index of the sample whose timestamp is closest to t; fails when empty.
-  StatusOr<size_t> NearestIndexByTime(Timestamp t) const;
+  [[nodiscard]] StatusOr<size_t> NearestIndexByTime(Timestamp t) const;
 
   // Sub-trajectory of samples with t in [t_begin, t_end].
   Trajectory Slice(Timestamp t_begin, Timestamp t_end) const;
@@ -88,10 +87,8 @@ std::vector<Trajectory> SplitByGap(const Trajectory& input,
 
 // Root-mean-square distance between matching samples of two equally-sized
 // trajectories; the standard accuracy metric against ground truth.
-StatusOr<double> RmseBetween(const Trajectory& a, const Trajectory& b);
+[[nodiscard]] StatusOr<double> RmseBetween(const Trajectory& a, const Trajectory& b);
 // Mean distance between matching samples of two equally-sized trajectories.
-StatusOr<double> MeanErrorBetween(const Trajectory& a, const Trajectory& b);
+[[nodiscard]] StatusOr<double> MeanErrorBetween(const Trajectory& a, const Trajectory& b);
 
 }  // namespace sidq
-
-#endif  // SIDQ_CORE_TRAJECTORY_H_

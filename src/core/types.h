@@ -1,5 +1,4 @@
-#ifndef SIDQ_CORE_TYPES_H_
-#define SIDQ_CORE_TYPES_H_
+#pragma once
 
 #include <cstdint>
 #include <limits>
@@ -40,5 +39,3 @@ inline constexpr double TimestampToSeconds(Timestamp t) {
 }
 
 }  // namespace sidq
-
-#endif  // SIDQ_CORE_TYPES_H_

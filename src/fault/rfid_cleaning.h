@@ -1,5 +1,4 @@
-#ifndef SIDQ_FAULT_RFID_CLEANING_H_
-#define SIDQ_FAULT_RFID_CLEANING_H_
+#pragma once
 
 #include <vector>
 
@@ -36,7 +35,7 @@ class SmoothingWindowCleaner {
   explicit SmoothingWindowCleaner(Options options) : options_(options) {}
   SmoothingWindowCleaner() : SmoothingWindowCleaner(Options{}) {}
 
-  StatusOr<SymbolicTrajectory> Clean(const SymbolicTrajectory& dirty) const;
+  [[nodiscard]] StatusOr<SymbolicTrajectory> Clean(const SymbolicTrajectory& dirty) const;
 
  private:
   Options options_;
@@ -57,7 +56,7 @@ class ConstraintCleaner {
   explicit ConstraintCleaner(const sim::RfidDeployment* deployment)
       : ConstraintCleaner(deployment, Options{}) {}
 
-  StatusOr<SymbolicTrajectory> Clean(const SymbolicTrajectory& dirty) const;
+  [[nodiscard]] StatusOr<SymbolicTrajectory> Clean(const SymbolicTrajectory& dirty) const;
 
  private:
   const sim::RfidDeployment* deployment_;
@@ -82,7 +81,7 @@ class HmmCleaner {
   explicit HmmCleaner(const sim::RfidDeployment* deployment)
       : HmmCleaner(deployment, Options{}) {}
 
-  StatusOr<SymbolicTrajectory> Clean(const SymbolicTrajectory& dirty) const;
+  [[nodiscard]] StatusOr<SymbolicTrajectory> Clean(const SymbolicTrajectory& dirty) const;
 
  private:
   const sim::RfidDeployment* deployment_;
@@ -96,5 +95,3 @@ double TickAccuracy(const SymbolicTrajectory& repaired,
 
 }  // namespace fault
 }  // namespace sidq
-
-#endif  // SIDQ_FAULT_RFID_CLEANING_H_

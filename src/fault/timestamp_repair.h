@@ -1,5 +1,4 @@
-#ifndef SIDQ_FAULT_TIMESTAMP_REPAIR_H_
-#define SIDQ_FAULT_TIMESTAMP_REPAIR_H_
+#pragma once
 
 #include <vector>
 
@@ -18,14 +17,12 @@ namespace fault {
 // regression via the pool-adjacent-violators algorithm (PAVA). When
 // min_gap_ms > 0 the repaired sequence additionally satisfies
 // t[i+1] >= t[i] + min_gap_ms (solved by PAVA on t[i] - i*min_gap).
-StatusOr<std::vector<Timestamp>> RepairTimestamps(
+[[nodiscard]] StatusOr<std::vector<Timestamp>> RepairTimestamps(
     const std::vector<Timestamp>& observed, Timestamp min_gap_ms = 0);
 
 // Applies RepairTimestamps to a trajectory's timestamps in record order.
-StatusOr<Trajectory> RepairTrajectoryTimestamps(const Trajectory& input,
+[[nodiscard]] StatusOr<Trajectory> RepairTrajectoryTimestamps(const Trajectory& input,
                                                 Timestamp min_gap_ms = 0);
 
 }  // namespace fault
 }  // namespace sidq
-
-#endif  // SIDQ_FAULT_TIMESTAMP_REPAIR_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_FAULT_VALUE_REPAIR_H_
-#define SIDQ_FAULT_VALUE_REPAIR_H_
+#pragma once
 
 #include <vector>
 
@@ -32,7 +31,7 @@ class ConsensusValueRepairer {
 
   // Repairs values in place across the dataset; returns the repaired copy
   // and (optionally) per-series repair flags.
-  StatusOr<StDataset> Repair(
+  [[nodiscard]] StatusOr<StDataset> Repair(
       const StDataset& dirty,
       std::vector<std::vector<bool>>* repaired_flags = nullptr) const;
 
@@ -55,7 +54,7 @@ class DriftCorrector {
   explicit DriftCorrector(Options options) : options_(options) {}
   DriftCorrector() : DriftCorrector(Options{}) {}
 
-  StatusOr<StDataset> Repair(const StDataset& dirty,
+  [[nodiscard]] StatusOr<StDataset> Repair(const StDataset& dirty,
                              std::vector<bool>* corrected = nullptr) const;
 
  private:
@@ -64,5 +63,3 @@ class DriftCorrector {
 
 }  // namespace fault
 }  // namespace sidq
-
-#endif  // SIDQ_FAULT_VALUE_REPAIR_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_GEOMETRY_BBOX_H_
-#define SIDQ_GEOMETRY_BBOX_H_
+#pragma once
 
 #include <algorithm>
 #include <limits>
@@ -26,7 +25,7 @@ struct BBox {
         max_x(std::max(a.x, b.x)),
         max_y(std::max(a.y, b.y)) {}
 
-  bool Empty() const { return min_x > max_x || min_y > max_y; }
+  [[nodiscard]] bool Empty() const { return min_x > max_x || min_y > max_y; }
 
   void Extend(const Point& p) {
     min_x = std::min(min_x, p.x);
@@ -41,40 +40,40 @@ struct BBox {
     max_y = std::max(max_y, o.max_y);
   }
   // Grows the box by `margin` on every side.
-  BBox Expanded(double margin) const {
+  [[nodiscard]] BBox Expanded(double margin) const {
     return BBox(min_x - margin, min_y - margin, max_x + margin,
                 max_y + margin);
   }
 
-  bool Contains(const Point& p) const {
+  [[nodiscard]] bool Contains(const Point& p) const {
     return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
   }
-  bool Intersects(const BBox& o) const {
+  [[nodiscard]] bool Intersects(const BBox& o) const {
     return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
            o.min_y <= max_y;
   }
-  bool Contains(const BBox& o) const {
+  [[nodiscard]] bool Contains(const BBox& o) const {
     return min_x <= o.min_x && o.max_x <= max_x && min_y <= o.min_y &&
            o.max_y <= max_y;
   }
 
-  double Width() const { return Empty() ? 0.0 : max_x - min_x; }
-  double Height() const { return Empty() ? 0.0 : max_y - min_y; }
-  double Area() const { return Width() * Height(); }
+  [[nodiscard]] double Width() const { return Empty() ? 0.0 : max_x - min_x; }
+  [[nodiscard]] double Height() const { return Empty() ? 0.0 : max_y - min_y; }
+  [[nodiscard]] double Area() const { return Width() * Height(); }
   // Half-perimeter; the standard R-tree enlargement metric component.
-  double Margin() const { return Width() + Height(); }
-  Point Center() const {
+  [[nodiscard]] double Margin() const { return Width() + Height(); }
+  [[nodiscard]] Point Center() const {
     return Point((min_x + max_x) / 2.0, (min_y + max_y) / 2.0);
   }
 
   // Minimum distance from `p` to this box (0 when inside).
-  double MinDistance(const Point& p) const {
+  [[nodiscard]] double MinDistance(const Point& p) const {
     double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
     double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
     return std::sqrt(dx * dx + dy * dy);
   }
   // Maximum distance from `p` to any point of this box.
-  double MaxDistance(const Point& p) const {
+  [[nodiscard]] double MaxDistance(const Point& p) const {
     double dx = std::max(std::abs(p.x - min_x), std::abs(p.x - max_x));
     double dy = std::max(std::abs(p.y - min_y), std::abs(p.y - max_y));
     return std::sqrt(dx * dx + dy * dy);
@@ -83,5 +82,3 @@ struct BBox {
 
 }  // namespace geometry
 }  // namespace sidq
-
-#endif  // SIDQ_GEOMETRY_BBOX_H_

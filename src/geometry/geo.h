@@ -1,5 +1,4 @@
-#ifndef SIDQ_GEOMETRY_GEO_H_
-#define SIDQ_GEOMETRY_GEO_H_
+#pragma once
 
 #include "geometry/point.h"
 
@@ -36,7 +35,7 @@ class LocalProjection {
 
   // Projects a geographic coordinate to planar metres (east = +x,
   // north = +y) relative to the origin.
-  Point Forward(const LatLon& g) const;
+  [[nodiscard]] Point Forward(const LatLon& g) const;
   // Inverse projection back to geographic coordinates.
   LatLon Backward(const Point& p) const;
 
@@ -49,5 +48,3 @@ class LocalProjection {
 
 }  // namespace geometry
 }  // namespace sidq
-
-#endif  // SIDQ_GEOMETRY_GEO_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_GEOMETRY_POINT_H_
-#define SIDQ_GEOMETRY_POINT_H_
+#pragma once
 
 #include <cmath>
 #include <ostream>
@@ -47,9 +46,9 @@ struct Point {
   // Squared Euclidean norm.
   constexpr double NormSq() const { return x * x + y * y; }
   // Euclidean norm.
-  double Norm() const { return std::sqrt(NormSq()); }
+  [[nodiscard]] double Norm() const { return std::sqrt(NormSq()); }
   // Unit vector in this direction; returns (0,0) for the zero vector.
-  Point Normalized() const {
+  [[nodiscard]] Point Normalized() const {
     double n = Norm();
     if (n == 0.0) return Point(0.0, 0.0);
     return Point(x / n, y / n);
@@ -77,5 +76,3 @@ inline constexpr Point Lerp(const Point& a, const Point& b, double f) {
 
 }  // namespace geometry
 }  // namespace sidq
-
-#endif  // SIDQ_GEOMETRY_POINT_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_GEOMETRY_POLYGON_H_
-#define SIDQ_GEOMETRY_POLYGON_H_
+#pragma once
 
 #include <vector>
 
@@ -17,18 +16,18 @@ class Polygon {
 
   const std::vector<Point>& vertices() const { return vertices_; }
   const BBox& bounds() const { return bounds_; }
-  bool Valid() const { return vertices_.size() >= 3; }
+  [[nodiscard]] bool Valid() const { return vertices_.size() >= 3; }
 
   // Even-odd (ray casting) point-in-polygon test; boundary points count as
   // inside.
-  bool Contains(const Point& p) const;
+  [[nodiscard]] bool Contains(const Point& p) const;
 
   // Signed area (positive for counter-clockwise vertex order).
-  double SignedArea() const;
-  double Area() const;
+  [[nodiscard]] double SignedArea() const;
+  [[nodiscard]] double Area() const;
 
   // Minimum distance from p to the polygon boundary (0 when on boundary).
-  double BoundaryDistance(const Point& p) const;
+  [[nodiscard]] double BoundaryDistance(const Point& p) const;
 
   // Axis-aligned rectangle helper.
   static Polygon Rectangle(const BBox& box);
@@ -45,5 +44,3 @@ std::vector<Point> ConvexHull(std::vector<Point> points);
 
 }  // namespace geometry
 }  // namespace sidq
-
-#endif  // SIDQ_GEOMETRY_POLYGON_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_GEOMETRY_SEGMENT_H_
-#define SIDQ_GEOMETRY_SEGMENT_H_
+#pragma once
 
 #include "geometry/bbox.h"
 #include "geometry/point.h"
@@ -15,8 +14,8 @@ struct Segment {
   Segment() = default;
   Segment(const Point& pa, const Point& pb) : a(pa), b(pb) {}
 
-  double Length() const { return Distance(a, b); }
-  BBox Bounds() const { return BBox(a, b); }
+  [[nodiscard]] double Length() const { return Distance(a, b); }
+  [[nodiscard]] BBox Bounds() const { return BBox(a, b); }
 };
 
 // Fraction f in [0,1] such that a + f*(b-a) is the point of segment (a,b)
@@ -45,5 +44,3 @@ bool SegmentsIntersect(const Point& a, const Point& b, const Point& c,
 
 }  // namespace geometry
 }  // namespace sidq
-
-#endif  // SIDQ_GEOMETRY_SEGMENT_H_

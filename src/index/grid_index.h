@@ -1,5 +1,4 @@
-#ifndef SIDQ_INDEX_GRID_INDEX_H_
-#define SIDQ_INDEX_GRID_INDEX_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -18,8 +17,8 @@ class GridIndex {
  public:
   explicit GridIndex(double cell_size);
 
-  double cell_size() const { return cell_size_; }
-  size_t size() const { return size_; }
+  [[nodiscard]] double cell_size() const { return cell_size_; }
+  [[nodiscard]] size_t size() const { return size_; }
 
   void Insert(uint64_t id, const geometry::Point& p);
   // Removes one entry with this id at (approximately) this point; returns
@@ -28,13 +27,13 @@ class GridIndex {
   void Clear();
 
   // Ids of points inside `box` (inclusive).
-  std::vector<uint64_t> RangeQuery(const geometry::BBox& box) const;
+  [[nodiscard]] std::vector<uint64_t> RangeQuery(const geometry::BBox& box) const;
   // Ids of points within `radius` of `center`.
   std::vector<uint64_t> RadiusQuery(const geometry::Point& center,
                                     double radius) const;
   // Ids of the k nearest points to `p` (fewer when the index is smaller),
   // ordered by increasing distance.
-  std::vector<uint64_t> Knn(const geometry::Point& p, size_t k) const;
+  [[nodiscard]] std::vector<uint64_t> Knn(const geometry::Point& p, size_t k) const;
 
  private:
   struct Entry {
@@ -54,5 +53,3 @@ class GridIndex {
 
 }  // namespace index
 }  // namespace sidq
-
-#endif  // SIDQ_INDEX_GRID_INDEX_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_INDEX_KDTREE_H_
-#define SIDQ_INDEX_KDTREE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -22,16 +21,16 @@ class KdTree {
   KdTree() = default;
   explicit KdTree(std::vector<Item> items);
 
-  size_t size() const { return items_.size(); }
-  bool empty() const { return items_.empty(); }
+  [[nodiscard]] size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
 
   // Ids of the k nearest points to `q`, ordered by increasing distance.
-  std::vector<uint64_t> Knn(const geometry::Point& q, size_t k) const;
+  [[nodiscard]] std::vector<uint64_t> Knn(const geometry::Point& q, size_t k) const;
   // (id, distance) pairs of the k nearest points, ordered by distance.
   std::vector<std::pair<uint64_t, double>> KnnWithDistance(
       const geometry::Point& q, size_t k) const;
   // Ids of points inside `box`.
-  std::vector<uint64_t> RangeQuery(const geometry::BBox& box) const;
+  [[nodiscard]] std::vector<uint64_t> RangeQuery(const geometry::BBox& box) const;
   // Ids of points within `radius` of `center`.
   std::vector<uint64_t> RadiusQuery(const geometry::Point& center,
                                     double radius) const;
@@ -62,5 +61,3 @@ class KdTree {
 
 }  // namespace index
 }  // namespace sidq
-
-#endif  // SIDQ_INDEX_KDTREE_H_

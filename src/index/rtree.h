@@ -1,5 +1,4 @@
-#ifndef SIDQ_INDEX_RTREE_H_
-#define SIDQ_INDEX_RTREE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -27,14 +26,14 @@ class RTree {
   // Dynamic insert with quadratic split.
   void Insert(uint64_t id, const geometry::BBox& box);
 
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
-  int height() const;
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] int height() const;
 
   // Ids of items whose box intersects `query`.
-  std::vector<uint64_t> RangeQuery(const geometry::BBox& query) const;
+  [[nodiscard]] std::vector<uint64_t> RangeQuery(const geometry::BBox& query) const;
   // Ids of the k items nearest to `q` by box MinDistance (best-first).
-  std::vector<uint64_t> Knn(const geometry::Point& q, size_t k) const;
+  [[nodiscard]] std::vector<uint64_t> Knn(const geometry::Point& q, size_t k) const;
   // Number of nodes visited by the last RangeQuery (pruning statistics).
   mutable size_t last_nodes_visited = 0;
 
@@ -62,5 +61,3 @@ class RTree {
 
 }  // namespace index
 }  // namespace sidq
-
-#endif  // SIDQ_INDEX_RTREE_H_

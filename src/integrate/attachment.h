@@ -1,5 +1,4 @@
-#ifndef SIDQ_INTEGRATE_ATTACHMENT_H_
-#define SIDQ_INTEGRATE_ATTACHMENT_H_
+#pragma once
 
 #include <optional>
 #include <vector>
@@ -28,16 +27,14 @@ struct EnrichedTrajectory {
 
 // Attaches values from `interpolator` (built over the STID source) to every
 // point of `trajectory`.
-StatusOr<EnrichedTrajectory> AttachStid(
+[[nodiscard]] StatusOr<EnrichedTrajectory> AttachStid(
     const Trajectory& trajectory,
     const uncertainty::StInterpolator& interpolator);
 
 // Mean attached value over a trajectory segment [t_begin, t_end]
 // (aggregation used by exposure analyses); fails when nothing is attached.
-StatusOr<double> MeanAttachedValue(const EnrichedTrajectory& enriched,
+[[nodiscard]] StatusOr<double> MeanAttachedValue(const EnrichedTrajectory& enriched,
                                    Timestamp t_begin, Timestamp t_end);
 
 }  // namespace integrate
 }  // namespace sidq
-
-#endif  // SIDQ_INTEGRATE_ATTACHMENT_H_

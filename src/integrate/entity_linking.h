@@ -1,5 +1,4 @@
-#ifndef SIDQ_INTEGRATE_ENTITY_LINKING_H_
-#define SIDQ_INTEGRATE_ENTITY_LINKING_H_
+#pragma once
 
 #include <vector>
 
@@ -45,5 +44,3 @@ class EntityLinker {
 
 }  // namespace integrate
 }  // namespace sidq
-
-#endif  // SIDQ_INTEGRATE_ENTITY_LINKING_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_INTEGRATE_SEMANTIC_H_
-#define SIDQ_INTEGRATE_SEMANTIC_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -69,7 +68,7 @@ class SemanticAnnotator {
   explicit SemanticAnnotator(std::vector<Poi> pois)
       : SemanticAnnotator(std::move(pois), Options{}) {}
 
-  StatusOr<std::vector<Episode>> Annotate(const Trajectory& trajectory) const;
+  [[nodiscard]] StatusOr<std::vector<Episode>> Annotate(const Trajectory& trajectory) const;
 
  private:
   std::vector<Poi> pois_;
@@ -78,5 +77,3 @@ class SemanticAnnotator {
 
 }  // namespace integrate
 }  // namespace sidq
-
-#endif  // SIDQ_INTEGRATE_SEMANTIC_H_

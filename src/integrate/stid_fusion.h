@@ -1,5 +1,4 @@
-#ifndef SIDQ_INTEGRATE_STID_FUSION_H_
-#define SIDQ_INTEGRATE_STID_FUSION_H_
+#pragma once
 
 #include <vector>
 
@@ -43,7 +42,7 @@ class GridFuser {
 
   // Fuses `sources` (>= 1 dataset measuring the same field). Fails on empty
   // input.
-  StatusOr<Result> Fuse(const std::vector<StDataset>& sources) const;
+  [[nodiscard]] StatusOr<Result> Fuse(const std::vector<StDataset>& sources) const;
 
  private:
   Options options_;
@@ -51,5 +50,3 @@ class GridFuser {
 
 }  // namespace integrate
 }  // namespace sidq
-
-#endif  // SIDQ_INTEGRATE_STID_FUSION_H_

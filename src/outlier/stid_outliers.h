@@ -1,5 +1,4 @@
-#ifndef SIDQ_OUTLIER_STID_OUTLIERS_H_
-#define SIDQ_OUTLIER_STID_OUTLIERS_H_
+#pragma once
 
 #include <vector>
 
@@ -64,5 +63,3 @@ class StNeighborhoodDetector {
 
 }  // namespace outlier
 }  // namespace sidq
-
-#endif  // SIDQ_OUTLIER_STID_OUTLIERS_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_OUTLIER_TRAJECTORY_OUTLIERS_H_
-#define SIDQ_OUTLIER_TRAJECTORY_OUTLIERS_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -27,7 +26,7 @@ class SpeedConstraintDetector {
   explicit SpeedConstraintDetector(Options options) : options_(options) {}
   SpeedConstraintDetector() : SpeedConstraintDetector(Options{}) {}
 
-  StatusOr<std::vector<bool>> Detect(const Trajectory& input) const;
+  [[nodiscard]] StatusOr<std::vector<bool>> Detect(const Trajectory& input) const;
 
  private:
   Options options_;
@@ -49,7 +48,7 @@ class StatisticalDetector {
   explicit StatisticalDetector(Options options) : options_(options) {}
   StatisticalDetector() : StatisticalDetector(Options{}) {}
 
-  StatusOr<std::vector<bool>> Detect(const Trajectory& input) const;
+  [[nodiscard]] StatusOr<std::vector<bool>> Detect(const Trajectory& input) const;
 
  private:
   Options options_;
@@ -71,24 +70,24 @@ class PredictiveDetector {
   explicit PredictiveDetector(Options options) : options_(options) {}
   PredictiveDetector() : PredictiveDetector(Options{}) {}
 
-  StatusOr<std::vector<bool>> Detect(const Trajectory& input) const;
+  [[nodiscard]] StatusOr<std::vector<bool>> Detect(const Trajectory& input) const;
   // Detect + replace each outlier with its prediction (sequential repair:
   // later predictions use repaired values).
-  StatusOr<Trajectory> Repair(const Trajectory& input) const;
+  [[nodiscard]] StatusOr<Trajectory> Repair(const Trajectory& input) const;
 
  private:
-  Status Run(const Trajectory& input, std::vector<bool>* flags,
+  [[nodiscard]] Status Run(const Trajectory& input, std::vector<bool>* flags,
              Trajectory* repaired) const;
 
   Options options_;
 };
 
 // Drops flagged points. Fails when flag count mismatches.
-StatusOr<Trajectory> RemoveFlagged(const Trajectory& input,
+[[nodiscard]] StatusOr<Trajectory> RemoveFlagged(const Trajectory& input,
                                    const std::vector<bool>& flags);
 // Replaces flagged points by linear interpolation between the nearest
 // unflagged neighbours (endpoints snap to nearest unflagged point).
-StatusOr<Trajectory> RepairFlagged(const Trajectory& input,
+[[nodiscard]] StatusOr<Trajectory> RepairFlagged(const Trajectory& input,
                                    const std::vector<bool>& flags);
 
 // Precision/recall/F1 of predicted flags against truth labels.
@@ -107,7 +106,7 @@ class SpeedOutlierRepairStage : public TrajectoryStage {
       : detector_(options) {}
   SpeedOutlierRepairStage() : detector_() {}
   std::string name() const override { return "speed_outlier_repair"; }
-  StatusOr<Trajectory> Apply(const Trajectory& input) const override;
+  [[nodiscard]] StatusOr<Trajectory> Apply(const Trajectory& input) const override;
 
  private:
   SpeedConstraintDetector detector_;
@@ -115,5 +114,3 @@ class SpeedOutlierRepairStage : public TrajectoryStage {
 
 }  // namespace outlier
 }  // namespace sidq
-
-#endif  // SIDQ_OUTLIER_TRAJECTORY_OUTLIERS_H_

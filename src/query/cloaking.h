@@ -1,5 +1,4 @@
-#ifndef SIDQ_QUERY_CLOAKING_H_
-#define SIDQ_QUERY_CLOAKING_H_
+#pragma once
 
 #include <vector>
 
@@ -33,7 +32,7 @@ class SpatialCloaker {
   };
 
   // Cloaks every user; fails when fewer than k users exist in total.
-  StatusOr<std::vector<Cloak>> CloakAll(
+  [[nodiscard]] StatusOr<std::vector<Cloak>> CloakAll(
       const std::vector<std::pair<ObjectId, geometry::Point>>& users) const;
 
  private:
@@ -47,5 +46,3 @@ double ExpectedCountInRange(const std::vector<SpatialCloaker::Cloak>& cloaks,
 
 }  // namespace query
 }  // namespace sidq
-
-#endif  // SIDQ_QUERY_CLOAKING_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_QUERY_CONTINUOUS_H_
-#define SIDQ_QUERY_CONTINUOUS_H_
+#pragma once
 
 #include <unordered_map>
 #include <unordered_set>
@@ -57,5 +56,3 @@ class SafeRegionMonitor {
 
 }  // namespace query
 }  // namespace sidq
-
-#endif  // SIDQ_QUERY_CONTINUOUS_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_QUERY_CONTINUOUS_KNN_H_
-#define SIDQ_QUERY_CONTINUOUS_KNN_H_
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -58,5 +57,3 @@ class ContinuousKnnMonitor {
 
 }  // namespace query
 }  // namespace sidq
-
-#endif  // SIDQ_QUERY_CONTINUOUS_KNN_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_QUERY_PARTITION_H_
-#define SIDQ_QUERY_PARTITION_H_
+#pragma once
 
 #include <vector>
 
@@ -41,5 +40,3 @@ std::vector<Partition> AdaptiveQuadPartition(
 
 }  // namespace query
 }  // namespace sidq
-
-#endif  // SIDQ_QUERY_PARTITION_H_

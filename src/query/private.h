@@ -1,5 +1,4 @@
-#ifndef SIDQ_QUERY_PRIVATE_H_
-#define SIDQ_QUERY_PRIVATE_H_
+#pragma once
 
 #include <vector>
 
@@ -60,5 +59,3 @@ PrivateRangeResult PrivateRangeQuery(
 
 }  // namespace query
 }  // namespace sidq
-
-#endif  // SIDQ_QUERY_PRIVATE_H_

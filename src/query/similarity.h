@@ -1,5 +1,4 @@
-#ifndef SIDQ_QUERY_SIMILARITY_H_
-#define SIDQ_QUERY_SIMILARITY_H_
+#pragma once
 
 #include <vector>
 
@@ -61,7 +60,7 @@ class TrajectorySimilaritySearch {
   };
 
   // Indices of the k most similar trajectories by DTW, most similar first.
-  StatusOr<std::vector<size_t>> Knn(const Trajectory& queried, size_t k,
+  [[nodiscard]] StatusOr<std::vector<size_t>> Knn(const Trajectory& queried, size_t k,
                                     SearchStats* stats = nullptr) const;
 
  private:
@@ -72,5 +71,3 @@ class TrajectorySimilaritySearch {
 
 }  // namespace query
 }  // namespace sidq
-
-#endif  // SIDQ_QUERY_SIMILARITY_H_

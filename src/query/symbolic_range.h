@@ -1,5 +1,4 @@
-#ifndef SIDQ_QUERY_SYMBOLIC_RANGE_H_
-#define SIDQ_QUERY_SYMBOLIC_RANGE_H_
+#pragma once
 
 #include <set>
 #include <unordered_map>
@@ -56,5 +55,3 @@ double CountError(const std::vector<SymbolicTrajectory>& truth_streams,
 
 }  // namespace query
 }  // namespace sidq
-
-#endif  // SIDQ_QUERY_SYMBOLIC_RANGE_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_QUERY_UNCERTAIN_POINT_H_
-#define SIDQ_QUERY_UNCERTAIN_POINT_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -118,5 +117,3 @@ std::vector<std::pair<ObjectId, double>> ProbabilisticNearestNeighbor(
 
 }  // namespace query
 }  // namespace sidq
-
-#endif  // SIDQ_QUERY_UNCERTAIN_POINT_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_QUERY_UNCERTAIN_TRAJECTORY_H_
-#define SIDQ_QUERY_UNCERTAIN_TRAJECTORY_H_
+#pragma once
 
 #include <vector>
 
@@ -93,5 +92,3 @@ bool AlibiPossiblyMet(const Trajectory& a, const Trajectory& b,
 
 }  // namespace query
 }  // namespace sidq
-
-#endif  // SIDQ_QUERY_UNCERTAIN_TRAJECTORY_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_REDUCE_CODING_H_
-#define SIDQ_REDUCE_CODING_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -33,9 +32,9 @@ class BitReader {
  public:
   explicit BitReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
 
-  StatusOr<bool> ReadBit();
-  StatusOr<uint64_t> ReadBits(int count);
-  StatusOr<uint64_t> ReadUnary();
+  [[nodiscard]] StatusOr<bool> ReadBit();
+  [[nodiscard]] StatusOr<uint64_t> ReadBits(int count);
+  [[nodiscard]] StatusOr<uint64_t> ReadUnary();
   bool AtEnd() const { return pos_ >= bytes_.size() * 8; }
 
  private:
@@ -57,7 +56,7 @@ inline int64_t ZigZagDecode(uint64_t v) {
 // bits. The workhorse of lossless smart-grid/IoT value compression
 // (Tate, IEEE TSG 2015).
 void GolombRiceEncode(uint64_t value, int k, BitWriter* writer);
-StatusOr<uint64_t> GolombRiceDecode(int k, BitReader* reader);
+[[nodiscard]] StatusOr<uint64_t> GolombRiceDecode(int k, BitReader* reader);
 
 // Rice parameter minimising the total coded size of `values` (scans k in
 // [0, 32)).
@@ -66,15 +65,13 @@ int OptimalRiceParameter(const std::vector<uint64_t>& values);
 // Encodes a signed integer sequence with delta + zigzag + Golomb-Rice.
 // Layout: [k: 6 bits][count: 32 bits][first value: 64 bits][codes...].
 std::vector<uint8_t> EncodeIntegerSeries(const std::vector<int64_t>& values);
-StatusOr<std::vector<int64_t>> DecodeIntegerSeries(
+[[nodiscard]] StatusOr<std::vector<int64_t>> DecodeIntegerSeries(
     const std::vector<uint8_t>& bytes);
 
 // LEB128-style varint over a byte vector (for the network-constrained
 // trajectory codec).
 void PutVarint(uint64_t value, std::vector<uint8_t>* out);
-StatusOr<uint64_t> GetVarint(const std::vector<uint8_t>& bytes, size_t* pos);
+[[nodiscard]] StatusOr<uint64_t> GetVarint(const std::vector<uint8_t>& bytes, size_t* pos);
 
 }  // namespace reduce
 }  // namespace sidq
-
-#endif  // SIDQ_REDUCE_CODING_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_REDUCE_NETWORK_COMPRESSION_H_
-#define SIDQ_REDUCE_NETWORK_COMPRESSION_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -24,7 +23,7 @@ struct NetworkCompressed {
 
 // Encodes per-point matched edges + timestamps (parallel arrays from
 // HmmMapMatcher). Fails on length mismatch.
-StatusOr<NetworkCompressed> CompressMatched(
+[[nodiscard]] StatusOr<NetworkCompressed> CompressMatched(
     const std::vector<EdgeId>& edges, const std::vector<Timestamp>& times);
 
 struct NetworkDecompressed {
@@ -32,7 +31,7 @@ struct NetworkDecompressed {
   std::vector<Timestamp> times;
 };
 
-StatusOr<NetworkDecompressed> DecompressMatched(
+[[nodiscard]] StatusOr<NetworkDecompressed> DecompressMatched(
     const NetworkCompressed& compressed);
 
 // Raw cost baseline: the byte size of storing the same points as
@@ -41,5 +40,3 @@ inline size_t RawPointBytes(size_t num_points) { return num_points * 24; }
 
 }  // namespace reduce
 }  // namespace sidq
-
-#endif  // SIDQ_REDUCE_NETWORK_COMPRESSION_H_

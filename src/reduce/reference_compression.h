@@ -1,5 +1,4 @@
-#ifndef SIDQ_REDUCE_REFERENCE_COMPRESSION_H_
-#define SIDQ_REDUCE_REFERENCE_COMPRESSION_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -73,11 +72,11 @@ class ReferenceCompressor {
 
   // Encodes `input` against the reference set; fails when BuildReferences
   // has not run.
-  StatusOr<Encoded> Compress(const Trajectory& input) const;
+  [[nodiscard]] StatusOr<Encoded> Compress(const Trajectory& input) const;
 
   // Reconstructs the trajectory (positions from references/literals,
   // timestamps from `times`). Exact within tolerance_m of the input.
-  StatusOr<Trajectory> Decompress(const Encoded& encoded,
+  [[nodiscard]] StatusOr<Trajectory> Decompress(const Encoded& encoded,
                                   ObjectId object_id) const;
 
  private:
@@ -95,5 +94,3 @@ class ReferenceCompressor {
 
 }  // namespace reduce
 }  // namespace sidq
-
-#endif  // SIDQ_REDUCE_REFERENCE_COMPRESSION_H_

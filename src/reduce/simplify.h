@@ -1,5 +1,4 @@
-#ifndef SIDQ_REDUCE_SIMPLIFY_H_
-#define SIDQ_REDUCE_SIMPLIFY_H_
+#pragma once
 
 #include <vector>
 
@@ -15,29 +14,29 @@ namespace reduce {
 // points and the simplified trajectory.
 
 // Offline: Douglas-Peucker with the SED metric (time-aware split).
-StatusOr<Trajectory> DouglasPeuckerSed(const Trajectory& input,
+[[nodiscard]] StatusOr<Trajectory> DouglasPeuckerSed(const Trajectory& input,
                                        double epsilon_m);
 // Offline: classic Douglas-Peucker with perpendicular distance.
-StatusOr<Trajectory> DouglasPeuckerPerp(const Trajectory& input,
+[[nodiscard]] StatusOr<Trajectory> DouglasPeuckerPerp(const Trajectory& input,
                                         double epsilon_m);
 
 // Online: dead reckoning -- emit a point when the constant-velocity
 // forecast from the last emitted point misses the actual position by more
 // than epsilon.
-StatusOr<Trajectory> DeadReckoning(const Trajectory& input, double epsilon_m);
+[[nodiscard]] StatusOr<Trajectory> DeadReckoning(const Trajectory& input, double epsilon_m);
 
 // Online: opening window with SED (OPW-SP): grow the window anchored at the
 // last emitted point while every buffered point stays within epsilon of the
 // anchor->candidate segment.
-StatusOr<Trajectory> OpeningWindow(const Trajectory& input, double epsilon_m);
+[[nodiscard]] StatusOr<Trajectory> OpeningWindow(const Trajectory& input, double epsilon_m);
 
 // Online: SQUISH-E(epsilon) -- bounded-priority-queue simplification that
 // removes the point whose removal introduces the least SED error while that
 // error stays below epsilon (Muckell et al.).
-StatusOr<Trajectory> SquishE(const Trajectory& input, double epsilon_m);
+[[nodiscard]] StatusOr<Trajectory> SquishE(const Trajectory& input, double epsilon_m);
 
 // Baseline: keep every n-th point (plus the last).
-StatusOr<Trajectory> UniformSample(const Trajectory& input, size_t every_n);
+[[nodiscard]] StatusOr<Trajectory> UniformSample(const Trajectory& input, size_t every_n);
 
 // --- quality metrics ---
 
@@ -52,5 +51,3 @@ double CompressionRatio(const Trajectory& original,
 
 }  // namespace reduce
 }  // namespace sidq
-
-#endif  // SIDQ_REDUCE_SIMPLIFY_H_

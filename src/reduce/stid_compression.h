@@ -1,5 +1,4 @@
-#ifndef SIDQ_REDUCE_STID_COMPRESSION_H_
-#define SIDQ_REDUCE_STID_COMPRESSION_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -30,7 +29,7 @@ struct LosslessEncoded {
 // multiples of `quantum` first.
 LosslessEncoded LosslessCompress(const StSeries& series, double quantum);
 // Exact inverse at the quantised resolution.
-StatusOr<StSeries> LosslessDecompress(const LosslessEncoded& encoded,
+[[nodiscard]] StatusOr<StSeries> LosslessDecompress(const LosslessEncoded& encoded,
                                       SensorId sensor,
                                       const geometry::Point& loc);
 
@@ -47,9 +46,9 @@ struct LtcEncoded {
   size_t TotalBytes() const { return knot_times.size() * 16; }
 };
 
-StatusOr<LtcEncoded> LtcCompress(const StSeries& series, double epsilon);
+[[nodiscard]] StatusOr<LtcEncoded> LtcCompress(const StSeries& series, double epsilon);
 // Reconstructs the series at the original timestamps (linear between knots).
-StatusOr<StSeries> LtcDecompress(const LtcEncoded& encoded,
+[[nodiscard]] StatusOr<StSeries> LtcDecompress(const LtcEncoded& encoded,
                                  const std::vector<Timestamp>& timestamps,
                                  SensorId sensor, const geometry::Point& loc);
 
@@ -78,5 +77,3 @@ DualPredictionResult DualPredictionReduce(const std::vector<double>& values,
 
 }  // namespace reduce
 }  // namespace sidq
-
-#endif  // SIDQ_REDUCE_STID_COMPRESSION_H_

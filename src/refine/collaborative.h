@@ -1,5 +1,4 @@
-#ifndef SIDQ_REFINE_COLLABORATIVE_H_
-#define SIDQ_REFINE_COLLABORATIVE_H_
+#pragma once
 
 #include <vector>
 
@@ -23,7 +22,7 @@ struct JointDenoiseInput {
   geometry::Point anchor_truth;  // valid when is_anchor
 };
 
-StatusOr<std::vector<geometry::Point>> JointDenoise(
+[[nodiscard]] StatusOr<std::vector<geometry::Point>> JointDenoise(
     const std::vector<JointDenoiseInput>& inputs);
 
 // Iterative optimisation: assumes independent *random* errors and refines a
@@ -52,7 +51,7 @@ class IterativeRefiner {
 
   // Refines `observed` given pairwise ranges; fails on out-of-range pair
   // indices.
-  StatusOr<std::vector<geometry::Point>> Refine(
+  [[nodiscard]] StatusOr<std::vector<geometry::Point>> Refine(
       const std::vector<geometry::Point>& observed,
       const std::vector<PairRange>& ranges) const;
 
@@ -62,5 +61,3 @@ class IterativeRefiner {
 
 }  // namespace refine
 }  // namespace sidq
-
-#endif  // SIDQ_REFINE_COLLABORATIVE_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_REFINE_HMM_MAP_MATCHER_H_
-#define SIDQ_REFINE_HMM_MAP_MATCHER_H_
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -40,7 +39,7 @@ class HmmMapMatcher {
 
   // Matches a time-ordered trajectory to the network. Fails when empty or
   // when no candidates exist for some point at 4x the configured radius.
-  StatusOr<MatchResult> Match(const Trajectory& noisy) const;
+  [[nodiscard]] StatusOr<MatchResult> Match(const Trajectory& noisy) const;
 
  private:
   struct Candidate {
@@ -63,5 +62,3 @@ class HmmMapMatcher {
 
 }  // namespace refine
 }  // namespace sidq
-
-#endif  // SIDQ_REFINE_HMM_MAP_MATCHER_H_

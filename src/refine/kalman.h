@@ -1,5 +1,4 @@
-#ifndef SIDQ_REFINE_KALMAN_H_
-#define SIDQ_REFINE_KALMAN_H_
+#pragma once
 
 #include <array>
 #include <vector>
@@ -29,11 +28,11 @@ class KalmanFilter2D {
 
   // Causal (online) filtering: each output point uses only measurements up
   // to its own time. Requires a time-ordered, non-empty trajectory.
-  StatusOr<Trajectory> Filter(const Trajectory& noisy) const;
+  [[nodiscard]] StatusOr<Trajectory> Filter(const Trajectory& noisy) const;
 
   // Forward filter + RTS backward smoothing: each output point uses the
   // whole trajectory (offline refinement; strictly better than Filter).
-  StatusOr<Trajectory> Smooth(const Trajectory& noisy) const;
+  [[nodiscard]] StatusOr<Trajectory> Smooth(const Trajectory& noisy) const;
 
  private:
   struct AxisState {
@@ -47,7 +46,7 @@ class KalmanFilter2D {
     double dt = 0.0;      // seconds since step k-1
   };
 
-  Status RunForward(const Trajectory& noisy,
+  [[nodiscard]] Status RunForward(const Trajectory& noisy,
                     std::vector<std::array<Step, 2>>* steps) const;
 
   Options options_;
@@ -55,5 +54,3 @@ class KalmanFilter2D {
 
 }  // namespace refine
 }  // namespace sidq
-
-#endif  // SIDQ_REFINE_KALMAN_H_

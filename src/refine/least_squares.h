@@ -1,5 +1,4 @@
-#ifndef SIDQ_REFINE_LEAST_SQUARES_H_
-#define SIDQ_REFINE_LEAST_SQUARES_H_
+#pragma once
 
 #include <vector>
 
@@ -34,7 +33,7 @@ class WlsTrilaterator {
 
   // Solves for the position from >= 3 range measurements, starting the
   // iteration from the anchors' weighted centroid.
-  StatusOr<geometry::Point> Solve(
+  [[nodiscard]] StatusOr<geometry::Point> Solve(
       const std::vector<RangeMeasurement>& measurements) const;
 
  private:
@@ -51,10 +50,8 @@ struct LocationEstimate {
 // Ensemble LR, multi-source fusion: combines independent estimates by
 // inverse-variance weighting -- the minimum-variance unbiased combination
 // when sources are independent. Fails on an empty input.
-StatusOr<LocationEstimate> FuseEstimates(
+[[nodiscard]] StatusOr<LocationEstimate> FuseEstimates(
     const std::vector<LocationEstimate>& estimates);
 
 }  // namespace refine
 }  // namespace sidq
-
-#endif  // SIDQ_REFINE_LEAST_SQUARES_H_

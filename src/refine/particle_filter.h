@@ -1,5 +1,4 @@
-#ifndef SIDQ_REFINE_PARTICLE_FILTER_H_
-#define SIDQ_REFINE_PARTICLE_FILTER_H_
+#pragma once
 
 #include <vector>
 
@@ -38,7 +37,7 @@ class ParticleFilter2D {
 
   // Causal filtering of a time-ordered trajectory: each output point is the
   // weighted particle mean after assimilating that measurement.
-  StatusOr<Trajectory> Filter(const Trajectory& noisy) const;
+  [[nodiscard]] StatusOr<Trajectory> Filter(const Trajectory& noisy) const;
 
  private:
   struct Particle {
@@ -54,5 +53,3 @@ class ParticleFilter2D {
 
 }  // namespace refine
 }  // namespace sidq
-
-#endif  // SIDQ_REFINE_PARTICLE_FILTER_H_

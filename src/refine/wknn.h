@@ -1,5 +1,4 @@
-#ifndef SIDQ_REFINE_WKNN_H_
-#define SIDQ_REFINE_WKNN_H_
+#pragma once
 
 #include <vector>
 
@@ -29,13 +28,13 @@ class WknnLocalizer {
 
   // Location estimate for an observed RSSI vector; fails when the vector
   // length does not match the database or the database is empty.
-  StatusOr<geometry::Point> Estimate(const std::vector<double>& rssi) const;
+  [[nodiscard]] StatusOr<geometry::Point> Estimate(const std::vector<double>& rssi) const;
 
   // Plain nearest-neighbour baseline (k = 1, unweighted).
-  StatusOr<geometry::Point> EstimateNn(const std::vector<double>& rssi) const;
+  [[nodiscard]] StatusOr<geometry::Point> EstimateNn(const std::vector<double>& rssi) const;
 
  private:
-  StatusOr<geometry::Point> EstimateK(const std::vector<double>& rssi,
+  [[nodiscard]] StatusOr<geometry::Point> EstimateK(const std::vector<double>& rssi,
                                       size_t k, bool weighted) const;
 
   std::vector<sim::Fingerprint> database_;
@@ -44,5 +43,3 @@ class WknnLocalizer {
 
 }  // namespace refine
 }  // namespace sidq
-
-#endif  // SIDQ_REFINE_WKNN_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_SIM_FINGERPRINT_H_
-#define SIDQ_SIM_FINGERPRINT_H_
+#pragma once
 
 #include <vector>
 
@@ -59,5 +58,3 @@ std::vector<Fingerprint> BuildFingerprintDatabase(
 
 }  // namespace sim
 }  // namespace sidq
-
-#endif  // SIDQ_SIM_FINGERPRINT_H_

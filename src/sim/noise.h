@@ -1,5 +1,4 @@
-#ifndef SIDQ_SIM_NOISE_H_
-#define SIDQ_SIM_NOISE_H_
+#pragma once
 
 #include <vector>
 
@@ -62,5 +61,3 @@ Trajectory TruncateTail(const Trajectory& truth, Timestamp cut_ms);
 
 }  // namespace sim
 }  // namespace sidq
-
-#endif  // SIDQ_SIM_NOISE_H_

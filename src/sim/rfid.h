@@ -1,5 +1,4 @@
-#ifndef SIDQ_SIM_RFID_H_
-#define SIDQ_SIM_RFID_H_
+#pragma once
 
 #include <vector>
 
@@ -50,5 +49,3 @@ class RfidDeployment {
 
 }  // namespace sim
 }  // namespace sidq
-
-#endif  // SIDQ_SIM_RFID_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_SIM_ROAD_NETWORK_H_
-#define SIDQ_SIM_ROAD_NETWORK_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -33,7 +32,7 @@ class RoadNetwork {
 
   NodeId AddNode(const geometry::Point& p);
   // Adds an undirected edge; fails on unknown endpoints or self-loops.
-  StatusOr<EdgeId> AddEdge(NodeId u, NodeId v);
+  [[nodiscard]] StatusOr<EdgeId> AddEdge(NodeId u, NodeId v);
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_edges() const { return edges_.size(); }
@@ -50,10 +49,10 @@ class RoadNetwork {
   NodeId Opposite(EdgeId e, NodeId from) const;
 
   // Dijkstra shortest path between nodes; returns node sequence (inclusive).
-  StatusOr<std::vector<NodeId>> ShortestPath(NodeId from, NodeId to) const;
+  [[nodiscard]] StatusOr<std::vector<NodeId>> ShortestPath(NodeId from, NodeId to) const;
   // A* shortest path with the Euclidean heuristic (admissible because edge
   // lengths are Euclidean); same result as ShortestPath, fewer expansions.
-  StatusOr<std::vector<NodeId>> ShortestPathAStar(NodeId from,
+  [[nodiscard]] StatusOr<std::vector<NodeId>> ShortestPathAStar(NodeId from,
                                                   NodeId to) const;
   // Length of the shortest path, or infinity when unreachable.
   double ShortestPathLength(NodeId from, NodeId to) const;
@@ -65,12 +64,12 @@ class RoadNetwork {
   // the last AddEdge and before Nearest*() queries.
   void BuildSpatialIndex(double cell_size = 100.0);
   // Edge nearest to `p` (requires BuildSpatialIndex); NotFound when empty.
-  StatusOr<EdgeId> NearestEdge(const geometry::Point& p) const;
+  [[nodiscard]] StatusOr<EdgeId> NearestEdge(const geometry::Point& p) const;
   // Edges within `radius` of `p` (requires BuildSpatialIndex).
   std::vector<EdgeId> EdgesNear(const geometry::Point& p,
                                 double radius) const;
   // Node nearest to `p` (linear scan; networks are small).
-  StatusOr<NodeId> NearestNode(const geometry::Point& p) const;
+  [[nodiscard]] StatusOr<NodeId> NearestNode(const geometry::Point& p) const;
 
   // Closest point of edge `e` to `p`.
   geometry::Point ProjectToEdge(EdgeId e, const geometry::Point& p) const;
@@ -100,10 +99,8 @@ RoadNetwork MakeGridRoadNetwork(int cols, int rows, double spacing,
 
 // Picks a random simple route of at least `min_hops` nodes via random walk
 // without immediate backtracking.
-StatusOr<std::vector<NodeId>> RandomRoute(const RoadNetwork& net,
+[[nodiscard]] StatusOr<std::vector<NodeId>> RandomRoute(const RoadNetwork& net,
                                           size_t min_hops, Rng* rng);
 
 }  // namespace sim
 }  // namespace sidq
-
-#endif  // SIDQ_SIM_ROAD_NETWORK_H_

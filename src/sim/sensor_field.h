@@ -1,5 +1,4 @@
-#ifndef SIDQ_SIM_SENSOR_FIELD_H_
-#define SIDQ_SIM_SENSOR_FIELD_H_
+#pragma once
 
 #include <vector>
 
@@ -95,5 +94,3 @@ StDataset QuantizeValues(const StDataset& truth, double step);
 
 }  // namespace sim
 }  // namespace sidq
-
-#endif  // SIDQ_SIM_SENSOR_FIELD_H_

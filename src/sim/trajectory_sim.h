@@ -1,5 +1,4 @@
-#ifndef SIDQ_SIM_TRAJECTORY_SIM_H_
-#define SIDQ_SIM_TRAJECTORY_SIM_H_
+#pragma once
 
 #include <vector>
 
@@ -28,12 +27,12 @@ class TrajectorySimulator {
 
   // Moves along `route` (a node sequence of `net`) at a jittered speed and
   // samples the position every sample_interval_ms.
-  StatusOr<Trajectory> AlongRoute(const RoadNetwork& net,
+  [[nodiscard]] StatusOr<Trajectory> AlongRoute(const RoadNetwork& net,
                                   const std::vector<NodeId>& route,
                                   ObjectId object_id) const;
 
   // Convenience: a random route of at least min_hops nodes.
-  StatusOr<Trajectory> RandomOnNetwork(const RoadNetwork& net,
+  [[nodiscard]] StatusOr<Trajectory> RandomOnNetwork(const RoadNetwork& net,
                                        size_t min_hops,
                                        ObjectId object_id) const;
 
@@ -61,5 +60,3 @@ Fleet MakeFleet(int cols, int rows, double spacing, int num_objects,
 
 }  // namespace sim
 }  // namespace sidq
-
-#endif  // SIDQ_SIM_TRAJECTORY_SIM_H_

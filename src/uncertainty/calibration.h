@@ -1,5 +1,4 @@
-#ifndef SIDQ_UNCERTAINTY_CALIBRATION_H_
-#define SIDQ_UNCERTAINTY_CALIBRATION_H_
+#pragma once
 
 #include <vector>
 
@@ -39,7 +38,7 @@ class TrajectoryCalibrator {
 
   // Snaps every input point to its nearest anchor within snap_radius_m.
   // Fails when no anchors have been built.
-  StatusOr<Trajectory> Calibrate(const Trajectory& noisy) const;
+  [[nodiscard]] StatusOr<Trajectory> Calibrate(const Trajectory& noisy) const;
 
  private:
   Options options_;
@@ -49,5 +48,3 @@ class TrajectoryCalibrator {
 
 }  // namespace uncertainty
 }  // namespace sidq
-
-#endif  // SIDQ_UNCERTAINTY_CALIBRATION_H_

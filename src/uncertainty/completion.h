@@ -1,5 +1,4 @@
-#ifndef SIDQ_UNCERTAINTY_COMPLETION_H_
-#define SIDQ_UNCERTAINTY_COMPLETION_H_
+#pragma once
 
 #include "core/statusor.h"
 #include "core/trajectory.h"
@@ -14,7 +13,7 @@ namespace uncertainty {
 
 // Baseline: fills gaps longer than `target_interval_ms` with points
 // linearly interpolated at that interval.
-StatusOr<Trajectory> LinearComplete(const Trajectory& sparse,
+[[nodiscard]] StatusOr<Trajectory> LinearComplete(const Trajectory& sparse,
                                     Timestamp target_interval_ms);
 
 // Route-inference completion using explicit spatial constraints: for each
@@ -39,7 +38,7 @@ class RoadCompleter {
   explicit RoadCompleter(const sim::RoadNetwork* network)
       : RoadCompleter(network, Options{}) {}
 
-  StatusOr<Trajectory> Complete(const Trajectory& sparse) const;
+  [[nodiscard]] StatusOr<Trajectory> Complete(const Trajectory& sparse) const;
 
  private:
   const sim::RoadNetwork* network_;
@@ -48,5 +47,3 @@ class RoadCompleter {
 
 }  // namespace uncertainty
 }  // namespace sidq
-
-#endif  // SIDQ_UNCERTAINTY_COMPLETION_H_

@@ -26,7 +26,9 @@ std::vector<std::pair<double, size_t>> NearestSeries(
 double SeriesValueAt(const StSeries& s, Timestamp t) {
   const Timestamp clamped =
       std::clamp(t, s.records().front().t, s.records().back().t);
-  return s.InterpolateAt(clamped).value_or(s.records().front().value);
+  // The clamped timestamp is always inside the span of a non-empty series,
+  // so this cannot fail; value() aborts loudly if that invariant breaks.
+  return s.InterpolateAt(clamped).value();
 }
 
 }  // namespace

@@ -1,5 +1,4 @@
-#ifndef SIDQ_UNCERTAINTY_COTRAINING_H_
-#define SIDQ_UNCERTAINTY_COTRAINING_H_
+#pragma once
 
 #include <vector>
 
@@ -49,7 +48,7 @@ class CoTrainingEstimator {
 
   // Estimates values at `queries` given the labelled dataset. Queries
   // should share time instants with the data (standard STID gridding).
-  StatusOr<std::vector<Estimate>> Run(const StDataset& labeled,
+  [[nodiscard]] StatusOr<std::vector<Estimate>> Run(const StDataset& labeled,
                                       const std::vector<Query>& queries) const;
 
  private:
@@ -58,5 +57,3 @@ class CoTrainingEstimator {
 
 }  // namespace uncertainty
 }  // namespace sidq
-
-#endif  // SIDQ_UNCERTAINTY_COTRAINING_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_UNCERTAINTY_FUSION_H_
-#define SIDQ_UNCERTAINTY_FUSION_H_
+#pragma once
 
 #include "core/statusor.h"
 #include "core/stid.h"
@@ -21,11 +20,9 @@ struct StidFusionOptions {
 
 // Returns a copy of `primary` whose values (and stddevs) are fused with
 // matching `auxiliary` records. Records with no auxiliary match are kept.
-StatusOr<StDataset> FuseStid(const StDataset& primary,
+[[nodiscard]] StatusOr<StDataset> FuseStid(const StDataset& primary,
                              const StDataset& auxiliary,
                              const StidFusionOptions& options);
 
 }  // namespace uncertainty
 }  // namespace sidq
-
-#endif  // SIDQ_UNCERTAINTY_FUSION_H_

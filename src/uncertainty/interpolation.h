@@ -1,5 +1,4 @@
-#ifndef SIDQ_UNCERTAINTY_INTERPOLATION_H_
-#define SIDQ_UNCERTAINTY_INTERPOLATION_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -38,7 +37,7 @@ class IdwInterpolator : public StInterpolator {
   explicit IdwInterpolator(const StDataset* data)
       : IdwInterpolator(data, Options{}) {}
 
-  StatusOr<double> Estimate(const geometry::Point& p,
+  [[nodiscard]] StatusOr<double> Estimate(const geometry::Point& p,
                             Timestamp t) const override;
 
  private:
@@ -59,7 +58,7 @@ class KernelInterpolator : public StInterpolator {
   explicit KernelInterpolator(const StDataset* data)
       : KernelInterpolator(data, Options{}) {}
 
-  StatusOr<double> Estimate(const geometry::Point& p,
+  [[nodiscard]] StatusOr<double> Estimate(const geometry::Point& p,
                             Timestamp t) const override;
 
  private:
@@ -85,7 +84,7 @@ class TrendClusterInterpolator : public StInterpolator {
   explicit TrendClusterInterpolator(const StDataset* data)
       : TrendClusterInterpolator(data, Options{}) {}
 
-  StatusOr<double> Estimate(const geometry::Point& p,
+  [[nodiscard]] StatusOr<double> Estimate(const geometry::Point& p,
                             Timestamp t) const override;
 
   // Cluster label per sensor index (for inspection/tests).
@@ -105,5 +104,3 @@ double PearsonCorrelation(const std::vector<double>& a,
 
 }  // namespace uncertainty
 }  // namespace sidq
-
-#endif  // SIDQ_UNCERTAINTY_INTERPOLATION_H_

@@ -1,5 +1,4 @@
-#ifndef SIDQ_UNCERTAINTY_SMOOTHING_H_
-#define SIDQ_UNCERTAINTY_SMOOTHING_H_
+#pragma once
 
 #include <string>
 
@@ -15,12 +14,12 @@ namespace uncertainty {
 // measurement volatility.
 
 // Centred moving average over a window of `half_window` points each side.
-StatusOr<Trajectory> MovingAverageSmooth(const Trajectory& input,
+[[nodiscard]] StatusOr<Trajectory> MovingAverageSmooth(const Trajectory& input,
                                          size_t half_window);
 
 // First-order exponential smoothing with factor alpha in (0, 1]; alpha = 1
 // reproduces the input.
-StatusOr<Trajectory> ExponentialSmooth(const Trajectory& input, double alpha);
+[[nodiscard]] StatusOr<Trajectory> ExponentialSmooth(const Trajectory& input, double alpha);
 
 // Pipeline stage adapters.
 class MovingAverageStage : public TrajectoryStage {
@@ -28,7 +27,7 @@ class MovingAverageStage : public TrajectoryStage {
   explicit MovingAverageStage(size_t half_window)
       : half_window_(half_window) {}
   std::string name() const override { return "moving_average_smooth"; }
-  StatusOr<Trajectory> Apply(const Trajectory& input) const override {
+  [[nodiscard]] StatusOr<Trajectory> Apply(const Trajectory& input) const override {
     return MovingAverageSmooth(input, half_window_);
   }
 
@@ -40,7 +39,7 @@ class ExponentialSmoothStage : public TrajectoryStage {
  public:
   explicit ExponentialSmoothStage(double alpha) : alpha_(alpha) {}
   std::string name() const override { return "exponential_smooth"; }
-  StatusOr<Trajectory> Apply(const Trajectory& input) const override {
+  [[nodiscard]] StatusOr<Trajectory> Apply(const Trajectory& input) const override {
     return ExponentialSmooth(input, alpha_);
   }
 
@@ -50,5 +49,3 @@ class ExponentialSmoothStage : public TrajectoryStage {
 
 }  // namespace uncertainty
 }  // namespace sidq
-
-#endif  // SIDQ_UNCERTAINTY_SMOOTHING_H_

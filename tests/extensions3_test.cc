@@ -103,16 +103,18 @@ TEST(CloakingTest, StrongerKMeansLargerRegions) {
   {
     query::SpatialCloaker::Options opts;
     opts.k = 4;
-    for (const auto& c :
-         query::SpatialCloaker(opts).CloakAll(users).value()) {
+    // Bind before iterating: ranging over `Temp().value()` would dangle
+    // once the temporary StatusOr dies (caught by ASan).
+    const auto cloaks = query::SpatialCloaker(opts).CloakAll(users).value();
+    for (const auto& c : cloaks) {
       mean_area_k4 += c.region.Area();
     }
   }
   {
     query::SpatialCloaker::Options opts;
     opts.k = 32;
-    for (const auto& c :
-         query::SpatialCloaker(opts).CloakAll(users).value()) {
+    const auto cloaks = query::SpatialCloaker(opts).CloakAll(users).value();
+    for (const auto& c : cloaks) {
       mean_area_k32 += c.region.Area();
     }
   }

@@ -1,0 +1,22 @@
+// Negative compile probe for the [[nodiscard]] Status contract. This file
+// must NOT compile under -Werror=unused-result; the `status_nodiscard_probe`
+// ctest (see the top-level CMakeLists.txt) runs the compiler on it with
+// WILL_FAIL, so the suite fails if discarding a Status ever stops warning.
+//
+// It is deliberately excluded from every build target.
+
+#include "core/status.h"
+#include "core/statusor.h"
+
+namespace {
+
+sidq::Status MakeStatus() { return sidq::Status::OK(); }
+sidq::StatusOr<int> MakeStatusOr() { return 42; }
+
+}  // namespace
+
+int main() {
+  MakeStatus();    // discarded Status: must warn
+  MakeStatusOr();  // discarded StatusOr: must warn
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Error-path coverage for Status/StatusOr: code propagation through the
+// macro layer, access-on-error semantics (process death, not garbage
+// values), and move/copy behavior on the error channel. The compile-level
+// [[nodiscard]] contract is covered by the `status_nodiscard_probe` ctest
+// (tests/nodiscard_probe.cc compiled with -Werror=unused-result under
+// WILL_FAIL); this file covers the runtime half.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/status.h"
+#include "core/statusor.h"
+
+namespace sidq {
+namespace {
+
+// ------------------------------------------------------- error propagation
+
+Status FailsWith(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument("invalid");
+    case StatusCode::kNotFound:
+      return Status::NotFound("not found");
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange("out of range");
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition("precondition");
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists("exists");
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted("exhausted");
+    case StatusCode::kDataLoss:
+      return Status::DataLoss("data loss");
+    case StatusCode::kInternal:
+      return Status::Internal("internal");
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented("unimplemented");
+  }
+  return Status::Internal("unreachable");
+}
+
+Status Relay(StatusCode code) {
+  SIDQ_RETURN_IF_ERROR(FailsWith(code));
+  return Status::OK();
+}
+
+TEST(StatusPropagationTest, ReturnIfErrorForwardsEveryCode) {
+  const std::vector<StatusCode> codes = {
+      StatusCode::kInvalidArgument,    StatusCode::kNotFound,
+      StatusCode::kOutOfRange,         StatusCode::kFailedPrecondition,
+      StatusCode::kAlreadyExists,      StatusCode::kResourceExhausted,
+      StatusCode::kDataLoss,           StatusCode::kInternal,
+      StatusCode::kUnimplemented};
+  for (StatusCode code : codes) {
+    const Status relayed = Relay(code);
+    EXPECT_FALSE(relayed.ok());
+    EXPECT_EQ(relayed.code(), code) << StatusCodeToString(code);
+    EXPECT_EQ(relayed, FailsWith(code)) << "message must survive relay";
+  }
+  EXPECT_TRUE(Relay(StatusCode::kOk).ok());
+}
+
+StatusOr<std::string> Describe(StatusOr<int> in) {
+  SIDQ_ASSIGN_OR_RETURN(const int v, in);
+  return std::to_string(v);
+}
+
+TEST(StatusPropagationTest, AssignOrReturnForwardsStatusUnchanged) {
+  const StatusOr<std::string> out =
+      Describe(Status::DataLoss("sensor 7 dropped"));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(out.status().message(), "sensor 7 dropped");
+}
+
+TEST(StatusPropagationTest, AssignOrReturnUnwrapsValue) {
+  const StatusOr<std::string> out = Describe(7);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), "7");
+}
+
+// -------------------------------------------------- access-on-error paths
+
+TEST(StatusOrDeathTest, ValueOnErrorDies) {
+  const StatusOr<int> err = Status::NotFound("missing reading");
+  EXPECT_DEATH({ (void)err.value(); },  // sidq: ignore-status(death-test probe of the aborting accessor)
+               "missing reading");
+}
+
+TEST(StatusOrDeathTest, DerefOnErrorDies) {
+  const StatusOr<std::vector<int>> err = Status::OutOfRange("span");
+  EXPECT_DEATH({ (void)err->size(); },  // sidq: ignore-status(death-test probe of the aborting accessor)
+               "span");
+}
+
+TEST(StatusOrDeathTest, ConstructingFromOkStatusDies) {
+  EXPECT_DEATH({ StatusOr<int> bad{Status::OK()}; },
+               "StatusOr constructed from OK status");
+}
+
+TEST(StatusOrErrorTest, ValueOrReturnsFallbackOnlyOnError) {
+  const StatusOr<int> err = Status::Internal("x");
+  EXPECT_EQ(err.value_or(-7), -7);
+  const StatusOr<int> ok = 3;
+  EXPECT_EQ(ok.value_or(-7), 3);
+}
+
+TEST(StatusOrErrorTest, MoveOutKeepsStatusChannelIntact) {
+  StatusOr<std::string> ok = std::string("payload");
+  const std::string moved = std::move(ok).value();
+  EXPECT_EQ(moved, "payload");
+
+  StatusOr<std::string> err = Status::ResourceExhausted("quota");
+  StatusOr<std::string> copied = err;
+  EXPECT_FALSE(copied.ok());
+  EXPECT_EQ(copied.status(), err.status());
+}
+
+TEST(StatusOrErrorTest, StatusSurvivesCopyAndMove) {
+  Status s = Status::FailedPrecondition("needs calibration");
+  Status copy = s;
+  Status moved = std::move(s);
+  EXPECT_EQ(copy, moved);
+  EXPECT_EQ(moved.message(), "needs calibration");
+}
+
+}  // namespace
+}  // namespace sidq
