@@ -1,0 +1,249 @@
+// BENCH exec: parallel fleet cleaning throughput (serial vs. FleetRunner).
+//
+// Two honest workloads over the same synthetic 10k-trajectory fleet:
+//
+//   cpu_bound      pure cleaning arithmetic (jitter -> speed-outlier repair
+//                  -> Kalman smoothing -> DP-SED simplification). Speedup
+//                  here tracks physical cores; on a 1-core container it is
+//                  ~1x by construction.
+//   latency_bound  each trajectory first pays a simulated sensor-gateway
+//                  fetch (50 us sleep) before the same smoothing step --
+//                  the IoT regime where cleaning stalls on ingest I/O. The
+//                  pool overlaps the stalls, so speedup survives even a
+//                  single core.
+//
+// Every parallel configuration is checked bit-identical to the serial
+// reference; a mismatch is a hard failure (exit 1), so this bench doubles
+// as a determinism gate. scripts/bench_json.py scrapes the BENCH_JSON line
+// into BENCH_exec.json.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>  // sidq: allow-thread(std::this_thread::sleep_for models gateway fetch)
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/pipeline.h"
+#include "core/random.h"
+#include "core/trajectory.h"
+#include "exec/fleet_runner.h"
+#include "outlier/trajectory_outliers.h"
+#include "reduce/simplify.h"
+#include "refine/kalman.h"
+
+namespace sidq {
+namespace {
+
+constexpr size_t kFleetSize = 10'000;
+constexpr size_t kPointsEach = 64;
+constexpr uint64_t kSeed = 4242;
+
+std::vector<Trajectory> MakeFleet() {
+  Rng rng(kSeed);
+  std::vector<Trajectory> fleet;
+  fleet.reserve(kFleetSize);
+  for (size_t i = 0; i < kFleetSize; ++i) {
+    Trajectory t(static_cast<ObjectId>(i));
+    double x = rng.Uniform(0.0, 5000.0);
+    double y = rng.Uniform(0.0, 5000.0);
+    double vx = rng.Gaussian(0.0, 8.0);
+    double vy = rng.Gaussian(0.0, 8.0);
+    for (size_t k = 0; k < kPointsEach; ++k) {
+      t.AppendUnordered(TrajectoryPoint(static_cast<Timestamp>(k) * 1000,
+                                        geometry::Point(x, y), 8.0));
+      vx += rng.Gaussian(0.0, 1.0);
+      vy += rng.Gaussian(0.0, 1.0);
+      x += vx;
+      y += vy;
+    }
+    fleet.push_back(std::move(t));
+  }
+  return fleet;
+}
+
+TrajectoryPipeline MakeCpuPipeline() {
+  TrajectoryPipeline pipeline;
+  pipeline.AddSeeded("gps_jitter",
+                     [](const Trajectory& in, Rng& rng) -> StatusOr<Trajectory> {
+                       Trajectory out(in.object_id());
+                       for (const TrajectoryPoint& pt : in.points()) {
+                         TrajectoryPoint moved = pt;
+                         moved.p.x += rng.Gaussian(0.0, 6.0);
+                         moved.p.y += rng.Gaussian(0.0, 6.0);
+                         out.AppendUnordered(moved);
+                       }
+                       return out;
+                     });
+  pipeline.Add(std::make_unique<outlier::SpeedOutlierRepairStage>());
+  pipeline.Add("kalman_smooth",
+               [](const Trajectory& in) -> StatusOr<Trajectory> {
+                 return refine::KalmanFilter2D().Smooth(in);
+               });
+  pipeline.Add("dp_sed_simplify",
+               [](const Trajectory& in) -> StatusOr<Trajectory> {
+                 return reduce::DouglasPeuckerSed(in, 3.0);
+               });
+  return pipeline;
+}
+
+TrajectoryPipeline MakeLatencyPipeline() {
+  TrajectoryPipeline pipeline;
+  pipeline.Add("gateway_fetch",
+               [](const Trajectory& in) -> StatusOr<Trajectory> {
+                 // Stand-in for the per-device ingest round trip.
+                 std::this_thread::sleep_for(std::chrono::microseconds(50));
+                 return in;
+               });
+  pipeline.Add("kalman_smooth",
+               [](const Trajectory& in) -> StatusOr<Trajectory> {
+                 return refine::KalmanFilter2D().Smooth(in);
+               });
+  return pipeline;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// FNV-1a over the raw bit patterns: any single-bit divergence shows.
+uint64_t FleetChecksum(const std::vector<Trajectory>& fleet) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const Trajectory& t : fleet) {
+    mix(static_cast<uint64_t>(t.object_id()));
+    for (const TrajectoryPoint& pt : t.points()) {
+      mix(static_cast<uint64_t>(pt.t));
+      uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(pt.p.x));
+      std::memcpy(&bits, &pt.p.x, sizeof(bits));
+      mix(bits);
+      std::memcpy(&bits, &pt.p.y, sizeof(bits));
+      mix(bits);
+    }
+  }
+  return h;
+}
+
+struct RunPoint {
+  int threads = 0;  // 0 = serial reference
+  double seconds = 0.0;
+  double traj_per_s = 0.0;
+  double speedup = 1.0;
+};
+
+// Benchmarks one pipeline serial vs. parallel; exits on nondeterminism.
+std::vector<RunPoint> BenchPipeline(const char* label,
+                                    const TrajectoryPipeline& pipeline,
+                                    const std::vector<Trajectory>& fleet,
+                                    size_t shard_size) {
+  std::vector<RunPoint> points;
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto serial = pipeline.RunBatch(fleet, kSeed);
+  const double serial_s = SecondsSince(t0);
+  if (!serial.ok()) {
+    std::fprintf(stderr, "%s: serial run failed: %s\n", label,
+                 serial.status().ToString().c_str());
+    std::exit(1);
+  }
+  const uint64_t golden = FleetChecksum(*serial);
+  points.push_back(
+      {0, serial_s, static_cast<double>(fleet.size()) / serial_s, 1.0});
+
+  for (const int threads : {1, 2, 4, 8}) {
+    exec::FleetRunner::Options options;
+    options.num_threads = threads;
+    options.shard_size = shard_size;
+    options.base_seed = kSeed;
+    const exec::FleetRunner runner(&pipeline, options);
+    t0 = std::chrono::steady_clock::now();
+    const exec::FleetResult result = runner.Run(fleet);
+    const double secs = SecondsSince(t0);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %d-thread run failed: %s\n", label, threads,
+                   result.first_error.ToString().c_str());
+      std::exit(1);
+    }
+    if (FleetChecksum(result.cleaned) != golden) {
+      std::fprintf(stderr,
+                   "%s: DETERMINISM VIOLATION at %d threads: parallel output "
+                   "differs from serial reference\n",
+                   label, threads);
+      std::exit(1);
+    }
+    points.push_back({threads, secs,
+                      static_cast<double>(fleet.size()) / secs,
+                      serial_s / secs});
+  }
+  return points;
+}
+
+void PrintTable(const char* label, const std::vector<RunPoint>& points) {
+  std::printf("workload: %s\n", label);
+  bench::Table table({"config", "seconds", "traj/s", "speedup"});
+  for (const RunPoint& p : points) {
+    table.AddRow({p.threads == 0 ? "serial" : std::to_string(p.threads) + " threads",
+                  bench::F3(p.seconds), bench::FInt(p.traj_per_s),
+                  bench::F2(p.speedup)});
+  }
+  table.Print();
+}
+
+std::string JsonPoints(const std::vector<RunPoint>& points) {
+  std::string out = "[";
+  for (size_t i = 0; i < points.size(); ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"threads\":%d,\"seconds\":%.4f,\"traj_per_s\":%.0f,"
+                  "\"speedup\":%.2f}",
+                  i == 0 ? "" : ",", points[i].threads, points[i].seconds,
+                  points[i].traj_per_s, points[i].speedup);
+    out += buf;
+  }
+  return out + "]";
+}
+
+}  // namespace
+}  // namespace sidq
+
+int main() {
+  using namespace sidq;
+
+  bench::Banner("BENCH exec", "parallel fleet cleaning",
+                "DQ management must keep up with high-velocity multi-source "
+                "IoT streams (Zubair et al.; Karkouch et al.); sharded "
+                "parallel cleaning with deterministic replay");
+
+  const auto fleet = MakeFleet();
+  std::printf("fleet: %zu trajectories x %zu points, %u hardware threads\n\n",
+              fleet.size(), static_cast<size_t>(kPointsEach),
+              std::thread::hardware_concurrency());
+
+  const auto cpu =
+      BenchPipeline("cpu_bound", MakeCpuPipeline(), fleet, /*shard_size=*/64);
+  PrintTable("cpu_bound (jitter -> outlier repair -> Kalman -> DP-SED)", cpu);
+
+  const auto io = BenchPipeline("latency_bound", MakeLatencyPipeline(), fleet,
+                                /*shard_size=*/16);
+  PrintTable("latency_bound (50us gateway fetch -> Kalman)", io);
+
+  std::printf(
+      "determinism: all parallel configurations bit-identical to serial\n\n");
+
+  std::printf(
+      "BENCH_JSON: {\"bench\":\"exec_fleet\",\"fleet_size\":%zu,"
+      "\"points_per_trajectory\":%zu,\"hardware_threads\":%u,"
+      "\"determinism\":\"bit-identical\",\"workloads\":{"
+      "\"cpu_bound\":%s,\"latency_bound\":%s}}\n",
+      fleet.size(), static_cast<size_t>(kPointsEach),
+      std::thread::hardware_concurrency(), JsonPoints(cpu).c_str(),
+      JsonPoints(io).c_str());
+  return 0;
+}

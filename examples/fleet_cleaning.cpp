@@ -1,103 +1,139 @@
-// Fleet telematics end-to-end: map matching, route completion, compression,
-// and continuous monitoring over a simulated vehicle fleet.
+// Fleet telematics end-to-end, now executed by the parallel fleet engine:
+// raw GPS from many vehicles is degraded per-vehicle (seeded substreams),
+// then cleaned by a TrajectoryPipeline -- HMM map matching (Location
+// Refinement), road-constrained gap completion (Uncertainty Elimination),
+// DP-SED simplification (Data Reduction) -- run over the whole fleet by
+// exec::FleetRunner on a work-stealing pool. A dispatcher's continuous
+// range query consumes the cleaned streams (Exploitation).
 //
-// The scenario follows the tutorial's motivating pipeline: raw GPS from many
-// vehicles is refined against the road network (Location Refinement),
-// sparsified gaps are restored (Uncertainty Elimination), the cleaned
-// trajectories are compressed for storage (Data Reduction), and a dispatcher
-// runs a continuous range query with safe regions (Exploitation).
+//   fleet_cleaning [--threads N]   (default 0 = all hardware threads)
+//
+// The determinism contract means --threads changes only the wall clock:
+// every vehicle's cleaned trajectory is bit-identical for any N.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "core/pipeline.h"
+#include "core/quality.h"
 #include "core/random.h"
+#include "exec/fleet_runner.h"
 #include "query/continuous.h"
-#include "reduce/network_compression.h"
 #include "reduce/simplify.h"
 #include "refine/hmm_map_matcher.h"
 #include "sim/noise.h"
 #include "sim/trajectory_sim.h"
 #include "uncertainty/completion.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sidq;
 
-  Rng rng(7);
-  const int kVehicles = 20;
-  sim::Fleet fleet =
-      sim::MakeFleet(12, 12, 180.0, kVehicles, 24, &rng);
-  std::printf("fleet_cleaning: %d vehicles on a %zu-edge road network\n\n",
-              kVehicles, fleet.network.num_edges());
-
-  refine::HmmMapMatcher matcher(&fleet.network);
-  uncertainty::RoadCompleter completer(&fleet.network);
-  query::SafeRegionMonitor monitor(
-      geometry::BBox(500, 500, 1400, 1400));  // dispatcher watches downtown
-
-  double raw_err = 0.0, matched_err = 0.0;
-  size_t raw_bytes = 0, compressed_bytes = 0;
-  size_t completed_points = 0, sparse_points = 0;
-
-  for (const Trajectory& truth : fleet.trajectories) {
-    // Degrade: GPS noise plus sparse reporting to save battery.
-    const Trajectory noisy = sim::AddGpsNoise(truth, 14.0, &rng);
-    const Trajectory sparse = sim::Resample(noisy, 5000);
-
-    // 1. Location refinement: HMM map matching onto the road network.
-    auto matched = matcher.Match(sparse);
-    if (!matched.ok()) {
-      std::fprintf(stderr, "match failed: %s\n",
-                   matched.status().ToString().c_str());
-      continue;
-    }
-    // Compare at the sparse timestamps.
-    double re = 0.0, me = 0.0;
-    for (size_t i = 0; i < sparse.size(); ++i) {
-      auto tp = truth.InterpolateAt(sparse[i].t);
-      if (!tp.ok()) continue;
-      re += geometry::Distance(sparse[i].p, tp.value());
-      me += geometry::Distance(matched->matched[i].p, tp.value());
-    }
-    raw_err += re / sparse.size();
-    matched_err += me / sparse.size();
-
-    // 2. Uncertainty elimination: restore the path between sparse fixes.
-    auto completed = completer.Complete(matched->matched);
-    if (completed.ok()) {
-      completed_points += completed->size();
-      sparse_points += sparse.size();
-    }
-
-    // 3. Data reduction: store the map-matched ride as edge runs + deltas.
-    std::vector<Timestamp> times;
-    for (const auto& pt : matched->matched.points()) times.push_back(pt.t);
-    auto compressed = reduce::CompressMatched(matched->edges, times);
-    if (compressed.ok()) {
-      raw_bytes += reduce::RawPointBytes(sparse.size());
-      compressed_bytes += compressed->TotalBytes();
-    }
-
-    // 4. Exploitation: feed the cleaned stream to the dispatcher's
-    // continuous range query.
-    for (const auto& pt : matched->matched.points()) {
-      monitor.ProcessUpdate(truth.object_id(), pt.p);
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 2;
     }
   }
 
-  std::printf("location refinement (HMM map matching)\n");
-  std::printf("  mean GPS error:      %6.1f m\n", raw_err / kVehicles);
-  std::printf("  mean matched error:  %6.1f m\n\n", matched_err / kVehicles);
+  Rng rng(7);
+  const int kVehicles = 24;
+  const uint64_t kDegradeSeed = 99;
+  sim::Fleet fleet = sim::MakeFleet(12, 12, 180.0, kVehicles, 24, &rng);
+  std::printf("fleet_cleaning: %d vehicles on a %zu-edge road network, "
+              "--threads %d\n\n",
+              kVehicles, fleet.network.num_edges(), threads);
 
-  std::printf("gap completion (road inference)\n");
-  std::printf("  sparse points:    %zu\n", sparse_points);
-  std::printf("  restored points:  %zu (%.1fx densification)\n\n",
-              completed_points,
-              static_cast<double>(completed_points) / sparse_points);
+  // Degrade: GPS noise plus sparse reporting to save battery. Each vehicle
+  // degrades under its own substream so the input fleet is reproducible
+  // regardless of iteration or thread count.
+  std::vector<Trajectory> observed;
+  observed.reserve(fleet.trajectories.size());
+  for (const Trajectory& truth : fleet.trajectories) {
+    Rng vehicle_rng = Rng::ForKey(kDegradeSeed, truth.object_id());
+    observed.push_back(
+        sim::Resample(sim::AddGpsNoise(truth, 14.0, &vehicle_rng), 5000));
+  }
 
-  std::printf("network-constrained compression\n");
-  std::printf("  raw (x,y,t):  %zu bytes\n", raw_bytes);
-  std::printf("  compressed:   %zu bytes (%.1fx)\n\n", compressed_bytes,
-              static_cast<double>(raw_bytes) / compressed_bytes);
+  // The cleaning pipeline. Stages are shared read-only across workers, so
+  // each map-match call builds its own matcher: HmmMapMatcher keeps a
+  // per-instance Dijkstra cache that is not safe to share between threads.
+  const sim::RoadNetwork* network = &fleet.network;
+  TrajectoryPipeline pipeline;
+  pipeline.Add("map_match",
+               [network](const Trajectory& in) -> StatusOr<Trajectory> {
+                 refine::HmmMapMatcher matcher(network);
+                 SIDQ_ASSIGN_OR_RETURN(auto match, matcher.Match(in));
+                 return match.matched;
+               });
+  pipeline.Add("complete",
+               [network](const Trajectory& in) -> StatusOr<Trajectory> {
+                 return uncertainty::RoadCompleter(network).Complete(in);
+               });
+  pipeline.Add("simplify", [](const Trajectory& in) -> StatusOr<Trajectory> {
+    return reduce::DouglasPeuckerSed(in, 2.0);
+  });
 
+  exec::FleetRunner::Options options;
+  options.num_threads = threads;
+  options.sharding = exec::ShardingMode::kSkewAware;
+  options.skew_max_load = 4;
+  options.base_seed = kDegradeSeed;
+  const exec::FleetRunner runner(&pipeline, options);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const exec::FleetResult result =
+      runner.RunProfiled(observed, &fleet.trajectories, TrajectoryProfiler());
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (!result.ok()) {
+    std::fprintf(stderr, "fleet run failed: %s\n",
+                 result.first_error.ToString().c_str());
+    return 1;
+  }
+  std::printf("cleaned %zu vehicles in %.3f s (%zu shards, skew-aware)\n\n",
+              observed.size(), wall_s, result.shards_total);
+
+  // Fleet-level DQ report: accuracy RMSE per stage, aggregated over the
+  // whole fleet (the per-stage mean/p50/p99 merge of every StageReport).
+  std::printf("fleet accuracy (m, vs. ground truth)   mean    p50    p99\n");
+  for (const exec::FleetStageStats& stats : result.stage_stats) {
+    const auto it = stats.metrics.find(DqDimension::kAccuracy);
+    if (it == stats.metrics.end()) continue;
+    std::printf("  %-36s %6.1f %6.1f %6.1f\n", stats.stage_name.c_str(),
+                it->second.mean, it->second.p50, it->second.p99);
+  }
+  std::printf("\n");
+
+  // Data reduction across the fleet.
+  size_t observed_points = 0, cleaned_points = 0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    observed_points += observed[i].size();
+    cleaned_points += result.cleaned[i].size();
+  }
+  std::printf("gap completion + simplification\n");
+  std::printf("  sparse points:   %zu\n", observed_points);
+  std::printf("  cleaned points:  %zu (%.1fx densification after DP-SED)\n\n",
+              cleaned_points,
+              static_cast<double>(cleaned_points) / observed_points);
+
+  // Exploitation: feed the cleaned streams to the dispatcher's continuous
+  // range query with safe regions.
+  query::SafeRegionMonitor monitor(
+      geometry::BBox(500, 500, 1400, 1400));  // dispatcher watches downtown
+  for (size_t i = 0; i < result.cleaned.size(); ++i) {
+    for (const auto& pt : result.cleaned[i].points()) {
+      monitor.ProcessUpdate(result.cleaned[i].object_id(), pt.p);
+    }
+  }
   std::printf("continuous range monitoring (safe regions)\n");
   std::printf("  updates: %zu, messages: %zu (%.0f%% saved), %zu vehicles "
               "currently downtown\n",

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""bench_json: run a bench binary and record its BENCH_JSON line(s) to disk.
+
+Bench binaries print human-readable markdown tables plus one machine-
+readable line per experiment:
+
+    BENCH_JSON: {"bench": "exec_fleet", ...}
+
+This wrapper runs the binary (forwarding extra args), echoes its stdout so
+provenance stays visible, validates every BENCH_JSON payload as JSON, and
+writes them -- pretty-printed, wrapped with run metadata -- to --out. One
+payload is written as an object, several as a list.
+
+Usage: scripts/bench_json.py --out BENCH_exec.json build/bench/bench_exec_fleet [args...]
+
+Exit codes: 0 ok; 1 bench failed or emitted no/invalid BENCH_JSON; 2 usage.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+PREFIX = "BENCH_JSON:"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", required=True, help="output JSON file")
+    parser.add_argument("binary", help="bench binary to run")
+    parser.add_argument("args", nargs="*", help="arguments forwarded to it")
+    opts = parser.parse_args()
+
+    binary = Path(opts.binary)
+    if not binary.is_file():
+        print(f"bench_json: no such binary: {binary}", file=sys.stderr)
+        return 2
+
+    proc = subprocess.run([str(binary), *opts.args], capture_output=True,
+                          text=True)
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        print(f"bench_json: {binary} exited {proc.returncode}",
+              file=sys.stderr)
+        return 1
+
+    payloads = []
+    for line in proc.stdout.splitlines():
+        if not line.startswith(PREFIX):
+            continue
+        try:
+            payloads.append(json.loads(line[len(PREFIX):].strip()))
+        except json.JSONDecodeError as err:
+            print(f"bench_json: invalid BENCH_JSON payload: {err}",
+                  file=sys.stderr)
+            return 1
+    if not payloads:
+        print(f"bench_json: {binary} printed no '{PREFIX}' line",
+              file=sys.stderr)
+        return 1
+
+    doc = {
+        "binary": binary.name,
+        "recorded_utc": datetime.now(timezone.utc)
+        .replace(microsecond=0)
+        .isoformat(),
+        "results": payloads[0] if len(payloads) == 1 else payloads,
+    }
+    out = Path(opts.out)
+    out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(f"bench_json: wrote {out} ({len(payloads)} payload(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,4 +36,9 @@ run_dir() {
 
 run_dir build/bench
 run_dir build/examples
+
+# Refresh the recorded parallel-execution perf artifact (also re-checks the
+# serial-vs-parallel determinism gate baked into the bench).
+python3 scripts/bench_json.py --out BENCH_exec.json build/bench/bench_exec_fleet
+
 echo "run_all: OK"

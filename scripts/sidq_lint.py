@@ -17,6 +17,14 @@ Rules
   R5 naked-new-delete    `new` / `delete` outside index internals; use
                          std::make_unique / containers. Index node pools
                          (src/index/) are the one sanctioned exception.
+  R6 stray-thread        `std::thread` / `std::jthread` / `std::async`
+                         outside src/exec/; ad-hoc threads bypass the
+                         pool's determinism and shutdown guarantees. Go
+                         through exec::ThreadPool / exec::FleetRunner, or
+                         annotate the line (or the one before it) with
+                         `// sidq: allow-thread(<reason>)` -- e.g. tests
+                         that deliberately stress the pool's MPMC path.
+                         (`std::thread::hardware_concurrency` is fine.)
 
 Usage: scripts/sidq_lint.py [--root DIR] [paths...]
 Exits 0 when the tree is clean, 1 with findings on stderr otherwise.
@@ -41,6 +49,13 @@ DELETE_RE = re.compile(r"\bdelete(\[\])?\b")
 
 # Files allowed to use naked new/delete: index node pools and arenas.
 NAKED_NEW_ALLOWED = re.compile(r"(^|/)src/index/|arena")
+
+ALLOW_THREAD_RE = re.compile(r"//\s*sidq:\s*allow-thread\([^)]+\)")
+# hardware_concurrency is a pure query, not a spawn -- exempt it.
+THREAD_RE = re.compile(
+    r"\bstd::(?:jthread\b|async\b|thread\b(?!::hardware_concurrency))")
+# Directory that owns threading primitives.
+THREAD_ALLOWED = re.compile(r"(^|/)src/exec/")
 
 
 def strip_comments_and_strings(text: str):
@@ -126,6 +141,17 @@ def lint_file(path: Path, rel: str):
                     (lineno, "R5",
                      "naked new/delete outside src/index/; use "
                      "std::make_unique or a container"))
+
+        # R6: thread spawning outside src/exec/ without an annotation.
+        if not THREAD_ALLOWED.search(rel) and THREAD_RE.search(code):
+            annotated = (ALLOW_THREAD_RE.search(raw_line)
+                         or ALLOW_THREAD_RE.search(prev_raw))
+            if not annotated:
+                findings.append(
+                    (lineno, "R6",
+                     "std::thread/jthread/async outside src/exec/; use "
+                     "exec::ThreadPool or annotate with "
+                     "'// sidq: allow-thread(<reason>)'"))
 
     return findings
 

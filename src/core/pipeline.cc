@@ -2,15 +2,32 @@
 
 namespace sidq {
 
+namespace {
+
+StatusOr<Trajectory> ApplyStage(const TrajectoryStage& stage,
+                                const Trajectory& input, Rng* rng) {
+  auto result = rng != nullptr ? stage.ApplySeeded(input, *rng)
+                               : stage.Apply(input);
+  if (!result.ok()) {
+    return Status(result.status().code(),
+                  "stage '" + stage.name() +
+                      "' failed: " + result.status().message());
+  }
+  return result;
+}
+
+}  // namespace
+
 StatusOr<Trajectory> TrajectoryPipeline::Run(const Trajectory& input) const {
+  return Run(input, nullptr);
+}
+
+StatusOr<Trajectory> TrajectoryPipeline::Run(const Trajectory& input,
+                                             Rng* rng) const {
   Trajectory current = input;
   for (const auto& stage : stages_) {
-    auto result = stage->Apply(current);
-    if (!result.ok()) {
-      return Status(result.status().code(),
-                    "stage '" + stage->name() +
-                        "' failed: " + result.status().message());
-    }
+    auto result = ApplyStage(*stage, current, rng);
+    if (!result.ok()) return result.status();
     current = std::move(result).value();
   }
   return current;
@@ -19,7 +36,7 @@ StatusOr<Trajectory> TrajectoryPipeline::Run(const Trajectory& input) const {
 StatusOr<Trajectory> TrajectoryPipeline::RunProfiled(
     const Trajectory& input, const Trajectory* truth,
     const TrajectoryProfiler& profiler,
-    std::vector<StageReport>* reports) const {
+    std::vector<StageReport>* reports, Rng* rng) const {
   auto profile_one = [&](const std::string& name, const Trajectory& tr) {
     if (reports == nullptr) return;
     std::vector<Trajectory> obs{tr};
@@ -34,16 +51,25 @@ StatusOr<Trajectory> TrajectoryPipeline::RunProfiled(
   profile_one("input", input);
   Trajectory current = input;
   for (const auto& stage : stages_) {
-    auto result = stage->Apply(current);
-    if (!result.ok()) {
-      return Status(result.status().code(),
-                    "stage '" + stage->name() +
-                        "' failed: " + result.status().message());
-    }
+    auto result = ApplyStage(*stage, current, rng);
+    if (!result.ok()) return result.status();
     current = std::move(result).value();
     profile_one(stage->name(), current);
   }
   return current;
+}
+
+StatusOr<std::vector<Trajectory>> TrajectoryPipeline::RunBatch(
+    const std::vector<Trajectory>& inputs, uint64_t base_seed) const {
+  std::vector<Trajectory> out;
+  out.reserve(inputs.size());
+  for (const Trajectory& input : inputs) {
+    Rng rng = Rng::ForKey(base_seed, input.object_id());
+    auto result = Run(input, &rng);
+    if (!result.ok()) return result.status();
+    out.push_back(std::move(result).value());
+  }
+  return out;
 }
 
 }  // namespace sidq

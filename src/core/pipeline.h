@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "core/quality.h"
+#include "core/random.h"
 #include "core/status.h"
 #include "core/statusor.h"
 #include "core/trajectory.h"
@@ -20,6 +22,16 @@ class TrajectoryStage {
   virtual ~TrajectoryStage() = default;
   virtual std::string name() const = 0;
   virtual StatusOr<Trajectory> Apply(const Trajectory& input) const = 0;
+
+  // Seeded entry point used by batch/fleet execution: `rng` is a substream
+  // derived from (base_seed, trajectory id), so randomized stages stay
+  // bit-identical no matter how the batch is sharded across threads (the
+  // determinism contract in DESIGN.md). Deterministic stages keep the
+  // default, which ignores the stream.
+  virtual StatusOr<Trajectory> ApplySeeded(const Trajectory& input,
+                                           Rng& /*rng*/) const {
+    return Apply(input);
+  }
 };
 
 // Adapts a plain callable into a TrajectoryStage.
@@ -35,6 +47,31 @@ class LambdaStage : public TrajectoryStage {
   }
 
  private:
+  std::string name_;
+  Fn fn_;
+};
+
+// Adapts a callable that consumes randomness into a TrajectoryStage. When
+// invoked through the unseeded Apply() path the stage falls back to a fixed
+// private stream, so single-trajectory runs stay reproducible too.
+class SeededLambdaStage : public TrajectoryStage {
+ public:
+  using Fn = std::function<StatusOr<Trajectory>(const Trajectory&, Rng&)>;
+  SeededLambdaStage(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  std::string name() const override { return name_; }
+  [[nodiscard]] StatusOr<Trajectory> Apply(const Trajectory& input) const override {
+    Rng fallback(kFallbackSeed);
+    return fn_(input, fallback);
+  }
+  [[nodiscard]] StatusOr<Trajectory> ApplySeeded(const Trajectory& input,
+                                                 Rng& rng) const override {
+    return fn_(input, rng);
+  }
+
+ private:
+  static constexpr uint64_t kFallbackSeed = 0x51D95EEDull;
   std::string name_;
   Fn fn_;
 };
@@ -60,20 +97,38 @@ class TrajectoryPipeline {
   TrajectoryPipeline& Add(std::string name, LambdaStage::Fn fn) {
     return Add(std::make_unique<LambdaStage>(std::move(name), std::move(fn)));
   }
+  TrajectoryPipeline& AddSeeded(std::string name, SeededLambdaStage::Fn fn) {
+    return Add(
+        std::make_unique<SeededLambdaStage>(std::move(name), std::move(fn)));
+  }
 
   size_t num_stages() const { return stages_.size(); }
   const TrajectoryStage& stage(size_t i) const { return *stages_[i]; }
 
   // Runs all stages in order. Fails fast on the first stage error.
   [[nodiscard]] StatusOr<Trajectory> Run(const Trajectory& input) const;
+  // Seeded variant: stages draw from `rng` (pass nullptr for the unseeded
+  // behaviour). Fleet execution derives one substream per trajectory.
+  [[nodiscard]] StatusOr<Trajectory> Run(const Trajectory& input,
+                                         Rng* rng) const;
 
   // Runs all stages, profiling the data before the first stage and after
   // every stage against `truth` (may be nullptr). `reports` receives
-  // num_stages()+1 entries, the first named "input".
+  // num_stages()+1 entries, the first named "input". The optional `rng`
+  // selects the seeded stage path exactly as in Run().
   [[nodiscard]] StatusOr<Trajectory> RunProfiled(const Trajectory& input,
                                    const Trajectory* truth,
                                    const TrajectoryProfiler& profiler,
-                                   std::vector<StageReport>* reports) const;
+                                   std::vector<StageReport>* reports,
+                                   Rng* rng = nullptr) const;
+
+  // Serial reference implementation of batch cleaning: trajectory i is
+  // cleaned with the substream DeriveSeed(base_seed, inputs[i].object_id()).
+  // exec::FleetRunner is required to produce bit-identical results to this
+  // loop for every worker count and sharding mode. Fails fast on the first
+  // trajectory whose pipeline run fails.
+  [[nodiscard]] StatusOr<std::vector<Trajectory>> RunBatch(
+      const std::vector<Trajectory>& inputs, uint64_t base_seed) const;
 
  private:
   std::vector<std::unique_ptr<TrajectoryStage>> stages_;

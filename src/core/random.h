@@ -6,12 +6,34 @@
 
 namespace sidq {
 
+// Mixes (base_seed, key) into one well-distributed 64-bit stream seed via
+// two rounds of the SplitMix64 finalizer. Nearby keys (0, 1, 2, ...) yield
+// statistically independent streams, which is what the fleet executor needs:
+// each trajectory draws from the substream (base_seed, trajectory_id), so
+// randomized cleaning stages produce bit-identical output no matter how the
+// batch is sharded across worker threads.
+inline uint64_t DeriveSeed(uint64_t base_seed, uint64_t key) {
+  auto mix = [](uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  uint64_t z = mix(base_seed + 0x9E3779B97F4A7C15ull);
+  z = mix(z ^ (key + 0x9E3779B97F4A7C15ull));
+  return z;
+}
+
 // Deterministic random source used throughout simulators and randomized
 // algorithms. Wraps a fixed engine so that experiments are reproducible
 // bit-for-bit given the same seed.
 class Rng {
  public:
   explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  // Substream constructor: an Rng seeded with DeriveSeed(base_seed, key).
+  static Rng ForKey(uint64_t base_seed, uint64_t key) {
+    return Rng(DeriveSeed(base_seed, key));
+  }
 
   // Uniform double in [lo, hi).
   double Uniform(double lo, double hi) {

@@ -20,6 +20,7 @@ enum class StatusCode : int {
   kDataLoss = 7,
   kInternal = 8,
   kUnimplemented = 9,
+  kCancelled = 10,
 };
 
 // Returns the canonical name of `code`, e.g. "InvalidArgument".
@@ -70,6 +71,9 @@ class [[nodiscard]] Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

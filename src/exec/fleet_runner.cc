@@ -1,0 +1,251 @@
+#include "exec/fleet_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <utility>
+
+#include "core/random.h"
+#include "exec/thread_pool.h"
+#include "geometry/point.h"
+#include "query/partition.h"
+
+namespace sidq {
+namespace exec {
+
+namespace {
+
+// Nearest-rank percentile of an already-sorted sample.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const size_t idx = static_cast<size_t>(std::max(1.0, rank)) - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+geometry::Point Centroid(const Trajectory& t) {
+  geometry::Point c;
+  if (t.empty()) return c;
+  for (const TrajectoryPoint& pt : t.points()) {
+    c.x += pt.p.x;
+    c.y += pt.p.y;
+  }
+  c.x /= static_cast<double>(t.size());
+  c.y /= static_cast<double>(t.size());
+  return c;
+}
+
+}  // namespace
+
+DqReport FleetStageStats::MeanReport() const {
+  DqReport report;
+  for (const auto& [dim, agg] : metrics) report.Set(dim, agg.mean);
+  return report;
+}
+
+std::string FleetStageStats::ToString() const {
+  std::string out = "stage '" + stage_name + "':";
+  for (const auto& [dim, agg] : metrics) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  " %s{n=%zu mean=%.3f p50=%.3f p99=%.3f}",
+                  DqDimensionName(dim), agg.count, agg.mean, agg.p50,
+                  agg.p99);
+    out += buf;
+  }
+  return out;
+}
+
+FleetRunner::FleetRunner(const TrajectoryPipeline* pipeline, Options options)
+    : pipeline_(pipeline), options_(options) {}
+
+std::vector<std::vector<size_t>> FleetRunner::MakeShards(
+    const std::vector<Trajectory>& fleet) const {
+  std::vector<std::vector<size_t>> shards;
+  if (fleet.empty()) return shards;
+
+  if (options_.sharding == ShardingMode::kRoundRobin) {
+    const size_t shard_size = std::max<size_t>(1, options_.shard_size);
+    for (size_t begin = 0; begin < fleet.size(); begin += shard_size) {
+      std::vector<size_t> shard;
+      const size_t end = std::min(fleet.size(), begin + shard_size);
+      shard.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) shard.push_back(i);
+      shards.push_back(std::move(shard));
+    }
+    return shards;
+  }
+
+  // Skew-aware: partition trajectory centroids with the adaptive quadtree,
+  // then group trajectories by the partition box containing their centroid.
+  // Point-free trajectories have no centroid and collect in a shard of
+  // their own.
+  std::vector<geometry::Point> centroids;
+  std::vector<size_t> with_points;
+  std::vector<size_t> empties;
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    if (fleet[i].empty()) {
+      empties.push_back(i);
+    } else {
+      with_points.push_back(i);
+      centroids.push_back(Centroid(fleet[i]));
+    }
+  }
+  const auto partitions = query::AdaptiveQuadPartition(
+      centroids, std::max<size_t>(1, options_.skew_max_load));
+  std::vector<std::vector<size_t>> buckets(partitions.size());
+  for (size_t k = 0; k < centroids.size(); ++k) {
+    // First containing box wins; boxes tile the (expanded) bounds, so a
+    // centroid on a shared seam is claimed deterministically once.
+    bool placed = false;
+    for (size_t b = 0; b < partitions.size(); ++b) {
+      if (partitions[b].box.Contains(centroids[k])) {
+        buckets[b].push_back(with_points[k]);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) empties.push_back(with_points[k]);
+  }
+  for (std::vector<size_t>& bucket : buckets) {
+    if (!bucket.empty()) shards.push_back(std::move(bucket));
+  }
+  if (!empties.empty()) {
+    std::sort(empties.begin(), empties.end());
+    shards.push_back(std::move(empties));
+  }
+  return shards;
+}
+
+FleetResult FleetRunner::Run(const std::vector<Trajectory>& fleet) const {
+  return RunInternal(fleet, nullptr, nullptr);
+}
+
+FleetResult FleetRunner::RunProfiled(const std::vector<Trajectory>& fleet,
+                                     const std::vector<Trajectory>* truths,
+                                     const TrajectoryProfiler& profiler) const {
+  return RunInternal(fleet, truths, &profiler);
+}
+
+FleetResult FleetRunner::RunInternal(const std::vector<Trajectory>& fleet,
+                                     const std::vector<Trajectory>* truths,
+                                     const TrajectoryProfiler* profiler) const {
+  FleetResult result;
+  const size_t n = fleet.size();
+  result.cleaned.resize(n);
+  result.statuses.assign(
+      n, Status::Cancelled("shard skipped: fleet cancelled after an earlier "
+                           "stage failure"));
+  if (n == 0) {
+    result.statuses.clear();
+    return result;
+  }
+
+  const std::vector<std::vector<size_t>> shards = MakeShards(fleet);
+  result.shards_total = shards.size();
+
+  // Per-trajectory profiling output, merged after the join so aggregation
+  // order never depends on scheduling.
+  std::vector<std::vector<StageReport>> all_reports;
+  if (profiler != nullptr) all_reports.resize(n);
+
+  std::atomic<bool> cancelled{false};
+  std::atomic<size_t> shards_cancelled{0};
+
+  // Each shard task writes only its own indices of cleaned/statuses/
+  // all_reports; the future join publishes those writes to this thread.
+  auto run_shard = [&](const std::vector<size_t>* shard) -> Status {
+    if (options_.cancel_on_error &&
+        cancelled.load(std::memory_order_acquire)) {
+      shards_cancelled.fetch_add(1, std::memory_order_relaxed);
+      return Status::Cancelled("shard skipped after earlier failure");
+    }
+    Status first = Status::OK();
+    for (size_t i : *shard) {
+      Rng rng = Rng::ForKey(options_.base_seed, fleet[i].object_id());
+      StatusOr<Trajectory> out =
+          profiler != nullptr
+              ? pipeline_->RunProfiled(
+                    fleet[i],
+                    truths != nullptr ? &(*truths)[i] : nullptr, *profiler,
+                    &all_reports[i], &rng)
+              : pipeline_->Run(fleet[i], &rng);
+      if (out.ok()) {
+        result.cleaned[i] = std::move(out).value();
+        result.statuses[i] = Status::OK();
+      } else {
+        result.statuses[i] = out.status();
+        if (first.ok()) first = out.status();
+        if (options_.cancel_on_error) {
+          cancelled.store(true, std::memory_order_release);
+        }
+      }
+    }
+    return first;
+  };
+
+  const size_t num_threads =
+      options_.num_threads > 0 ? static_cast<size_t>(options_.num_threads) : 0;
+  {
+    ThreadPool pool(num_threads);
+    std::vector<std::future<Status>> futures;
+    futures.reserve(shards.size());
+    for (const std::vector<size_t>& shard : shards) {
+      futures.push_back(pool.Submit([&run_shard, &shard] {
+        return run_shard(&shard);
+      }));
+    }
+    for (std::future<Status>& f : futures) {
+      // Shard-level failures are also recorded per trajectory; the future
+      // exists to join and to propagate Status through the pool API.
+      Status shard_status = f.get();
+      (void)shard_status;  // sidq: ignore-status(recorded per trajectory in statuses)
+    }
+  }
+
+  result.shards_cancelled = shards_cancelled.load(std::memory_order_relaxed);
+
+  // First-error-wins, resolved by input index for determinism.
+  for (size_t i = 0; i < n; ++i) {
+    const Status& st = result.statuses[i];
+    if (!st.ok() && st.code() != StatusCode::kCancelled) {
+      result.first_error = st;
+      break;
+    }
+  }
+
+  if (profiler != nullptr) {
+    const size_t num_stage_slots = pipeline_->num_stages() + 1;
+    result.stage_stats.resize(num_stage_slots);
+    for (size_t s = 0; s < num_stage_slots; ++s) {
+      FleetStageStats& stats = result.stage_stats[s];
+      std::map<DqDimension, std::vector<double>> samples;
+      for (size_t i = 0; i < n; ++i) {
+        if (all_reports[i].size() <= s) continue;
+        const StageReport& sr = all_reports[i][s];
+        if (stats.stage_name.empty()) stats.stage_name = sr.stage_name;
+        for (const auto& [dim, value] : sr.report.metrics()) {
+          samples[dim].push_back(value);
+        }
+      }
+      for (auto& [dim, values] : samples) {
+        std::sort(values.begin(), values.end());
+        MetricAggregate agg;
+        agg.count = values.size();
+        double sum = 0.0;
+        for (double v : values) sum += v;
+        agg.mean = sum / static_cast<double>(values.size());
+        agg.p50 = Percentile(values, 0.50);
+        agg.p99 = Percentile(values, 0.99);
+        stats.metrics[dim] = agg;
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace exec
+}  // namespace sidq

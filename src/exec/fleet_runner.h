@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/quality.h"
+#include "core/status.h"
+#include "core/trajectory.h"
+
+namespace sidq {
+namespace exec {
+
+// How a fleet batch is cut into per-task shards.
+enum class ShardingMode {
+  // Contiguous index chunks of Options::shard_size. Cheapest; the work
+  // stealing pool absorbs moderate imbalance.
+  kRoundRobin,
+  // AdaptiveQuadPartition over trajectory centroids with a per-partition
+  // load cap (Options::skew_max_load). Choose this when the fleet is
+  // spatially clustered *and* per-trajectory cost correlates with location
+  // (e.g. downtown trajectories hit denser road networks), so that one
+  // hot region does not become one giant task.
+  kSkewAware,
+};
+
+// count / mean / p50 / p99 of one DQ metric across the fleet.
+struct MetricAggregate {
+  size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+// Aggregate DQ statistics for one pipeline stage across every trajectory
+// that reached that stage: the fleet-level DqReport.
+struct FleetStageStats {
+  std::string stage_name;
+  std::map<DqDimension, MetricAggregate> metrics;
+
+  // The per-dimension means as a DqReport, for DiagnoseChanges interop.
+  [[nodiscard]] DqReport MeanReport() const;
+  [[nodiscard]] std::string ToString() const;
+};
+
+// Outcome of one fleet run. Per-trajectory statuses are reported instead of
+// one flattened StatusOr so that a single poisoned trajectory does not
+// discard the 9,999 that cleaned fine.
+struct FleetResult {
+  // Cleaned trajectory per input index; meaningful iff statuses[i].ok().
+  std::vector<Trajectory> cleaned;
+  // Per-trajectory terminal status: OK, the failing stage's error, or
+  // Cancelled when first-error-wins cancellation skipped its shard.
+  std::vector<Status> statuses;
+  // The stage failure with the lowest input index among shards that
+  // executed; OK when the whole fleet cleaned. With cancellation enabled
+  // and a single failing trajectory this is deterministic; with several
+  // failures the winner among *executed* shards can depend on scheduling
+  // (disable cancel_on_error for exhaustive error reporting).
+  Status first_error;
+  // Fleet-level aggregates, num_stages()+1 entries starting with "input";
+  // filled by RunProfiled only.
+  std::vector<FleetStageStats> stage_stats;
+
+  size_t shards_total = 0;
+  size_t shards_cancelled = 0;
+
+  [[nodiscard]] bool ok() const {
+    return first_error.ok() && shards_cancelled == 0;
+  }
+};
+
+// Runs a TrajectoryPipeline over a batch of trajectories on a work-stealing
+// ThreadPool.
+//
+// Determinism contract: trajectory i is cleaned with the RNG substream
+// DeriveSeed(base_seed, fleet[i].object_id()) and results are written back
+// by input index, so the output is bit-identical to
+// TrajectoryPipeline::RunBatch() -- regardless of worker count, sharding
+// mode, or OS scheduling. (Trajectories sharing an object_id share a
+// substream; give fleet members distinct ids.)
+//
+// Failure contract: first-error-wins. The first stage failure flips a
+// cancellation flag; shards that have not started yet finish immediately,
+// marking their trajectories Cancelled. Shards already in flight complete
+// normally. Set cancel_on_error=false to always clean everything.
+class FleetRunner {
+ public:
+  struct Options {
+    // Worker threads; <= 0 means std::thread::hardware_concurrency().
+    int num_threads = 0;
+    ShardingMode sharding = ShardingMode::kRoundRobin;
+    // Trajectories per task under kRoundRobin. Small shards expose more
+    // parallelism; large shards amortize scheduling.
+    size_t shard_size = 16;
+    // Per-partition trajectory cap under kSkewAware.
+    size_t skew_max_load = 64;
+    // Base seed of the per-trajectory substreams.
+    uint64_t base_seed = 42;
+    // First-error-wins cancellation.
+    bool cancel_on_error = true;
+  };
+
+  // `pipeline` must outlive the runner and is shared read-only across
+  // workers; stages must therefore be const-thread-safe.
+  FleetRunner(const TrajectoryPipeline* pipeline, Options options);
+
+  [[nodiscard]] FleetResult Run(const std::vector<Trajectory>& fleet) const;
+
+  // Also profiles every trajectory before the first and after each stage
+  // (against truths[i] when `truths` is non-null, aligned with `fleet`) and
+  // merges the per-trajectory StageReports into FleetResult::stage_stats.
+  [[nodiscard]] FleetResult RunProfiled(
+      const std::vector<Trajectory>& fleet,
+      const std::vector<Trajectory>* truths,
+      const TrajectoryProfiler& profiler) const;
+
+  // The shard index sets the next Run would use (exposed for tests and
+  // load-balance introspection). Every input index appears exactly once.
+  [[nodiscard]] std::vector<std::vector<size_t>> MakeShards(
+      const std::vector<Trajectory>& fleet) const;
+
+ private:
+  FleetResult RunInternal(const std::vector<Trajectory>& fleet,
+                          const std::vector<Trajectory>* truths,
+                          const TrajectoryProfiler* profiler) const;
+
+  const TrajectoryPipeline* pipeline_;
+  Options options_;
+};
+
+}  // namespace exec
+}  // namespace sidq

@@ -1,0 +1,92 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace sidq {
+namespace exec {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  const size_t idx =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SIDQ_CHECK(!shutdown_) << "ThreadPool::Submit after Shutdown";
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[idx]->mu);
+    workers_[idx]->queue.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++queued_;
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::TryPop(size_t self, std::function<void()>* task) {
+  const size_t n = workers_.size();
+  for (size_t k = 0; k < n; ++k) {
+    Worker& w = *workers_[(self + k) % n];
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      if (w.queue.empty()) continue;
+      if (k == 0) {
+        *task = std::move(w.queue.front());
+        w.queue.pop_front();
+      } else {
+        *task = std::move(w.queue.back());
+        w.queue.pop_back();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --queued_;
+    }
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (TryPop(self, &task)) {
+      task();
+      task = nullptr;  // release captures before sleeping
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return queued_ > 0 || shutdown_; });
+    if (queued_ == 0 && shutdown_) return;
+  }
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace exec
+}  // namespace sidq

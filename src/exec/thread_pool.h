@@ -1,0 +1,89 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace sidq {
+namespace exec {
+
+// Fixed-size work-stealing thread pool. Tasks are distributed round-robin
+// over per-worker deques; an idle worker first drains its own deque in FIFO
+// order, then steals from the back of its siblings' deques, so a skewed
+// shard assignment cannot strand work behind one slow queue.
+//
+// Error propagation follows the repo-wide Status idiom: tasks return
+// Status / StatusOr<T> *by value* through the future -- the pool never
+// traffics in exceptions. Shutdown is graceful: every task queued before
+// Shutdown() runs to completion before the workers join, so futures
+// obtained from Submit() never dangle.
+//
+// This is the only place in the tree allowed to spawn std::thread
+// (sidq-lint rule R6); everything else parallelizes through this pool.
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to at least 1; pass 0 to use
+  // std::thread::hardware_concurrency()).
+  explicit ThreadPool(size_t num_threads);
+  // Graceful: equivalent to Shutdown().
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  // Enqueues `fn` and returns a future for its result. Submitting from
+  // multiple threads is safe; submitting after Shutdown() is a programmer
+  // error (SIDQ_CHECK).
+  template <typename F>
+  auto Submit(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    // packaged_task is move-only but std::function requires copyable
+    // callables, so the task lives behind a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  // Drains every queued task, then joins the workers. Idempotent.
+  void Shutdown();
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> queue;
+    std::mutex mu;
+  };
+
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop(size_t self);
+  // Pops own work (front) or steals (back); false when every queue is empty.
+  bool TryPop(size_t self, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // mu_/cv_ guard the idle/wakeup protocol; `queued_` counts tasks pushed
+  // but not yet popped so sleepers never miss a submission.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t queued_ = 0;
+  bool shutdown_ = false;
+
+  std::atomic<size_t> next_queue_{0};
+};
+
+}  // namespace exec
+}  // namespace sidq

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -13,6 +14,35 @@
 
 namespace sidq {
 namespace sim {
+
+// Relaxed atomic counter that keeps value semantics: copies snapshot the
+// current count, so an owning object stays copyable/movable. Used for
+// const-method statistics that fleet execution may bump from many worker
+// threads (data-race-free; interleaved writers make the value approximate,
+// which is fine for search-effort stats).
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter& other) : v_(other.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    v_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(size_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator size_t() const { return load(); }
+  size_t load() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<size_t> v_{0};
+};
 
 // A planar road network: undirected edges between embedded nodes. Serves as
 // the spatial constraint substrate for map matching, route inference,
@@ -57,8 +87,10 @@ class RoadNetwork {
   // Length of the shortest path, or infinity when unreachable.
   double ShortestPathLength(NodeId from, NodeId to) const;
   // Nodes expanded by the most recent ShortestPath/ShortestPathAStar call
-  // (search-effort statistics for the A* ablation).
-  mutable size_t last_nodes_expanded = 0;
+  // (search-effort statistics for the A* ablation). Atomic because const
+  // path queries update it and fleet execution issues them from many
+  // worker threads; concurrent callers see *a* recent count, not their own.
+  mutable RelaxedCounter last_nodes_expanded;
 
   // Builds (or rebuilds) the edge lookup accelerator; must be called after
   // the last AddEdge and before Nearest*() queries.

@@ -1,0 +1,197 @@
+// Concurrency stress tests for src/exec/, written to be run under the
+// `tsan` preset (they also run in every other preset): tiny shards and
+// more workers than cores hammer the pool's queue, steal, cancellation,
+// and report-merge paths so ThreadSanitizer sees real interleavings
+// instead of a single lucky schedule.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <thread>  // sidq: allow-thread(multi-producer submission stress)
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/quality.h"
+#include "core/random.h"
+#include "core/status.h"
+#include "core/trajectory.h"
+#include "exec/fleet_runner.h"
+#include "exec/thread_pool.h"
+
+namespace sidq {
+namespace {
+
+using exec::FleetResult;
+using exec::FleetRunner;
+using exec::ShardingMode;
+using exec::ThreadPool;
+
+std::vector<Trajectory> MakeTinyFleet(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Trajectory> fleet;
+  fleet.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Trajectory t(static_cast<ObjectId>(i));
+    double x = rng.Uniform(0.0, 1000.0);
+    double y = rng.Uniform(0.0, 1000.0);
+    for (size_t k = 0; k < 8; ++k) {
+      t.AppendUnordered(TrajectoryPoint(static_cast<Timestamp>(k) * 500,
+                                        geometry::Point(x, y), 3.0));
+      x += rng.Gaussian(0.0, 5.0);
+      y += rng.Gaussian(0.0, 5.0);
+    }
+    fleet.push_back(std::move(t));
+  }
+  return fleet;
+}
+
+TrajectoryPipeline MakeJitterPipeline() {
+  TrajectoryPipeline pipeline;
+  pipeline.AddSeeded("jitter",
+                     [](const Trajectory& in, Rng& rng) -> StatusOr<Trajectory> {
+                       Trajectory out(in.object_id());
+                       for (const TrajectoryPoint& pt : in.points()) {
+                         TrajectoryPoint moved = pt;
+                         moved.p.x += rng.Gaussian(0.0, 1.0);
+                         moved.p.y += rng.Gaussian(0.0, 1.0);
+                         out.AppendUnordered(moved);
+                       }
+                       return out;
+                     });
+  return pipeline;
+}
+
+TEST(ExecStressTest, ManyWorkersSingleTrajectoryShardsStayDeterministic) {
+  const uint64_t kSeed = 7;
+  const auto fleet = MakeTinyFleet(256, kSeed);
+  const TrajectoryPipeline pipeline = MakeJitterPipeline();
+  const auto serial = pipeline.RunBatch(fleet, kSeed);
+  ASSERT_TRUE(serial.ok());
+
+  FleetRunner::Options options;
+  options.num_threads = 8;  // deliberately more than this container's cores
+  options.shard_size = 1;   // maximum queue/steal churn
+  options.base_seed = kSeed;
+  const FleetRunner runner(&pipeline, options);
+
+  for (int round = 0; round < 5; ++round) {
+    const FleetResult result = runner.Run(fleet);
+    ASSERT_TRUE(result.ok()) << result.first_error;
+    for (size_t i = 0; i < fleet.size(); ++i) {
+      const Trajectory& got = result.cleaned[i];
+      const Trajectory& want = (*serial)[i];
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t k = 0; k < got.size(); ++k) {
+        ASSERT_EQ(got[k].p.x, want[k].p.x) << "round " << round;
+        ASSERT_EQ(got[k].p.y, want[k].p.y) << "round " << round;
+      }
+    }
+  }
+}
+
+TEST(ExecStressTest, ProfiledMergeUnderManyWorkers) {
+  const uint64_t kSeed = 11;
+  const auto fleet = MakeTinyFleet(192, kSeed);
+  const TrajectoryPipeline pipeline = MakeJitterPipeline();
+  FleetRunner::Options options;
+  options.num_threads = 8;
+  options.shard_size = 1;
+  options.sharding = ShardingMode::kSkewAware;
+  options.skew_max_load = 4;
+  options.base_seed = kSeed;
+  const FleetRunner runner(&pipeline, options);
+
+  FleetResult reference;
+  for (int round = 0; round < 3; ++round) {
+    const FleetResult result =
+        runner.RunProfiled(fleet, &fleet, TrajectoryProfiler());
+    ASSERT_TRUE(result.ok()) << result.first_error;
+    ASSERT_EQ(result.stage_stats.size(), 2u);
+    const auto& acc =
+        result.stage_stats[1].metrics.at(DqDimension::kAccuracy);
+    EXPECT_EQ(acc.count, fleet.size());
+    if (round == 0) {
+      reference = result;
+    } else {
+      // Aggregates merge after the join in input order: bit-equal rounds.
+      EXPECT_EQ(acc.mean,
+                reference.stage_stats[1]
+                    .metrics.at(DqDimension::kAccuracy)
+                    .mean);
+      EXPECT_EQ(acc.p99, reference.stage_stats[1]
+                             .metrics.at(DqDimension::kAccuracy)
+                             .p99);
+    }
+  }
+}
+
+TEST(ExecStressTest, CancellationRaceIsClean) {
+  // Poison several trajectories; whichever shard trips the flag first,
+  // every status must end as OK, the stage error, or Cancelled -- and the
+  // winning first_error must always be a stage error, never Cancelled.
+  const uint64_t kSeed = 13;
+  const auto fleet = MakeTinyFleet(128, kSeed);
+  TrajectoryPipeline pipeline = MakeJitterPipeline();
+  pipeline.Add("validate", [](const Trajectory& in) -> StatusOr<Trajectory> {
+    if (in.object_id() % 17 == 3) return Status::DataLoss("poisoned");
+    return in;
+  });
+
+  FleetRunner::Options options;
+  options.num_threads = 8;
+  options.shard_size = 2;
+  options.base_seed = kSeed;
+  options.cancel_on_error = true;
+  const FleetRunner runner(&pipeline, options);
+
+  for (int round = 0; round < 4; ++round) {
+    const FleetResult result = runner.Run(fleet);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.first_error.code(), StatusCode::kDataLoss);
+    size_t failed = 0;
+    for (const Status& st : result.statuses) {
+      ASSERT_TRUE(st.ok() || st.code() == StatusCode::kDataLoss ||
+                  st.code() == StatusCode::kCancelled)
+          << st;
+      if (st.code() == StatusCode::kDataLoss) ++failed;
+    }
+    EXPECT_GE(failed, 1u);
+  }
+}
+
+TEST(ExecStressTest, MultiProducerSubmission) {
+  // Four producer threads hammer one pool while its eight workers drain;
+  // the counter must come out exact and TSan must stay silent.
+  ThreadPool pool(8);
+  std::atomic<int64_t> sum{0};
+  constexpr int kProducers = 4;
+  constexpr int kTasksPerProducer = 2000;
+  {
+    std::vector<std::thread> producers;  // sidq: allow-thread(stress the pool's MPMC path)
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&pool, &sum, p] {
+        std::vector<std::future<Status>> futures;
+        futures.reserve(kTasksPerProducer);
+        for (int i = 0; i < kTasksPerProducer; ++i) {
+          futures.push_back(pool.Submit([&sum, p, i]() -> Status {
+            sum.fetch_add(static_cast<int64_t>(p) * kTasksPerProducer + i,
+                          std::memory_order_relaxed);
+            return Status::OK();
+          }));
+        }
+        for (auto& f : futures) f.wait();
+      });
+    }
+    // sidq: allow-thread(joining the producer threads spawned above)
+    for (std::thread& t : producers) t.join();
+  }
+  pool.Shutdown();
+  constexpr int64_t kTotal = int64_t{kProducers} * kTasksPerProducer;
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
+}  // namespace
+}  // namespace sidq

@@ -1,0 +1,128 @@
+// Property tests for the spatial partitioners that back skew-aware fleet
+// sharding: no point may be lost or double-counted, partition boxes must
+// tile the space, and the adaptive quadtree must beat the uniform grid on
+// the clustered workloads it exists for.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "geometry/bbox.h"
+#include "geometry/point.h"
+#include "query/partition.h"
+
+namespace sidq {
+namespace query {
+namespace {
+
+// A deliberately skewed workload: `cluster_fraction` of the points sit in a
+// tight Gaussian blob, the rest spread uniformly over a much larger region.
+std::vector<geometry::Point> MakeClusteredPoints(size_t n,
+                                                 double cluster_fraction,
+                                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geometry::Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(cluster_fraction)) {
+      pts.emplace_back(1000.0 + rng.Gaussian(0.0, 30.0),
+                       1000.0 + rng.Gaussian(0.0, 30.0));
+    } else {
+      pts.emplace_back(rng.Uniform(0.0, 10000.0), rng.Uniform(0.0, 10000.0));
+    }
+  }
+  return pts;
+}
+
+size_t TotalLoad(const std::vector<Partition>& parts) {
+  size_t total = 0;
+  for (const Partition& p : parts) total += p.load;
+  return total;
+}
+
+size_t NumContainingBoxes(const std::vector<Partition>& parts,
+                          const geometry::Point& p) {
+  size_t hits = 0;
+  for (const Partition& part : parts) {
+    if (part.box.Contains(p)) ++hits;
+  }
+  return hits;
+}
+
+TEST(PartitionPropertyTest, UniformGridLoadsSumToPointCount) {
+  const auto pts = MakeClusteredPoints(5000, 0.85, 71);
+  for (const auto& [cols, rows] :
+       {std::pair<int, int>{1, 1}, {8, 8}, {16, 16}, {3, 7}}) {
+    const auto parts = UniformGridPartition(pts, cols, rows);
+    ASSERT_EQ(parts.size(), static_cast<size_t>(cols) * rows);
+    EXPECT_EQ(TotalLoad(parts), pts.size()) << cols << "x" << rows;
+  }
+}
+
+TEST(PartitionPropertyTest, AdaptiveQuadLoadsSumToPointCount) {
+  const auto pts = MakeClusteredPoints(5000, 0.85, 71);
+  for (const size_t max_load : {50u, 200u, 5000u}) {
+    const auto parts = AdaptiveQuadPartition(pts, max_load);
+    EXPECT_EQ(TotalLoad(parts), pts.size()) << "max_load " << max_load;
+  }
+  // A depth cap may leave partitions above max_load but must lose nothing.
+  const auto shallow = AdaptiveQuadPartition(pts, 10, /*max_depth=*/3);
+  EXPECT_EQ(TotalLoad(shallow), pts.size());
+  EXPECT_LE(shallow.size(), 64u);  // 4^3 leaves at most
+}
+
+TEST(PartitionPropertyTest, EveryPointFallsInExactlyOneBox) {
+  const auto pts = MakeClusteredPoints(4000, 0.8, 29);
+  const auto grid = UniformGridPartition(pts, 12, 9);
+  const auto quad = AdaptiveQuadPartition(pts, 64);
+  for (const geometry::Point& p : pts) {
+    EXPECT_EQ(NumContainingBoxes(grid, p), 1u);
+    EXPECT_EQ(NumContainingBoxes(quad, p), 1u);
+  }
+}
+
+TEST(PartitionPropertyTest, QuadBoxInteriorsAreDisjoint) {
+  const auto pts = MakeClusteredPoints(4000, 0.8, 29);
+  const auto quad = AdaptiveQuadPartition(pts, 64);
+  for (size_t a = 0; a < quad.size(); ++a) {
+    for (size_t b = a + 1; b < quad.size(); ++b) {
+      const geometry::BBox& ba = quad[a].box;
+      const geometry::BBox& bb = quad[b].box;
+      const double w = std::min(ba.max_x, bb.max_x) -
+                       std::max(ba.min_x, bb.min_x);
+      const double h = std::min(ba.max_y, bb.max_y) -
+                       std::max(ba.min_y, bb.min_y);
+      // Neighbouring leaves may share an edge (w or h == 0) but never area.
+      if (w > 0.0 && h > 0.0) {
+        ADD_FAILURE() << "boxes " << a << " and " << b
+                      << " overlap with area " << w * h;
+      }
+    }
+  }
+}
+
+TEST(PartitionPropertyTest, AdaptiveImbalanceAtMostUniformOnSkewedLoad) {
+  const auto pts = MakeClusteredPoints(10000, 0.85, 107);
+  // Comparable partition budgets: a 16x16 grid has 256 cells; cap the quad
+  // leaves at the grid's ideal per-cell load so both aim at the same
+  // granularity.
+  const auto grid = UniformGridPartition(pts, 16, 16);
+  const auto quad =
+      AdaptiveQuadPartition(pts, pts.size() / (16 * 16) + 1);
+  const PartitionStats grid_stats = ComputeStats(grid);
+  const PartitionStats quad_stats = ComputeStats(quad);
+
+  // The blob lands in a handful of grid cells, so the grid's max load dwarfs
+  // its mean; the quadtree keeps splitting exactly there.
+  EXPECT_LE(quad_stats.imbalance, grid_stats.imbalance);
+  EXPECT_GT(grid_stats.imbalance, 5.0)
+      << "workload not skewed enough to be a meaningful fixture";
+  EXPECT_LT(quad_stats.max_load, grid_stats.max_load);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace sidq

@@ -41,6 +41,8 @@ Status FailsWith(StatusCode code) {
       return Status::Internal("internal");
     case StatusCode::kUnimplemented:
       return Status::Unimplemented("unimplemented");
+    case StatusCode::kCancelled:
+      return Status::Cancelled("cancelled");
   }
   return Status::Internal("unreachable");
 }
@@ -56,7 +58,7 @@ TEST(StatusPropagationTest, ReturnIfErrorForwardsEveryCode) {
       StatusCode::kOutOfRange,         StatusCode::kFailedPrecondition,
       StatusCode::kAlreadyExists,      StatusCode::kResourceExhausted,
       StatusCode::kDataLoss,           StatusCode::kInternal,
-      StatusCode::kUnimplemented};
+      StatusCode::kUnimplemented,      StatusCode::kCancelled};
   for (StatusCode code : codes) {
     const Status relayed = Relay(code);
     EXPECT_FALSE(relayed.ok());
