@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""bench_compare: fail when a recorded bench artifact regresses.
+
+Compares two BENCH_*.json files (as written by scripts/bench_json.py) by
+walking both documents in parallel and checking every numeric metric leaf:
+
+  time keys   (higher is worse): seconds, scalar_s, kernel_s
+  ratio keys  (lower is worse):  speedup, traj_per_s
+
+A metric that moved in the bad direction by more than --tolerance
+(default 0.15, i.e. >15%) is a regression. Structural drift (a metric
+present on one side only, list length changes) is reported but tolerated:
+benches grow new rows; they must not silently lose performance.
+
+--ratios-only restricts the check to ratio keys. Absolute times are
+machine-dependent, so CI compares a fresh run against the committed
+artifact with --ratios-only and a loose tolerance; nightly same-machine
+runs can compare everything.
+
+Usage: scripts/bench_compare.py BASELINE.json NEW.json [--tolerance F]
+       [--ratios-only]
+
+Exit codes: 0 ok; 1 regression(s); 2 usage/IO.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TIME_KEYS = {"seconds", "scalar_s", "kernel_s"}
+RATIO_KEYS = {"speedup", "traj_per_s"}
+# Run metadata that legitimately differs between two recordings.
+SKIP_KEYS = {"recorded_utc"}
+
+
+def walk(base, new, path, metrics, drift):
+    if isinstance(base, dict) and isinstance(new, dict):
+        for key in sorted(set(base) | set(new)):
+            if key in SKIP_KEYS:
+                continue
+            sub = f"{path}.{key}" if path else key
+            if key not in base or key not in new:
+                drift.append(f"{sub}: only in "
+                             f"{'new' if key in new else 'baseline'}")
+                continue
+            walk(base[key], new[key], sub, metrics, drift)
+    elif isinstance(base, list) and isinstance(new, list):
+        if len(base) != len(new):
+            drift.append(f"{path}: length {len(base)} -> {len(new)}")
+        for i, (b, n) in enumerate(zip(base, new)):
+            walk(b, n, f"{path}[{i}]", metrics, drift)
+    else:
+        key = path.rsplit(".", 1)[-1].split("[")[0]
+        if (key in TIME_KEYS or key in RATIO_KEYS) and \
+                isinstance(base, (int, float)) and \
+                isinstance(new, (int, float)):
+            metrics.append((path, key, float(base), float(new)))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="recorded baseline BENCH_*.json")
+    parser.add_argument("new", help="fresh BENCH_*.json to check")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional slip (default 0.15)")
+    parser.add_argument("--ratios-only", action="store_true",
+                        help="compare only ratio metrics (speedup, "
+                        "traj_per_s); use when machines differ")
+    args = parser.parse_args()
+
+    docs = []
+    for name in (args.baseline, args.new):
+        p = Path(name)
+        if not p.is_file():
+            print(f"bench_compare: no such file: {p}", file=sys.stderr)
+            return 2
+        try:
+            docs.append(json.loads(p.read_text(encoding="utf-8")))
+        except json.JSONDecodeError as err:
+            print(f"bench_compare: invalid JSON in {p}: {err}",
+                  file=sys.stderr)
+            return 2
+
+    metrics, drift = [], []
+    walk(docs[0], docs[1], "", metrics, drift)
+    for note in drift:
+        print(f"bench_compare: note: {note}")
+
+    regressions = []
+    checked = 0
+    for path, key, base, new in metrics:
+        if args.ratios_only and key not in RATIO_KEYS:
+            continue
+        checked += 1
+        if key in TIME_KEYS:
+            bad = new > base * (1.0 + args.tolerance)
+            change = (new - base) / base if base else 0.0
+        else:
+            bad = new < base * (1.0 - args.tolerance)
+            change = (base - new) / base if base else 0.0
+        if bad:
+            regressions.append(
+                f"{path}: {base:g} -> {new:g} "
+                f"({change * 100.0:+.1f}% worse, tolerance "
+                f"{args.tolerance * 100.0:.0f}%)")
+
+    if regressions:
+        for line in regressions:
+            print(f"bench_compare: REGRESSION {line}", file=sys.stderr)
+        print(f"bench_compare: {len(regressions)} regression(s) across "
+              f"{checked} metric(s)", file=sys.stderr)
+        return 1
+    if checked == 0:
+        print("bench_compare: no comparable metrics found", file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK ({checked} metric(s) within "
+          f"{args.tolerance * 100.0:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

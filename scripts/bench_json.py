@@ -30,7 +30,10 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", required=True, help="output JSON file")
     parser.add_argument("binary", help="bench binary to run")
-    parser.add_argument("args", nargs="*", help="arguments forwarded to it")
+    # REMAINDER, not "*": forwarded args may be flags (e.g. --quick), which
+    # "*" would reject as unrecognized options of this wrapper.
+    parser.add_argument("args", nargs=argparse.REMAINDER,
+                        help="arguments forwarded to it")
     opts = parser.parse_args()
 
     binary = Path(opts.binary)

@@ -41,4 +41,8 @@ run_dir build/examples
 # serial-vs-parallel determinism gate baked into the bench).
 python3 scripts/bench_json.py --out BENCH_exec.json build/bench/bench_exec_fleet
 
+# Refresh the columnar-kernel perf artifact (the bench itself enforces the
+# kernel-vs-scalar bit-identity gate and exits nonzero on any mismatch).
+python3 scripts/bench_json.py --out BENCH_kernels.json build/bench/bench_kernels
+
 echo "run_all: OK"

@@ -25,6 +25,15 @@ Rules
                          `// sidq: allow-thread(<reason>)` -- e.g. tests
                          that deliberately stress the pool's MPMC path.
                          (`std::thread::hardware_concurrency` is fine.)
+  R7 scalar-haversine    per-point `HaversineDistance` inside a loop in
+                         the hot-path layers (src/query/, src/outlier/,
+                         src/refine/). Trig per point is the slow lane:
+                         project once through geometry::LocalProjection
+                         (or kernels::SoaBuffer::FromLatLon) and use the
+                         planar kernels. Annotate the line (or the one
+                         before it) with
+                         `// sidq: allow-scalar-haversine` when the loop
+                         is genuinely cold (setup, diagnostics).
 
 Usage: scripts/sidq_lint.py [--root DIR] [paths...]
 Exits 0 when the tree is clean, 1 with findings on stderr otherwise.
@@ -56,6 +65,12 @@ THREAD_RE = re.compile(
     r"\bstd::(?:jthread\b|async\b|thread\b(?!::hardware_concurrency))")
 # Directory that owns threading primitives.
 THREAD_ALLOWED = re.compile(r"(^|/)src/exec/")
+
+ALLOW_HAVERSINE_RE = re.compile(r"//\s*sidq:\s*allow-scalar-haversine")
+HAVERSINE_RE = re.compile(r"\bHaversineDistance\s*\(")
+LOOP_HEADER_RE = re.compile(r"\b(?:for|while)\s*\(")
+# Hot-path layers where per-point trig in a loop is a perf bug.
+HAVERSINE_SCOPED = re.compile(r"(^|/)src/(?:query|outlier|refine)/")
 
 
 def strip_comments_and_strings(text: str):
@@ -108,6 +123,14 @@ def lint_file(path: Path, rel: str):
         if first_code != "#pragma once":
             findings.append((1, "R4", "header must start with '#pragma once'"))
 
+    # Brace-depth loop tracking for R7: a stack of the depths at which a
+    # for/while header appeared; any line while the stack is non-empty is
+    # inside (or on) a loop. Heuristic -- blind to macros, good enough for
+    # this codebase's formatting.
+    haversine_scoped = bool(HAVERSINE_SCOPED.search(rel))
+    depth = 0
+    loop_depths = []
+
     for idx, code in enumerate(code_lines):
         lineno = idx + 1
         raw_line = raw_lines[idx] if idx < len(raw_lines) else ""
@@ -152,6 +175,31 @@ def lint_file(path: Path, rel: str):
                      "std::thread/jthread/async outside src/exec/; use "
                      "exec::ThreadPool or annotate with "
                      "'// sidq: allow-thread(<reason>)'"))
+
+        # R7: per-point HaversineDistance inside a loop in hot-path layers.
+        if haversine_scoped and HAVERSINE_RE.search(code):
+            in_loop = bool(loop_depths) or LOOP_HEADER_RE.search(code)
+            annotated = (ALLOW_HAVERSINE_RE.search(raw_line)
+                         or ALLOW_HAVERSINE_RE.search(prev_raw))
+            if in_loop and not annotated:
+                findings.append(
+                    (lineno, "R7",
+                     "per-point HaversineDistance in a loop; project once "
+                     "(geometry::LocalProjection / SoaBuffer::FromLatLon) "
+                     "and use the planar kernels, or annotate with "
+                     "'// sidq: allow-scalar-haversine'"))
+
+        # Update loop/brace tracking AFTER checking the line, so a loop
+        # header and its body both count as inside the loop.
+        if LOOP_HEADER_RE.search(code):
+            loop_depths.append(depth)
+        for ch in code:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                while loop_depths and depth <= loop_depths[-1]:
+                    loop_depths.pop()
 
     return findings
 

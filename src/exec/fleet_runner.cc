@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <future>
+#include <thread>
 #include <utility>
 
 #include "core/random.h"
@@ -186,9 +187,21 @@ FleetResult FleetRunner::RunInternal(const std::vector<Trajectory>& fleet,
     return first;
   };
 
-  const size_t num_threads =
+  size_t num_threads =
       options_.num_threads > 0 ? static_cast<size_t>(options_.num_threads) : 0;
-  {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (num_threads <= 1) {
+    // Single-threaded: run shards inline on the caller thread, in shard
+    // order. A one-worker pool pays thread spawn/join plus a future and
+    // condvar round-trip per shard, which made threads=1 measurably
+    // SLOWER than serial execution on cpu-bound fleets.
+    for (const std::vector<size_t>& shard : shards) {
+      Status shard_status = run_shard(&shard);
+      (void)shard_status;  // sidq: ignore-status(recorded per trajectory in statuses)
+    }
+  } else {
     ThreadPool pool(num_threads);
     std::vector<std::future<Status>> futures;
     futures.reserve(shards.size());

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/types.h"
+
+namespace sidq {
+namespace kernels {
+
+// Batched distance primitives for the similarity / outlier / map-matching
+// hot paths. Every function is a flat-array loop over SoA columns (see
+// soa.h) written so the compiler auto-vectorizes it; the build compiles
+// this translation unit with the widest ISA the host offers but with FP
+// contraction OFF (src/kernels/CMakeLists.txt), so every operation is a
+// correctly-rounded IEEE op executed in the same order as the scalar
+// reference in scalar_ref.h. Results are therefore BIT-IDENTICAL to the
+// scalar path, not merely close -- the equivalence property tests and the
+// bench_kernels checksum gate both assert exact equality.
+//
+// Operand-order convention: a distance between a "query" sample q and a
+// column sample j is computed as dq = q - column[j] (matching
+// geometry::Distance(q, col) = (q - col).Norm()), except where noted.
+
+// out[i*m + j] = squared Euclidean distance between a-sample i and
+// b-sample j. `out` must hold n*m doubles.
+void PairwiseSqDist(const double* ax, const double* ay, size_t n,
+                    const double* bx, const double* by, size_t m,
+                    double* out);
+
+// out[j] = sqrt((qx-bx[j])^2 + (qy-by[j])^2) for j in [lo, hi).
+// Entries outside [lo, hi) are left untouched.
+void DistRow(double qx, double qy, const double* bx, const double* by,
+             size_t lo, size_t hi, double* out);
+
+// out[j] = distance from column sample j to (px, py), computed as
+// (sample - point): matches geometry::Distance(sample, point).
+void PointToManyDist(double px, double py, const double* xs, const double* ys,
+                     size_t n, double* out);
+
+// out[i] = distance between consecutive samples i and i+1, for
+// i in [0, n-1). `out` must hold n-1 doubles; no-op when n < 2.
+void ConsecutiveDist(const double* xs, const double* ys, size_t n,
+                     double* out);
+
+// Minimum distance from (px, py) to the polyline through the n column
+// samples. Returns the point distance for n == 1 and +infinity for n == 0.
+// Matches min over segments of geometry::PointSegmentDistance.
+double PointToPolylineDist(double px, double py, const double* xs,
+                           const double* ys, size_t n);
+
+// One row of the DTW dynamic program (columns of `b`, rows of `a`):
+// for 1-based DP columns j in [lo, hi],
+//     cur[j] = d(q, b[j-1]) + min(prev[j], prev[j-1], cur[j-1])
+// with cur entries outside the band set to +infinity and the sum skipped
+// when all three predecessors are +infinity. `prev`/`cur` hold m+1 DP
+// cells. A single fused pass: the cur[j-1] recurrence makes the row
+// latency-bound, so the distance is computed in-loop where it overlaps
+// the min/add chain.
+void DtwRowKernel(double qx, double qy, const double* bx, const double* by,
+                  size_t m, size_t lo, size_t hi, const double* prev,
+                  double* cur);
+
+// One row i >= 1 of the discrete-Frechet dynamic program:
+//     cur[j] = max(min(prev[j], prev[j-1], cur[j-1]), d(q, b[j]))
+// with the j == 0 column taking reach = prev[0]. `prev`/`cur` hold m
+// cells; `dist_scratch` holds m doubles.
+void FrechetRowKernel(double qx, double qy, const double* bx,
+                      const double* by, size_t m, const double* prev,
+                      double* cur, double* dist_scratch);
+
+}  // namespace kernels
+}  // namespace sidq

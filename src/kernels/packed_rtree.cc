@@ -1,0 +1,344 @@
+#include "kernels/packed_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+#include "core/logging.h"
+
+namespace sidq {
+namespace kernels {
+
+double BoxGap(const geometry::BBox& a, const geometry::BBox& b) {
+  const double dx = std::max({a.min_x - b.max_x, b.min_x - a.max_x, 0.0});
+  const double dy = std::max({a.min_y - b.max_y, b.min_y - a.max_y, 0.0});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+PackedRTree::PackedRTree(size_t max_entries) : max_entries_(max_entries) {
+  SIDQ_CHECK(max_entries >= 4) << "max_entries must be >= 4";
+  SIDQ_CHECK(max_entries <= kMaxEntriesCap)
+      << "max_entries must be <= " << kMaxEntriesCap;
+}
+
+void PackedRTree::BulkLoad(std::vector<Item> items) {
+  items_ = std::move(items);
+  nodes_.clear();
+  leaf_count_ = 0;
+  height_ = 0;
+  leaf_min_x_.clear();
+  leaf_min_y_.clear();
+  leaf_max_x_.clear();
+  leaf_max_y_.clear();
+  leaf_ids_.clear();
+  if (items_.empty()) return;
+  const size_t n = items_.size();
+  for (const Item& it : items_) {
+    // An inverted box has a NaN center, which would break the strict weak
+    // ordering of the STR sorts below.
+    SIDQ_CHECK(!it.box.Empty()) << "PackedRTree: empty item box";
+  }
+
+  if (n > max_entries_) {
+    // STR: P = ceil(n / M) leaf pages, S = ceil(sqrt(P)) vertical slices;
+    // sort by center x, then each slice by center y.
+    const size_t pages = (n + max_entries_ - 1) / max_entries_;
+    const size_t slices = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(pages))));
+    const size_t slice_cap = (n + slices - 1) / slices;
+    std::sort(items_.begin(), items_.end(),
+              [](const Item& a, const Item& b) {
+                return a.box.Center().x < b.box.Center().x;
+              });
+    for (size_t s = 0; s < n; s += slice_cap) {
+      const size_t s_end = std::min(s + slice_cap, n);
+      std::sort(items_.begin() + s, items_.begin() + s_end,
+                [](const Item& a, const Item& b) {
+                  return a.box.Center().y < b.box.Center().y;
+                });
+    }
+  }
+
+  // Columnar mirror of the (now STR-sorted) items for SIMD leaf scans.
+  leaf_min_x_.reserve(n);
+  leaf_min_y_.reserve(n);
+  leaf_max_x_.reserve(n);
+  leaf_max_y_.reserve(n);
+  leaf_ids_.reserve(n);
+  for (const Item& it : items_) {
+    leaf_min_x_.push_back(it.box.min_x);
+    leaf_min_y_.push_back(it.box.min_y);
+    leaf_max_x_.push_back(it.box.max_x);
+    leaf_max_y_.push_back(it.box.max_y);
+    leaf_ids_.push_back(it.id);
+  }
+
+  // Leaf level: consecutive runs of max_entries_ items.
+  for (size_t p = 0; p < n; p += max_entries_) {
+    const size_t p_end = std::min(p + max_entries_, n);
+    Node leaf;
+    leaf.begin = static_cast<uint32_t>(p);
+    leaf.end = static_cast<uint32_t>(p_end);
+    leaf.item_begin = leaf.begin;
+    leaf.item_end = leaf.end;
+    for (size_t i = p; i < p_end; ++i) leaf.box.Extend(items_[i].box);
+    nodes_.push_back(leaf);
+  }
+  leaf_count_ = nodes_.size();
+  height_ = 1;
+
+  // Pack each level into the next until a single root remains. Children of
+  // consecutive parents are consecutive nodes, so a [begin, end) span per
+  // parent suffices.
+  size_t level_begin = 0;
+  size_t level_end = nodes_.size();
+  while (level_end - level_begin > 1) {
+    for (size_t i = level_begin; i < level_end; i += max_entries_) {
+      const size_t i_end = std::min(i + max_entries_, level_end);
+      Node parent;
+      parent.begin = static_cast<uint32_t>(i);
+      parent.end = static_cast<uint32_t>(i_end);
+      parent.item_begin = nodes_[i].item_begin;
+      parent.item_end = nodes_[i_end - 1].item_end;
+      for (size_t c = i; c < i_end; ++c) parent.box.Extend(nodes_[c].box);
+      nodes_.push_back(parent);
+    }
+    level_begin = level_end;
+    level_end = nodes_.size();
+    ++height_;
+  }
+}
+
+void PackedRTree::ScanLeaf(const Node& node, const geometry::BBox& query,
+                           std::vector<uint64_t>* out) const {
+  const uint32_t b = node.begin;
+  const uint32_t count = node.end - node.begin;
+  uint64_t tmp[kMaxEntriesCap];
+#if defined(__AVX512F__)
+  // Masked compares over the columnar leaf arrays; matching ids are
+  // compacted with a compress-store. _CMP_LE_OQ agrees with scalar <= on
+  // every non-NaN input, so the emitted SET matches the scalar scan.
+  uint64_t* dst = tmp;
+  const __m512d qminx = _mm512_set1_pd(query.min_x);
+  const __m512d qminy = _mm512_set1_pd(query.min_y);
+  const __m512d qmaxx = _mm512_set1_pd(query.max_x);
+  const __m512d qmaxy = _mm512_set1_pd(query.max_y);
+  uint32_t j = 0;
+  for (; j + 8 <= count; j += 8) {
+    const __mmask8 m =
+        _mm512_cmp_pd_mask(_mm512_loadu_pd(&leaf_min_x_[b + j]), qmaxx,
+                           _CMP_LE_OQ) &
+        _mm512_cmp_pd_mask(qminx, _mm512_loadu_pd(&leaf_max_x_[b + j]),
+                           _CMP_LE_OQ) &
+        _mm512_cmp_pd_mask(_mm512_loadu_pd(&leaf_min_y_[b + j]), qmaxy,
+                           _CMP_LE_OQ) &
+        _mm512_cmp_pd_mask(qminy, _mm512_loadu_pd(&leaf_max_y_[b + j]),
+                           _CMP_LE_OQ);
+    _mm512_mask_compressstoreu_epi64(
+        dst, m, _mm512_loadu_si512(&leaf_ids_[b + j]));
+    dst += static_cast<uint32_t>(__builtin_popcount(m));
+  }
+  if (j < count) {
+    const __mmask8 tail = static_cast<__mmask8>((1u << (count - j)) - 1);
+    const __mmask8 m =
+        _mm512_mask_cmp_pd_mask(
+            tail, _mm512_maskz_loadu_pd(tail, &leaf_min_x_[b + j]), qmaxx,
+            _CMP_LE_OQ) &
+        _mm512_mask_cmp_pd_mask(
+            tail, qminx, _mm512_maskz_loadu_pd(tail, &leaf_max_x_[b + j]),
+            _CMP_LE_OQ) &
+        _mm512_mask_cmp_pd_mask(
+            tail, _mm512_maskz_loadu_pd(tail, &leaf_min_y_[b + j]), qmaxy,
+            _CMP_LE_OQ) &
+        _mm512_mask_cmp_pd_mask(
+            tail, qminy, _mm512_maskz_loadu_pd(tail, &leaf_max_y_[b + j]),
+            _CMP_LE_OQ);
+    _mm512_mask_compressstoreu_epi64(
+        dst, m, _mm512_maskz_loadu_epi64(tail, &leaf_ids_[b + j]));
+    dst += static_cast<uint32_t>(__builtin_popcount(m));
+  }
+  out->insert(out->end(), tmp, dst);
+#else
+  // Portable shape: a branch-free hit-mask pass the compiler can
+  // auto-vectorize, then a branchless compaction.
+  uint32_t hit[kMaxEntriesCap];
+  for (uint32_t j = 0; j < count; ++j) {
+    hit[j] = static_cast<uint32_t>(leaf_min_x_[b + j] <= query.max_x) &
+             static_cast<uint32_t>(query.min_x <= leaf_max_x_[b + j]) &
+             static_cast<uint32_t>(leaf_min_y_[b + j] <= query.max_y) &
+             static_cast<uint32_t>(query.min_y <= leaf_max_y_[b + j]);
+  }
+  uint32_t cnt = 0;
+  for (uint32_t j = 0; j < count; ++j) {
+    tmp[cnt] = leaf_ids_[b + j];
+    cnt += hit[j];
+  }
+  out->insert(out->end(), tmp, tmp + cnt);
+#endif
+}
+
+std::vector<uint64_t> PackedRTree::RangeQuery(
+    const geometry::BBox& query) const {
+  std::vector<uint64_t> out;
+  last_nodes_visited = 0;
+  if (nodes_.empty() || query.Empty()) return out;
+  if (!nodes_[root()].box.Intersects(query)) {
+    last_nodes_visited = 1;
+    return out;
+  }
+  // Children are intersection-tested before they are pushed, so every
+  // popped node is known to intersect.
+  std::vector<int32_t> stack{root()};
+  while (!stack.empty()) {
+    const int32_t n = stack.back();
+    stack.pop_back();
+    ++last_nodes_visited;
+    const Node& node = nodes_[n];
+    if (IsLeaf(static_cast<size_t>(n))) {
+      ScanLeaf(node, query, &out);
+    } else if (query.Contains(node.box)) {
+      // Whole subtree matches: its items are one contiguous run.
+      out.insert(out.end(), leaf_ids_.data() + node.item_begin,
+                 leaf_ids_.data() + node.item_end);
+    } else {
+      for (uint32_t c = node.begin; c < node.end; ++c) {
+        if (nodes_[c].box.Intersects(query)) {
+          stack.push_back(static_cast<int32_t>(c));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+PackedRTree::BatchResults PackedRTree::RangeQueryMany(
+    const std::vector<geometry::BBox>& queries) const {
+  BatchResults res;
+  RangeQueryMany(queries, &res);
+  return res;
+}
+
+void PackedRTree::RangeQueryMany(const std::vector<geometry::BBox>& queries,
+                                 BatchResults* res) const {
+  res->ids.clear();
+  res->offsets.clear();
+  res->offsets.reserve(queries.size() + 1);
+  res->offsets.push_back(0);
+  std::vector<int32_t> stack;  // reused across queries
+  size_t visited = 0;
+  for (const geometry::BBox& query : queries) {
+    if (!nodes_.empty() && !query.Empty() &&
+        nodes_[root()].box.Intersects(query)) {
+      stack.push_back(root());
+      while (!stack.empty()) {
+        const int32_t n = stack.back();
+        stack.pop_back();
+        ++visited;
+        const Node& node = nodes_[n];
+        if (IsLeaf(static_cast<size_t>(n))) {
+          ScanLeaf(node, query, &res->ids);
+        } else if (query.Contains(node.box)) {
+          res->ids.insert(res->ids.end(), leaf_ids_.data() + node.item_begin,
+                          leaf_ids_.data() + node.item_end);
+        } else {
+          for (uint32_t c = node.begin; c < node.end; ++c) {
+            if (nodes_[c].box.Intersects(query)) {
+              stack.push_back(static_cast<int32_t>(c));
+            }
+          }
+        }
+      }
+    }
+    res->offsets.push_back(res->ids.size());
+  }
+  last_nodes_visited = visited;
+}
+
+std::vector<uint64_t> PackedRTree::Knn(const geometry::Point& q,
+                                       size_t k) const {
+  std::vector<uint64_t> out;
+  last_nodes_visited = 0;
+  if (nodes_.empty() || k == 0) return out;
+  struct Entry {
+    double dist;
+    bool is_item;
+    uint64_t key;  // item id or node index
+    bool operator>(const Entry& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  pq.push(Entry{nodes_.back().box.MinDistance(q), false,
+                static_cast<uint64_t>(root())});
+  while (!pq.empty() && out.size() < k) {
+    const Entry e = pq.top();
+    pq.pop();
+    if (e.is_item) {
+      out.push_back(e.key);
+      continue;
+    }
+    ++last_nodes_visited;
+    const Node& node = nodes_[e.key];
+    if (IsLeaf(static_cast<size_t>(e.key))) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        pq.push(Entry{items_[i].box.MinDistance(q), true, items_[i].id});
+      }
+    } else {
+      for (uint32_t c = node.begin; c < node.end; ++c) {
+        pq.push(Entry{nodes_[c].box.MinDistance(q), false,
+                      static_cast<uint64_t>(c)});
+      }
+    }
+  }
+  return out;
+}
+
+PackedRTree::BatchResults PackedRTree::KnnMany(
+    const std::vector<geometry::Point>& qs, size_t k) const {
+  BatchResults res;
+  res.offsets.reserve(qs.size() + 1);
+  res.offsets.push_back(0);
+  for (const geometry::Point& q : qs) {
+    const std::vector<uint64_t> one = Knn(q, k);
+    res.ids.insert(res.ids.end(), one.begin(), one.end());
+    res.offsets.push_back(res.ids.size());
+  }
+  return res;
+}
+
+BoxGapScan::BoxGapScan(const PackedRTree& tree, const geometry::BBox& query)
+    : tree_(tree), query_(query) {
+  if (!tree_.nodes_.empty()) {
+    pq_.push(Entry{BoxGap(query_, tree_.nodes_.back().box), false,
+                   static_cast<uint64_t>(tree_.root())});
+  }
+}
+
+bool BoxGapScan::Next(uint64_t* id, double* gap) {
+  while (!pq_.empty()) {
+    const Entry e = pq_.top();
+    pq_.pop();
+    if (e.is_item) {
+      *id = e.key;
+      *gap = e.gap;
+      return true;
+    }
+    const PackedRTree::Node& node = tree_.nodes_[e.key];
+    if (tree_.IsLeaf(static_cast<size_t>(e.key))) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        const PackedRTree::Item& it = tree_.items_[i];
+        pq_.push(Entry{BoxGap(query_, it.box), true, it.id});
+      }
+    } else {
+      for (uint32_t c = node.begin; c < node.end; ++c) {
+        pq_.push(Entry{BoxGap(query_, tree_.nodes_[c].box), false,
+                       static_cast<uint64_t>(c)});
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace kernels
+}  // namespace sidq

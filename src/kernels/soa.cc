@@ -1,0 +1,74 @@
+#include "kernels/soa.h"
+
+#include <array>
+#include <mutex>
+
+namespace sidq {
+namespace kernels {
+
+SoaBuffer SoaBuffer::FromTrajectory(const Trajectory& tr) {
+  SoaBuffer buf;
+  const std::vector<TrajectoryPoint>& pts = tr.points();
+  buf.xs_.reserve(pts.size());
+  buf.ys_.reserve(pts.size());
+  buf.ts_.reserve(pts.size());
+  for (const TrajectoryPoint& pt : pts) {
+    buf.xs_.push_back(pt.p.x);
+    buf.ys_.push_back(pt.p.y);
+    buf.ts_.push_back(pt.t);
+  }
+  return buf;
+}
+
+SoaBuffer SoaBuffer::FromLatLon(
+    const std::vector<std::pair<Timestamp, geometry::LatLon>>& samples,
+    const geometry::LocalProjection& proj) {
+  SoaBuffer buf;
+  buf.xs_.reserve(samples.size());
+  buf.ys_.reserve(samples.size());
+  buf.ts_.reserve(samples.size());
+  for (const auto& [t, geo] : samples) {
+    const geometry::Point p = proj.Forward(geo);
+    buf.xs_.push_back(p.x);
+    buf.ys_.push_back(p.y);
+    buf.ts_.push_back(t);
+  }
+  return buf;
+}
+
+namespace {
+
+// Striped locks guarding Trajectory::derived_cache() slots: the slot itself
+// is a plain (unsynchronized) member, so concurrent Of() calls on the same
+// object serialize here. Striping by object address keeps the table tiny
+// while making collisions (two distinct trajectories sharing a stripe)
+// merely a throughput, never a correctness, concern.
+constexpr size_t kCacheStripes = 64;
+
+std::mutex& StripeFor(const Trajectory* tr) {
+  static std::array<std::mutex, kCacheStripes> stripes;
+  const size_t h = reinterpret_cast<uintptr_t>(tr) / alignof(Trajectory);
+  return stripes[h % kCacheStripes];
+}
+
+}  // namespace
+
+TrajectoryView TrajectoryView::Of(const Trajectory& tr) {
+  std::shared_ptr<const SoaBuffer> buffer;
+  {
+    const std::lock_guard<std::mutex> lock(StripeFor(&tr));
+    Trajectory::DerivedCache& slot = tr.derived_cache();
+    if (slot.revision == tr.revision() && slot.value != nullptr) {
+      buffer = std::static_pointer_cast<const SoaBuffer>(slot.value);
+    } else {
+      buffer =
+          std::make_shared<const SoaBuffer>(SoaBuffer::FromTrajectory(tr));
+      slot.value = buffer;
+      slot.revision = tr.revision();
+    }
+  }
+  return TrajectoryView(buffer, buffer->view());
+}
+
+}  // namespace kernels
+}  // namespace sidq

@@ -3,21 +3,32 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/distance.h"
+#include "kernels/soa.h"
+
 namespace sidq {
 namespace outlier {
 
 namespace {
 
-double SegmentSpeed(const TrajectoryPoint& a, const TrajectoryPoint& b) {
-  const Timestamp dt = b.t - a.t;
-  if (dt <= 0) return 0.0;
-  return geometry::Distance(a.p, b.p) / TimestampToSeconds(dt);
-}
-
 double Median(std::vector<double> v) {
   if (v.empty()) return 0.0;
   std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
   return v[v.size() / 2];
+}
+
+// Per-segment speeds (n-1 entries): one vectorized distance sweep over the
+// columnar view instead of 2(n-2) scalar Distance calls.
+std::vector<double> SegmentSpeeds(const Trajectory& input) {
+  const size_t n = input.size();
+  std::vector<double> speeds(n - 1);
+  const kernels::TrajectoryView v = kernels::TrajectoryView::Of(input);
+  kernels::ConsecutiveDist(v.x(), v.y(), n, speeds.data());
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const Timestamp dt = v.t()[i + 1] - v.t()[i];
+    speeds[i] = dt <= 0 ? 0.0 : speeds[i] / TimestampToSeconds(dt);
+  }
+  return speeds;
 }
 
 }  // namespace
@@ -31,10 +42,10 @@ StatusOr<std::vector<bool>> SpeedConstraintDetector::Detect(
   std::vector<bool> flags(n, false);
   if (n < 2) return flags;
   const double vmax = options_.max_speed_mps;
+  const std::vector<double> speeds = SegmentSpeeds(input);
   for (size_t i = 0; i < n; ++i) {
-    const bool fast_in = i > 0 && SegmentSpeed(input[i - 1], input[i]) > vmax;
-    const bool fast_out =
-        i + 1 < n && SegmentSpeed(input[i], input[i + 1]) > vmax;
+    const bool fast_in = i > 0 && speeds[i - 1] > vmax;
+    const bool fast_out = i + 1 < n && speeds[i] > vmax;
     if (i == 0) {
       flags[i] = fast_out;
     } else if (i + 1 == n) {
@@ -54,18 +65,18 @@ StatusOr<std::vector<bool>> StatisticalDetector::Detect(
   const size_t n = input.size();
   std::vector<bool> flags(n, false);
   if (n < 3) return flags;
-  // Deviation of each point from its window median position.
+  const kernels::TrajectoryView view = kernels::TrajectoryView::Of(input);
+  // Deviation of each point from its window median position. The window
+  // coordinate copies are contiguous column slices of the SoA view.
   std::vector<double> deviations(n, 0.0);
+  std::vector<double> xs, ys;
   for (size_t i = 0; i < n; ++i) {
     const size_t lo = i >= options_.half_window ? i - options_.half_window : 0;
     const size_t hi = std::min(n - 1, i + options_.half_window);
     // The window includes the point itself: the median is robust to it,
     // and excluding it would bias the window centre off the path.
-    std::vector<double> xs, ys;
-    for (size_t j = lo; j <= hi; ++j) {
-      xs.push_back(input[j].p.x);
-      ys.push_back(input[j].p.y);
-    }
+    xs.assign(view.x() + lo, view.x() + hi + 1);
+    ys.assign(view.y() + lo, view.y() + hi + 1);
     const geometry::Point med(Median(xs), Median(ys));
     deviations[i] = geometry::Distance(input[i].p, med);
   }
@@ -78,11 +89,8 @@ StatusOr<std::vector<bool>> StatisticalDetector::Detect(
   abs_dev.reserve(n);
   for (double d : deviations) abs_dev.push_back(std::abs(d - med_dev));
   const double mad = Median(abs_dev);
-  std::vector<double> steps;
-  steps.reserve(n - 1);
-  for (size_t i = 1; i < n; ++i) {
-    steps.push_back(geometry::Distance(input[i].p, input[i - 1].p));
-  }
+  std::vector<double> steps(n - 1);
+  kernels::ConsecutiveDist(view.x(), view.y(), n, steps.data());
   const double median_step = Median(std::move(steps));
   const double scale =
       std::max({options_.min_scale_m, 1.4826 * mad, median_step});
@@ -162,6 +170,7 @@ StatusOr<Trajectory> RemoveFlagged(const Trajectory& input,
     return Status::InvalidArgument("flag count mismatch");
   }
   Trajectory out(input.object_id());
+  out.Reserve(input.size());
   for (size_t i = 0; i < input.size(); ++i) {
     if (!flags[i]) out.AppendUnordered(input[i]);
   }
@@ -175,6 +184,7 @@ StatusOr<Trajectory> RepairFlagged(const Trajectory& input,
   }
   const size_t n = input.size();
   Trajectory out(input.object_id());
+  out.Reserve(n);
   for (size_t i = 0; i < n; ++i) {
     TrajectoryPoint pt = input[i];
     if (flags[i]) {

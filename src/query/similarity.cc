@@ -4,21 +4,23 @@
 #include <cmath>
 #include <limits>
 
+#include "kernels/distance.h"
+#include "kernels/soa.h"
+
 namespace sidq {
 namespace query {
+
+// The O(n*m) measures below run on columnar views (kernels::TrajectoryView)
+// and per-row kernels (kernels/distance.h): the distance pass of each DP row
+// vectorizes over contiguous x/y columns while the carried recurrence stays
+// sequential. The kernels execute the same operations in the same order as
+// the original AoS loops (kept verbatim in kernels/scalar_ref.cc), so every
+// result is bit-identical to the pre-kernel implementation -- asserted by
+// tests/kernels_test.cc and the bench_kernels checksum gate.
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-// Minimum distance between two boxes (0 when they intersect).
-double BoxGap(const geometry::BBox& a, const geometry::BBox& b) {
-  const double dx =
-      std::max({a.min_x - b.max_x, b.min_x - a.max_x, 0.0});
-  const double dy =
-      std::max({a.min_y - b.max_y, b.min_y - a.max_y, 0.0});
-  return std::sqrt(dx * dx + dy * dy);
-}
 
 }  // namespace
 
@@ -26,11 +28,12 @@ double DtwDistance(const Trajectory& a, const Trajectory& b, int band) {
   const size_t n = a.size();
   const size_t m = b.size();
   if (n == 0 || m == 0) return n == m ? 0.0 : kInf;
+  const kernels::TrajectoryView va = kernels::TrajectoryView::Of(a);
+  const kernels::TrajectoryView vb = kernels::TrajectoryView::Of(b);
   // Two-row DP; rows over a, columns over b.
   std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
   prev[0] = 0.0;
   for (size_t i = 1; i <= n; ++i) {
-    std::fill(cur.begin(), cur.end(), kInf);
     size_t lo = 1, hi = m;
     if (band > 0) {
       // Keep |i*m/n - j| within the band (scaled Sakoe-Chiba).
@@ -39,12 +42,8 @@ double DtwDistance(const Trajectory& a, const Trajectory& b, int band) {
       hi = static_cast<size_t>(
           std::min(static_cast<double>(m), center + band));
     }
-    for (size_t j = lo; j <= hi; ++j) {
-      const double d = geometry::Distance(a[i - 1].p, b[j - 1].p);
-      const double best =
-          std::min({prev[j], prev[j - 1], cur[j - 1]});
-      if (best != kInf) cur[j] = d + best;
-    }
+    kernels::DtwRowKernel(va.x()[i - 1], va.y()[i - 1], vb.x(), vb.y(), m,
+                          lo, hi, prev.data(), cur.data());
     std::swap(prev, cur);
   }
   return prev[m];
@@ -54,22 +53,16 @@ double DiscreteFrechetDistance(const Trajectory& a, const Trajectory& b) {
   const size_t n = a.size();
   const size_t m = b.size();
   if (n == 0 || m == 0) return n == m ? 0.0 : kInf;
-  std::vector<double> prev(m), cur(m);
-  for (size_t j = 0; j < m; ++j) {
-    const double d = geometry::Distance(a[0].p, b[j].p);
-    prev[j] = j == 0 ? d : std::max(prev[j - 1], d);
-  }
+  const kernels::TrajectoryView va = kernels::TrajectoryView::Of(a);
+  const kernels::TrajectoryView vb = kernels::TrajectoryView::Of(b);
+  std::vector<double> prev(m), cur(m), dist(m);
+  // Row 0: running max of the distance prefix.
+  kernels::DistRow(va.x()[0], va.y()[0], vb.x(), vb.y(), 0, m, dist.data());
+  prev[0] = dist[0];
+  for (size_t j = 1; j < m; ++j) prev[j] = std::max(prev[j - 1], dist[j]);
   for (size_t i = 1; i < n; ++i) {
-    for (size_t j = 0; j < m; ++j) {
-      const double d = geometry::Distance(a[i].p, b[j].p);
-      double reach;
-      if (j == 0) {
-        reach = prev[0];
-      } else {
-        reach = std::min({prev[j], prev[j - 1], cur[j - 1]});
-      }
-      cur[j] = std::max(reach, d);
-    }
+    kernels::FrechetRowKernel(va.x()[i], va.y()[i], vb.x(), vb.y(), m,
+                              prev.data(), cur.data(), dist.data());
     std::swap(prev, cur);
   }
   return prev[m - 1];
@@ -81,13 +74,16 @@ double EdrDistance(const Trajectory& a, const Trajectory& b,
   const size_t m = b.size();
   if (n == 0 && m == 0) return 0.0;
   if (n == 0 || m == 0) return 1.0;
-  std::vector<double> prev(m + 1), cur(m + 1);
+  const kernels::TrajectoryView va = kernels::TrajectoryView::Of(a);
+  const kernels::TrajectoryView vb = kernels::TrajectoryView::Of(b);
+  std::vector<double> prev(m + 1), cur(m + 1), dist(m);
   for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<double>(j);
   for (size_t i = 1; i <= n; ++i) {
     cur[0] = static_cast<double>(i);
+    kernels::DistRow(va.x()[i - 1], va.y()[i - 1], vb.x(), vb.y(), 0, m,
+                     dist.data());
     for (size_t j = 1; j <= m; ++j) {
-      const bool match =
-          geometry::Distance(a[i - 1].p, b[j - 1].p) <= epsilon_m;
+      const bool match = dist[j - 1] <= epsilon_m;
       const double sub = prev[j - 1] + (match ? 0.0 : 1.0);
       cur[j] = std::min({sub, prev[j] + 1.0, cur[j - 1] + 1.0});
     }
@@ -101,12 +97,16 @@ double LcssSimilarity(const Trajectory& a, const Trajectory& b,
   const size_t n = a.size();
   const size_t m = b.size();
   if (n == 0 || m == 0) return 0.0;
-  std::vector<double> prev(m + 1, 0.0), cur(m + 1, 0.0);
+  const kernels::TrajectoryView va = kernels::TrajectoryView::Of(a);
+  const kernels::TrajectoryView vb = kernels::TrajectoryView::Of(b);
+  std::vector<double> prev(m + 1, 0.0), cur(m + 1, 0.0), dist(m);
   for (size_t i = 1; i <= n; ++i) {
+    kernels::DistRow(va.x()[i - 1], va.y()[i - 1], vb.x(), vb.y(), 0, m,
+                     dist.data());
+    const Timestamp ta = va.t()[i - 1];
     for (size_t j = 1; j <= m; ++j) {
-      const bool match =
-          geometry::Distance(a[i - 1].p, b[j - 1].p) <= epsilon_m &&
-          std::abs(a[i - 1].t - b[j - 1].t) <= delta_ms;
+      const bool match = dist[j - 1] <= epsilon_m &&
+                         std::abs(ta - vb.t()[j - 1]) <= delta_ms;
       if (match) {
         cur[j] = prev[j - 1] + 1.0;
       } else {
@@ -123,9 +123,18 @@ void TrajectorySimilaritySearch::Build(
   collection_ = collection;
   mbrs_.clear();
   mbrs_.reserve(collection->size());
-  for (const Trajectory& tr : *collection) {
-    mbrs_.push_back(tr.Bounds());
+  empty_mbrs_.clear();
+  std::vector<kernels::PackedRTree::Item> items;
+  items.reserve(collection->size());
+  for (size_t i = 0; i < collection->size(); ++i) {
+    mbrs_.push_back((*collection)[i].Bounds());
+    if (mbrs_.back().Empty()) {
+      empty_mbrs_.push_back(i);
+    } else {
+      items.push_back({static_cast<uint64_t>(i), mbrs_.back()});
+    }
   }
+  tree_.BulkLoad(std::move(items));
 }
 
 StatusOr<std::vector<size_t>> TrajectorySimilaritySearch::Knn(
@@ -138,29 +147,31 @@ StatusOr<std::vector<size_t>> TrajectorySimilaritySearch::Knn(
   }
   SearchStats local;
   local.candidates = collection_->size();
-  const geometry::BBox qbox = queried.Bounds();
-
-  // Process candidates in increasing MBR-gap order so the pruning bound
-  // tightens as early as possible.
-  std::vector<std::pair<double, size_t>> order;
-  order.reserve(collection_->size());
-  for (size_t i = 0; i < collection_->size(); ++i) {
-    order.emplace_back(BoxGap(qbox, mbrs_[i]), i);
+  if (k == 0) {
+    local.pruned = local.candidates;
+    if (stats != nullptr) *stats = local;
+    return std::vector<size_t>{};
   }
-  std::sort(order.begin(), order.end());
+  const geometry::BBox qbox = queried.Bounds();
+  const double qn = static_cast<double>(queried.size());
 
-  // Max-heap of the best k (dtw, index).
+  // Max-heap of the best k (dtw, index). Candidates arrive in increasing
+  // (MBR-gap, index) order -- BoxGapScan streams the tree in exactly the
+  // order the former sort-all-candidates implementation produced -- so the
+  // pruning bound tightens as early as possible, and once even a
+  // query-length alignment at the current gap cannot beat the k-th best
+  // (gap * |q| >= kth), every remaining candidate is pruned wholesale.
   std::vector<std::pair<double, size_t>> best;
-  for (const auto& [gap, i] : order) {
+  // Returns false when the scan can stop: all remaining candidates (gap at
+  // least as large) are prunable.
+  const auto consider = [&](size_t i, double gap) {
+    if (best.size() == k && gap * qn >= best.front().first) return false;
     const Trajectory& cand = (*collection_)[i];
     // Every DTW alignment has at least max(|q|, |c|) matched pairs, each
     // costing at least the MBR gap.
     const double lower_bound =
         gap * static_cast<double>(std::max(queried.size(), cand.size()));
-    if (best.size() == k && lower_bound >= best.front().first) {
-      ++local.pruned;
-      continue;
-    }
+    if (best.size() == k && lower_bound >= best.front().first) return true;
     ++local.dtw_computed;
     const double d = DtwDistance(queried, cand, options_.dtw_band);
     if (best.size() < k) {
@@ -171,7 +182,30 @@ StatusOr<std::vector<size_t>> TrajectorySimilaritySearch::Knn(
       best.back() = {d, i};
       std::push_heap(best.begin(), best.end());
     }
+    return true;
+  };
+
+  kernels::BoxGapScan scan(tree_, qbox);
+  uint64_t id = 0;
+  double gap = 0.0;
+  bool stopped = false;
+  while (scan.Next(&id, &gap)) {
+    if (!consider(static_cast<size_t>(id), gap)) {
+      stopped = true;
+      break;
+    }
   }
+  // Point-free trajectories have inverted MBRs (infinite gap): they sort
+  // after every tree item, in index order.
+  if (!stopped) {
+    for (size_t i : empty_mbrs_) {
+      if (!consider(i, kernels::BoxGap(qbox, mbrs_[i]))) break;
+    }
+  }
+
+  // Every candidate not reached by the scan was pruned by the bound that
+  // stopped it.
+  local.pruned = local.candidates - local.dtw_computed;
   std::sort_heap(best.begin(), best.end());
   std::vector<size_t> out;
   out.reserve(best.size());

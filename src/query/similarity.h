@@ -5,6 +5,7 @@
 #include "core/statusor.h"
 #include "core/trajectory.h"
 #include "core/types.h"
+#include "kernels/packed_rtree.h"
 
 namespace sidq {
 namespace query {
@@ -67,6 +68,13 @@ class TrajectorySimilaritySearch {
   Options options_;
   const std::vector<Trajectory>* collection_ = nullptr;
   std::vector<geometry::BBox> mbrs_;
+  // Packed R-tree over the non-empty MBRs (item id = collection index);
+  // BoxGapScan streams candidates gap-ascending so Knn can stop as soon as
+  // the pruning bound closes instead of sorting every candidate. Empty
+  // MBRs (point-free trajectories) cannot live in the tree -- their boxes
+  // are inverted -- and trail the scan at infinite gap, in index order.
+  kernels::PackedRTree tree_;
+  std::vector<size_t> empty_mbrs_;
 };
 
 }  // namespace query

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "kernels/distance.h"
+#include "kernels/soa.h"
+
 namespace sidq {
 namespace refine {
 
@@ -18,13 +21,26 @@ std::vector<HmmMapMatcher::Candidate> HmmMapMatcher::CandidatesFor(
   }
   const double inv_2s2 =
       1.0 / (2.0 * options_.gps_sigma_m * options_.gps_sigma_m);
+  // Project onto every candidate edge, then score all emissions in one
+  // batched distance sweep over the projection columns.
+  out.reserve(edges.size());
+  std::vector<double> proj_x, proj_y;
+  proj_x.reserve(edges.size());
+  proj_y.reserve(edges.size());
   for (EdgeId e : edges) {
     Candidate c;
     c.edge = e;
     c.proj = network_->ProjectToEdge(e, p);
-    const double d = geometry::Distance(c.proj, p);
-    c.emission_logp = -d * d * inv_2s2;
+    proj_x.push_back(c.proj.x);
+    proj_y.push_back(c.proj.y);
     out.push_back(c);
+  }
+  std::vector<double> dists(out.size());
+  kernels::PointToManyDist(p.x, p.y, proj_x.data(), proj_y.data(),
+                           out.size(), dists.data());
+  for (size_t i = 0; i < out.size(); ++i) {
+    const double d = dists[i];
+    out[i].emission_logp = -d * d * inv_2s2;
   }
   std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
     return a.emission_logp > b.emission_logp;
@@ -81,6 +97,12 @@ StatusOr<HmmMapMatcher::MatchResult> HmmMapMatcher::Match(
   }
 
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  // All straight-line step lengths in one vectorized sweep.
+  const kernels::TrajectoryView nv = kernels::TrajectoryView::Of(noisy);
+  std::vector<double> straight_dists(n > 1 ? n - 1 : 0);
+  if (n > 1) {
+    kernels::ConsecutiveDist(nv.x(), nv.y(), n, straight_dists.data());
+  }
   std::vector<std::vector<double>> score(n);
   std::vector<std::vector<int>> back(n);
   score[0].resize(layers[0].size());
@@ -89,8 +111,7 @@ StatusOr<HmmMapMatcher::MatchResult> HmmMapMatcher::Match(
     score[0][c] = layers[0][c].emission_logp;
   }
   for (size_t i = 1; i < n; ++i) {
-    const double straight =
-        geometry::Distance(noisy[i - 1].p, noisy[i].p);
+    const double straight = straight_dists[i - 1];
     score[i].assign(layers[i].size(), kNegInf);
     back[i].assign(layers[i].size(), -1);
     for (size_t c = 0; c < layers[i].size(); ++c) {
@@ -145,6 +166,7 @@ StatusOr<HmmMapMatcher::MatchResult> HmmMapMatcher::Match(
 
   MatchResult result;
   result.matched.set_object_id(noisy.object_id());
+  result.matched.Reserve(n);
   result.edges.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     const Candidate& c = layers[i][choice[i]];

@@ -7,6 +7,7 @@ namespace sim {
 
 Trajectory AddGpsNoise(const Trajectory& truth, double sigma, Rng* rng) {
   Trajectory out(truth.object_id());
+  out.Reserve(truth.size());
   for (const TrajectoryPoint& pt : truth.points()) {
     geometry::Point noisy(pt.p.x + rng->Gaussian(0.0, sigma),
                           pt.p.y + rng->Gaussian(0.0, sigma));
@@ -19,6 +20,7 @@ Trajectory AddOutliers(const Trajectory& truth, double rate, double min_mag,
                        double max_mag, Rng* rng,
                        std::vector<bool>* is_outlier) {
   Trajectory out(truth.object_id());
+  out.Reserve(truth.size());
   if (is_outlier != nullptr) {
     is_outlier->assign(truth.size(), false);
   }
@@ -38,6 +40,7 @@ Trajectory AddOutliers(const Trajectory& truth, double rate, double min_mag,
 
 Trajectory DropSamples(const Trajectory& truth, double drop_prob, Rng* rng) {
   Trajectory out(truth.object_id());
+  out.Reserve(truth.size());
   for (size_t i = 0; i < truth.size(); ++i) {
     const bool endpoint = i == 0 || i + 1 == truth.size();
     if (endpoint || !rng->Bernoulli(drop_prob)) {
@@ -50,6 +53,7 @@ Trajectory DropSamples(const Trajectory& truth, double drop_prob, Rng* rng) {
 Trajectory Resample(const Trajectory& truth, Timestamp interval_ms) {
   Trajectory out(truth.object_id());
   if (truth.empty()) return out;
+  out.Reserve(truth.size());
   Timestamp next = truth.front().t;
   for (const TrajectoryPoint& pt : truth.points()) {
     if (pt.t >= next) {
@@ -66,6 +70,7 @@ Trajectory Resample(const Trajectory& truth, Timestamp interval_ms) {
 Trajectory DuplicateSamples(const Trajectory& truth, double dup_prob,
                             Rng* rng) {
   Trajectory out(truth.object_id());
+  out.Reserve(truth.size());
   for (const TrajectoryPoint& pt : truth.points()) {
     out.AppendUnordered(pt);
     if (rng->Bernoulli(dup_prob)) {
@@ -96,6 +101,7 @@ Trajectory AddDeliveryDelay(const Trajectory& truth, double mean_delay_s,
 Trajectory JitterTimestamps(const Trajectory& truth, double sigma_ms,
                             Rng* rng) {
   Trajectory out(truth.object_id());
+  out.Reserve(truth.size());
   for (const TrajectoryPoint& pt : truth.points()) {
     TrajectoryPoint jittered = pt;
     jittered.t = pt.t + static_cast<Timestamp>(rng->Gaussian(0.0, sigma_ms));
@@ -106,6 +112,7 @@ Trajectory JitterTimestamps(const Trajectory& truth, double sigma_ms,
 
 Trajectory QuantizeCoordinates(const Trajectory& truth, double step) {
   Trajectory out(truth.object_id());
+  out.Reserve(truth.size());
   for (const TrajectoryPoint& pt : truth.points()) {
     TrajectoryPoint q = pt;
     q.p.x = std::round(pt.p.x / step) * step;
@@ -117,6 +124,7 @@ Trajectory QuantizeCoordinates(const Trajectory& truth, double step) {
 
 Trajectory ScaleUnits(const Trajectory& truth, double factor) {
   Trajectory out(truth.object_id());
+  out.Reserve(truth.size());
   for (const TrajectoryPoint& pt : truth.points()) {
     TrajectoryPoint s = pt;
     s.p.x *= factor;
@@ -129,6 +137,7 @@ Trajectory ScaleUnits(const Trajectory& truth, double factor) {
 Trajectory TruncateTail(const Trajectory& truth, Timestamp cut_ms) {
   Trajectory out(truth.object_id());
   if (truth.empty()) return out;
+  out.Reserve(truth.size());
   const Timestamp cutoff = truth.back().t - cut_ms;
   for (const TrajectoryPoint& pt : truth.points()) {
     if (pt.t <= cutoff) out.AppendUnordered(pt);

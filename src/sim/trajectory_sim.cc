@@ -75,6 +75,7 @@ Trajectory TrajectorySimulator::RandomWaypoint(const geometry::BBox& bounds,
                                                ObjectId object_id) const {
   Trajectory out(object_id);
   if (num_samples == 0) return out;
+  out.Reserve(num_samples);
   geometry::Point cur(rng_->Uniform(bounds.min_x, bounds.max_x),
                       rng_->Uniform(bounds.min_y, bounds.max_y));
   geometry::Point target(rng_->Uniform(bounds.min_x, bounds.max_x),
@@ -110,6 +111,7 @@ Fleet MakeFleet(int cols, int rows, double spacing, int num_objects,
   fleet.network =
       MakeGridRoadNetwork(cols, rows, spacing, spacing * 0.05, 0.05, rng);
   TrajectorySimulator simulator(sim_options, rng);
+  fleet.trajectories.reserve(static_cast<size_t>(std::max(0, num_objects)));
   for (int i = 0; i < num_objects; ++i) {
     auto tr = simulator.RandomOnNetwork(fleet.network, min_hops,
                                         static_cast<ObjectId>(i));
