@@ -94,6 +94,7 @@ TrajectoryPipeline MakeLatencyPipeline() {
   pipeline.Add("gateway_fetch",
                [](const Trajectory& in) -> StatusOr<Trajectory> {
                  // Stand-in for the per-device ingest round trip.
+                 // sidq: allow-wallclock(bench measures real latency hiding)
                  std::this_thread::sleep_for(std::chrono::microseconds(50));
                  return in;
                });
@@ -182,6 +183,31 @@ std::vector<RunPoint> BenchPipeline(const char* label,
                       static_cast<double>(fleet.size()) / secs,
                       serial_s / secs});
   }
+
+  // Resilience-disarmed gate: with the full resilience machinery switched
+  // on (best-effort policy, retries, per-object virtual-clock deadlines)
+  // but no FailPoint armed, the output must STILL be bit-identical to the
+  // plain serial reference -- the machinery may cost nothing when idle.
+  {
+    exec::FleetRunner::Options options;
+    options.num_threads = 8;
+    options.shard_size = shard_size;
+    options.base_seed = kSeed;
+    options.failure_policy = exec::FailurePolicy::kBestEffort;
+    options.retry.max_retries = 2;
+    options.virtual_time = true;
+    options.deadline_ms = 60'000;
+    const exec::FleetRunner runner(&pipeline, options);
+    const exec::FleetResult result = runner.Run(fleet);
+    if (!result.ok() || !result.annotations.empty() ||
+        FleetChecksum(result.cleaned) != golden) {
+      std::fprintf(stderr,
+                   "%s: RESILIENCE GATE FAILED: disarmed best-effort run is "
+                   "not bit-identical to the serial reference\n",
+                   label);
+      std::exit(1);
+    }
+  }
   return points;
 }
 
@@ -235,7 +261,8 @@ int main() {
   PrintTable("latency_bound (50us gateway fetch -> Kalman)", io);
 
   std::printf(
-      "determinism: all parallel configurations bit-identical to serial\n\n");
+      "determinism: all parallel configurations bit-identical to serial, "
+      "including disarmed best-effort resilience options\n\n");
 
   std::printf(
       "BENCH_JSON: {\"bench\":\"exec_fleet\",\"fleet_size\":%zu,"

@@ -6,10 +6,17 @@
 // exec::FleetRunner on a work-stealing pool. A dispatcher's continuous
 // range query consumes the cleaned streams (Exploitation).
 //
-//   fleet_cleaning [--threads N]   (default 0 = all hardware threads)
+//   fleet_cleaning [--threads N]       (default 0 = all hardware threads)
+//                  [--deadline-ms D]   per-vehicle cleaning budget
+//                  [--max-retries R]   retries for transient stage failures
+//                  [--best-effort]     quarantine failing vehicles instead of
+//                                      cancelling the fleet
 //
 // The determinism contract means --threads changes only the wall clock:
-// every vehicle's cleaned trajectory is bit-identical for any N.
+// every vehicle's cleaned trajectory is bit-identical for any N. Map
+// matching is a degradation ladder: when the HMM Viterbi rung misses the
+// deadline, the vehicle falls to a geometric nearest-road snap and the
+// result is annotated degraded rather than lost.
 
 #include <chrono>
 #include <cstdio>
@@ -33,11 +40,23 @@ int main(int argc, char** argv) {
   using namespace sidq;
 
   int threads = 0;
+  long deadline_ms = -1;
+  int max_retries = 0;
+  bool best_effort = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-retries") == 0 && i + 1 < argc) {
+      max_retries = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--best-effort") == 0) {
+      best_effort = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--deadline-ms D] "
+                   "[--max-retries R] [--best-effort]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -66,12 +85,31 @@ int main(int argc, char** argv) {
   // per-instance Dijkstra cache that is not safe to share between threads.
   const sim::RoadNetwork* network = &fleet.network;
   TrajectoryPipeline pipeline;
-  pipeline.Add("map_match",
-               [network](const Trajectory& in) -> StatusOr<Trajectory> {
-                 refine::HmmMapMatcher matcher(network);
-                 SIDQ_ASSIGN_OR_RETURN(auto match, matcher.Match(in));
-                 return match.matched;
-               });
+  // Map matching is a degradation ladder: the HMM Viterbi rung observes the
+  // per-vehicle deadline; a vehicle whose budget runs out falls to a cheap
+  // geometric nearest-road snap instead of failing the fleet.
+  auto map_match = std::make_unique<LadderStage>("map_match");
+  map_match->AddRungCtx(
+      "hmm_viterbi",
+      [network](const Trajectory& in,
+                const StageContext& ctx) -> StatusOr<Trajectory> {
+        refine::HmmMapMatcher matcher(network);
+        SIDQ_ASSIGN_OR_RETURN(auto match, matcher.Match(in, ctx.exec));
+        return match.matched;
+      });
+  map_match->AddRung(
+      "nearest_road_snap",
+      [network](const Trajectory& in) -> StatusOr<Trajectory> {
+        Trajectory out(in.object_id());
+        for (const TrajectoryPoint& pt : in.points()) {
+          SIDQ_ASSIGN_OR_RETURN(EdgeId e, network->NearestEdge(pt.p));
+          TrajectoryPoint snapped = pt;
+          snapped.p = network->ProjectToEdge(e, pt.p);
+          out.AppendUnordered(snapped);
+        }
+        return out;
+      });
+  pipeline.Add(std::move(map_match));
   pipeline.Add("complete",
                [network](const Trajectory& in) -> StatusOr<Trajectory> {
                  return uncertainty::RoadCompleter(network).Complete(in);
@@ -85,6 +123,9 @@ int main(int argc, char** argv) {
   options.sharding = exec::ShardingMode::kSkewAware;
   options.skew_max_load = 4;
   options.base_seed = kDegradeSeed;
+  options.deadline_ms = deadline_ms;
+  options.retry.max_retries = max_retries;
+  if (best_effort) options.failure_policy = exec::FailurePolicy::kBestEffort;
   const exec::FleetRunner runner(&pipeline, options);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -94,13 +135,26 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  if (!result.ok()) {
+  if (!result.ok() && !(best_effort && result.partial_ok())) {
     std::fprintf(stderr, "fleet run failed: %s\n",
                  result.first_error.ToString().c_str());
     return 1;
   }
-  std::printf("cleaned %zu vehicles in %.3f s (%zu shards, skew-aware)\n\n",
+  std::printf("cleaned %zu vehicles in %.3f s (%zu shards, skew-aware)\n",
               observed.size(), wall_s, result.shards_total);
+  std::printf("%s\n", result.ResilienceSummary().c_str());
+  for (const exec::ObjectAnnotation& a : result.annotations) {
+    std::printf("  vehicle %llu: %s", static_cast<unsigned long long>(a.id),
+                ExecQualityName(a.quality));
+    if (a.retries > 0) std::printf(", %d retries", a.retries);
+    for (const DegradeEvent& d : a.degraded) {
+      std::printf(", %s fell to rung %d (%s): %s", d.stage.c_str(), d.rung,
+                  d.rung_name.c_str(), d.cause.ToString().c_str());
+    }
+    if (!a.status.ok()) std::printf(": %s", a.status.ToString().c_str());
+    std::printf("\n");
+  }
+  std::printf("\n");
 
   // Fleet-level DQ report: accuracy RMSE per stage, aggregated over the
   // whole fleet (the per-stage mean/p50/p99 merge of every StageReport).

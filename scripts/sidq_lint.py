@@ -34,6 +34,16 @@ Rules
                          before it) with
                          `// sidq: allow-scalar-haversine` when the loop
                          is genuinely cold (setup, diagnostics).
+  R8 wallclock           `std::this_thread::sleep_for` / `sleep_until` and
+                         `std::chrono::system_clock::now` outside
+                         src/exec/. All timing goes through the Clock
+                         abstraction (core/clock.h): deadlines and backoff
+                         use an ExecContext clock so tests run on
+                         VirtualClock instantly and deterministically.
+                         exec::SteadyClock (src/exec/) is the one wall
+                         adapter. Annotate the line (or the one before it)
+                         with `// sidq: allow-wallclock(<reason>)` -- e.g.
+                         a test that really must block a thread.
 
 Usage: scripts/sidq_lint.py [--root DIR] [paths...]
 Exits 0 when the tree is clean, 1 with findings on stderr otherwise.
@@ -71,6 +81,13 @@ HAVERSINE_RE = re.compile(r"\bHaversineDistance\s*\(")
 LOOP_HEADER_RE = re.compile(r"\b(?:for|while)\s*\(")
 # Hot-path layers where per-point trig in a loop is a perf bug.
 HAVERSINE_SCOPED = re.compile(r"(^|/)src/(?:query|outlier|refine)/")
+
+ALLOW_WALLCLOCK_RE = re.compile(r"//\s*sidq:\s*allow-wallclock\([^)]+\)")
+WALLCLOCK_RE = re.compile(
+    r"\bstd::this_thread::sleep_(?:for|until)\b"
+    r"|\bstd::chrono::system_clock::now\b")
+# Directory that owns the wall-clock adapter (exec::SteadyClock).
+WALLCLOCK_ALLOWED = re.compile(r"(^|/)src/exec/")
 
 
 def strip_comments_and_strings(text: str):
@@ -188,6 +205,18 @@ def lint_file(path: Path, rel: str):
                      "(geometry::LocalProjection / SoaBuffer::FromLatLon) "
                      "and use the planar kernels, or annotate with "
                      "'// sidq: allow-scalar-haversine'"))
+
+        # R8: wall-clock sleeps/reads outside src/exec/ without annotation.
+        if not WALLCLOCK_ALLOWED.search(rel) and WALLCLOCK_RE.search(code):
+            annotated = (ALLOW_WALLCLOCK_RE.search(raw_line)
+                         or ALLOW_WALLCLOCK_RE.search(prev_raw))
+            if not annotated:
+                findings.append(
+                    (lineno, "R8",
+                     "wall-clock sleep_for/sleep_until/system_clock::now "
+                     "outside src/exec/; time goes through core/clock.h "
+                     "(ExecContext::Stall, VirtualClock in tests), or "
+                     "annotate with '// sidq: allow-wallclock(<reason>)'"))
 
         # Update loop/brace tracking AFTER checking the line, so a loop
         # header and its body both count as inside the loop.

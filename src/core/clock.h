@@ -1,0 +1,46 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sidq {
+
+// Time source abstraction behind every deadline and backoff decision, so
+// resilience logic is testable without real waiting. Production code uses
+// exec::SteadyClock (defined in src/exec/, the only directory allowed to
+// touch wall time -- sidq-lint rule R8); tests and deterministic fleet runs
+// use VirtualClock, where "sleeping" is an instant atomic add.
+//
+// Methods are const so a shared clock can be read through const contexts;
+// implementations keep their state in atomics.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Monotonic milliseconds since an arbitrary epoch.
+  virtual int64_t NowMs() const = 0;
+  // Blocks (or, for virtual clocks, instantly advances) for `ms`.
+  virtual void SleepMs(int64_t ms) const = 0;
+};
+
+// Manually-advanced clock: Now starts at 0 and moves only via Advance() or
+// SleepMs(). Thread-safe; time never goes backwards. A fleet run in virtual
+// time gives every trajectory its own VirtualClock, so one object's injected
+// stall can never push a *different* object over its deadline -- the
+// property the chaos determinism tests rely on.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(int64_t start_ms = 0) : now_ms_(start_ms) {}
+
+  int64_t NowMs() const override {
+    return now_ms_.load(std::memory_order_acquire);
+  }
+  void SleepMs(int64_t ms) const override { Advance(ms); }
+  void Advance(int64_t ms) const {
+    if (ms > 0) now_ms_.fetch_add(ms, std::memory_order_acq_rel);
+  }
+
+ private:
+  mutable std::atomic<int64_t> now_ms_;
+};
+
+}  // namespace sidq

@@ -2,12 +2,56 @@
 
 namespace sidq {
 
+StatusOr<Trajectory> RunStageWithRetry(const TrajectoryStage& stage,
+                                       const Trajectory& input,
+                                       const StageContext& ctx) {
+  for (int attempt = 0;; ++attempt) {
+    auto result = stage.ApplyCtx(input, ctx);
+    if (result.ok()) return result;
+    const Status& st = result.status();
+    if (st.code() == StatusCode::kCancelled) return result;
+    const bool can_retry =
+        ctx.retry != nullptr && ctx.retry->ShouldRetry(st, attempt) &&
+        (ctx.exec == nullptr || ctx.exec->Check().ok());
+    if (!can_retry) return result;
+    if (ctx.trace != nullptr) ++ctx.trace->retries;
+    if (ctx.retry_rng != nullptr) {
+      const int64_t backoff = ctx.retry->BackoffMs(attempt, *ctx.retry_rng);
+      if (ctx.exec != nullptr) ctx.exec->Stall(backoff);
+    }
+  }
+}
+
+StatusOr<Trajectory> LadderStage::ApplyCtx(const Trajectory& input,
+                                           const StageContext& ctx) const {
+  if (rungs_.empty()) {
+    return Status::FailedPrecondition("ladder stage '" + name_ +
+                                      "' has no rungs");
+  }
+  Status last = Status::OK();
+  for (size_t r = 0; r < rungs_.size(); ++r) {
+    auto result = RunStageWithRetry(*rungs_[r], input, ctx);
+    if (result.ok()) {
+      if (r > 0 && ctx.trace != nullptr) {
+        ctx.trace->degraded.push_back(DegradeEvent{
+            name_, static_cast<int>(r), rungs_[r]->name(), last});
+      }
+      return result;
+    }
+    if (result.status().code() == StatusCode::kCancelled) return result;
+    last = result.status();
+  }
+  return Status(last.code(), "ladder '" + name_ + "' exhausted all " +
+                                 std::to_string(rungs_.size()) +
+                                 " rungs, last: " + last.message());
+}
+
 namespace {
 
 StatusOr<Trajectory> ApplyStage(const TrajectoryStage& stage,
-                                const Trajectory& input, Rng* rng) {
-  auto result = rng != nullptr ? stage.ApplySeeded(input, *rng)
-                               : stage.Apply(input);
+                                const Trajectory& input,
+                                const StageContext& ctx) {
+  auto result = RunStageWithRetry(stage, input, ctx);
   if (!result.ok()) {
     return Status(result.status().code(),
                   "stage '" + stage.name() +
@@ -19,39 +63,63 @@ StatusOr<Trajectory> ApplyStage(const TrajectoryStage& stage,
 }  // namespace
 
 StatusOr<Trajectory> TrajectoryPipeline::Run(const Trajectory& input) const {
-  return Run(input, nullptr);
+  return Run(input, StageContext{});
 }
 
 StatusOr<Trajectory> TrajectoryPipeline::Run(const Trajectory& input,
                                              Rng* rng) const {
-  Trajectory current = input;
-  for (const auto& stage : stages_) {
-    auto result = ApplyStage(*stage, current, rng);
-    if (!result.ok()) return result.status();
-    current = std::move(result).value();
-  }
-  return current;
+  StageContext ctx;
+  ctx.rng = rng;
+  return Run(input, ctx);
+}
+
+StatusOr<Trajectory> TrajectoryPipeline::Run(const Trajectory& input,
+                                             const StageContext& ctx) const {
+  return RunStages(input, ctx, nullptr, nullptr, nullptr);
 }
 
 StatusOr<Trajectory> TrajectoryPipeline::RunProfiled(
     const Trajectory& input, const Trajectory* truth,
     const TrajectoryProfiler& profiler,
     std::vector<StageReport>* reports, Rng* rng) const {
+  StageContext ctx;
+  ctx.rng = rng;
+  return RunStages(input, ctx, truth, &profiler, reports);
+}
+
+StatusOr<Trajectory> TrajectoryPipeline::RunProfiled(
+    const Trajectory& input, const Trajectory* truth,
+    const TrajectoryProfiler& profiler,
+    std::vector<StageReport>* reports, const StageContext& ctx) const {
+  return RunStages(input, ctx, truth, &profiler, reports);
+}
+
+StatusOr<Trajectory> TrajectoryPipeline::RunStages(
+    const Trajectory& input, const StageContext& ctx,
+    const Trajectory* truth, const TrajectoryProfiler* profiler,
+    std::vector<StageReport>* reports) const {
   auto profile_one = [&](const std::string& name, const Trajectory& tr) {
-    if (reports == nullptr) return;
+    if (profiler == nullptr || reports == nullptr) return;
     std::vector<Trajectory> obs{tr};
     std::vector<Trajectory> tru;
     if (truth != nullptr) tru.push_back(*truth);
     StageReport sr;
     sr.stage_name = name;
-    sr.report = profiler.Profile(obs, truth != nullptr ? &tru : nullptr);
+    sr.report = profiler->Profile(obs, truth != nullptr ? &tru : nullptr);
     reports->push_back(std::move(sr));
   };
 
   profile_one("input", input);
   Trajectory current = input;
   for (const auto& stage : stages_) {
-    auto result = ApplyStage(*stage, current, rng);
+    // Between stages only cancellation stops the run outright; an expired
+    // deadline is left for the stages' cooperative checks, so a ladder
+    // whose fallback rung is cheap can still rescue the object.
+    if (ctx.exec != nullptr) {
+      Status st = ctx.exec->Check();
+      if (st.code() == StatusCode::kCancelled) return st;
+    }
+    auto result = ApplyStage(*stage, current, ctx);
     if (!result.ok()) return result.status();
     current = std::move(result).value();
     profile_one(stage->name(), current);

@@ -7,13 +7,50 @@
 #include <utility>
 #include <vector>
 
+#include "core/exec_context.h"
 #include "core/quality.h"
 #include "core/random.h"
+#include "core/retry.h"
 #include "core/status.h"
 #include "core/statusor.h"
 #include "core/trajectory.h"
 
 namespace sidq {
+
+// One recorded fall down a degradation ladder: `stage` ran rung `rung`
+// (`rung_name`) because the rungs above it failed, the topmost with `cause`.
+struct DegradeEvent {
+  std::string stage;
+  int rung = 0;
+  std::string rung_name;
+  Status cause;
+};
+
+// Per-trajectory resilience trace filled during a pipeline run: how many
+// retries were spent and which stages fell down their ladder. The fleet
+// runner folds this into per-object quality annotations.
+struct RunTrace {
+  int retries = 0;
+  std::vector<DegradeEvent> degraded;
+
+  [[nodiscard]] bool degraded_mode() const { return !degraded.empty(); }
+};
+
+// Execution environment for one pipeline run over one trajectory. All
+// pointers are optional and borrowed:
+//   rng        stage randomness substream (nullptr = unseeded Apply path)
+//   retry_rng  backoff-jitter substream, separate from `rng` so a retry
+//              never perturbs what the stages compute
+//   exec       deadline + cooperative cancellation, shared across workers
+//   retry      per-stage retry policy for transient failures
+//   trace      receives retries/degradations (owned by the caller)
+struct StageContext {
+  Rng* rng = nullptr;
+  Rng* retry_rng = nullptr;
+  const ExecContext* exec = nullptr;
+  const RetryPolicy* retry = nullptr;
+  RunTrace* trace = nullptr;
+};
 
 // A single trajectory-cleaning step. Implementations live in the refine /
 // uncertainty / outlier / fault / reduce modules; the pipeline composes them.
@@ -32,7 +69,26 @@ class TrajectoryStage {
                                            Rng& /*rng*/) const {
     return Apply(input);
   }
+
+  // Context-aware entry point used by resilient execution. Stages that can
+  // honour deadlines/cancellation (or report degradation) override this;
+  // the default routes to the seeded/unseeded paths, so existing stages
+  // behave identically under a context they ignore.
+  virtual StatusOr<Trajectory> ApplyCtx(const Trajectory& input,
+                                        const StageContext& ctx) const {
+    return ctx.rng != nullptr ? ApplySeeded(input, *ctx.rng) : Apply(input);
+  }
 };
+
+// Runs one stage attempt-by-attempt under the context's retry policy:
+// transient failures (IsTransient) back off on the context clock -- jitter
+// drawn from ctx.retry_rng -- and re-run, up to retry->max_retries extra
+// attempts; retrying stops early once the context is cancelled or past its
+// deadline. Retries are counted into ctx.trace. Without a policy this is a
+// single plain ApplyCtx call.
+StatusOr<Trajectory> RunStageWithRetry(const TrajectoryStage& stage,
+                                       const Trajectory& input,
+                                       const StageContext& ctx);
 
 // Adapts a plain callable into a TrajectoryStage.
 class LambdaStage : public TrajectoryStage {
@@ -76,6 +132,72 @@ class SeededLambdaStage : public TrajectoryStage {
   Fn fn_;
 };
 
+// Adapts a context-aware callable (deadline checks, failpoint sites) into a
+// TrajectoryStage.
+class ContextLambdaStage : public TrajectoryStage {
+ public:
+  using Fn = std::function<StatusOr<Trajectory>(const Trajectory&,
+                                                const StageContext&)>;
+  ContextLambdaStage(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  std::string name() const override { return name_; }
+  [[nodiscard]] StatusOr<Trajectory> Apply(const Trajectory& input) const override {
+    return fn_(input, StageContext{});
+  }
+  [[nodiscard]] StatusOr<Trajectory> ApplyCtx(const Trajectory& input,
+                                              const StageContext& ctx)
+      const override {
+    return fn_(input, ctx);
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+// Graceful-degradation ladder: an ordered list of rungs implementing the
+// same logical stage at decreasing fidelity and cost (e.g. HMM map matcher
+// -> geometric nearest-road snap; particle filter -> Kalman -> passthrough).
+// Each rung runs with per-rung retries (RunStageWithRetry); when a rung
+// fails terminally with anything but kCancelled -- including
+// kDeadlineExceeded from a cooperative kernel -- the ladder falls to the
+// next rung and records a DegradeEvent in the trace. Rungs below the top
+// should be cheap and deadline-free so they can still rescue an object
+// whose budget is already spent. The ladder fails only when every rung
+// failed, with the last rung's error.
+class LadderStage : public TrajectoryStage {
+ public:
+  explicit LadderStage(std::string name) : name_(std::move(name)) {}
+
+  LadderStage& AddRung(std::unique_ptr<TrajectoryStage> rung) {
+    rungs_.push_back(std::move(rung));
+    return *this;
+  }
+  LadderStage& AddRung(std::string rung_name, LambdaStage::Fn fn) {
+    return AddRung(
+        std::make_unique<LambdaStage>(std::move(rung_name), std::move(fn)));
+  }
+  LadderStage& AddRungCtx(std::string rung_name, ContextLambdaStage::Fn fn) {
+    return AddRung(std::make_unique<ContextLambdaStage>(std::move(rung_name),
+                                                        std::move(fn)));
+  }
+
+  size_t num_rungs() const { return rungs_.size(); }
+  std::string name() const override { return name_; }
+
+  [[nodiscard]] StatusOr<Trajectory> Apply(const Trajectory& input) const override {
+    return ApplyCtx(input, StageContext{});
+  }
+  [[nodiscard]] StatusOr<Trajectory> ApplyCtx(const Trajectory& input,
+                                              const StageContext& ctx)
+      const override;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<TrajectoryStage>> rungs_;
+};
+
 // Quality report captured after one pipeline stage.
 struct StageReport {
   std::string stage_name;
@@ -101,6 +223,10 @@ class TrajectoryPipeline {
     return Add(
         std::make_unique<SeededLambdaStage>(std::move(name), std::move(fn)));
   }
+  TrajectoryPipeline& AddCtx(std::string name, ContextLambdaStage::Fn fn) {
+    return Add(
+        std::make_unique<ContextLambdaStage>(std::move(name), std::move(fn)));
+  }
 
   size_t num_stages() const { return stages_.size(); }
   const TrajectoryStage& stage(size_t i) const { return *stages_[i]; }
@@ -111,6 +237,13 @@ class TrajectoryPipeline {
   // behaviour). Fleet execution derives one substream per trajectory.
   [[nodiscard]] StatusOr<Trajectory> Run(const Trajectory& input,
                                          Rng* rng) const;
+  // Resilient variant: stages additionally observe ctx.exec (deadline /
+  // cancellation), retry transient failures under ctx.retry, and record
+  // retries/degradations into ctx.trace. With a default-constructed ctx
+  // this is exactly Run(input); with only ctx.rng set it is exactly
+  // Run(input, rng) -- same draws, same output bits.
+  [[nodiscard]] StatusOr<Trajectory> Run(const Trajectory& input,
+                                         const StageContext& ctx) const;
 
   // Runs all stages, profiling the data before the first stage and after
   // every stage against `truth` (may be nullptr). `reports` receives
@@ -121,6 +254,12 @@ class TrajectoryPipeline {
                                    const TrajectoryProfiler& profiler,
                                    std::vector<StageReport>* reports,
                                    Rng* rng = nullptr) const;
+  // Resilient + profiled.
+  [[nodiscard]] StatusOr<Trajectory> RunProfiled(const Trajectory& input,
+                                   const Trajectory* truth,
+                                   const TrajectoryProfiler& profiler,
+                                   std::vector<StageReport>* reports,
+                                   const StageContext& ctx) const;
 
   // Serial reference implementation of batch cleaning: trajectory i is
   // cleaned with the substream DeriveSeed(base_seed, inputs[i].object_id()).
@@ -131,6 +270,12 @@ class TrajectoryPipeline {
       const std::vector<Trajectory>& inputs, uint64_t base_seed) const;
 
  private:
+  StatusOr<Trajectory> RunStages(const Trajectory& input,
+                                 const StageContext& ctx,
+                                 const Trajectory* truth,
+                                 const TrajectoryProfiler* profiler,
+                                 std::vector<StageReport>* reports) const;
+
   std::vector<std::unique_ptr<TrajectoryStage>> stages_;
 };
 

@@ -42,6 +42,18 @@ const char* DqDimensionName(DqDimension d) {
   return "unknown";
 }
 
+const char* ExecQualityName(ExecQuality q) {
+  switch (q) {
+    case ExecQuality::kFull:
+      return "full";
+    case ExecQuality::kDegraded:
+      return "degraded";
+    case ExecQuality::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
 bool MetricLargerIsWorse(DqDimension d) {
   switch (d) {
     // Metrics reported as error / gap / violation / count: larger is worse.

@@ -42,6 +42,21 @@ const char* DqDimensionName(DqDimension d);
 // (e.g. accuracy is reported as RMSE; coverage as a fraction covered).
 bool MetricLargerIsWorse(DqDimension d);
 
+// Execution-quality grade the resilient fleet executor attaches to each
+// cleaned object: was the result produced at full fidelity, by a degraded
+// fallback rung of a stage ladder, or not at all because the object was
+// quarantined after repeated failures? Consumers treat kDegraded output as
+// usable-but-flagged (its DQ metrics reflect the cheaper algorithm) and
+// kQuarantined output as absent.
+enum class ExecQuality : int {
+  kFull = 0,
+  kDegraded,
+  kQuarantined,
+};
+
+// Short canonical name, e.g. "degraded".
+const char* ExecQualityName(ExecQuality q);
+
 // A set of measured quality metrics keyed by dimension. Metric values are
 // raw (metres, seconds, fractions, counts) -- not normalized scores -- so
 // reports are comparable across runs of the same profiler.

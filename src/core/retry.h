@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/random.h"
+#include "core/status.h"
+
+namespace sidq {
+
+// True for error codes worth retrying: the operation may succeed on a
+// second attempt because the failure was environmental (an overloaded
+// gateway, an injected chaos fault), not a property of the data.
+// kDeadlineExceeded is deliberately NOT transient -- the time budget is
+// gone, so the right reaction is degradation, not another full-price
+// attempt.
+[[nodiscard]] inline bool IsTransient(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted;
+}
+
+// Deterministic exponential backoff with jitter. The jitter is drawn from
+// an Rng substream keyed per object (DeriveSeed(base_seed ^ salt,
+// object_id)), so a retried N-worker fleet run backs off -- and therefore
+// produces output -- bit-identically to the serial run.
+struct RetryPolicy {
+  // Additional attempts after the first; 0 disables retrying.
+  int max_retries = 0;
+  int64_t initial_backoff_ms = 10;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_ms = 2000;
+  // Backoff is scaled by Uniform(1 - jitter, 1 + jitter).
+  double jitter = 0.2;
+
+  // Whether a failure with `status` on 0-based attempt `attempt` should be
+  // retried: transient code and retries remaining.
+  [[nodiscard]] bool ShouldRetry(const Status& status, int attempt) const {
+    return attempt < max_retries && IsTransient(status.code());
+  }
+
+  // Backoff before retry number `attempt + 1` (attempt is 0-based). Draws
+  // exactly one uniform from `rng` when jitter > 0.
+  [[nodiscard]] int64_t BackoffMs(int attempt, Rng& rng) const {
+    double backoff = static_cast<double>(initial_backoff_ms);
+    for (int i = 0; i < attempt; ++i) backoff *= backoff_multiplier;
+    if (backoff > static_cast<double>(max_backoff_ms)) {
+      backoff = static_cast<double>(max_backoff_ms);
+    }
+    if (jitter > 0.0) {
+      backoff *= rng.Uniform(1.0 - jitter, 1.0 + jitter);
+    }
+    return backoff < 0.0 ? 0 : static_cast<int64_t>(backoff);
+  }
+};
+
+// Substream salt separating retry-jitter draws from the cleaning stages'
+// randomness: a retry must never perturb what the pipeline computes.
+inline constexpr uint64_t kRetryStreamSalt = 0x52455452595F5253ull;  // "RETRY_RS"
+
+}  // namespace sidq

@@ -21,6 +21,8 @@ enum class StatusCode : int {
   kInternal = 8,
   kUnimplemented = 9,
   kCancelled = 10,
+  kUnavailable = 11,
+  kDeadlineExceeded = 12,
 };
 
 // Returns the canonical name of `code`, e.g. "InvalidArgument".
@@ -74,6 +76,12 @@ class [[nodiscard]] Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -8,7 +8,9 @@
 #include <thread>
 #include <utility>
 
+#include "core/exec_context.h"
 #include "core/random.h"
+#include "exec/steady_clock.h"
 #include "exec/thread_pool.h"
 #include "geometry/point.h"
 #include "query/partition.h"
@@ -39,6 +41,26 @@ geometry::Point Centroid(const Trajectory& t) {
 }
 
 }  // namespace
+
+std::vector<size_t> FleetResult::QuarantinedIndices() const {
+  std::vector<size_t> out;
+  for (const ObjectAnnotation& a : annotations) {
+    if (a.quality == ExecQuality::kQuarantined) out.push_back(a.index);
+  }
+  return out;
+}
+
+std::string FleetResult::ResilienceSummary() const {
+  const size_t n = statuses.size();
+  const size_t full = n - objects_quarantined - objects_degraded;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "fleet: %zu/%zu full, %zu degraded, %zu quarantined, "
+                "%zu retries%s",
+                full, n, objects_degraded, objects_quarantined,
+                retries_total, breaker_tripped ? ", BREAKER TRIPPED" : "");
+  return buf;
+}
 
 DqReport FleetStageStats::MeanReport() const {
   DqReport report;
@@ -151,35 +173,80 @@ FleetResult FleetRunner::RunInternal(const std::vector<Trajectory>& fleet,
   // order never depends on scheduling.
   std::vector<std::vector<StageReport>> all_reports;
   if (profiler != nullptr) all_reports.resize(n);
+  // Per-trajectory resilience traces, likewise merged after the join.
+  std::vector<RunTrace> traces(n);
+
+  const bool best_effort =
+      options_.failure_policy == FailurePolicy::kBestEffort;
+  const bool retry_enabled = options_.retry.max_retries > 0;
+  const Clock* wall_clock =
+      options_.clock != nullptr ? options_.clock : SteadyClock::Global();
+  // Breaker arithmetic: quarantine count that, once *exceeded*, trips.
+  const size_t breaker_limit =
+      options_.max_quarantine_fraction >= 1.0
+          ? n
+          : static_cast<size_t>(options_.max_quarantine_fraction *
+                                static_cast<double>(n));
 
   std::atomic<bool> cancelled{false};
+  std::atomic<bool> breaker_tripped{false};
   std::atomic<size_t> shards_cancelled{0};
+  std::atomic<size_t> quarantined_count{0};
 
   // Each shard task writes only its own indices of cleaned/statuses/
-  // all_reports; the future join publishes those writes to this thread.
+  // all_reports/traces; the future join publishes those writes to this
+  // thread.
   auto run_shard = [&](const std::vector<size_t>* shard) -> Status {
-    if (options_.cancel_on_error &&
-        cancelled.load(std::memory_order_acquire)) {
+    if (cancelled.load(std::memory_order_acquire)) {
       shards_cancelled.fetch_add(1, std::memory_order_relaxed);
       return Status::Cancelled("shard skipped after earlier failure");
     }
     Status first = Status::OK();
     for (size_t i : *shard) {
-      Rng rng = Rng::ForKey(options_.base_seed, fleet[i].object_id());
+      const ObjectId id = fleet[i].object_id();
+      Rng rng = Rng::ForKey(options_.base_seed, id);
+      Rng retry_rng =
+          Rng::ForKey(options_.base_seed ^ kRetryStreamSalt, id);
+      // Virtual time gives every object a private clock starting at 0:
+      // injected stalls and backoffs advance only this object's time, so
+      // deadline decisions are identical for any worker count.
+      VirtualClock vclock;
+      const Clock* clock =
+          options_.virtual_time ? static_cast<const Clock*>(&vclock)
+                                : wall_clock;
+      const ExecContext exec =
+          ExecContext::After(clock, options_.deadline_ms, &cancelled);
+      StageContext ctx;
+      ctx.rng = &rng;
+      ctx.retry_rng = &retry_rng;
+      ctx.exec = &exec;
+      ctx.retry = retry_enabled ? &options_.retry : nullptr;
+      ctx.trace = &traces[i];
+
       StatusOr<Trajectory> out =
           profiler != nullptr
               ? pipeline_->RunProfiled(
                     fleet[i],
                     truths != nullptr ? &(*truths)[i] : nullptr, *profiler,
-                    &all_reports[i], &rng)
-              : pipeline_->Run(fleet[i], &rng);
+                    &all_reports[i], ctx)
+              : pipeline_->Run(fleet[i], ctx);
       if (out.ok()) {
         result.cleaned[i] = std::move(out).value();
         result.statuses[i] = Status::OK();
       } else {
         result.statuses[i] = out.status();
         if (first.ok()) first = out.status();
-        if (options_.cancel_on_error) {
+        if (best_effort) {
+          if (out.status().code() != StatusCode::kCancelled) {
+            const size_t q =
+                quarantined_count.fetch_add(1, std::memory_order_relaxed) +
+                1;
+            if (q > breaker_limit) {
+              breaker_tripped.store(true, std::memory_order_relaxed);
+              cancelled.store(true, std::memory_order_release);
+            }
+          }
+        } else if (options_.cancel_on_error) {
           cancelled.store(true, std::memory_order_release);
         }
       }
@@ -219,6 +286,31 @@ FleetResult FleetRunner::RunInternal(const std::vector<Trajectory>& fleet,
   }
 
   result.shards_cancelled = shards_cancelled.load(std::memory_order_relaxed);
+  result.breaker_tripped = breaker_tripped.load(std::memory_order_relaxed);
+
+  // Per-object annotations, built after the join in input-index order so
+  // the vector is deterministic regardless of scheduling. Objects that
+  // cleaned at full fidelity on the first attempt produce no entry.
+  for (size_t i = 0; i < n; ++i) {
+    const RunTrace& tr = traces[i];
+    const Status& st = result.statuses[i];
+    if (st.ok() && tr.retries == 0 && tr.degraded.empty()) continue;
+    ObjectAnnotation a;
+    a.index = i;
+    a.id = fleet[i].object_id();
+    a.retries = tr.retries;
+    a.degraded = tr.degraded;
+    a.status = st;
+    if (!st.ok()) {
+      a.quality = ExecQuality::kQuarantined;
+      ++result.objects_quarantined;
+    } else if (!tr.degraded.empty()) {
+      a.quality = ExecQuality::kDegraded;
+      ++result.objects_degraded;
+    }
+    result.retries_total += static_cast<size_t>(tr.retries);
+    result.annotations.push_back(std::move(a));
+  }
 
   // First-error-wins, resolved by input index for determinism.
   for (size_t i = 0; i < n; ++i) {

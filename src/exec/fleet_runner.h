@@ -6,13 +6,29 @@
 #include <string>
 #include <vector>
 
+#include "core/clock.h"
 #include "core/pipeline.h"
 #include "core/quality.h"
+#include "core/retry.h"
 #include "core/status.h"
 #include "core/trajectory.h"
 
 namespace sidq {
 namespace exec {
+
+// What a per-object pipeline failure does to the rest of the fleet.
+enum class FailurePolicy {
+  // First-error-wins: flip the fleet cancellation flag (when
+  // Options::cancel_on_error), skip unstarted shards, abort in-flight
+  // objects at their next cooperative check. The pre-resilience behaviour.
+  kFailFast,
+  // Quarantine the failing object (after its retries and ladder rungs are
+  // exhausted), keep cleaning everything else, and return partial results
+  // with per-object annotations. A fleet-level circuit breaker
+  // (Options::max_quarantine_fraction) still aborts runs where failure is
+  // the rule rather than the exception.
+  kBestEffort,
+};
 
 // How a fleet batch is cut into per-task shards.
 enum class ShardingMode {
@@ -46,6 +62,22 @@ struct FleetStageStats {
   [[nodiscard]] std::string ToString() const;
 };
 
+// Per-object resilience annotation: how the object's result was obtained.
+// Objects that cleaned at full fidelity on the first attempt produce no
+// annotation; everything else (retries, degraded ladder rungs, quarantine)
+// is recorded here, sorted by input index.
+struct ObjectAnnotation {
+  size_t index = 0;
+  ObjectId id = 0;
+  ExecQuality quality = ExecQuality::kFull;
+  int retries = 0;
+  // Ladder falls, in stage order (empty unless quality >= kDegraded or a
+  // fallback rung rescued the object).
+  std::vector<DegradeEvent> degraded;
+  // Terminal status: OK unless the object was quarantined / failed.
+  Status status;
+};
+
 // Outcome of one fleet run. Per-trajectory statuses are reported instead of
 // one flattened StatusOr so that a single poisoned trajectory does not
 // discard the 9,999 that cleaned fine.
@@ -68,9 +100,29 @@ struct FleetResult {
   size_t shards_total = 0;
   size_t shards_cancelled = 0;
 
+  // Resilience outcome (filled for every run; empty/zero when nothing
+  // retried, degraded, or failed).
+  std::vector<ObjectAnnotation> annotations;
+  size_t objects_quarantined = 0;
+  size_t objects_degraded = 0;
+  size_t retries_total = 0;
+  // True when the best-effort circuit breaker aborted the run because too
+  // large a fraction of the fleet was quarantined.
+  bool breaker_tripped = false;
+
   [[nodiscard]] bool ok() const {
     return first_error.ok() && shards_cancelled == 0;
   }
+  // Best-effort success: every shard executed and the breaker held; some
+  // objects may still be quarantined (see annotations).
+  [[nodiscard]] bool partial_ok() const {
+    return shards_cancelled == 0 && !breaker_tripped;
+  }
+  // Input indices of quarantined objects, ascending.
+  [[nodiscard]] std::vector<size_t> QuarantinedIndices() const;
+  // One-line human summary, e.g.
+  // "fleet: 23/24 full, 2 degraded, 1 quarantined, 5 retries".
+  [[nodiscard]] std::string ResilienceSummary() const;
 };
 
 // Runs a TrajectoryPipeline over a batch of trajectories on a work-stealing
@@ -100,8 +152,32 @@ class FleetRunner {
     size_t skew_max_load = 64;
     // Base seed of the per-trajectory substreams.
     uint64_t base_seed = 42;
-    // First-error-wins cancellation.
+    // First-error-wins cancellation (kFailFast only).
     bool cancel_on_error = true;
+
+    // --- resilience ---
+    FailurePolicy failure_policy = FailurePolicy::kFailFast;
+    // Per-stage retry policy for transient failures; max_retries = 0
+    // disables retrying. Backoff jitter draws from the per-object
+    // substream DeriveSeed(base_seed ^ kRetryStreamSalt, object_id), so
+    // retried output is bit-identical for any worker count.
+    RetryPolicy retry;
+    // Per-trajectory time budget; 0 disables deadlines. Enforced
+    // cooperatively by context-aware stages/kernels.
+    int64_t deadline_ms = 0;
+    // true: every trajectory runs against its own VirtualClock starting at
+    // 0, so injected stalls and backoffs are instant and one object's
+    // stalls can never consume another's budget -- fully deterministic
+    // (tests, chaos runs). false: deadlines/backoffs use `clock` below.
+    bool virtual_time = false;
+    // Wall clock for deadlines/backoffs when virtual_time is false;
+    // nullptr = process-wide SteadyClock.
+    const Clock* clock = nullptr;
+    // Circuit breaker (kBestEffort only): abort the run once more than
+    // this fraction of the fleet has been quarantined. >= 1.0 disables.
+    // Tripping is an early-exit race like cancel_on_error: *which* shards
+    // get skipped depends on scheduling, the trip decision itself does not.
+    double max_quarantine_fraction = 1.0;
   };
 
   // `pipeline` must outlive the runner and is shared read-only across

@@ -1,0 +1,25 @@
+#include "exec/steady_clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace sidq {
+namespace exec {
+
+int64_t SteadyClock::NowMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SteadyClock::SleepMs(int64_t ms) const {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+const SteadyClock* SteadyClock::Global() {
+  static const SteadyClock clock;
+  return &clock;
+}
+
+}  // namespace exec
+}  // namespace sidq

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/clock.h"
+
+namespace sidq {
+namespace exec {
+
+// Wall-time Clock backed by std::chrono::steady_clock. Lives in src/exec/
+// because that is the only directory allowed to touch real time (sidq-lint
+// rule R8); everything else receives a `const Clock*` and cannot tell wall
+// time from virtual time.
+class SteadyClock : public Clock {
+ public:
+  int64_t NowMs() const override;
+  void SleepMs(int64_t ms) const override;
+
+  // Shared process-wide instance for callers that just want "real time".
+  static const SteadyClock* Global();
+};
+
+}  // namespace exec
+}  // namespace sidq

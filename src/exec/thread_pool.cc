@@ -20,22 +20,26 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::Enqueue(std::function<void()> task) {
+bool ThreadPool::Enqueue(std::function<void()> task) {
   const size_t idx =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   {
+    // The shutdown check, queue push, and queued_ increment must be one
+    // atomic step with respect to Shutdown(): checking first and pushing
+    // later left a window where a task enqueued mid-shutdown was never
+    // counted, so the workers drained queued_ == 0 and joined with the
+    // task still sitting in a deque -- a silent drop. Nesting the worker
+    // mutex inside mu_ is safe: no other path holds them simultaneously.
     std::lock_guard<std::mutex> lock(mu_);
-    SIDQ_CHECK(!shutdown_) << "ThreadPool::Submit after Shutdown";
-  }
-  {
-    std::lock_guard<std::mutex> lock(workers_[idx]->mu);
-    workers_[idx]->queue.push_back(std::move(task));
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    {
+      std::lock_guard<std::mutex> wlock(workers_[idx]->mu);
+      workers_[idx]->queue.push_back(std::move(task));
+    }
     ++queued_;
   }
   cv_.notify_one();
+  return true;
 }
 
 bool ThreadPool::TryPop(size_t self, std::function<void()>* task) {

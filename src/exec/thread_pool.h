@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/logging.h"
+#include "core/status.h"
 
 namespace sidq {
 namespace exec {
@@ -27,7 +28,10 @@ namespace exec {
 // Status / StatusOr<T> *by value* through the future -- the pool never
 // traffics in exceptions. Shutdown is graceful: every task queued before
 // Shutdown() runs to completion before the workers join, so futures
-// obtained from Submit() never dangle.
+// obtained from Submit() never dangle. A task submitted at or after the
+// start of Shutdown() is rejected: its future resolves immediately to
+// Status::Unavailable (never silently dropped), so racing producers always
+// learn the fate of their work.
 //
 // This is the only place in the tree allowed to spawn std::thread
 // (sidq-lint rule R6); everything else parallelizes through this pool.
@@ -45,16 +49,28 @@ class ThreadPool {
   size_t num_workers() const { return workers_.size(); }
 
   // Enqueues `fn` and returns a future for its result. Submitting from
-  // multiple threads is safe; submitting after Shutdown() is a programmer
-  // error (SIDQ_CHECK).
+  // multiple threads is safe. Once Shutdown() has begun the task is NOT
+  // run: the future resolves to Status::Unavailable (the result type must
+  // be constructible from Status -- the repo-wide Status/StatusOr idiom),
+  // so a submission racing Shutdown() is reported, not dropped.
   template <typename F>
   auto Submit(F fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
+    static_assert(std::is_constructible_v<R, Status>,
+                  "ThreadPool tasks must return Status or StatusOr<T> so "
+                  "post-Shutdown rejection can be reported through the "
+                  "future");
     // packaged_task is move-only but std::function requires copyable
     // callables, so the task lives behind a shared_ptr.
     auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
     std::future<R> future = task->get_future();
-    Enqueue([task] { (*task)(); });
+    if (!Enqueue([task] { (*task)(); })) {
+      std::packaged_task<R()> reject([]() -> R {
+        return Status::Unavailable("task submitted after ThreadPool shutdown");
+      });
+      future = reject.get_future();
+      reject();
+    }
     return future;
   }
 
@@ -67,7 +83,8 @@ class ThreadPool {
     std::mutex mu;
   };
 
-  void Enqueue(std::function<void()> task);
+  // False when the pool is shutting down (task not queued).
+  [[nodiscard]] bool Enqueue(std::function<void()> task);
   void WorkerLoop(size_t self);
   // Pops own work (front) or steals (back); false when every queue is empty.
   bool TryPop(size_t self, std::function<void()>* task);

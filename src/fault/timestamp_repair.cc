@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/failpoint.h"
+
 namespace sidq {
 namespace fault {
 
@@ -62,11 +64,19 @@ StatusOr<std::vector<Timestamp>> RepairTimestamps(
 
 StatusOr<Trajectory> RepairTrajectoryTimestamps(const Trajectory& input,
                                                 Timestamp min_gap_ms) {
+  // Chaos site: lets tests inject transient/permanent repair failures or a
+  // corrupted repair (an order violation the repair claims to have fixed).
+  bool corrupt = false;
+  SIDQ_RETURN_IF_ERROR(MaybeInjectFailPoint(
+      "fault.timestamp_repair", input.object_id(), nullptr, &corrupt));
   std::vector<Timestamp> ts;
   ts.reserve(input.size());
   for (const TrajectoryPoint& pt : input.points()) ts.push_back(pt.t);
   SIDQ_ASSIGN_OR_RETURN(std::vector<Timestamp> repaired,
                         RepairTimestamps(ts, min_gap_ms));
+  if (corrupt && repaired.size() > 1) {
+    repaired.back() = repaired.front() - 1;
+  }
   Trajectory out(input.object_id());
   for (size_t i = 0; i < input.size(); ++i) {
     TrajectoryPoint pt = input[i];

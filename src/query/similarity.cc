@@ -24,7 +24,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 }  // namespace
 
-double DtwDistance(const Trajectory& a, const Trajectory& b, int band) {
+StatusOr<double> DtwDistanceBounded(const Trajectory& a, const Trajectory& b,
+                                    int band, const ExecContext* exec) {
   const size_t n = a.size();
   const size_t m = b.size();
   if (n == 0 || m == 0) return n == m ? 0.0 : kInf;
@@ -34,6 +35,8 @@ double DtwDistance(const Trajectory& a, const Trajectory& b, int band) {
   std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
   prev[0] = 0.0;
   for (size_t i = 1; i <= n; ++i) {
+    // The DP row is the unit of work a deadline can interrupt.
+    if (exec != nullptr) SIDQ_RETURN_IF_ERROR(exec->Check());
     size_t lo = 1, hi = m;
     if (band > 0) {
       // Keep |i*m/n - j| within the band (scaled Sakoe-Chiba).
@@ -49,7 +52,14 @@ double DtwDistance(const Trajectory& a, const Trajectory& b, int band) {
   return prev[m];
 }
 
-double DiscreteFrechetDistance(const Trajectory& a, const Trajectory& b) {
+double DtwDistance(const Trajectory& a, const Trajectory& b, int band) {
+  // Without a context the bounded variant cannot fail.
+  return *DtwDistanceBounded(a, b, band, nullptr);
+}
+
+StatusOr<double> DiscreteFrechetDistanceBounded(const Trajectory& a,
+                                                const Trajectory& b,
+                                                const ExecContext* exec) {
   const size_t n = a.size();
   const size_t m = b.size();
   if (n == 0 || m == 0) return n == m ? 0.0 : kInf;
@@ -61,11 +71,16 @@ double DiscreteFrechetDistance(const Trajectory& a, const Trajectory& b) {
   prev[0] = dist[0];
   for (size_t j = 1; j < m; ++j) prev[j] = std::max(prev[j - 1], dist[j]);
   for (size_t i = 1; i < n; ++i) {
+    if (exec != nullptr) SIDQ_RETURN_IF_ERROR(exec->Check());
     kernels::FrechetRowKernel(va.x()[i], va.y()[i], vb.x(), vb.y(), m,
                               prev.data(), cur.data(), dist.data());
     std::swap(prev, cur);
   }
   return prev[m - 1];
+}
+
+double DiscreteFrechetDistance(const Trajectory& a, const Trajectory& b) {
+  return *DiscreteFrechetDistanceBounded(a, b, nullptr);
 }
 
 double EdrDistance(const Trajectory& a, const Trajectory& b,

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/exec_context.h"
 #include "core/statusor.h"
 #include "core/trajectory.h"
 #include "core/types.h"
@@ -21,8 +22,22 @@ namespace query {
 // (band <= 0 disables the constraint). O(n*m) time, O(min(n,m)) memory.
 double DtwDistance(const Trajectory& a, const Trajectory& b, int band = -1);
 
+// DtwDistance with a cooperative ExecContext check per DP row: a deadline
+// or fleet cancellation aborts the O(n*m) recursion between rows with
+// kDeadlineExceeded / kCancelled instead of running to completion. exec ==
+// nullptr never fails and computes exactly DtwDistance.
+[[nodiscard]] StatusOr<double> DtwDistanceBounded(const Trajectory& a,
+                                                  const Trajectory& b,
+                                                  int band,
+                                                  const ExecContext* exec);
+
 // Discrete Frechet distance. O(n*m).
 double DiscreteFrechetDistance(const Trajectory& a, const Trajectory& b);
+
+// DiscreteFrechetDistance with a cooperative ExecContext check per DP row
+// (same contract as DtwDistanceBounded).
+[[nodiscard]] StatusOr<double> DiscreteFrechetDistanceBounded(
+    const Trajectory& a, const Trajectory& b, const ExecContext* exec);
 
 // Edit distance on real sequences (EDR): edit cost with a match tolerance
 // `epsilon_m`; insertions/deletions/substitutions cost 1. Normalised by

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/failpoint.h"
 #include "kernels/distance.h"
 #include "kernels/soa.h"
 
@@ -82,7 +83,7 @@ double HmmMapMatcher::RouteDistance(const Candidate& a,
 }
 
 StatusOr<HmmMapMatcher::MatchResult> HmmMapMatcher::Match(
-    const Trajectory& noisy) const {
+    const Trajectory& noisy, const ExecContext* exec) const {
   if (noisy.empty()) return Status::FailedPrecondition("empty trajectory");
   if (!noisy.IsTimeOrdered()) {
     return Status::FailedPrecondition("trajectory must be time-ordered");
@@ -90,6 +91,9 @@ StatusOr<HmmMapMatcher::MatchResult> HmmMapMatcher::Match(
   const size_t n = noisy.size();
   std::vector<std::vector<Candidate>> layers(n);
   for (size_t i = 0; i < n; ++i) {
+    // Candidate generation runs Dijkstra-backed projections; check the
+    // budget before each point so a dense network cannot blow past it.
+    if (exec != nullptr) SIDQ_RETURN_IF_ERROR(exec->Check());
     layers[i] = CandidatesFor(noisy[i].p);
     if (layers[i].empty()) {
       return Status::NotFound("no road candidates near point");
@@ -111,6 +115,11 @@ StatusOr<HmmMapMatcher::MatchResult> HmmMapMatcher::Match(
     score[0][c] = layers[0][c].emission_logp;
   }
   for (size_t i = 1; i < n; ++i) {
+    // One chaos evaluation + one cooperative check per Viterbi layer: the
+    // layer is the unit of work a deadline can interrupt.
+    SIDQ_RETURN_IF_ERROR(MaybeInjectFailPoint("refine.hmm.viterbi_row",
+                                              noisy.object_id(), exec));
+    if (exec != nullptr) SIDQ_RETURN_IF_ERROR(exec->Check());
     const double straight = straight_dists[i - 1];
     score[i].assign(layers[i].size(), kNegInf);
     back[i].assign(layers[i].size(), -1);

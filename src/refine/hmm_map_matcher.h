@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/exec_context.h"
 #include "core/statusor.h"
 #include "core/trajectory.h"
 #include "core/types.h"
@@ -39,7 +40,13 @@ class HmmMapMatcher {
 
   // Matches a time-ordered trajectory to the network. Fails when empty or
   // when no candidates exist for some point at 4x the configured radius.
-  [[nodiscard]] StatusOr<MatchResult> Match(const Trajectory& noisy) const;
+  // When `exec` is non-null, the candidate build and every Viterbi layer
+  // check it cooperatively, so a deadline or fleet cancellation stops the
+  // O(n * k^2) recursion mid-flight with kDeadlineExceeded / kCancelled.
+  // Chaos site: "refine.hmm.viterbi_row", keyed by object id, evaluated
+  // once per Viterbi layer.
+  [[nodiscard]] StatusOr<MatchResult> Match(
+      const Trajectory& noisy, const ExecContext* exec = nullptr) const;
 
  private:
   struct Candidate {

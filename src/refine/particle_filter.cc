@@ -2,10 +2,13 @@
 
 #include <cmath>
 
+#include "core/failpoint.h"
+
 namespace sidq {
 namespace refine {
 
-StatusOr<Trajectory> ParticleFilter2D::Filter(const Trajectory& noisy) const {
+StatusOr<Trajectory> ParticleFilter2D::Filter(const Trajectory& noisy,
+                                              const ExecContext* exec) const {
   if (noisy.empty()) return Status::FailedPrecondition("empty trajectory");
   if (!noisy.IsTimeOrdered()) {
     return Status::FailedPrecondition("trajectory must be time-ordered");
@@ -30,6 +33,10 @@ StatusOr<Trajectory> ParticleFilter2D::Filter(const Trajectory& noisy) const {
   Trajectory out(noisy.object_id());
   std::vector<Particle> resampled(particles.size());
   for (size_t i = 0; i < noisy.size(); ++i) {
+    // One chaos evaluation + cooperative check per assimilated measurement.
+    SIDQ_RETURN_IF_ERROR(MaybeInjectFailPoint("refine.particle_filter.step",
+                                              noisy.object_id(), exec));
+    if (exec != nullptr) SIDQ_RETURN_IF_ERROR(exec->Check());
     const TrajectoryPoint& pt = noisy[i];
     const double r = pt.accuracy > 0.0 ? pt.accuracy : default_r;
     const double inv_2r2 = 1.0 / (2.0 * r * r);

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/exec_context.h"
 #include "core/random.h"
 #include "core/statusor.h"
 #include "core/trajectory.h"
@@ -36,8 +37,12 @@ class ParticleFilter2D {
   void AttachNetwork(const sim::RoadNetwork* network) { network_ = network; }
 
   // Causal filtering of a time-ordered trajectory: each output point is the
-  // weighted particle mean after assimilating that measurement.
-  [[nodiscard]] StatusOr<Trajectory> Filter(const Trajectory& noisy) const;
+  // weighted particle mean after assimilating that measurement. When `exec`
+  // is non-null every filter step checks it cooperatively (deadline /
+  // cancellation). Chaos site: "refine.particle_filter.step", keyed by
+  // object id, evaluated once per measurement.
+  [[nodiscard]] StatusOr<Trajectory> Filter(
+      const Trajectory& noisy, const ExecContext* exec = nullptr) const;
 
  private:
   struct Particle {

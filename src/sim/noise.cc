@@ -1,16 +1,29 @@
 #include "sim/noise.h"
 
 #include <cmath>
+#include <limits>
+
+#include "core/failpoint.h"
 
 namespace sidq {
 namespace sim {
 
 Trajectory AddGpsNoise(const Trajectory& truth, double sigma, Rng* rng) {
+  // Chaos site (corrupt-only -- injectors return Trajectory, not Status):
+  // a fired kCorrupt replaces the first noisy fix with a non-finite
+  // coordinate, manufacturing an object every downstream refine stage must
+  // reject. Error/stall actions do not apply here and are ignored.
+  const auto fp = EvaluateFailPoint("sim.noise.gps", truth.object_id());
+  const bool corrupt =
+      fp.has_value() && fp->action == FailPointAction::kCorrupt;
   Trajectory out(truth.object_id());
   out.Reserve(truth.size());
   for (const TrajectoryPoint& pt : truth.points()) {
     geometry::Point noisy(pt.p.x + rng->Gaussian(0.0, sigma),
                           pt.p.y + rng->Gaussian(0.0, sigma));
+    if (corrupt && out.empty()) {
+      noisy.x = std::numeric_limits<double>::quiet_NaN();
+    }
     out.AppendUnordered(TrajectoryPoint(pt.t, noisy, sigma));
   }
   return out;

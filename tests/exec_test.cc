@@ -324,6 +324,7 @@ TEST(ThreadPoolTest, ShutdownDrainsPendingTasks) {
   futures.reserve(100);
   for (int i = 0; i < 100; ++i) {
     futures.push_back(pool.Submit([&done]() -> Status {
+      // sidq: allow-wallclock(deliberately slow task to race Shutdown drain)
       std::this_thread::sleep_for(std::chrono::microseconds(200));
       done.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
@@ -333,6 +334,27 @@ TEST(ThreadPoolTest, ShutdownDrainsPendingTasks) {
   pool.Shutdown();
   EXPECT_EQ(done.load(), 100);
   for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejectedWithUnavailable) {
+  ThreadPool pool(2);
+  auto before = pool.Submit([]() -> StatusOr<int> { return 5; });
+  pool.Shutdown();
+  // Post-shutdown submissions must never be silently dropped: the future
+  // resolves immediately to kUnavailable, for Status and StatusOr alike.
+  std::atomic<bool> ran{false};
+  auto rejected_status = pool.Submit([&ran]() -> Status {
+    ran.store(true);
+    return Status::OK();
+  });
+  auto rejected_value = pool.Submit([&ran]() -> StatusOr<int> {
+    ran.store(true);
+    return 9;
+  });
+  ASSERT_TRUE(before.get().ok());
+  EXPECT_EQ(rejected_status.get().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rejected_value.get().status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(ran.load());
 }
 
 TEST(ThreadPoolTest, ZeroTasksAndIdempotentShutdown) {
@@ -377,6 +399,7 @@ TEST(ThreadPoolTest, WorkStealingDrainsOneHotQueue) {
   for (int i = 0; i < 64; ++i) {
     const bool slow = (i == 0);
     futures.push_back(pool.Submit([&done, slow]() -> Status {
+      // sidq: allow-wallclock(one genuinely blocked worker forces stealing)
       if (slow) std::this_thread::sleep_for(std::chrono::milliseconds(50));
       done.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();

@@ -43,6 +43,10 @@ Status FailsWith(StatusCode code) {
       return Status::Unimplemented("unimplemented");
     case StatusCode::kCancelled:
       return Status::Cancelled("cancelled");
+    case StatusCode::kUnavailable:
+      return Status::Unavailable("unavailable");
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded("deadline exceeded");
   }
   return Status::Internal("unreachable");
 }
@@ -58,7 +62,8 @@ TEST(StatusPropagationTest, ReturnIfErrorForwardsEveryCode) {
       StatusCode::kOutOfRange,         StatusCode::kFailedPrecondition,
       StatusCode::kAlreadyExists,      StatusCode::kResourceExhausted,
       StatusCode::kDataLoss,           StatusCode::kInternal,
-      StatusCode::kUnimplemented,      StatusCode::kCancelled};
+      StatusCode::kUnimplemented,      StatusCode::kCancelled,
+      StatusCode::kUnavailable,        StatusCode::kDeadlineExceeded};
   for (StatusCode code : codes) {
     const Status relayed = Relay(code);
     EXPECT_FALSE(relayed.ok());
