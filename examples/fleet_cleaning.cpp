@@ -11,12 +11,21 @@
 //                  [--max-retries R]   retries for transient stage failures
 //                  [--best-effort]     quarantine failing vehicles instead of
 //                                      cancelling the fleet
+//                  [--metrics-out F]   write the run's metrics snapshot to F
+//                                      (canonical JSON)
+//                  [--trace-out F]     write the run's span trace to F
+//                                      (Chrome trace_event JSON -- load it
+//                                      in chrome://tracing or Perfetto)
 //
 // The determinism contract means --threads changes only the wall clock:
 // every vehicle's cleaned trajectory is bit-identical for any N. Map
 // matching is a degradation ladder: when the HMM Viterbi rung misses the
 // deadline, the vehicle falls to a geometric nearest-road snap and the
 // result is annotated degraded rather than lost.
+//
+// --metrics-out / --trace-out switch the run to virtual time so the
+// exported files are themselves deterministic: two invocations with the
+// same flags produce byte-identical JSON, for any --threads value.
 
 #include <chrono>
 #include <cstdio>
@@ -29,6 +38,8 @@
 #include "core/quality.h"
 #include "core/random.h"
 #include "exec/fleet_runner.h"
+#include "obs/export.h"
+#include "obs/observer.h"
 #include "query/continuous.h"
 #include "reduce/simplify.h"
 #include "refine/hmm_map_matcher.h"
@@ -43,6 +54,8 @@ int main(int argc, char** argv) {
   long deadline_ms = -1;
   int max_retries = 0;
   bool best_effort = false;
+  std::string metrics_out;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
@@ -52,14 +65,20 @@ int main(int argc, char** argv) {
       max_retries = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--best-effort") == 0) {
       best_effort = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--deadline-ms D] "
-                   "[--max-retries R] [--best-effort]\n",
+                   "[--max-retries R] [--best-effort] "
+                   "[--metrics-out FILE] [--trace-out FILE]\n",
                    argv[0]);
       return 2;
     }
   }
+  const bool observed_run = !metrics_out.empty() || !trace_out.empty();
 
   Rng rng(7);
   const int kVehicles = 24;
@@ -126,6 +145,23 @@ int main(int argc, char** argv) {
   options.deadline_ms = deadline_ms;
   options.retry.max_retries = max_retries;
   if (best_effort) options.failure_policy = exec::FailurePolicy::kBestEffort;
+
+  // Observability sinks. An observed run switches to virtual time so the
+  // exported metrics/trace JSON is a pure function of the inputs --
+  // byte-identical across invocations and thread counts.
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::ObsSinks sinks;
+  if (observed_run) {
+    sinks.metrics = &registry;
+    sinks.tracer = &tracer;
+    options.obs = &sinks;
+    options.virtual_time = true;
+  }
+  // Record any chaos faults (none armed here, but the hook is part of the
+  // workflow this example demonstrates).
+  obs::ScopedFailPointObservation failpoint_observation(sinks);
+
   const exec::FleetRunner runner(&pipeline, options);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -193,5 +229,36 @@ int main(int argc, char** argv) {
               "currently downtown\n",
               monitor.updates_processed(), monitor.messages_sent(),
               100.0 * monitor.MessageSavings(), monitor.inside().size());
+
+  if (!metrics_out.empty()) {
+    auto json = obs::MetricsToJson(registry.Snapshot());
+    if (!json.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   json.status().ToString().c_str());
+      return 1;
+    }
+    Status st = obs::WriteTextFile(metrics_out, json.value());
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nmetrics snapshot -> %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    auto json = obs::TraceToChromeJson(tracer.CanonicalSpans());
+    if (!json.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   json.status().ToString().c_str());
+      return 1;
+    }
+    Status st = obs::WriteTextFile(trace_out, json.value());
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace (%zu spans, chrome://tracing) -> %s\n",
+                tracer.num_spans(), trace_out.c_str());
+  }
   return 0;
 }

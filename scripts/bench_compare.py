@@ -4,15 +4,19 @@
 Compares two BENCH_*.json files (as written by scripts/bench_json.py) by
 walking both documents in parallel and checking every numeric metric leaf:
 
-  time keys   (higher is worse): seconds, scalar_s, kernel_s
-  ratio keys  (lower is worse):  speedup, traj_per_s
+  time keys     (higher is worse): seconds, scalar_s, kernel_s
+  ratio keys    (lower is worse):  speedup, traj_per_s
+  slowdown keys (higher is worse): obs_slowdown
 
 A metric that moved in the bad direction by more than --tolerance
 (default 0.15, i.e. >15%) is a regression. Structural drift (a metric
 present on one side only, list length changes) is reported but tolerated:
 benches grow new rows; they must not silently lose performance.
 
---ratios-only restricts the check to ratio keys. Absolute times are
+--ratios-only restricts the check to ratio and slowdown keys (both are
+machine-independent quotients of two same-machine timings, so they stay
+comparable across hosts -- the observability overhead budget is enforced
+this way). Absolute times are
 machine-dependent, so CI compares a fresh run against the committed
 artifact with --ratios-only and a loose tolerance; nightly same-machine
 runs can compare everything.
@@ -30,6 +34,8 @@ from pathlib import Path
 
 TIME_KEYS = {"seconds", "scalar_s", "kernel_s"}
 RATIO_KEYS = {"speedup", "traj_per_s"}
+# Quotients where growth is the bad direction (e.g. instrumented/plain).
+SLOWDOWN_KEYS = {"obs_slowdown"}
 # Run metadata that legitimately differs between two recordings.
 SKIP_KEYS = {"recorded_utc"}
 
@@ -52,7 +58,8 @@ def walk(base, new, path, metrics, drift):
             walk(b, n, f"{path}[{i}]", metrics, drift)
     else:
         key = path.rsplit(".", 1)[-1].split("[")[0]
-        if (key in TIME_KEYS or key in RATIO_KEYS) and \
+        if (key in TIME_KEYS or key in RATIO_KEYS or
+                key in SLOWDOWN_KEYS) and \
                 isinstance(base, (int, float)) and \
                 isinstance(new, (int, float)):
             metrics.append((path, key, float(base), float(new)))
@@ -65,8 +72,9 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="allowed fractional slip (default 0.15)")
     parser.add_argument("--ratios-only", action="store_true",
-                        help="compare only ratio metrics (speedup, "
-                        "traj_per_s); use when machines differ")
+                        help="compare only ratio/slowdown metrics "
+                        "(speedup, traj_per_s, obs_slowdown); use when "
+                        "machines differ")
     args = parser.parse_args()
 
     docs = []
@@ -90,10 +98,10 @@ def main():
     regressions = []
     checked = 0
     for path, key, base, new in metrics:
-        if args.ratios_only and key not in RATIO_KEYS:
+        if args.ratios_only and key not in RATIO_KEYS | SLOWDOWN_KEYS:
             continue
         checked += 1
-        if key in TIME_KEYS:
+        if key in TIME_KEYS or key in SLOWDOWN_KEYS:
             bad = new > base * (1.0 + args.tolerance)
             change = (new - base) / base if base else 0.0
         else:

@@ -11,6 +11,12 @@ provenance stays visible, validates every BENCH_JSON payload as JSON, and
 writes them -- pretty-printed, wrapped with run metadata -- to --out. One
 payload is written as an object, several as a list.
 
+--attach NAME=FILE (repeatable) embeds another JSON file into the output
+doc under "attachments" -- e.g. the metrics snapshot the bench exported via
+--metrics-out, so one artifact carries both the timings and the
+observability ledger of the same run. Attachments are parsed before
+embedding: a missing or non-JSON file fails the run.
+
 Usage: scripts/bench_json.py --out BENCH_exec.json build/bench/bench_exec_fleet [args...]
 
 Exit codes: 0 ok; 1 bench failed or emitted no/invalid BENCH_JSON; 2 usage.
@@ -29,6 +35,10 @@ PREFIX = "BENCH_JSON:"
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", required=True, help="output JSON file")
+    parser.add_argument("--attach", action="append", default=[],
+                        metavar="NAME=FILE",
+                        help="embed FILE (validated as JSON) under "
+                             "attachments.NAME in the output doc")
     parser.add_argument("binary", help="bench binary to run")
     # REMAINDER, not "*": forwarded args may be flags (e.g. --quick), which
     # "*" would reject as unrecognized options of this wrapper.
@@ -65,6 +75,27 @@ def main():
               file=sys.stderr)
         return 1
 
+    # Attachments are read after the bench ran, so files the bench itself
+    # writes (--metrics-out) can be attached.
+    attachments = {}
+    for spec in opts.attach:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            print(f"bench_json: --attach wants NAME=FILE, got: {spec}",
+                  file=sys.stderr)
+            return 2
+        try:
+            attachments[name] = json.loads(Path(path).read_text(
+                encoding="utf-8"))
+        except OSError as err:
+            print(f"bench_json: cannot read attachment {path}: {err}",
+                  file=sys.stderr)
+            return 1
+        except json.JSONDecodeError as err:
+            print(f"bench_json: attachment {path} is not valid JSON: {err}",
+                  file=sys.stderr)
+            return 1
+
     doc = {
         "binary": binary.name,
         "recorded_utc": datetime.now(timezone.utc)
@@ -72,6 +103,8 @@ def main():
         .isoformat(),
         "results": payloads[0] if len(payloads) == 1 else payloads,
     }
+    if attachments:
+        doc["attachments"] = attachments
     out = Path(opts.out)
     out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
     print(f"bench_json: wrote {out} ({len(payloads)} payload(s))")

@@ -37,9 +37,31 @@ run_dir() {
 run_dir build/bench
 run_dir build/examples
 
+# Observability determinism gate: the same seeded run exported twice, at
+# different worker counts, must produce byte-identical metrics and trace
+# JSON (DESIGN.md "Observability"). cmp, not a parser: the contract is
+# bytes.
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "${obs_tmp}"' EXIT
+build/examples/fleet_cleaning --threads 1 \
+  --metrics-out "${obs_tmp}/m1.json" --trace-out "${obs_tmp}/t1.json" \
+  > /dev/null
+build/examples/fleet_cleaning --threads 8 \
+  --metrics-out "${obs_tmp}/m8.json" --trace-out "${obs_tmp}/t8.json" \
+  > /dev/null
+cmp "${obs_tmp}/m1.json" "${obs_tmp}/m8.json" || {
+  echo "FAILED: metrics export differs across worker counts" >&2; exit 1; }
+cmp "${obs_tmp}/t1.json" "${obs_tmp}/t8.json" || {
+  echo "FAILED: trace export differs across worker counts" >&2; exit 1; }
+echo "obs determinism gate: OK"
+
 # Refresh the recorded parallel-execution perf artifact (also re-checks the
-# serial-vs-parallel determinism gate baked into the bench).
-python3 scripts/bench_json.py --out BENCH_exec.json build/bench/bench_exec_fleet
+# serial-vs-parallel determinism gate and the <=5% instrumentation-overhead
+# gate baked into the bench). The instrumented run's metrics snapshot rides
+# along inside the artifact.
+python3 scripts/bench_json.py --out BENCH_exec.json \
+  --attach obs_metrics="${obs_tmp}/bench_metrics.json" \
+  build/bench/bench_exec_fleet --metrics-out "${obs_tmp}/bench_metrics.json"
 
 # Refresh the columnar-kernel perf artifact (the bench itself enforces the
 # kernel-vs-scalar bit-identity gate and exits nonzero on any mismatch).

@@ -44,6 +44,18 @@ Rules
                          adapter. Annotate the line (or the one before it)
                          with `// sidq: allow-wallclock(<reason>)` -- e.g.
                          a test that really must block a thread.
+  R9 obs-own-timing      any `std::chrono` clock (`steady_clock`,
+                         `high_resolution_clock`, `system_clock`) inside
+                         src/obs/. The observability layer must take every
+                         timestamp from an injected Clock (core/clock.h) --
+                         that is the whole determinism contract: under
+                         VirtualClock a trace is a pure function of the
+                         inputs and can be golden-tested byte-for-byte. An
+                         observability layer that smuggles in wall time
+                         silently breaks every golden trace downstream.
+                         No annotation escape: src/obs/ has no legitimate
+                         wall-clock use; wall-backed runs inject
+                         exec::SteadyClock from outside.
 
 Usage: scripts/sidq_lint.py [--root DIR] [paths...]
 Exits 0 when the tree is clean, 1 with findings on stderr otherwise.
@@ -88,6 +100,12 @@ WALLCLOCK_RE = re.compile(
     r"|\bstd::chrono::system_clock::now\b")
 # Directory that owns the wall-clock adapter (exec::SteadyClock).
 WALLCLOCK_ALLOWED = re.compile(r"(^|/)src/exec/")
+
+# R9: the observability layer may not read any std::chrono clock itself;
+# timestamps come exclusively through the injected core/clock.h Clock.
+OBS_CLOCK_RE = re.compile(
+    r"\bstd::chrono::(?:steady_clock|high_resolution_clock|system_clock)\b")
+OBS_SCOPED = re.compile(r"(^|/)src/obs/")
 
 
 def strip_comments_and_strings(text: str):
@@ -217,6 +235,15 @@ def lint_file(path: Path, rel: str):
                      "outside src/exec/; time goes through core/clock.h "
                      "(ExecContext::Stall, VirtualClock in tests), or "
                      "annotate with '// sidq: allow-wallclock(<reason>)'"))
+
+        # R9: std::chrono clocks inside src/obs/ -- no annotation escape.
+        if OBS_SCOPED.search(rel) and OBS_CLOCK_RE.search(code):
+            findings.append(
+                (lineno, "R9",
+                 "std::chrono clock inside src/obs/; observability "
+                 "timestamps must come from the injected Clock "
+                 "(core/clock.h) so traces stay deterministic under "
+                 "VirtualClock"))
 
         # Update loop/brace tracking AFTER checking the line, so a loop
         # header and its body both count as inside the loop.

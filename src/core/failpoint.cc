@@ -110,10 +110,42 @@ size_t FailPointHits(const std::string& site) {
   return it == registry.sites.end() ? 0 : it->second.hits;
 }
 
+namespace {
+
+std::atomic<FailPointObserver*> g_failpoint_observer{nullptr};
+
+}  // namespace
+
+FailPointObserver* ExchangeFailPointObserver(FailPointObserver* observer) {
+  return g_failpoint_observer.exchange(observer, std::memory_order_acq_rel);
+}
+
+const char* FailPointActionName(FailPointAction action) {
+  switch (action) {
+    case FailPointAction::kTransientError:
+      return "transient";
+    case FailPointAction::kPermanentError:
+      return "permanent";
+    case FailPointAction::kStall:
+      return "stall";
+    case FailPointAction::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
 Status MaybeInjectFailPoint(const char* site, uint64_t key,
                             const ExecContext* ctx, bool* corrupt) {
   const std::optional<FailPointConfig> hit = EvaluateFailPoint(site, key);
   if (!hit.has_value()) return Status::OK();
+  // Notify before performing the action so a stall's timestamp is the
+  // moment the fault fired, not the moment it finished.
+  FailPointObserver* observer =
+      g_failpoint_observer.load(std::memory_order_acquire);
+  if (observer != nullptr) {
+    observer->OnFailPointFired(site, key, hit->action,
+                               ctx != nullptr ? ctx->clock() : nullptr);
+  }
   switch (hit->action) {
     case FailPointAction::kTransientError:
       return Status::Unavailable(std::string("injected transient fault at ") +

@@ -57,6 +57,26 @@ extern std::atomic<int> g_armed_sites;
 std::optional<FailPointConfig> EvaluateSlow(const char* site, uint64_t key);
 }  // namespace internal_failpoint
 
+// Observability hook for fired fail points. Installed process-wide (chaos is
+// already a global registry, so its observer is too); implementations must
+// be thread-safe -- workers fire sites concurrently. `clock` is the firing
+// caller's ExecContext clock (nullptr at clockless sites), so recorded
+// timestamps stay virtual-time deterministic.
+class FailPointObserver {
+ public:
+  virtual ~FailPointObserver() = default;
+  virtual void OnFailPointFired(const char* site, uint64_t key,
+                                FailPointAction action, const Clock* clock) = 0;
+};
+
+// Installs `observer` (nullptr to uninstall) and returns the previous one.
+// The caller keeps ownership; uninstall before destroying the observer.
+FailPointObserver* ExchangeFailPointObserver(FailPointObserver* observer);
+
+// Stable lowercase names for metric/span labels: "transient", "permanent",
+// "stall", "corrupt".
+const char* FailPointActionName(FailPointAction action);
+
 // Arms `site` with `cfg`, resetting any per-key evaluation counts from a
 // previous arming (so repeated test runs start identical). Thread-safe.
 void ArmFailPoint(const std::string& site, FailPointConfig cfg);

@@ -6,7 +6,12 @@ StatusOr<Trajectory> RunStageWithRetry(const TrajectoryStage& stage,
                                        const Trajectory& input,
                                        const StageContext& ctx) {
   for (int attempt = 0;; ++attempt) {
+    if (ctx.obs != nullptr) ctx.obs->OnAttemptBegin(stage.name(), attempt);
     auto result = stage.ApplyCtx(input, ctx);
+    if (ctx.obs != nullptr) {
+      ctx.obs->OnAttemptEnd(stage.name(), attempt,
+                            result.ok() ? Status::OK() : result.status());
+    }
     if (result.ok()) return result;
     const Status& st = result.status();
     if (st.code() == StatusCode::kCancelled) return result;
@@ -15,9 +20,13 @@ StatusOr<Trajectory> RunStageWithRetry(const TrajectoryStage& stage,
         (ctx.exec == nullptr || ctx.exec->Check().ok());
     if (!can_retry) return result;
     if (ctx.trace != nullptr) ++ctx.trace->retries;
+    int64_t backoff = 0;
     if (ctx.retry_rng != nullptr) {
-      const int64_t backoff = ctx.retry->BackoffMs(attempt, *ctx.retry_rng);
-      if (ctx.exec != nullptr) ctx.exec->Stall(backoff);
+      backoff = ctx.retry->BackoffMs(attempt, *ctx.retry_rng);
+    }
+    if (ctx.obs != nullptr) ctx.obs->OnRetry(stage.name(), attempt, backoff);
+    if (ctx.retry_rng != nullptr && ctx.exec != nullptr) {
+      ctx.exec->Stall(backoff);
     }
   }
 }
@@ -32,9 +41,15 @@ StatusOr<Trajectory> LadderStage::ApplyCtx(const Trajectory& input,
   for (size_t r = 0; r < rungs_.size(); ++r) {
     auto result = RunStageWithRetry(*rungs_[r], input, ctx);
     if (result.ok()) {
-      if (r > 0 && ctx.trace != nullptr) {
-        ctx.trace->degraded.push_back(DegradeEvent{
-            name_, static_cast<int>(r), rungs_[r]->name(), last});
+      if (r > 0) {
+        if (ctx.trace != nullptr) {
+          ctx.trace->degraded.push_back(DegradeEvent{
+              name_, static_cast<int>(r), rungs_[r]->name(), last});
+        }
+        if (ctx.obs != nullptr) {
+          ctx.obs->OnDegrade(name_, static_cast<int>(r), rungs_[r]->name(),
+                             last);
+        }
       }
       return result;
     }
@@ -119,7 +134,12 @@ StatusOr<Trajectory> TrajectoryPipeline::RunStages(
       Status st = ctx.exec->Check();
       if (st.code() == StatusCode::kCancelled) return st;
     }
+    if (ctx.obs != nullptr) ctx.obs->OnStageBegin(stage->name());
     auto result = ApplyStage(*stage, current, ctx);
+    if (ctx.obs != nullptr) {
+      ctx.obs->OnStageEnd(stage->name(),
+                          result.ok() ? Status::OK() : result.status());
+    }
     if (!result.ok()) return result.status();
     current = std::move(result).value();
     profile_one(stage->name(), current);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/exec_context.h"
+#include "core/observer.h"
 #include "core/quality.h"
 #include "core/random.h"
 #include "core/retry.h"
@@ -44,12 +45,15 @@ struct RunTrace {
 //   exec       deadline + cooperative cancellation, shared across workers
 //   retry      per-stage retry policy for transient failures
 //   trace      receives retries/degradations (owned by the caller)
+//   obs        observability hook (stage/attempt/retry/degrade events);
+//              see core/observer.h for the nesting contract
 struct StageContext {
   Rng* rng = nullptr;
   Rng* retry_rng = nullptr;
   const ExecContext* exec = nullptr;
   const RetryPolicy* retry = nullptr;
   RunTrace* trace = nullptr;
+  RunObserver* obs = nullptr;
 };
 
 // A single trajectory-cleaning step. Implementations live in the refine /

@@ -13,6 +13,7 @@
 #include "exec/steady_clock.h"
 #include "exec/thread_pool.h"
 #include "geometry/point.h"
+#include "obs/observer.h"
 #include "query/partition.h"
 
 namespace sidq {
@@ -181,6 +182,32 @@ FleetResult FleetRunner::RunInternal(const std::vector<Trajectory>& fleet,
   const bool retry_enabled = options_.retry.max_retries > 0;
   const Clock* wall_clock =
       options_.clock != nullptr ? options_.clock : SteadyClock::Global();
+
+  const obs::ObsSinks sinks =
+      options_.obs != nullptr ? *options_.obs : obs::ObsSinks{};
+  const bool has_obs = sinks.metrics != nullptr || sinks.tracer != nullptr;
+  // Quarantine/degrade tallies are pure functions of the inputs only when
+  // no early exit can skip shards: best-effort with the breaker disabled,
+  // or fail-fast without cancellation. Otherwise *which* objects ran
+  // depends on scheduling and the tallies go volatile.
+  const bool deterministic_counts =
+      best_effort ? options_.max_quarantine_fraction >= 1.0
+                  : !options_.cancel_on_error;
+  const obs::MetricStability count_stability =
+      deterministic_counts ? obs::MetricStability::kDeterministic
+                           : obs::MetricStability::kVolatile;
+  const obs::MetricStability timing_stability =
+      options_.virtual_time ? obs::MetricStability::kDeterministic
+                            : obs::MetricStability::kVolatile;
+  // The fleet-level span gets its own virtual clock pinned at 0 (worker
+  // wall time must not leak into a deterministic trace); under real time
+  // it shares the wall clock.
+  VirtualClock fleet_vclock;
+  const Clock* fleet_clock = options_.virtual_time
+                                 ? static_cast<const Clock*>(&fleet_vclock)
+                                 : wall_clock;
+  obs::TraceSpan fleet_span(sinks.tracer, fleet_clock, obs::kProcessKey,
+                            "fleet.run", "fleet");
   // Breaker arithmetic: quarantine count that, once *exceeded*, trips.
   const size_t breaker_limit =
       options_.max_quarantine_fraction >= 1.0
@@ -202,6 +229,17 @@ FleetResult FleetRunner::RunInternal(const std::vector<Trajectory>& fleet,
       return Status::Cancelled("shard skipped after earlier failure");
     }
     Status first = Status::OK();
+    // One observer per shard: it caches metric handles and span names
+    // across the shard's objects and flushes its buffered spans to the
+    // tracer in a single batch when it goes out of scope.
+    obs::PipelineObserver observer(sinks, options_.virtual_time);
+    obs::Histogram object_duration_hist =
+        sinks.metrics != nullptr
+            ? sinks.metrics->histogram(
+                  "fleet.object.duration_ms",
+                  obs::MetricsRegistry::DurationBucketsMs(),
+                  timing_stability)
+            : obs::Histogram();
     for (size_t i : *shard) {
       const ObjectId id = fleet[i].object_id();
       Rng rng = Rng::ForKey(options_.base_seed, id);
@@ -223,6 +261,12 @@ FleetResult FleetRunner::RunInternal(const std::vector<Trajectory>& fleet,
       ctx.retry = retry_enabled ? &options_.retry : nullptr;
       ctx.trace = &traces[i];
 
+      if (has_obs) {
+        observer.BeginObject(id, clock);
+        ctx.obs = &observer;
+      }
+      const int64_t object_start_ms = clock->NowMs();
+
       StatusOr<Trajectory> out =
           profiler != nullptr
               ? pipeline_->RunProfiled(
@@ -230,6 +274,13 @@ FleetResult FleetRunner::RunInternal(const std::vector<Trajectory>& fleet,
                     truths != nullptr ? &(*truths)[i] : nullptr, *profiler,
                     &all_reports[i], ctx)
               : pipeline_->Run(fleet[i], ctx);
+      if (has_obs) {
+        object_duration_hist.Record(
+            static_cast<double>(clock->NowMs() - object_start_ms));
+        observer.EndObject(
+            out.ok() ? (traces[i].degraded.empty() ? "full" : "degraded")
+                     : "failed");
+      }
       if (out.ok()) {
         result.cleaned[i] = std::move(out).value();
         result.statuses[i] = Status::OK();
@@ -269,7 +320,7 @@ FleetResult FleetRunner::RunInternal(const std::vector<Trajectory>& fleet,
       (void)shard_status;  // sidq: ignore-status(recorded per trajectory in statuses)
     }
   } else {
-    ThreadPool pool(num_threads);
+    ThreadPool pool(num_threads, sinks.metrics);
     std::vector<std::future<Status>> futures;
     futures.reserve(shards.size());
     for (const std::vector<size_t>& shard : shards) {
@@ -320,6 +371,26 @@ FleetResult FleetRunner::RunInternal(const std::vector<Trajectory>& fleet,
       break;
     }
   }
+
+  if (sinks.metrics != nullptr) {
+    sinks.metrics->gauge("fleet.objects.total")
+        .Set(static_cast<int64_t>(n));
+    sinks.metrics->gauge("fleet.shards.total")
+        .Set(static_cast<int64_t>(result.shards_total));
+    sinks.metrics
+        ->gauge("fleet.shards.cancelled", obs::MetricStability::kVolatile)
+        .Set(static_cast<int64_t>(result.shards_cancelled));
+    sinks.metrics->gauge("fleet.objects.quarantined", count_stability)
+        .Set(static_cast<int64_t>(result.objects_quarantined));
+    sinks.metrics->gauge("fleet.objects.degraded", count_stability)
+        .Set(static_cast<int64_t>(result.objects_degraded));
+    sinks.metrics->gauge("fleet.retries.total", count_stability)
+        .Set(static_cast<int64_t>(result.retries_total));
+    sinks.metrics->gauge("fleet.breaker_tripped", count_stability)
+        .Set(result.breaker_tripped ? 1 : 0);
+  }
+  fleet_span.set_note(result.ResilienceSummary());
+  fleet_span.Finish();
 
   if (profiler != nullptr) {
     const size_t num_stage_slots = pipeline_->num_stages() + 1;

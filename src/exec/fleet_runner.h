@@ -14,6 +14,11 @@
 #include "core/trajectory.h"
 
 namespace sidq {
+
+namespace obs {
+struct ObsSinks;
+}  // namespace obs
+
 namespace exec {
 
 // What a per-object pipeline failure does to the rest of the fleet.
@@ -178,6 +183,15 @@ class FleetRunner {
     // Tripping is an early-exit race like cancel_on_error: *which* shards
     // get skipped depends on scheduling, the trip decision itself does not.
     double max_quarantine_fraction = 1.0;
+
+    // --- observability ---
+    // Metrics + trace sinks (borrowed, nullable). The runner records
+    // fleet.* gauges, per-stage counters/duration histograms, retry and
+    // degrade counters, and one span tree per object keyed by object id
+    // (fleet-level spans under obs::kProcessKey). Under virtual_time the
+    // default metrics snapshot and the canonical span list are
+    // bit-identical for any worker count (DESIGN.md "Observability").
+    const obs::ObsSinks* obs = nullptr;
   };
 
   // `pipeline` must outlive the runner and is shared read-only across

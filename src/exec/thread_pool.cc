@@ -5,7 +5,15 @@
 namespace sidq {
 namespace exec {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    tasks_counter_ =
+        metrics->counter("exec.pool.tasks", obs::MetricStability::kVolatile);
+    steals_counter_ =
+        metrics->counter("exec.pool.steals", obs::MetricStability::kVolatile);
+    rejected_counter_ = metrics->counter("exec.pool.rejected",
+                                         obs::MetricStability::kVolatile);
+  }
   if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);
@@ -38,6 +46,7 @@ bool ThreadPool::Enqueue(std::function<void()> task) {
     }
     ++queued_;
   }
+  tasks_counter_.Increment();
   cv_.notify_one();
   return true;
 }
@@ -55,6 +64,7 @@ bool ThreadPool::TryPop(size_t self, std::function<void()>* task) {
       } else {
         *task = std::move(w.queue.back());
         w.queue.pop_back();
+        steals_counter_.Increment();
       }
     }
     {

@@ -15,6 +15,7 @@
 
 #include "core/logging.h"
 #include "core/status.h"
+#include "obs/metrics.h"
 
 namespace sidq {
 namespace exec {
@@ -38,8 +39,13 @@ namespace exec {
 class ThreadPool {
  public:
   // Spawns `num_threads` workers (clamped to at least 1; pass 0 to use
-  // std::thread::hardware_concurrency()).
-  explicit ThreadPool(size_t num_threads);
+  // std::thread::hardware_concurrency()). With a registry, the pool counts
+  // exec.pool.{tasks,steals,rejected} -- all kVolatile, since how often
+  // workers steal (and whether a submission races shutdown) is pure OS
+  // scheduling, exactly what the determinism contract keeps out of golden
+  // snapshots.
+  explicit ThreadPool(size_t num_threads,
+                      obs::MetricsRegistry* metrics = nullptr);
   // Graceful: equivalent to Shutdown().
   ~ThreadPool();
 
@@ -65,6 +71,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
     std::future<R> future = task->get_future();
     if (!Enqueue([task] { (*task)(); })) {
+      rejected_counter_.Increment();
       std::packaged_task<R()> reject([]() -> R {
         return Status::Unavailable("task submitted after ThreadPool shutdown");
       });
@@ -100,6 +107,11 @@ class ThreadPool {
   bool shutdown_ = false;
 
   std::atomic<size_t> next_queue_{0};
+
+  // Detached no-ops when the pool was built without a registry.
+  obs::Counter tasks_counter_;
+  obs::Counter steals_counter_;
+  obs::Counter rejected_counter_;
 };
 
 }  // namespace exec

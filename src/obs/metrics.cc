@@ -1,0 +1,274 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+namespace sidq {
+namespace obs {
+
+namespace internal_metrics {
+
+size_t ThreadStripe() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+namespace {
+
+// fetch_add for atomic<double> via CAS (GCC's native fetch_add on doubles
+// is C++20 but keeping the loop portable costs nothing off the hot path's
+// hot path -- one CAS per histogram sample).
+void AtomicAdd(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (cur < v && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+}  // namespace internal_metrics
+
+void Histogram::Record(double v) const {
+  using internal_metrics::kStripes;
+  if (cell_ == nullptr) return;
+  if (!std::isfinite(v)) {
+    cell_->invalid.store(true, std::memory_order_relaxed);
+    return;
+  }
+  internal_metrics::HistogramStripe& stripe =
+      cell_->stripes[internal_metrics::ThreadStripe()];
+  const auto it =
+      std::lower_bound(cell_->bounds.begin(), cell_->bounds.end(), v);
+  const size_t bucket =
+      static_cast<size_t>(it - cell_->bounds.begin());  // bounds.size() = overflow
+  stripe.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (v != 0.0) internal_metrics::AtomicAdd(stripe.sum, v);
+  internal_metrics::AtomicMax(stripe.max, v);
+}
+
+Counter MetricsRegistry::counter(const std::string& name,
+                                 MetricStability stability) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = by_name_.find(name);
+    // A kind mismatch falls through to the exclusive path so the
+    // registration error gets recorded.
+    if (it != by_name_.end() && it->second.kind == MetricKind::kCounter) {
+      return Counter(&counters_[it->second.index]);
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (it->second.kind != MetricKind::kCounter) {
+      if (registration_error_.empty()) {
+        registration_error_ = "metric '" + name + "' re-registered as counter";
+      }
+      return Counter();
+    }
+    return Counter(&counters_[it->second.index]);
+  }
+  counters_.emplace_back();
+  internal_metrics::CounterCell& cell = counters_.back();
+  cell.name = name;
+  cell.stability = stability;
+  by_name_[name] = Entry{MetricKind::kCounter, counters_.size() - 1};
+  return Counter(&cell);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name,
+                             MetricStability stability) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = by_name_.find(name);
+    if (it != by_name_.end() && it->second.kind == MetricKind::kGauge) {
+      return Gauge(&gauges_[it->second.index]);
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (it->second.kind != MetricKind::kGauge) {
+      if (registration_error_.empty()) {
+        registration_error_ = "metric '" + name + "' re-registered as gauge";
+      }
+      return Gauge();
+    }
+    return Gauge(&gauges_[it->second.index]);
+  }
+  gauges_.emplace_back();
+  internal_metrics::GaugeCell& cell = gauges_.back();
+  cell.name = name;
+  cell.stability = stability;
+  by_name_[name] = Entry{MetricKind::kGauge, gauges_.size() - 1};
+  return Gauge(&cell);
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     std::vector<double> bounds,
+                                     MetricStability stability) {
+  using internal_metrics::kStripes;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = by_name_.find(name);
+    // Kind *and* bounds must match for the fast path; either mismatch
+    // falls through so the exclusive path records the error (and, for a
+    // bounds conflict, poisons the histogram).
+    if (it != by_name_.end() && it->second.kind == MetricKind::kHistogram &&
+        histograms_[it->second.index].bounds == bounds) {
+      return Histogram(&histograms_[it->second.index]);
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    internal_metrics::HistogramCell* existing =
+        it->second.kind == MetricKind::kHistogram
+            ? &histograms_[it->second.index]
+            : nullptr;
+    if (existing == nullptr || existing->bounds != bounds) {
+      if (registration_error_.empty()) {
+        registration_error_ =
+            "metric '" + name + "' re-registered as histogram" +
+            (existing != nullptr ? " with different bounds" : "");
+      }
+      if (existing != nullptr) {
+        existing->invalid.store(true, std::memory_order_relaxed);
+      }
+      return Histogram();
+    }
+    return Histogram(existing);
+  }
+
+  bool bounds_ok = !bounds.empty();
+  for (size_t i = 0; i < bounds.size() && bounds_ok; ++i) {
+    if (!std::isfinite(bounds[i])) bounds_ok = false;
+    if (i > 0 && bounds[i] <= bounds[i - 1]) bounds_ok = false;
+  }
+
+  histograms_.emplace_back();
+  internal_metrics::HistogramCell& cell = histograms_.back();
+  cell.name = name;
+  cell.stability = stability;
+  cell.bounds = std::move(bounds);
+  for (size_t s = 0; s < kStripes; ++s) {
+    // One extra slot for the overflow bucket; value-initialized to zero.
+    cell.stripes[s].counts =
+        std::make_unique<std::atomic<int64_t>[]>(cell.bounds.size() + 1);
+  }
+  if (!bounds_ok) cell.invalid.store(true, std::memory_order_relaxed);
+  by_name_[name] = Entry{MetricKind::kHistogram, histograms_.size() - 1};
+  return Histogram(&cell);
+}
+
+std::vector<double> MetricsRegistry::DurationBucketsMs() {
+  return {1.0,   2.0,   5.0,    10.0,   25.0,   50.0,  100.0,
+          250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+}
+
+namespace {
+
+// Nearest-rank percentile against bucket upper bounds; a rank landing in
+// the overflow bucket reports the recorded max (keeps exports finite).
+double BucketPercentile(const HistogramValue& h, double q) {
+  if (h.count <= 0) return 0.0;
+  const int64_t target = static_cast<int64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(h.count))));
+  int64_t cum = 0;
+  for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+    cum += h.bucket_counts[i];
+    if (cum >= target) return h.bounds[i];
+  }
+  return h.max;
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsRegistry::Snapshot(SnapshotOptions options) const {
+  using internal_metrics::kStripes;
+  MetricsSnapshot snap;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+
+  for (const internal_metrics::CounterCell& cell : counters_) {
+    if (cell.stability == MetricStability::kVolatile &&
+        !options.include_volatile) {
+      continue;
+    }
+    CounterValue v;
+    v.name = cell.name;
+    v.stability = cell.stability;
+    for (size_t s = 0; s < kStripes; ++s) {
+      v.value += cell.stripes[s].value.load(std::memory_order_relaxed);
+    }
+    snap.counters.push_back(std::move(v));
+  }
+
+  for (const internal_metrics::GaugeCell& cell : gauges_) {
+    if (cell.stability == MetricStability::kVolatile &&
+        !options.include_volatile) {
+      continue;
+    }
+    snap.gauges.push_back(GaugeValue{
+        cell.name, cell.value.load(std::memory_order_relaxed),
+        cell.stability});
+  }
+
+  for (const internal_metrics::HistogramCell& cell : histograms_) {
+    if (cell.stability == MetricStability::kVolatile &&
+        !options.include_volatile) {
+      continue;
+    }
+    HistogramValue v;
+    v.name = cell.name;
+    v.stability = cell.stability;
+    v.bounds = cell.bounds;
+    v.invalid = cell.invalid.load(std::memory_order_relaxed);
+    v.bucket_counts.assign(cell.bounds.size(), 0);
+    double max = -std::numeric_limits<double>::infinity();
+    for (size_t s = 0; s < kStripes; ++s) {
+      const internal_metrics::HistogramStripe& stripe = cell.stripes[s];
+      for (size_t b = 0; b < cell.bounds.size(); ++b) {
+        v.bucket_counts[b] +=
+            stripe.counts[b].load(std::memory_order_relaxed);
+      }
+      v.overflow +=
+          stripe.counts[cell.bounds.size()].load(std::memory_order_relaxed);
+      v.sum += stripe.sum.load(std::memory_order_relaxed);
+      max = std::max(max, stripe.max.load(std::memory_order_relaxed));
+    }
+    for (int64_t c : v.bucket_counts) v.count += c;
+    v.count += v.overflow;
+    v.max = v.count > 0 ? max : 0.0;
+    v.p50 = BucketPercentile(v, 0.50);
+    v.p99 = BucketPercentile(v, 0.99);
+    snap.histograms.push_back(std::move(v));
+  }
+  lock.unlock();
+
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+std::string MetricsRegistry::registration_error() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return registration_error_;
+}
+
+}  // namespace obs
+}  // namespace sidq

@@ -1,0 +1,209 @@
+#include "obs/observer.h"
+
+#include <string>
+#include <utility>
+
+namespace sidq {
+namespace obs {
+
+PipelineObserver::PipelineObserver(const ObsSinks& sinks,
+                                   bool deterministic_timing)
+    : sinks_(sinks),
+      timing_stability_(deterministic_timing
+                            ? MetricStability::kDeterministic
+                            : MetricStability::kVolatile),
+      retry_counter_(sinks.metrics != nullptr
+                         ? sinks.metrics->counter("pipeline.retry.attempts")
+                         : Counter()),
+      degrade_counter_(sinks.metrics != nullptr
+                           ? sinks.metrics->counter("pipeline.degrade.falls")
+                           : Counter()) {
+  frames_.reserve(8);
+}
+
+PipelineObserver::StageCache& PipelineObserver::CacheFor(
+    const std::string& stage) {
+  if (stage_hint_ < stage_order_.size() &&
+      *stage_order_[stage_hint_].first == stage) {
+    return *stage_order_[stage_hint_++].second;
+  }
+  auto it = stage_cache_.find(stage);
+  if (it != stage_cache_.end()) return it->second;
+  StageCache cache;
+  if (sinks_.metrics != nullptr) {
+    cache.runs = sinks_.metrics->counter("pipeline.stage.runs." + stage);
+    cache.failures =
+        sinks_.metrics->counter("pipeline.stage.failures." + stage);
+    cache.duration = sinks_.metrics->histogram(
+        "pipeline.stage.duration_ms." + stage,
+        MetricsRegistry::DurationBucketsMs(), timing_stability_);
+  }
+  // Span name == stage name (the category column already says "stage"):
+  // short names stay within SSO, so emitting a stage span allocates
+  // nothing beyond the record slot.
+  cache.stage_span_name = stage;
+  it = stage_cache_.emplace(stage, std::move(cache)).first;
+  stage_order_.emplace_back(&it->first, &it->second);
+  stage_hint_ = stage_order_.size();
+  return it->second;
+}
+
+void PipelineObserver::BeginObject(uint64_t key, const Clock* clock) {
+  key_ = key;
+  clock_ = clock;
+  next_seq_ = 0;
+  stage_hint_ = 0;
+  frames_.clear();
+  object_frame_ = Frame{};
+  object_frame_.category = "object";
+  object_frame_.seq = next_seq_++;
+  object_frame_.start_ms = NowMs();
+  object_open_ = true;
+}
+
+void PipelineObserver::EndObject(const char* note) {
+  if (!object_open_) return;
+  object_open_ = false;
+  if (sinks_.tracer == nullptr) return;
+  buffer_.emplace_back();
+  SpanRecord& rec = buffer_.back();
+  rec.key = key_;
+  rec.name = "object";
+  rec.category = "object";
+  rec.note = note;
+  rec.depth = 0;
+  rec.seq = object_frame_.seq;
+  rec.start_ms = object_frame_.start_ms;
+  rec.end_ms = NowMs();
+}
+
+void PipelineObserver::Flush() {
+  if (sinks_.tracer != nullptr && !buffer_.empty()) {
+    sinks_.tracer->AppendRecords(std::move(buffer_));
+  }
+  buffer_.clear();
+}
+
+void PipelineObserver::PushFrame(const StageCache* cache,
+                                 const char* category) {
+  Frame frame;
+  frame.cache = cache;
+  frame.category = category;
+  frame.seq = next_seq_++;
+  frame.depth = static_cast<int>(frames_.size()) + (object_open_ ? 1 : 0);
+  frame.start_ms = NowMs();
+  frames_.push_back(frame);
+}
+
+void PipelineObserver::PopFrame(bool emit, const std::string& name,
+                                const Status& status, int64_t end_ms) {
+  if (frames_.empty()) return;
+  const Frame& frame = frames_.back();
+  if (emit && sinks_.tracer != nullptr) {
+    buffer_.emplace_back();
+    SpanRecord& rec = buffer_.back();
+    rec.key = key_;
+    rec.name = name;
+    rec.category = frame.category;
+    if (!status.ok()) rec.note = status.ToString();
+    rec.depth = frame.depth;
+    rec.seq = frame.seq;
+    rec.start_ms = frame.start_ms;
+    rec.end_ms = end_ms;
+  }
+  frames_.pop_back();
+}
+
+void PipelineObserver::EmitInstant(std::string name, const char* category,
+                                   std::string note) {
+  SpanRecord rec;
+  rec.key = key_;
+  rec.name = std::move(name);
+  rec.category = category;
+  rec.note = std::move(note);
+  rec.depth = static_cast<int>(frames_.size()) + (object_open_ ? 1 : 0);
+  rec.seq = next_seq_++;
+  rec.start_ms = NowMs();
+  rec.end_ms = rec.start_ms;
+  buffer_.push_back(std::move(rec));
+}
+
+void PipelineObserver::OnStageBegin(const std::string& stage) {
+  StageCache& cache = CacheFor(stage);
+  cache.runs.Increment();
+  PushFrame(&cache, "stage");
+}
+
+void PipelineObserver::OnStageEnd(const std::string& /*stage*/,
+                                  const Status& status) {
+  if (frames_.empty()) return;
+  const Frame& frame = frames_.back();
+  // The stage's cache rode along on the frame (resolved in OnStageBegin),
+  // so the end path does no map lookup at all.
+  const StageCache* cache = frame.cache;
+  if (cache == nullptr) {
+    frames_.pop_back();
+    return;
+  }
+  const int64_t end_ms = NowMs();
+  if (!status.ok()) cache->failures.Increment();
+  cache->duration.Record(static_cast<double>(end_ms - frame.start_ms));
+  PopFrame(/*emit=*/true, cache->stage_span_name, status, end_ms);
+}
+
+void PipelineObserver::OnAttemptBegin(const std::string& /*stage*/,
+                                      int /*attempt*/) {
+  // Attempt frames exist only to become spans; without a tracer both ends
+  // of the pair no-op and the frame stack stays balanced.
+  if (sinks_.tracer == nullptr) return;
+  PushFrame(nullptr, "attempt");
+}
+
+void PipelineObserver::OnAttemptEnd(const std::string& stage, int attempt,
+                                    const Status& status) {
+  if (sinks_.tracer == nullptr) return;
+  // A first attempt that succeeds is the overwhelmingly common case and is
+  // fully described by its enclosing stage span; only retried or failing
+  // attempts earn their own span (whose name is built here, on the rare
+  // path).
+  const bool emit = attempt > 0 || !status.ok();
+  PopFrame(emit,
+           emit ? stage + "#" + std::to_string(attempt) : std::string(),
+           status, NowMs());
+}
+
+void PipelineObserver::OnRetry(const std::string& stage, int /*attempt*/,
+                               int64_t backoff_ms) {
+  retry_counter_.Increment();
+  if (sinks_.tracer != nullptr) {
+    EmitInstant(stage, "retry",
+                "backoff_ms=" + std::to_string(backoff_ms));
+  }
+}
+
+void PipelineObserver::OnDegrade(const std::string& ladder, int rung,
+                                 const std::string& rung_name,
+                                 const Status& /*cause*/) {
+  degrade_counter_.Increment();
+  if (sinks_.tracer != nullptr) {
+    EmitInstant(ladder, "degrade",
+                "rung=" + std::to_string(rung) + " (" + rung_name + ")");
+  }
+}
+
+void FailPointRecorder::OnFailPointFired(const char* site, uint64_t key,
+                                         FailPointAction action,
+                                         const Clock* clock) {
+  if (sinks_.metrics != nullptr) {
+    sinks_.metrics->counter("chaos.failpoint.fired").Increment();
+    sinks_.metrics->counter(std::string("chaos.failpoint.fired.") + site)
+        .Increment();
+  }
+  if (sinks_.tracer != nullptr) {
+    sinks_.tracer->Instant(key, site, "failpoint", clock,
+                           FailPointActionName(action));
+  }
+}
+
+}  // namespace obs
+}  // namespace sidq

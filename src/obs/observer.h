@@ -1,0 +1,174 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/failpoint.h"
+#include "core/observer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sidq {
+namespace obs {
+
+// The observability outputs a run writes into. Both pointers are borrowed
+// and nullable -- a null sink simply drops that signal, so callers can
+// collect metrics without traces or vice versa.
+struct ObsSinks {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+};
+
+// RunObserver implementation bridging pipeline events into metrics and
+// spans. One instance per *shard* (not per object): the fleet runner
+// rebinds it to each object with BeginObject/EndObject, which lets it cache
+// metric handles and span-name strings across the objects of a shard --
+// stage names repeat, so the steady state is an unordered_map hit plus
+// relaxed atomic increments, no registry lock and no string building.
+//
+// Spans are buffered locally and pushed to the Tracer in one batch when the
+// observer is destroyed (or Flush() is called): one tracer lock per shard
+// instead of two per span. The observer owns its keys' low seq space
+// (Tracer::kDirectSeqBase and up is reserved for direct tracer calls, e.g.
+// fired failpoints), so batched and direct spans never collide. Only the
+// shard's thread may touch the observer; the sinks themselves are
+// thread-safe.
+//
+// Metric naming (DESIGN.md "Observability"):
+//   pipeline.stage.runs.<stage>          counter, one per OnStageBegin
+//   pipeline.stage.failures.<stage>      counter, stage ended non-OK
+//   pipeline.stage.duration_ms.<stage>   histogram of stage durations
+//   pipeline.retry.attempts              counter, == sum of RunTrace::retries
+//   pipeline.degrade.falls               counter, == total DegradeEvents
+//
+// Span naming: the category carries the kind and the name carries the
+// subject (short names stay within SSO, so emitting a span allocates only
+// its record slot). "object"/"object" roots each object's tree (note
+// full/degraded/failed); stage spans are <stage>/"stage" under it;
+// <stage>#<n>/"attempt" only for *interesting* attempts -- a first attempt
+// that succeeds is implied by its stage span and is elided, so retried or
+// failing attempts stand out and the steady-state trace stays compact.
+// Instants: <stage>/"retry", <ladder>/"degrade".
+//
+// `deterministic_timing` declares whether the clock is virtual (duration
+// histograms registered kDeterministic) or wall-backed (kVolatile, so the
+// scheduling-dependent durations stay out of golden snapshots).
+class PipelineObserver : public RunObserver {
+ public:
+  explicit PipelineObserver(const ObsSinks& sinks,
+                            bool deterministic_timing = true);
+  ~PipelineObserver() override { Flush(); }
+  PipelineObserver(const PipelineObserver&) = delete;
+  void operator=(const PipelineObserver&) = delete;
+
+  // Rebinds the observer to object `key` (timestamps read from `clock`,
+  // borrowed, nullable) and opens its root span. Per-key span sequence
+  // numbers restart at 0.
+  void BeginObject(uint64_t key, const Clock* clock);
+  // Closes the object root span, annotated with `note`.
+  void EndObject(const char* note);
+  // Pushes buffered spans to the tracer; automatic on destruction.
+  void Flush();
+
+  void OnStageBegin(const std::string& stage) override;
+  void OnStageEnd(const std::string& stage, const Status& status) override;
+  void OnAttemptBegin(const std::string& stage, int attempt) override;
+  void OnAttemptEnd(const std::string& stage, int attempt,
+                    const Status& status) override;
+  void OnRetry(const std::string& stage, int attempt,
+               int64_t backoff_ms) override;
+  void OnDegrade(const std::string& ladder, int rung,
+                 const std::string& rung_name, const Status& cause) override;
+
+ private:
+  // Handles and span names for one stage (or ladder-rung) name, resolved
+  // once per shard.
+  struct StageCache {
+    Counter runs;
+    Counter failures;
+    Histogram duration;
+    std::string stage_span_name;  // == the stage name (category says kind)
+  };
+
+  // String-free: span names are resolved at emission time (from the stage
+  // cache, or built on the rare retried/failed-attempt pop), so pushing and
+  // discarding a frame allocates nothing.
+  struct Frame {
+    const StageCache* cache = nullptr;  // stage frames; null for attempts
+    const char* category = "";
+    uint64_t seq = 0;
+    int depth = 0;
+    int64_t start_ms = 0;
+  };
+
+  int64_t NowMs() const { return clock_ != nullptr ? clock_->NowMs() : 0; }
+  StageCache& CacheFor(const std::string& stage);
+  void PushFrame(const StageCache* cache, const char* category);
+  // Pops the top frame into a SpanRecord named `name` ending at `end_ms`;
+  // `name` is ignored (and nothing is recorded) when `emit` is false.
+  void PopFrame(bool emit, const std::string& name, const Status& status,
+                int64_t end_ms);
+  void EmitInstant(std::string name, const char* category, std::string note);
+
+  ObsSinks sinks_;
+  MetricStability timing_stability_ = MetricStability::kDeterministic;
+  Counter retry_counter_;
+  Counter degrade_counter_;
+  std::unordered_map<std::string, StageCache> stage_cache_;
+  // Pipelines run stages in the same order for every object, so a
+  // round-robin hint (reset per object) resolves the next stage with one
+  // string compare instead of a hash lookup. Pointers into stage_cache_
+  // nodes, which never move.
+  std::vector<std::pair<const std::string*, StageCache*>> stage_order_;
+  size_t stage_hint_ = 0;
+
+  uint64_t key_ = 0;
+  const Clock* clock_ = nullptr;  // borrowed, nullable
+  uint64_t next_seq_ = 0;
+  Frame object_frame_;
+  bool object_open_ = false;
+  // Strictly nested begin/end events (core/observer.h contract), so one
+  // LIFO stack serves stages and attempts alike.
+  std::vector<Frame> frames_;
+  std::vector<SpanRecord> buffer_;
+};
+
+// Process-wide FailPointObserver recording fired chaos faults:
+//   chaos.failpoint.fired            counter, every fire
+//   chaos.failpoint.fired.<site>     counter per site
+// plus an instant span <site>/"failpoint" (note = action name) on the
+// firing object's timeline, in the tracer's direct seq space (sorts after
+// the object's pipeline spans). Thread-safe: counters
+// are striped atomics and the tracer locks internally.
+class FailPointRecorder : public FailPointObserver {
+ public:
+  explicit FailPointRecorder(const ObsSinks& sinks) : sinks_(sinks) {}
+
+  void OnFailPointFired(const char* site, uint64_t key,
+                        FailPointAction action, const Clock* clock) override;
+
+ private:
+  ObsSinks sinks_;
+};
+
+// RAII installation of a FailPointRecorder as the process-wide failpoint
+// observer; restores the previous observer on destruction.
+class ScopedFailPointObservation {
+ public:
+  explicit ScopedFailPointObservation(const ObsSinks& sinks)
+      : recorder_(sinks),
+        previous_(ExchangeFailPointObserver(&recorder_)) {}
+  ~ScopedFailPointObservation() { ExchangeFailPointObserver(previous_); }
+  ScopedFailPointObservation(const ScopedFailPointObservation&) = delete;
+  void operator=(const ScopedFailPointObservation&) = delete;
+
+ private:
+  FailPointRecorder recorder_;
+  FailPointObserver* previous_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace sidq

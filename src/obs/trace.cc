@@ -1,0 +1,89 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace sidq {
+namespace obs {
+
+Tracer::ActiveSpan Tracer::Begin(uint64_t key, std::string name,
+                                 std::string category, const Clock* clock) {
+  ActiveSpan span;
+  span.key = key;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.clock = clock;
+  span.start_ms = clock != nullptr ? clock->NowMs() : 0;
+  span.open = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  KeyState& state = keys_[key];
+  span.seq = kDirectSeqBase + state.next_seq++;
+  span.depth = state.open_depth++;
+  return span;
+}
+
+void Tracer::End(ActiveSpan&& span) {
+  if (!span.open) return;
+  SpanRecord rec;
+  rec.key = span.key;
+  rec.name = std::move(span.name);
+  rec.category = std::move(span.category);
+  rec.note = std::move(span.note);
+  rec.depth = span.depth;
+  rec.seq = span.seq;
+  rec.start_ms = span.start_ms;
+  rec.end_ms = span.clock != nullptr ? span.clock->NowMs() : span.start_ms;
+  span.open = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  keys_[span.key].open_depth--;
+  direct_records_.push_back(std::move(rec));
+}
+
+void Tracer::Instant(uint64_t key, std::string name, std::string category,
+                     const Clock* clock, std::string note) {
+  SpanRecord rec;
+  rec.key = key;
+  rec.name = std::move(name);
+  rec.category = std::move(category);
+  rec.note = std::move(note);
+  rec.start_ms = clock != nullptr ? clock->NowMs() : 0;
+  rec.end_ms = rec.start_ms;
+  std::lock_guard<std::mutex> lock(mu_);
+  KeyState& state = keys_[key];
+  rec.seq = kDirectSeqBase + state.next_seq++;
+  rec.depth = state.open_depth;
+  direct_records_.push_back(std::move(rec));
+}
+
+void Tracer::AppendRecords(std::vector<SpanRecord>&& records) {
+  if (records.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  chunk_spans_ += records.size();
+  chunks_.push_back(std::move(records));
+}
+
+std::vector<SpanRecord> Tracer::CanonicalSpans() const {
+  std::vector<SpanRecord> spans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans.reserve(chunk_spans_ + direct_records_.size());
+    for (const std::vector<SpanRecord>& chunk : chunks_) {
+      spans.insert(spans.end(), chunk.begin(), chunk.end());
+    }
+    spans.insert(spans.end(), direct_records_.begin(),
+                 direct_records_.end());
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.seq < b.seq;
+            });
+  return spans;
+}
+
+size_t Tracer::num_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunk_spans_ + direct_records_.size();
+}
+
+}  // namespace obs
+}  // namespace sidq

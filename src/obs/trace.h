@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/clock.h"
+
+namespace sidq {
+namespace obs {
+
+// Key for spans that belong to the run as a whole rather than to one
+// object (e.g. "fleet.run"). Sorts after every object id in canonical
+// span order.
+inline constexpr uint64_t kProcessKey = ~0ull;
+
+// Seq space reserved for spans recorded directly on the Tracer (Begin/End/
+// Instant). Batch producers (PipelineObserver) assign their own per-key
+// seqs starting at 0 and stay below this, so a direct span on an object's
+// key -- e.g. a fired failpoint -- sorts deterministically after that
+// object's batched pipeline spans instead of colliding with them.
+inline constexpr uint64_t kDirectSeqBase = 1ull << 32;
+
+// One completed (or instant) span. Identity is positional, not pointer-
+// based: (key, seq) orders spans canonically and `depth` encodes the tree,
+// so two runs that make the same calls produce byte-identical span lists --
+// no span ids that depend on thread interleaving.
+struct SpanRecord {
+  uint64_t key = 0;       // object id, or kProcessKey
+  std::string name;       // subject, e.g. "map_match"; kind is `category`
+  std::string category;   // "fleet" | "stage" | "attempt" | "retry" | ...
+  std::string note;       // free-form annotation ("" when unused)
+  int depth = 0;          // nesting depth within the key (0 = key root)
+  uint64_t seq = 0;       // per-key start order (>= kDirectSeqBase when
+                          // recorded directly on the Tracer)
+  int64_t start_ms = 0;   // on the span's Clock
+  int64_t end_ms = 0;     // == start_ms for instant events
+};
+
+// Span collector. Begin/End (or the TraceSpan RAII wrapper) may be called
+// from any thread; per-key sequence numbers and depth are assigned under a
+// mutex, which is cheap at span granularity (a handful of spans per
+// trajectory, not per point).
+//
+// Determinism: all spans of one key are produced by the single thread
+// cleaning that object, in program order, against that object's Clock --
+// under FleetRunner's virtual time this makes CanonicalSpans() a pure
+// function of (fleet, seeds, configs), independent of worker count. Spans
+// keyed kProcessKey come from the coordinating thread and are equally
+// ordered. See DESIGN.md "Observability".
+class Tracer {
+ public:
+  // An open span; treat as opaque between Begin and End.
+  struct ActiveSpan {
+    uint64_t key = 0;
+    std::string name;
+    std::string category;
+    std::string note;
+    int depth = 0;
+    uint64_t seq = 0;
+    int64_t start_ms = 0;
+    const Clock* clock = nullptr;  // borrowed; may be null (times stay 0)
+    bool open = false;
+  };
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Opens a span for `key`; `clock` (nullable, borrowed) supplies start and
+  // end times.
+  ActiveSpan Begin(uint64_t key, std::string name, std::string category,
+                   const Clock* clock);
+  // Closes `span` and records it. No-op on a span that was never opened.
+  void End(ActiveSpan&& span);
+  // Records an instant event (start == end) at the key's current depth.
+  void Instant(uint64_t key, std::string name, std::string category,
+               const Clock* clock, std::string note = "");
+
+  // Takes ownership of a batch of pre-built records in one O(1) critical
+  // section (the vector is adopted whole -- no per-record moves), leaving
+  // `records` empty. The producer is responsible for seq/depth assignment
+  // and must keep seqs below kDirectSeqBase (PipelineObserver's batched
+  // flush path).
+  void AppendRecords(std::vector<SpanRecord>&& records);
+
+  // Completed spans in canonical order: ascending (key, seq) -- object
+  // spans grouped per object in start order, kProcessKey spans last.
+  [[nodiscard]] std::vector<SpanRecord> CanonicalSpans() const;
+
+  [[nodiscard]] size_t num_spans() const;
+
+ private:
+  struct KeyState {
+    uint64_t next_seq = 0;
+    int open_depth = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, KeyState> keys_;
+  std::vector<SpanRecord> direct_records_;  // from Begin/End/Instant
+  // Batches adopted whole from AppendRecords; concatenated (and sorted)
+  // only at CanonicalSpans time.
+  std::vector<std::vector<SpanRecord>> chunks_;
+  size_t chunk_spans_ = 0;
+};
+
+// RAII span handle: opens on construction, records on destruction. Movable
+// so it can live in std::optional; not copyable.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  // All pointers borrowed; `tracer` may be null (the span is then a no-op),
+  // matching the detached-handle idiom of obs::Counter.
+  TraceSpan(Tracer* tracer, const Clock* clock, uint64_t key,
+            std::string name, std::string category)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      span_ = tracer_->Begin(key, std::move(name), std::move(category), clock);
+    }
+  }
+  TraceSpan(TraceSpan&& other) noexcept
+      : tracer_(other.tracer_), span_(std::move(other.span_)) {
+    other.tracer_ = nullptr;
+    other.span_.open = false;
+  }
+  TraceSpan& operator=(TraceSpan&& other) noexcept {
+    if (this != &other) {
+      Finish();
+      tracer_ = other.tracer_;
+      span_ = std::move(other.span_);
+      other.tracer_ = nullptr;
+      other.span_.open = false;
+    }
+    return *this;
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { Finish(); }
+
+  // Attaches/overwrites the span's note (exported under args.note).
+  void set_note(std::string note) { span_.note = std::move(note); }
+
+  // Ends the span now instead of at destruction.
+  void Finish() {
+    if (tracer_ != nullptr && span_.open) tracer_->End(std::move(span_));
+    tracer_ = nullptr;
+    span_.open = false;
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  Tracer::ActiveSpan span_;
+};
+
+}  // namespace obs
+}  // namespace sidq

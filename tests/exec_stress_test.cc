@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <string>
 #include <thread>  // sidq: allow-thread(multi-producer submission stress)
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "core/trajectory.h"
 #include "exec/fleet_runner.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace sidq {
 namespace {
@@ -191,6 +193,76 @@ TEST(ExecStressTest, MultiProducerSubmission) {
   pool.Shutdown();
   constexpr int64_t kTotal = int64_t{kProducers} * kTasksPerProducer;
   EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
+// Eight pool workers hammer one MetricsRegistry -- the same counter, gauge,
+// and histogram cells, plus racing first-registrations of per-task names --
+// and the merged snapshot must equal the arithmetic totals exactly. Under
+// the tsan preset this is the data-race check for the striped lock-free
+// write path; in every preset it is the no-lost-updates check.
+TEST(ExecStressTest, MetricsRegistryLosesNothingUnderPoolContention) {
+  obs::MetricsRegistry registry;
+  constexpr int kWorkers = 8;
+  constexpr int kTasks = 64;
+  constexpr int kOpsPerTask = 5000;
+
+  ThreadPool pool(kWorkers);
+  {
+    std::vector<std::future<Status>> futures;
+    futures.reserve(kTasks);
+    for (int task = 0; task < kTasks; ++task) {
+      futures.push_back(pool.Submit([&registry, task]() -> Status {
+        // Shared hot cells: every task resolves the same names (shared-lock
+        // fast path) and writes lock-free.
+        obs::Counter hits = registry.counter("stress.hits");
+        obs::Gauge net = registry.gauge("stress.net");
+        obs::Histogram lat =
+            registry.histogram("stress.latency", {10.0, 100.0, 1000.0});
+        // Racing first registration: a fresh name per task, exercising the
+        // exclusive path concurrently with the fast path above.
+        registry.counter("stress.task." + std::to_string(task)).Increment();
+        for (int i = 0; i < kOpsPerTask; ++i) {
+          hits.Increment();
+          net.Add(i % 2 == 0 ? 1 : -1);
+          lat.Record(static_cast<double>(i % 200));
+        }
+        return Status::OK();
+      }));
+    }
+    for (auto& f : futures) {
+      EXPECT_TRUE(f.get().ok());
+    }
+  }
+  pool.Shutdown();
+
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  int64_t hits = -1;
+  int64_t per_task_total = 0;
+  for (const obs::CounterValue& c : snap.counters) {
+    if (c.name == "stress.hits") hits = c.value;
+    if (c.name.rfind("stress.task.", 0) == 0) per_task_total += c.value;
+  }
+  EXPECT_EQ(hits, int64_t{kTasks} * kOpsPerTask);
+  EXPECT_EQ(per_task_total, kTasks);  // every registration survived the race
+
+  for (const obs::GaugeValue& g : snap.gauges) {
+    if (g.name == "stress.net") {
+      EXPECT_EQ(g.value, 0);  // +1/-1 pairs cancel
+    }
+  }
+  for (const obs::HistogramValue& h : snap.histograms) {
+    if (h.name != "stress.latency") continue;
+    EXPECT_EQ(h.count, int64_t{kTasks} * kOpsPerTask);
+    // Integer samples: the striped double sums merge exactly.
+    double expected = 0.0;
+    for (int i = 0; i < kOpsPerTask; ++i) {
+      expected += static_cast<double>(i % 200) * kTasks;
+    }
+    EXPECT_DOUBLE_EQ(h.sum, expected);
+    EXPECT_DOUBLE_EQ(h.max, 199.0);
+    EXPECT_FALSE(h.invalid);
+  }
+  EXPECT_TRUE(registry.registration_error().empty());
 }
 
 }  // namespace
