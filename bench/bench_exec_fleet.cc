@@ -24,7 +24,7 @@
 #include <cstring>
 #include <ctime>
 #include <string>
-#include <thread>  // sidq: allow-thread(std::this_thread::sleep_for models gateway fetch)
+#include <thread>  // std::this_thread::sleep_for models gateway fetch
 #include <vector>
 
 #include "bench/bench_util.h"

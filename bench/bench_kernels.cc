@@ -297,7 +297,7 @@ int main(int argc, char** argv) {
   // memoized on the trajectory in production, so timing the one-time
   // build inside the first primitive would misattribute it.
   for (const Trajectory& t : fleet) {
-    (void)kernels::TrajectoryView::Of(t);  // sidq: ignore-status(warmup)
+    (void)kernels::TrajectoryView::Of(t);  // sidq: allow-ignored-status(warmup)
   }
 
   const size_t mul = quick ? 1 : 10;

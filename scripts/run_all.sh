@@ -14,6 +14,12 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Lint engine self-test against the fixture corpus (also a ctest, but run
+# explicitly so a broken linter is named here, not buried in a ctest list),
+# then the repo lint with the machine-readable report CI publishes.
+python3 scripts/sidq_lint_selftest.py
+python3 scripts/sidq_lint.py --format=json > /dev/null
+
 # Runs every executable in a directory; aborts naming the first failure.
 run_dir() {
   local dir="$1" ran=0

@@ -1,116 +1,223 @@
 #!/usr/bin/env python3
 """sidq-lint: repo-specific invariants the compiler cannot enforce.
 
+v2: a tokenizing multi-pass engine. Pass 1 strips comments/strings and
+collects suppression annotations; pass 2 runs line rules; pass 3 runs
+file-scope rules that need cross-line structure (range-for scanning,
+class-body capability checks); pass 4 flags suppressions that matched
+nothing; pass 5 applies the checked-in baseline and formats output.
+
 Rules
 -----
-  R1 ignored-status      `(void)` cast of a call expression needs an
-                         explicit `// sidq: ignore-status(<reason>)`
-                         annotation on the same or the preceding line.
-                         A swallowed Status is indistinguishable from
-                         success; the annotation forces a written reason.
-  R2 banned-rand         `rand()` / `srand()` are banned; use the seeded,
+  R1  ignored-status     `(void)` cast of a call expression needs an
+                         explicit `// sidq: allow-ignored-status(<reason>)`
+                         annotation. A swallowed Status is
+                         indistinguishable from success; the annotation
+                         forces a written reason.
+  R2  banned-rand        `rand()` / `srand()` are banned; use the seeded,
                          reproducible `sidq::Rng` from src/core/random.h.
-  R3 using-namespace     `using namespace` in a header leaks into every
-                         includer; banned in *.h.
-  R4 pragma-once         every header starts with `#pragma once` as its
-                         first non-comment line.
-  R5 naked-new-delete    `new` / `delete` outside index internals; use
+                         No suppression: there is no legitimate use.
+  R3  using-namespace    `using namespace` in a header leaks into every
+                         includer; banned in *.h. No suppression.
+  R4  pragma-once        every header starts with `#pragma once` as its
+                         first non-comment line. Fixable with --fix.
+  R5  naked-new          `new` / `delete` outside index internals; use
                          std::make_unique / containers. Index node pools
                          (src/index/) are the one sanctioned exception.
-  R6 stray-thread        `std::thread` / `std::jthread` / `std::async`
+  R6  stray-thread       `std::thread` / `std::jthread` / `std::async`
                          outside src/exec/; ad-hoc threads bypass the
                          pool's determinism and shutdown guarantees. Go
-                         through exec::ThreadPool / exec::FleetRunner, or
-                         annotate the line (or the one before it) with
-                         `// sidq: allow-thread(<reason>)` -- e.g. tests
-                         that deliberately stress the pool's MPMC path.
+                         through exec::ThreadPool / exec::FleetRunner.
                          (`std::thread::hardware_concurrency` is fine.)
-  R7 scalar-haversine    per-point `HaversineDistance` inside a loop in
+  R7  scalar-haversine   per-point `HaversineDistance` inside a loop in
                          the hot-path layers (src/query/, src/outlier/,
-                         src/refine/). Trig per point is the slow lane:
-                         project once through geometry::LocalProjection
-                         (or kernels::SoaBuffer::FromLatLon) and use the
-                         planar kernels. Annotate the line (or the one
-                         before it) with
-                         `// sidq: allow-scalar-haversine` when the loop
-                         is genuinely cold (setup, diagnostics).
-  R8 wallclock           `std::this_thread::sleep_for` / `sleep_until` and
+                         src/refine/). Project once through
+                         geometry::LocalProjection (or
+                         kernels::SoaBuffer::FromLatLon) and use the
+                         planar kernels.
+  R8  wallclock          `std::this_thread::sleep_for` / `sleep_until` and
                          `std::chrono::system_clock::now` outside
                          src/exec/. All timing goes through the Clock
-                         abstraction (core/clock.h): deadlines and backoff
-                         use an ExecContext clock so tests run on
+                         abstraction (core/clock.h) so tests run on
                          VirtualClock instantly and deterministically.
-                         exec::SteadyClock (src/exec/) is the one wall
-                         adapter. Annotate the line (or the one before it)
-                         with `// sidq: allow-wallclock(<reason>)` -- e.g.
-                         a test that really must block a thread.
-  R9 obs-own-timing      any `std::chrono` clock (`steady_clock`,
-                         `high_resolution_clock`, `system_clock`) inside
-                         src/obs/. The observability layer must take every
-                         timestamp from an injected Clock (core/clock.h) --
-                         that is the whole determinism contract: under
-                         VirtualClock a trace is a pure function of the
-                         inputs and can be golden-tested byte-for-byte. An
-                         observability layer that smuggles in wall time
-                         silently breaks every golden trace downstream.
-                         No annotation escape: src/obs/ has no legitimate
-                         wall-clock use; wall-backed runs inject
-                         exec::SteadyClock from outside.
+  R9  obs-own-timing     any `std::chrono` clock inside src/obs/. The
+                         observability layer takes every timestamp from an
+                         injected Clock (core/clock.h); that is the whole
+                         determinism contract. No suppression.
+  R10 raw-mutex          raw `std::mutex` / `std::lock_guard` /
+                         `std::unique_lock` / `std::condition_variable`
+                         (and friends) outside src/core/mutex.h. The
+                         sidq::Mutex wrappers carry the Clang Thread
+                         Safety capability annotations; a raw primitive is
+                         invisible to -Wthread-safety and silently opts
+                         the code out of compile-time lock checking.
+  R11 unordered-iter     range-for over a `std::unordered_map` /
+                         `std::unordered_set` in the snapshot-, export-
+                         and output-producing layers (src/obs/, src/core/,
+                         src/analytics/, src/query/). Hash-order iteration
+                         that feeds output breaks the bit-determinism
+                         contract. Sort first, use an ordered container,
+                         or justify with
+                         `// sidq: allow-unordered-iter(<reason>)`.
+                         A `sort(...)` later in the same enclosing block
+                         sequence also clears the finding.
+  R12 guarded-by-unknown-lock
+                         every `SIDQ_GUARDED_BY(x)` / `SIDQ_PT_GUARDED_BY(x)`
+                         must name a `Mutex` / `SharedMutex` member of the
+                         same class or struct. A guard expression the
+                         analysis cannot resolve locally is a contract
+                         that cannot be checked.
 
-Usage: scripts/sidq_lint.py [--root DIR] [paths...]
-Exits 0 when the tree is clean, 1 with findings on stderr otherwise.
+Suppression syntax
+------------------
+One unified spelling, reason mandatory:
 
-Registered as the tier-1 `sidq_lint` ctest; CI runs it on every PR.
+    // sidq: allow-<rule-slug>(<reason, may continue on following
+    // comment lines>)
+
+placed on the offending line or on the comment block directly above it.
+Suppression-hygiene meta rules (not suppressible, not baselineable-away
+by accident: they are ordinary findings):
+
+  S1  legacy-suppression    old spellings (`ignore-status`, `allow-thread`)
+                            are findings and do NOT suppress. --fix
+                            rewrites them to the unified form.
+  S2  unknown-suppression   `allow-<slug>` where <slug> is not a
+                            suppressible rule.
+  S3  missing-reason        `allow-<slug>` without a written reason.
+  S4  unused-suppression    a suppression whose rule never matched the
+                            covered line. Stale annotations rot.
+
+Baseline
+--------
+`scripts/sidq_lint_baseline.json` holds grandfathered findings as
+{file, line, rule} triples. Baselined findings do not fail the run but
+are counted. `--write-baseline` regenerates the file from the current
+findings. The checked-in baseline is empty and must stay free of
+src/exec/ and src/obs/ entries.
+
+Usage: scripts/sidq_lint.py [--root DIR] [--format {text,json}]
+                            [--fix] [--write-baseline]
+                            [--baseline FILE] [paths...]
+Exits 0 when the tree is clean (baselined findings allowed), 1 with
+findings otherwise, 2 on usage errors.
+
+Registered as the tier-1 `sidq_lint` ctest; `lint_selftest` runs the
+engine against the fixture corpus in tests/lint_fixtures/.
 """
 
 import argparse
+import bisect
+import json
 import re
 import sys
 from pathlib import Path
 
 SCAN_DIRS = ("src", "tests", "bench", "examples")
 EXTENSIONS = {".h", ".cc", ".cpp"}
+# The fixture corpus is deliberately dirty; never lint it as repo code.
+EXCLUDED_PART = "lint_fixtures"
 
-IGNORE_STATUS_RE = re.compile(r"//\s*sidq:\s*ignore-status\([^)]+\)")
+# ---------------------------------------------------------------------------
+# Rule registry
+
+RULES = {
+    "R1": "ignored-status",
+    "R2": "banned-rand",
+    "R3": "using-namespace",
+    "R4": "pragma-once",
+    "R5": "naked-new",
+    "R6": "stray-thread",
+    "R7": "scalar-haversine",
+    "R8": "wallclock",
+    "R9": "obs-own-timing",
+    "R10": "raw-mutex",
+    "R11": "unordered-iter",
+    "R12": "guarded-by-unknown-lock",
+    "S1": "legacy-suppression",
+    "S2": "unknown-suppression",
+    "S3": "missing-reason",
+    "S4": "unused-suppression",
+}
+SLUG_TO_RULE = {v: k for k, v in RULES.items()}
+# Rules whose findings may be waived with // sidq: allow-<slug>(<reason>).
+SUPPRESSIBLE = {
+    "ignored-status", "stray-thread", "scalar-haversine", "wallclock",
+    "raw-mutex", "unordered-iter", "guarded-by-unknown-lock",
+}
+LEGACY_SPELLINGS = {
+    "ignore-status": "allow-ignored-status",
+    "allow-thread": "allow-stray-thread",
+}
+
+# ---------------------------------------------------------------------------
+# Patterns
+
 VOID_CAST_CALL_RE = re.compile(r"\(void\)\s*[\w:\->.\[\]]+\s*\(")
 RAND_RE = re.compile(r"\b(?:srand|rand)\s*\(")
 USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
 NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (ptr) T` placement incl.
 DELETE_RE = re.compile(r"\bdelete(\[\])?\b")
-
-# Files allowed to use naked new/delete: index node pools and arenas.
 NAKED_NEW_ALLOWED = re.compile(r"(^|/)src/index/|arena")
 
-ALLOW_THREAD_RE = re.compile(r"//\s*sidq:\s*allow-thread\([^)]+\)")
-# hardware_concurrency is a pure query, not a spawn -- exempt it.
 THREAD_RE = re.compile(
     r"\bstd::(?:jthread\b|async\b|thread\b(?!::hardware_concurrency))")
-# Directory that owns threading primitives.
 THREAD_ALLOWED = re.compile(r"(^|/)src/exec/")
 
-ALLOW_HAVERSINE_RE = re.compile(r"//\s*sidq:\s*allow-scalar-haversine")
 HAVERSINE_RE = re.compile(r"\bHaversineDistance\s*\(")
 LOOP_HEADER_RE = re.compile(r"\b(?:for|while)\s*\(")
-# Hot-path layers where per-point trig in a loop is a perf bug.
 HAVERSINE_SCOPED = re.compile(r"(^|/)src/(?:query|outlier|refine)/")
 
-ALLOW_WALLCLOCK_RE = re.compile(r"//\s*sidq:\s*allow-wallclock\([^)]+\)")
 WALLCLOCK_RE = re.compile(
     r"\bstd::this_thread::sleep_(?:for|until)\b"
     r"|\bstd::chrono::system_clock::now\b")
-# Directory that owns the wall-clock adapter (exec::SteadyClock).
 WALLCLOCK_ALLOWED = re.compile(r"(^|/)src/exec/")
 
-# R9: the observability layer may not read any std::chrono clock itself;
-# timestamps come exclusively through the injected core/clock.h Clock.
 OBS_CLOCK_RE = re.compile(
     r"\bstd::chrono::(?:steady_clock|high_resolution_clock|system_clock)\b")
 OBS_SCOPED = re.compile(r"(^|/)src/obs/")
 
+# R10: every raw standard synchronization primitive. sidq::Mutex and
+# friends (src/core/mutex.h) are the only sanctioned users.
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex"
+    r"|recursive_timed_mutex|shared_timed_mutex|lock_guard|unique_lock"
+    r"|shared_lock|scoped_lock|condition_variable|condition_variable_any)\b")
+RAW_MUTEX_ALLOWED_FILE = "src/core/mutex.h"
 
-def strip_comments_and_strings(text: str):
+# R11 scope: layers whose iteration order can reach snapshots, exports,
+# serialized traces or query/analytics results.
+UNORDERED_ITER_SCOPED = re.compile(
+    r"(^|/)src/(?:obs|core|analytics|query)/")
+UNORDERED_CONTAINER_RE = re.compile(r"\bunordered_(?:map|set)\b")
+SORT_CALL_RE = re.compile(r"\b(?:std::)?(?:stable_)?sort\s*\(")
+
+GUARDED_BY_RE = re.compile(r"\bSIDQ_(?:PT_)?GUARDED_BY\s*\(([^)]*)\)")
+# The macro definitions themselves are the one legitimate out-of-class use.
+GUARDED_BY_DEFINITION_FILE = "src/core/thread_annotations.h"
+CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:SIDQ_\w+\s*(?:\([^)]*\))?\s*)*"
+    r"([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^{;]*)?\{")
+
+# Suppression comments. Only recognized when `sidq:` directly follows the
+# first `//` on the line, so prose that *mentions* the syntax (docs) does
+# not register as an annotation.
+SUPPRESSION_RE = re.compile(
+    r"^\s*sidq:\s*(allow-[a-z0-9-]+|ignore-status)(?:\s*\((.*))?")
+
+CPP_KEYWORDS = {
+    "auto", "const", "constexpr", "static", "mutable", "volatile",
+    "struct", "class", "new", "delete", "true", "false", "nullptr",
+    "this", "sizeof", "if", "else", "return", "std",
+}
+
+
+# ---------------------------------------------------------------------------
+# Tokenizing front-end
+
+def strip_comments_and_strings(text):
     """Returns text with comments and string/char literals blanked out
-    (newlines kept), plus the original lines for annotation lookups."""
+    (newlines kept) so pattern passes never fire inside prose."""
     out = []
     i, n = 0, len(text)
     while i < n:
@@ -145,108 +252,245 @@ def strip_comments_and_strings(text: str):
     return "".join(out)
 
 
-def lint_file(path: Path, rel: str):
-    findings = []
-    raw = path.read_text(encoding="utf-8", errors="replace")
-    raw_lines = raw.splitlines()
-    code_lines = strip_comments_and_strings(raw).splitlines()
-    is_header = path.suffix == ".h"
+class Finding:
+    __slots__ = ("file", "line", "rule", "message", "fix", "baselined")
 
+    def __init__(self, file, line, rule, message, fix=None):
+        self.file = file
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.fix = fix  # None | ("insert_pragma_once",) | ("replace", old, new)
+        self.baselined = False
+
+    def key(self):
+        return (self.file, self.line, self.rule)
+
+    def to_json(self):
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "slug": RULES.get(self.rule, "?"),
+            "message": self.message,
+            "baselined": self.baselined,
+            "fixable": self.fix is not None,
+        }
+
+
+class Suppression:
+    __slots__ = ("line", "slug", "covered", "used")
+
+    def __init__(self, line, slug, covered):
+        self.line = line      # 1-based line of the `// sidq:` comment
+        self.slug = slug
+        self.covered = covered  # set of 1-based line numbers it waives
+        self.used = False
+
+
+class FileContext:
+    """Everything pass 1 extracts from one translation unit."""
+
+    def __init__(self, path, rel, root):
+        self.path = path
+        self.rel = rel
+        self.raw = path.read_text(encoding="utf-8", errors="replace")
+        self.raw_lines = self.raw.splitlines()
+        self.code_text = strip_comments_and_strings(self.raw)
+        self.code_lines = self.code_text.splitlines()
+        self.is_header = path.suffix == ".h"
+        self.findings = []
+        self.suppressions = []
+        self._line_offsets = [0]
+        for m in re.finditer(r"\n", self.code_text):
+            self._line_offsets.append(m.end())
+        self._scan_suppressions()
+        self._depths = self._line_start_depths()
+        # For R11, member containers are usually declared in the paired
+        # header: src/foo/bar.cc reads src/foo/bar.h next to it.
+        self.header_code = ""
+        if not self.is_header:
+            paired = path.with_suffix(".h")
+            if paired.is_file():
+                self.header_code = strip_comments_and_strings(
+                    paired.read_text(encoding="utf-8", errors="replace"))
+
+    # -- geometry helpers ---------------------------------------------------
+
+    def line_of(self, offset):
+        """1-based line number of a character offset in code_text."""
+        return bisect.bisect_right(self._line_offsets, offset)
+
+    def _line_start_depths(self):
+        depths = []
+        d = 0
+        for ln in self.code_lines:
+            depths.append(d)
+            d += ln.count("{") - ln.count("}")
+        return depths
+
+    # -- suppression collection --------------------------------------------
+
+    def _scan_suppressions(self):
+        for idx, raw_line in enumerate(self.raw_lines):
+            lineno = idx + 1
+            pos = raw_line.find("//")
+            if pos < 0:
+                continue
+            m = SUPPRESSION_RE.match(raw_line[pos + 2 :])
+            if not m:
+                continue
+            spelled, reason = m.group(1), m.group(2)
+            if spelled in LEGACY_SPELLINGS:
+                new = LEGACY_SPELLINGS[spelled]
+                self.findings.append(Finding(
+                    self.rel, lineno, "S1",
+                    f"legacy suppression spelling 'sidq: {spelled}(...)'; "
+                    f"write 'sidq: {new}(...)' (legacy spellings do not "
+                    "suppress; --fix rewrites them)",
+                    fix=("replace", f"sidq: {spelled}(", f"sidq: {new}(")))
+                continue
+            slug = spelled[len("allow-"):]
+            if slug not in SUPPRESSIBLE:
+                known = "" if slug not in SLUG_TO_RULE else (
+                    f"; rule {SLUG_TO_RULE[slug]} ({slug}) does not accept "
+                    "suppressions")
+                self.findings.append(Finding(
+                    self.rel, lineno, "S2",
+                    f"unknown suppression 'allow-{slug}'{known}"))
+                continue
+            if reason is None or not reason.strip():
+                self.findings.append(Finding(
+                    self.rel, lineno, "S3",
+                    f"suppression 'allow-{slug}' needs a written reason: "
+                    f"'// sidq: allow-{slug}(<reason>)'"))
+                continue
+            self.suppressions.append(
+                Suppression(lineno, slug, self._covered_lines(idx)))
+
+    def _covered_lines(self, idx):
+        """A suppression waives its own line (same-line annotation) or the
+        next code-bearing line below a comment-block annotation."""
+        code = self.code_lines[idx] if idx < len(self.code_lines) else ""
+        if code.strip():
+            return {idx + 1}
+        j = idx + 1
+        while j < len(self.code_lines):
+            if self.code_lines[j].strip():
+                return {j + 1}
+            j += 1
+        return set()
+
+    def suppressed(self, lineno, slug):
+        """True (and marks the annotation used) when `slug` is waived on
+        `lineno`."""
+        hit = False
+        for s in self.suppressions:
+            if s.slug == slug and lineno in s.covered:
+                s.used = True
+                hit = True
+        return hit
+
+    def add(self, lineno, rule, message, fix=None):
+        self.findings.append(Finding(self.rel, lineno, rule, message, fix))
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: line rules
+
+def run_line_rules(ctx):
+    rel = ctx.rel
     # R4: #pragma once first non-comment line of every header.
-    if is_header:
-        first_code = next((ln.strip() for ln in code_lines if ln.strip()), "")
+    if ctx.is_header:
+        first_code = next(
+            (ln.strip() for ln in ctx.code_lines if ln.strip()), "")
         if first_code != "#pragma once":
-            findings.append((1, "R4", "header must start with '#pragma once'"))
+            ctx.add(1, "R4", "header must start with '#pragma once'",
+                    fix=("insert_pragma_once",))
 
-    # Brace-depth loop tracking for R7: a stack of the depths at which a
-    # for/while header appeared; any line while the stack is non-empty is
-    # inside (or on) a loop. Heuristic -- blind to macros, good enough for
-    # this codebase's formatting.
     haversine_scoped = bool(HAVERSINE_SCOPED.search(rel))
+    raw_mutex_exempt = rel == RAW_MUTEX_ALLOWED_FILE
     depth = 0
     loop_depths = []
 
-    for idx, code in enumerate(code_lines):
+    for idx, code in enumerate(ctx.code_lines):
         lineno = idx + 1
-        raw_line = raw_lines[idx] if idx < len(raw_lines) else ""
-        prev_raw = raw_lines[idx - 1] if idx > 0 else ""
 
         # R1: (void)-cast of a call expression without an annotation.
         if VOID_CAST_CALL_RE.search(code):
-            annotated = IGNORE_STATUS_RE.search(raw_line) or IGNORE_STATUS_RE.search(prev_raw)
-            if not annotated:
-                findings.append(
-                    (lineno, "R1",
-                     "discarded call result via (void) cast without "
-                     "'// sidq: ignore-status(<reason>)' annotation"))
+            if not ctx.suppressed(lineno, "ignored-status"):
+                ctx.add(lineno, "R1",
+                        "discarded call result via (void) cast without "
+                        "'// sidq: allow-ignored-status(<reason>)' "
+                        "annotation")
 
         # R2: rand()/srand() banned outside the Rng implementation.
         if rel != "src/core/random.h" and RAND_RE.search(code):
-            findings.append(
-                (lineno, "R2",
-                 "rand()/srand() banned; use sidq::Rng (src/core/random.h)"))
+            ctx.add(lineno, "R2",
+                    "rand()/srand() banned; use sidq::Rng "
+                    "(src/core/random.h)")
 
         # R3: using namespace in a header.
-        if is_header and USING_NAMESPACE_RE.search(code):
-            findings.append(
-                (lineno, "R3", "'using namespace' is banned in headers"))
+        if ctx.is_header and USING_NAMESPACE_RE.search(code):
+            ctx.add(lineno, "R3", "'using namespace' is banned in headers")
 
         # R5: naked new/delete outside index internals.
         if not NAKED_NEW_ALLOWED.search(rel):
             if NEW_RE.search(code) or DELETE_RE.search(
                     re.sub(r"=\s*delete", "", code)):
-                findings.append(
-                    (lineno, "R5",
-                     "naked new/delete outside src/index/; use "
-                     "std::make_unique or a container"))
+                ctx.add(lineno, "R5",
+                        "naked new/delete outside src/index/; use "
+                        "std::make_unique or a container")
 
         # R6: thread spawning outside src/exec/ without an annotation.
         if not THREAD_ALLOWED.search(rel) and THREAD_RE.search(code):
-            annotated = (ALLOW_THREAD_RE.search(raw_line)
-                         or ALLOW_THREAD_RE.search(prev_raw))
-            if not annotated:
-                findings.append(
-                    (lineno, "R6",
-                     "std::thread/jthread/async outside src/exec/; use "
-                     "exec::ThreadPool or annotate with "
-                     "'// sidq: allow-thread(<reason>)'"))
+            if not ctx.suppressed(lineno, "stray-thread"):
+                ctx.add(lineno, "R6",
+                        "std::thread/jthread/async outside src/exec/; use "
+                        "exec::ThreadPool or annotate with "
+                        "'// sidq: allow-stray-thread(<reason>)'")
 
-        # R7: per-point HaversineDistance inside a loop in hot-path layers.
+        # R7: per-point HaversineDistance inside a loop in hot layers.
         if haversine_scoped and HAVERSINE_RE.search(code):
             in_loop = bool(loop_depths) or LOOP_HEADER_RE.search(code)
-            annotated = (ALLOW_HAVERSINE_RE.search(raw_line)
-                         or ALLOW_HAVERSINE_RE.search(prev_raw))
-            if in_loop and not annotated:
-                findings.append(
-                    (lineno, "R7",
-                     "per-point HaversineDistance in a loop; project once "
-                     "(geometry::LocalProjection / SoaBuffer::FromLatLon) "
-                     "and use the planar kernels, or annotate with "
-                     "'// sidq: allow-scalar-haversine'"))
+            if in_loop and not ctx.suppressed(lineno, "scalar-haversine"):
+                ctx.add(lineno, "R7",
+                        "per-point HaversineDistance in a loop; project "
+                        "once (geometry::LocalProjection / "
+                        "SoaBuffer::FromLatLon) and use the planar "
+                        "kernels, or annotate with "
+                        "'// sidq: allow-scalar-haversine(<reason>)'")
 
-        # R8: wall-clock sleeps/reads outside src/exec/ without annotation.
+        # R8: wall-clock sleeps/reads outside src/exec/.
         if not WALLCLOCK_ALLOWED.search(rel) and WALLCLOCK_RE.search(code):
-            annotated = (ALLOW_WALLCLOCK_RE.search(raw_line)
-                         or ALLOW_WALLCLOCK_RE.search(prev_raw))
-            if not annotated:
-                findings.append(
-                    (lineno, "R8",
-                     "wall-clock sleep_for/sleep_until/system_clock::now "
-                     "outside src/exec/; time goes through core/clock.h "
-                     "(ExecContext::Stall, VirtualClock in tests), or "
-                     "annotate with '// sidq: allow-wallclock(<reason>)'"))
+            if not ctx.suppressed(lineno, "wallclock"):
+                ctx.add(lineno, "R8",
+                        "wall-clock sleep_for/sleep_until/"
+                        "system_clock::now outside src/exec/; time goes "
+                        "through core/clock.h (ExecContext::Stall, "
+                        "VirtualClock in tests), or annotate with "
+                        "'// sidq: allow-wallclock(<reason>)'")
 
         # R9: std::chrono clocks inside src/obs/ -- no annotation escape.
         if OBS_SCOPED.search(rel) and OBS_CLOCK_RE.search(code):
-            findings.append(
-                (lineno, "R9",
-                 "std::chrono clock inside src/obs/; observability "
-                 "timestamps must come from the injected Clock "
-                 "(core/clock.h) so traces stay deterministic under "
-                 "VirtualClock"))
+            ctx.add(lineno, "R9",
+                    "std::chrono clock inside src/obs/; observability "
+                    "timestamps must come from the injected Clock "
+                    "(core/clock.h) so traces stay deterministic under "
+                    "VirtualClock")
 
-        # Update loop/brace tracking AFTER checking the line, so a loop
-        # header and its body both count as inside the loop.
+        # R10: raw standard sync primitives outside the sidq wrappers.
+        if not raw_mutex_exempt and RAW_MUTEX_RE.search(code):
+            if not ctx.suppressed(lineno, "raw-mutex"):
+                ctx.add(lineno, "R10",
+                        "raw std synchronization primitive; use "
+                        "sidq::Mutex / sidq::MutexLock / sidq::CondVar "
+                        "(src/core/mutex.h) so -Wthread-safety sees the "
+                        "capability, or annotate with "
+                        "'// sidq: allow-raw-mutex(<reason>)'")
+
+        # Loop/brace tracking AFTER checking the line, so a loop header
+        # and its body both count as inside the loop.
         if LOOP_HEADER_RE.search(code):
             loop_depths.append(depth)
         for ch in code:
@@ -257,47 +501,349 @@ def lint_file(path: Path, rel: str):
                 while loop_depths and depth <= loop_depths[-1]:
                     loop_depths.pop()
 
+
+# ---------------------------------------------------------------------------
+# Pass 3a: R11 -- unordered-container iteration in ordering-sensitive code
+
+def unordered_decl_names(code_text):
+    """Identifiers declared with an unordered_{map,set} type, including
+    pointer/reference declarations; template arguments are skipped with a
+    balanced angle-bracket scan so nested types do not confuse it."""
+    names = set()
+    n = len(code_text)
+    for m in UNORDERED_CONTAINER_RE.finditer(code_text):
+        i = m.end()
+        while i < n and code_text[i].isspace():
+            i += 1
+        if i >= n or code_text[i] != "<":
+            continue
+        depth = 0
+        while i < n:
+            c = code_text[i]
+            if c == "<":
+                depth += 1
+            elif c == ">":
+                depth -= 1
+                if depth == 0:
+                    i += 1
+                    break
+            i += 1
+        while i < n and (code_text[i].isspace() or code_text[i] in "*&"):
+            i += 1
+        ident = re.match(r"[A-Za-z_]\w*", code_text[i:])
+        if ident and ident.group(0) not in CPP_KEYWORDS:
+            names.add(ident.group(0))
+    return names
+
+
+def range_for_sites(ctx):
+    """(lineno, range_expression) for every range-based for statement."""
+    sites = []
+    text = ctx.code_text
+    n = len(text)
+    for m in re.finditer(r"\bfor\s*\(", text):
+        j = m.end() - 1
+        depth = 0
+        colon = -1
+        while j < n:
+            c = text[j]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif c == ":" and depth == 1 and colon < 0:
+                if text[j + 1 : j + 2] == ":":   # `::` qualifier
+                    j += 2
+                    continue
+                if text[j - 1 : j] == ":":
+                    j += 1
+                    continue
+                colon = j
+            j += 1
+        if colon >= 0 and j < n:
+            sites.append((ctx.line_of(m.start()), text[colon + 1 : j]))
+    return sites
+
+
+def sort_follows(ctx, for_lineno):
+    """True when a sort() call appears after the loop, before its
+    enclosing block sequence closes -- the canonical fix pattern of
+    'collect from the hash map, then sort before use'."""
+    start = for_lineno - 1
+    if start >= len(ctx.code_lines):
+        return False
+    d0 = ctx._depths[start]
+    for i in range(start + 1, len(ctx.code_lines)):
+        if ctx._depths[i] < d0:
+            return False
+        if SORT_CALL_RE.search(ctx.code_lines[i]):
+            return True
+    return False
+
+
+def run_unordered_iter_rule(ctx):
+    if not UNORDERED_ITER_SCOPED.search(ctx.rel):
+        return
+    declared = unordered_decl_names(ctx.code_text)
+    declared |= unordered_decl_names(ctx.header_code)
+    if not declared:
+        return
+    for lineno, expr in range_for_sites(ctx):
+        tokens = set(re.findall(r"[A-Za-z_]\w*", expr)) - CPP_KEYWORDS
+        if not (tokens & declared):
+            continue
+        # The suppression is consulted (and marked used) against the raw
+        # match, BEFORE sort-clearing -- an annotated loop that is also
+        # followed by a sort must not count the annotation as stale.
+        if ctx.suppressed(lineno, "unordered-iter"):
+            continue
+        if sort_follows(ctx, lineno):
+            continue
+        ctx.add(lineno, "R11",
+                "range-for over unordered container "
+                f"({', '.join(sorted(tokens & declared))}) in an "
+                "ordering-sensitive layer; hash order must not reach "
+                "output. Sort first, use an ordered container, or "
+                "annotate with '// sidq: allow-unordered-iter(<reason>)'")
+
+
+# ---------------------------------------------------------------------------
+# Pass 3b: R12 -- GUARDED_BY must name a lock member of the same class
+
+def class_spans(code_text):
+    """[(open_brace_pos, close_brace_pos, name)] for every class/struct
+    body, nested bodies included."""
+    spans = []
+    n = len(code_text)
+    for m in CLASS_HEAD_RE.finditer(code_text):
+        open_pos = m.end() - 1
+        depth = 0
+        j = open_pos
+        while j < n:
+            c = code_text[j]
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        spans.append((open_pos, j, m.group(1)))
+    return spans
+
+
+def run_guarded_by_rule(ctx):
+    if "SIDQ_" not in ctx.code_text:
+        return
+    if ctx.rel == GUARDED_BY_DEFINITION_FILE:
+        return
+    spans = class_spans(ctx.code_text)
+    for m in GUARDED_BY_RE.finditer(ctx.code_text):
+        lineno = ctx.line_of(m.start())
+        arg = m.group(1).strip()
+        if arg.startswith("this->"):
+            arg = arg[len("this->"):].strip()
+        enclosing = None
+        for start, end, name in spans:
+            if start < m.start() < end:
+                if enclosing is None or start > enclosing[0]:
+                    enclosing = (start, end, name)
+        if enclosing is None:
+            if not ctx.suppressed(lineno, "guarded-by-unknown-lock"):
+                ctx.add(lineno, "R12",
+                        "SIDQ_GUARDED_BY outside any class/struct body; "
+                        "the capability has no owner the analysis can "
+                        "resolve")
+            continue
+        if not re.fullmatch(r"[A-Za-z_]\w*", arg):
+            if not ctx.suppressed(lineno, "guarded-by-unknown-lock"):
+                ctx.add(lineno, "R12",
+                        f"SIDQ_GUARDED_BY({arg}): guard must be a plain "
+                        "member name the analysis can resolve locally")
+            continue
+        body = ctx.code_text[enclosing[0] : enclosing[1]]
+        decl = re.search(
+            r"\b(?:sidq::)?(?:Mutex|SharedMutex)\s+" + re.escape(arg)
+            + r"\b", body)
+        if not decl:
+            if not ctx.suppressed(lineno, "guarded-by-unknown-lock"):
+                ctx.add(lineno, "R12",
+                        f"SIDQ_GUARDED_BY({arg}): '{arg}' is not declared "
+                        "as a Mutex/SharedMutex member of "
+                        f"'{enclosing[2]}'; the guard relation cannot be "
+                        "checked")
+
+
+# ---------------------------------------------------------------------------
+# Pass 4: stale suppressions
+
+def run_unused_suppression_pass(ctx):
+    for s in ctx.suppressions:
+        if not s.used:
+            ctx.add(s.line, "S4",
+                    f"suppression 'allow-{s.slug}' matched nothing on the "
+                    "line it covers; delete the stale annotation")
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+
+def load_baseline(path):
+    if not path.is_file():
+        return set()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as e:
+        print(f"sidq-lint: bad baseline {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    entries = data["entries"] if isinstance(data, dict) else data
+    return {(e["file"], e["line"], e["rule"]) for e in entries}
+
+
+def write_baseline(path, findings):
+    entries = [
+        {"file": f.file, "line": f.line, "rule": f.rule}
+        for f in findings
+    ]
+    path.write_text(
+        json.dumps({"version": 1, "entries": entries}, indent=2) + "\n",
+        encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# --fix
+
+def apply_fixes(root, findings):
+    """Applies every mechanical fix; returns the number applied."""
+    by_file = {}
+    for f in findings:
+        if f.fix is not None:
+            by_file.setdefault(f.file, []).append(f)
+    applied = 0
+    for rel, file_findings in by_file.items():
+        path = root / rel
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for f in file_findings:
+            kind = f.fix[0]
+            if kind == "insert_pragma_once":
+                text = "#pragma once\n" + text
+                applied += 1
+            elif kind == "replace":
+                _, old, new = f.fix
+                if old in text:
+                    text = text.replace(old, new)
+                    applied += 1
+        path.write_text(text, encoding="utf-8")
+    return applied
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+def collect_files(root, paths):
+    if paths:
+        return [Path(p).resolve() for p in paths]
+    files = []
+    for d in SCAN_DIRS:
+        base = root / d
+        if base.is_dir():
+            files.extend(
+                p for p in sorted(base.rglob("*"))
+                if p.suffix in EXTENSIONS
+                and EXCLUDED_PART not in p.relative_to(root).parts)
+    return files
+
+
+def lint_tree(root, files):
+    findings = []
+    for f in files:
+        if not f.is_file():
+            print(f"sidq-lint: no such file: {f}", file=sys.stderr)
+            sys.exit(2)
+        try:
+            rel = f.relative_to(root).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        ctx = FileContext(f, rel, root)
+        run_line_rules(ctx)
+        run_unordered_iter_rule(ctx)
+        run_guarded_by_rule(ctx)
+        run_unused_suppression_pass(ctx)
+        findings.extend(ctx.findings)
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
     return findings
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=None,
                         help="repo root (default: parent of this script)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply mechanical fixes (R4, S1) in place")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file "
+                             "(default: <root>/scripts/sidq_lint_baseline.json)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from current findings")
     parser.add_argument("paths", nargs="*",
                         help="files to lint (default: whole tree)")
     args = parser.parse_args()
 
-    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
-    if args.paths:
-        files = [Path(p).resolve() for p in args.paths]
+    root = (Path(args.root).resolve() if args.root
+            else Path(__file__).resolve().parent.parent)
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else root / "scripts" / "sidq_lint_baseline.json")
+
+    files = collect_files(root, args.paths)
+    findings = lint_tree(root, files)
+
+    if args.fix:
+        applied = apply_fixes(root, findings)
+        if applied:
+            print(f"sidq-lint: applied {applied} fix(es); re-linting",
+                  file=sys.stderr)
+            findings = lint_tree(root, files)
+
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"sidq-lint: wrote {len(findings)} entr(ies) to "
+              f"{baseline_path}")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    live = []
+    for f in findings:
+        if f.key() in baseline:
+            f.baselined = True
+        else:
+            live.append(f)
+
+    if args.format == "json":
+        print(json.dumps({
+            "files_scanned": len(files),
+            "findings": [f.to_json() for f in findings],
+            "clean": not live,
+        }, indent=2))
     else:
-        files = []
-        for d in SCAN_DIRS:
-            base = root / d
-            if base.is_dir():
-                files.extend(p for p in sorted(base.rglob("*"))
-                             if p.suffix in EXTENSIONS)
+        for f in findings:
+            tag = " (baselined)" if f.baselined else ""
+            print(f"{f.file}:{f.line}: [{f.rule}] {f.message}{tag}",
+                  file=sys.stderr)
+        n_base = sum(1 for f in findings if f.baselined)
+        if live:
+            print(f"sidq-lint: {len(live)} finding(s) "
+                  f"({n_base} baselined) in {len(files)} files",
+                  file=sys.stderr)
+        else:
+            extra = f", {n_base} baselined" if n_base else ""
+            print(f"sidq-lint: OK ({len(files)} files clean{extra})")
 
-    total = 0
-    for f in files:
-        if not f.is_file():
-            print(f"sidq-lint: no such file: {f}", file=sys.stderr)
-            return 2
-        try:
-            rel = str(f.relative_to(root))
-        except ValueError:
-            rel = str(f)
-        for lineno, rule, msg in lint_file(f, rel):
-            print(f"{rel}:{lineno}: [{rule}] {msg}", file=sys.stderr)
-            total += 1
-
-    if total:
-        print(f"sidq-lint: {total} finding(s) in {len(files)} files",
-              file=sys.stderr)
-        return 1
-    print(f"sidq-lint: OK ({len(files)} files clean)")
-    return 0
+    return 1 if live else 0
 
 
 if __name__ == "__main__":

@@ -31,6 +31,8 @@ std::vector<BurstDetector::BurstRegion> BurstDetector::CloseWindow() {
   const bool warmed =
       windows_processed_ >= static_cast<size_t>(options_.warmup_windows);
   std::unordered_map<CellKey, size_t> bursty;  // key -> count
+  // sidq: allow-unordered-iter(per-cell EWMA update and bursty insert are
+  // order-independent; bursty is only read through the sorted key list below)
   for (auto& [key, state] : cells_) {
     const double count = static_cast<double>(state.current);
     const bool fires =
@@ -44,10 +46,21 @@ std::vector<BurstDetector::BurstRegion> BurstDetector::CloseWindow() {
                      options_.baseline_alpha * count;
     state.current = 0;
   }
-  // Merge 8-adjacent bursty cells into regions via BFS.
+  // Merge 8-adjacent bursty cells into regions via BFS, seeding in sorted
+  // key order: seeding from the unordered_map made the *order* of regions
+  // in the returned vector a function of hash-map iteration order (an R11
+  // unordered-iteration-into-output bug -- per-region totals are
+  // commutative sums, but the region list itself feeds caller-visible
+  // output and must be canonical).
+  std::vector<CellKey> seed_keys;
+  seed_keys.reserve(bursty.size());
+  // sidq: allow-unordered-iter(keys are sorted before any ordering-
+  // sensitive use; see seed_keys sort below)
+  for (const auto& [key, count] : bursty) seed_keys.push_back(key);
+  std::sort(seed_keys.begin(), seed_keys.end());
   std::vector<BurstRegion> regions;
   std::unordered_map<CellKey, bool> visited;
-  for (const auto& [key, count] : bursty) {
+  for (const CellKey key : seed_keys) {
     if (visited[key]) continue;
     BurstRegion region;
     region.window_end = window_start_ + options_.window_ms;

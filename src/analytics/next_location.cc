@@ -60,12 +60,17 @@ void NextCellPredictor::Observe(const Trajectory& trajectory) {
 }
 
 void NextCellPredictor::MergeFrom(const NextCellPredictor& other) {
+  // sidq: allow-unordered-iter(count merging is commutative integer
+  // addition; the merged tables are identical for any visit order)
   for (const auto& [ctx, dist] : other.order1_) {
+    // sidq: allow-unordered-iter(commutative += merge into order1_)
     for (const auto& [cell, count] : dist) {
       order1_[ctx][cell] += count;
     }
   }
+  // sidq: allow-unordered-iter(same commutative count merge as order1_)
   for (const auto& [ctx, dist] : other.order2_) {
+    // sidq: allow-unordered-iter(commutative += merge into order2_)
     for (const auto& [cell, count] : dist) {
       order2_[ctx][cell] += count;
     }
@@ -89,6 +94,7 @@ StatusOr<geometry::Point> NextCellPredictor::PredictNext(
   }
   CellId best = dist->begin()->first;
   size_t best_count = dist->begin()->second;
+  // sidq: allow-unordered-iter(argmax with canonical tie-break below)
   for (const auto& [cell, count] : *dist) {
     // Ties break on the cell id so results do not depend on hash-map
     // iteration order (important for federated-vs-central equivalence).
@@ -114,6 +120,7 @@ double NextCellPredictor::Evaluate(
       if (dist == nullptr || dist->empty()) continue;
       CellId best = dist->begin()->first;
       size_t best_count = dist->begin()->second;
+      // sidq: allow-unordered-iter(argmax with canonical cell-id tie-break)
       for (const auto& [cell, count] : *dist) {
         if (count > best_count || (count == best_count && cell < best)) {
           best = cell;

@@ -41,6 +41,8 @@ void PopularRouteFinder::Build(const std::vector<Trajectory>& corpus) {
     }
   }
   // Drop low-support transitions.
+  // sidq: allow-unordered-iter(per-key pruning is order-independent; the
+  // ordering-sensitive inner maps are std::map, iterated canonically)
   for (auto& [cell, nexts] : out_edges_) {
     for (auto it = nexts.begin(); it != nexts.end();) {
       if (it->second < options_.min_transitions) {

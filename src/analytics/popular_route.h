@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -48,8 +49,14 @@ class PopularRouteFinder {
   geometry::Point CenterOf(CellId c) const;
 
   Options options_;
-  // cell -> (next cell -> count)
-  std::unordered_map<CellId, std::unordered_map<CellId, size_t>> out_edges_;
+  // cell -> (next cell -> count). The outer map is only ever looked up by
+  // key (plus one order-independent pruning pass), so it can stay hashed;
+  // the inner map is *iterated* by FindRoute's Dijkstra -- both for the
+  // floating-point probability normalization sum and for equal-cost edge
+  // relaxation, where iteration order breaks ties. An ordered map makes
+  // both canonical (R11: no unordered iteration on ordering-sensitive
+  // paths), so the returned route is a pure function of the corpus.
+  std::unordered_map<CellId, std::map<CellId, size_t>> out_edges_;
 };
 
 }  // namespace analytics

@@ -16,7 +16,11 @@ namespace sidq {
 //
 // The context itself is immutable and safe to share across threads; the
 // cancellation flag is an external atomic (typically owned by the fleet
-// runner) observed with acquire loads.
+// runner) observed with acquire loads. ExecContext therefore holds no
+// capability of its own -- it is lock-free by construction, and appears in
+// the capability map (DESIGN.md "Concurrency & locking discipline") as an
+// atomics-only structure: nothing here may ever take a sidq::Mutex, or a
+// cooperative Check() inside a locked region could invert the lock order.
 class ExecContext {
  public:
   // No clock, no deadline, no cancellation: Check() always returns OK and

@@ -1,10 +1,11 @@
 #include "core/failpoint.h"
 
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "core/mutex.h"
 #include "core/random.h"
+#include "core/thread_annotations.h"
 
 namespace sidq {
 
@@ -24,8 +25,10 @@ struct SiteState {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string, SiteState> sites;
+  Mutex mu;
+  // Sites are looked up by name, never iterated -- site decisions must not
+  // depend on map order (determinism contract, lint rule R11).
+  std::unordered_map<std::string, SiteState> sites SIDQ_GUARDED_BY(mu);
 };
 
 Registry& GlobalRegistry() {
@@ -48,7 +51,7 @@ uint64_t HashSite(const char* site) {
 
 std::optional<FailPointConfig> EvaluateSlow(const char* site, uint64_t key) {
   Registry& registry = GlobalRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto it = registry.sites.find(site);
   if (it == registry.sites.end()) return std::nullopt;
   SiteState& state = it->second;
@@ -75,7 +78,7 @@ std::optional<FailPointConfig> EvaluateSlow(const char* site, uint64_t key) {
 
 void ArmFailPoint(const std::string& site, FailPointConfig cfg) {
   auto& registry = internal_failpoint::GlobalRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   const bool inserted =
       registry.sites
           .insert_or_assign(site, internal_failpoint::SiteState{cfg, {}, 0})
@@ -88,7 +91,7 @@ void ArmFailPoint(const std::string& site, FailPointConfig cfg) {
 
 void DisarmFailPoint(const std::string& site) {
   auto& registry = internal_failpoint::GlobalRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   if (registry.sites.erase(site) > 0) {
     internal_failpoint::g_armed_sites.fetch_sub(1,
                                                 std::memory_order_relaxed);
@@ -97,7 +100,7 @@ void DisarmFailPoint(const std::string& site) {
 
 void DisarmAllFailPoints() {
   auto& registry = internal_failpoint::GlobalRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   internal_failpoint::g_armed_sites.fetch_sub(
       static_cast<int>(registry.sites.size()), std::memory_order_relaxed);
   registry.sites.clear();
@@ -105,7 +108,7 @@ void DisarmAllFailPoints() {
 
 size_t FailPointHits(const std::string& site) {
   auto& registry = internal_failpoint::GlobalRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto it = registry.sites.find(site);
   return it == registry.sites.end() ? 0 : it->second.hits;
 }

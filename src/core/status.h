@@ -32,7 +32,7 @@ const char* StatusCodeToString(StatusCode code);
 // carries no message and is cheap to copy. The class itself is [[nodiscard]]:
 // any call expression returning a Status by value must be consumed, so a
 // failed cleaning/repair step can never be silently mistaken for success.
-// Intentional discards require `(void)` plus a `// sidq: ignore-status(...)`
+// Intentional discards require `(void)` plus a `// sidq: allow-ignored-status(...)`
 // annotation (enforced by scripts/sidq_lint.py).
 class [[nodiscard]] Status {
  public:

@@ -1,0 +1,100 @@
+#pragma once
+
+// Clang Thread Safety Analysis attributes (-Wthread-safety), wrapped so the
+// codebase can state its locking contracts in the type system:
+//
+//   class SIDQ_CAPABILITY("mutex") Mutex { ... };
+//   Mutex mu_;
+//   size_t queued_ SIDQ_GUARDED_BY(mu_) = 0;
+//   void Drain() SIDQ_REQUIRES(mu_);
+//
+// Under Clang the annotations make lock discipline a *compile-time* check:
+// touching `queued_` without holding `mu_`, or calling `Drain()` unlocked,
+// is a -Wthread-safety warning (an error under the -Werror presets and the
+// CI `thread-safety` job). Under GCC and every other compiler the macros
+// expand to nothing, so annotations are zero runtime and zero portability
+// cost -- which is why they may (and must) stay on in release builds: the
+// determinism contract (DESIGN.md "Concurrency & locking discipline") is
+// enforced without perturbing the golden-tested byte output.
+//
+// The macro set mirrors the upstream attribute names
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); only the
+// capability wrappers in core/mutex.h should need the ACQUIRE/RELEASE
+// family -- annotated application code speaks GUARDED_BY / REQUIRES /
+// EXCLUDES.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SIDQ_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SIDQ_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+// --- Declaring capabilities -----------------------------------------------
+
+// Marks a class as a capability (lock) type; `x` names the capability kind
+// in diagnostics, conventionally "mutex".
+#define SIDQ_CAPABILITY(x) SIDQ_THREAD_ANNOTATION__(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases a
+// capability (MutexLock and friends).
+#define SIDQ_SCOPED_CAPABILITY SIDQ_THREAD_ANNOTATION__(scoped_lockable)
+
+// --- Declaring guarded data -----------------------------------------------
+
+// Data member readable only while holding `x` (shared suffices) and
+// writable only while holding `x` exclusively.
+#define SIDQ_GUARDED_BY(x) SIDQ_THREAD_ANNOTATION__(guarded_by(x))
+
+// Pointer member whose *pointee* is guarded by `x` (the pointer itself is
+// not).
+#define SIDQ_PT_GUARDED_BY(x) SIDQ_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// Lock-ordering declarations: this capability must be acquired before /
+// after the named ones (deadlock-ordering checks are opt-in via
+// -Wthread-safety-beta, but the declarations double as documentation).
+#define SIDQ_ACQUIRED_BEFORE(...) \
+  SIDQ_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define SIDQ_ACQUIRED_AFTER(...) \
+  SIDQ_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+// --- Annotating functions --------------------------------------------------
+
+// Caller must hold the capability exclusively / shared on entry (and still
+// holds it on exit).
+#define SIDQ_REQUIRES(...) \
+  SIDQ_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define SIDQ_REQUIRES_SHARED(...) \
+  SIDQ_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability (must not already hold it).
+#define SIDQ_ACQUIRE(...) \
+  SIDQ_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define SIDQ_ACQUIRE_SHARED(...) \
+  SIDQ_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+// Function releases the capability (must hold it on entry). The bare
+// RELEASE form also serves scoped-capability destructors, where it means
+// "release whatever this scope acquired" (exclusive or shared).
+#define SIDQ_RELEASE(...) \
+  SIDQ_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define SIDQ_RELEASE_SHARED(...) \
+  SIDQ_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+// Function attempts the acquisition; holds the capability iff the return
+// value equals `b` (first argument).
+#define SIDQ_TRY_ACQUIRE(...) \
+  SIDQ_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define SIDQ_TRY_ACQUIRE_SHARED(...) \
+  SIDQ_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (the function acquires it itself;
+// guards against self-deadlock on non-reentrant locks).
+#define SIDQ_EXCLUDES(...) SIDQ_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// Function returns a reference to the capability guarding its result.
+#define SIDQ_RETURN_CAPABILITY(x) SIDQ_THREAD_ANNOTATION__(lock_returned(x))
+
+// Escape hatch: body is exempt from analysis. Every use must carry a
+// written justification on the same line or the line above.
+#define SIDQ_NO_THREAD_SAFETY_ANALYSIS \
+  SIDQ_THREAD_ANNOTATION__(no_thread_safety_analysis)

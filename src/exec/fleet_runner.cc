@@ -317,7 +317,7 @@ FleetResult FleetRunner::RunInternal(const std::vector<Trajectory>& fleet,
     // SLOWER than serial execution on cpu-bound fleets.
     for (const std::vector<size_t>& shard : shards) {
       Status shard_status = run_shard(&shard);
-      (void)shard_status;  // sidq: ignore-status(recorded per trajectory in statuses)
+      (void)shard_status;  // recorded per trajectory in statuses
     }
   } else {
     ThreadPool pool(num_threads, sinks.metrics);
@@ -332,7 +332,7 @@ FleetResult FleetRunner::RunInternal(const std::vector<Trajectory>& fleet,
       // Shard-level failures are also recorded per trajectory; the future
       // exists to join and to propagate Status through the pool API.
       Status shard_status = f.get();
-      (void)shard_status;  // sidq: ignore-status(recorded per trajectory in statuses)
+      (void)shard_status;  // recorded per trajectory in statuses
     }
   }
 

@@ -38,16 +38,16 @@ bool ThreadPool::Enqueue(std::function<void()> task) {
     // counted, so the workers drained queued_ == 0 and joined with the
     // task still sitting in a deque -- a silent drop. Nesting the worker
     // mutex inside mu_ is safe: no other path holds them simultaneously.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return false;
     {
-      std::lock_guard<std::mutex> wlock(workers_[idx]->mu);
+      MutexLock wlock(workers_[idx]->mu);
       workers_[idx]->queue.push_back(std::move(task));
     }
     ++queued_;
   }
   tasks_counter_.Increment();
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
@@ -56,7 +56,7 @@ bool ThreadPool::TryPop(size_t self, std::function<void()>* task) {
   for (size_t k = 0; k < n; ++k) {
     Worker& w = *workers_[(self + k) % n];
     {
-      std::lock_guard<std::mutex> lock(w.mu);
+      MutexLock lock(w.mu);
       if (w.queue.empty()) continue;
       if (k == 0) {
         *task = std::move(w.queue.front());
@@ -68,7 +68,7 @@ bool ThreadPool::TryPop(size_t self, std::function<void()>* task) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --queued_;
     }
     return true;
@@ -84,18 +84,20 @@ void ThreadPool::WorkerLoop(size_t self) {
       task = nullptr;  // release captures before sleeping
       continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return queued_ > 0 || shutdown_; });
+    MutexLock lock(mu_);
+    // Condition loop instead of a predicate lambda: the guarded reads of
+    // queued_/shutdown_ stay inside this analyzed scope (core/mutex.h).
+    while (queued_ == 0 && !shutdown_) cv_.Wait(mu_);
     if (queued_ == 0 && shutdown_) return;
   }
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }

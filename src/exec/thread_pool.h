@@ -1,20 +1,20 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "core/logging.h"
+#include "core/mutex.h"
 #include "core/status.h"
+#include "core/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace sidq {
@@ -82,29 +82,31 @@ class ThreadPool {
   }
 
   // Drains every queued task, then joins the workers. Idempotent.
-  void Shutdown();
+  void Shutdown() SIDQ_EXCLUDES(mu_);
 
  private:
   struct Worker {
-    std::deque<std::function<void()>> queue;
-    std::mutex mu;
+    Mutex mu;
+    std::deque<std::function<void()>> queue SIDQ_GUARDED_BY(mu);
   };
 
-  // False when the pool is shutting down (task not queued).
-  [[nodiscard]] bool Enqueue(std::function<void()> task);
-  void WorkerLoop(size_t self);
+  // False when the pool is shutting down (task not queued). Lock order:
+  // takes mu_ first, then the target worker's mu nested inside it (see
+  // DESIGN.md "Concurrency & locking discipline"); hence EXCLUDES both.
+  [[nodiscard]] bool Enqueue(std::function<void()> task) SIDQ_EXCLUDES(mu_);
+  void WorkerLoop(size_t self) SIDQ_EXCLUDES(mu_);
   // Pops own work (front) or steals (back); false when every queue is empty.
-  bool TryPop(size_t self, std::function<void()>* task);
+  bool TryPop(size_t self, std::function<void()>* task) SIDQ_EXCLUDES(mu_);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
   // mu_/cv_ guard the idle/wakeup protocol; `queued_` counts tasks pushed
   // but not yet popped so sleepers never miss a submission.
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t queued_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  size_t queued_ SIDQ_GUARDED_BY(mu_) = 0;
+  bool shutdown_ SIDQ_GUARDED_BY(mu_) = false;
 
   std::atomic<size_t> next_queue_{0};
 

@@ -1,7 +1,8 @@
 #include "kernels/soa.h"
 
 #include <array>
-#include <mutex>
+
+#include "core/mutex.h"
 
 namespace sidq {
 namespace kernels {
@@ -43,10 +44,16 @@ namespace {
 // object serialize here. Striping by object address keeps the table tiny
 // while making collisions (two distinct trajectories sharing a stripe)
 // merely a throughput, never a correctness, concern.
+//
+// The guarded data (the cache slot) lives outside this TU, so the
+// lock<->data relation cannot be expressed with SIDQ_GUARDED_BY; the
+// capability map in DESIGN.md ("Concurrency & locking discipline") records
+// it instead, and the annotated MutexLock below keeps the acquire/release
+// pairing under analysis.
 constexpr size_t kCacheStripes = 64;
 
-std::mutex& StripeFor(const Trajectory* tr) {
-  static std::array<std::mutex, kCacheStripes> stripes;
+Mutex& StripeFor(const Trajectory* tr) {
+  static std::array<Mutex, kCacheStripes> stripes;
   const size_t h = reinterpret_cast<uintptr_t>(tr) / alignof(Trajectory);
   return stripes[h % kCacheStripes];
 }
@@ -56,7 +63,7 @@ std::mutex& StripeFor(const Trajectory* tr) {
 TrajectoryView TrajectoryView::Of(const Trajectory& tr) {
   std::shared_ptr<const SoaBuffer> buffer;
   {
-    const std::lock_guard<std::mutex> lock(StripeFor(&tr));
+    const MutexLock lock(StripeFor(&tr));
     Trajectory::DerivedCache& slot = tr.derived_cache();
     if (slot.revision == tr.revision() && slot.value != nullptr) {
       buffer = std::static_pointer_cast<const SoaBuffer>(slot.value);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
 namespace sidq {
 namespace obs {
@@ -60,7 +59,7 @@ void Histogram::Record(double v) const {
 Counter MetricsRegistry::counter(const std::string& name,
                                  MetricStability stability) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     const auto it = by_name_.find(name);
     // A kind mismatch falls through to the exclusive path so the
     // registration error gets recorded.
@@ -68,7 +67,7 @@ Counter MetricsRegistry::counter(const std::string& name,
       return Counter(&counters_[it->second.index]);
     }
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   const auto it = by_name_.find(name);
   if (it != by_name_.end()) {
     if (it->second.kind != MetricKind::kCounter) {
@@ -90,13 +89,13 @@ Counter MetricsRegistry::counter(const std::string& name,
 Gauge MetricsRegistry::gauge(const std::string& name,
                              MetricStability stability) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     const auto it = by_name_.find(name);
     if (it != by_name_.end() && it->second.kind == MetricKind::kGauge) {
       return Gauge(&gauges_[it->second.index]);
     }
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   const auto it = by_name_.find(name);
   if (it != by_name_.end()) {
     if (it->second.kind != MetricKind::kGauge) {
@@ -120,7 +119,7 @@ Histogram MetricsRegistry::histogram(const std::string& name,
                                      MetricStability stability) {
   using internal_metrics::kStripes;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     const auto it = by_name_.find(name);
     // Kind *and* bounds must match for the fast path; either mismatch
     // falls through so the exclusive path records the error (and, for a
@@ -130,7 +129,7 @@ Histogram MetricsRegistry::histogram(const std::string& name,
       return Histogram(&histograms_[it->second.index]);
     }
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   const auto it = by_name_.find(name);
   if (it != by_name_.end()) {
     internal_metrics::HistogramCell* existing =
@@ -198,63 +197,64 @@ double BucketPercentile(const HistogramValue& h, double q) {
 MetricsSnapshot MetricsRegistry::Snapshot(SnapshotOptions options) const {
   using internal_metrics::kStripes;
   MetricsSnapshot snap;
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  {
+    ReaderMutexLock lock(mu_);
 
-  for (const internal_metrics::CounterCell& cell : counters_) {
-    if (cell.stability == MetricStability::kVolatile &&
-        !options.include_volatile) {
-      continue;
-    }
-    CounterValue v;
-    v.name = cell.name;
-    v.stability = cell.stability;
-    for (size_t s = 0; s < kStripes; ++s) {
-      v.value += cell.stripes[s].value.load(std::memory_order_relaxed);
-    }
-    snap.counters.push_back(std::move(v));
-  }
-
-  for (const internal_metrics::GaugeCell& cell : gauges_) {
-    if (cell.stability == MetricStability::kVolatile &&
-        !options.include_volatile) {
-      continue;
-    }
-    snap.gauges.push_back(GaugeValue{
-        cell.name, cell.value.load(std::memory_order_relaxed),
-        cell.stability});
-  }
-
-  for (const internal_metrics::HistogramCell& cell : histograms_) {
-    if (cell.stability == MetricStability::kVolatile &&
-        !options.include_volatile) {
-      continue;
-    }
-    HistogramValue v;
-    v.name = cell.name;
-    v.stability = cell.stability;
-    v.bounds = cell.bounds;
-    v.invalid = cell.invalid.load(std::memory_order_relaxed);
-    v.bucket_counts.assign(cell.bounds.size(), 0);
-    double max = -std::numeric_limits<double>::infinity();
-    for (size_t s = 0; s < kStripes; ++s) {
-      const internal_metrics::HistogramStripe& stripe = cell.stripes[s];
-      for (size_t b = 0; b < cell.bounds.size(); ++b) {
-        v.bucket_counts[b] +=
-            stripe.counts[b].load(std::memory_order_relaxed);
+    for (const internal_metrics::CounterCell& cell : counters_) {
+      if (cell.stability == MetricStability::kVolatile &&
+          !options.include_volatile) {
+        continue;
       }
-      v.overflow +=
-          stripe.counts[cell.bounds.size()].load(std::memory_order_relaxed);
-      v.sum += stripe.sum.load(std::memory_order_relaxed);
-      max = std::max(max, stripe.max.load(std::memory_order_relaxed));
+      CounterValue v;
+      v.name = cell.name;
+      v.stability = cell.stability;
+      for (size_t s = 0; s < kStripes; ++s) {
+        v.value += cell.stripes[s].value.load(std::memory_order_relaxed);
+      }
+      snap.counters.push_back(std::move(v));
     }
-    for (int64_t c : v.bucket_counts) v.count += c;
-    v.count += v.overflow;
-    v.max = v.count > 0 ? max : 0.0;
-    v.p50 = BucketPercentile(v, 0.50);
-    v.p99 = BucketPercentile(v, 0.99);
-    snap.histograms.push_back(std::move(v));
-  }
-  lock.unlock();
+
+    for (const internal_metrics::GaugeCell& cell : gauges_) {
+      if (cell.stability == MetricStability::kVolatile &&
+          !options.include_volatile) {
+        continue;
+      }
+      snap.gauges.push_back(GaugeValue{
+          cell.name, cell.value.load(std::memory_order_relaxed),
+          cell.stability});
+    }
+
+    for (const internal_metrics::HistogramCell& cell : histograms_) {
+      if (cell.stability == MetricStability::kVolatile &&
+          !options.include_volatile) {
+        continue;
+      }
+      HistogramValue v;
+      v.name = cell.name;
+      v.stability = cell.stability;
+      v.bounds = cell.bounds;
+      v.invalid = cell.invalid.load(std::memory_order_relaxed);
+      v.bucket_counts.assign(cell.bounds.size(), 0);
+      double max = -std::numeric_limits<double>::infinity();
+      for (size_t s = 0; s < kStripes; ++s) {
+        const internal_metrics::HistogramStripe& stripe = cell.stripes[s];
+        for (size_t b = 0; b < cell.bounds.size(); ++b) {
+          v.bucket_counts[b] +=
+              stripe.counts[b].load(std::memory_order_relaxed);
+        }
+        v.overflow +=
+            stripe.counts[cell.bounds.size()].load(std::memory_order_relaxed);
+        v.sum += stripe.sum.load(std::memory_order_relaxed);
+        max = std::max(max, stripe.max.load(std::memory_order_relaxed));
+      }
+      for (int64_t c : v.bucket_counts) v.count += c;
+      v.count += v.overflow;
+      v.max = v.count > 0 ? max : 0.0;
+      v.p50 = BucketPercentile(v, 0.50);
+      v.p99 = BucketPercentile(v, 0.99);
+      snap.histograms.push_back(std::move(v));
+    }
+  }  // reader lock released: sorting needs no registry access
 
   const auto by_name = [](const auto& a, const auto& b) {
     return a.name < b.name;
@@ -266,7 +266,7 @@ MetricsSnapshot MetricsRegistry::Snapshot(SnapshotOptions options) const {
 }
 
 std::string MetricsRegistry::registration_error() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return registration_error_;
 }
 

@@ -5,10 +5,12 @@
 #include <deque>
 #include <limits>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace sidq {
 namespace obs {
@@ -184,22 +186,26 @@ class MetricsRegistry {
   // detached handle and records a registration error surfaced by
   // registration_error().
   Counter counter(const std::string& name,
-                  MetricStability stability = MetricStability::kDeterministic);
+                  MetricStability stability = MetricStability::kDeterministic)
+      SIDQ_EXCLUDES(mu_);
   Gauge gauge(const std::string& name,
-              MetricStability stability = MetricStability::kDeterministic);
+              MetricStability stability = MetricStability::kDeterministic)
+      SIDQ_EXCLUDES(mu_);
   // `bounds` are upper bucket limits, strictly increasing and finite;
   // invalid bounds mark the histogram invalid (export then fails loudly).
   Histogram histogram(
       const std::string& name, std::vector<double> bounds,
-      MetricStability stability = MetricStability::kDeterministic);
+      MetricStability stability = MetricStability::kDeterministic)
+      SIDQ_EXCLUDES(mu_);
 
   // Common duration bucket bounds (milliseconds, 1 .. 10s).
   static std::vector<double> DurationBucketsMs();
 
-  [[nodiscard]] MetricsSnapshot Snapshot(SnapshotOptions options = {}) const;
+  [[nodiscard]] MetricsSnapshot Snapshot(SnapshotOptions options = {}) const
+      SIDQ_EXCLUDES(mu_);
 
   // First kind/bounds-mismatch registration error, empty when clean.
-  [[nodiscard]] std::string registration_error() const;
+  [[nodiscard]] std::string registration_error() const SIDQ_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -207,12 +213,20 @@ class MetricsRegistry {
     size_t index;  // into the kind's deque
   };
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, Entry> by_name_;
-  std::deque<internal_metrics::CounterCell> counters_;
-  std::deque<internal_metrics::GaugeCell> gauges_;
-  std::deque<internal_metrics::HistogramCell> histograms_;
-  std::string registration_error_;
+  // mu_ guards the registry *structure* (name table, cell deques,
+  // registration error) -- shared for lookup/snapshot, exclusive for
+  // first-use registration. Cell *contents* (the striped atomics) are
+  // deliberately outside the capability: handles write them lock-free
+  // through raw pointers, which stay valid because deque elements never
+  // move. by_name_ is looked up, never iterated: canonical snapshot order
+  // comes from an explicit sort (lint rule R11).
+  mutable SharedMutex mu_;
+  std::unordered_map<std::string, Entry> by_name_ SIDQ_GUARDED_BY(mu_);
+  std::deque<internal_metrics::CounterCell> counters_ SIDQ_GUARDED_BY(mu_);
+  std::deque<internal_metrics::GaugeCell> gauges_ SIDQ_GUARDED_BY(mu_);
+  std::deque<internal_metrics::HistogramCell> histograms_
+      SIDQ_GUARDED_BY(mu_);
+  std::string registration_error_ SIDQ_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -14,7 +14,7 @@ Tracer::ActiveSpan Tracer::Begin(uint64_t key, std::string name,
   span.clock = clock;
   span.start_ms = clock != nullptr ? clock->NowMs() : 0;
   span.open = true;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   KeyState& state = keys_[key];
   span.seq = kDirectSeqBase + state.next_seq++;
   span.depth = state.open_depth++;
@@ -33,7 +33,7 @@ void Tracer::End(ActiveSpan&& span) {
   rec.start_ms = span.start_ms;
   rec.end_ms = span.clock != nullptr ? span.clock->NowMs() : span.start_ms;
   span.open = false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   keys_[span.key].open_depth--;
   direct_records_.push_back(std::move(rec));
 }
@@ -47,7 +47,7 @@ void Tracer::Instant(uint64_t key, std::string name, std::string category,
   rec.note = std::move(note);
   rec.start_ms = clock != nullptr ? clock->NowMs() : 0;
   rec.end_ms = rec.start_ms;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   KeyState& state = keys_[key];
   rec.seq = kDirectSeqBase + state.next_seq++;
   rec.depth = state.open_depth;
@@ -56,7 +56,7 @@ void Tracer::Instant(uint64_t key, std::string name, std::string category,
 
 void Tracer::AppendRecords(std::vector<SpanRecord>&& records) {
   if (records.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   chunk_spans_ += records.size();
   chunks_.push_back(std::move(records));
 }
@@ -64,7 +64,7 @@ void Tracer::AppendRecords(std::vector<SpanRecord>&& records) {
 std::vector<SpanRecord> Tracer::CanonicalSpans() const {
   std::vector<SpanRecord> spans;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     spans.reserve(chunk_spans_ + direct_records_.size());
     for (const std::vector<SpanRecord>& chunk : chunks_) {
       spans.insert(spans.end(), chunk.begin(), chunk.end());
@@ -81,7 +81,7 @@ std::vector<SpanRecord> Tracer::CanonicalSpans() const {
 }
 
 size_t Tracer::num_spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return chunk_spans_ + direct_records_.size();
 }
 

@@ -1,13 +1,14 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/clock.h"
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace sidq {
 namespace obs {
@@ -99,13 +100,20 @@ class Tracer {
     int open_depth = 0;
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, KeyState> keys_;
-  std::vector<SpanRecord> direct_records_;  // from Begin/End/Instant
+  // mu_ is the Tracer's single capability: every collection below is
+  // guarded by it, and no method holds it across a call out of this class
+  // (lock-ordering rules in DESIGN.md "Concurrency & locking discipline").
+  mutable Mutex mu_;
+  // Keys are looked up, never iterated: canonical order comes from sorting
+  // the flat span list, not from map order (determinism contract, lint
+  // rule R11).
+  std::unordered_map<uint64_t, KeyState> keys_ SIDQ_GUARDED_BY(mu_);
+  std::vector<SpanRecord> direct_records_
+      SIDQ_GUARDED_BY(mu_);  // from Begin/End/Instant
   // Batches adopted whole from AppendRecords; concatenated (and sorted)
   // only at CanonicalSpans time.
-  std::vector<std::vector<SpanRecord>> chunks_;
-  size_t chunk_spans_ = 0;
+  std::vector<std::vector<SpanRecord>> chunks_ SIDQ_GUARDED_BY(mu_);
+  size_t chunk_spans_ SIDQ_GUARDED_BY(mu_) = 0;
 };
 
 // RAII span handle: opens on construction, records on destruction. Movable

@@ -31,6 +31,8 @@ void ContinuousKnnMonitor::ReassignSafeRadii() {
   std::sort(dist.begin(), dist.end());
   if (dist.size() <= k_) {
     // Everyone is in the result; no boundary to protect.
+    // sidq: allow-unordered-iter(independent per-object constant write;
+    // no ordering dependence)
     for (auto& [id, st] : states_) st.safe_radius = 0.0;
     return;
   }

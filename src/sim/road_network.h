@@ -19,7 +19,12 @@ namespace sim {
 // current count, so an owning object stays copyable/movable. Used for
 // const-method statistics that fleet execution may bump from many worker
 // threads (data-race-free; interleaved writers make the value approximate,
-// which is fine for search-effort stats).
+// which is fine for search-effort stats). Atomics-only by design -- it
+// carries no capability and needs no SIDQ_GUARDED_BY; the capability map
+// in DESIGN.md ("Concurrency & locking discipline") lists it with the
+// other lock-free structures, and its values are scheduling-dependent, so
+// they must never feed golden-tested output (they are kVolatile-class
+// stats, same rule as obs::MetricStability::kVolatile).
 class RelaxedCounter {
  public:
   RelaxedCounter() = default;

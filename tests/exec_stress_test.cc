@@ -8,7 +8,7 @@
 #include <cstdint>
 #include <future>
 #include <string>
-#include <thread>  // sidq: allow-thread(multi-producer submission stress)
+#include <thread>  // multi-producer submission stress
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -171,7 +171,7 @@ TEST(ExecStressTest, MultiProducerSubmission) {
   constexpr int kProducers = 4;
   constexpr int kTasksPerProducer = 2000;
   {
-    std::vector<std::thread> producers;  // sidq: allow-thread(stress the pool's MPMC path)
+    std::vector<std::thread> producers;  // sidq: allow-stray-thread(stress the pool's MPMC path)
     producers.reserve(kProducers);
     for (int p = 0; p < kProducers; ++p) {
       producers.emplace_back([&pool, &sum, p] {
@@ -187,7 +187,7 @@ TEST(ExecStressTest, MultiProducerSubmission) {
         for (auto& f : futures) f.wait();
       });
     }
-    // sidq: allow-thread(joining the producer threads spawned above)
+    // sidq: allow-stray-thread(joining the producer threads spawned above)
     for (std::thread& t : producers) t.join();
   }
   pool.Shutdown();

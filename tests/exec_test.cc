@@ -7,7 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
-#include <thread>  // sidq: allow-thread(std::this_thread::sleep_for only)
+#include <thread>  // std::this_thread::sleep_for only
 #include <vector>
 
 #include <gtest/gtest.h>

@@ -190,7 +190,7 @@ TEST(TrajectoryViewTest, CachesUntilMutation) {
 
   // mutable_points() conservatively invalidates even without a write.
   const uint64_t rev = tr.revision();
-  (void)tr.mutable_points();  // sidq: ignore-status(only the revision bump matters here)
+  (void)tr.mutable_points();  // sidq: allow-ignored-status(only the revision bump matters here)
   EXPECT_GT(tr.revision(), rev);
   const TrajectoryView v4 = TrajectoryView::Of(tr);
   EXPECT_NE(v4.buffer().get(), v3.buffer().get());

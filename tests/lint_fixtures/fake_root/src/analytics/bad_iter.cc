@@ -1,0 +1,39 @@
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace bad {
+
+std::unordered_map<int, int> Counts();
+
+int BadExport() {
+  std::unordered_map<int, int> counts = Counts();
+  int checksum = 0;
+  for (const auto& [k, v] : counts) {  // expect-lint: R11
+    checksum = checksum * 31 + k + v;
+  }
+  return checksum;
+}
+
+int SortedExport() {
+  std::unordered_map<int, int> counts = Counts();
+  std::vector<int> keys;
+  for (const auto& [k, v] : counts) keys.push_back(k);  // cleared by sort
+  std::sort(keys.begin(), keys.end());
+  int checksum = 0;
+  for (int k : keys) checksum = checksum * 31 + k;
+  return checksum;
+}
+
+int JustifiedSum() {
+  std::unordered_map<int, int> counts = Counts();
+  int sum = 0;
+  // sidq: allow-unordered-iter(fixture: commutative sum, order cannot
+  // reach the caller)
+  for (const auto& [k, v] : counts) {
+    sum += v;
+  }
+  return sum;
+}
+
+}  // namespace bad

@@ -1,0 +1,35 @@
+#pragma once
+
+#define SIDQ_GUARDED_BY(x) int  // expect-lint: R12
+
+namespace bad {
+
+class Mutex {
+ public:
+  void Lock();
+};
+class SharedMutex {
+ public:
+  void Lock();
+};
+
+class Good {
+  Mutex mu_;
+  int counter_ SIDQ_GUARDED_BY(mu_);  // resolves: no finding
+};
+
+class AlsoGood {
+  SharedMutex mu_;
+  int gauge_ SIDQ_GUARDED_BY(mu_);  // resolves: no finding
+};
+
+class MissingLock {
+  int counter_ SIDQ_GUARDED_BY(mu_);  // expect-lint: R12
+};
+
+class ExprGuard {
+  Mutex mu_;
+  int value_ SIDQ_GUARDED_BY(&mu_);  // expect-lint: R12
+};
+
+}  // namespace bad

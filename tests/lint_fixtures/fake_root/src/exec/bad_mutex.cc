@@ -1,0 +1,20 @@
+#include <condition_variable>
+#include <mutex>
+
+namespace bad {
+
+std::mutex g_mu;  // expect-lint: R10
+std::condition_variable g_cv;  // expect-lint: R10
+
+int Locked() {
+  std::lock_guard<std::mutex> lock(g_mu);  // expect-lint: R10
+  return 1;
+}
+
+int Tolerated() {
+  // sidq: allow-raw-mutex(fixture: interop with an external API)
+  std::unique_lock<std::mutex> lock(g_mu);
+  return 2;
+}
+
+}  // namespace bad

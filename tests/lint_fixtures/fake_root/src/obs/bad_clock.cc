@@ -1,0 +1,9 @@
+#include <chrono>
+
+namespace bad {
+
+long Now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // expect-lint: R9
+}
+
+}  // namespace bad

@@ -1,0 +1,23 @@
+#include <chrono>
+#include <thread>
+
+namespace bad {
+
+double HaversineDistance(double a, double b);
+
+double Sum(int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += HaversineDistance(1.0, 2.0);  // expect-lint: R7
+  }
+  for (int i = 0; i < n; ++i) {
+    // sidq: allow-scalar-haversine(fixture: cold setup loop)
+    total += HaversineDistance(3.0, 4.0);
+  }
+  std::thread t([] {});  // expect-lint: R6
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // expect-lint: R8
+  t.join();
+  return total;
+}
+
+}  // namespace bad

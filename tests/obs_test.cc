@@ -11,7 +11,7 @@
 #include <cmath>
 #include <limits>
 #include <string>
-#include <thread>  // sidq: allow-thread(registry merge-exactness stress)
+#include <thread>  // registry merge-exactness stress
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -108,7 +108,7 @@ TEST(MetricsRegistryTest, HistogramBucketsPercentilesAndOverflow) {
 
 TEST(MetricsRegistryTest, EmptyHistogramReportsZeros) {
   MetricsRegistry reg;
-  // sidq: ignore-status(registration only; handle unused)
+  // sidq: allow-ignored-status(registration only; handle unused)
   (void)reg.histogram("empty", {1.0, 10.0});
   const MetricsSnapshot snap = reg.Snapshot();
   ASSERT_EQ(snap.histograms.size(), 1u);
@@ -133,9 +133,9 @@ TEST(MetricsRegistryTest, KindMismatchReturnsDetachedAndRecordsError) {
 
 TEST(MetricsRegistryTest, HistogramBoundsMismatchMarksInvalid) {
   MetricsRegistry reg;
-  // sidq: ignore-status(registration only; handle unused)
+  // sidq: allow-ignored-status(registration only; handle unused)
   (void)reg.histogram("h", {1.0, 2.0});
-  // sidq: ignore-status(registration only; handle unused)
+  // sidq: allow-ignored-status(registration only; handle unused)
   (void)reg.histogram("h", {1.0, 3.0});  // different bounds
   EXPECT_FALSE(reg.registration_error().empty());
   const MetricsSnapshot snap = reg.Snapshot();
@@ -145,7 +145,7 @@ TEST(MetricsRegistryTest, HistogramBoundsMismatchMarksInvalid) {
 
 TEST(MetricsRegistryTest, NonIncreasingBoundsAreInvalid) {
   MetricsRegistry reg;
-  // sidq: ignore-status(registration only; handle unused)
+  // sidq: allow-ignored-status(registration only; handle unused)
   (void)reg.histogram("bad", {5.0, 5.0});
   const MetricsSnapshot snap = reg.Snapshot();
   ASSERT_EQ(snap.histograms.size(), 1u);
@@ -194,7 +194,7 @@ TEST(MetricsRegistryTest, ConcurrentWritesMergeExactly) {
   constexpr int kThreads = 8;
   constexpr int kPerThread = 20000;
 
-  // sidq: allow-thread(raw threads stress the registry without pool scheduling)
+  // sidq: allow-stray-thread(raw threads stress the registry without pool scheduling)
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
@@ -209,7 +209,7 @@ TEST(MetricsRegistryTest, ConcurrentWritesMergeExactly) {
       }
     });
   }
-  // sidq: allow-thread(joining the stress threads spawned above)
+  // sidq: allow-stray-thread(joining the stress threads spawned above)
   for (std::thread& th : threads) th.join();
 
   const MetricsSnapshot snap = reg.Snapshot();
@@ -489,7 +489,11 @@ TEST(ObsExportTest, RandomSnapshotsAlwaysRoundTrip) {
         bounds.push_back(b);
         b += rng.Uniform(0.001, 50.0);
       }
-      Histogram h = reg.histogram("h" + std::to_string(i), bounds);
+      // Two-step append instead of `"h" + std::to_string(i)`: GCC 12's
+      // -Wrestrict false-positives on const char* + string&& at -O2+.
+      std::string hist_name = "h";
+      hist_name += std::to_string(i);
+      Histogram h = reg.histogram(hist_name, bounds);
       const int samples = static_cast<int>(rng.Uniform(0.0, 40.0));
       for (int s = 0; s < samples; ++s) {
         h.Record(rng.Uniform(-10.0, 120.0));

@@ -96,13 +96,13 @@ TEST(StatusPropagationTest, AssignOrReturnUnwrapsValue) {
 
 TEST(StatusOrDeathTest, ValueOnErrorDies) {
   const StatusOr<int> err = Status::NotFound("missing reading");
-  EXPECT_DEATH({ (void)err.value(); },  // sidq: ignore-status(death-test probe of the aborting accessor)
+  EXPECT_DEATH({ (void)err.value(); },  // sidq: allow-ignored-status(death-test probe of the aborting accessor)
                "missing reading");
 }
 
 TEST(StatusOrDeathTest, DerefOnErrorDies) {
   const StatusOr<std::vector<int>> err = Status::OutOfRange("span");
-  EXPECT_DEATH({ (void)err->size(); },  // sidq: ignore-status(death-test probe of the aborting accessor)
+  EXPECT_DEATH({ (void)err->size(); },  // sidq: allow-ignored-status(death-test probe of the aborting accessor)
                "span");
 }
 
