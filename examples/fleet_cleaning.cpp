@@ -16,6 +16,16 @@
 //                  [--trace-out F]     write the run's span trace to F
 //                                      (Chrome trace_event JSON -- load it
 //                                      in chrome://tracing or Perfetto)
+//                  [--record-log F]    record a seeded dirty sensor fleet as
+//                                      an arrival-ordered event log to F and
+//                                      exit (deterministic: same bytes every
+//                                      run)
+//                  [--replay F]        replay event log F through the stream
+//                                      engine (--threads workers), check it
+//                                      against the batch reference, print a
+//                                      summary; exit 1 on any divergence
+//                  [--stream-out F2]   with --replay: write the canonical
+//                                      stream-output JSON to F2
 //
 // The determinism contract means --threads changes only the wall clock:
 // every vehicle's cleaned trajectory is bit-identical for any N. Map
@@ -25,7 +35,10 @@
 //
 // --metrics-out / --trace-out switch the run to virtual time so the
 // exported files are themselves deterministic: two invocations with the
-// same flags produce byte-identical JSON, for any --threads value.
+// same flags produce byte-identical JSON, for any --threads value. The
+// same contract covers --record-log / --replay: the recorded log is a pure
+// function of the seed, and the replayed stream output is a pure function
+// of (log, rules) for any worker count.
 
 #include <chrono>
 #include <cstdio>
@@ -38,14 +51,139 @@
 #include "core/quality.h"
 #include "core/random.h"
 #include "exec/fleet_runner.h"
+#include "geometry/bbox.h"
 #include "obs/export.h"
 #include "obs/observer.h"
 #include "query/continuous.h"
 #include "reduce/simplify.h"
 #include "refine/hmm_map_matcher.h"
 #include "sim/noise.h"
+#include "sim/sensor_field.h"
 #include "sim/trajectory_sim.h"
+#include "stream/engine.h"
+#include "stream/event_log.h"
+#include "stream/replay.h"
+#include "stream/rules.h"
 #include "uncertainty/completion.h"
+
+namespace {
+
+// The streaming companion fleet: stationary air-quality sensors alongside
+// the vehicles, with the arrival pathologies the stream engine exists to
+// absorb (delay, stragglers past the lateness bound, duplicate delivery).
+// Seeded end to end, so the recorded log is byte-identical every run.
+sidq::stream::EventLog MakeSensorFleetLog() {
+  using namespace sidq;
+  Rng rng(4711);
+  const geometry::BBox bounds(geometry::Point(0, 0),
+                              geometry::Point(2000, 2000));
+  const sim::ScalarField field = sim::ScalarField::MakeRandom(
+      bounds, 3, 20.0, 30.0, 300.0, 900.0, 3600.0, &rng);
+  const std::vector<geometry::Point> sensors =
+      sim::DeploySensors(bounds, 16, &rng);
+  StDataset truth = sim::SampleField(field, sensors, 0, 60'000, 120, "pm25");
+  StDataset dirty = sim::AddValueNoise(truth, 0.8, &rng);
+  dirty = sim::AddValueSpikes(dirty, 0.02, 400.0, &rng);
+
+  stream::ArrivalOptions arrivals;
+  arrivals.mean_delay_ms = 20'000;
+  arrivals.straggler_probability = 0.05;
+  arrivals.straggler_delay_ms = 400'000;
+  arrivals.duplicate_probability = 0.05;
+  return stream::RecordArrivals(dirty, arrivals, &rng);
+}
+
+sidq::stream::StreamConfig SensorFleetConfig() {
+  sidq::stream::StreamConfig config;
+  sidq::stream::SensorRule rule;
+  rule.min_value = -50.0;
+  rule.max_value = 500.0;
+  rule.expected_interval_ms = 60'000;
+  rule.max_lateness_ms = 120'000;
+  rule.max_rate_per_s = 1.0;
+  config.rules.set_default_rule(rule);
+  config.window_ms = 300'000;
+  config.window_capacity = 32;
+  config.robust_z.z_threshold = 4.0;
+  config.robust_z.min_samples = 6;
+  return config;
+}
+
+int RecordLogMode(const std::string& path) {
+  using namespace sidq;
+  const stream::EventLog log = MakeSensorFleetLog();
+  const Status st = stream::WriteEventLogFile(log, path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "record-log failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("recorded %zu events (field=%s) -> %s\n", log.events.size(),
+              log.field_name.c_str(), path.c_str());
+  return 0;
+}
+
+int ReplayMode(const std::string& path, const std::string& stream_out,
+               int threads) {
+  using namespace sidq;
+  const StatusOr<stream::EventLog> log = stream::ReadEventLogFile(path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 log.status().ToString().c_str());
+    return 1;
+  }
+  const stream::StreamConfig config = SensorFleetConfig();
+
+  stream::ReplayOptions options;
+  options.num_threads = threads;
+  const StatusOr<stream::StreamOutput> streamed =
+      stream::Replay(*log, config, options);
+  if (!streamed.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 streamed.status().ToString().c_str());
+    return 1;
+  }
+
+  // The differential gate: the incremental engine must agree with the
+  // order-insensitive batch reference bit for bit.
+  const stream::StreamOutput batch = stream::BatchReference(*log, config);
+  const std::string stream_json = stream::StreamOutputToJson(*streamed);
+  if (stream_json != stream::StreamOutputToJson(batch)) {
+    std::fprintf(stderr,
+                 "REPLAY DIVERGENCE: stream output differs from the batch "
+                 "reference (threads=%d)\n",
+                 threads);
+    return 1;
+  }
+
+  std::printf("replayed %zu events through %d worker(s): stream == batch "
+              "(checksum %llu)\n",
+              log->events.size(), threads,
+              static_cast<unsigned long long>(
+                  stream::OutputChecksum(*streamed)));
+  size_t cleaned = 0;
+  for (const StSeries& s : streamed->cleaned.series()) cleaned += s.size();
+  std::printf("  cleaned records: %zu, quarantined: %zu, windows: %zu, "
+              "alerts: %zu\n",
+              cleaned, streamed->ledger.size(), streamed->kpis.size(),
+              streamed->alerts.size());
+  for (const auto& [reason, count] : streamed->ledger.CountsByReason()) {
+    std::printf("    quarantine %-15s %lld\n", reason.c_str(),
+                static_cast<long long>(count));
+  }
+
+  if (!stream_out.empty()) {
+    const Status st = obs::WriteTextFile(stream_out, stream_json);
+    if (!st.ok()) {
+      std::fprintf(stderr, "stream-out write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("  stream output -> %s\n", stream_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sidq;
@@ -56,6 +194,9 @@ int main(int argc, char** argv) {
   bool best_effort = false;
   std::string metrics_out;
   std::string trace_out;
+  std::string record_log;
+  std::string replay_log;
+  std::string stream_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
@@ -69,14 +210,26 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--record-log") == 0 && i + 1 < argc) {
+      record_log = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      replay_log = argv[++i];
+    } else if (std::strcmp(argv[i], "--stream-out") == 0 && i + 1 < argc) {
+      stream_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--deadline-ms D] "
                    "[--max-retries R] [--best-effort] "
-                   "[--metrics-out FILE] [--trace-out FILE]\n",
+                   "[--metrics-out FILE] [--trace-out FILE] "
+                   "[--record-log FILE] "
+                   "[--replay FILE [--stream-out FILE]]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (!record_log.empty()) return RecordLogMode(record_log);
+  if (!replay_log.empty()) {
+    return ReplayMode(replay_log, stream_out, threads);
   }
   const bool observed_run = !metrics_out.empty() || !trace_out.empty();
 

@@ -61,6 +61,19 @@ cmp "${obs_tmp}/t1.json" "${obs_tmp}/t8.json" || {
   echo "FAILED: trace export differs across worker counts" >&2; exit 1; }
 echo "obs determinism gate: OK"
 
+# Stream replay determinism gate: record an event log once, replay it at 1
+# and 8 workers, and require byte-identical stream-output JSON (each replay
+# also self-checks against the batch reference and exits nonzero on
+# divergence). Again cmp, not a parser: the contract is bytes.
+build/examples/fleet_cleaning --record-log "${obs_tmp}/events.log" > /dev/null
+build/examples/fleet_cleaning --replay "${obs_tmp}/events.log" --threads 1 \
+  --stream-out "${obs_tmp}/stream1.json" > /dev/null
+build/examples/fleet_cleaning --replay "${obs_tmp}/events.log" --threads 8 \
+  --stream-out "${obs_tmp}/stream8.json" > /dev/null
+cmp "${obs_tmp}/stream1.json" "${obs_tmp}/stream8.json" || {
+  echo "FAILED: stream replay differs across worker counts" >&2; exit 1; }
+echo "stream determinism gate: OK"
+
 # Refresh the recorded parallel-execution perf artifact (also re-checks the
 # serial-vs-parallel determinism gate and the <=5% instrumentation-overhead
 # gate baked into the bench). The instrumented run's metrics snapshot rides
@@ -72,5 +85,9 @@ python3 scripts/bench_json.py --out BENCH_exec.json \
 # Refresh the columnar-kernel perf artifact (the bench itself enforces the
 # kernel-vs-scalar bit-identity gate and exits nonzero on any mismatch).
 python3 scripts/bench_json.py --out BENCH_kernels.json build/bench/bench_kernels
+
+# Refresh the streaming-ingestion perf artifact (the bench enforces the
+# serial-engine == batch-reference == parallel-replay checksum gate).
+python3 scripts/bench_json.py --out BENCH_stream.json build/bench/bench_stream
 
 echo "run_all: OK"

@@ -67,6 +67,13 @@ Rules
                          same class or struct. A guard expression the
                          analysis cannot resolve locally is a contract
                          that cannot be checked.
+  R13 stream-wallclock-watermark
+                         any `std::chrono` clock or `SteadyClock` inside
+                         src/stream/. Watermarks and window closes advance
+                         on EVENT time (or an injected Clock/VirtualClock
+                         via core/clock.h); a wall-clock reading would make
+                         lateness depend on arrival wall time and break the
+                         stream-vs-batch replay contract. No suppression.
 
 Suppression syntax
 ------------------
@@ -134,6 +141,7 @@ RULES = {
     "R10": "raw-mutex",
     "R11": "unordered-iter",
     "R12": "guarded-by-unknown-lock",
+    "R13": "stream-wallclock-watermark",
     "S1": "legacy-suppression",
     "S2": "unknown-suppression",
     "S3": "missing-reason",
@@ -185,10 +193,19 @@ RAW_MUTEX_RE = re.compile(
     r"|shared_lock|scoped_lock|condition_variable|condition_variable_any)\b")
 RAW_MUTEX_ALLOWED_FILE = "src/core/mutex.h"
 
+# R13 scope: the streaming layer. Watermarks advance on event time (or an
+# injected Clock), never on a wall-clock reading -- otherwise lateness
+# depends on when an event arrived, and replay stops being a pure function
+# of the recorded log.
+STREAM_SCOPED = re.compile(r"(^|/)src/stream/")
+STREAM_CLOCK_RE = re.compile(
+    r"\bstd::chrono::(?:steady_clock|high_resolution_clock|system_clock)\b"
+    r"|\bSteadyClock\b")
+
 # R11 scope: layers whose iteration order can reach snapshots, exports,
 # serialized traces or query/analytics results.
 UNORDERED_ITER_SCOPED = re.compile(
-    r"(^|/)src/(?:obs|core|analytics|query)/")
+    r"(^|/)src/(?:obs|core|analytics|query|stream)/")
 UNORDERED_CONTAINER_RE = re.compile(r"\bunordered_(?:map|set)\b")
 SORT_CALL_RE = re.compile(r"\b(?:std::)?(?:stable_)?sort\s*\(")
 
@@ -478,6 +495,15 @@ def run_line_rules(ctx):
                     "timestamps must come from the injected Clock "
                     "(core/clock.h) so traces stay deterministic under "
                     "VirtualClock")
+
+        # R13: wall-clock sources inside src/stream/ -- no annotation
+        # escape. Event time or an injected Clock only.
+        if STREAM_SCOPED.search(rel) and STREAM_CLOCK_RE.search(code):
+            ctx.add(lineno, "R13",
+                    "wall-clock source inside src/stream/; watermarks "
+                    "advance on event time (or an injected Clock / "
+                    "VirtualClock from core/clock.h), never on arrival "
+                    "wall time, or stream-vs-batch replay diverges")
 
         # R10: raw standard sync primitives outside the sidq wrappers.
         if not raw_mutex_exempt and RAW_MUTEX_RE.search(code):

@@ -1,0 +1,67 @@
+#include "outlier/online_detectors.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sidq {
+namespace outlier {
+
+namespace {
+
+double MedianOf(std::vector<double> values) {
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double m = values[mid];
+  if (values.size() % 2 == 0) {
+    m = (m + *std::max_element(values.begin(), values.begin() + mid)) / 2.0;
+  }
+  return m;
+}
+
+}  // namespace
+
+bool RollingRobustZ::Observe(double value) {
+  bool outlier = false;
+  if (buffer_.size() >= options_.min_samples) {
+    const double median = MedianOf(buffer_);
+    std::vector<double> deviations;
+    deviations.reserve(buffer_.size());
+    for (double v : buffer_) deviations.push_back(std::abs(v - median));
+    const double mad = MedianOf(std::move(deviations));
+    const double scale = std::max(1.4826 * mad,
+                                  options_.min_mad_fraction *
+                                      std::max(1.0, std::abs(median)));
+    outlier = std::abs(value - median) > options_.z_threshold * scale;
+  }
+  if (!outlier) {
+    if (buffer_.size() < options_.window) {
+      buffer_.push_back(value);
+    } else {
+      buffer_[next_] = value;
+      next_ = (next_ + 1) % options_.window;
+    }
+  }
+  return outlier;
+}
+
+bool PageHinkley::Observe(double value) {
+  ++n_;
+  mean_ += (value - mean_) / static_cast<double>(n_);
+  cum_up_ += value - mean_ - options_.delta;
+  min_up_ = std::min(min_up_, cum_up_);
+  cum_down_ += value - mean_ + options_.delta;
+  max_down_ = std::max(max_down_, cum_down_);
+  if (n_ < options_.min_samples) return false;
+  const bool drift = (cum_up_ - min_up_ > options_.lambda) ||
+                     (max_down_ - cum_down_ > options_.lambda);
+  if (drift) {
+    n_ = 0;
+    mean_ = 0.0;
+    cum_up_ = min_up_ = 0.0;
+    cum_down_ = max_down_ = 0.0;
+  }
+  return drift;
+}
+
+}  // namespace outlier
+}  // namespace sidq

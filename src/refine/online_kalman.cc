@@ -1,0 +1,52 @@
+#include "refine/online_kalman.h"
+
+#include <cmath>
+
+namespace sidq {
+namespace refine {
+
+OnlineKalman1D::Estimate OnlineKalman1D::Update(Timestamp t, double value,
+                                                double reported_stddev) {
+  const double r = reported_stddev > 0.0 ? reported_stddev
+                                         : options_.measurement_noise;
+  const double r2 = r * r;
+  if (!initialized_) {
+    x_ = value;
+    v_ = 0.0;
+    p00_ = r2;
+    p01_ = 0.0;
+    p11_ = 100.0;
+    initialized_ = true;
+  } else {
+    // Predict with F = [1 dt; 0 1], Q = q * [dt^3/3 dt^2/2; dt^2/2 dt],
+    // same discretization as KalmanFilter2D's per-axis filter.
+    const double dt = TimestampToSeconds(t - last_t_);
+    const double q = options_.process_noise;
+    x_ += dt * v_;
+    const double p00n =
+        p00_ + dt * (p01_ + p01_) + dt * dt * p11_ + q * dt * dt * dt / 3.0;
+    const double p01n = p01_ + dt * p11_ + q * dt * dt / 2.0;
+    const double p11n = p11_ + q * dt;
+    p00_ = p00n;
+    p01_ = p01n;
+    p11_ = p11n;
+  }
+  // Measurement update with z ~ N(level, r2).
+  const double s = p00_ + r2;
+  const double k0 = p00_ / s;
+  const double k1 = p01_ / s;
+  const double innov = value - x_;
+  x_ += k0 * innov;
+  v_ += k1 * innov;
+  const double p00n = (1.0 - k0) * p00_;
+  const double p01n = (1.0 - k0) * p01_;
+  const double p11n = p11_ - k1 * p01_;
+  p00_ = p00n;
+  p01_ = p01n;
+  p11_ = p11n;
+  last_t_ = t;
+  return Estimate{x_, std::sqrt(std::max(0.0, p00_))};
+}
+
+}  // namespace refine
+}  // namespace sidq

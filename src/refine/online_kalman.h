@@ -1,0 +1,48 @@
+#pragma once
+
+#include "core/types.h"
+
+namespace sidq {
+namespace refine {
+
+// Record-at-a-time scalar Kalman filter for one sensor's value stream:
+// local level + trend state [value, dvalue/dt], the 1-D sibling of
+// KalmanFilter2D's per-axis filter. The stream engine keeps one per sensor
+// and feeds it records in event-time order at window close, so the filtered
+// estimate is a pure function of the admitted record sequence -- which is
+// what lets streamed output match the batch pipeline bit-for-bit.
+class OnlineKalman1D {
+ public:
+  struct Options {
+    // Continuous white-noise acceleration spectral density on the trend.
+    double process_noise = 0.05;
+    // Default 1-sigma measurement noise in value units; a record's own
+    // reported stddev overrides it when positive.
+    double measurement_noise = 1.0;
+  };
+
+  explicit OnlineKalman1D(Options options) : options_(options) {}
+  OnlineKalman1D() : OnlineKalman1D(Options{}) {}
+
+  struct Estimate {
+    double value = 0.0;
+    double stddev = 0.0;  // posterior 1-sigma on the level
+  };
+
+  // Incorporates one measurement at event time `t` (must be strictly after
+  // the previous update) and returns the posterior estimate.
+  Estimate Update(Timestamp t, double value, double reported_stddev);
+
+  [[nodiscard]] bool initialized() const { return initialized_; }
+
+ private:
+  Options options_;
+  bool initialized_ = false;
+  Timestamp last_t_ = 0;
+  // State mean [level, trend] and covariance.
+  double x_ = 0.0, v_ = 0.0;
+  double p00_ = 0.0, p01_ = 0.0, p11_ = 0.0;
+};
+
+}  // namespace refine
+}  // namespace sidq

@@ -1,0 +1,75 @@
+#include "stream/admission.h"
+
+#include <cmath>
+
+namespace sidq {
+namespace stream {
+
+AdmissionDecision AdmissionFilter::Observe(const StreamEvent& ev) {
+  const StRecord& rec = ev.record;
+  AdmissionDecision d;
+  d.rule = rules_->Find(rec.sensor);
+  if (d.rule == nullptr) {
+    d.reason = QuarantineReason::kUnknownSensor;
+    return d;
+  }
+  d.window_index = WindowIndexOf(rec.t, window_ms_);
+  if (!std::isfinite(rec.value) || !std::isfinite(rec.loc.x) ||
+      !std::isfinite(rec.loc.y) || !std::isfinite(rec.stddev)) {
+    d.reason = QuarantineReason::kNonFinite;
+    return d;
+  }
+  SensorState& state = sensors_[rec.sensor];
+  if (state.max_admitted_t != kMinTimestamp &&
+      rec.t <= state.max_admitted_t - d.rule->max_lateness_ms) {
+    d.reason = QuarantineReason::kLate;
+    return d;
+  }
+  if (state.admitted_ts.count(rec.t) != 0) {
+    ++state.window_dups[d.window_index];
+    d.reason = QuarantineReason::kDuplicate;
+    return d;
+  }
+  if (rec.value < d.rule->min_value || rec.value > d.rule->max_value) {
+    d.reason = QuarantineReason::kOutOfRange;
+    return d;
+  }
+  size_t& occupancy = state.window_counts[d.window_index];
+  if (occupancy >= capacity_) {
+    d.reason = QuarantineReason::kWindowOverflow;
+    return d;
+  }
+  ++occupancy;
+  state.admitted_ts.insert(rec.t);
+  if (rec.t > state.max_admitted_t) state.max_admitted_t = rec.t;
+  d.admitted = true;
+  return d;
+}
+
+Timestamp AdmissionFilter::Watermark(SensorId sensor) const {
+  auto it = sensors_.find(sensor);
+  if (it == sensors_.end() || it->second.max_admitted_t == kMinTimestamp) {
+    return kMinTimestamp;
+  }
+  const SensorRule* rule = rules_->Find(sensor);
+  const Timestamp lateness = rule != nullptr ? rule->max_lateness_ms : 0;
+  return it->second.max_admitted_t - lateness;
+}
+
+int64_t AdmissionFilter::ReleaseWindow(SensorId sensor, int64_t window_index) {
+  auto it = sensors_.find(sensor);
+  if (it == sensors_.end()) return 0;
+  SensorState& state = it->second;
+  state.window_counts.erase(window_index);
+  const Timestamp lo = static_cast<Timestamp>(window_index) * window_ms_;
+  state.admitted_ts.erase(state.admitted_ts.lower_bound(lo),
+                          state.admitted_ts.lower_bound(lo + window_ms_));
+  auto dup_it = state.window_dups.find(window_index);
+  if (dup_it == state.window_dups.end()) return 0;
+  const int64_t dups = dup_it->second;
+  state.window_dups.erase(dup_it);
+  return dups;
+}
+
+}  // namespace stream
+}  // namespace sidq

@@ -1,0 +1,308 @@
+#include "stream/engine.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "core/failpoint.h"
+#include "core/retry.h"
+#include "obs/export.h"
+
+namespace sidq {
+namespace stream {
+
+void StreamOutput::Canonicalize() {
+  std::sort(cleaned.mutable_series().begin(), cleaned.mutable_series().end(),
+            [](const StSeries& a, const StSeries& b) {
+              return a.sensor() < b.sensor();
+            });
+  ledger.Canonicalize();
+  std::sort(kpis.begin(), kpis.end(),
+            [](const WindowKpis& a, const WindowKpis& b) {
+              return std::tie(a.sensor, a.window_start) <
+                     std::tie(b.sensor, b.window_start);
+            });
+  std::sort(alerts.begin(), alerts.end(),
+            [](const KpiAlert& a, const KpiAlert& b) {
+              return std::tie(a.sensor, a.window_start, a.dimension) <
+                     std::tie(b.sensor, b.window_start, b.dimension);
+            });
+  std::sort(sensors.begin(), sensors.end(),
+            [](const SensorSummary& a, const SensorSummary& b) {
+              return a.sensor < b.sensor;
+            });
+}
+
+void StreamOutput::Merge(StreamOutput&& other) {
+  if (cleaned.field_name().empty() && !other.cleaned.field_name().empty()) {
+    StDataset renamed(other.cleaned.field_name());
+    renamed.mutable_series() = std::move(cleaned.mutable_series());
+    cleaned = std::move(renamed);
+  }
+  for (StSeries& s : other.cleaned.mutable_series()) {
+    cleaned.AddSeries(std::move(s));
+  }
+  ledger.Merge(other.ledger);
+  kpis.insert(kpis.end(), other.kpis.begin(), other.kpis.end());
+  alerts.insert(alerts.end(), other.alerts.begin(), other.alerts.end());
+  sensors.insert(sensors.end(), other.sensors.begin(), other.sensors.end());
+  ingested += other.ingested;
+}
+
+std::string StreamOutputToJson(const StreamOutput& output) {
+  using obs::internal_json::EscapeString;
+  using obs::internal_json::FormatDouble;
+  std::ostringstream out;
+  out << "{\n\"field\":\"" << EscapeString(output.cleaned.field_name())
+      << "\",\n\"ingested\":" << output.ingested << ",\n\"cleaned\":[";
+  bool first = true;
+  for (const StSeries& series : output.cleaned.series()) {
+    for (const StRecord& rec : series.records()) {
+      out << (first ? "" : ",") << "\n  {\"sensor\":" << rec.sensor
+          << ",\"t\":" << rec.t << ",\"x\":" << FormatDouble(rec.loc.x)
+          << ",\"y\":" << FormatDouble(rec.loc.y)
+          << ",\"value\":" << FormatDouble(rec.value)
+          << ",\"stddev\":" << FormatDouble(rec.stddev) << "}";
+      first = false;
+    }
+  }
+  out << (first ? "" : "\n") << "],\n\"quarantine\":" << output.ledger.ToJson()
+      << ",\n\"kpis\":[";
+  for (size_t i = 0; i < output.kpis.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "\n  " << WindowKpisToJson(output.kpis[i]);
+  }
+  out << (output.kpis.empty() ? "" : "\n") << "],\n\"alerts\":[";
+  for (size_t i = 0; i < output.alerts.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "\n  " << KpiAlertToJson(output.alerts[i]);
+  }
+  out << (output.alerts.empty() ? "" : "\n") << "],\n\"sensors\":[";
+  for (size_t i = 0; i < output.sensors.size(); ++i) {
+    const SensorSummary& s = output.sensors[i];
+    out << (i == 0 ? "" : ",") << "\n  {\"sensor\":" << s.sensor
+        << ",\"admitted\":" << s.admitted
+        << ",\"quarantined\":" << s.quarantined
+        << ",\"windows_closed\":" << s.windows_closed
+        << ",\"watermark\":" << s.watermark << "}";
+  }
+  out << (output.sensors.empty() ? "" : "\n") << "]\n}\n";
+  return out.str();
+}
+
+uint64_t OutputChecksum(const StreamOutput& output) {
+  const std::string json = StreamOutputToJson(output);
+  uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  for (unsigned char c : json) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV-1a prime
+  }
+  return h;
+}
+
+StreamEngine::StreamEngine(const StreamConfig& config,
+                           const obs::ObsSinks& sinks, const Clock* clock,
+                           const ExecContext* ctx)
+    : config_(config),
+      sinks_(sinks),
+      clock_(clock),
+      ctx_(ctx != nullptr ? ctx : &default_ctx_),
+      filter_(&config_.rules, config_.window_ms, config_.window_capacity) {
+  if (sinks_.metrics != nullptr) {
+    ingested_counter_ = sinks_.metrics->counter("stream.ingested");
+    admitted_counter_ = sinks_.metrics->counter("stream.admitted");
+    late_counter_ = sinks_.metrics->counter("stream.late");
+    quarantined_counter_ = sinks_.metrics->counter("stream.quarantined");
+    windows_counter_ = sinks_.metrics->counter("stream.windows.closed");
+    outliers_counter_ = sinks_.metrics->counter("stream.outliers");
+  }
+}
+
+StreamEngine::SensorState& StreamEngine::GetState(SensorId sensor) {
+  auto [it, inserted] = sensors_.try_emplace(sensor);
+  if (inserted) {
+    it->second.pipeline =
+        SensorPipeline(config_.kalman, config_.robust_z, config_.drift);
+  }
+  return it->second;
+}
+
+Status StreamEngine::EvaluateSite(const char* site, SensorId sensor,
+                                  bool* corrupt) {
+  Status s = Status::OK();
+  for (int attempt = 0;; ++attempt) {
+    s = MaybeInjectFailPoint(site, sensor, ctx_, corrupt);
+    if (s.ok() || !IsTransient(s.code()) ||
+        attempt >= config_.max_fault_retries) {
+      return s;
+    }
+    // Deterministic backoff on the context clock: instant under
+    // VirtualClock, so retried runs stay virtual-time reproducible.
+    ctx_->Stall(int64_t{1} << attempt);
+  }
+}
+
+void StreamEngine::Quarantine(uint64_t seq, const StRecord& rec,
+                              QuarantineReason reason, SensorState* state) {
+  ledger_.Add(seq, rec, reason);
+  ++state->quarantined;
+  quarantined_counter_.Increment();
+  if (sinks_.metrics != nullptr) {
+    const std::string name = QuarantineReasonName(reason);
+    auto [it, inserted] = reason_counters_.try_emplace(name);
+    if (inserted) {
+      it->second = sinks_.metrics->counter("stream.quarantined." + name);
+    }
+    it->second.Increment();
+  }
+}
+
+Status StreamEngine::Push(const StreamEvent& ev) {
+  SIDQ_RETURN_IF_ERROR(ctx_->Check());
+  ++ingested_;
+  ingested_counter_.Increment();
+
+  StreamEvent event = ev;
+  bool corrupt = false;
+  const Status fault =
+      EvaluateSite(kIngestFailPoint, event.record.sensor, &corrupt);
+  SensorState& state = GetState(event.record.sensor);
+  if (!fault.ok()) {
+    Quarantine(event.seq, event.record, QuarantineReason::kIngestFault,
+               &state);
+    return Status::OK();
+  }
+  if (corrupt) {
+    // A corrupted reading: garbage value that the declarative range gate
+    // downstream is expected to catch (the chaos test pins exactly this).
+    event.record.value = 4e30;
+  }
+
+  const AdmissionDecision d = filter_.Observe(event);
+  if (!d.admitted) {
+    if (d.reason == QuarantineReason::kLate) late_counter_.Increment();
+    Quarantine(event.seq, event.record, d.reason, &state);
+    return Status::OK();
+  }
+  ++state.admitted;
+  admitted_counter_.Increment();
+  auto [it, inserted] = state.open_windows.try_emplace(
+      d.window_index, RingWindow(config_.window_capacity));
+  it->second.Push(event);
+  return CloseReadyWindows(event.record.sensor, &state);
+}
+
+Status StreamEngine::CloseReadyWindows(SensorId sensor, SensorState* state) {
+  const Timestamp watermark = filter_.Watermark(sensor);
+  while (!state->open_windows.empty()) {
+    const int64_t window_index = state->open_windows.begin()->first;
+    const Timestamp window_end =
+        (static_cast<Timestamp>(window_index) + 1) * config_.window_ms;
+    if (window_end - 1 > watermark) break;  // records could still arrive
+    SIDQ_RETURN_IF_ERROR(CloseWindow(sensor, window_index, state));
+  }
+  return Status::OK();
+}
+
+Status StreamEngine::CloseWindow(SensorId sensor, int64_t window_index,
+                                 SensorState* state) {
+  SIDQ_RETURN_IF_ERROR(ctx_->Check());
+  auto it = state->open_windows.find(window_index);
+  std::vector<StreamEvent> events = it->second.TakeSortedByTime();
+  state->open_windows.erase(it);
+  const int64_t dups = filter_.ReleaseWindow(sensor, window_index);
+
+  const Status fault = EvaluateSite(kWindowCloseFailPoint, sensor, nullptr);
+  if (!fault.ok()) {
+    // The whole window is lost: divert its records so nothing vanishes
+    // silently, but emit no KPIs -- the window never "happened".
+    for (const StreamEvent& ev : events) {
+      Quarantine(ev.seq, ev.record, QuarantineReason::kWindowFault, state);
+    }
+    return Status::OK();
+  }
+
+  const SensorRule* rule = config_.rules.Find(sensor);
+  std::vector<KpiAlert> alerts;
+  QuarantineLedger window_ledger;
+  const WindowKpis kpis = ProcessWindow(
+      sensor, window_index, config_.window_ms, std::move(events), dups, *rule,
+      config_.thresholds, &state->pipeline, &state->cleaned, &window_ledger,
+      &alerts);
+  for (const QuarantineEntry& entry : window_ledger.entries()) {
+    Quarantine(entry.seq,
+               StRecord(entry.sensor, entry.t, geometry::Point(), entry.value),
+               entry.reason, state);
+  }
+  alerts_.insert(alerts_.end(), alerts.begin(), alerts.end());
+  kpis_.push_back(kpis);
+  ++state->windows_closed;
+  windows_counter_.Increment();
+  outliers_counter_.Increment(kpis.outliers);
+
+  if (sinks_.metrics != nullptr) {
+    auto [cit, cin] = completeness_gauges_.try_emplace(sensor);
+    if (cin) {
+      cit->second = sinks_.metrics->gauge("stream.kpi.completeness.s" +
+                                          std::to_string(sensor));
+    }
+    cit->second.Set(static_cast<int64_t>(kpis.completeness * 1000.0));
+    auto [rit, rin] = redundancy_gauges_.try_emplace(sensor);
+    if (rin) {
+      rit->second = sinks_.metrics->gauge("stream.kpi.redundancy.s" +
+                                          std::to_string(sensor));
+    }
+    rit->second.Set(static_cast<int64_t>(kpis.redundancy * 1000.0));
+  }
+  if (sinks_.tracer != nullptr) {
+    sinks_.tracer->Instant(sensor, "window", "stream.window_close", clock_,
+                           "start=" + std::to_string(kpis.window_start) +
+                               " count=" + std::to_string(kpis.count));
+  }
+  return Status::OK();
+}
+
+Status StreamEngine::Flush() {
+  for (auto& [sensor, state] : sensors_) {
+    while (!state.open_windows.empty()) {
+      SIDQ_RETURN_IF_ERROR(
+          CloseWindow(sensor, state.open_windows.begin()->first, &state));
+    }
+  }
+  return Status::OK();
+}
+
+StreamOutput StreamEngine::TakeOutput() {
+  StreamOutput out;
+  out.cleaned = StDataset(field_name_);
+  out.ingested = ingested_;
+  for (auto& [sensor, state] : sensors_) {
+    if (!state.cleaned.empty()) {
+      StSeries series(sensor, state.cleaned.front().loc);
+      series.mutable_records() = std::move(state.cleaned);
+      out.cleaned.AddSeries(std::move(series));
+    }
+    SensorSummary summary;
+    summary.sensor = sensor;
+    summary.admitted = state.admitted;
+    summary.quarantined = state.quarantined;
+    summary.windows_closed = state.windows_closed;
+    summary.watermark = filter_.Watermark(sensor);
+    out.sensors.push_back(summary);
+  }
+  out.ledger = std::move(ledger_);
+  out.kpis = std::move(kpis_);
+  out.alerts = std::move(alerts_);
+  out.Canonicalize();
+  return out;
+}
+
+Status ReplayInto(StreamEngine* engine, const EventLog& log) {
+  engine->set_field_name(log.field_name);
+  for (const StreamEvent& ev : log.events) {
+    SIDQ_RETURN_IF_ERROR(engine->Push(ev));
+  }
+  return engine->Flush();
+}
+
+}  // namespace stream
+}  // namespace sidq

@@ -1,0 +1,169 @@
+#include "stream/event_log.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "obs/export.h"
+
+namespace sidq {
+namespace stream {
+
+namespace {
+
+// Value key with a total order (NaN sorts last), so the comparator stays a
+// strict weak ordering even for garbage measurements.
+double OrderableValue(double v) {
+  return std::isnan(v) ? std::numeric_limits<double>::infinity() : v;
+}
+
+// Arrival-time ties break on measurement identity, never on the transient
+// order RecordArrivals generated candidates in: the log is a pure function
+// of (data, options, seed).
+bool ArrivalLess(const StreamEvent& a, const StreamEvent& b) {
+  const double av = OrderableValue(a.record.value);
+  const double bv = OrderableValue(b.record.value);
+  return std::tie(a.arrival_ms, a.record.sensor, a.record.t, av) <
+         std::tie(b.arrival_ms, b.record.sensor, b.record.t, bv);
+}
+
+}  // namespace
+
+EventLog RecordArrivals(const StDataset& data, const ArrivalOptions& options,
+                        Rng* rng) {
+  EventLog log;
+  log.field_name = data.field_name();
+  for (const StSeries& series : data.series()) {
+    for (const StRecord& rec : series.records()) {
+      StreamEvent ev;
+      ev.record = rec;
+      double delay = 0.0;
+      if (rng != nullptr && options.mean_delay_ms > 0.0) {
+        delay = rng->Exponential(1.0 / options.mean_delay_ms);
+        if (options.straggler_probability > 0.0 &&
+            rng->Bernoulli(options.straggler_probability)) {
+          delay += rng->Uniform(0.0, options.straggler_delay_ms);
+        }
+      }
+      ev.arrival_ms = rec.t + static_cast<Timestamp>(delay);
+      const bool duplicated =
+          rng != nullptr && options.duplicate_probability > 0.0 &&
+          rng->Bernoulli(options.duplicate_probability);
+      log.events.push_back(ev);
+      if (duplicated) {
+        StreamEvent dup = ev;
+        dup.arrival_ms +=
+            static_cast<Timestamp>(rng->Uniform(1.0, options.duplicate_delay_ms));
+        log.events.push_back(dup);
+      }
+    }
+  }
+  std::stable_sort(log.events.begin(), log.events.end(), ArrivalLess);
+  for (size_t i = 0; i < log.events.size(); ++i) {
+    log.events[i].seq = static_cast<uint64_t>(i);
+  }
+  return log;
+}
+
+Status WriteEventLogFile(const EventLog& log, const std::string& path) {
+  std::ostringstream out;
+  out << "# sidq-event-log v1 field=" << log.field_name << "\n";
+  for (const StreamEvent& ev : log.events) {
+    out << ev.seq << ' ' << ev.record.sensor << ' ' << ev.record.t << ' '
+        << obs::internal_json::FormatDouble(ev.record.loc.x) << ' '
+        << obs::internal_json::FormatDouble(ev.record.loc.y) << ' '
+        << obs::internal_json::FormatDouble(ev.record.value) << ' '
+        << obs::internal_json::FormatDouble(ev.record.stddev) << ' '
+        << ev.arrival_ms << "\n";
+  }
+  return obs::WriteTextFile(path, out.str());
+}
+
+StatusOr<EventLog> ReadEventLogFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open event log: " + path);
+  }
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::InvalidArgument("empty event log: " + path);
+  }
+  const std::string prefix = "# sidq-event-log v1 field=";
+  if (header.rfind(prefix, 0) != 0) {
+    return Status::InvalidArgument("bad event-log header: " + header);
+  }
+  EventLog log;
+  log.field_name = header.substr(prefix.size());
+  std::string line;
+  size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    // Tokenize, then convert doubles with strtod: istream's num_get never
+    // accepts "nan"/"inf", but garbage measurements are exactly what event
+    // logs exist to carry, so the codec must round-trip them.
+    std::istringstream fields(line);
+    std::string tok[8];
+    for (std::string& t : tok) {
+      if (!(fields >> t)) {
+        return Status::InvalidArgument("bad event-log line " +
+                                       std::to_string(lineno) + ": " + line);
+      }
+    }
+    std::string extra;
+    if (fields >> extra) {
+      return Status::InvalidArgument("trailing fields on event-log line " +
+                                     std::to_string(lineno));
+    }
+    StreamEvent ev;
+    bool ok = true;
+    auto to_u64 = [&ok](const std::string& s) -> uint64_t {
+      char* end = nullptr;
+      const uint64_t v = std::strtoull(s.c_str(), &end, 10);
+      ok = ok && end != s.c_str() && *end == '\0';
+      return v;
+    };
+    auto to_i64 = [&ok](const std::string& s) -> int64_t {
+      char* end = nullptr;
+      const int64_t v = std::strtoll(s.c_str(), &end, 10);
+      ok = ok && end != s.c_str() && *end == '\0';
+      return v;
+    };
+    auto to_double = [&ok](const std::string& s) -> double {
+      char* end = nullptr;
+      const double v = std::strtod(s.c_str(), &end);
+      ok = ok && end != s.c_str() && *end == '\0';
+      return v;
+    };
+    ev.seq = to_u64(tok[0]);
+    ev.record.sensor = to_u64(tok[1]);
+    ev.record.t = to_i64(tok[2]);
+    ev.record.loc.x = to_double(tok[3]);
+    ev.record.loc.y = to_double(tok[4]);
+    ev.record.value = to_double(tok[5]);
+    ev.record.stddev = to_double(tok[6]);
+    ev.arrival_ms = to_i64(tok[7]);
+    if (!ok) {
+      return Status::InvalidArgument("bad event-log line " +
+                                     std::to_string(lineno) + ": " + line);
+    }
+    log.events.push_back(ev);
+  }
+  for (size_t i = 0; i < log.events.size(); ++i) {
+    if (log.events[i].seq != i) {
+      return Status::InvalidArgument("event log seq gap at index " +
+                                     std::to_string(i));
+    }
+  }
+  return log;
+}
+
+}  // namespace stream
+}  // namespace sidq

@@ -1,0 +1,124 @@
+#include "stream/replay.h"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "obs/trace.h"
+
+namespace sidq {
+namespace stream {
+
+StatusOr<StreamOutput> Replay(const EventLog& log, const StreamConfig& config,
+                              const ReplayOptions& options) {
+  const int threads = std::max(1, options.num_threads);
+  obs::TraceSpan replay_span;
+  if (options.sinks.tracer != nullptr) {
+    replay_span = obs::TraceSpan(options.sinks.tracer, options.clock,
+                                 obs::kProcessKey, "stream.replay", "stream");
+    replay_span.set_note("threads=" + std::to_string(threads) +
+                         " events=" + std::to_string(log.size()));
+  }
+  if (threads == 1) {
+    StreamEngine engine(config, options.sinks, options.clock, options.ctx);
+    SIDQ_RETURN_IF_ERROR(ReplayInto(&engine, log));
+    return engine.TakeOutput();
+  }
+
+  // Shard by sensor: each sub-log keeps arrival order (ascending seq), and
+  // every decision the engine makes is per-sensor, so shard outputs are
+  // the serial outputs of their sensors.
+  std::vector<EventLog> shards(static_cast<size_t>(threads));
+  for (EventLog& shard : shards) shard.field_name = log.field_name;
+  for (const StreamEvent& ev : log.events) {
+    shards[ev.record.sensor % static_cast<uint64_t>(threads)].events.push_back(
+        ev);
+  }
+
+  exec::ThreadPool pool(static_cast<size_t>(threads), options.sinks.metrics);
+  std::vector<std::future<StatusOr<StreamOutput>>> futures;
+  futures.reserve(shards.size());
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const EventLog& shard = shards[i];
+    futures.push_back(
+        pool.Submit([&config, &options, &shard]() -> StatusOr<StreamOutput> {
+          StreamEngine engine(config, options.sinks, options.clock,
+                              options.ctx);
+          SIDQ_RETURN_IF_ERROR(ReplayInto(&engine, shard));
+          return engine.TakeOutput();
+        }));
+  }
+
+  StreamOutput merged;
+  merged.cleaned = StDataset(log.field_name);
+  Status failure = Status::OK();
+  for (std::future<StatusOr<StreamOutput>>& f : futures) {
+    StatusOr<StreamOutput> shard_output = f.get();
+    if (!shard_output.ok()) {
+      failure = shard_output.status();
+      continue;  // drain every future before reporting
+    }
+    merged.Merge(std::move(shard_output).value());
+  }
+  SIDQ_RETURN_IF_ERROR(failure);
+  merged.Canonicalize();
+  return merged;
+}
+
+StreamOutput BatchReference(const EventLog& log, const StreamConfig& config) {
+  AdmissionFilter filter(&config.rules, config.window_ms,
+                         config.window_capacity);
+  StreamOutput out;
+  out.cleaned = StDataset(log.field_name);
+  out.ingested = static_cast<int64_t>(log.size());
+
+  std::map<SensorId, std::map<int64_t, std::vector<StreamEvent>>> admitted;
+  std::map<SensorId, SensorSummary> summaries;
+  for (const StreamEvent& ev : log.events) {
+    SensorSummary& summary = summaries[ev.record.sensor];
+    summary.sensor = ev.record.sensor;
+    const AdmissionDecision d = filter.Observe(ev);
+    if (!d.admitted) {
+      out.ledger.Add(ev.seq, ev.record, d.reason);
+      ++summary.quarantined;
+      continue;
+    }
+    admitted[ev.record.sensor][d.window_index].push_back(ev);
+    ++summary.admitted;
+  }
+
+  for (auto& [sensor, windows] : admitted) {
+    SensorPipeline pipeline(config.kalman, config.robust_z, config.drift);
+    std::vector<StRecord> cleaned;
+    const SensorRule* rule = config.rules.Find(sensor);
+    SensorSummary& summary = summaries[sensor];
+    for (auto& [window_index, events] : windows) {
+      const int64_t dups = filter.ReleaseWindow(sensor, window_index);
+      const WindowKpis kpis = ProcessWindow(
+          sensor, window_index, config.window_ms, std::move(events), dups,
+          *rule, config.thresholds, &pipeline, &cleaned, &out.ledger,
+          &out.alerts);
+      out.kpis.push_back(kpis);
+      summary.quarantined += kpis.outliers;
+      ++summary.windows_closed;
+    }
+    if (!cleaned.empty()) {
+      StSeries series(sensor, cleaned.front().loc);
+      series.mutable_records() = std::move(cleaned);
+      out.cleaned.AddSeries(std::move(series));
+    }
+  }
+  for (auto& [sensor, summary] : summaries) {
+    summary.watermark = filter.Watermark(sensor);
+    out.sensors.push_back(summary);
+  }
+  out.Canonicalize();
+  return out;
+}
+
+}  // namespace stream
+}  // namespace sidq

@@ -1,0 +1,96 @@
+#include "stream/rules.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sidq {
+namespace stream {
+
+namespace {
+
+Status ParseClauses(std::istringstream& fields, size_t lineno,
+                    SensorRule* rule) {
+  std::string token;
+  while (fields >> token) {
+    if (token == "range") {
+      if (!(fields >> rule->min_value >> rule->max_value)) {
+        return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                       ": range wants <min> <max>");
+      }
+      if (!(rule->min_value < rule->max_value)) {
+        return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                       ": range min must be < max");
+      }
+    } else if (token == "interval") {
+      if (!(fields >> rule->expected_interval_ms) ||
+          rule->expected_interval_ms <= 0) {
+        return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                       ": interval wants a positive ms count");
+      }
+    } else if (token == "lateness") {
+      if (!(fields >> rule->max_lateness_ms) || rule->max_lateness_ms < 0) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(lineno) +
+            ": lateness wants a non-negative ms count");
+      }
+    } else if (token == "rate") {
+      if (!(fields >> rule->max_rate_per_s) || rule->max_rate_per_s <= 0) {
+        return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                       ": rate wants a positive per-second "
+                                       "bound");
+      }
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                     ": unknown clause '" + token + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<RuleSet> ParseRuleSet(const std::string& text) {
+  RuleSet rules;
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string subject;
+    if (!(fields >> subject)) continue;  // blank / comment-only line
+    if (subject == "default") {
+      SensorRule rule = rules.default_rule();
+      SIDQ_RETURN_IF_ERROR(ParseClauses(fields, lineno, &rule));
+      rules.set_default_rule(rule);
+    } else if (subject == "sensor") {
+      SensorId sensor = kInvalidSensorId;
+      if (!(fields >> sensor)) {
+        return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                       ": sensor wants an id");
+      }
+      SensorRule rule = rules.default_rule();
+      SIDQ_RETURN_IF_ERROR(ParseClauses(fields, lineno, &rule));
+      rules.AddRule(sensor, rule);
+    } else if (subject == "unknown-sensors") {
+      std::string policy;
+      if (!(fields >> policy) ||
+          (policy != "quarantine" && policy != "admit")) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(lineno) +
+            ": unknown-sensors wants quarantine|admit");
+      }
+      rules.set_quarantine_unknown(policy == "quarantine");
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                     ": unknown subject '" + subject + "'");
+    }
+  }
+  return rules;
+}
+
+}  // namespace stream
+}  // namespace sidq

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/status.h"
+#include "core/statusor.h"
+#include "core/types.h"
+
+namespace sidq {
+namespace stream {
+
+// Declarative per-sensor data-quality contract, the `dq_rules` shape of the
+// config-driven DQ frameworks the paper surveys: what a healthy record from
+// this sensor looks like (admissible value range), how often it should
+// report (expected interval -> windowed completeness), how far out of order
+// its records may arrive (max lateness -> the sensor's watermark lag), and
+// how fast its value may physically change (rate -> consistency KPI).
+struct SensorRule {
+  double min_value = -1e30;
+  double max_value = 1e30;
+  // Expected reporting interval; drives the per-window completeness KPI.
+  Timestamp expected_interval_ms = 60'000;
+  // Watermark lag: a record whose event time is at or before
+  // (max event time seen - max_lateness_ms) is quarantined as late.
+  Timestamp max_lateness_ms = 120'000;
+  // Max credible |dvalue/dt| in value units per second; consecutive pairs
+  // beyond it count as consistency violations in the window KPIs.
+  double max_rate_per_s = 1e30;
+};
+
+// Rule lookup: per-sensor overrides over one default rule, plus the policy
+// for sensors no rule mentions (admit under the default rule, or
+// quarantine as unknown -- the strict mode for closed fleets).
+class RuleSet {
+ public:
+  RuleSet() = default;
+
+  void set_default_rule(const SensorRule& rule) { default_rule_ = rule; }
+  const SensorRule& default_rule() const { return default_rule_; }
+
+  void set_quarantine_unknown(bool strict) { quarantine_unknown_ = strict; }
+  [[nodiscard]] bool quarantine_unknown() const { return quarantine_unknown_; }
+
+  void AddRule(SensorId sensor, const SensorRule& rule) {
+    per_sensor_[sensor] = rule;
+  }
+  [[nodiscard]] size_t num_sensor_rules() const { return per_sensor_.size(); }
+
+  // The rule governing `sensor`, or nullptr when the sensor is unknown and
+  // the set quarantines unknowns.
+  [[nodiscard]] const SensorRule* Find(SensorId sensor) const {
+    auto it = per_sensor_.find(sensor);
+    if (it != per_sensor_.end()) return &it->second;
+    return quarantine_unknown_ ? nullptr : &default_rule_;
+  }
+
+ private:
+  SensorRule default_rule_;
+  bool quarantine_unknown_ = false;
+  std::map<SensorId, SensorRule> per_sensor_;
+};
+
+// Parses the declarative rule config. Line-oriented; '#' starts a comment.
+//
+//   default  range <min> <max> interval <ms> lateness <ms> [rate <per_s>]
+//   sensor <id> range <min> <max> interval <ms> lateness <ms> [rate <per_s>]
+//   unknown-sensors quarantine|admit
+//
+// Every clause is optional and order-free after the subject; unspecified
+// fields keep the SensorRule defaults. Unknown tokens fail loudly.
+[[nodiscard]] StatusOr<RuleSet> ParseRuleSet(const std::string& text);
+
+}  // namespace stream
+}  // namespace sidq
