@@ -20,7 +20,12 @@
 //                kernels::PackedRTree vs. per-query
 //                index::RTree::RangeQuery
 //
-// Pass --quick to cut repetitions (CI smoke).
+// Pass --quick to cut repetitions (CI smoke). Pass --checksums-out FILE to
+// additionally write one "<primitive> <checksum>" line per primitive:
+// run_all.sh and CI byte-compare (cmp) that file between a dispatched run
+// and a SIDQ_FORCE_ISA=scalar run -- the runtime-dispatch analogue of the
+// in-process scalar-vs-kernel gate. The BENCH_JSON line records which ISA
+// tier the dispatcher resolved ("isa").
 
 #include <algorithm>
 #include <chrono>
@@ -34,6 +39,7 @@
 #include "core/random.h"
 #include "core/trajectory.h"
 #include "index/rtree.h"
+#include "kernels/dispatch.h"
 #include "kernels/distance.h"
 #include "kernels/packed_rtree.h"
 #include "kernels/scalar_ref.h"
@@ -280,8 +286,11 @@ int main(int argc, char** argv) {
   using namespace sidq;
 
   bool quick = false;
+  std::string checksums_out;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") quick = true;
+    const std::string arg(argv[i]);
+    if (arg == "--quick") quick = true;
+    if (arg == "--checksums-out" && i + 1 < argc) checksums_out = argv[++i];
   }
 
   bench::Banner("BENCH kernels", "columnar kernels vs scalar reference",
@@ -289,9 +298,11 @@ int main(int argc, char** argv) {
                 "hardware-friendly similarity/index primitives; the "
                 "columnar fast lane must change performance, not results");
 
+  const char* isa = kernels::IsaName(kernels::KernelDispatch::Active());
   const auto fleet = MakeFleet();
-  std::printf("fleet: %zu trajectories x %zu points%s\n\n", fleet.size(),
-              static_cast<size_t>(kPointsEach), quick ? " (--quick)" : "");
+  std::printf("fleet: %zu trajectories x %zu points, isa: %s%s\n\n",
+              fleet.size(), static_cast<size_t>(kPointsEach), isa,
+              quick ? " (--quick)" : "");
 
   // Materialize every trajectory's column view up front. Views are
   // memoized on the trajectory in production, so timing the one-time
@@ -325,11 +336,26 @@ int main(int argc, char** argv) {
   }
   std::printf("equivalence: all kernel outputs bit-identical to scalar\n\n");
 
+  if (!checksums_out.empty()) {
+    // One "<primitive> <checksum>" line per primitive: the byte-compare
+    // surface for the forced-scalar vs dispatched gate.
+    std::FILE* f = std::fopen(checksums_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", checksums_out.c_str());
+      return 1;
+    }
+    for (const PrimitiveResult& r : results) {
+      std::fprintf(f, "%s %016llx\n", r.name,
+                   static_cast<unsigned long long>(r.checksum));
+    }
+    std::fclose(f);
+  }
+
   std::printf(
       "BENCH_JSON: {\"bench\":\"kernels\",\"fleet_size\":%zu,"
-      "\"points_per_trajectory\":%zu,\"equivalence\":\"bit-identical\","
-      "\"primitives\":%s}\n",
-      fleet.size(), static_cast<size_t>(kPointsEach),
+      "\"points_per_trajectory\":%zu,\"isa\":\"%s\","
+      "\"equivalence\":\"bit-identical\",\"primitives\":%s}\n",
+      fleet.size(), static_cast<size_t>(kPointsEach), isa,
       JsonResults(results).c_str());
   return 0;
 }

@@ -21,8 +21,20 @@ machine-dependent, so CI compares a fresh run against the committed
 artifact with --ratios-only and a loose tolerance; nightly same-machine
 runs can compare everything.
 
+Independent of the baseline comparison, ABSOLUTE per-primitive speedup
+floors are enforced on kernel-bench rows shaped
+{"primitive": <name>, "speedup": <x>}: the dispatched kernel layer must
+beat the scalar reference by at least SPEEDUP_FLOORS[name]. Floors always
+bind on the BASELINE document -- the committed artifact is a full
+same-machine run, so a below-floor artifact can never land, and the gate
+cannot be ratcheted away by a slowly regressing baseline. The NEW
+document is additionally floor-checked in full mode only: under
+--ratios-only the fresh run is a --quick smoke (2 rounds, cold caches)
+whose speedups are structurally below steady state. A small measurement
+grace (--floor-grace, default 5%) absorbs same-machine timing noise.
+
 Usage: scripts/bench_compare.py BASELINE.json NEW.json [--tolerance F]
-       [--ratios-only]
+       [--ratios-only] [--floor-grace F]
 
 Exit codes: 0 ok; 1 regression(s); 2 usage/IO.
 """
@@ -38,6 +50,20 @@ RATIO_KEYS = {"speedup", "traj_per_s"}
 SLOWDOWN_KEYS = {"obs_slowdown"}
 # Run metadata that legitimately differs between two recordings.
 SKIP_KEYS = {"recorded_utc"}
+
+# Absolute speedup floors per kernel primitive (dispatched kernel vs the
+# scalar reference, same machine, same run). pairwise and packed_range are
+# the vectorization/batching headline wins. dtw_row is bounded by a
+# loop-carried DP recurrence, so its floor is parity -- the kernel lane may
+# never be SLOWER than the scalar one it replaced. frechet_row runs the
+# anti-diagonal wavefront (frechet_full), which breaks that recurrence;
+# its floor catches a silent fallback to the row-serial form (~1.0x).
+SPEEDUP_FLOORS = {
+    "pairwise": 3.5,
+    "packed_range": 2.5,
+    "dtw_row": 1.0,
+    "frechet_row": 1.3,
+}
 
 
 def walk(base, new, path, metrics, drift):
@@ -65,6 +91,28 @@ def walk(base, new, path, metrics, drift):
             metrics.append((path, key, float(base), float(new)))
 
 
+def floor_violations(doc, grace, out, path=""):
+    """Collects kernel-bench primitive rows below their absolute speedup
+    floor. Walks the whole document so the floors hold wherever the rows
+    are nested (top-level artifact or an --attach'ed sub-document)."""
+    if isinstance(doc, dict):
+        name = doc.get("primitive")
+        speedup = doc.get("speedup")
+        if name in SPEEDUP_FLOORS and isinstance(speedup, (int, float)):
+            floor = SPEEDUP_FLOORS[name]
+            if float(speedup) < floor * (1.0 - grace):
+                out.append(
+                    f"{path or name}: primitive '{name}' speedup "
+                    f"{float(speedup):g} below floor {floor:g} "
+                    f"(grace {grace * 100.0:.0f}%)")
+        for key, val in sorted(doc.items()):
+            floor_violations(val, grace, out,
+                             f"{path}.{key}" if path else key)
+    elif isinstance(doc, list):
+        for i, item in enumerate(doc):
+            floor_violations(item, grace, out, f"{path}[{i}]")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="recorded baseline BENCH_*.json")
@@ -75,6 +123,9 @@ def main():
                         help="compare only ratio/slowdown metrics "
                         "(speedup, traj_per_s, obs_slowdown); use when "
                         "machines differ")
+    parser.add_argument("--floor-grace", type=float, default=0.05,
+                        help="fractional grace below the absolute "
+                        "per-primitive speedup floors (default 0.05)")
     args = parser.parse_args()
 
     docs = []
@@ -113,17 +164,25 @@ def main():
                 f"({change * 100.0:+.1f}% worse, tolerance "
                 f"{args.tolerance * 100.0:.0f}%)")
 
-    if regressions:
+    floors = []
+    floor_violations(docs[0], args.floor_grace, floors, "baseline")
+    if not args.ratios_only:
+        floor_violations(docs[1], args.floor_grace, floors, "new")
+
+    if regressions or floors:
         for line in regressions:
             print(f"bench_compare: REGRESSION {line}", file=sys.stderr)
-        print(f"bench_compare: {len(regressions)} regression(s) across "
+        for line in floors:
+            print(f"bench_compare: FLOOR {line}", file=sys.stderr)
+        print(f"bench_compare: {len(regressions)} regression(s), "
+              f"{len(floors)} floor violation(s) across "
               f"{checked} metric(s)", file=sys.stderr)
         return 1
     if checked == 0:
         print("bench_compare: no comparable metrics found", file=sys.stderr)
         return 1
     print(f"bench_compare: OK ({checked} metric(s) within "
-          f"{args.tolerance * 100.0:.0f}%)")
+          f"{args.tolerance * 100.0:.0f}%; speedup floors hold)")
     return 0
 
 

@@ -82,6 +82,19 @@ python3 scripts/bench_json.py --out BENCH_exec.json \
   --attach obs_metrics="${obs_tmp}/bench_metrics.json" \
   build/bench/bench_exec_fleet --metrics-out "${obs_tmp}/bench_metrics.json"
 
+# Kernel dispatch gate: the runtime-dispatched tiers (whatever this CPU
+# offers) and the forced-scalar reference tier must produce byte-identical
+# per-primitive checksums. cmp, not a parser: the contract is bytes.
+build/bench/bench_kernels --quick \
+  --checksums-out "${obs_tmp}/ck_dispatch.txt" > /dev/null
+SIDQ_FORCE_ISA=scalar build/bench/bench_kernels --quick \
+  --checksums-out "${obs_tmp}/ck_scalar.txt" > /dev/null
+cmp "${obs_tmp}/ck_dispatch.txt" "${obs_tmp}/ck_scalar.txt" || {
+  echo "FAILED: dispatched kernel checksums differ from forced-scalar" >&2
+  exit 1
+}
+echo "kernel dispatch gate: OK"
+
 # Refresh the columnar-kernel perf artifact (the bench itself enforces the
 # kernel-vs-scalar bit-identity gate and exits nonzero on any mismatch).
 python3 scripts/bench_json.py --out BENCH_kernels.json build/bench/bench_kernels

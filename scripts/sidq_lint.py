@@ -74,6 +74,17 @@ Rules
                          via core/clock.h); a wall-clock reading would make
                          lateness depend on arrival wall time and break the
                          stream-vs-batch replay contract. No suppression.
+  R14 hotloop-heap-alloc heap allocation inside a loop in src/kernels/:
+                         `new`/`delete`, `malloc`/`free` and friends, or
+                         `push_back`/`emplace_back` onto a container with
+                         no `reserve` evidence in the same file. Kernel
+                         hot-loop scratch comes from the arena
+                         (core/arena.h ArenaScope / ArenaVec -- ArenaVec
+                         growth is arena-backed and exempt); an allocator
+                         round trip per iteration is exactly what the
+                         arena exists to remove. Justified cold paths
+                         (e.g. bulk-load construction) annotate with
+                         `// sidq: allow-hotloop-heap-alloc(<reason>)`.
 
 Suppression syntax
 ------------------
@@ -142,6 +153,7 @@ RULES = {
     "R11": "unordered-iter",
     "R12": "guarded-by-unknown-lock",
     "R13": "stream-wallclock-watermark",
+    "R14": "hotloop-heap-alloc",
     "S1": "legacy-suppression",
     "S2": "unknown-suppression",
     "S3": "missing-reason",
@@ -152,6 +164,7 @@ SLUG_TO_RULE = {v: k for k, v in RULES.items()}
 SUPPRESSIBLE = {
     "ignored-status", "stray-thread", "scalar-haversine", "wallclock",
     "raw-mutex", "unordered-iter", "guarded-by-unknown-lock",
+    "hotloop-heap-alloc",
 }
 LEGACY_SPELLINGS = {
     "ignore-status": "allow-ignored-status",
@@ -201,6 +214,22 @@ STREAM_SCOPED = re.compile(r"(^|/)src/stream/")
 STREAM_CLOCK_RE = re.compile(
     r"\bstd::chrono::(?:steady_clock|high_resolution_clock|system_clock)\b"
     r"|\bSteadyClock\b")
+
+# R14 scope: the kernel layer's hot loops. Kernel scratch comes from the
+# bump arena (core/arena.h); a heap allocation inside a kernel loop is an
+# allocator round trip per iteration. ArenaVec (arena-backed growth) and
+# vectors with `reserve` evidence in the same file are the sanctioned
+# growth paths.
+KERNEL_HOT_SCOPED = re.compile(r"(^|/)src/kernels/")
+HEAP_CALL_RE = re.compile(r"\b(?:malloc|calloc|realloc|free)\s*\(")
+PUSH_BACK_RE = re.compile(
+    r"((?:[A-Za-z_]\w*\s*(?:\.|->)\s*)*[A-Za-z_]\w*)\s*(?:\.|->)\s*"
+    r"(?:push_back|emplace_back)\s*\(")
+RESERVE_CALL_RE = re.compile(
+    r"((?:[A-Za-z_]\w*\s*(?:\.|->)\s*)*[A-Za-z_]\w*)\s*(?:\.|->)\s*"
+    r"reserve\s*\(")
+ARENA_VEC_DECL_RE = re.compile(
+    r"\bArenaVec<[^;{}]*?>\s*[*&]?\s*([A-Za-z_]\w*)")
 
 # R11 scope: layers whose iteration order can reach snapshots, exports,
 # serialized traces or query/analytics results.
@@ -427,6 +456,19 @@ def run_line_rules(ctx):
 
     haversine_scoped = bool(HAVERSINE_SCOPED.search(rel))
     raw_mutex_exempt = rel == RAW_MUTEX_ALLOWED_FILE
+    kernel_hot_scoped = bool(KERNEL_HOT_SCOPED.search(rel))
+    # R14 pre-scan: ArenaVec-declared names grow out of the arena, and any
+    # receiver chain with a `reserve` call somewhere in the file is treated
+    # as capacity-managed (the reserve conventionally precedes the loop).
+    arena_vec_names = set()
+    reserved_chains = set()
+    if kernel_hot_scoped:
+        all_code = "\n".join(ctx.code_lines)
+        for m in ARENA_VEC_DECL_RE.finditer(all_code):
+            arena_vec_names.add(m.group(1))
+        for m in RESERVE_CALL_RE.finditer(all_code):
+            reserved_chains.add(
+                re.sub(r"\s+", "", m.group(1)).replace("->", "."))
     depth = 0
     loop_depths = []
 
@@ -514,6 +556,33 @@ def run_line_rules(ctx):
                         "(src/core/mutex.h) so -Wthread-safety sees the "
                         "capability, or annotate with "
                         "'// sidq: allow-raw-mutex(<reason>)'")
+
+        # R14: heap allocation inside a kernel-layer hot loop. Scratch
+        # belongs in the arena; the sanctioned growth paths are ArenaVec
+        # and vectors reserved before the loop.
+        if kernel_hot_scoped and (bool(loop_depths)
+                                  or LOOP_HEADER_RE.search(code)):
+            if not ctx.suppressed(lineno, "hotloop-heap-alloc"):
+                hit = bool(HEAP_CALL_RE.search(code))
+                hit = hit or bool(NEW_RE.search(code)) or bool(
+                    DELETE_RE.search(re.sub(r"=\s*delete", "", code)))
+                if not hit:
+                    for m in PUSH_BACK_RE.finditer(code):
+                        chain = re.sub(r"\s+", "",
+                                       m.group(1)).replace("->", ".")
+                        if chain in arena_vec_names:
+                            continue
+                        if chain in reserved_chains:
+                            continue
+                        hit = True
+                        break
+                if hit:
+                    ctx.add(lineno, "R14",
+                            "heap allocation in a kernel hot loop; draw "
+                            "scratch from the arena (core/arena.h "
+                            "ArenaScope / ArenaVec), reserve before the "
+                            "loop, or annotate with "
+                            "'// sidq: allow-hotloop-heap-alloc(<reason>)'")
 
         # Loop/brace tracking AFTER checking the line, so a loop header
         # and its body both count as inside the loop.

@@ -1,0 +1,242 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace sidq {
+
+// Bump allocator for per-stage scratch memory (DP rows, SoA temporaries,
+// R-tree traversal state). The kernel hot paths allocate short-lived arrays
+// thousands of times per fleet run; going through the heap for each one
+// costs an allocator round trip and scatters the working set. An Arena
+// hands out 64-byte-aligned slices of a few large blocks with a pointer
+// bump, and a whole stage's scratch is released in O(1) by rewinding to a
+// mark.
+//
+// Contracts:
+//   - Every allocation is aligned to kAlignment (64 B: cache line and the
+//     widest vector the kernels dispatch to), so arena-backed columns are
+//     valid SIMD targets.
+//   - Memory is NOT initialized and NO destructors run: only trivially
+//     destructible element types are accepted by AllocArray.
+//   - Rewind(mark) releases everything allocated after mark() was taken;
+//     blocks are retained for reuse, so steady-state operation performs
+//     zero heap traffic ("reset-reuse").
+//   - A request larger than the next block size gets a dedicated block of
+//     exactly the requested size (the oversize-fallback path); it is
+//     reused like any other block after a rewind.
+//   - Not thread-safe. Use one Arena per thread; ScratchArena() below
+//     hands out a thread-local one.
+class Arena {
+ public:
+  static constexpr size_t kAlignment = 64;
+  static constexpr size_t kDefaultFirstBlockBytes = size_t{1} << 16;  // 64 KiB
+  static constexpr size_t kMaxBlockBytes = size_t{8} << 20;           // 8 MiB
+
+  // Opaque rewind token: a position in the block sequence.
+  struct Mark {
+    size_t block = 0;
+    size_t offset = 0;
+  };
+
+  explicit Arena(size_t first_block_bytes = kDefaultFirstBlockBytes)
+      : first_block_bytes_(RoundUp(std::max<size_t>(first_block_bytes, 1))) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    for (Block& b : blocks_) {
+      ::operator delete(b.data, std::align_val_t{kAlignment});
+    }
+  }
+
+  // Aligned, uninitialized storage. A zero-byte request returns the
+  // current (aligned, valid) bump pointer without consuming space.
+  void* AllocBytes(size_t bytes) {
+    const size_t need = RoundUp(bytes);
+    while (true) {
+      if (cur_ < blocks_.size()) {
+        Block& b = blocks_[cur_];
+        if (b.size - offset_ >= need) {
+          void* p = b.data + offset_;
+          offset_ += need;
+          return p;
+        }
+        // Look ahead: a block retained from an earlier high-water phase
+        // (or an oversize block) may already fit.
+        size_t next = cur_ + 1;
+        while (next < blocks_.size() && blocks_[next].size < need) ++next;
+        if (next < blocks_.size()) {
+          // Blocks between cur_ and next stay unused until the next
+          // rewind; marks remain ordered because block index increases.
+          cur_ = next;
+          offset_ = need;
+          return blocks_[next].data;
+        }
+      }
+      AppendBlock(need);
+    }
+  }
+
+  // Typed uninitialized array of `count` elements.
+  template <typename T>
+  T* AllocArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    SIDQ_CHECK(count <= (~size_t{0}) / sizeof(T)) << "arena size overflow";
+    return static_cast<T*>(AllocBytes(count * sizeof(T)));
+  }
+
+  [[nodiscard]] Mark mark() const { return Mark{cur_, offset_}; }
+
+  // Releases everything allocated since `m` was taken. Blocks are kept.
+  void Rewind(Mark m) {
+    SIDQ_CHECK(m.block < blocks_.size() || (m.block == 0 && m.offset == 0))
+        << "rewind past the arena";
+    cur_ = m.block;
+    offset_ = m.offset;
+  }
+
+  void Reset() { Rewind(Mark{0, 0}); }
+
+  // Introspection for tests and capacity audits.
+  [[nodiscard]] size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] size_t capacity_bytes() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+  [[nodiscard]] size_t used_bytes() const {
+    size_t total = 0;
+    for (size_t i = 0; i < cur_ && i < blocks_.size(); ++i) {
+      total += blocks_[i].size;
+    }
+    return total + offset_;
+  }
+
+ private:
+  struct Block {
+    std::byte* data = nullptr;
+    size_t size = 0;
+  };
+
+  static constexpr size_t RoundUp(size_t bytes) {
+    return (bytes + (kAlignment - 1)) & ~(kAlignment - 1);
+  }
+
+  void AppendBlock(size_t min_bytes) {
+    size_t grow = blocks_.empty()
+                      ? first_block_bytes_
+                      : std::min(blocks_.back().size * 2, kMaxBlockBytes);
+    // Oversize fallback: a request bigger than the growth schedule gets a
+    // dedicated block of exactly its (rounded) size.
+    const size_t size = std::max(grow, RoundUp(min_bytes));
+    auto* data = static_cast<std::byte*>(
+        ::operator new(size, std::align_val_t{kAlignment}));
+    blocks_.push_back(Block{data, size});
+    cur_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+
+  size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  size_t cur_ = 0;     // block currently bumping
+  size_t offset_ = 0;  // bytes used in blocks_[cur_]
+};
+
+// The per-thread scratch arena the kernel layer and pipeline stages draw
+// from. Each worker thread gets its own instance, so scratch allocation is
+// lock-free and race-free by construction; determinism is unaffected
+// because scratch contents never outlive the stage that wrote them.
+inline Arena* ScratchArena() {
+  thread_local Arena arena(size_t{256} << 10);  // 256 KiB first block
+  return &arena;
+}
+
+// RAII stack discipline over an arena: captures a mark on entry, rewinds
+// on exit (normal or early return). Nested scopes compose like call
+// frames; everything a stage allocates under its scope is gone when the
+// stage returns, which is what keeps the thread-local scratch arena from
+// growing monotonically.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena* arena) : arena_(arena), mark_(arena->mark()) {}
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+  ~ArenaScope() { arena_->Rewind(mark_); }
+
+  [[nodiscard]] Arena* arena() const { return arena_; }
+
+  template <typename T>
+  T* AllocArray(size_t count) {
+    return arena_->AllocArray<T>(count);
+  }
+
+  // Typed array initialized to `value` (the arena itself never zeroes).
+  template <typename T>
+  T* AllocFilled(size_t count, T value) {
+    T* p = arena_->AllocArray<T>(count);
+    std::fill(p, p + count, value);
+    return p;
+  }
+
+ private:
+  Arena* arena_;
+  Arena::Mark mark_;
+};
+
+// Minimal growable array over an arena for trivially copyable elements
+// (traversal stacks, candidate lists). Growth doubles into a fresh arena
+// slice; superseded slices are reclaimed by the enclosing scope's rewind,
+// so the waste is bounded by 2x the peak size and lives only as long as
+// the scope.
+template <typename T>
+class ArenaVec {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  explicit ArenaVec(Arena* arena, size_t initial_capacity = 16)
+      : arena_(arena),
+        data_(arena->AllocArray<T>(initial_capacity)),
+        capacity_(initial_capacity) {}
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) Grow();
+    data_[size_++] = v;
+  }
+  void pop_back() { --size_; }
+  void clear() { size_ = 0; }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+
+ private:
+  void Grow() {
+    const size_t new_cap = capacity_ * 2;
+    T* next = arena_->AllocArray<T>(new_cap);
+    std::memcpy(next, data_, size_ * sizeof(T));
+    data_ = next;
+    capacity_ = new_cap;
+  }
+
+  Arena* arena_;
+  T* data_;
+  size_t size_ = 0;
+  size_t capacity_;
+};
+
+}  // namespace sidq

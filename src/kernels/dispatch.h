@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sidq {
+namespace kernels {
+
+// Runtime ISA dispatch for the kernel layer.
+//
+// Every distance/DP/leaf-scan primitive is compiled four times from one
+// shared implementation (kernel_impl.inc), each translation unit targeting
+// one ISA tier:
+//
+//   scalar   auto-vectorization disabled -- the bit-exactness oracle, the
+//            same compilation mode as the AoS reference in scalar_ref.cc
+//   sse2     the x86-64 baseline (plain build flags; on non-x86 this is
+//            simply the portably auto-vectorized build)
+//   avx2     compiled with -mavx2 when the compiler supports it
+//   avx512   compiled with -mavx512f when the compiler supports it, and
+//            additionally guarded by a CPUID probe at runtime
+//
+// The registry probes the CPU once (GCC/Clang __builtin_cpu_supports) and
+// selects the widest tier that is both compiled in and supported by the
+// host. Because every tier is built with FP contraction off and the
+// primitives avoid reassociating reductions, all tiers produce
+// BIT-IDENTICAL results -- the dispatch choice changes speed, never
+// output. tests/kernels_dispatch_test.cc asserts this checksum equality
+// for every compiled tier, and run_all.sh byte-compares a forced-scalar
+// bench run against the dispatched one.
+//
+// Override: set SIDQ_FORCE_ISA=scalar|sse2|avx2|avx512 in the environment
+// to pin the tier (CI keeps the oracle leg exercised this way). Forcing a
+// tier the host cannot run falls back to the widest available tier at or
+// below the request, with a warning.
+
+enum class Isa : uint8_t {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+inline constexpr int kIsaCount = 4;
+
+const char* IsaName(Isa isa);
+
+// The per-primitive entry points one ISA tier provides. All functions have
+// the exact semantics documented in distance.h / packed_rtree.h; `ops.isa`
+// records which tier the table belongs to.
+struct KernelOps {
+  void (*pairwise_sq_dist)(const double* ax, const double* ay, size_t n,
+                           const double* bx, const double* by, size_t m,
+                           double* out);
+  void (*dist_row)(double qx, double qy, const double* bx, const double* by,
+                   size_t lo, size_t hi, double* out);
+  void (*point_to_many_dist)(double px, double py, const double* xs,
+                             const double* ys, size_t n, double* out);
+  void (*consecutive_dist)(const double* xs, const double* ys, size_t n,
+                           double* out);
+  double (*point_to_polyline_dist)(double px, double py, const double* xs,
+                                   const double* ys, size_t n);
+  void (*dtw_row)(double qx, double qy, const double* bx, const double* by,
+                  size_t m, size_t lo, size_t hi, const double* prev,
+                  double* cur, double* dist_scratch);
+  void (*frechet_row)(double qx, double qy, const double* bx,
+                      const double* by, size_t m, const double* prev,
+                      double* cur, double* dist_scratch);
+  // Full n x m discrete-Frechet DP via an anti-diagonal wavefront (cells
+  // of one anti-diagonal are data-parallel); `scratch` holds 3*m doubles.
+  // Bit-identical to iterating frechet_row over the rows.
+  double (*frechet_full)(const double* ax, const double* ay, size_t n,
+                         const double* bx, const double* by, size_t m,
+                         double* scratch);
+  // Branch-free box-intersection sweep over columnar leaf arrays; writes
+  // the ids of hits to `out` (capacity >= count) and returns the hit
+  // count. The emitted id sequence preserves leaf order for every tier.
+  size_t (*leaf_scan)(const double* min_x, const double* min_y,
+                      const double* max_x, const double* max_y,
+                      const uint64_t* ids, size_t count, double qmin_x,
+                      double qmin_y, double qmax_x, double qmax_y,
+                      uint64_t* out);
+  Isa isa;
+};
+
+class KernelDispatch {
+ public:
+  // The active tier's table, resolved once per process from CPUID and
+  // SIDQ_FORCE_ISA. Thread-safe.
+  static const KernelOps& Get();
+
+  // The tier Get() resolved to.
+  static Isa Active();
+
+  // The table for one specific tier, or nullptr when that tier is not
+  // compiled in or the host CPU cannot run it. For tests: iterating every
+  // non-null table and comparing checksums against Table(Isa::kScalar) is
+  // the dispatch equivalence property.
+  static const KernelOps* Table(Isa isa);
+
+  // Widest tier that is compiled in and CPU-supported.
+  static Isa Best();
+
+  // True when `isa` is compiled in and the host CPU can execute it.
+  static bool Available(Isa isa);
+
+  // Re-reads SIDQ_FORCE_ISA and re-resolves the active tier. Test-only:
+  // production code must treat the dispatch choice as fixed at startup.
+  static void ReinitForTest();
+};
+
+}  // namespace kernels
+}  // namespace sidq

@@ -1,125 +1,59 @@
 #include "kernels/distance.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
+#include "kernels/dispatch.h"
 
 namespace sidq {
 namespace kernels {
 
-namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
-}  // namespace
+// Shims over the runtime-dispatched table. KernelDispatch::Get() resolves
+// once per process (CPUID + SIDQ_FORCE_ISA) and then is a single atomic
+// load, so the indirection adds one predictable call per batch -- noise
+// next to the loops it selects.
 
 void PairwiseSqDist(const double* ax, const double* ay, size_t n,
                     const double* bx, const double* by, size_t m,
                     double* out) {
-  for (size_t i = 0; i < n; ++i) {
-    const double axi = ax[i];
-    const double ayi = ay[i];
-    double* row = out + i * m;
-    for (size_t j = 0; j < m; ++j) {
-      const double dx = axi - bx[j];
-      const double dy = ayi - by[j];
-      row[j] = dx * dx + dy * dy;
-    }
-  }
+  KernelDispatch::Get().pairwise_sq_dist(ax, ay, n, bx, by, m, out);
 }
 
 void DistRow(double qx, double qy, const double* bx, const double* by,
              size_t lo, size_t hi, double* out) {
-  for (size_t j = lo; j < hi; ++j) {
-    const double dx = qx - bx[j];
-    const double dy = qy - by[j];
-    out[j] = std::sqrt(dx * dx + dy * dy);
-  }
+  KernelDispatch::Get().dist_row(qx, qy, bx, by, lo, hi, out);
 }
 
 void PointToManyDist(double px, double py, const double* xs, const double* ys,
                      size_t n, double* out) {
-  for (size_t i = 0; i < n; ++i) {
-    const double dx = xs[i] - px;
-    const double dy = ys[i] - py;
-    out[i] = std::sqrt(dx * dx + dy * dy);
-  }
+  KernelDispatch::Get().point_to_many_dist(px, py, xs, ys, n, out);
 }
 
 void ConsecutiveDist(const double* xs, const double* ys, size_t n,
                      double* out) {
-  if (n < 2) return;
-  for (size_t i = 0; i + 1 < n; ++i) {
-    const double dx = xs[i + 1] - xs[i];
-    const double dy = ys[i + 1] - ys[i];
-    out[i] = std::sqrt(dx * dx + dy * dy);
-  }
+  KernelDispatch::Get().consecutive_dist(xs, ys, n, out);
 }
 
 double PointToPolylineDist(double px, double py, const double* xs,
                            const double* ys, size_t n) {
-  if (n == 0) return kInf;
-  if (n == 1) {
-    const double dx = px - xs[0];
-    const double dy = py - ys[0];
-    return std::sqrt(dx * dx + dy * dy);
-  }
-  // Mirrors geometry::PointSegmentDistance exactly: project onto the
-  // segment, clamp the fraction, Lerp the closest point, then measure
-  // p - closest.
-  double best_sq = kInf;
-  for (size_t i = 0; i + 1 < n; ++i) {
-    const double ax = xs[i];
-    const double ay = ys[i];
-    const double dx = xs[i + 1] - ax;
-    const double dy = ys[i + 1] - ay;
-    const double len_sq = dx * dx + dy * dy;
-    double f = 0.0;
-    if (len_sq > 0.0) {
-      f = ((px - ax) * dx + (py - ay) * dy) / len_sq;
-      f = std::clamp(f, 0.0, 1.0);
-    }
-    const double cx = ax + dx * f;
-    const double cy = ay + dy * f;
-    const double ex = px - cx;
-    const double ey = py - cy;
-    best_sq = std::min(best_sq, ex * ex + ey * ey);
-  }
-  return std::sqrt(best_sq);
+  return KernelDispatch::Get().point_to_polyline_dist(px, py, xs, ys, n);
 }
 
 void DtwRowKernel(double qx, double qy, const double* bx, const double* by,
                   size_t m, size_t lo, size_t hi, const double* prev,
-                  double* cur) {
-  std::fill(cur, cur + m + 1, kInf);
-  if (lo > hi) return;
-  // Single fused pass: cur[j-1] is a loop-carried dependency, so the row
-  // is latency-bound by the min/add chain no matter what; keeping the
-  // sqrt in-loop lets it overlap that chain instead of costing a second
-  // memory sweep (a separate vectorized distance pass measured SLOWER).
-  for (size_t j = lo; j <= hi; ++j) {
-    const double best = std::min({prev[j], prev[j - 1], cur[j - 1]});
-    if (best != kInf) {
-      const double dx = qx - bx[j - 1];
-      const double dy = qy - by[j - 1];
-      cur[j] = std::sqrt(dx * dx + dy * dy) + best;
-    }
-  }
+                  double* cur, double* dist_scratch) {
+  KernelDispatch::Get().dtw_row(qx, qy, bx, by, m, lo, hi, prev, cur,
+                                dist_scratch);
 }
 
 void FrechetRowKernel(double qx, double qy, const double* bx,
                       const double* by, size_t m, const double* prev,
                       double* cur, double* dist_scratch) {
-  // Pass 1 (vectorized): all m point distances.
-  for (size_t j = 0; j < m; ++j) {
-    const double dx = qx - bx[j];
-    const double dy = qy - by[j];
-    dist_scratch[j] = std::sqrt(dx * dx + dy * dy);
-  }
-  // Pass 2 (sequential).
-  cur[0] = std::max(prev[0], dist_scratch[0]);
-  for (size_t j = 1; j < m; ++j) {
-    const double reach = std::min({prev[j], prev[j - 1], cur[j - 1]});
-    cur[j] = std::max(reach, dist_scratch[j]);
-  }
+  KernelDispatch::Get().frechet_row(qx, qy, bx, by, m, prev, cur,
+                                    dist_scratch);
+}
+
+double FrechetFullKernel(const double* ax, const double* ay, size_t n,
+                         const double* bx, const double* by, size_t m,
+                         double* scratch) {
+  return KernelDispatch::Get().frechet_full(ax, ay, n, bx, by, m, scratch);
 }
 
 }  // namespace kernels

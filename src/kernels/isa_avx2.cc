@@ -1,0 +1,27 @@
+// AVX2 tier: this TU is compiled with -mavx2 -mfma when the toolchain
+// accepts those flags (SIDQ_KERNELS_HAVE_AVX2), and the dispatcher only
+// selects it after a CPUID probe. -ffp-contract=off still applies, so FMA
+// availability never changes results. When the flag is absent the TU
+// exports a nullptr getter and the tier reports unavailable.
+
+#include "kernels/dispatch.h"
+
+#if defined(SIDQ_KERNELS_HAVE_AVX2)
+
+#define SIDQ_KERNEL_ISA_NS isa_avx2
+#define SIDQ_KERNEL_ISA_GETTER Avx2Ops
+#define SIDQ_KERNEL_ISA_ENUM Isa::kAvx2
+
+#include "kernels/kernel_impl.inc"
+
+#else
+
+namespace sidq {
+namespace kernels {
+namespace detail {
+const KernelOps* Avx2Ops() { return nullptr; }
+}  // namespace detail
+}  // namespace kernels
+}  // namespace sidq
+
+#endif

@@ -1,0 +1,27 @@
+// AVX-512 tier: compiled with -mavx512f -mavx512dq when the toolchain
+// accepts those flags (SIDQ_KERNELS_HAVE_AVX512); the dispatcher
+// additionally requires a runtime CPUID probe before selecting it. This is
+// the one tier whose leaf scan uses hand-written intrinsics
+// (compress-store compaction) rather than auto-vectorization.
+
+#include "kernels/dispatch.h"
+
+#if defined(SIDQ_KERNELS_HAVE_AVX512)
+
+#define SIDQ_KERNEL_ISA_NS isa_avx512
+#define SIDQ_KERNEL_ISA_GETTER Avx512Ops
+#define SIDQ_KERNEL_ISA_ENUM Isa::kAvx512
+
+#include "kernels/kernel_impl.inc"
+
+#else
+
+namespace sidq {
+namespace kernels {
+namespace detail {
+const KernelOps* Avx512Ops() { return nullptr; }
+}  // namespace detail
+}  // namespace kernels
+}  // namespace sidq
+
+#endif

@@ -1,0 +1,9 @@
+// Scalar oracle tier. This TU is compiled with auto-vectorization disabled
+// (see src/kernels/CMakeLists.txt), the same mode as scalar_ref.cc, so its
+// output defines the bit-exactness contract every wider tier must match.
+
+#define SIDQ_KERNEL_ISA_NS isa_scalar
+#define SIDQ_KERNEL_ISA_GETTER ScalarOps
+#define SIDQ_KERNEL_ISA_ENUM Isa::kScalar
+
+#include "kernels/kernel_impl.inc"

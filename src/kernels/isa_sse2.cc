@@ -1,0 +1,10 @@
+// Baseline vector tier: plain build flags, auto-vectorization on. On
+// x86-64 that means SSE2 (the ABI baseline); on other architectures it is
+// simply the portably auto-vectorized build. Always compiled in, so the
+// dispatcher can always offer one vectorized tier.
+
+#define SIDQ_KERNEL_ISA_NS isa_sse2
+#define SIDQ_KERNEL_ISA_GETTER Sse2Ops
+#define SIDQ_KERNEL_ISA_ENUM Isa::kSse2
+
+#include "kernels/kernel_impl.inc"

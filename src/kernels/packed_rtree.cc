@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <functional>
 
-#if defined(__AVX512F__)
-#include <immintrin.h>
-#endif
-
+#include "core/arena.h"
 #include "core/logging.h"
+#include "kernels/dispatch.h"
 
 namespace sidq {
 namespace kernels {
@@ -34,6 +34,11 @@ void PackedRTree::BulkLoad(std::vector<Item> items) {
   leaf_max_x_.clear();
   leaf_max_y_.clear();
   leaf_ids_.clear();
+  node_min_x_.clear();
+  node_min_y_.clear();
+  node_max_x_.clear();
+  node_max_y_.clear();
+  node_index_.clear();
   if (items_.empty()) return;
   const size_t n = items_.size();
   for (const Item& it : items_) {
@@ -76,6 +81,16 @@ void PackedRTree::BulkLoad(std::vector<Item> items) {
     leaf_ids_.push_back(it.id);
   }
 
+  // Exact node count across all levels, so the level packing below never
+  // reallocates (node construction is cold, but iterator stability over
+  // nodes_ during the parent pass matters).
+  size_t total_nodes = 0;
+  for (size_t level = (n + max_entries_ - 1) / max_entries_; level > 1;
+       level = (level + max_entries_ - 1) / max_entries_) {
+    total_nodes += level;
+  }
+  nodes_.reserve(total_nodes + (n > 0 ? 1 : 0));
+
   // Leaf level: consecutive runs of max_entries_ items.
   for (size_t p = 0; p < n; p += max_entries_) {
     const size_t p_end = std::min(p + max_entries_, n);
@@ -110,74 +125,37 @@ void PackedRTree::BulkLoad(std::vector<Item> items) {
     level_end = nodes_.size();
     ++height_;
   }
+
+  // Columnar mirror of every node box (and its own index), so the batched
+  // walk can leaf-scan a node's contiguous child span.
+  node_min_x_.resize(nodes_.size());
+  node_min_y_.resize(nodes_.size());
+  node_max_x_.resize(nodes_.size());
+  node_max_y_.resize(nodes_.size());
+  node_index_.resize(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    node_min_x_[i] = nodes_[i].box.min_x;
+    node_min_y_[i] = nodes_[i].box.min_y;
+    node_max_x_[i] = nodes_[i].box.max_x;
+    node_max_y_[i] = nodes_[i].box.max_y;
+    node_index_[i] = i;
+  }
+}
+
+size_t PackedRTree::ScanLeafInto(const Node& node, const geometry::BBox& query,
+                                 uint64_t* out) const {
+  const uint32_t b = node.begin;
+  return KernelDispatch::Get().leaf_scan(
+      leaf_min_x_.data() + b, leaf_min_y_.data() + b, leaf_max_x_.data() + b,
+      leaf_max_y_.data() + b, leaf_ids_.data() + b, node.end - b, query.min_x,
+      query.min_y, query.max_x, query.max_y, out);
 }
 
 void PackedRTree::ScanLeaf(const Node& node, const geometry::BBox& query,
                            std::vector<uint64_t>* out) const {
-  const uint32_t b = node.begin;
-  const uint32_t count = node.end - node.begin;
   uint64_t tmp[kMaxEntriesCap];
-#if defined(__AVX512F__)
-  // Masked compares over the columnar leaf arrays; matching ids are
-  // compacted with a compress-store. _CMP_LE_OQ agrees with scalar <= on
-  // every non-NaN input, so the emitted SET matches the scalar scan.
-  uint64_t* dst = tmp;
-  const __m512d qminx = _mm512_set1_pd(query.min_x);
-  const __m512d qminy = _mm512_set1_pd(query.min_y);
-  const __m512d qmaxx = _mm512_set1_pd(query.max_x);
-  const __m512d qmaxy = _mm512_set1_pd(query.max_y);
-  uint32_t j = 0;
-  for (; j + 8 <= count; j += 8) {
-    const __mmask8 m =
-        _mm512_cmp_pd_mask(_mm512_loadu_pd(&leaf_min_x_[b + j]), qmaxx,
-                           _CMP_LE_OQ) &
-        _mm512_cmp_pd_mask(qminx, _mm512_loadu_pd(&leaf_max_x_[b + j]),
-                           _CMP_LE_OQ) &
-        _mm512_cmp_pd_mask(_mm512_loadu_pd(&leaf_min_y_[b + j]), qmaxy,
-                           _CMP_LE_OQ) &
-        _mm512_cmp_pd_mask(qminy, _mm512_loadu_pd(&leaf_max_y_[b + j]),
-                           _CMP_LE_OQ);
-    _mm512_mask_compressstoreu_epi64(
-        dst, m, _mm512_loadu_si512(&leaf_ids_[b + j]));
-    dst += static_cast<uint32_t>(__builtin_popcount(m));
-  }
-  if (j < count) {
-    const __mmask8 tail = static_cast<__mmask8>((1u << (count - j)) - 1);
-    const __mmask8 m =
-        _mm512_mask_cmp_pd_mask(
-            tail, _mm512_maskz_loadu_pd(tail, &leaf_min_x_[b + j]), qmaxx,
-            _CMP_LE_OQ) &
-        _mm512_mask_cmp_pd_mask(
-            tail, qminx, _mm512_maskz_loadu_pd(tail, &leaf_max_x_[b + j]),
-            _CMP_LE_OQ) &
-        _mm512_mask_cmp_pd_mask(
-            tail, _mm512_maskz_loadu_pd(tail, &leaf_min_y_[b + j]), qmaxy,
-            _CMP_LE_OQ) &
-        _mm512_mask_cmp_pd_mask(
-            tail, qminy, _mm512_maskz_loadu_pd(tail, &leaf_max_y_[b + j]),
-            _CMP_LE_OQ);
-    _mm512_mask_compressstoreu_epi64(
-        dst, m, _mm512_maskz_loadu_epi64(tail, &leaf_ids_[b + j]));
-    dst += static_cast<uint32_t>(__builtin_popcount(m));
-  }
-  out->insert(out->end(), tmp, dst);
-#else
-  // Portable shape: a branch-free hit-mask pass the compiler can
-  // auto-vectorize, then a branchless compaction.
-  uint32_t hit[kMaxEntriesCap];
-  for (uint32_t j = 0; j < count; ++j) {
-    hit[j] = static_cast<uint32_t>(leaf_min_x_[b + j] <= query.max_x) &
-             static_cast<uint32_t>(query.min_x <= leaf_max_x_[b + j]) &
-             static_cast<uint32_t>(leaf_min_y_[b + j] <= query.max_y) &
-             static_cast<uint32_t>(query.min_y <= leaf_max_y_[b + j]);
-  }
-  uint32_t cnt = 0;
-  for (uint32_t j = 0; j < count; ++j) {
-    tmp[cnt] = leaf_ids_[b + j];
-    cnt += hit[j];
-  }
+  const size_t cnt = ScanLeafInto(node, query, tmp);
   out->insert(out->end(), tmp, tmp + cnt);
-#endif
 }
 
 std::vector<uint64_t> PackedRTree::RangeQuery(
@@ -190,8 +168,12 @@ std::vector<uint64_t> PackedRTree::RangeQuery(
     return out;
   }
   // Children are intersection-tested before they are pushed, so every
-  // popped node is known to intersect.
-  std::vector<int32_t> stack{root()};
+  // popped node is known to intersect. The traversal stack is arena
+  // scratch: steady-state solo queries do zero heap allocations beyond
+  // the result vector itself.
+  ArenaScope scope(ScratchArena());
+  ArenaVec<int32_t> stack(scope.arena(), 64);
+  stack.push_back(root());
   while (!stack.empty()) {
     const int32_t n = stack.back();
     stack.pop_back();
@@ -227,70 +209,240 @@ void PackedRTree::RangeQueryMany(const std::vector<geometry::BBox>& queries,
   res->offsets.clear();
   res->offsets.reserve(queries.size() + 1);
   res->offsets.push_back(0);
-  std::vector<int32_t> stack;  // reused across queries
+  last_nodes_visited = 0;
+  if (nodes_.empty() || queries.empty()) {
+    res->offsets.resize(queries.size() + 1, 0);
+    return;
+  }
+
+  // Shared walk: ONE depth-first pass over the node array; each stack
+  // frame carries the subset of queries still active (= intersecting) at
+  // its node. Restricted to any single query q, the popped sequence is
+  // exactly q's solo DFS -- q-frames are only created while processing a
+  // popped q-frame, in the same child order, under the same LIFO
+  // discipline -- so per-query emission order matches RangeQuery exactly.
+  // All traversal state lives in the scratch arena.
+  ArenaScope scope(ScratchArena());
+  Arena* arena = scope.arena();
+  const uint32_t nq = static_cast<uint32_t>(queries.size());
+
+  uint32_t* root_active = arena->AllocArray<uint32_t>(nq);
+  uint32_t root_count = 0;
+  const geometry::BBox& root_box = nodes_[root()].box;
+  for (uint32_t q = 0; q < nq; ++q) {
+    if (!queries[q].Empty() && root_box.Intersects(queries[q])) {
+      root_active[root_count++] = q;
+    }
+  }
+
+  struct Frame {
+    int32_t node;
+    const uint32_t* active;  // arena-owned query indices, ascending
+    uint32_t count;
+  };
+  // One emission run = one contiguous slice of `pool` belonging to one
+  // query (a leaf scan's hits or a contained subtree's item span). Runs
+  // are recorded in emission order, which IS per-query solo order.
+  struct EmitRun {
+    uint32_t query;
+    uint32_t pool_begin;
+    uint32_t count;
+  };
+  ArenaVec<Frame> stack(arena, 64);
+  ArenaVec<EmitRun> runs(arena, 64);
+  ArenaVec<uint64_t> pool(arena, 256);
+  uint64_t leaf_hits[kMaxEntriesCap];
   size_t visited = 0;
-  for (const geometry::BBox& query : queries) {
-    if (!nodes_.empty() && !query.Empty() &&
-        nodes_[root()].box.Intersects(query)) {
-      stack.push_back(root());
-      while (!stack.empty()) {
-        const int32_t n = stack.back();
-        stack.pop_back();
-        ++visited;
-        const Node& node = nodes_[n];
-        if (IsLeaf(static_cast<size_t>(n))) {
-          ScanLeaf(node, query, &res->ids);
-        } else if (query.Contains(node.box)) {
-          res->ids.insert(res->ids.end(), leaf_ids_.data() + node.item_begin,
-                          leaf_ids_.data() + node.item_end);
-        } else {
-          for (uint32_t c = node.begin; c < node.end; ++c) {
-            if (nodes_[c].box.Intersects(query)) {
-              stack.push_back(static_cast<int32_t>(c));
-            }
-          }
+  // One atomic dispatch load for the whole batch.
+  const auto leaf_scan = KernelDispatch::Get().leaf_scan;
+
+  if (root_count > 0) {
+    stack.push_back(Frame{root(), root_active, root_count});
+  }
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[f.node];
+    visited += f.count;  // one visit per (node, active query), as before
+    if (IsLeaf(static_cast<size_t>(f.node))) {
+      for (uint32_t a = 0; a < f.count; ++a) {
+        const uint32_t q = f.active[a];
+        const geometry::BBox& qb = queries[q];
+        const size_t cnt = leaf_scan(
+            leaf_min_x_.data() + node.begin, leaf_min_y_.data() + node.begin,
+            leaf_max_x_.data() + node.begin, leaf_max_y_.data() + node.begin,
+            leaf_ids_.data() + node.begin, node.end - node.begin, qb.min_x,
+            qb.min_y, qb.max_x, qb.max_y, leaf_hits);
+        if (cnt > 0) {
+          const uint32_t begin = static_cast<uint32_t>(pool.size());
+          for (size_t i = 0; i < cnt; ++i) pool.push_back(leaf_hits[i]);
+          runs.push_back(EmitRun{q, begin, static_cast<uint32_t>(cnt)});
         }
       }
+      continue;
     }
-    res->offsets.push_back(res->ids.size());
+    // Partition the active set: queries containing the node's box emit its
+    // whole contiguous item span now; the rest descend into children.
+    uint32_t* descend = arena->AllocArray<uint32_t>(f.count);
+    uint32_t descend_count = 0;
+    for (uint32_t a = 0; a < f.count; ++a) {
+      const uint32_t q = f.active[a];
+      if (queries[q].Contains(node.box)) {
+        const uint32_t begin = static_cast<uint32_t>(pool.size());
+        for (uint32_t i = node.item_begin; i < node.item_end; ++i) {
+          pool.push_back(leaf_ids_[i]);
+        }
+        runs.push_back(EmitRun{q, begin, node.item_end - node.item_begin});
+      } else {
+        descend[descend_count++] = q;
+      }
+    }
+    if (descend_count == 0) continue;
+    // SIMD child partition: each descending query runs one leaf-scan
+    // sweep over the node's contiguous child span in the node SoA mirror,
+    // yielding its intersecting child indices in ascending order. A
+    // counting transpose then regroups the (query, child) pairs into
+    // per-child active sets. Same sets, same ascending-query order, same
+    // ascending-child push order as a scalar per-child loop nest -- only
+    // the iteration shape changed, so the emission contract is untouched.
+    const uint32_t child_n = node.end - node.begin;
+    uint8_t* qc_pool = arena->AllocArray<uint8_t>(
+        static_cast<size_t>(descend_count) * child_n);
+    uint32_t* q_off = arena->AllocArray<uint32_t>(descend_count + 1);
+    uint32_t* child_counts = arena->AllocArray<uint32_t>(child_n);
+    std::memset(child_counts, 0, child_n * sizeof(uint32_t));
+    uint32_t total_pairs = 0;
+    for (uint32_t a = 0; a < descend_count; ++a) {
+      q_off[a] = total_pairs;
+      const geometry::BBox& qb = queries[descend[a]];
+      const size_t cnt = leaf_scan(
+          node_min_x_.data() + node.begin, node_min_y_.data() + node.begin,
+          node_max_x_.data() + node.begin, node_max_y_.data() + node.begin,
+          node_index_.data() + node.begin, child_n, qb.min_x, qb.min_y,
+          qb.max_x, qb.max_y, leaf_hits);
+      for (size_t i = 0; i < cnt; ++i) {
+        // Child-relative index fits a byte: child_n <= kMaxEntriesCap.
+        const uint8_t rel = static_cast<uint8_t>(leaf_hits[i] - node.begin);
+        qc_pool[total_pairs + i] = rel;
+        ++child_counts[rel];
+      }
+      total_pairs += static_cast<uint32_t>(cnt);
+    }
+    q_off[descend_count] = total_pairs;
+    if (total_pairs == 0) continue;
+    uint32_t* active_pool = arena->AllocArray<uint32_t>(total_pairs);
+    uint32_t* child_off = arena->AllocArray<uint32_t>(child_n);
+    uint32_t* child_cursor = arena->AllocArray<uint32_t>(child_n);
+    uint32_t run_off = 0;
+    for (uint32_t c = 0; c < child_n; ++c) {
+      child_off[c] = run_off;
+      child_cursor[c] = run_off;
+      run_off += child_counts[c];
+    }
+    for (uint32_t a = 0; a < descend_count; ++a) {
+      const uint32_t q = descend[a];
+      for (uint32_t i = q_off[a]; i < q_off[a + 1]; ++i) {
+        active_pool[child_cursor[qc_pool[i]]++] = q;
+      }
+    }
+    for (uint32_t c = 0; c < child_n; ++c) {
+      if (child_counts[c] > 0) {
+        stack.push_back(Frame{static_cast<int32_t>(node.begin + c),
+                              active_pool + child_off[c], child_counts[c]});
+      }
+    }
+  }
+
+  // Stable counting sort of the emission runs by query: per-query totals,
+  // prefix-sum offsets, then scatter each run at its query's cursor. Runs
+  // stay in emission order, so each query's ids land in solo DFS order.
+  uint32_t* counts = scope.AllocFilled<uint32_t>(nq, 0u);
+  for (const EmitRun& run : runs) counts[run.query] += run.count;
+  size_t total = 0;
+  for (uint32_t q = 0; q < nq; ++q) {
+    total += counts[q];
+    res->offsets.push_back(total);
+  }
+  res->ids.resize(total);
+  size_t* cursor = arena->AllocArray<size_t>(nq);
+  for (uint32_t q = 0; q < nq; ++q) cursor[q] = res->offsets[q];
+  for (const EmitRun& run : runs) {
+    std::memcpy(res->ids.data() + cursor[run.query],
+                pool.data() + run.pool_begin, run.count * sizeof(uint64_t));
+    cursor[run.query] += run.count;
   }
   last_nodes_visited = visited;
 }
+
+namespace {
+
+struct KnnEntry {
+  double dist;
+  bool is_item;
+  uint64_t key;  // item id, or node index
+  bool operator>(const KnnEntry& o) const { return dist > o.dist; }
+};
+
+// Best-first search over an arena-backed binary heap. push/pop replicate
+// std::priority_queue<Entry, vector<Entry>, greater<Entry>> exactly
+// (push_back+push_heap / pop_heap+pop_back on the same comparator), so the
+// emitted order -- including resolution of equal-distance ties -- is
+// bit-identical to the former std::priority_queue implementation. The
+// template keeps PackedRTree's private Node/Item types out of the free
+// function's signature.
+template <typename NodeVec, typename ItemVec>
+size_t KnnWalk(const NodeVec& nodes, const ItemVec& items, size_t leaf_count,
+               int32_t root, const geometry::Point& q, size_t k,
+               ArenaVec<KnnEntry>* heap, std::vector<uint64_t>* out) {
+  const std::greater<KnnEntry> cmp;
+  heap->clear();
+  const auto push = [&](KnnEntry e) {
+    heap->push_back(e);
+    std::push_heap(heap->begin(), heap->end(), cmp);
+  };
+  size_t visited = 0;
+  size_t emitted = 0;
+  // At most k ids are emitted per walk; reserving up front keeps the
+  // emission loop free of reallocation.
+  out->reserve(out->size() + k);
+  push(KnnEntry{nodes[root].box.MinDistance(q), false,
+                static_cast<uint64_t>(root)});
+  while (!heap->empty() && emitted < k) {
+    const KnnEntry e = (*heap)[0];
+    std::pop_heap(heap->begin(), heap->end(), cmp);
+    heap->pop_back();
+    if (e.is_item) {
+      out->push_back(e.key);
+      ++emitted;
+      continue;
+    }
+    ++visited;
+    const auto& node = nodes[e.key];
+    if (e.key < leaf_count) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        push(KnnEntry{items[i].box.MinDistance(q), true, items[i].id});
+      }
+    } else {
+      for (uint32_t c = node.begin; c < node.end; ++c) {
+        push(KnnEntry{nodes[c].box.MinDistance(q), false,
+                      static_cast<uint64_t>(c)});
+      }
+    }
+  }
+  return visited;
+}
+
+}  // namespace
 
 std::vector<uint64_t> PackedRTree::Knn(const geometry::Point& q,
                                        size_t k) const {
   std::vector<uint64_t> out;
   last_nodes_visited = 0;
   if (nodes_.empty() || k == 0) return out;
-  struct Entry {
-    double dist;
-    bool is_item;
-    uint64_t key;  // item id or node index
-    bool operator>(const Entry& o) const { return dist > o.dist; }
-  };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
-  pq.push(Entry{nodes_.back().box.MinDistance(q), false,
-                static_cast<uint64_t>(root())});
-  while (!pq.empty() && out.size() < k) {
-    const Entry e = pq.top();
-    pq.pop();
-    if (e.is_item) {
-      out.push_back(e.key);
-      continue;
-    }
-    ++last_nodes_visited;
-    const Node& node = nodes_[e.key];
-    if (IsLeaf(static_cast<size_t>(e.key))) {
-      for (uint32_t i = node.begin; i < node.end; ++i) {
-        pq.push(Entry{items_[i].box.MinDistance(q), true, items_[i].id});
-      }
-    } else {
-      for (uint32_t c = node.begin; c < node.end; ++c) {
-        pq.push(Entry{nodes_[c].box.MinDistance(q), false,
-                      static_cast<uint64_t>(c)});
-      }
-    }
-  }
+  ArenaScope scope(ScratchArena());
+  ArenaVec<KnnEntry> heap(scope.arena(), 64);
+  last_nodes_visited =
+      KnnWalk(nodes_, items_, leaf_count_, root(), q, k, &heap, &out);
   return out;
 }
 
@@ -299,11 +451,19 @@ PackedRTree::BatchResults PackedRTree::KnnMany(
   BatchResults res;
   res.offsets.reserve(qs.size() + 1);
   res.offsets.push_back(0);
+  // One arena heap serves the whole batch (cleared, capacity kept), so the
+  // per-query frontier costs zero allocations after the first query.
+  ArenaScope scope(ScratchArena());
+  ArenaVec<KnnEntry> heap(scope.arena(), 64);
+  size_t visited = 0;
   for (const geometry::Point& q : qs) {
-    const std::vector<uint64_t> one = Knn(q, k);
-    res.ids.insert(res.ids.end(), one.begin(), one.end());
+    if (!nodes_.empty() && k > 0) {
+      visited +=
+          KnnWalk(nodes_, items_, leaf_count_, root(), q, k, &heap, &res.ids);
+    }
     res.offsets.push_back(res.ids.size());
   }
+  last_nodes_visited = visited;
   return res;
 }
 

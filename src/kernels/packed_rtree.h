@@ -79,7 +79,15 @@ class PackedRTree {
   // index::RTree::RangeQuery).
   [[nodiscard]] std::vector<uint64_t> RangeQuery(
       const geometry::BBox& query) const;
-  // Batched range query: one traversal-state allocation for all queries.
+  // Batched range query over a SHARED tree walk: one DFS visits each node
+  // at most once carrying the subset of queries still active there, so a
+  // fleet of probes pays one pass over the node array instead of one
+  // root-to-leaf traversal each. Traversal state (frames, active-query
+  // subsets, emission runs) lives in the thread-local scratch arena --
+  // zero heap allocations beyond the caller-visible result buffers.
+  // Contract: for every query q, the id sequence [begin_of(q), end_of(q))
+  // is IDENTICAL to what RangeQuery(queries[q]) returns -- the shared walk
+  // restricted to q pops q's nodes in exactly the solo DFS order.
   [[nodiscard]] BatchResults RangeQueryMany(
       const std::vector<geometry::BBox>& queries) const;
   // Same, into caller-owned buffers (cleared, capacity kept) so repeated
@@ -90,7 +98,10 @@ class PackedRTree {
   // Ids of the k items nearest to `q` by box MinDistance, nearest first.
   [[nodiscard]] std::vector<uint64_t> Knn(const geometry::Point& q,
                                           size_t k) const;
-  // Batched k-nearest-neighbour queries.
+  // Batched k-nearest-neighbour queries. The best-first frontier heap is
+  // arena-backed and reused across the whole batch (heap ops replicate
+  // std::priority_queue push/pop exactly, so per-query output -- including
+  // tie resolution -- is identical to Knn).
   [[nodiscard]] BatchResults KnnMany(const std::vector<geometry::Point>& qs,
                                      size_t k) const;
 
@@ -123,9 +134,13 @@ class PackedRTree {
   }
 
   // Appends the ids of this leaf's items intersecting `query` to `out`
-  // (SIMD sweep over the columnar leaf arrays).
+  // (dispatched SIMD sweep over the columnar leaf arrays).
   void ScanLeaf(const Node& node, const geometry::BBox& query,
                 std::vector<uint64_t>* out) const;
+  // Same sweep into a raw buffer (capacity >= node entry count); returns
+  // the hit count. The shared-walk batch traversal writes arena scratch.
+  size_t ScanLeafInto(const Node& node, const geometry::BBox& query,
+                      uint64_t* out) const;
 
   size_t max_entries_;
   size_t leaf_count_ = 0;
@@ -135,6 +150,13 @@ class PackedRTree {
   // Columnar mirror of items_ (same order): leaf scans read these.
   std::vector<double> leaf_min_x_, leaf_min_y_, leaf_max_x_, leaf_max_y_;
   std::vector<uint64_t> leaf_ids_;
+  // Columnar mirror of nodes_' boxes (same level order) plus an identity
+  // index column: the shared-walk batch traversal partitions a node's
+  // active query set by running the SIMD leaf-scan kernel over the node's
+  // contiguous CHILD span of these arrays -- one 8-wide sweep per query
+  // instead of a scalar test per (child, query) pair.
+  std::vector<double> node_min_x_, node_min_y_, node_max_x_, node_max_y_;
+  std::vector<uint64_t> node_index_;
 };
 
 // Streams the items of a PackedRTree in non-decreasing BoxGap order from a

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "core/arena.h"
 #include "kernels/distance.h"
 #include "kernels/soa.h"
 
@@ -11,19 +13,22 @@ namespace outlier {
 
 namespace {
 
-double Median(std::vector<double> v) {
-  if (v.empty()) return 0.0;
-  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
-  return v[v.size() / 2];
+// Exact order statistic of v[0..n): partially sorts in place, so callers
+// pass scratch copies. Same selection as the former by-value overload.
+double MedianInPlace(double* v, size_t n) {
+  if (n == 0) return 0.0;
+  std::nth_element(v, v + n / 2, v + n);
+  return v[n / 2];
 }
 
-// Per-segment speeds (n-1 entries): one vectorized distance sweep over the
-// columnar view instead of 2(n-2) scalar Distance calls.
-std::vector<double> SegmentSpeeds(const Trajectory& input) {
+// Per-segment speeds (n-1 entries) in arena scratch: one vectorized
+// distance sweep over the columnar view instead of 2(n-2) scalar Distance
+// calls, and no heap round trip per trajectory.
+double* SegmentSpeeds(const Trajectory& input, ArenaScope* scope) {
   const size_t n = input.size();
-  std::vector<double> speeds(n - 1);
+  double* speeds = scope->AllocArray<double>(n - 1);
   const kernels::TrajectoryView v = kernels::TrajectoryView::Of(input);
-  kernels::ConsecutiveDist(v.x(), v.y(), n, speeds.data());
+  kernels::ConsecutiveDist(v.x(), v.y(), n, speeds);
   for (size_t i = 0; i + 1 < n; ++i) {
     const Timestamp dt = v.t()[i + 1] - v.t()[i];
     speeds[i] = dt <= 0 ? 0.0 : speeds[i] / TimestampToSeconds(dt);
@@ -42,7 +47,8 @@ StatusOr<std::vector<bool>> SpeedConstraintDetector::Detect(
   std::vector<bool> flags(n, false);
   if (n < 2) return flags;
   const double vmax = options_.max_speed_mps;
-  const std::vector<double> speeds = SegmentSpeeds(input);
+  ArenaScope scope(ScratchArena());
+  const double* speeds = SegmentSpeeds(input, &scope);
   for (size_t i = 0; i < n; ++i) {
     const bool fast_in = i > 0 && speeds[i - 1] > vmax;
     const bool fast_out = i + 1 < n && speeds[i] > vmax;
@@ -66,32 +72,38 @@ StatusOr<std::vector<bool>> StatisticalDetector::Detect(
   std::vector<bool> flags(n, false);
   if (n < 3) return flags;
   const kernels::TrajectoryView view = kernels::TrajectoryView::Of(input);
+  // All statistics scratch (window slices, deviation arrays, step lengths)
+  // lives in the arena for the duration of this call.
+  ArenaScope scope(ScratchArena());
+  const size_t wcap = 2 * options_.half_window + 1;
+  double* xs = scope.AllocArray<double>(wcap);
+  double* ys = scope.AllocArray<double>(wcap);
   // Deviation of each point from its window median position. The window
   // coordinate copies are contiguous column slices of the SoA view.
-  std::vector<double> deviations(n, 0.0);
-  std::vector<double> xs, ys;
+  double* deviations = scope.AllocArray<double>(n);
   for (size_t i = 0; i < n; ++i) {
     const size_t lo = i >= options_.half_window ? i - options_.half_window : 0;
     const size_t hi = std::min(n - 1, i + options_.half_window);
+    const size_t w = hi - lo + 1;
     // The window includes the point itself: the median is robust to it,
     // and excluding it would bias the window centre off the path.
-    xs.assign(view.x() + lo, view.x() + hi + 1);
-    ys.assign(view.y() + lo, view.y() + hi + 1);
-    const geometry::Point med(Median(xs), Median(ys));
+    std::memcpy(xs, view.x() + lo, w * sizeof(double));
+    std::memcpy(ys, view.y() + lo, w * sizeof(double));
+    const geometry::Point med(MedianInPlace(xs, w), MedianInPlace(ys, w));
     deviations[i] = geometry::Distance(input[i].p, med);
   }
   // Robust scale: 1.4826 * MAD of the deviations, floored at the typical
   // step length so that a deviation of one inter-sample hop (which the
   // window median can introduce near a genuine outlier) never triggers.
-  std::vector<double> dev_copy = deviations;
-  const double med_dev = Median(dev_copy);
-  std::vector<double> abs_dev;
-  abs_dev.reserve(n);
-  for (double d : deviations) abs_dev.push_back(std::abs(d - med_dev));
-  const double mad = Median(abs_dev);
-  std::vector<double> steps(n - 1);
-  kernels::ConsecutiveDist(view.x(), view.y(), n, steps.data());
-  const double median_step = Median(std::move(steps));
+  double* dev_copy = scope.AllocArray<double>(n);
+  std::memcpy(dev_copy, deviations, n * sizeof(double));
+  const double med_dev = MedianInPlace(dev_copy, n);
+  double* abs_dev = scope.AllocArray<double>(n);
+  for (size_t i = 0; i < n; ++i) abs_dev[i] = std::abs(deviations[i] - med_dev);
+  const double mad = MedianInPlace(abs_dev, n);
+  double* steps = scope.AllocArray<double>(n - 1);
+  kernels::ConsecutiveDist(view.x(), view.y(), n, steps);
+  const double median_step = MedianInPlace(steps, n - 1);
   const double scale =
       std::max({options_.min_scale_m, 1.4826 * mad, median_step});
   for (size_t i = 0; i < n; ++i) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/arena.h"
 #include "kernels/distance.h"
 #include "kernels/soa.h"
 
@@ -16,7 +17,10 @@ namespace query {
 // sequential. The kernels execute the same operations in the same order as
 // the original AoS loops (kept verbatim in kernels/scalar_ref.cc), so every
 // result is bit-identical to the pre-kernel implementation -- asserted by
-// tests/kernels_test.cc and the bench_kernels checksum gate.
+// tests/kernels_test.cc and the bench_kernels checksum gate. DP rows and
+// distance scratch live in the thread-local scratch arena (core/arena.h):
+// a distance call performs zero heap allocations, which matters when the
+// similarity search evaluates thousands of candidates per query.
 
 namespace {
 
@@ -31,8 +35,13 @@ StatusOr<double> DtwDistanceBounded(const Trajectory& a, const Trajectory& b,
   if (n == 0 || m == 0) return n == m ? 0.0 : kInf;
   const kernels::TrajectoryView va = kernels::TrajectoryView::Of(a);
   const kernels::TrajectoryView vb = kernels::TrajectoryView::Of(b);
-  // Two-row DP; rows over a, columns over b.
-  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  // Two-row DP; rows over a, columns over b. Rows and the per-row distance
+  // scratch come from the arena (the kernel fills `cur` completely, so
+  // only `prev` needs initializing).
+  ArenaScope scope(ScratchArena());
+  double* prev = scope.AllocFilled<double>(m + 1, kInf);
+  double* cur = scope.AllocArray<double>(m + 1);
+  double* dist = scope.AllocArray<double>(m);
   prev[0] = 0.0;
   for (size_t i = 1; i <= n; ++i) {
     // The DP row is the unit of work a deadline can interrupt.
@@ -46,7 +55,7 @@ StatusOr<double> DtwDistanceBounded(const Trajectory& a, const Trajectory& b,
           std::min(static_cast<double>(m), center + band));
     }
     kernels::DtwRowKernel(va.x()[i - 1], va.y()[i - 1], vb.x(), vb.y(), m,
-                          lo, hi, prev.data(), cur.data());
+                          lo, hi, prev, cur, dist);
     std::swap(prev, cur);
   }
   return prev[m];
@@ -65,15 +74,29 @@ StatusOr<double> DiscreteFrechetDistanceBounded(const Trajectory& a,
   if (n == 0 || m == 0) return n == m ? 0.0 : kInf;
   const kernels::TrajectoryView va = kernels::TrajectoryView::Of(a);
   const kernels::TrajectoryView vb = kernels::TrajectoryView::Of(b);
-  std::vector<double> prev(m), cur(m), dist(m);
+  ArenaScope scope(ScratchArena());
+  if (exec == nullptr) {
+    // No deadline to honor: run the whole DP as one anti-diagonal
+    // wavefront. Bit-identical to the row iteration below (see
+    // FrechetFullKernel), just without its carried per-row recurrence.
+    double* scratch = scope.AllocArray<double>(3 * m);
+    return kernels::FrechetFullKernel(va.x(), va.y(), n, vb.x(), vb.y(), m,
+                                      scratch);
+  }
+  // Deadline-bounded: the DP row is the unit of work a deadline can
+  // interrupt, so keep the row-kernel form.
+  // Every row is written in full, so all three arrays start uninitialized.
+  double* prev = scope.AllocArray<double>(m);
+  double* cur = scope.AllocArray<double>(m);
+  double* dist = scope.AllocArray<double>(m);
   // Row 0: running max of the distance prefix.
-  kernels::DistRow(va.x()[0], va.y()[0], vb.x(), vb.y(), 0, m, dist.data());
+  kernels::DistRow(va.x()[0], va.y()[0], vb.x(), vb.y(), 0, m, dist);
   prev[0] = dist[0];
   for (size_t j = 1; j < m; ++j) prev[j] = std::max(prev[j - 1], dist[j]);
   for (size_t i = 1; i < n; ++i) {
-    if (exec != nullptr) SIDQ_RETURN_IF_ERROR(exec->Check());
-    kernels::FrechetRowKernel(va.x()[i], va.y()[i], vb.x(), vb.y(), m,
-                              prev.data(), cur.data(), dist.data());
+    SIDQ_RETURN_IF_ERROR(exec->Check());
+    kernels::FrechetRowKernel(va.x()[i], va.y()[i], vb.x(), vb.y(), m, prev,
+                              cur, dist);
     std::swap(prev, cur);
   }
   return prev[m - 1];
@@ -91,12 +114,15 @@ double EdrDistance(const Trajectory& a, const Trajectory& b,
   if (n == 0 || m == 0) return 1.0;
   const kernels::TrajectoryView va = kernels::TrajectoryView::Of(a);
   const kernels::TrajectoryView vb = kernels::TrajectoryView::Of(b);
-  std::vector<double> prev(m + 1), cur(m + 1), dist(m);
+  ArenaScope scope(ScratchArena());
+  double* prev = scope.AllocArray<double>(m + 1);
+  double* cur = scope.AllocArray<double>(m + 1);
+  double* dist = scope.AllocArray<double>(m);
   for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<double>(j);
   for (size_t i = 1; i <= n; ++i) {
     cur[0] = static_cast<double>(i);
     kernels::DistRow(va.x()[i - 1], va.y()[i - 1], vb.x(), vb.y(), 0, m,
-                     dist.data());
+                     dist);
     for (size_t j = 1; j <= m; ++j) {
       const bool match = dist[j - 1] <= epsilon_m;
       const double sub = prev[j - 1] + (match ? 0.0 : 1.0);
@@ -114,10 +140,15 @@ double LcssSimilarity(const Trajectory& a, const Trajectory& b,
   if (n == 0 || m == 0) return 0.0;
   const kernels::TrajectoryView va = kernels::TrajectoryView::Of(a);
   const kernels::TrajectoryView vb = kernels::TrajectoryView::Of(b);
-  std::vector<double> prev(m + 1, 0.0), cur(m + 1, 0.0), dist(m);
+  // cur[0] is never written by the row loop and must stay 0 across swaps,
+  // so both DP rows start zero-filled.
+  ArenaScope scope(ScratchArena());
+  double* prev = scope.AllocFilled<double>(m + 1, 0.0);
+  double* cur = scope.AllocFilled<double>(m + 1, 0.0);
+  double* dist = scope.AllocArray<double>(m);
   for (size_t i = 1; i <= n; ++i) {
     kernels::DistRow(va.x()[i - 1], va.y()[i - 1], vb.x(), vb.y(), 0, m,
-                     dist.data());
+                     dist);
     const Timestamp ta = va.t()[i - 1];
     for (size_t j = 1; j <= m; ++j) {
       const bool match = dist[j - 1] <= epsilon_m &&

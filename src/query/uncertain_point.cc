@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+
+#include "core/arena.h"
+#include "kernels/packed_rtree.h"
 
 namespace sidq {
 namespace query {
@@ -126,6 +130,61 @@ std::vector<ObjectId> ProbabilisticRangeQuery(
     if (obj.ProbInBox(box) >= tau) out.push_back(obj.id());
   }
   if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<std::vector<ObjectId>> ProbabilisticRangeQueryMany(
+    const std::vector<UncertainPoint>& objects,
+    const std::vector<geometry::BBox>& boxes, double tau,
+    std::vector<PruningStats>* stats) {
+  std::vector<std::vector<ObjectId>> out(boxes.size());
+  if (stats != nullptr) stats->assign(boxes.size(), PruningStats{});
+  if (boxes.empty()) return out;
+  // Bulk-load the bounding regions once, keyed by object index. An empty
+  // region (unreachable through the factories, but guarded: BulkLoad
+  // rejects inverted boxes) can intersect nothing, so leaving it out of
+  // the tree classifies it pruned_out exactly like the linear scan.
+  std::vector<geometry::BBox> regions(objects.size());
+  std::vector<kernels::PackedRTree::Item> items;
+  items.reserve(objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    regions[i] = objects[i].BoundingRegion();
+    if (!regions[i].Empty()) items.push_back({i, regions[i]});
+  }
+  kernels::PackedRTree tree;
+  tree.BulkLoad(std::move(items));
+  // One shared walk answers every box; BBox::Intersects is symmetric, so
+  // the tree's region-vs-box test prunes exactly the objects the solo
+  // scan's region.Intersects(box) would.
+  const kernels::PackedRTree::BatchResults candidates =
+      tree.RangeQueryMany(boxes);
+  for (size_t q = 0; q < boxes.size(); ++q) {
+    PruningStats local;
+    local.total_objects = objects.size();
+    const size_t cand_count = candidates.count_of(q);
+    local.pruned_out = objects.size() - cand_count;
+    // The solo scan emits ids in object order; sort the tree's DFS-order
+    // candidates back to index order so the output is bit-identical.
+    ArenaScope scope(ScratchArena());
+    uint64_t* cand = scope.AllocArray<uint64_t>(cand_count);
+    if (cand_count > 0) {
+      std::memcpy(cand, candidates.begin_of(q),
+                  cand_count * sizeof(uint64_t));
+    }
+    std::sort(cand, cand + cand_count);
+    for (size_t c = 0; c < cand_count; ++c) {
+      const size_t i = static_cast<size_t>(cand[c]);
+      const UncertainPoint& obj = objects[i];
+      if (boxes[q].Contains(regions[i]) && tau <= 1.0 - 1e-5) {
+        ++local.accepted_cheap;  // probability ~ 1
+        out[q].push_back(obj.id());
+        continue;
+      }
+      ++local.evaluated_exact;
+      if (obj.ProbInBox(boxes[q]) >= tau) out[q].push_back(obj.id());
+    }
+    if (stats != nullptr) (*stats)[q] = local;
+  }
   return out;
 }
 

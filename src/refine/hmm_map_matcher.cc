@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/arena.h"
 #include "core/failpoint.h"
 #include "kernels/distance.h"
 #include "kernels/soa.h"
@@ -23,22 +24,21 @@ std::vector<HmmMapMatcher::Candidate> HmmMapMatcher::CandidatesFor(
   const double inv_2s2 =
       1.0 / (2.0 * options_.gps_sigma_m * options_.gps_sigma_m);
   // Project onto every candidate edge, then score all emissions in one
-  // batched distance sweep over the projection columns.
+  // batched distance sweep over arena-backed projection columns.
   out.reserve(edges.size());
-  std::vector<double> proj_x, proj_y;
-  proj_x.reserve(edges.size());
-  proj_y.reserve(edges.size());
+  ArenaScope scope(ScratchArena());
+  double* proj_x = scope.AllocArray<double>(edges.size());
+  double* proj_y = scope.AllocArray<double>(edges.size());
   for (EdgeId e : edges) {
     Candidate c;
     c.edge = e;
     c.proj = network_->ProjectToEdge(e, p);
-    proj_x.push_back(c.proj.x);
-    proj_y.push_back(c.proj.y);
+    proj_x[out.size()] = c.proj.x;
+    proj_y[out.size()] = c.proj.y;
     out.push_back(c);
   }
-  std::vector<double> dists(out.size());
-  kernels::PointToManyDist(p.x, p.y, proj_x.data(), proj_y.data(),
-                           out.size(), dists.data());
+  double* dists = scope.AllocArray<double>(out.size());
+  kernels::PointToManyDist(p.x, p.y, proj_x, proj_y, out.size(), dists);
   for (size_t i = 0; i < out.size(); ++i) {
     const double d = dists[i];
     out[i].emission_logp = -d * d * inv_2s2;
@@ -101,18 +101,23 @@ StatusOr<HmmMapMatcher::MatchResult> HmmMapMatcher::Match(
   }
 
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-  // All straight-line step lengths in one vectorized sweep.
+  // Viterbi scratch -- step lengths, the flattened score/backpointer
+  // tables, and the backtracked choices -- lives in the arena. The tables
+  // are ragged (one row per point, layer-sized), so they are flattened
+  // over prefix-sum row offsets.
+  ArenaScope vscope(ScratchArena());
   const kernels::TrajectoryView nv = kernels::TrajectoryView::Of(noisy);
-  std::vector<double> straight_dists(n > 1 ? n - 1 : 0);
+  double* straight_dists = vscope.AllocArray<double>(n > 1 ? n - 1 : 0);
   if (n > 1) {
-    kernels::ConsecutiveDist(nv.x(), nv.y(), n, straight_dists.data());
+    kernels::ConsecutiveDist(nv.x(), nv.y(), n, straight_dists);
   }
-  std::vector<std::vector<double>> score(n);
-  std::vector<std::vector<int>> back(n);
-  score[0].resize(layers[0].size());
-  back[0].assign(layers[0].size(), -1);
+  size_t* row = vscope.AllocArray<size_t>(n + 1);
+  row[0] = 0;
+  for (size_t i = 0; i < n; ++i) row[i + 1] = row[i] + layers[i].size();
+  double* score = vscope.AllocArray<double>(row[n]);
+  int* back = vscope.AllocFilled<int>(row[n], -1);
   for (size_t c = 0; c < layers[0].size(); ++c) {
-    score[0][c] = layers[0][c].emission_logp;
+    score[row[0] + c] = layers[0][c].emission_logp;
   }
   for (size_t i = 1; i < n; ++i) {
     // One chaos evaluation + one cooperative check per Viterbi layer: the
@@ -121,52 +126,56 @@ StatusOr<HmmMapMatcher::MatchResult> HmmMapMatcher::Match(
                                               noisy.object_id(), exec));
     if (exec != nullptr) SIDQ_RETURN_IF_ERROR(exec->Check());
     const double straight = straight_dists[i - 1];
-    score[i].assign(layers[i].size(), kNegInf);
-    back[i].assign(layers[i].size(), -1);
+    double* cur = score + row[i];
+    const double* prev = score + row[i - 1];
+    int* cur_back = back + row[i];
+    std::fill(cur, cur + layers[i].size(), kNegInf);
     for (size_t c = 0; c < layers[i].size(); ++c) {
       for (size_t p = 0; p < layers[i - 1].size(); ++p) {
-        if (score[i - 1][p] == kNegInf) continue;
+        if (prev[p] == kNegInf) continue;
         const double route =
             RouteDistance(layers[i - 1][p], layers[i][c]);
         if (!std::isfinite(route)) continue;
         const double trans_logp =
             -std::abs(route - straight) / options_.beta_m;
-        const double s =
-            score[i - 1][p] + trans_logp + layers[i][c].emission_logp;
-        if (s > score[i][c]) {
-          score[i][c] = s;
-          back[i][c] = static_cast<int>(p);
+        const double s = prev[p] + trans_logp + layers[i][c].emission_logp;
+        if (s > cur[c]) {
+          cur[c] = s;
+          cur_back[c] = static_cast<int>(p);
         }
       }
     }
     // If everything is unreachable (disconnected network), restart the
     // chain at this layer.
     bool any = false;
-    for (double s : score[i]) any = any || s != kNegInf;
+    for (size_t c = 0; c < layers[i].size(); ++c) {
+      any = any || cur[c] != kNegInf;
+    }
     if (!any) {
       for (size_t c = 0; c < layers[i].size(); ++c) {
-        score[i][c] = layers[i][c].emission_logp;
-        back[i][c] = -1;
+        cur[c] = layers[i][c].emission_logp;
+        cur_back[c] = -1;
       }
     }
   }
 
   // Backtrack.
-  std::vector<int> choice(n, 0);
+  int* choice = vscope.AllocFilled<int>(n, 0);
   {
     size_t best = 0;
+    const double* last = score + row[n - 1];
     for (size_t c = 1; c < layers[n - 1].size(); ++c) {
-      if (score[n - 1][c] > score[n - 1][best]) best = c;
+      if (last[c] > last[best]) best = c;
     }
     choice[n - 1] = static_cast<int>(best);
     for (size_t i = n - 1; i-- > 0;) {
-      const int b = back[i + 1][choice[i + 1]];
+      const int b = back[row[i + 1] + choice[i + 1]];
       if (b >= 0) {
         choice[i] = b;
       } else {
         size_t loc_best = 0;
         for (size_t c = 1; c < layers[i].size(); ++c) {
-          if (score[i][c] > score[i][loc_best]) loc_best = c;
+          if (score[row[i] + c] > score[row[i] + loc_best]) loc_best = c;
         }
         choice[i] = static_cast<int>(loc_best);
       }

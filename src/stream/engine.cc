@@ -5,6 +5,7 @@
 #include <tuple>
 #include <utility>
 
+#include "core/arena.h"
 #include "core/failpoint.h"
 #include "core/retry.h"
 #include "obs/export.h"
@@ -207,7 +208,12 @@ Status StreamEngine::CloseWindow(SensorId sensor, int64_t window_index,
                                  SensorState* state) {
   SIDQ_RETURN_IF_ERROR(ctx_->Check());
   auto it = state->open_windows.find(window_index);
-  std::vector<StreamEvent> events = it->second.TakeSortedByTime();
+  // The drained window lives in arena scratch for the duration of the
+  // close: the hot per-window path performs no heap allocation for it.
+  ArenaScope scope(ScratchArena());
+  size_t event_count = 0;
+  StreamEvent* events = it->second.TakeSortedByTime(scope.arena(),
+                                                    &event_count);
   state->open_windows.erase(it);
   const int64_t dups = filter_.ReleaseWindow(sensor, window_index);
 
@@ -215,8 +221,9 @@ Status StreamEngine::CloseWindow(SensorId sensor, int64_t window_index,
   if (!fault.ok()) {
     // The whole window is lost: divert its records so nothing vanishes
     // silently, but emit no KPIs -- the window never "happened".
-    for (const StreamEvent& ev : events) {
-      Quarantine(ev.seq, ev.record, QuarantineReason::kWindowFault, state);
+    for (size_t e = 0; e < event_count; ++e) {
+      Quarantine(events[e].seq, events[e].record,
+                 QuarantineReason::kWindowFault, state);
     }
     return Status::OK();
   }
@@ -225,9 +232,9 @@ Status StreamEngine::CloseWindow(SensorId sensor, int64_t window_index,
   std::vector<KpiAlert> alerts;
   QuarantineLedger window_ledger;
   const WindowKpis kpis = ProcessWindow(
-      sensor, window_index, config_.window_ms, std::move(events), dups, *rule,
-      config_.thresholds, &state->pipeline, &state->cleaned, &window_ledger,
-      &alerts);
+      sensor, window_index, config_.window_ms, events, event_count, dups,
+      *rule, config_.thresholds, &state->pipeline, &state->cleaned,
+      &window_ledger, &alerts);
   for (const QuarantineEntry& entry : window_ledger.entries()) {
     Quarantine(entry.seq,
                StRecord(entry.sensor, entry.t, geometry::Point(), entry.value),

@@ -10,13 +10,29 @@
 namespace sidq {
 namespace stream {
 
+namespace {
+
+// (event time, seq) is the total window-processing order; admission dedups
+// on (sensor, t), so it never depends on arrival order.
+bool EventTimeLess(const StreamEvent& a, const StreamEvent& b) {
+  return std::tie(a.record.t, a.seq) < std::tie(b.record.t, b.seq);
+}
+
+}  // namespace
+
 std::vector<StreamEvent> RingWindow::TakeSortedByTime() {
   std::vector<StreamEvent> out = std::move(events_);
   events_.clear();
-  std::sort(out.begin(), out.end(),
-            [](const StreamEvent& a, const StreamEvent& b) {
-              return std::tie(a.record.t, a.seq) < std::tie(b.record.t, b.seq);
-            });
+  std::sort(out.begin(), out.end(), EventTimeLess);
+  return out;
+}
+
+StreamEvent* RingWindow::TakeSortedByTime(Arena* arena, size_t* count) {
+  *count = events_.size();
+  StreamEvent* out = arena->AllocArray<StreamEvent>(events_.size());
+  std::copy(events_.begin(), events_.end(), out);
+  events_.clear();
+  std::sort(out, out + *count, EventTimeLess);
   return out;
 }
 
@@ -28,10 +44,21 @@ WindowKpis ProcessWindow(SensorId sensor, int64_t window_index,
                          std::vector<StRecord>* cleaned,
                          QuarantineLedger* ledger,
                          std::vector<KpiAlert>* alerts) {
-  std::sort(events.begin(), events.end(),
-            [](const StreamEvent& a, const StreamEvent& b) {
-              return std::tie(a.record.t, a.seq) < std::tie(b.record.t, b.seq);
-            });
+  return ProcessWindow(sensor, window_index, window_ms, events.data(),
+                       events.size(), duplicates, rule, thresholds, pipeline,
+                       cleaned, ledger, alerts);
+}
+
+WindowKpis ProcessWindow(SensorId sensor, int64_t window_index,
+                         Timestamp window_ms, StreamEvent* events,
+                         size_t event_count, int64_t duplicates,
+                         const SensorRule& rule,
+                         const KpiThresholds& thresholds,
+                         SensorPipeline* pipeline,
+                         std::vector<StRecord>* cleaned,
+                         QuarantineLedger* ledger,
+                         std::vector<KpiAlert>* alerts) {
+  std::sort(events, events + event_count, EventTimeLess);
 
   WindowKpis kpis;
   kpis.sensor = sensor;
@@ -44,7 +71,8 @@ WindowKpis ProcessWindow(SensorId sensor, int64_t window_index,
   bool has_prev = false;
   Timestamp prev_t = kpis.window_start;
   double prev_value = 0.0;
-  for (const StreamEvent& ev : events) {
+  for (size_t e = 0; e < event_count; ++e) {
+    const StreamEvent& ev = events[e];
     const StRecord& rec = ev.record;
     if (pipeline->robust_z.Observe(rec.value)) {
       ledger->Add(ev.seq, rec, QuarantineReason::kOutlier);

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/quality.h"
 #include "core/stid.h"
 #include "core/types.h"
@@ -32,6 +33,11 @@ class RingWindow {
   // (sensor, t), so event times are unique within a window and this sort
   // is a total order -- arrival order cannot leak into window processing.
   [[nodiscard]] std::vector<StreamEvent> TakeSortedByTime();
+
+  // Same drain into arena scratch (the stream engine's window-close path):
+  // the sorted events live until the caller's ArenaScope rewinds, and the
+  // close performs no heap allocation for them.
+  [[nodiscard]] StreamEvent* TakeSortedByTime(Arena* arena, size_t* count);
 
  private:
   std::vector<StreamEvent> events_;
@@ -104,6 +110,20 @@ struct SensorPipeline {
 WindowKpis ProcessWindow(SensorId sensor, int64_t window_index,
                          Timestamp window_ms, std::vector<StreamEvent> events,
                          int64_t duplicates, const SensorRule& rule,
+                         const KpiThresholds& thresholds,
+                         SensorPipeline* pipeline,
+                         std::vector<StRecord>* cleaned,
+                         QuarantineLedger* ledger,
+                         std::vector<KpiAlert>* alerts);
+
+// Span form of the same function (sorts `events` in place). This is the
+// single implementation both overloads share: the stream engine passes
+// arena scratch, the batch reference passes its vector's storage -- so the
+// stream-vs-batch differential contract is preserved by construction.
+WindowKpis ProcessWindow(SensorId sensor, int64_t window_index,
+                         Timestamp window_ms, StreamEvent* events,
+                         size_t event_count, int64_t duplicates,
+                         const SensorRule& rule,
                          const KpiThresholds& thresholds,
                          SensorPipeline* pipeline,
                          std::vector<StRecord>* cleaned,

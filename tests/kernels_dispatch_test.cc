@@ -1,0 +1,401 @@
+// Dispatch equivalence tests: every ISA tier that is compiled in and
+// runnable on this host must produce BIT-IDENTICAL output to the scalar
+// oracle tier for every dispatched primitive -- including NaN, +/-Inf,
+// signed-zero, and empty inputs -- and SIDQ_FORCE_ISA must pin (or clamp)
+// the active tier. "Identical" here means memcmp over the raw double bits,
+// not approximate equality: the dispatch choice may change speed, never a
+// single bit of output.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "kernels/dispatch.h"
+
+namespace sidq {
+namespace kernels {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+uint64_t Fnv1a(const void* data, size_t bytes,
+               uint64_t h = 1469598103934665603ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<Isa> CompiledTiers() {
+  std::vector<Isa> out;
+  for (int i = 0; i < kIsaCount; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    if (KernelDispatch::Table(isa) != nullptr) out.push_back(isa);
+  }
+  return out;
+}
+
+// Random column with IEEE special values sprinkled in: NaN, +/-Inf, and a
+// negative zero. Specials exercise the ordered-compare and min/max paths
+// where a vectorized tier could legally diverge if it used the wrong
+// predicate.
+std::vector<double> Column(Rng* rng, size_t n, bool specials) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = rng->Uniform(-1000.0, 1000.0);
+  if (specials && n > 0) {
+    const auto at = [&] {
+      return static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+    };
+    v[at()] = kNan;
+    v[at()] = kInf;
+    v[at()] = -kInf;
+    v[at()] = -0.0;
+  }
+  return v;
+}
+
+void ExpectBytesEqual(const std::vector<double>& ref,
+                      const std::vector<double>& got, Isa isa,
+                      const char* what) {
+  ASSERT_EQ(ref.size(), got.size());
+  if (ref.empty()) return;  // empty vectors may hand memcmp a null pointer
+  EXPECT_EQ(0, std::memcmp(ref.data(), got.data(),
+                           ref.size() * sizeof(double)))
+      << what << " diverges from scalar on tier " << IsaName(isa);
+}
+
+// Restores the dispatch state (env + resolved table) no matter how a test
+// exits, so tier-forcing tests cannot leak into later tests.
+class ForceIsaGuard {
+ public:
+  ForceIsaGuard() {
+    const char* v = std::getenv("SIDQ_FORCE_ISA");
+    if (v != nullptr) saved_ = v;
+    had_ = v != nullptr;
+  }
+  ~ForceIsaGuard() {
+    if (had_) {
+      setenv("SIDQ_FORCE_ISA", saved_.c_str(), 1);
+    } else {
+      unsetenv("SIDQ_FORCE_ISA");
+    }
+    KernelDispatch::ReinitForTest();
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+// ------------------------------------------------ per-primitive identity
+
+TEST(KernelDispatchTest, ScalarTierAlwaysAvailable) {
+  EXPECT_TRUE(KernelDispatch::Available(Isa::kScalar));
+  ASSERT_NE(KernelDispatch::Table(Isa::kScalar), nullptr);
+  EXPECT_EQ(KernelDispatch::Table(Isa::kScalar)->isa, Isa::kScalar);
+  // SSE2 is the x86-64 baseline build; it is always compiled.
+  EXPECT_TRUE(KernelDispatch::Available(Isa::kSse2));
+  EXPECT_EQ(KernelDispatch::Get().isa, KernelDispatch::Active());
+}
+
+TEST(KernelDispatchTest, PairwiseSqDistMatchesScalarOnEveryTier) {
+  const KernelOps& ref = *KernelDispatch::Table(Isa::kScalar);
+  Rng rng(11);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{33}}) {
+    for (size_t m : {size_t{0}, size_t{1}, size_t{7}, size_t{64}}) {
+      const auto ax = Column(&rng, n, true);
+      const auto ay = Column(&rng, n, true);
+      const auto bx = Column(&rng, m, true);
+      const auto by = Column(&rng, m, true);
+      std::vector<double> want(n * m, -7.0);
+      ref.pairwise_sq_dist(ax.data(), ay.data(), n, bx.data(), by.data(), m,
+                           want.data());
+      for (Isa isa : CompiledTiers()) {
+        std::vector<double> got(n * m, -7.0);
+        KernelDispatch::Table(isa)->pairwise_sq_dist(
+            ax.data(), ay.data(), n, bx.data(), by.data(), m, got.data());
+        ExpectBytesEqual(want, got, isa, "pairwise_sq_dist");
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchTest, RowAndColumnPrimitivesMatchScalarOnEveryTier) {
+  const KernelOps& ref = *KernelDispatch::Table(Isa::kScalar);
+  Rng rng_store(12);
+  Rng* rng = &rng_store;
+  for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{9}, size_t{65}}) {
+    const auto xs = Column(rng, n, true);
+    const auto ys = Column(rng, n, true);
+    const double px = rng->Uniform(-100.0, 100.0), py = -0.0;
+    const size_t lo =
+        n == 0 ? 0
+               : static_cast<size_t>(
+                     rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+    const size_t hi =
+        n == 0 ? 0
+               : static_cast<size_t>(rng->UniformInt(
+                     static_cast<int64_t>(lo), static_cast<int64_t>(n)));
+
+    std::vector<double> want_row(n, -7.0), want_many(n, -7.0);
+    std::vector<double> want_consec(n > 1 ? n - 1 : 0, -7.0);
+    ref.dist_row(px, py, xs.data(), ys.data(), lo, hi, want_row.data());
+    ref.point_to_many_dist(px, py, xs.data(), ys.data(), n, want_many.data());
+    ref.consecutive_dist(xs.data(), ys.data(), n, want_consec.data());
+    const double want_poly =
+        ref.point_to_polyline_dist(px, py, xs.data(), ys.data(), n);
+
+    for (Isa isa : CompiledTiers()) {
+      const KernelOps& ops = *KernelDispatch::Table(isa);
+      std::vector<double> row(n, -7.0), many(n, -7.0);
+      std::vector<double> consec(n > 1 ? n - 1 : 0, -7.0);
+      ops.dist_row(px, py, xs.data(), ys.data(), lo, hi, row.data());
+      ops.point_to_many_dist(px, py, xs.data(), ys.data(), n, many.data());
+      ops.consecutive_dist(xs.data(), ys.data(), n, consec.data());
+      const double poly =
+          ops.point_to_polyline_dist(px, py, xs.data(), ys.data(), n);
+      ExpectBytesEqual(want_row, row, isa, "dist_row");
+      ExpectBytesEqual(want_many, many, isa, "point_to_many_dist");
+      ExpectBytesEqual(want_consec, consec, isa, "consecutive_dist");
+      EXPECT_EQ(0, std::memcmp(&want_poly, &poly, sizeof(double)))
+          << "point_to_polyline_dist diverges on tier " << IsaName(isa);
+    }
+  }
+}
+
+TEST(KernelDispatchTest, DtwRowMatchesScalarAndFusedEqualsTwoPass) {
+  const KernelOps& ref = *KernelDispatch::Table(Isa::kScalar);
+  Rng rng_store(13);
+  Rng* rng = &rng_store;
+  // Widths straddle kDtwTwoPassMinWidth (16) so both the fused and the
+  // two-pass body run; scratch == nullptr forces the fused form, which
+  // must be bit-identical to the two-pass form on every tier.
+  for (size_t m : {size_t{1}, size_t{5}, size_t{16}, size_t{48}}) {
+    const auto bx = Column(rng, m, true);
+    const auto by = Column(rng, m, true);
+    std::vector<double> prev(m + 1);
+    for (double& p : prev) {
+      p = rng->Bernoulli(0.3) ? kInf : rng->Uniform(0.0, 500.0);
+    }
+    const double qx = rng->Uniform(-100.0, 100.0);
+    const double qy = rng->Uniform(-100.0, 100.0);
+    const size_t lo = static_cast<size_t>(
+        rng->UniformInt(1, static_cast<int64_t>(m)));
+    const size_t hi = static_cast<size_t>(rng->UniformInt(
+        static_cast<int64_t>(lo), static_cast<int64_t>(m)));
+    std::vector<double> want(m + 1, -7.0), scratch(m, -7.0);
+    ref.dtw_row(qx, qy, bx.data(), by.data(), m, lo, hi, prev.data(),
+                want.data(), scratch.data());
+    for (Isa isa : CompiledTiers()) {
+      const KernelOps& ops = *KernelDispatch::Table(isa);
+      std::vector<double> got(m + 1, -7.0), s2(m, -7.0);
+      ops.dtw_row(qx, qy, bx.data(), by.data(), m, lo, hi, prev.data(),
+                  got.data(), s2.data());
+      ExpectBytesEqual(want, got, isa, "dtw_row(two-pass)");
+      std::vector<double> fused(m + 1, -7.0);
+      ops.dtw_row(qx, qy, bx.data(), by.data(), m, lo, hi, prev.data(),
+                  fused.data(), nullptr);
+      ExpectBytesEqual(want, fused, isa, "dtw_row(fused)");
+    }
+  }
+}
+
+TEST(KernelDispatchTest, FrechetRowMatchesScalarOnEveryTier) {
+  const KernelOps& ref = *KernelDispatch::Table(Isa::kScalar);
+  Rng rng_store(14);
+  Rng* rng = &rng_store;
+  for (size_t m : {size_t{1}, size_t{2}, size_t{17}, size_t{64}}) {
+    const auto bx = Column(rng, m, true);
+    const auto by = Column(rng, m, true);
+    std::vector<double> prev(m);
+    for (double& p : prev) {
+      p = rng->Bernoulli(0.2) ? kInf : rng->Uniform(0.0, 800.0);
+    }
+    const double qx = rng->Uniform(-100.0, 100.0);
+    const double qy = rng->Uniform(-100.0, 100.0);
+    std::vector<double> want(m, -7.0), scratch(m, -7.0);
+    ref.frechet_row(qx, qy, bx.data(), by.data(), m, prev.data(), want.data(),
+                    scratch.data());
+    for (Isa isa : CompiledTiers()) {
+      std::vector<double> got(m, -7.0), s2(m, -7.0);
+      KernelDispatch::Table(isa)->frechet_row(qx, qy, bx.data(), by.data(), m,
+                                              prev.data(), got.data(),
+                                              s2.data());
+      ExpectBytesEqual(want, got, isa, "frechet_row");
+    }
+  }
+}
+
+TEST(KernelDispatchTest, FrechetFullMatchesRowIterationOnEveryTier) {
+  // Two properties at once: the wavefront form equals the row-kernel
+  // composition (row 0 = prefix max of dist_row, then frechet_row per row)
+  // on the scalar tier, and every tier's wavefront equals the scalar
+  // wavefront -- so the anti-diagonal schedule changes no bits anywhere.
+  const KernelOps& ref = *KernelDispatch::Table(Isa::kScalar);
+  Rng rng_store(16);
+  Rng* rng = &rng_store;
+  for (size_t n : {size_t{1}, size_t{2}, size_t{7}, size_t{33}}) {
+    for (size_t m : {size_t{1}, size_t{5}, size_t{31}, size_t{64}}) {
+      const auto ax = Column(rng, n, true);
+      const auto ay = Column(rng, n, true);
+      const auto bx = Column(rng, m, true);
+      const auto by = Column(rng, m, true);
+      // Row-kernel composition on the scalar tier.
+      std::vector<double> prev(m), cur(m), dist(m);
+      ref.dist_row(ax[0], ay[0], bx.data(), by.data(), 0, m, dist.data());
+      prev[0] = dist[0];
+      for (size_t j = 1; j < m; ++j) {
+        prev[j] = std::max(prev[j - 1], dist[j]);
+      }
+      for (size_t i = 1; i < n; ++i) {
+        ref.frechet_row(ax[i], ay[i], bx.data(), by.data(), m, prev.data(),
+                        cur.data(), dist.data());
+        std::swap(prev, cur);
+      }
+      const double want = prev[m - 1];
+      for (Isa isa : CompiledTiers()) {
+        std::vector<double> scratch(3 * m, -7.0);
+        const double got = KernelDispatch::Table(isa)->frechet_full(
+            ax.data(), ay.data(), n, bx.data(), by.data(), m, scratch.data());
+        EXPECT_EQ(0, std::memcmp(&want, &got, sizeof(double)))
+            << "frechet_full (n=" << n << ", m=" << m
+            << ") diverges from the row iteration on tier " << IsaName(isa);
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchTest, LeafScanMatchesScalarOnEveryTier) {
+  const KernelOps& ref = *KernelDispatch::Table(Isa::kScalar);
+  Rng rng_store(15);
+  Rng* rng = &rng_store;
+  // Counts cover the AVX-512 full-lane and masked-tail paths plus the
+  // kMaxEntriesCap-sized worst case of the portable compaction buffer.
+  for (size_t count : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                       size_t{63}, size_t{64}, size_t{256}}) {
+    std::vector<double> min_x(count), min_y(count), max_x(count), max_y(count);
+    std::vector<uint64_t> ids(count);
+    for (size_t j = 0; j < count; ++j) {
+      const double cx = rng->Uniform(-100.0, 100.0);
+      const double cy = rng->Uniform(-100.0, 100.0);
+      const double w = rng->Uniform(0.0, 20.0), h = rng->Uniform(0.0, 20.0);
+      min_x[j] = cx - w;
+      max_x[j] = cx + w;
+      min_y[j] = cy - h;
+      max_y[j] = cy + h;
+      ids[j] = j * 3 + 1;
+      if (rng->Bernoulli(0.05)) min_x[j] = kNan;  // never a hit, every tier
+    }
+    const double qx = rng->Uniform(-80.0, 80.0);
+    const double qy = rng->Uniform(-80.0, 80.0);
+    std::vector<uint64_t> want(count + 1, ~uint64_t{0});
+    const size_t want_n =
+        ref.leaf_scan(min_x.data(), min_y.data(), max_x.data(), max_y.data(),
+                      ids.data(), count, qx - 30.0, qy - 30.0, qx + 30.0,
+                      qy + 30.0, want.data());
+    for (Isa isa : CompiledTiers()) {
+      std::vector<uint64_t> got(count + 1, ~uint64_t{0});
+      const size_t got_n = KernelDispatch::Table(isa)->leaf_scan(
+          min_x.data(), min_y.data(), max_x.data(), max_y.data(), ids.data(),
+          count, qx - 30.0, qy - 30.0, qx + 30.0, qy + 30.0, got.data());
+      EXPECT_EQ(want_n, got_n) << "leaf_scan count on " << IsaName(isa);
+      EXPECT_EQ(0, std::memcmp(want.data(), got.data(),
+                               want_n * sizeof(uint64_t)))
+          << "leaf_scan ids diverge on tier " << IsaName(isa);
+    }
+  }
+}
+
+// One checksum over a long randomized mixed workload per tier: the
+// compressed form of the property above, and the number run_all.sh's
+// forced-scalar gate compares at the bench level.
+TEST(KernelDispatchTest, WorkloadChecksumIdenticalAcrossTiers) {
+  const auto run = [](const KernelOps& ops) {
+    Rng rng_store(99);
+    Rng* rng = &rng_store;
+    uint64_t h = 1469598103934665603ull;
+    for (int trial = 0; trial < 20; ++trial) {
+      const size_t n = static_cast<size_t>(rng->UniformInt(1, 96));
+      const auto xs = Column(rng, n, trial % 2 == 0);
+      const auto ys = Column(rng, n, trial % 3 == 0);
+      std::vector<double> out(n * n);
+      ops.pairwise_sq_dist(xs.data(), ys.data(), n, xs.data(), ys.data(), n,
+                           out.data());
+      h = Fnv1a(out.data(), out.size() * sizeof(double), h);
+      ops.point_to_many_dist(xs[0], ys[0], xs.data(), ys.data(), n,
+                             out.data());
+      h = Fnv1a(out.data(), n * sizeof(double), h);
+      const double poly =
+          ops.point_to_polyline_dist(ys[0], xs[0], xs.data(), ys.data(), n);
+      h = Fnv1a(&poly, sizeof(double), h);
+    }
+    return h;
+  };
+  const uint64_t want = run(*KernelDispatch::Table(Isa::kScalar));
+  for (Isa isa : CompiledTiers()) {
+    EXPECT_EQ(want, run(*KernelDispatch::Table(isa)))
+        << "workload checksum diverges on tier " << IsaName(isa);
+  }
+}
+
+// -------------------------------------------------- SIDQ_FORCE_ISA knob
+
+TEST(KernelDispatchTest, ForceIsaPinsEveryAvailableTier) {
+  ForceIsaGuard guard;
+  for (Isa isa : CompiledTiers()) {
+    setenv("SIDQ_FORCE_ISA", IsaName(isa), 1);
+    KernelDispatch::ReinitForTest();
+    EXPECT_EQ(KernelDispatch::Active(), isa) << "forcing " << IsaName(isa);
+    EXPECT_EQ(KernelDispatch::Get().isa, isa);
+  }
+  unsetenv("SIDQ_FORCE_ISA");
+  KernelDispatch::ReinitForTest();
+  EXPECT_EQ(KernelDispatch::Active(), KernelDispatch::Best());
+}
+
+TEST(KernelDispatchTest, UnknownForceValueFallsBackToBest) {
+  ForceIsaGuard guard;
+  setenv("SIDQ_FORCE_ISA", "pentium-pro", 1);
+  KernelDispatch::ReinitForTest();
+  EXPECT_EQ(KernelDispatch::Active(), KernelDispatch::Best());
+}
+
+TEST(KernelDispatchTest, UnavailableForceClampsDownNotUp) {
+  ForceIsaGuard guard;
+  // Forcing the widest tier must never resolve to something wider than the
+  // host supports: exactly avx512 when available, else the best tier at or
+  // below it (which is Best(), since avx512 is the widest).
+  setenv("SIDQ_FORCE_ISA", "avx512", 1);
+  KernelDispatch::ReinitForTest();
+  if (KernelDispatch::Available(Isa::kAvx512)) {
+    EXPECT_EQ(KernelDispatch::Active(), Isa::kAvx512);
+  } else {
+    EXPECT_EQ(KernelDispatch::Active(), KernelDispatch::Best());
+  }
+  // Forcing scalar always lands exactly on scalar.
+  setenv("SIDQ_FORCE_ISA", "scalar", 1);
+  KernelDispatch::ReinitForTest();
+  EXPECT_EQ(KernelDispatch::Active(), Isa::kScalar);
+}
+
+TEST(KernelDispatchTest, IsaNamesRoundTrip) {
+  EXPECT_STREQ(IsaName(Isa::kScalar), "scalar");
+  EXPECT_STREQ(IsaName(Isa::kSse2), "sse2");
+  EXPECT_STREQ(IsaName(Isa::kAvx2), "avx2");
+  EXPECT_STREQ(IsaName(Isa::kAvx512), "avx512");
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace sidq

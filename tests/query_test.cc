@@ -123,6 +123,49 @@ TEST(ProbRangeTest, EmptyBoxNoResults) {
       ProbabilisticRangeQuery(objects, BBox(), 0.5).empty());
 }
 
+// The batched form shares one R-tree walk across all boxes but must be
+// indistinguishable from running the solo query per box: identical id
+// sequences AND identical pruning statistics.
+TEST(ProbRangeTest, BatchedManyMatchesSoloPerBox) {
+  const auto objects = RandomObjects(300, 2000.0, 20.0, 12);
+  Rng rng(13);
+  std::vector<BBox> boxes;
+  for (int i = 0; i < 25; ++i) {
+    const double x = rng.Uniform(0, 1800), y = rng.Uniform(0, 1800);
+    boxes.emplace_back(x, y, x + rng.Uniform(10, 400),
+                       y + rng.Uniform(10, 400));
+  }
+  boxes.push_back(BBox());                          // empty box
+  boxes.emplace_back(-1e6, -1e6, 1e6, 1e6);         // contains everything
+  for (double tau : {0.1, 0.5, 0.9, 1.0}) {
+    std::vector<PruningStats> batch_stats;
+    const auto batch =
+        ProbabilisticRangeQueryMany(objects, boxes, tau, &batch_stats);
+    ASSERT_EQ(batch.size(), boxes.size());
+    ASSERT_EQ(batch_stats.size(), boxes.size());
+    for (size_t q = 0; q < boxes.size(); ++q) {
+      PruningStats solo_stats;
+      const auto solo =
+          ProbabilisticRangeQuery(objects, boxes[q], tau, &solo_stats);
+      EXPECT_EQ(batch[q], solo) << "box " << q << " tau " << tau;
+      EXPECT_EQ(batch_stats[q].total_objects, solo_stats.total_objects);
+      EXPECT_EQ(batch_stats[q].pruned_out, solo_stats.pruned_out);
+      EXPECT_EQ(batch_stats[q].accepted_cheap, solo_stats.accepted_cheap);
+      EXPECT_EQ(batch_stats[q].evaluated_exact, solo_stats.evaluated_exact);
+    }
+  }
+}
+
+TEST(ProbRangeTest, BatchedManyHandlesEmptyInputs) {
+  EXPECT_TRUE(ProbabilisticRangeQueryMany({}, {}, 0.5).empty());
+  const auto no_objects =
+      ProbabilisticRangeQueryMany({}, {BBox(0, 0, 1, 1)}, 0.5);
+  ASSERT_EQ(no_objects.size(), 1u);
+  EXPECT_TRUE(no_objects[0].empty());
+  const auto objects = RandomObjects(20, 100.0, 5.0, 14);
+  EXPECT_TRUE(ProbabilisticRangeQueryMany(objects, {}, 0.5).empty());
+}
+
 // ----------------------------------------------------- ExpectedDistanceKnn
 
 TEST(KnnTest, MatchesExhaustiveRanking) {
