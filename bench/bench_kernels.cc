@@ -45,6 +45,7 @@
 #include "kernels/scalar_ref.h"
 #include "kernels/soa.h"
 #include "query/similarity.h"
+#include "store/vfs.h"
 
 namespace sidq {
 namespace {
@@ -338,17 +339,23 @@ int main(int argc, char** argv) {
 
   if (!checksums_out.empty()) {
     // One "<primitive> <checksum>" line per primitive: the byte-compare
-    // surface for the forced-scalar vs dispatched gate.
-    std::FILE* f = std::fopen(checksums_out.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", checksums_out.c_str());
+    // surface for the forced-scalar vs dispatched gate. Published
+    // atomically so a crashed bench can never leave a truncated file that
+    // cmp would read as a checksum mismatch.
+    std::string lines;
+    for (const PrimitiveResult& r : results) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%s %016llx\n", r.name,
+                    static_cast<unsigned long long>(r.checksum));
+      lines += buf;
+    }
+    const sidq::Status st = sidq::store::AtomicWriteFile(
+        sidq::store::DefaultVfs(), checksums_out, lines);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", checksums_out.c_str(),
+                   st.message().c_str());
       return 1;
     }
-    for (const PrimitiveResult& r : results) {
-      std::fprintf(f, "%s %016llx\n", r.name,
-                   static_cast<unsigned long long>(r.checksum));
-    }
-    std::fclose(f);
   }
 
   std::printf(

@@ -1,0 +1,380 @@
+// BENCH store: durable segment-store throughput and recovery cost
+// (DESIGN.md "Durability & recovery").
+//
+// Workload: a seeded synthetic STID stream (deterministic bytes, same
+// every run) appended through the real POSIX Vfs into a scratch store
+// under $TMPDIR.
+//
+//   append     sustained Append()+Commit throughput: rows/s and MB/s of
+//              durable (fsync'd, manifested) columnar blocks.
+//   scan       store-backed Scan() vs. the in-memory vector walk over the
+//              identical records -- the price of reading through the
+//              checksummed block path instead of RAM.
+//   recovery   Store::Open wall time as the store grows across segment
+//              counts, plus a reopen after an injected torn tail (the
+//              power-cut case recovery exists for).
+//
+// The store-backed scan must reproduce the in-memory FNV-1a checksum over
+// every record's raw bits; any mismatch or failed recovery exits 1, so
+// this bench doubles as the store bit-identity gate.
+// scripts/bench_json.py scrapes the BENCH_JSON line into BENCH_store.json.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/random.h"
+#include "core/stid.h"
+#include "store/store.h"
+#include "store/vfs.h"
+
+namespace sidq {
+namespace {
+
+constexpr uint64_t kSeed = 20220613;  // SIGMOD'22, for the record
+constexpr size_t kRowBytes = 48;      // columnar footprint per record
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Deterministic synthetic stream: plausible ranges, exact bytes fixed by
+// the seed. NaNs and negative zero ride along on purpose -- the store
+// must round-trip them bit-exactly, not "approximately".
+std::vector<StRecord> MakeRecords(size_t n) {
+  Rng rng(kSeed);
+  std::vector<StRecord> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    StRecord rec;
+    rec.sensor = 1 + static_cast<SensorId>(i % 64);
+    rec.t = static_cast<Timestamp>(i) * 1000;
+    rec.loc = geometry::Point(rng.Uniform(0.0, 8000.0),
+                              rng.Uniform(0.0, 8000.0));
+    rec.value = rng.Uniform(-50.0, 500.0);
+    rec.stddev = rng.Uniform(0.1, 4.0);
+    if (i % 4096 == 7) rec.value = std::numeric_limits<double>::quiet_NaN();
+    if (i % 4096 == 11) rec.value = -0.0;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+uint64_t MixBits(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;  // FNV-1a
+  return h;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+uint64_t RecordChecksum(uint64_t h, const StRecord& rec) {
+  h = MixBits(h, rec.sensor);
+  h = MixBits(h, static_cast<uint64_t>(rec.t));
+  h = MixBits(h, DoubleBits(rec.loc.x));
+  h = MixBits(h, DoubleBits(rec.loc.y));
+  h = MixBits(h, DoubleBits(rec.value));
+  h = MixBits(h, DoubleBits(rec.stddev));
+  return h;
+}
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+
+void RemoveTree(const std::string& dir) {
+  store::Vfs* vfs = store::DefaultVfs();
+  const StatusOr<std::vector<std::string>> names = vfs->ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& name : *names) {
+      (void)vfs->Remove(dir + "/" + name);  // sidq: allow-ignored-status(best-effort scratch cleanup)
+    }
+  }
+  ::rmdir(dir.c_str());
+}
+
+[[noreturn]] void Die(const char* what, const Status& st) {
+  std::fprintf(stderr, "bench_store: %s: %s\n", what, st.ToString().c_str());
+  std::exit(1);
+}
+
+struct RecoveryPoint {
+  size_t segments = 0;
+  uint64_t rows = 0;
+  double open_ms = 0.0;
+};
+
+}  // namespace
+}  // namespace sidq
+
+int main(int argc, char** argv) {
+  using namespace sidq;
+
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::Banner("BENCH store", "durable segment store",
+                "IoT ingest must survive power cuts: checksummed columnar "
+                "blocks, atomic manifest commits, reason-coded recovery "
+                "(Mansouri et al.'s incompleteness/corruption threats)");
+
+  const size_t rows = quick ? 50'000 : 400'000;
+  const int reps = quick ? 1 : 3;
+  const std::vector<StRecord> records = MakeRecords(rows);
+
+  uint64_t mem_checksum = kFnvOffset;
+  for (const StRecord& rec : records) {
+    mem_checksum = RecordChecksum(mem_checksum, rec);
+  }
+
+  char tmpl[] = "/tmp/sidq_bench_store.XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::fprintf(stderr, "bench_store: mkdtemp failed\n");
+    return 1;
+  }
+  const std::string scratch = tmpl;
+
+  store::StoreOptions options;
+  options.field_name = "bench";
+
+  // --- append: durable ingest throughput (best of reps) -----------------
+  double append_s = 1e300;
+  const std::string append_dir = scratch + "/append";
+  for (int rep = 0; rep < reps; ++rep) {
+    RemoveTree(append_dir);
+    const auto t0 = std::chrono::steady_clock::now();
+    StatusOr<std::unique_ptr<store::Store>> db =
+        store::Store::Open(nullptr, append_dir, options);
+    if (!db.ok()) Die("append open", db.status());
+    for (const StRecord& rec : records) {
+      const Status st = (*db)->Append(rec);
+      if (!st.ok()) Die("append", st);
+    }
+    const Status st = (*db)->Close();
+    if (!st.ok()) Die("append commit", st);
+    append_s = std::min(append_s, SecondsSince(t0));
+  }
+  const double append_rows_per_s = static_cast<double>(rows) / append_s;
+  const double append_mb_per_s =
+      static_cast<double>(rows * kRowBytes) / append_s / 1e6;
+
+  // --- scan: store-backed vs. in-memory, with the bit-identity gate -----
+  double scan_store_s = 1e300;
+  uint64_t store_checksum = 0;
+  uint64_t readable = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    StatusOr<std::unique_ptr<store::Store>> db =
+        store::Store::Open(nullptr, append_dir, options);
+    if (!db.ok()) Die("scan open", db.status());
+    uint64_t checksum = kFnvOffset;
+    uint64_t n = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    const Status st = (*db)->Scan([&](uint64_t, const StRecord& rec) {
+      checksum = RecordChecksum(checksum, rec);
+      ++n;
+    });
+    const double secs = SecondsSince(t0);
+    if (!st.ok()) Die("scan", st);
+    scan_store_s = std::min(scan_store_s, secs);
+    store_checksum = checksum;
+    readable = n;
+  }
+
+  double scan_mem_s = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    uint64_t checksum = kFnvOffset;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const StRecord& rec : records) {
+      checksum = RecordChecksum(checksum, rec);
+    }
+    const double secs = SecondsSince(t0);
+    if (checksum != mem_checksum) {
+      std::fprintf(stderr, "bench_store: in-memory checksum unstable\n");
+      return 1;
+    }
+    scan_mem_s = std::min(scan_mem_s, secs);
+  }
+
+  if (readable != rows || store_checksum != mem_checksum) {
+    std::fprintf(stderr,
+                 "BIT-IDENTITY VIOLATION: store-backed scan (%llu rows, "
+                 "checksum %llu) differs from the in-memory path (%zu rows, "
+                 "checksum %llu)\n",
+                 static_cast<unsigned long long>(readable),
+                 static_cast<unsigned long long>(store_checksum), rows,
+                 static_cast<unsigned long long>(mem_checksum));
+    return 1;
+  }
+
+  // --- recovery: Open() wall time vs. segment count ---------------------
+  // Fixed block size, growing row counts: more rows -> more segments.
+  // Every block of every manifested segment is CRC-verified on open, so
+  // this curve is the price of paranoia at startup.
+  std::vector<RecoveryPoint> recovery;
+  for (const size_t target_segments : {1u, 4u, 16u}) {
+    store::StoreOptions ropts;
+    ropts.field_name = "bench";
+    ropts.block_records = 256;
+    ropts.segment_target_blocks = 16;
+    const size_t nrows =
+        std::min(rows, target_segments * ropts.block_records *
+                           ropts.segment_target_blocks);
+    const std::string dir =
+        scratch + "/recover" + std::to_string(target_segments);
+    {
+      StatusOr<std::unique_ptr<store::Store>> db =
+          store::Store::Open(nullptr, dir, ropts);
+      if (!db.ok()) Die("recovery build open", db.status());
+      for (size_t i = 0; i < nrows; ++i) {
+        const Status st = (*db)->Append(records[i]);
+        if (!st.ok()) Die("recovery build append", st);
+      }
+      const Status st = (*db)->Close();
+      if (!st.ok()) Die("recovery build commit", st);
+    }
+    double open_s = 1e300;
+    uint64_t got = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      StatusOr<std::unique_ptr<store::Store>> db =
+          store::Store::Open(nullptr, dir, ropts);
+      const double secs = SecondsSince(t0);
+      if (!db.ok()) Die("recovery open", db.status());
+      got = (*db)->rows_readable();
+      open_s = std::min(open_s, secs);
+    }
+    if (got != nrows) {
+      std::fprintf(stderr,
+                   "RECOVERY VIOLATION: reopened store serves %llu of %zu "
+                   "rows\n",
+                   static_cast<unsigned long long>(got), nrows);
+      return 1;
+    }
+    recovery.push_back({target_segments, nrows, open_s * 1e3});
+  }
+
+  // Torn-tail reopen: append garbage past the committed manifest the way
+  // a power cut mid-append would, and time the recovery that truncates it.
+  const std::string torn_dir = scratch + "/recover16";
+  {
+    store::Vfs* vfs = store::DefaultVfs();
+    // The torn append lands where a crash would put it: at the end of the
+    // highest-numbered (actively written) segment.
+    StatusOr<std::vector<std::string>> names = vfs->ListDir(torn_dir);
+    if (!names.ok()) Die("torn listdir", names.status());
+    std::string last_seg;
+    for (const std::string& name : *names) {
+      uint32_t seg = 0;
+      if (store::ParseSegmentFileName(name, &seg)) last_seg = name;
+    }
+    if (last_seg.empty()) {
+      std::fprintf(stderr, "bench_store: no segment files in %s\n",
+                   torn_dir.c_str());
+      return 1;
+    }
+    StatusOr<std::unique_ptr<store::WritableFile>> f = vfs->NewWritableFile(
+        torn_dir + "/" + last_seg, store::WriteMode::kAppend);
+    if (!f.ok()) Die("torn append open", f.status());
+    Status st = (*f)->Append("SBLK torn by a power cut");
+    if (st.ok()) st = (*f)->Close();
+    if (!st.ok()) Die("torn append", st);
+  }
+  double torn_open_ms = 0.0;
+  {
+    store::StoreOptions ropts;
+    ropts.field_name = "bench";
+    ropts.block_records = 256;
+    ropts.segment_target_blocks = 16;
+    const auto t0 = std::chrono::steady_clock::now();
+    StatusOr<std::unique_ptr<store::Store>> db =
+        store::Store::Open(nullptr, torn_dir, ropts);
+    torn_open_ms = SecondsSince(t0) * 1e3;
+    if (!db.ok()) Die("torn reopen", db.status());
+    if (!(*db)->recovery().tail_truncated ||
+        (*db)->recovery().rows_lost != 0) {
+      std::fprintf(stderr,
+                   "RECOVERY VIOLATION: torn tail not truncated cleanly "
+                   "(%s)\n",
+                   (*db)->recovery().Summary().c_str());
+      return 1;
+    }
+  }
+
+  RemoveTree(append_dir);
+  for (const size_t s : {1u, 4u, 16u}) {
+    RemoveTree(scratch + "/recover" + std::to_string(s));
+  }
+  ::rmdir(scratch.c_str());
+
+  bench::Table t({"metric", "value"});
+  t.AddRow({"rows", std::to_string(rows)});
+  t.AddRow({"append rows/s", bench::FInt(append_rows_per_s)});
+  t.AddRow({"append MB/s (durable)", bench::F1(append_mb_per_s)});
+  t.AddRow({"scan rows/s (store)",
+            bench::FInt(static_cast<double>(rows) / scan_store_s)});
+  t.AddRow({"scan rows/s (memory)",
+            bench::FInt(static_cast<double>(rows) / scan_mem_s)});
+  t.AddRow({"scan slowdown vs RAM", bench::F2(scan_store_s / scan_mem_s)});
+  t.Print();
+
+  bench::Table rt({"segments", "rows", "open ms"});
+  for (const RecoveryPoint& p : recovery) {
+    rt.AddRow({std::to_string(p.segments), std::to_string(p.rows),
+               bench::F2(p.open_ms)});
+  }
+  rt.AddRow({"16 + torn tail", std::to_string(recovery.back().rows),
+             bench::F2(torn_open_ms)});
+  rt.Print();
+
+  std::printf(
+      "bit-identity: store-backed scan == in-memory path "
+      "(checksum %llu over %zu rows)\n\n",
+      static_cast<unsigned long long>(mem_checksum), rows);
+
+  std::string recovery_json = "[";
+  for (size_t i = 0; i < recovery.size(); ++i) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"segments\":%zu,\"rows\":%llu,\"open_ms\":%.2f}",
+                  i == 0 ? "" : ",", recovery[i].segments,
+                  static_cast<unsigned long long>(recovery[i].rows),
+                  recovery[i].open_ms);
+    recovery_json += buf;
+  }
+  recovery_json += "]";
+
+  // rows_per_s / mb_per_s are absolute machine-dependent rates;
+  // scan_slowdown_vs_ram is a same-machine quotient, so bench_compare's
+  // --ratios-only mode may hold it across hosts.
+  std::printf(
+      "BENCH_JSON: {\"bench\":\"store\",\"rows\":%zu,"
+      "\"determinism\":\"bit-identical\",\"checksum\":\"%llu\","
+      "\"append\":{\"seconds\":%.4f,\"rows_per_s\":%.0f,\"mb_per_s\":%.1f},"
+      "\"scan\":{\"store_rows_per_s\":%.0f,\"mem_rows_per_s\":%.0f,"
+      "\"scan_slowdown_vs_ram\":%.2f},"
+      "\"recovery\":%s,\"torn_tail_open_ms\":%.2f}\n",
+      rows, static_cast<unsigned long long>(mem_checksum), append_s,
+      append_rows_per_s, append_mb_per_s,
+      static_cast<double>(rows) / scan_store_s,
+      static_cast<double>(rows) / scan_mem_s, scan_store_s / scan_mem_s,
+      recovery_json.c_str(), torn_open_ms);
+  return 0;
+}

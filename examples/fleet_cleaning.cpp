@@ -26,6 +26,16 @@
 //                                      summary; exit 1 on any divergence
 //                  [--stream-out F2]   with --replay: write the canonical
 //                                      stream-output JSON to F2
+//                  [--store-dir D]     with --replay: persist the cleaned
+//                                      stream records into the durable
+//                                      segment store at D (recovery runs on
+//                                      open; appends are committed before
+//                                      exit)
+//                  [--store-scan F]    with --store-dir: open the store
+//                                      (running crash recovery), print the
+//                                      recovery report, and write every
+//                                      readable row as a canonical text
+//                                      dump to F; exit
 //
 // The determinism contract means --threads changes only the wall clock:
 // every vehicle's cleaned trajectory is bit-identical for any N. Map
@@ -63,6 +73,8 @@
 #include "stream/engine.h"
 #include "stream/event_log.h"
 #include "stream/replay.h"
+#include "store/store.h"
+#include "store/vfs.h"
 #include "stream/rules.h"
 #include "uncertainty/completion.h"
 
@@ -122,8 +134,115 @@ int RecordLogMode(const std::string& path) {
   return 0;
 }
 
+// Persists the cleaned stream output into the durable segment store at
+// `store_dir`. Opening runs crash recovery first, so ingest composes with
+// whatever an earlier (possibly interrupted) run left behind; appends are
+// committed (data fsync'd, manifest published atomically) before returning.
+int IngestIntoStore(const sidq::stream::StreamOutput& streamed,
+                    const std::string& field_name,
+                    const std::string& store_dir) {
+  using namespace sidq;
+  store::StoreOptions options;
+  options.field_name = field_name;
+  StatusOr<std::unique_ptr<store::Store>> opened =
+      store::Store::Open(nullptr, store_dir, std::move(options));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "store open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  store::Store& db = **opened;
+  std::printf("  store %s: %s\n", store_dir.c_str(),
+              db.recovery().Summary().c_str());
+  uint64_t appended = 0;
+  for (const StSeries& s : streamed.cleaned.series()) {
+    for (const StRecord& rec : s.records()) {
+      const Status st = db.Append(rec);
+      if (!st.ok()) {
+        std::fprintf(stderr, "store append failed: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+      ++appended;
+    }
+  }
+  const Status st = db.Close();
+  if (!st.ok()) {
+    std::fprintf(stderr, "store commit failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("  store ingest: %llu rows appended -> gen %llu "
+              "(%llu rows readable)\n",
+              static_cast<unsigned long long>(appended),
+              static_cast<unsigned long long>(db.manifest_gen()),
+              static_cast<unsigned long long>(db.rows_readable()));
+  return 0;
+}
+
+// Opens the store (recovery runs unconditionally), reports what recovery
+// found, and dumps every readable row as canonical text -- the same
+// FormatDouble the JSON exporters use, so two scans of equal stores are
+// byte-identical and `cmp` is a valid gate.
+int StoreScanMode(const std::string& store_dir, const std::string& out) {
+  using namespace sidq;
+  StatusOr<std::unique_ptr<store::Store>> opened =
+      store::Store::Open(nullptr, store_dir);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "store open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  store::Store& db = **opened;
+  const store::RecoveryReport& r = db.recovery();
+  std::printf("store %s: gen %llu, %s\n", store_dir.c_str(),
+              static_cast<unsigned long long>(db.manifest_gen()),
+              r.Summary().c_str());
+  stream::QuarantineLedger ledger;
+  db.AppendQuarantineTo(&ledger);
+  for (const auto& [reason, count] : ledger.CountsByReason()) {
+    std::printf("  quarantine %-18s %lld\n", reason.c_str(),
+                static_cast<long long>(count));
+  }
+
+  std::string dump;
+  uint64_t rows = 0;
+  const Status scan = db.Scan([&](uint64_t row, const StRecord& rec) {
+    dump += std::to_string(row);
+    dump += ' ';
+    dump += std::to_string(rec.sensor);
+    dump += ' ';
+    dump += std::to_string(rec.t);
+    dump += ' ';
+    dump += obs::internal_json::FormatDouble(rec.loc.x);
+    dump += ' ';
+    dump += obs::internal_json::FormatDouble(rec.loc.y);
+    dump += ' ';
+    dump += obs::internal_json::FormatDouble(rec.value);
+    dump += ' ';
+    dump += obs::internal_json::FormatDouble(rec.stddev);
+    dump += '\n';
+    ++rows;
+  });
+  if (!scan.ok()) {
+    std::fprintf(stderr, "store scan failed: %s\n", scan.ToString().c_str());
+    return 1;
+  }
+  std::string text = "# sidq-store-scan v1 field=" + db.field_name() +
+                     " rows=" + std::to_string(rows) + "\n";
+  text += dump;
+  const Status st = store::AtomicWriteFile(nullptr, out, text);
+  if (!st.ok()) {
+    std::fprintf(stderr, "store scan write failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("  %llu readable rows -> %s\n",
+              static_cast<unsigned long long>(rows), out.c_str());
+  return 0;
+}
+
 int ReplayMode(const std::string& path, const std::string& stream_out,
-               int threads) {
+               const std::string& store_dir, int threads) {
   using namespace sidq;
   const StatusOr<stream::EventLog> log = stream::ReadEventLogFile(path);
   if (!log.ok()) {
@@ -180,6 +299,9 @@ int ReplayMode(const std::string& path, const std::string& stream_out,
     }
     std::printf("  stream output -> %s\n", stream_out.c_str());
   }
+  if (!store_dir.empty()) {
+    return IngestIntoStore(*streamed, log->field_name, store_dir);
+  }
   return 0;
 }
 
@@ -197,6 +319,8 @@ int main(int argc, char** argv) {
   std::string record_log;
   std::string replay_log;
   std::string stream_out;
+  std::string store_dir;
+  std::string store_scan;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
@@ -216,20 +340,32 @@ int main(int argc, char** argv) {
       replay_log = argv[++i];
     } else if (std::strcmp(argv[i], "--stream-out") == 0 && i + 1 < argc) {
       stream_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
+      store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--store-scan") == 0 && i + 1 < argc) {
+      store_scan = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--deadline-ms D] "
                    "[--max-retries R] [--best-effort] "
                    "[--metrics-out FILE] [--trace-out FILE] "
                    "[--record-log FILE] "
-                   "[--replay FILE [--stream-out FILE]]\n",
+                   "[--replay FILE [--stream-out FILE] [--store-dir DIR]] "
+                   "[--store-dir DIR --store-scan FILE]\n",
                    argv[0]);
       return 2;
     }
   }
   if (!record_log.empty()) return RecordLogMode(record_log);
+  if (!store_scan.empty()) {
+    if (store_dir.empty()) {
+      std::fprintf(stderr, "--store-scan requires --store-dir\n");
+      return 2;
+    }
+    return StoreScanMode(store_dir, store_scan);
+  }
   if (!replay_log.empty()) {
-    return ReplayMode(replay_log, stream_out, threads);
+    return ReplayMode(replay_log, stream_out, store_dir, threads);
   }
   const bool observed_run = !metrics_out.empty() || !trace_out.empty();
 

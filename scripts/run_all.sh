@@ -74,6 +74,29 @@ cmp "${obs_tmp}/stream1.json" "${obs_tmp}/stream8.json" || {
   echo "FAILED: stream replay differs across worker counts" >&2; exit 1; }
 echo "stream determinism gate: OK"
 
+# Durable-store recovery gate: ingest the cleaned stream into the segment
+# store, take a canonical scan, tear the segment tail the way a power cut
+# would (partial append past the committed manifest), and require that
+# recovery (a) serves a byte-identical scan -- the torn bytes were never
+# committed, so nothing readable may change -- and (b) is idempotent: a
+# second reopen finds a clean store and scans identically. cmp, not a
+# parser: the contract is bytes.
+build/examples/fleet_cleaning --replay "${obs_tmp}/events.log" --threads 4 \
+  --store-dir "${obs_tmp}/store" > /dev/null
+build/examples/fleet_cleaning --store-dir "${obs_tmp}/store" \
+  --store-scan "${obs_tmp}/scan_clean.txt" > /dev/null
+tail_seg="$(ls "${obs_tmp}/store"/*.seg | sort | tail -1)"
+printf 'torn-append-garbage' >> "${tail_seg}"
+build/examples/fleet_cleaning --store-dir "${obs_tmp}/store" \
+  --store-scan "${obs_tmp}/scan_torn.txt" > /dev/null
+cmp "${obs_tmp}/scan_clean.txt" "${obs_tmp}/scan_torn.txt" || {
+  echo "FAILED: store scan after torn-tail recovery differs" >&2; exit 1; }
+build/examples/fleet_cleaning --store-dir "${obs_tmp}/store" \
+  --store-scan "${obs_tmp}/scan_again.txt" > /dev/null
+cmp "${obs_tmp}/scan_torn.txt" "${obs_tmp}/scan_again.txt" || {
+  echo "FAILED: store recovery is not idempotent" >&2; exit 1; }
+echo "store recovery gate: OK"
+
 # Refresh the recorded parallel-execution perf artifact (also re-checks the
 # serial-vs-parallel determinism gate and the <=5% instrumentation-overhead
 # gate baked into the bench). The instrumented run's metrics snapshot rides
@@ -102,5 +125,10 @@ python3 scripts/bench_json.py --out BENCH_kernels.json build/bench/bench_kernels
 # Refresh the streaming-ingestion perf artifact (the bench enforces the
 # serial-engine == batch-reference == parallel-replay checksum gate).
 python3 scripts/bench_json.py --out BENCH_stream.json build/bench/bench_stream
+
+# Refresh the durable-store perf artifact (the bench enforces the
+# store-backed scan == in-memory path checksum gate and exits nonzero on
+# any mismatch or failed recovery).
+python3 scripts/bench_json.py --out BENCH_store.json build/bench/bench_store
 
 echo "run_all: OK"

@@ -85,6 +85,17 @@ Rules
                          arena exists to remove. Justified cold paths
                          (e.g. bulk-load construction) annotate with
                          `// sidq: allow-hotloop-heap-alloc(<reason>)`.
+  R15 raw-io             raw `std::ofstream` / `fopen` anywhere outside
+                         src/store/vfs.cc. Every persisted byte goes
+                         through the store Vfs seam (store/vfs.h:
+                         AtomicWriteFile, ReadFileToString, WritableFile)
+                         so short writes, torn appends and lost fsyncs are
+                         injectable and the durability tests mean
+                         something; an ofstream bypass swallows short
+                         writes and close errors silently. Reads via
+                         std::ifstream are allowed (they cannot lose
+                         data). Justified exceptions annotate with
+                         `// sidq: allow-raw-io(<reason>)`.
 
 Suppression syntax
 ------------------
@@ -154,6 +165,7 @@ RULES = {
     "R12": "guarded-by-unknown-lock",
     "R13": "stream-wallclock-watermark",
     "R14": "hotloop-heap-alloc",
+    "R15": "raw-io",
     "S1": "legacy-suppression",
     "S2": "unknown-suppression",
     "S3": "missing-reason",
@@ -164,7 +176,7 @@ SLUG_TO_RULE = {v: k for k, v in RULES.items()}
 SUPPRESSIBLE = {
     "ignored-status", "stray-thread", "scalar-haversine", "wallclock",
     "raw-mutex", "unordered-iter", "guarded-by-unknown-lock",
-    "hotloop-heap-alloc",
+    "hotloop-heap-alloc", "raw-io",
 }
 LEGACY_SPELLINGS = {
     "ignore-status": "allow-ignored-status",
@@ -230,6 +242,14 @@ RESERVE_CALL_RE = re.compile(
     r"reserve\s*\(")
 ARENA_VEC_DECL_RE = re.compile(
     r"\bArenaVec<[^;{}]*?>\s*[*&]?\s*([A-Za-z_]\w*)")
+
+# R15: writer-side raw file I/O. The store Vfs (src/store/vfs.h) is the
+# single seam all persistence goes through -- that is what makes short
+# writes, torn appends and lost fsyncs injectable. Only the seam's own
+# implementation may touch the raw APIs. std::ifstream (read-only) is
+# deliberately NOT matched.
+RAW_IO_RE = re.compile(r"\b(?:std::)?ofstream\b|\b(?:std::)?fopen\s*\(")
+RAW_IO_ALLOWED_FILE = "src/store/vfs.cc"
 
 # R11 scope: layers whose iteration order can reach snapshots, exports,
 # serialized traces or query/analytics results.
@@ -556,6 +576,16 @@ def run_line_rules(ctx):
                         "(src/core/mutex.h) so -Wthread-safety sees the "
                         "capability, or annotate with "
                         "'// sidq: allow-raw-mutex(<reason>)'")
+
+        # R15: raw writer-side file I/O outside the Vfs seam.
+        if rel != RAW_IO_ALLOWED_FILE and RAW_IO_RE.search(code):
+            if not ctx.suppressed(lineno, "raw-io"):
+                ctx.add(lineno, "R15",
+                        "raw std::ofstream/fopen outside src/store/vfs.cc; "
+                        "persist through the store Vfs "
+                        "(store::AtomicWriteFile / WritableFile) so "
+                        "durability faults stay injectable, or annotate "
+                        "with '// sidq: allow-raw-io(<reason>)'")
 
         # R14: heap allocation inside a kernel-layer hot loop. Scratch
         # belongs in the arena; the sanctioned growth paths are ArenaVec

@@ -6,6 +6,8 @@
 #include <map>
 #include <sstream>
 
+#include "store/vfs.h"
+
 namespace sidq {
 
 namespace {
@@ -58,9 +60,11 @@ Status WriteTrajectoriesCsv(const std::vector<Trajectory>& trajectories,
 
 Status WriteTrajectoriesCsvFile(const std::vector<Trajectory>& trajectories,
                                 const std::string& path) {
-  std::ofstream out(path);
-  if (!out.is_open()) return Status::NotFound("cannot open " + path);
-  return WriteTrajectoriesCsv(trajectories, out);
+  // Serialize in memory, publish atomically: a crash or full disk cannot
+  // leave a truncated CSV that parses as valid-but-short.
+  std::ostringstream out;
+  SIDQ_RETURN_IF_ERROR(WriteTrajectoriesCsv(trajectories, out));
+  return store::AtomicWriteFile(store::DefaultVfs(), path, out.str());
 }
 
 StatusOr<std::vector<Trajectory>> ReadTrajectoriesCsv(std::istream& in) {
@@ -124,9 +128,9 @@ Status WriteStidCsv(const StDataset& dataset, std::ostream& out) {
 }
 
 Status WriteStidCsvFile(const StDataset& dataset, const std::string& path) {
-  std::ofstream out(path);
-  if (!out.is_open()) return Status::NotFound("cannot open " + path);
-  return WriteStidCsv(dataset, out);
+  std::ostringstream out;
+  SIDQ_RETURN_IF_ERROR(WriteStidCsv(dataset, out));
+  return store::AtomicWriteFile(store::DefaultVfs(), path, out.str());
 }
 
 StatusOr<StDataset> ReadStidCsv(std::istream& in, std::string field_name) {

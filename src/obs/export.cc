@@ -3,7 +3,8 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
+
+#include "store/vfs.h"
 
 namespace sidq {
 namespace obs {
@@ -163,16 +164,10 @@ StatusOr<std::string> TraceToChromeJson(const std::vector<SpanRecord>& spans) {
 }
 
 Status WriteTextFile(const std::string& path, const std::string& content) {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file.is_open()) {
-    return Status::Unavailable("cannot open '" + path + "' for writing");
-  }
-  file.write(content.data(), static_cast<std::streamsize>(content.size()));
-  file.flush();
-  if (!file.good()) {
-    return Status::DataLoss("short write to '" + path + "'");
-  }
-  return Status::OK();
+  // tmp + fsync + rename + dir-fsync: a crash or full disk mid-export can
+  // never leave a truncated file that parses as a valid-but-short JSON
+  // document (the silent-drop failure mode sidq exists to prevent).
+  return store::AtomicWriteFile(store::DefaultVfs(), path, content);
 }
 
 }  // namespace obs

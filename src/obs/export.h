@@ -34,8 +34,10 @@ namespace obs {
 [[nodiscard]] StatusOr<std::string> TraceToChromeJson(
     const std::vector<SpanRecord>& spans);
 
-// Writes `content` to `path` atomically enough for our purposes
-// (truncate + write + flush); fails with Status on any I/O error.
+// Writes `content` to `path` atomically (tmp + fsync + rename + dir-fsync
+// via the store Vfs): readers see the old file or the new one, never a
+// truncated in-between. Fails with Status on any I/O error, including
+// short writes and failing closes.
 [[nodiscard]] Status WriteTextFile(const std::string& path,
                                    const std::string& content);
 

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "core/statusor.h"
+#include "store/format.h"
+#include "store/vfs.h"
+
+namespace sidq {
+namespace store {
+
+// Appends checksummed columnar blocks to one NNNNNN.seg file. The writer
+// never overwrites: a segment only ever grows, and only Sync() makes the
+// growth crash-durable (the store syncs data files before committing a
+// manifest that references them).
+class SegmentWriter {
+ public:
+  // Opens segment `segment` in `dir` for appending. `existing_size` and
+  // `existing_blocks` describe what the manifest already accounts for when
+  // reopening a recovered store (0/0 for a fresh segment).
+  static StatusOr<std::unique_ptr<SegmentWriter>> Open(
+      Vfs* vfs, const std::string& dir, uint32_t segment,
+      uint64_t existing_size, uint32_t existing_blocks);
+
+  // Encodes and appends `block`; fills `entry` with the block's location
+  // (segment, index, offset, length, crc). Row bookkeeping (row_start,
+  // row_count, sensor_rows) is the store's job.
+  [[nodiscard]] Status AppendBlock(const ColumnarBlock& block,
+                                   BlockEntry* entry);
+
+  [[nodiscard]] Status Sync() { return file_->Sync(); }
+  [[nodiscard]] Status Close() { return file_->Close(); }
+
+  [[nodiscard]] uint32_t segment() const { return segment_; }
+  [[nodiscard]] uint64_t offset() const { return offset_; }
+  [[nodiscard]] uint32_t num_blocks() const { return num_blocks_; }
+
+  // Public so Open() can std::make_unique; use Open(), which resolves the
+  // segment path and opens the file in append mode.
+  SegmentWriter(std::unique_ptr<WritableFile> file, uint32_t segment,
+                uint64_t offset, uint32_t num_blocks)
+      : file_(std::move(file)),
+        segment_(segment),
+        offset_(offset),
+        num_blocks_(num_blocks) {}
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+  uint32_t segment_;
+  uint64_t offset_;      // current append position
+  uint32_t num_blocks_;  // blocks written so far (next block's index)
+};
+
+// One block located by a raw segment scan.
+struct ScannedBlock {
+  uint32_t index = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint32_t crc = 0;
+  ColumnarBlock block;
+};
+
+// Result of scanning segment bytes from `start_offset` to the end without
+// a manifest: the self-describing tail-recovery primitive.
+struct SegmentScan {
+  std::vector<ScannedBlock> blocks;  // every valid block, in file order
+  // Offset of the first defective byte; == data.size() when the scan ran
+  // clean to EOF. Recovery truncates the file here.
+  uint64_t valid_bytes = 0;
+  // What stopped the scan (kNone for a clean run). kShortHeader /
+  // kShortPayload at EOF are torn appends; anything else is corruption.
+  BlockDefect defect = BlockDefect::kNone;
+};
+
+// Walks blocks back-to-back from `start_offset`, stopping at the first
+// byte that does not parse as a valid block. Never reads past the end.
+[[nodiscard]] SegmentScan ScanSegment(std::string_view data,
+                                      uint64_t start_offset,
+                                      uint32_t start_index);
+
+}  // namespace store
+}  // namespace sidq

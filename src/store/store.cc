@@ -1,0 +1,516 @@
+#include "store/store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sidq {
+namespace store {
+
+namespace {
+
+// Per-sensor row counts of a block, sensor-ascending (std::map order).
+std::vector<std::pair<SensorId, uint32_t>> SensorRowsOf(
+    const ColumnarBlock& block) {
+  std::map<SensorId, uint32_t> counts;
+  for (SensorId s : block.sensor) ++counts[s];
+  return {counts.begin(), counts.end()};
+}
+
+// The commit CRC of a serialized manifest covers every byte before the
+// trailing commit line; recomputing it here avoids re-parsing what we
+// just serialized.
+uint32_t CommitCrcOf(const std::string& serialized) {
+  const size_t pos = serialized.rfind("commit ");
+  return Crc32c(serialized.data(), pos);
+}
+
+}  // namespace
+
+std::string RecoveryReport::Summary() const {
+  if (!tail_truncated && quarantined.empty() && chain_intact) {
+    return "clean: gen " + std::to_string(manifest_gen) + ", " +
+           std::to_string(blocks_verified) + " blocks verified, " +
+           std::to_string(rows_recovered) + " rows";
+  }
+  std::string out = "degraded: gen " + std::to_string(manifest_gen) + ", " +
+                    std::to_string(rows_recovered) + " rows recovered, " +
+                    std::to_string(rows_lost) + " lost in " +
+                    std::to_string(quarantined.size()) +
+                    " quarantined block(s)";
+  if (tail_truncated) {
+    out += ", torn tail cut at segment " + std::to_string(tail_segment) +
+           " (" + std::to_string(tail_bytes_discarded) + " bytes, " +
+           BlockDefectName(tail_defect) + ")";
+  }
+  if (!chain_intact) out += ", manifest chain broken";
+  return out;
+}
+
+Store::Store(Vfs* vfs, std::string dir, StoreOptions options)
+    : vfs_(vfs), dir_(std::move(dir)), options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<Store>> Store::Open(Vfs* vfs, std::string dir,
+                                             StoreOptions options) {
+  if (vfs == nullptr) vfs = DefaultVfs();
+  if (options.block_records == 0 || options.segment_target_blocks == 0) {
+    return Status::InvalidArgument(
+        "block_records and segment_target_blocks must be positive");
+  }
+  auto store =
+      std::make_unique<Store>(vfs, std::move(dir), std::move(options));
+  SIDQ_RETURN_IF_ERROR(store->Recover());
+  if (obs::MetricsRegistry* m = store->options_.obs.metrics) {
+    const RecoveryReport& r = store->recovery_;
+    m->counter("store.recovery.blocks_verified")
+        .Increment(static_cast<int64_t>(r.blocks_verified));
+    m->counter("store.recovery.blocks_quarantined")
+        .Increment(static_cast<int64_t>(r.quarantined.size()));
+    m->counter("store.recovery.rows_recovered")
+        .Increment(static_cast<int64_t>(r.rows_recovered));
+    m->counter("store.recovery.rows_lost")
+        .Increment(static_cast<int64_t>(r.rows_lost));
+    if (r.tail_truncated) m->counter("store.recovery.torn_tail").Increment();
+  }
+  if (obs::Tracer* t = store->options_.obs.tracer) {
+    t->Instant(obs::kProcessKey, "store.open", "store", nullptr,
+               store->recovery_.Summary());
+  }
+  return store;
+}
+
+Status Store::Recover() {
+  SIDQ_RETURN_IF_ERROR(vfs_->CreateDir(dir_));
+  std::vector<std::string> names;
+  {
+    StatusOr<std::vector<std::string>> listing = vfs_->ListDir(dir_);
+    if (listing.ok()) {
+      names = std::move(listing).value();
+    } else if (listing.status().code() != StatusCode::kNotFound) {
+      return listing.status();
+    }
+  }
+  std::vector<uint64_t> manifest_gens;
+  std::vector<uint32_t> disk_segments;
+  for (const std::string& name : names) {
+    uint64_t gen = 0;
+    uint32_t seg = 0;
+    if (ParseManifestFileName(name, &gen)) {
+      manifest_gens.push_back(gen);
+    } else if (ParseSegmentFileName(name, &seg)) {
+      disk_segments.push_back(seg);
+    }
+    // Anything else (CURRENT, stray *.tmp from an interrupted atomic
+    // publish) is not data.
+  }
+  std::sort(manifest_gens.begin(), manifest_gens.end());
+  std::sort(disk_segments.begin(), disk_segments.end());
+
+  auto load_manifest = [&](uint64_t gen) -> StatusOr<ParsedManifest> {
+    SIDQ_ASSIGN_OR_RETURN(
+        std::string text,
+        vfs_->ReadFile(dir_ + "/" + ManifestFileName(gen)));
+    SIDQ_ASSIGN_OR_RETURN(ParsedManifest parsed, ParseManifest(text));
+    if (parsed.manifest.gen != gen) {
+      return Status::DataLoss("manifest " + ManifestFileName(gen) +
+                              " claims gen " +
+                              std::to_string(parsed.manifest.gen));
+    }
+    return parsed;
+  };
+
+  // 1. Choose the manifest: CURRENT first, falling back to the highest
+  //    generation that passes its own commit CRC.
+  Manifest manifest;
+  bool have_manifest = false;
+  const std::string current_path = dir_ + "/" + kCurrentFileName;
+  if (vfs_->Exists(current_path)) {
+    StatusOr<std::string> current = vfs_->ReadFile(current_path);
+    if (current.ok()) {
+      uint64_t gen = 0;
+      uint32_t crc = 0;
+      if (ParseCurrent(*current, &gen, &crc).ok()) {
+        StatusOr<ParsedManifest> parsed = load_manifest(gen);
+        if (parsed.ok() && parsed->commit_crc == crc) {
+          manifest = std::move(parsed->manifest);
+          manifest_gen_ = gen;
+          manifest_crc_ = crc;
+          have_manifest = true;
+          recovery_.current_valid = true;
+        }
+      }
+    }
+  }
+  if (!have_manifest) {
+    for (auto it = manifest_gens.rbegin(); it != manifest_gens.rend(); ++it) {
+      StatusOr<ParsedManifest> parsed = load_manifest(*it);
+      if (parsed.ok()) {
+        manifest = std::move(parsed->manifest);
+        manifest_gen_ = *it;
+        manifest_crc_ = parsed->commit_crc;
+        have_manifest = true;
+        break;
+      }
+    }
+  }
+  recovery_.manifest_gen = manifest_gen_;
+
+  // 2. Verify the generation chain backwards over surviving manifests.
+  if (have_manifest) {
+    uint64_t prev_gen = manifest.prev_gen;
+    uint32_t prev_crc = manifest.prev_crc;
+    while (prev_gen != 0) {
+      if (!std::binary_search(manifest_gens.begin(), manifest_gens.end(),
+                              prev_gen)) {
+        break;  // predecessors may legitimately be gone
+      }
+      StatusOr<ParsedManifest> parsed = load_manifest(prev_gen);
+      if (!parsed.ok() || parsed->commit_crc != prev_crc) {
+        recovery_.chain_intact = false;
+        break;
+      }
+      ++recovery_.chain_links_verified;
+      prev_gen = parsed->manifest.prev_gen;
+      prev_crc = parsed->manifest.prev_crc;
+    }
+  }
+
+  field_name_ = have_manifest ? manifest.field_name : options_.field_name;
+  next_row_ = manifest.rows;
+
+  // Per-segment accounting: bytes and blocks the manifest explains, so the
+  // tail scan knows where unexplained bytes begin.
+  std::map<uint32_t, std::pair<uint64_t, uint32_t>> accounted;  // end, blocks
+  auto account = [&](uint32_t segment, uint64_t offset, uint64_t length,
+                     uint32_t index) {
+    auto& [end, blocks] = accounted[segment];
+    end = std::max(end, offset + length);
+    blocks = std::max(blocks, index + 1);
+  };
+
+  // 3. Carried quarantine verdicts stay visible across reopens.
+  for (const QuarantinedBlockEntry& q : manifest.quarantined) {
+    account(q.segment, q.offset, q.length, q.index);
+    Quarantine(q);
+  }
+
+  // 4. CRC-verify every manifested block against both its self-checksum
+  //    and its manifest entry; defects are quarantined, never dropped.
+  std::map<uint32_t, std::string> segment_data;
+  auto load_segment = [&](uint32_t segment) -> const std::string& {
+    auto it = segment_data.find(segment);
+    if (it == segment_data.end()) {
+      StatusOr<std::string> data =
+          vfs_->ReadFile(dir_ + "/" + SegmentFileName(segment));
+      // A missing segment reads as empty: every block in it fails with
+      // short-header, which is the right verdict.
+      it = segment_data
+               .emplace(segment, data.ok() ? std::move(data).value() : "")
+               .first;
+    }
+    return it->second;
+  };
+  for (const BlockEntry& entry : manifest.blocks) {
+    account(entry.segment, entry.offset, entry.length, entry.index);
+    const std::string& data = load_segment(entry.segment);
+    ParsedBlock parsed = ParseBlockAt(data, entry.offset);
+    BlockDefect defect = parsed.defect;
+    if (defect == BlockDefect::kNone &&
+        (parsed.crc != entry.crc || parsed.bytes_consumed != entry.length ||
+         parsed.block.size() != entry.row_count)) {
+      defect = BlockDefect::kManifestMismatch;
+    }
+    if (defect == BlockDefect::kNone) {
+      committed_.push_back(entry);
+      CountRecovered(entry);
+      ++recovery_.blocks_verified;
+    } else {
+      QuarantinedBlockEntry q;
+      q.segment = entry.segment;
+      q.index = entry.index;
+      q.defect = defect;
+      q.offset = entry.offset;
+      q.length = entry.length;
+      q.row_start = entry.row_start;
+      q.row_count = entry.row_count;
+      q.sensor_rows = entry.sensor_rows;
+      Quarantine(std::move(q));
+      dirty_ = true;
+    }
+  }
+
+  // 5. Tail scan: segments at or past the last manifested one may hold
+  //    blocks appended after the last commit. They are self-describing;
+  //    recover them until the first defect, cut the torn tail there, and
+  //    drop (with a report) any segment past a torn point -- its row ids
+  //    would be unknowable.
+  uint32_t first_tail_segment = 0;
+  if (have_manifest && manifest.num_segments > 0) {
+    first_tail_segment = manifest.num_segments - 1;
+  }
+  bool torn = false;
+  for (uint32_t segment : disk_segments) {
+    if (segment < first_tail_segment) continue;
+    const std::string path = dir_ + "/" + SegmentFileName(segment);
+    if (torn) {
+      SIDQ_RETURN_IF_ERROR(vfs_->Remove(path));
+      ++recovery_.orphan_segments_removed;
+      dirty_ = true;
+      continue;
+    }
+    const std::string& data = load_segment(segment);
+    const auto [start, start_index] = accounted[segment];
+    if (start > data.size()) continue;  // already quarantined as short
+    SegmentScan scan = ScanSegment(data, start, start_index);
+    for (ScannedBlock& b : scan.blocks) {
+      BlockEntry entry;
+      entry.segment = segment;
+      entry.index = b.index;
+      entry.offset = b.offset;
+      entry.length = b.length;
+      entry.crc = b.crc;
+      entry.row_start = next_row_;
+      entry.row_count = static_cast<uint32_t>(b.block.size());
+      entry.sensor_rows = SensorRowsOf(b.block);
+      next_row_ += entry.row_count;
+      account(segment, entry.offset, entry.length, entry.index);
+      committed_.push_back(entry);
+      CountRecovered(entry);
+      ++recovery_.tail_blocks_recovered;
+      dirty_ = true;
+    }
+    if (scan.defect != BlockDefect::kNone && scan.valid_bytes < data.size()) {
+      SIDQ_RETURN_IF_ERROR(vfs_->Truncate(path, scan.valid_bytes));
+      recovery_.tail_truncated = true;
+      recovery_.tail_segment = segment;
+      recovery_.tail_bytes_discarded = data.size() - scan.valid_bytes;
+      recovery_.tail_defect = scan.defect;
+      torn = true;
+      dirty_ = true;
+    }
+  }
+
+  // 6. Position the (lazily opened) writer after the last explained byte.
+  if (!accounted.empty()) {
+    const auto& [segment, state] = *accounted.rbegin();
+    current_segment_ = segment;
+    segment_size_ = state.first;
+    segment_blocks_ = state.second;
+    if (recovery_.tail_truncated && recovery_.tail_segment == segment) {
+      // The truncation cut below the accounted end when a manifested
+      // block near the tail was itself the defect; trust the file.
+      StatusOr<uint64_t> size =
+          vfs_->FileSize(dir_ + "/" + SegmentFileName(segment));
+      if (size.ok()) segment_size_ = std::min(segment_size_, *size);
+    }
+    if (segment_blocks_ >= options_.segment_target_blocks) {
+      ++current_segment_;
+      segment_size_ = 0;
+      segment_blocks_ = 0;
+    }
+  }
+  open_row_start_ = next_row_;
+  return Status::OK();
+}
+
+void Store::CountRecovered(const BlockEntry& entry) {
+  recovery_.rows_recovered += entry.row_count;
+  for (const auto& [sensor, count] : entry.sensor_rows) {
+    recovery_.sensor_quality[sensor].rows_recovered += count;
+  }
+}
+
+void Store::Quarantine(QuarantinedBlockEntry q) {
+  recovery_.rows_lost += q.row_count;
+  for (const auto& [sensor, count] : q.sensor_rows) {
+    recovery_.sensor_quality[sensor].rows_lost += count;
+  }
+  recovery_.quarantined.push_back(q);
+  quarantined_.push_back(std::move(q));
+}
+
+Status Store::EnsureWriter() {
+  if (writer_ != nullptr) return Status::OK();
+  SIDQ_ASSIGN_OR_RETURN(
+      writer_, SegmentWriter::Open(vfs_, dir_, current_segment_,
+                                   segment_size_, segment_blocks_));
+  return Status::OK();
+}
+
+Status Store::Append(const StRecord& rec) {
+  open_block_.Add(rec);
+  ++next_row_;
+  if (obs::MetricsRegistry* m = options_.obs.metrics) {
+    m->counter("store.append.records").Increment();
+  }
+  if (open_block_.size() >= options_.block_records) {
+    return SealOpenBlock();
+  }
+  return Status::OK();
+}
+
+Status Store::SealOpenBlock() {
+  if (open_block_.empty()) return Status::OK();
+  SIDQ_RETURN_IF_ERROR(EnsureWriter());
+  BlockEntry entry;
+  SIDQ_RETURN_IF_ERROR(writer_->AppendBlock(open_block_, &entry));
+  entry.row_start = open_row_start_;
+  entry.row_count = static_cast<uint32_t>(open_block_.size());
+  entry.sensor_rows = SensorRowsOf(open_block_);
+  if (obs::MetricsRegistry* m = options_.obs.metrics) {
+    m->counter("store.append.blocks").Increment();
+    m->counter("store.append.bytes")
+        .Increment(static_cast<int64_t>(entry.length));
+  }
+  pending_.push_back(std::move(entry));
+  segment_size_ = writer_->offset();
+  segment_blocks_ = writer_->num_blocks();
+  open_row_start_ = next_row_;
+  open_block_.Clear();
+  if (segment_blocks_ >= options_.segment_target_blocks) {
+    SIDQ_RETURN_IF_ERROR(writer_->Sync());
+    SIDQ_RETURN_IF_ERROR(writer_->Close());
+    writer_.reset();
+    ++current_segment_;
+    segment_size_ = 0;
+    segment_blocks_ = 0;
+  }
+  return Status::OK();
+}
+
+Status Store::Commit() {
+  SIDQ_RETURN_IF_ERROR(SealOpenBlock());
+  if (pending_.empty() && !dirty_ && manifest_gen_ > 0) {
+    return Status::OK();  // nothing new since the last commit
+  }
+  // Data before metadata: every byte a manifest references must be
+  // durable before the manifest exists. Rolled segments were synced at
+  // roll time; only the live writer still has volatile bytes.
+  if (writer_ != nullptr) {
+    SIDQ_RETURN_IF_ERROR(writer_->Sync());
+  }
+  Manifest m;
+  m.gen = manifest_gen_ + 1;
+  m.prev_gen = manifest_gen_;
+  m.prev_crc = manifest_crc_;
+  m.field_name = field_name_;
+  m.rows = next_row_;
+  m.blocks = committed_;
+  m.blocks.insert(m.blocks.end(), pending_.begin(), pending_.end());
+  m.quarantined = quarantined_;
+  for (const BlockEntry& b : m.blocks) {
+    m.num_segments = std::max(m.num_segments, b.segment + 1);
+  }
+  for (const QuarantinedBlockEntry& q : m.quarantined) {
+    m.num_segments = std::max(m.num_segments, q.segment + 1);
+  }
+  if (writer_ != nullptr || segment_blocks_ > 0) {
+    m.num_segments = std::max(m.num_segments, current_segment_ + 1);
+  }
+  const std::string serialized = SerializeManifest(m);
+  const uint32_t crc = CommitCrcOf(serialized);
+  // The manifest publish and the CURRENT repoint are each atomic; a crash
+  // between them leaves CURRENT at the old generation and the new
+  // manifest as a benign orphan the next commit overwrites.
+  SIDQ_RETURN_IF_ERROR(AtomicWriteFile(
+      vfs_, dir_ + "/" + ManifestFileName(m.gen), serialized));
+  SIDQ_RETURN_IF_ERROR(AtomicWriteFile(vfs_, dir_ + "/" + kCurrentFileName,
+                                       SerializeCurrent(m.gen, crc)));
+  committed_.insert(committed_.end(),
+                    std::make_move_iterator(pending_.begin()),
+                    std::make_move_iterator(pending_.end()));
+  pending_.clear();
+  manifest_gen_ = m.gen;
+  manifest_crc_ = crc;
+  dirty_ = false;
+  if (obs::MetricsRegistry* metrics = options_.obs.metrics) {
+    metrics->counter("store.commit.manifests").Increment();
+  }
+  if (obs::Tracer* t = options_.obs.tracer) {
+    t->Instant(obs::kProcessKey, "store.commit", "store", nullptr,
+               "gen=" + std::to_string(manifest_gen_) +
+                   " blocks=" + std::to_string(committed_.size()) +
+                   " rows=" + std::to_string(next_row_));
+  }
+  return Status::OK();
+}
+
+Status Store::Close() {
+  SIDQ_RETURN_IF_ERROR(Commit());
+  if (writer_ != nullptr) {
+    SIDQ_RETURN_IF_ERROR(writer_->Close());
+    writer_.reset();
+  }
+  return Status::OK();
+}
+
+Status Store::ScanEntries(
+    const std::vector<BlockEntry>& entries,
+    const std::function<void(uint64_t, const StRecord&)>& fn) const {
+  uint32_t loaded_segment = 0;
+  bool loaded = false;
+  std::string data;
+  for (const BlockEntry& entry : entries) {
+    if (!loaded || entry.segment != loaded_segment) {
+      SIDQ_ASSIGN_OR_RETURN(
+          data, vfs_->ReadFile(dir_ + "/" + SegmentFileName(entry.segment)));
+      loaded_segment = entry.segment;
+      loaded = true;
+    }
+    ParsedBlock parsed = ParseBlockAt(data, entry.offset);
+    if (parsed.defect != BlockDefect::kNone ||
+        parsed.block.size() != entry.row_count) {
+      return Status::DataLoss(
+          "block " + std::to_string(entry.index) + " in " +
+          SegmentFileName(entry.segment) + " failed verification mid-scan (" +
+          BlockDefectName(parsed.defect) + "); reopen the store to recover");
+    }
+    for (size_t i = 0; i < parsed.block.size(); ++i) {
+      fn(entry.row_start + i, parsed.block.Record(i));
+    }
+  }
+  return Status::OK();
+}
+
+Status Store::Scan(
+    const std::function<void(uint64_t, const StRecord&)>& fn) const {
+  // committed_ and pending_ are each row-ordered, and every pending row
+  // id is greater than every committed one.
+  SIDQ_RETURN_IF_ERROR(ScanEntries(committed_, fn));
+  SIDQ_RETURN_IF_ERROR(ScanEntries(pending_, fn));
+  for (size_t i = 0; i < open_block_.size(); ++i) {
+    fn(open_row_start_ + i, open_block_.Record(i));
+  }
+  return Status::OK();
+}
+
+uint64_t Store::rows_readable() const {
+  uint64_t rows = open_block_.size();
+  for (const BlockEntry& b : committed_) rows += b.row_count;
+  for (const BlockEntry& b : pending_) rows += b.row_count;
+  return rows;
+}
+
+void Store::AppendQuarantineTo(stream::QuarantineLedger* ledger) const {
+  for (const QuarantinedBlockEntry& q : recovery_.quarantined) {
+    stream::QuarantineEntry entry;
+    entry.seq = q.row_start;
+    entry.sensor = kInvalidSensorId;
+    entry.reason = stream::QuarantineReason::kStoreCorruptBlock;
+    ledger->Add(entry);
+  }
+  if (recovery_.tail_truncated) {
+    stream::QuarantineEntry entry;
+    // The first row id that could have been lost to the torn tail: all
+    // accounted rows are either recovered or quarantined above.
+    entry.seq = recovery_.rows_recovered + recovery_.rows_lost;
+    entry.sensor = kInvalidSensorId;
+    entry.reason = stream::QuarantineReason::kStoreTornTail;
+    ledger->Add(entry);
+  }
+}
+
+}  // namespace store
+}  // namespace sidq

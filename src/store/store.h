@@ -1,0 +1,173 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/statusor.h"
+#include "core/stid.h"
+#include "core/types.h"
+#include "obs/observer.h"
+#include "store/format.h"
+#include "store/segment.h"
+#include "store/vfs.h"
+#include "stream/quarantine.h"
+
+namespace sidq {
+namespace store {
+
+struct StoreOptions {
+  // Records per sealed block. Small blocks bound the blast radius of one
+  // corrupt CRC; large blocks amortize header overhead.
+  size_t block_records = 256;
+  // Blocks per segment file before rolling to the next NNNNNN.seg.
+  size_t segment_target_blocks = 64;
+  // Thematic field name stamped into the manifest (a recovered store's
+  // manifest wins over this).
+  std::string field_name = "stid";
+  // Optional metrics/trace sinks (store.* counters, store open/commit
+  // instants). Null sinks drop the signals.
+  obs::ObsSinks obs;
+};
+
+// Per-trajectory recovery quality: how many of a sensor's rows survived
+// and how many sit in quarantined blocks. This is the "quality metadata
+// travels with the data" annotation -- a consumer can tell a complete
+// trajectory from a degraded one without forensics.
+struct SensorQuality {
+  uint64_t rows_recovered = 0;
+  uint64_t rows_lost = 0;
+  [[nodiscard]] bool complete() const { return rows_lost == 0; }
+};
+
+// What Store::Open found and did. Every defect is itemized: recovery
+// degrades to serve-what's-readable but never silently drops.
+struct RecoveryReport {
+  uint64_t manifest_gen = 0;       // generation served (0 = fresh store)
+  bool current_valid = false;      // CURRENT pointed at a verifiable manifest
+  uint32_t chain_links_verified = 0;  // prev-gen links that checksum-match
+  bool chain_intact = true;        // false when a surviving link mismatched
+  uint64_t blocks_verified = 0;    // manifested blocks that passed CRC
+  uint64_t tail_blocks_recovered = 0;  // valid blocks beyond the manifest
+  uint64_t rows_recovered = 0;     // rows servable after recovery
+  uint64_t rows_lost = 0;          // rows in quarantined blocks
+  bool tail_truncated = false;     // a torn append was cut off
+  uint32_t tail_segment = 0;       // segment that was truncated
+  uint64_t tail_bytes_discarded = 0;
+  BlockDefect tail_defect = BlockDefect::kNone;
+  uint32_t orphan_segments_removed = 0;  // segments beyond a torn point
+  std::vector<QuarantinedBlockEntry> quarantined;  // every dead block
+  std::map<SensorId, SensorQuality> sensor_quality;
+
+  // One-line human summary ("clean" or what was lost and why).
+  [[nodiscard]] std::string Summary() const;
+};
+
+// -------------------------------------------------------------------------
+// Store: append-optimized durable storage for STID records.
+//
+// Write path: Append buffers records into an in-memory columnar block;
+// full blocks are sealed (CRC'd, appended to the current segment file);
+// Commit seals the partial block, fsyncs segment data, then publishes a
+// new manifest generation via AtomicWriteFile and repoints CURRENT --
+// data is always durable on media before any manifest references it, so
+// a crash never yields a manifest pointing at missing bytes.
+//
+// Read path: Scan replays every readable row in global append order with
+// its stable row id (row ids never shift; quarantined blocks leave gaps).
+// Uncommitted-but-written blocks and the open in-memory block are
+// included, so a Scan immediately after Append sees everything.
+//
+// Open runs recovery unconditionally; see RecoveryReport. Reopening a
+// recovered store without writing is read-only -- no files are created
+// or modified except a tail truncation cutting a torn append.
+//
+// Thread model: externally synchronized (single logical writer), like the
+// stream engine. No internal locks.
+// -------------------------------------------------------------------------
+class Store {
+ public:
+  // Opens (creating if absent) the store in `dir`, running recovery.
+  // `vfs` may be null for DefaultVfs(). Fails only when the directory is
+  // unusable or I/O fails during recovery itself -- corrupt contents are
+  // a report, not an error.
+  static StatusOr<std::unique_ptr<Store>> Open(Vfs* vfs, std::string dir,
+                                               StoreOptions options = {});
+
+  // Public so Open() can std::make_unique; use Open(), which validates
+  // options and runs recovery before handing the store out.
+  Store(Vfs* vfs, std::string dir, StoreOptions options);
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  [[nodiscard]] Status Append(const StRecord& rec);
+  // Seals the open block, fsyncs segment data, publishes the next
+  // manifest generation. No-op when nothing changed since the last
+  // commit.
+  [[nodiscard]] Status Commit();
+  // Commit + close the segment writer. The destructor does NOT commit:
+  // dropping a store loses uncommitted appends, exactly like a crash.
+  [[nodiscard]] Status Close();
+
+  // Calls `fn(row_id, record)` for every readable row in row-id order.
+  [[nodiscard]] Status Scan(
+      const std::function<void(uint64_t, const StRecord&)>& fn) const;
+
+  [[nodiscard]] const RecoveryReport& recovery() const { return recovery_; }
+  [[nodiscard]] uint64_t manifest_gen() const { return manifest_gen_; }
+  // Total rows ever appended, including rows lost to quarantine.
+  [[nodiscard]] uint64_t rows() const { return next_row_; }
+  [[nodiscard]] uint64_t rows_readable() const;
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] const std::string& field_name() const { return field_name_; }
+
+  // Surfaces recovery verdicts into a stream-side quarantine ledger
+  // (reasons kStoreCorruptBlock / kStoreTornTail), seq = first lost row.
+  void AppendQuarantineTo(stream::QuarantineLedger* ledger) const;
+
+ private:
+  [[nodiscard]] Status Recover();
+  [[nodiscard]] Status EnsureWriter();
+  [[nodiscard]] Status SealOpenBlock();
+  [[nodiscard]] Status ScanEntries(
+      const std::vector<BlockEntry>& entries,
+      const std::function<void(uint64_t, const StRecord&)>& fn) const;
+  void CountRecovered(const BlockEntry& entry);
+  void Quarantine(QuarantinedBlockEntry q);
+
+  Vfs* vfs_;
+  std::string dir_;
+  StoreOptions options_;
+  std::string field_name_;
+
+  // Committed state (mirrors the live manifest).
+  std::vector<BlockEntry> committed_;
+  std::vector<QuarantinedBlockEntry> quarantined_;
+  uint64_t manifest_gen_ = 0;
+  uint32_t manifest_crc_ = 0;
+
+  // Uncommitted state.
+  // Set when recovery changed what the next manifest must say (tail
+  // blocks adopted, new quarantines, truncation) even with no new appends.
+  bool dirty_ = false;
+  std::vector<BlockEntry> pending_;  // sealed + written, not yet manifested
+  ColumnarBlock open_block_;         // in-memory, not yet sealed
+  uint64_t open_row_start_ = 0;
+  uint64_t next_row_ = 0;
+
+  // Current segment append position.
+  std::unique_ptr<SegmentWriter> writer_;  // lazily opened
+  uint32_t current_segment_ = 0;
+  uint64_t segment_size_ = 0;    // valid bytes in current segment
+  uint32_t segment_blocks_ = 0;  // blocks in current segment
+
+  RecoveryReport recovery_;
+};
+
+}  // namespace store
+}  // namespace sidq

@@ -4,14 +4,15 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
 #include <tuple>
 #include <utility>
+#include <vector>
 
 #include "obs/export.h"
+#include "store/vfs.h"
 
 namespace sidq {
 namespace stream {
@@ -72,9 +73,28 @@ EventLog RecordArrivals(const StDataset& data, const ArrivalOptions& options,
   return log;
 }
 
+namespace {
+
+constexpr char kHeaderPrefix[] = "# sidq-event-log v1 field=";
+constexpr char kTrailerPrefix[] = "# sidq-event-log end count=";
+
+// Torn-tail verdict: the on-disk bytes are a strict prefix of a valid log.
+// Reason-coded DataLoss (never InvalidArgument) so callers can tell "the
+// machine died mid-write, replay what survived elsewhere" apart from "this
+// file is garbage".
+Status TornTail(const std::string& path, const std::string& detail,
+                obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    metrics->counter("stream.log.torn_tail").Increment(1);
+  }
+  return Status::DataLoss("torn tail in event log " + path + ": " + detail);
+}
+
+}  // namespace
+
 Status WriteEventLogFile(const EventLog& log, const std::string& path) {
   std::ostringstream out;
-  out << "# sidq-event-log v1 field=" << log.field_name << "\n";
+  out << kHeaderPrefix << log.field_name << "\n";
   for (const StreamEvent& ev : log.events) {
     out << ev.seq << ' ' << ev.record.sensor << ' ' << ev.record.t << ' '
         << obs::internal_json::FormatDouble(ev.record.loc.x) << ' '
@@ -83,78 +103,147 @@ Status WriteEventLogFile(const EventLog& log, const std::string& path) {
         << obs::internal_json::FormatDouble(ev.record.stddev) << ' '
         << ev.arrival_ms << "\n";
   }
+  // The trailer makes truncation detectable at every byte offset: cutting
+  // mid-line leaves a partial line; cutting at a line boundary removes the
+  // trailer itself.
+  out << kTrailerPrefix << log.events.size() << "\n";
   return obs::WriteTextFile(path, out.str());
 }
 
-StatusOr<EventLog> ReadEventLogFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) {
-    return Status::NotFound("cannot open event log: " + path);
-  }
-  std::string header;
-  if (!std::getline(in, header)) {
+StatusOr<EventLog> ReadEventLogFile(const std::string& path,
+                                    obs::MetricsRegistry* metrics) {
+  SIDQ_ASSIGN_OR_RETURN(const std::string data,
+                        store::ReadFileToString(store::DefaultVfs(), path));
+  if (data.empty()) {
     return Status::InvalidArgument("empty event log: " + path);
   }
-  const std::string prefix = "# sidq-event-log v1 field=";
-  if (header.rfind(prefix, 0) != 0) {
+  // A valid log always ends with a newline (the trailer's); anything else
+  // is a write cut off mid-line.
+  const bool ends_with_newline = data.back() == '\n';
+
+  // Split into lines, keeping track of which is last.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < data.size()) {
+    const size_t nl = data.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(data.substr(start));
+      break;
+    }
+    lines.push_back(data.substr(start, nl - start));
+    start = nl + 1;
+  }
+
+  const std::string header = lines.empty() ? std::string() : lines[0];
+  if (header.rfind(kHeaderPrefix, 0) != 0) {
+    if (!ends_with_newline && lines.size() == 1) {
+      // A partial first line could be a truncated header; a log this short
+      // carries nothing recoverable either way.
+      return TornTail(path, "partial header line", metrics);
+    }
     return Status::InvalidArgument("bad event-log header: " + header);
   }
   EventLog log;
-  log.field_name = header.substr(prefix.size());
-  std::string line;
-  size_t lineno = 1;
-  while (std::getline(in, line)) {
-    ++lineno;
+  log.field_name = header.substr(sizeof(kHeaderPrefix) - 1);
+
+  bool saw_trailer = false;
+  uint64_t trailer_count = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const bool is_last = i + 1 == lines.size();
+    const bool is_partial = is_last && !ends_with_newline;
+    const size_t lineno = i + 1;
     if (line.empty()) continue;
+    if (saw_trailer) {
+      return Status::InvalidArgument("data after trailer on event-log line " +
+                                     std::to_string(lineno));
+    }
+    if (line.rfind(kTrailerPrefix, 0) == 0) {
+      if (is_partial) {
+        return TornTail(path, "partial trailer line", metrics);
+      }
+      const std::string count_str = line.substr(sizeof(kTrailerPrefix) - 1);
+      char* end = nullptr;
+      trailer_count = std::strtoull(count_str.c_str(), &end, 10);
+      if (end == count_str.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad event-log trailer: " + line);
+      }
+      saw_trailer = true;
+      continue;
+    }
     // Tokenize, then convert doubles with strtod: istream's num_get never
     // accepts "nan"/"inf", but garbage measurements are exactly what event
     // logs exist to carry, so the codec must round-trip them.
     std::istringstream fields(line);
     std::string tok[8];
+    bool short_line = false;
     for (std::string& t : tok) {
       if (!(fields >> t)) {
-        return Status::InvalidArgument("bad event-log line " +
-                                       std::to_string(lineno) + ": " + line);
+        short_line = true;
+        break;
       }
     }
-    std::string extra;
-    if (fields >> extra) {
-      return Status::InvalidArgument("trailing fields on event-log line " +
-                                     std::to_string(lineno));
-    }
     StreamEvent ev;
-    bool ok = true;
-    auto to_u64 = [&ok](const std::string& s) -> uint64_t {
-      char* end = nullptr;
-      const uint64_t v = std::strtoull(s.c_str(), &end, 10);
-      ok = ok && end != s.c_str() && *end == '\0';
-      return v;
-    };
-    auto to_i64 = [&ok](const std::string& s) -> int64_t {
-      char* end = nullptr;
-      const int64_t v = std::strtoll(s.c_str(), &end, 10);
-      ok = ok && end != s.c_str() && *end == '\0';
-      return v;
-    };
-    auto to_double = [&ok](const std::string& s) -> double {
-      char* end = nullptr;
-      const double v = std::strtod(s.c_str(), &end);
-      ok = ok && end != s.c_str() && *end == '\0';
-      return v;
-    };
-    ev.seq = to_u64(tok[0]);
-    ev.record.sensor = to_u64(tok[1]);
-    ev.record.t = to_i64(tok[2]);
-    ev.record.loc.x = to_double(tok[3]);
-    ev.record.loc.y = to_double(tok[4]);
-    ev.record.value = to_double(tok[5]);
-    ev.record.stddev = to_double(tok[6]);
-    ev.arrival_ms = to_i64(tok[7]);
+    bool ok = !short_line;
+    if (ok) {
+      std::string extra;
+      if (fields >> extra) {
+        return Status::InvalidArgument("trailing fields on event-log line " +
+                                       std::to_string(lineno));
+      }
+      auto to_u64 = [&ok](const std::string& s) -> uint64_t {
+        char* end = nullptr;
+        const uint64_t v = std::strtoull(s.c_str(), &end, 10);
+        ok = ok && end != s.c_str() && *end == '\0';
+        return v;
+      };
+      auto to_i64 = [&ok](const std::string& s) -> int64_t {
+        char* end = nullptr;
+        const int64_t v = std::strtoll(s.c_str(), &end, 10);
+        ok = ok && end != s.c_str() && *end == '\0';
+        return v;
+      };
+      auto to_double = [&ok](const std::string& s) -> double {
+        char* end = nullptr;
+        const double v = std::strtod(s.c_str(), &end);
+        ok = ok && end != s.c_str() && *end == '\0';
+        return v;
+      };
+      ev.seq = to_u64(tok[0]);
+      ev.record.sensor = to_u64(tok[1]);
+      ev.record.t = to_i64(tok[2]);
+      ev.record.loc.x = to_double(tok[3]);
+      ev.record.loc.y = to_double(tok[4]);
+      ev.record.value = to_double(tok[5]);
+      ev.record.stddev = to_double(tok[6]);
+      ev.arrival_ms = to_i64(tok[7]);
+    }
     if (!ok) {
+      if (is_partial) {
+        // An unparseable *final* line with no newline is truncation, not
+        // garbling: every strict prefix of a valid data line lands here.
+        return TornTail(path, "partial final line", metrics);
+      }
       return Status::InvalidArgument("bad event-log line " +
                                      std::to_string(lineno) + ": " + line);
     }
+    if (is_partial) {
+      // Parsed cleanly but the newline is missing -- still a torn write
+      // (and possibly a truncated number, e.g. "...  12" cut from "123").
+      return TornTail(path, "final line missing newline", metrics);
+    }
     log.events.push_back(ev);
+  }
+  if (!saw_trailer) {
+    return TornTail(path, "missing trailer (log ends after " +
+                              std::to_string(log.events.size()) +
+                              " complete events)",
+                    metrics);
+  }
+  if (trailer_count != log.events.size()) {
+    return Status::InvalidArgument(
+        "event-log trailer count " + std::to_string(trailer_count) +
+        " != " + std::to_string(log.events.size()) + " events read");
   }
   for (size_t i = 0; i < log.events.size(); ++i) {
     if (log.events[i].seq != i) {

@@ -9,6 +9,7 @@
 #include "core/statusor.h"
 #include "core/stid.h"
 #include "core/types.h"
+#include "obs/metrics.h"
 
 namespace sidq {
 namespace stream {
@@ -68,10 +69,26 @@ EventLog RecordArrivals(const StDataset& data, const ArrivalOptions& options,
                         Rng* rng);
 
 // Text serialization, one event per line, canonical float formatting:
-// rewriting a freshly-read log reproduces the file byte-for-byte.
+// rewriting a freshly-read log reproduces the file byte-for-byte. The
+// writer publishes atomically (tmp + fsync + rename) and appends a
+// trailer line recording the event count, so the reader can tell a torn
+// tail (truncation at any byte -- mid-line or at a line boundary) apart
+// from a clean end-of-file.
 [[nodiscard]] Status WriteEventLogFile(const EventLog& log,
                                        const std::string& path);
-[[nodiscard]] StatusOr<EventLog> ReadEventLogFile(const std::string& path);
+
+// Reads a log back. Failure modes are reason-coded:
+//   - NotFound: the file does not exist.
+//   - DataLoss("torn tail ..."): the file is a strict prefix of a valid
+//     log -- a partial final line, or a missing/incomplete trailer. A
+//     replay MUST NOT treat such a log as complete (silently dropping the
+//     tail is the exact failure mode sidq exists to prevent).
+//   - InvalidArgument: interior garbling -- bad header, unparseable
+//     non-final line, seq gap, data after the trailer, count mismatch.
+// When `metrics` is non-null, a torn tail increments the
+// `stream.log.torn_tail` counter before the error returns.
+[[nodiscard]] StatusOr<EventLog> ReadEventLogFile(
+    const std::string& path, obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace stream
 }  // namespace sidq

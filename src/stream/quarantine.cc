@@ -28,6 +28,10 @@ const char* QuarantineReasonName(QuarantineReason reason) {
       return "ingest_fault";
     case QuarantineReason::kWindowFault:
       return "window_fault";
+    case QuarantineReason::kStoreCorruptBlock:
+      return "store_corrupt_block";
+    case QuarantineReason::kStoreTornTail:
+      return "store_torn_tail";
   }
   return "unknown";
 }

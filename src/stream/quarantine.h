@@ -24,6 +24,8 @@ enum class QuarantineReason : uint8_t {
   kOutlier = 6,         // online robust-z flagged it at window close
   kIngestFault = 7,     // permanent fault injected at the ingest edge
   kWindowFault = 8,     // permanent fault injected at window close
+  kStoreCorruptBlock = 9,  // durable-store block failed CRC/manifest check
+  kStoreTornTail = 10,     // durable-store torn append cut off at recovery
 };
 
 [[nodiscard]] const char* QuarantineReasonName(QuarantineReason reason);

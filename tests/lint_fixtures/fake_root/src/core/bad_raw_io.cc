@@ -1,0 +1,32 @@
+#include <cstdio>
+#include <fstream>
+
+namespace bad {
+
+void WriteReportOfstream(const char* path) {
+  std::ofstream out(path);  // expect-lint: R15
+  out << "data\n";
+}
+
+void WriteReportFopen(const char* path) {
+  FILE* f = std::fopen(path, "wb");  // expect-lint: R15
+  if (f != nullptr) {
+    std::fclose(f);
+  }
+}
+
+void WriteScratch(const char* path) {
+  // Suppressed: the annotation names the rule and carries a reason, so
+  // this raw writer is accepted.
+  std::ofstream scratch(path);  // sidq: allow-raw-io(fixture: throwaway scratch file)
+  scratch << "ok\n";
+}
+
+void ReadOnlyIsFine(const char* path) {
+  // Reads cannot lose data; std::ifstream stays legal outside the Vfs.
+  std::ifstream in(path);
+  char c;
+  in.get(c);
+}
+
+}  // namespace bad

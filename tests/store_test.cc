@@ -1,0 +1,563 @@
+// Unit tests for the durable trajectory store: CRC32C, block/manifest
+// codecs and their defect ladders, MemVfs crash semantics, AtomicWriteFile
+// atomicity, and Store append/commit/scan/recovery behaviour under media
+// corruption and torn tails. The exhaustive crash-point sweep lives in
+// store_crash_test.cc.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/stid.h"
+#include "obs/metrics.h"
+#include "store/format.h"
+#include "store/segment.h"
+#include "store/store.h"
+#include "store/vfs.h"
+#include "stream/quarantine.h"
+
+namespace sidq {
+namespace store {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+// Deterministic synthetic record stream; row 7 carries a NaN payload and
+// row 11 a signed zero, so round-trip assertions are genuinely bit-level.
+StRecord MakeRecord(uint64_t i) {
+  StRecord r;
+  r.sensor = 1 + (i % 5);
+  r.t = static_cast<Timestamp>(1000 * i);
+  r.loc = geometry::Point(0.25 * static_cast<double>(i),
+                          -0.5 * static_cast<double>(i));
+  r.value = 20.0 + 0.125 * static_cast<double>(i);
+  r.stddev = 0.5;
+  if (i == 7) r.value = std::numeric_limits<double>::quiet_NaN();
+  if (i == 11) r.value = -0.0;
+  return r;
+}
+
+void ExpectBitIdentical(const StRecord& a, const StRecord& b) {
+  EXPECT_EQ(a.sensor, b.sensor);
+  EXPECT_EQ(a.t, b.t);
+  EXPECT_EQ(Bits(a.loc.x), Bits(b.loc.x));
+  EXPECT_EQ(Bits(a.loc.y), Bits(b.loc.y));
+  EXPECT_EQ(Bits(a.value), Bits(b.value));
+  EXPECT_EQ(Bits(a.stddev), Bits(b.stddev));
+}
+
+// --- CRC32C ---
+
+TEST(Crc32cTest, KnownAnswer) {
+  // RFC 3720 test vector for CRC32C ("123456789").
+  EXPECT_EQ(Crc32c("123456789", 9), 0xe3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32cTest, SensitiveToEveryBit) {
+  const std::string data = "sidq durable store";
+  const uint32_t base = Crc32c(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    std::string mutated = data;
+    mutated[byte] = static_cast<char>(mutated[byte] ^ 1);
+    EXPECT_NE(Crc32c(mutated.data(), mutated.size()), base) << byte;
+  }
+}
+
+// --- block codec ---
+
+TEST(BlockFormatTest, EncodeParseRoundTripIsBitExact) {
+  ColumnarBlock block;
+  for (uint64_t i = 0; i < 16; ++i) block.Add(MakeRecord(i));
+  const std::string encoded = EncodeBlock(block);
+  ASSERT_GT(encoded.size(), kBlockHeaderSize);
+
+  const ParsedBlock parsed = ParseBlockAt(encoded, 0);
+  ASSERT_EQ(parsed.defect, BlockDefect::kNone);
+  EXPECT_EQ(parsed.bytes_consumed, encoded.size());
+  ASSERT_EQ(parsed.block.size(), block.size());
+  for (size_t i = 0; i < block.size(); ++i) {
+    ExpectBitIdentical(parsed.block.Record(i), block.Record(i));
+  }
+}
+
+TEST(BlockFormatTest, DefectLadder) {
+  ColumnarBlock block;
+  for (uint64_t i = 0; i < 4; ++i) block.Add(MakeRecord(i));
+  const std::string good = EncodeBlock(block);
+
+  // Torn header.
+  EXPECT_EQ(ParseBlockAt(good.substr(0, kBlockHeaderSize - 1), 0).defect,
+            BlockDefect::kShortHeader);
+  // Not a block boundary.
+  std::string bad = good;
+  bad[0] = 'X';
+  EXPECT_EQ(ParseBlockAt(bad, 0).defect, BlockDefect::kBadMagic);
+  // Future version byte.
+  bad = good;
+  bad[4] = 99;
+  EXPECT_EQ(ParseBlockAt(bad, 0).defect, BlockDefect::kBadVersion);
+  // Length beyond the sanity bound (flip a high bit of payload_len).
+  bad = good;
+  bad[11] = static_cast<char>(0x7f);
+  EXPECT_EQ(ParseBlockAt(bad, 0).defect, BlockDefect::kBadLength);
+  // Torn payload.
+  EXPECT_EQ(ParseBlockAt(good.substr(0, good.size() - 1), 0).defect,
+            BlockDefect::kShortPayload);
+  // Single flipped payload bit fails the checksum.
+  bad = good;
+  bad[kBlockHeaderSize + 3] = static_cast<char>(bad[kBlockHeaderSize + 3] ^ 8);
+  EXPECT_EQ(ParseBlockAt(bad, 0).defect, BlockDefect::kBadCrc);
+}
+
+// --- manifest codec ---
+
+Manifest SampleManifest() {
+  Manifest m;
+  m.gen = 3;
+  m.prev_gen = 2;
+  m.prev_crc = 0xdeadbeef;
+  m.field_name = "pm2.5";
+  m.num_segments = 2;
+  m.rows = 40;
+  BlockEntry b;
+  b.segment = 0;
+  b.index = 0;
+  b.offset = 0;
+  b.length = 784;
+  b.crc = 0x12345678;
+  b.row_start = 0;
+  b.row_count = 16;
+  b.sensor_rows = {{1, 10}, {2, 6}};
+  m.blocks.push_back(b);
+  QuarantinedBlockEntry q;
+  q.segment = 0;
+  q.index = 1;
+  q.defect = BlockDefect::kBadCrc;
+  q.offset = 784;
+  q.length = 784;
+  q.row_start = 16;
+  q.row_count = 16;
+  q.sensor_rows = {{1, 16}};
+  m.quarantined.push_back(q);
+  return m;
+}
+
+TEST(ManifestTest, SerializeParseRoundTrip) {
+  const Manifest m = SampleManifest();
+  const std::string text = SerializeManifest(m);
+  const StatusOr<ParsedManifest> parsed = ParseManifest(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const Manifest& r = parsed->manifest;
+  EXPECT_EQ(r.gen, m.gen);
+  EXPECT_EQ(r.prev_gen, m.prev_gen);
+  EXPECT_EQ(r.prev_crc, m.prev_crc);
+  EXPECT_EQ(r.field_name, m.field_name);
+  EXPECT_EQ(r.num_segments, m.num_segments);
+  EXPECT_EQ(r.rows, m.rows);
+  ASSERT_EQ(r.blocks.size(), 1u);
+  EXPECT_EQ(r.blocks[0].length, 784u);
+  EXPECT_EQ(r.blocks[0].sensor_rows, m.blocks[0].sensor_rows);
+  ASSERT_EQ(r.quarantined.size(), 1u);
+  EXPECT_EQ(r.quarantined[0].defect, BlockDefect::kBadCrc);
+  EXPECT_EQ(r.quarantined[0].offset, 784u);
+}
+
+TEST(ManifestTest, TornOrFlippedManifestFailsItsOwnChecksum) {
+  const std::string text = SerializeManifest(SampleManifest());
+  // Any strict prefix either loses the commit line (InvalidArgument) or
+  // keeps it with mismatched coverage -- never parses as valid.
+  for (size_t len = 0; len < text.size(); ++len) {
+    EXPECT_FALSE(ParseManifest(text.substr(0, len)).ok()) << len;
+  }
+  // A flipped bit in the body fails the commit CRC with DataLoss.
+  std::string flipped = text;
+  flipped[10] = static_cast<char>(flipped[10] ^ 4);
+  const StatusOr<ParsedManifest> got = ParseManifest(flipped);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ManifestTest, FileNames) {
+  EXPECT_EQ(ManifestFileName(7), "MANIFEST-000007");
+  EXPECT_EQ(SegmentFileName(3), "000003.seg");
+  uint64_t gen = 0;
+  uint32_t seg = 0;
+  EXPECT_TRUE(ParseManifestFileName("MANIFEST-000007", &gen));
+  EXPECT_EQ(gen, 7u);
+  EXPECT_TRUE(ParseSegmentFileName("000003.seg", &seg));
+  EXPECT_EQ(seg, 3u);
+  EXPECT_FALSE(ParseManifestFileName("MANIFEST-xyz", &gen));
+  EXPECT_FALSE(ParseSegmentFileName("CURRENT", &seg));
+  EXPECT_FALSE(ParseSegmentFileName("000003.seg.tmp", &seg));
+}
+
+// --- MemVfs crash semantics ---
+
+TEST(MemVfsTest, UnsyncedBytesVanishOnCrash) {
+  MemVfs vfs;
+  ASSERT_TRUE(vfs.CreateDir("d").ok());
+  StatusOr<std::unique_ptr<WritableFile>> f =
+      vfs.NewWritableFile("d/a", WriteMode::kTruncate);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append("durable").ok());
+  ASSERT_TRUE((*f)->Sync().ok());
+  ASSERT_TRUE(vfs.SyncDir("d").ok());
+  ASSERT_TRUE((*f)->Append(" volatile").ok());
+  vfs.SimulateCrash();
+  // Post-crash: synced prefix survives, the stale handle fails.
+  const StatusOr<std::string> data = vfs.ReadFile("d/a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "durable");
+  EXPECT_FALSE((*f)->Append("x").ok());
+}
+
+TEST(MemVfsTest, UnfsyncedDirOpsAreUndoneNewestFirst) {
+  MemVfs vfs;
+  ASSERT_TRUE(vfs.CreateDir("d").ok());
+  ASSERT_TRUE(AtomicWriteFile(&vfs, "d/t", "old").ok());
+  // Overwrite d/t via rename without the directory fsync: on crash the
+  // rename rolls back to the old content and the tmp file reappears only
+  // as its synced self -- which AtomicWriteFile's journal then undoes too.
+  {
+    StatusOr<std::unique_ptr<WritableFile>> f =
+        vfs.NewWritableFile("d/t.tmp", WriteMode::kTruncate);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("new").ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+    ASSERT_TRUE((*f)->Close().ok());
+    ASSERT_TRUE(vfs.Rename("d/t.tmp", "d/t").ok());
+    // no SyncDir -- crash now
+  }
+  vfs.SimulateCrash();
+  const StatusOr<std::string> data = vfs.ReadFile("d/t");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "old");
+  EXPECT_FALSE(vfs.Exists("d/t.tmp"));
+}
+
+TEST(MemVfsTest, AtomicWriteFileSurvivesCrashAfterPublish) {
+  MemVfs vfs;
+  ASSERT_TRUE(vfs.CreateDir("d").ok());
+  ASSERT_TRUE(AtomicWriteFile(&vfs, "d/c", "v1").ok());
+  vfs.SimulateCrash();
+  const StatusOr<std::string> data = vfs.ReadFile("d/c");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "v1");
+}
+
+// --- store round trips ---
+
+StoreOptions SmallBlocks() {
+  StoreOptions o;
+  o.block_records = 8;
+  o.segment_target_blocks = 4;
+  o.field_name = "pm2.5";
+  return o;
+}
+
+TEST(StoreTest, AppendScanCommitReopenRoundTrip) {
+  MemVfs vfs;
+  StatusOr<std::unique_ptr<Store>> opened =
+      Store::Open(&vfs, "db", SmallBlocks());
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Store& store = **opened;
+  EXPECT_EQ(store.manifest_gen(), 0u);
+
+  constexpr uint64_t kRows = 100;  // crosses block and segment boundaries
+  for (uint64_t i = 0; i < kRows; ++i) {
+    ASSERT_TRUE(store.Append(MakeRecord(i)).ok());
+  }
+  // Scan sees sealed, pending, and open-block rows before any commit.
+  uint64_t seen = 0;
+  ASSERT_TRUE(store
+                  .Scan([&](uint64_t row, const StRecord& rec) {
+                    EXPECT_EQ(row, seen);
+                    ExpectBitIdentical(rec, MakeRecord(row));
+                    ++seen;
+                  })
+                  .ok());
+  EXPECT_EQ(seen, kRows);
+
+  ASSERT_TRUE(store.Close().ok());
+  EXPECT_EQ(store.manifest_gen(), 1u);
+
+  // Reopen: clean recovery, identical bytes.
+  StatusOr<std::unique_ptr<Store>> reopened =
+      Store::Open(&vfs, "db", SmallBlocks());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  const Store& r = **reopened;
+  EXPECT_EQ(r.manifest_gen(), 1u);
+  EXPECT_EQ(r.rows(), kRows);
+  EXPECT_EQ(r.rows_readable(), kRows);
+  EXPECT_TRUE(r.recovery().current_valid);
+  EXPECT_TRUE(r.recovery().quarantined.empty());
+  EXPECT_FALSE(r.recovery().tail_truncated);
+  EXPECT_EQ(r.field_name(), "pm2.5");
+  seen = 0;
+  ASSERT_TRUE(r.Scan([&](uint64_t row, const StRecord& rec) {
+                 EXPECT_EQ(row, seen);
+                 ExpectBitIdentical(rec, MakeRecord(row));
+                 ++seen;
+               })
+                  .ok());
+  EXPECT_EQ(seen, kRows);
+}
+
+TEST(StoreTest, ManifestGenerationsChainAcrossCommits) {
+  MemVfs vfs;
+  StatusOr<std::unique_ptr<Store>> opened =
+      Store::Open(&vfs, "db", SmallBlocks());
+  ASSERT_TRUE(opened.ok());
+  Store& store = **opened;
+  for (int commit = 0; commit < 3; ++commit) {
+    for (uint64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(
+          store.Append(MakeRecord(static_cast<uint64_t>(commit) * 10 + i))
+              .ok());
+    }
+    ASSERT_TRUE(store.Commit().ok());
+    EXPECT_EQ(store.manifest_gen(), static_cast<uint64_t>(commit) + 1);
+  }
+  ASSERT_TRUE(store.Close().ok());
+
+  StatusOr<std::unique_ptr<Store>> reopened =
+      Store::Open(&vfs, "db", SmallBlocks());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->manifest_gen(), 3u);
+  EXPECT_EQ((*reopened)->rows(), 30u);
+  // All three surviving generation links verify.
+  EXPECT_EQ((*reopened)->recovery().chain_links_verified, 2u);
+  EXPECT_TRUE((*reopened)->recovery().chain_intact);
+}
+
+TEST(StoreTest, UncommittedSealedBlocksAreRecoveredFromTail) {
+  MemVfs vfs;
+  {
+    StatusOr<std::unique_ptr<Store>> opened =
+        Store::Open(&vfs, "db", SmallBlocks());
+    ASSERT_TRUE(opened.ok());
+    Store& store = **opened;
+    for (uint64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(store.Append(MakeRecord(i)).ok());
+    }
+    ASSERT_TRUE(store.Commit().ok());
+    // 20 more rows = 2 sealed blocks + 4 in the open block; drop the
+    // store without committing, like a crash. Sealed blocks were written
+    // but never synced -- simulate the power cut.
+    for (uint64_t i = 10; i < 30; ++i) {
+      ASSERT_TRUE(store.Append(MakeRecord(i)).ok());
+    }
+  }
+  // No SimulateCrash: the bytes reached the (Mem)page cache and the file
+  // still holds them; recovery adopts the sealed-but-unmanifested tail.
+  StatusOr<std::unique_ptr<Store>> reopened =
+      Store::Open(&vfs, "db", SmallBlocks());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  const Store& r = **reopened;
+  EXPECT_EQ(r.manifest_gen(), 1u);
+  EXPECT_EQ(r.recovery().tail_blocks_recovered, 2u);
+  EXPECT_EQ(r.rows(), 26u);  // 10 committed + 16 sealed; open block lost
+  uint64_t seen = 0;
+  ASSERT_TRUE(r.Scan([&](uint64_t row, const StRecord& rec) {
+                 ExpectBitIdentical(rec, MakeRecord(row));
+                 ++seen;
+               })
+                  .ok());
+  EXPECT_EQ(seen, 26u);
+}
+
+TEST(StoreTest, CorruptInteriorBlockIsQuarantinedWithReason) {
+  MemVfs vfs;
+  {
+    StatusOr<std::unique_ptr<Store>> opened =
+        Store::Open(&vfs, "db", SmallBlocks());
+    ASSERT_TRUE(opened.ok());
+    Store& store = **opened;
+    for (uint64_t i = 0; i < 32; ++i) {
+      ASSERT_TRUE(store.Append(MakeRecord(i)).ok());
+    }
+    ASSERT_TRUE(store.Close().ok());
+  }
+  // Flip one payload bit inside the second block of segment 0 (blocks are
+  // back-to-back; every block here holds 8 rows of 48 bytes + 4 length
+  // prefix + 16 header).
+  const StatusOr<std::string> seg = vfs.ReadFile("db/000000.seg");
+  ASSERT_TRUE(seg.ok());
+  const ParsedBlock first = ParseBlockAt(*seg, 0);
+  ASSERT_EQ(first.defect, BlockDefect::kNone);
+  ASSERT_TRUE(
+      vfs.CorruptByte("db/000000.seg", first.bytes_consumed + 20, 0x10).ok());
+
+  obs::MetricsRegistry metrics;
+  StoreOptions options = SmallBlocks();
+  options.obs.metrics = &metrics;
+  StatusOr<std::unique_ptr<Store>> reopened =
+      Store::Open(&vfs, "db", options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  const Store& r = **reopened;
+
+  // The dead block is itemized, not dropped: reason code, row span, and
+  // per-sensor losses all survive.
+  ASSERT_EQ(r.recovery().quarantined.size(), 1u);
+  const QuarantinedBlockEntry& q = r.recovery().quarantined[0];
+  EXPECT_EQ(q.defect, BlockDefect::kBadCrc);
+  EXPECT_EQ(q.row_start, 8u);
+  EXPECT_EQ(q.row_count, 8u);
+  EXPECT_EQ(r.recovery().rows_lost, 8u);
+  EXPECT_EQ(r.rows(), 32u);
+  EXPECT_EQ(r.rows_readable(), 24u);
+
+  // Scan serves everything readable; row ids of lost rows stay gaps.
+  std::vector<uint64_t> rows_seen;
+  ASSERT_TRUE(r.Scan([&](uint64_t row, const StRecord& rec) {
+                 rows_seen.push_back(row);
+                 ExpectBitIdentical(rec, MakeRecord(row));
+               })
+                  .ok());
+  ASSERT_EQ(rows_seen.size(), 24u);
+  for (uint64_t row : rows_seen) {
+    EXPECT_TRUE(row < 8 || row >= 16) << row;
+  }
+
+  // Per-trajectory quality annotations: sensors in the dead block are
+  // flagged degraded.
+  uint64_t lost_total = 0;
+  for (const auto& [sensor, quality] : r.recovery().sensor_quality) {
+    lost_total += quality.rows_lost;
+    EXPECT_EQ(quality.complete(), quality.rows_lost == 0) << sensor;
+  }
+  EXPECT_EQ(lost_total, 8u);
+
+  // Ledger surfacing with the store-specific reason code.
+  stream::QuarantineLedger ledger;
+  r.AppendQuarantineTo(&ledger);
+  ASSERT_EQ(ledger.entries().size(), 1u);
+  EXPECT_EQ(ledger.entries()[0].reason,
+            stream::QuarantineReason::kStoreCorruptBlock);
+  EXPECT_EQ(ledger.entries()[0].seq, 8u);
+
+  // Metrics surfaced the loss.
+  int64_t quarantined_counter = 0;
+  for (const obs::CounterValue& c : metrics.Snapshot().counters) {
+    if (c.name == "store.recovery.blocks_quarantined") {
+      quarantined_counter = c.value;
+    }
+  }
+  EXPECT_EQ(quarantined_counter, 1);
+
+  // The quarantine verdict is carried forward: commit on the recovered
+  // store, reopen, and the dead block is still itemized.
+  StatusOr<std::unique_ptr<Store>> w = Store::Open(&vfs, "db", SmallBlocks());
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE((*w)->Close().ok());
+  StatusOr<std::unique_ptr<Store>> again =
+      Store::Open(&vfs, "db", SmallBlocks());
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ((*again)->recovery().quarantined.size(), 1u);
+  EXPECT_EQ((*again)->recovery().quarantined[0].defect, BlockDefect::kBadCrc);
+  EXPECT_EQ((*again)->rows_readable(), 24u);
+}
+
+TEST(StoreTest, TornTailIsTruncatedAndReopenIsIdempotent) {
+  MemVfs vfs;
+  {
+    StatusOr<std::unique_ptr<Store>> opened =
+        Store::Open(&vfs, "db", SmallBlocks());
+    ASSERT_TRUE(opened.ok());
+    Store& store = **opened;
+    for (uint64_t i = 0; i < 24; ++i) {
+      ASSERT_TRUE(store.Append(MakeRecord(i)).ok());
+    }
+    ASSERT_TRUE(store.Close().ok());
+  }
+  // Tear the last block: cut 17 bytes off the segment end, then invalidate
+  // the manifest chain's view by removing CURRENT? No -- the manifest
+  // references the full block, so the cut shows up as a manifested block
+  // failing verification (quarantine), not a tail. To exercise *tail*
+  // truncation, append garbage past the manifested end instead.
+  const StatusOr<uint64_t> size = vfs.FileSize("db/000000.seg");
+  ASSERT_TRUE(size.ok());
+  {
+    StatusOr<std::unique_ptr<WritableFile>> f =
+        vfs.NewWritableFile("db/000000.seg", WriteMode::kAppend);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("SBLK torn garbage").ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+
+  StatusOr<std::unique_ptr<Store>> reopened =
+      Store::Open(&vfs, "db", SmallBlocks());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_TRUE((*reopened)->recovery().tail_truncated);
+  EXPECT_EQ((*reopened)->recovery().tail_bytes_discarded, 17u);
+  EXPECT_EQ((*reopened)->rows_readable(), 24u);
+  const StatusOr<uint64_t> size_after = vfs.FileSize("db/000000.seg");
+  ASSERT_TRUE(size_after.ok());
+  EXPECT_EQ(*size_after, *size);
+
+  // Second open: nothing left to repair.
+  StatusOr<std::unique_ptr<Store>> again =
+      Store::Open(&vfs, "db", SmallBlocks());
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE((*again)->recovery().tail_truncated);
+  EXPECT_EQ((*again)->rows_readable(), 24u);
+}
+
+TEST(StoreTest, AppendAfterRecoveryContinuesRowIds) {
+  MemVfs vfs;
+  {
+    StatusOr<std::unique_ptr<Store>> opened =
+        Store::Open(&vfs, "db", SmallBlocks());
+    ASSERT_TRUE(opened.ok());
+    for (uint64_t i = 0; i < 20; ++i) {
+      ASSERT_TRUE((*opened)->Append(MakeRecord(i)).ok());
+    }
+    ASSERT_TRUE((*opened)->Close().ok());
+  }
+  StatusOr<std::unique_ptr<Store>> reopened =
+      Store::Open(&vfs, "db", SmallBlocks());
+  ASSERT_TRUE(reopened.ok());
+  Store& store = **reopened;
+  for (uint64_t i = 20; i < 40; ++i) {
+    ASSERT_TRUE(store.Append(MakeRecord(i)).ok());
+  }
+  ASSERT_TRUE(store.Close().ok());
+
+  StatusOr<std::unique_ptr<Store>> final_open =
+      Store::Open(&vfs, "db", SmallBlocks());
+  ASSERT_TRUE(final_open.ok());
+  uint64_t seen = 0;
+  ASSERT_TRUE((*final_open)
+                  ->Scan([&](uint64_t row, const StRecord& rec) {
+                    EXPECT_EQ(row, seen);
+                    ExpectBitIdentical(rec, MakeRecord(row));
+                    ++seen;
+                  })
+                  .ok());
+  EXPECT_EQ(seen, 40u);
+}
+
+TEST(StoreTest, RejectsBadOptions) {
+  MemVfs vfs;
+  StoreOptions bad;
+  bad.block_records = 0;
+  EXPECT_FALSE(Store::Open(&vfs, "db", bad).ok());
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace sidq

@@ -25,6 +25,7 @@
 #include "stream/replay.h"
 #include "stream/rules.h"
 #include "stream/window.h"
+#include "store/vfs.h"
 
 namespace sidq {
 namespace stream {
@@ -299,30 +300,100 @@ TEST(EventLogTest, FileRoundTripIsExact) {
   // Rewriting the reread log reproduces the file byte-for-byte.
   const std::string path2 = ::testing::TempDir() + "/stream_events2.log";
   ASSERT_TRUE(WriteEventLogFile(*reread, path2).ok());
-  std::FILE* f1 = std::fopen(path.c_str(), "rb");
-  std::FILE* f2 = std::fopen(path2.c_str(), "rb");
-  ASSERT_NE(f1, nullptr);
-  ASSERT_NE(f2, nullptr);
-  int c1 = 0, c2 = 0;
-  do {
-    c1 = std::fgetc(f1);
-    c2 = std::fgetc(f2);
-    EXPECT_EQ(c1, c2);
-  } while (c1 != EOF && c2 != EOF);
-  std::fclose(f1);
-  std::fclose(f2);
+  const StatusOr<std::string> b1 =
+      store::ReadFileToString(store::DefaultVfs(), path);
+  const StatusOr<std::string> b2 =
+      store::ReadFileToString(store::DefaultVfs(), path2);
+  ASSERT_TRUE(b1.ok());
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(*b1, *b2);
 }
 
 TEST(EventLogTest, ReaderRejectsCorruptLogs) {
   const std::string path = ::testing::TempDir() + "/bad_events.log";
+  const std::string header = "# sidq-event-log v1 field=x\n";
   EXPECT_FALSE(ReadEventLogFile(::testing::TempDir() + "/missing.log").ok());
   ASSERT_TRUE(
       obs::WriteTextFile(path, "# wrong header\n0 1 2 3 4 5 6 7\n").ok());
-  EXPECT_FALSE(ReadEventLogFile(path).ok());
-  ASSERT_TRUE(obs::WriteTextFile(
-                  path, "# sidq-event-log v1 field=x\n5 1 0 0 0 1 1 0\n")
+  EXPECT_EQ(ReadEventLogFile(path).status().code(),
+            StatusCode::kInvalidArgument);
+  // Interior garbling (complete file, bad content) is InvalidArgument, not
+  // DataLoss: retrying recovery will not help.
+  ASSERT_TRUE(obs::WriteTextFile(path, header +
+                                           "5 1 0 0 0 1 1 0\n"
+                                           "# sidq-event-log end count=1\n")
                   .ok());
-  EXPECT_FALSE(ReadEventLogFile(path).ok());  // seq gap
+  EXPECT_EQ(ReadEventLogFile(path).status().code(),
+            StatusCode::kInvalidArgument);  // seq gap
+  ASSERT_TRUE(obs::WriteTextFile(path, header +
+                                           "0 1 0 0 0 1 1 0\n"
+                                           "# sidq-event-log end count=7\n")
+                  .ok());
+  EXPECT_EQ(ReadEventLogFile(path).status().code(),
+            StatusCode::kInvalidArgument);  // trailer count mismatch
+  ASSERT_TRUE(obs::WriteTextFile(path, header +
+                                           "# sidq-event-log end count=0\n"
+                                           "0 1 0 0 0 1 1 0\n")
+                  .ok());
+  EXPECT_EQ(ReadEventLogFile(path).status().code(),
+            StatusCode::kInvalidArgument);  // data after trailer
+  ASSERT_TRUE(obs::WriteTextFile(path, header +
+                                           "0 1 garbage 0 0 1 1 0\n"
+                                           "# sidq-event-log end count=1\n")
+                  .ok());
+  EXPECT_EQ(ReadEventLogFile(path).status().code(),
+            StatusCode::kInvalidArgument);  // unparseable interior line
+}
+
+TEST(EventLogTest, TruncationSweepReportsTornTail) {
+  // Every strict byte prefix of a valid log must be rejected, and every
+  // prefix that still has an intact header must be reason-coded as a torn
+  // tail (DataLoss) rather than generic corruption -- truncation at a line
+  // boundary included, which without the trailer would read as clean EOF.
+  const StDataset data = SmallDataset();
+  Rng rng(17);
+  ArrivalOptions options;
+  const EventLog log = RecordArrivals(data, options, &rng);
+  ASSERT_GT(log.size(), 2u);
+
+  const std::string path = ::testing::TempDir() + "/sweep_events.log";
+  ASSERT_TRUE(WriteEventLogFile(log, path).ok());
+  const StatusOr<std::string> full =
+      store::ReadFileToString(store::DefaultVfs(), path);
+  ASSERT_TRUE(full.ok());
+
+  obs::MetricsRegistry registry;
+  const std::string cut_path = ::testing::TempDir() + "/sweep_events_cut.log";
+  int64_t torn = 0;
+  for (size_t len = 0; len < full->size(); ++len) {
+    ASSERT_TRUE(obs::WriteTextFile(cut_path, full->substr(0, len)).ok());
+    const StatusOr<EventLog> got = ReadEventLogFile(cut_path, &registry);
+    ASSERT_FALSE(got.ok()) << "prefix of " << len << " bytes parsed as valid";
+    if (len == 0) {
+      EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+      continue;
+    }
+    EXPECT_EQ(got.status().code(), StatusCode::kDataLoss)
+        << "len=" << len << ": " << got.status();
+    EXPECT_NE(got.status().message().find("torn tail"), std::string::npos)
+        << got.status();
+    ++torn;
+  }
+  int64_t counted = 0;
+  for (const obs::CounterValue& c : registry.Snapshot().counters) {
+    if (c.name == "stream.log.torn_tail") counted = c.value;
+  }
+  EXPECT_GT(torn, 0);
+  EXPECT_EQ(counted, torn);
+
+  // The untruncated file still reads back cleanly and the sweep never
+  // counted it.
+  EXPECT_TRUE(ReadEventLogFile(path, &registry).ok());
+  for (const obs::CounterValue& c : registry.Snapshot().counters) {
+    if (c.name == "stream.log.torn_tail") {
+      EXPECT_EQ(c.value, torn);
+    }
+  }
 }
 
 // --- engine semantics ---
