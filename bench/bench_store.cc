@@ -19,6 +19,7 @@
 // this bench doubles as the store bit-identity gate.
 // scripts/bench_json.py scrapes the BENCH_JSON line into BENCH_store.json.
 
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -49,23 +50,38 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
 
 // Deterministic synthetic stream: plausible ranges, exact bytes fixed by
 // the seed. NaNs and negative zero ride along on purpose -- the store
-// must round-trip them bit-exactly, not "approximately".
-std::vector<StRecord> MakeRecords(size_t n) {
-  Rng rng(kSeed);
-  std::vector<StRecord> out;
-  out.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
+// must round-trip them bit-exactly, not "approximately". A generator
+// rather than a vector so the ≫-RAM fleet section can replay the exact
+// byte stream twice (append, then reference checksum) without ever
+// materializing it.
+class RecordStream {
+ public:
+  RecordStream() : rng_(kSeed) {}
+
+  StRecord Next() {
+    const size_t i = i_++;
     StRecord rec;
     rec.sensor = 1 + static_cast<SensorId>(i % 64);
     rec.t = static_cast<Timestamp>(i) * 1000;
-    rec.loc = geometry::Point(rng.Uniform(0.0, 8000.0),
-                              rng.Uniform(0.0, 8000.0));
-    rec.value = rng.Uniform(-50.0, 500.0);
-    rec.stddev = rng.Uniform(0.1, 4.0);
+    rec.loc = geometry::Point(rng_.Uniform(0.0, 8000.0),
+                              rng_.Uniform(0.0, 8000.0));
+    rec.value = rng_.Uniform(-50.0, 500.0);
+    rec.stddev = rng_.Uniform(0.1, 4.0);
     if (i % 4096 == 7) rec.value = std::numeric_limits<double>::quiet_NaN();
     if (i % 4096 == 11) rec.value = -0.0;
-    out.push_back(rec);
+    return rec;
   }
+
+ private:
+  Rng rng_;
+  size_t i_ = 0;
+};
+
+std::vector<StRecord> MakeRecords(size_t n) {
+  RecordStream stream;
+  std::vector<StRecord> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(stream.Next());
   return out;
 }
 
@@ -114,6 +130,44 @@ struct RecoveryPoint {
   uint64_t rows = 0;
   double open_ms = 0.0;
 };
+
+struct CachePoint {
+  size_t budget_bytes = 0;  // 0 = unbounded
+  double cold_s = 0.0;      // first pass after open (recovery pre-warms)
+  double warm_s = 0.0;      // second pass, steady-state hit rate
+  double hit_ratio = 0.0;
+  uint64_t resident_bytes = 0;
+};
+
+// Process peak RSS in bytes (ru_maxrss is KiB on Linux). A high-water
+// mark: deltas across a section bound that section's extra footprint.
+uint64_t PeakRssBytes() {
+  struct rusage ru;
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+// Flips one byte inside the second block of a rolled segment, through the
+// Vfs only (read, mutate, rewrite -- the bench runs on the real
+// filesystem, which has no CorruptByte hook).
+void CorruptSecondBlock(store::Vfs* vfs, const std::string& path) {
+  StatusOr<std::string> data = vfs->ReadFile(path);
+  if (!data.ok()) Die("corrupt read", data.status());
+  const store::ParsedBlock first = store::ParseBlockAt(*data, 0);
+  if (first.defect != store::BlockDefect::kNone ||
+      first.bytes_consumed + 20 >= data->size()) {
+    std::fprintf(stderr, "bench_store: cannot locate block 1 in %s\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  (*data)[first.bytes_consumed + 20] ^= 0x10;
+  StatusOr<std::unique_ptr<store::WritableFile>> f =
+      vfs->NewWritableFile(path, store::WriteMode::kTruncate);
+  if (!f.ok()) Die("corrupt reopen", f.status());
+  Status st = (*f)->Append(*data);
+  if (st.ok()) st = (*f)->Close();
+  if (!st.ok()) Die("corrupt rewrite", st);
+}
 
 }  // namespace
 }  // namespace sidq
@@ -318,7 +372,276 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- cached scan: hit ratio and latency vs. block-cache budget --------
+  // Same append_dir store, opened under shrinking cache budgets. Two
+  // passes per budget: Open's recovery verification pre-warms whatever
+  // fits, so pass 1 is "as warm as the budget allows" and pass 2 is
+  // steady state. Every pass must reproduce the in-memory checksum --
+  // a bounded cache changes timing, never bytes.
+  std::vector<CachePoint> cache_curve;
+  double cached_warm_64mb_s = 0.0;
+  for (const size_t budget : {size_t{1} << 20, size_t{8} << 20,
+                              size_t{64} << 20, size_t{0}}) {
+    store::StoreOptions copts = options;
+    copts.cache_bytes = budget;
+    StatusOr<std::unique_ptr<store::Store>> db =
+        store::Store::Open(nullptr, append_dir, copts);
+    if (!db.ok()) Die("cached scan open", db.status());
+    CachePoint point;
+    point.budget_bytes = budget;
+    for (int pass = 0; pass < 2; ++pass) {
+      uint64_t checksum = kFnvOffset;
+      uint64_t n = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      const Status st = (*db)->Scan([&](uint64_t, const StRecord& rec) {
+        checksum = RecordChecksum(checksum, rec);
+        ++n;
+      });
+      const double secs = SecondsSince(t0);
+      if (!st.ok()) Die("cached scan", st);
+      if (n != rows || checksum != mem_checksum) {
+        std::fprintf(stderr,
+                     "BIT-IDENTITY VIOLATION: scan under %zu-byte cache "
+                     "budget diverged from the in-memory path\n",
+                     budget);
+        return 1;
+      }
+      (pass == 0 ? point.cold_s : point.warm_s) = secs;
+    }
+    const store::BlockCache::Stats stats = (*db)->cache_stats();
+    point.hit_ratio = stats.hits + stats.misses == 0
+                          ? 0.0
+                          : static_cast<double>(stats.hits) /
+                                static_cast<double>(stats.hits + stats.misses);
+    point.resident_bytes = stats.resident_bytes;
+    // The budget is a hard bound on decoded bytes held, not a hint. No
+    // pins are live between scans, so resident == unpinned here.
+    if (budget > 0 && stats.resident_bytes > budget) {
+      std::fprintf(stderr,
+                   "CACHE BUDGET VIOLATION: %llu resident bytes exceed the "
+                   "%zu-byte budget\n",
+                   static_cast<unsigned long long>(stats.resident_bytes),
+                   budget);
+      return 1;
+    }
+    if (budget == 0 && stats.evictions != 0) {
+      std::fprintf(stderr,
+                   "CACHE BUDGET VIOLATION: unbounded cache evicted %llu "
+                   "blocks\n",
+                   static_cast<unsigned long long>(stats.evictions));
+      return 1;
+    }
+    if (budget == (size_t{64} << 20)) cached_warm_64mb_s = point.warm_s;
+    cache_curve.push_back(point);
+  }
+  const double cached_scan_slowdown = cached_warm_64mb_s / scan_mem_s;
+
+  // --- compaction: reclaim throughput on a quarantine-pocked store ------
+  // Build a multi-segment store, flip one byte in an interior block of a
+  // few rolled segments (media corruption), let recovery quarantine them,
+  // then time the Compact() pass that rewrites those segments without the
+  // dead bytes. The readable rows must be bit-identical before and after:
+  // maintenance reclaims space, it never touches data.
+  const std::string compact_dir = scratch + "/compact";
+  const std::vector<uint32_t> pocked_segs = {0, 2, 4};
+  store::StoreOptions popts;
+  popts.field_name = "bench";
+  popts.block_records = 256;
+  popts.segment_target_blocks = 16;
+  {
+    StatusOr<std::unique_ptr<store::Store>> db =
+        store::Store::Open(nullptr, compact_dir, popts);
+    if (!db.ok()) Die("compact build open", db.status());
+    for (const StRecord& rec : records) {
+      const Status st = (*db)->Append(rec);
+      if (!st.ok()) Die("compact build append", st);
+    }
+    const Status st = (*db)->Close();
+    if (!st.ok()) Die("compact build commit", st);
+  }
+  store::Vfs* vfs = store::DefaultVfs();
+  uint64_t compact_input_bytes = 0;
+  for (const uint32_t seg : pocked_segs) {
+    const std::string path = compact_dir + "/" + store::SegmentFileName(seg);
+    CorruptSecondBlock(vfs, path);
+    const StatusOr<uint64_t> size = vfs->FileSize(path);
+    if (!size.ok()) Die("compact stat", size.status());
+    compact_input_bytes += *size;
+  }
+  {
+    // Recovery quarantines the corrupt blocks; Close commits the verdicts.
+    StatusOr<std::unique_ptr<store::Store>> db =
+        store::Store::Open(nullptr, compact_dir, popts);
+    if (!db.ok()) Die("compact recover open", db.status());
+    if ((*db)->recovery().quarantined.size() != pocked_segs.size()) {
+      std::fprintf(stderr,
+                   "bench_store: expected %zu quarantined blocks, got %zu\n",
+                   pocked_segs.size(), (*db)->recovery().quarantined.size());
+      return 1;
+    }
+    const Status st = (*db)->Close();
+    if (!st.ok()) Die("compact recover commit", st);
+  }
+  double compact_s = 0.0;
+  store::CompactionReport compact_report;
+  uint64_t compact_checksum_pre = kFnvOffset;
+  uint64_t compact_rows_pre = 0;
+  {
+    StatusOr<std::unique_ptr<store::Store>> db =
+        store::Store::Open(nullptr, compact_dir, popts);
+    if (!db.ok()) Die("compact open", db.status());
+    Status st = (*db)->Scan([&](uint64_t, const StRecord& rec) {
+      compact_checksum_pre = RecordChecksum(compact_checksum_pre, rec);
+      ++compact_rows_pre;
+    });
+    if (!st.ok()) Die("compact pre-scan", st);
+    const auto t0 = std::chrono::steady_clock::now();
+    st = (*db)->Compact(&compact_report);
+    compact_s = SecondsSince(t0);
+    if (!st.ok()) Die("compact", st);
+    uint64_t checksum = kFnvOffset;
+    uint64_t n = 0;
+    st = (*db)->Scan([&](uint64_t, const StRecord& rec) {
+      checksum = RecordChecksum(checksum, rec);
+      ++n;
+    });
+    if (!st.ok()) Die("compact post-scan", st);
+    if (n != compact_rows_pre || checksum != compact_checksum_pre) {
+      std::fprintf(stderr,
+                   "BIT-IDENTITY VIOLATION: compaction changed the readable "
+                   "rows\n");
+      return 1;
+    }
+    st = (*db)->Close();
+    if (!st.ok()) Die("compact close", st);
+  }
+  if (compact_report.segments_compacted != pocked_segs.size() ||
+      compact_report.blocks_dropped != pocked_segs.size() ||
+      compact_report.bytes_reclaimed == 0) {
+    std::fprintf(stderr,
+                 "bench_store: compaction report off (%u segments, %llu "
+                 "dropped, %llu reclaimed)\n",
+                 compact_report.segments_compacted,
+                 static_cast<unsigned long long>(compact_report.blocks_dropped),
+                 static_cast<unsigned long long>(
+                     compact_report.bytes_reclaimed));
+    return 1;
+  }
+  {
+    // Reopen: the compacted generation must serve the same rows durably.
+    StatusOr<std::unique_ptr<store::Store>> db =
+        store::Store::Open(nullptr, compact_dir, popts);
+    if (!db.ok()) Die("compact reopen", db.status());
+    uint64_t checksum = kFnvOffset;
+    uint64_t n = 0;
+    const Status st = (*db)->Scan([&](uint64_t, const StRecord& rec) {
+      checksum = RecordChecksum(checksum, rec);
+      ++n;
+    });
+    if (!st.ok()) Die("compact reopen scan", st);
+    if (n != compact_rows_pre || checksum != compact_checksum_pre) {
+      std::fprintf(stderr,
+                   "BIT-IDENTITY VIOLATION: reopened compacted store "
+                   "diverged\n");
+      return 1;
+    }
+  }
+  const double compact_mb_per_s =
+      static_cast<double>(compact_input_bytes) / compact_s / 1e6;
+
+  // --- fleet: ≫-RAM scan under a fixed cache budget (full runs only) ----
+  // 10M rows (~480 MB on disk) streamed through the store and scanned
+  // under the default 64 MB budget. The record stream is regenerated for
+  // the reference checksum instead of materialized, so the bench itself
+  // stays small; the RSS high-water delta across append+scan must stay
+  // far below the dataset, or the out-of-core claim is false.
+  const size_t fleet_rows = quick ? 0 : 10'000'000;
+  double fleet_append_s = 0.0;
+  double fleet_scan_s = 0.0;
+  double fleet_hit_ratio = 0.0;
+  uint64_t fleet_rss_delta = 0;
+  uint64_t fleet_data_bytes = fleet_rows * kRowBytes;
+  if (fleet_rows > 0) {
+    uint64_t fleet_checksum = kFnvOffset;
+    {
+      RecordStream stream;
+      for (size_t i = 0; i < fleet_rows; ++i) {
+        fleet_checksum = RecordChecksum(fleet_checksum, stream.Next());
+      }
+    }
+    const std::string fleet_dir = scratch + "/fleet";
+    const uint64_t rss_before = PeakRssBytes();
+    {
+      store::StoreOptions fopts;
+      fopts.field_name = "bench";
+      const auto t0 = std::chrono::steady_clock::now();
+      StatusOr<std::unique_ptr<store::Store>> db =
+          store::Store::Open(nullptr, fleet_dir, fopts);
+      if (!db.ok()) Die("fleet open", db.status());
+      RecordStream stream;
+      for (size_t i = 0; i < fleet_rows; ++i) {
+        const Status st = (*db)->Append(stream.Next());
+        if (!st.ok()) Die("fleet append", st);
+      }
+      const Status st = (*db)->Close();
+      if (!st.ok()) Die("fleet commit", st);
+      fleet_append_s = SecondsSince(t0);
+    }
+    {
+      store::StoreOptions fopts;
+      fopts.field_name = "bench";
+      StatusOr<std::unique_ptr<store::Store>> db =
+          store::Store::Open(nullptr, fleet_dir, fopts);
+      if (!db.ok()) Die("fleet reopen", db.status());
+      uint64_t checksum = kFnvOffset;
+      uint64_t n = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      const Status st = (*db)->Scan([&](uint64_t, const StRecord& rec) {
+        checksum = RecordChecksum(checksum, rec);
+        ++n;
+      });
+      fleet_scan_s = SecondsSince(t0);
+      if (!st.ok()) Die("fleet scan", st);
+      if (n != fleet_rows || checksum != fleet_checksum) {
+        std::fprintf(stderr,
+                     "BIT-IDENTITY VIOLATION: fleet scan (%llu rows) "
+                     "diverged from the streamed reference\n",
+                     static_cast<unsigned long long>(n));
+        return 1;
+      }
+      const store::BlockCache::Stats stats = (*db)->cache_stats();
+      fleet_hit_ratio = stats.hits + stats.misses == 0
+                            ? 0.0
+                            : static_cast<double>(stats.hits) /
+                                  static_cast<double>(stats.hits +
+                                                      stats.misses);
+      if (stats.resident_bytes > fopts.cache_bytes) {
+        std::fprintf(stderr,
+                     "CACHE BUDGET VIOLATION: fleet scan holds %llu "
+                     "resident bytes over the %zu-byte budget\n",
+                     static_cast<unsigned long long>(stats.resident_bytes),
+                     fopts.cache_bytes);
+        return 1;
+      }
+    }
+    fleet_rss_delta = PeakRssBytes() - rss_before;
+    // Peak extra footprint: cache budget + the bounded window of live
+    // segment mappings + transients. Half the dataset is a loose ceiling
+    // that still proves the scan never loaded the store into RAM.
+    if (fleet_rss_delta > fleet_data_bytes / 2) {
+      std::fprintf(stderr,
+                   "RSS VIOLATION: fleet append+scan grew peak RSS by "
+                   "%.1f MB against a %.1f MB dataset under a 64 MB cache "
+                   "budget\n",
+                   static_cast<double>(fleet_rss_delta) / 1e6,
+                   static_cast<double>(fleet_data_bytes) / 1e6);
+      return 1;
+    }
+    RemoveTree(fleet_dir);
+  }
+
   RemoveTree(append_dir);
+  RemoveTree(compact_dir);
   for (const size_t s : {1u, 4u, 16u}) {
     RemoveTree(scratch + "/recover" + std::to_string(s));
   }
@@ -333,7 +656,38 @@ int main(int argc, char** argv) {
   t.AddRow({"scan rows/s (memory)",
             bench::FInt(static_cast<double>(rows) / scan_mem_s)});
   t.AddRow({"scan slowdown vs RAM", bench::F2(scan_store_s / scan_mem_s)});
+  t.AddRow({"cached scan slowdown vs RAM", bench::F2(cached_scan_slowdown)});
+  t.AddRow({"compaction MB/s", bench::F1(compact_mb_per_s)});
+  t.AddRow({"compaction bytes reclaimed",
+            std::to_string(compact_report.bytes_reclaimed)});
   t.Print();
+
+  bench::Table ct({"cache budget", "pass1 ms", "pass2 ms", "hit ratio",
+                   "resident MB"});
+  for (const CachePoint& p : cache_curve) {
+    ct.AddRow({p.budget_bytes == 0
+                   ? std::string("unbounded")
+                   : std::to_string(p.budget_bytes >> 20) + " MB",
+               bench::F2(p.cold_s * 1e3), bench::F2(p.warm_s * 1e3),
+               bench::F2(p.hit_ratio),
+               bench::F2(static_cast<double>(p.resident_bytes) / 1e6)});
+  }
+  ct.Print();
+
+  if (fleet_rows > 0) {
+    bench::Table ft({"fleet metric", "value"});
+    ft.AddRow({"rows", std::to_string(fleet_rows)});
+    ft.AddRow({"data MB",
+               bench::F1(static_cast<double>(fleet_data_bytes) / 1e6)});
+    ft.AddRow({"append rows/s",
+               bench::FInt(static_cast<double>(fleet_rows) / fleet_append_s)});
+    ft.AddRow({"scan rows/s (64 MB cache)",
+               bench::FInt(static_cast<double>(fleet_rows) / fleet_scan_s)});
+    ft.AddRow({"cache hit ratio", bench::F2(fleet_hit_ratio)});
+    ft.AddRow({"peak RSS delta MB",
+               bench::F1(static_cast<double>(fleet_rss_delta) / 1e6)});
+    ft.Print();
+  }
 
   bench::Table rt({"segments", "rows", "open ms"});
   for (const RecoveryPoint& p : recovery) {
@@ -361,20 +715,59 @@ int main(int argc, char** argv) {
   }
   recovery_json += "]";
 
+  std::string cache_json = "[";
+  for (size_t i = 0; i < cache_curve.size(); ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"budget_mb\":%zu,\"pass1_ms\":%.2f,\"pass2_ms\":%.2f,"
+                  "\"hit_ratio\":%.3f}",
+                  i == 0 ? "" : ",", cache_curve[i].budget_bytes >> 20,
+                  cache_curve[i].cold_s * 1e3, cache_curve[i].warm_s * 1e3,
+                  cache_curve[i].hit_ratio);
+    cache_json += buf;
+  }
+  cache_json += "]";
+
+  std::string fleet_json;
+  if (fleet_rows > 0) {
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"fleet\":{\"rows\":%zu,\"data_mb\":%.0f,\"cache_mb\":64,"
+        "\"append_rows_per_s\":%.0f,\"scan_rows_per_s\":%.0f,"
+        "\"hit_ratio\":%.3f,\"peak_rss_delta_mb\":%.1f,"
+        "\"determinism\":\"bit-identical\"}",
+        fleet_rows, static_cast<double>(fleet_data_bytes) / 1e6,
+        static_cast<double>(fleet_rows) / fleet_append_s,
+        static_cast<double>(fleet_rows) / fleet_scan_s, fleet_hit_ratio,
+        static_cast<double>(fleet_rss_delta) / 1e6);
+    fleet_json = buf;
+  }
+
   // rows_per_s / mb_per_s are absolute machine-dependent rates;
-  // scan_slowdown_vs_ram is a same-machine quotient, so bench_compare's
-  // --ratios-only mode may hold it across hosts.
+  // scan_slowdown_vs_ram and cached_scan_slowdown_vs_ram are same-machine
+  // quotients, so bench_compare's --ratios-only mode may hold them across
+  // hosts.
   std::printf(
       "BENCH_JSON: {\"bench\":\"store\",\"rows\":%zu,"
       "\"determinism\":\"bit-identical\",\"checksum\":\"%llu\","
       "\"append\":{\"seconds\":%.4f,\"rows_per_s\":%.0f,\"mb_per_s\":%.1f},"
       "\"scan\":{\"store_rows_per_s\":%.0f,\"mem_rows_per_s\":%.0f,"
-      "\"scan_slowdown_vs_ram\":%.2f},"
-      "\"recovery\":%s,\"torn_tail_open_ms\":%.2f}\n",
+      "\"scan_slowdown_vs_ram\":%.2f,"
+      "\"cached_scan_slowdown_vs_ram\":%.2f},"
+      "\"cache_curve\":%s,"
+      "\"compaction\":{\"segments\":%u,\"blocks_dropped\":%llu,"
+      "\"bytes_reclaimed\":%llu,\"seconds\":%.4f,\"mb_per_s\":%.1f},"
+      "\"recovery\":%s,\"torn_tail_open_ms\":%.2f%s}\n",
       rows, static_cast<unsigned long long>(mem_checksum), append_s,
       append_rows_per_s, append_mb_per_s,
       static_cast<double>(rows) / scan_store_s,
       static_cast<double>(rows) / scan_mem_s, scan_store_s / scan_mem_s,
-      recovery_json.c_str(), torn_open_ms);
+      cached_scan_slowdown, cache_json.c_str(),
+      compact_report.segments_compacted,
+      static_cast<unsigned long long>(compact_report.blocks_dropped),
+      static_cast<unsigned long long>(compact_report.bytes_reclaimed),
+      compact_s, compact_mb_per_s, recovery_json.c_str(), torn_open_ms,
+      fleet_json.c_str());
   return 0;
 }

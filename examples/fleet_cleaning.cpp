@@ -36,6 +36,16 @@
 //                                      recovery report, and write every
 //                                      readable row as a canonical text
 //                                      dump to F; exit
+//                  [--cache-mb N]      block-cache byte budget for store
+//                                      modes (decoded blocks held during
+//                                      scans; 0 = unbounded; default 64).
+//                                      Peak scan RSS is bounded by this,
+//                                      not by the store size
+//                  [--compact]         with --store-dir: run one
+//                                      deterministic compaction pass
+//                                      (rewrites quarantine-pocked rolled
+//                                      segments, tombstoning dead blocks),
+//                                      print the report, and exit
 //
 // The determinism contract means --threads changes only the wall clock:
 // every vehicle's cleaned trajectory is bit-identical for any N. Map
@@ -140,10 +150,11 @@ int RecordLogMode(const std::string& path) {
 // committed (data fsync'd, manifest published atomically) before returning.
 int IngestIntoStore(const sidq::stream::StreamOutput& streamed,
                     const std::string& field_name,
-                    const std::string& store_dir) {
+                    const std::string& store_dir, long cache_mb) {
   using namespace sidq;
   store::StoreOptions options;
   options.field_name = field_name;
+  options.cache_bytes = static_cast<size_t>(cache_mb) << 20;
   StatusOr<std::unique_ptr<store::Store>> opened =
       store::Store::Open(nullptr, store_dir, std::move(options));
   if (!opened.ok()) {
@@ -183,10 +194,13 @@ int IngestIntoStore(const sidq::stream::StreamOutput& streamed,
 // found, and dumps every readable row as canonical text -- the same
 // FormatDouble the JSON exporters use, so two scans of equal stores are
 // byte-identical and `cmp` is a valid gate.
-int StoreScanMode(const std::string& store_dir, const std::string& out) {
+int StoreScanMode(const std::string& store_dir, const std::string& out,
+                  long cache_mb) {
   using namespace sidq;
+  store::StoreOptions options;
+  options.cache_bytes = static_cast<size_t>(cache_mb) << 20;
   StatusOr<std::unique_ptr<store::Store>> opened =
-      store::Store::Open(nullptr, store_dir);
+      store::Store::Open(nullptr, store_dir, std::move(options));
   if (!opened.ok()) {
     std::fprintf(stderr, "store open failed: %s\n",
                  opened.status().ToString().c_str());
@@ -236,13 +250,65 @@ int StoreScanMode(const std::string& store_dir, const std::string& out) {
                  st.ToString().c_str());
     return 1;
   }
-  std::printf("  %llu readable rows -> %s\n",
-              static_cast<unsigned long long>(rows), out.c_str());
+  const store::BlockCache::Stats cache = db.cache_stats();
+  std::printf("  %llu readable rows -> %s (cache: %llu hits, %llu misses, "
+              "%llu resident bytes)\n",
+              static_cast<unsigned long long>(rows), out.c_str(),
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.resident_bytes));
+  return 0;
+}
+
+// One deterministic maintenance pass: rewrites every rolled segment that
+// holds quarantined bytes (dropping the dead blocks, tombstoning their
+// verdicts so row-id gaps and loss accounting survive) and commits the
+// result as a new manifest generation. Safe to interrupt: recovery serves
+// either the pre- or the post-compaction generation, never a blend.
+int CompactMode(const std::string& store_dir, long cache_mb) {
+  using namespace sidq;
+  store::StoreOptions options;
+  options.cache_bytes = static_cast<size_t>(cache_mb) << 20;
+  StatusOr<std::unique_ptr<store::Store>> opened =
+      store::Store::Open(nullptr, store_dir, std::move(options));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "store open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  store::Store& db = **opened;
+  std::printf("store %s: gen %llu, %s\n", store_dir.c_str(),
+              static_cast<unsigned long long>(db.manifest_gen()),
+              db.recovery().Summary().c_str());
+  store::CompactionReport report;
+  Status st = db.Compact(&report);
+  if (!st.ok()) {
+    std::fprintf(stderr, "compaction failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = db.Close();
+  if (!st.ok()) {
+    std::fprintf(stderr, "store close failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (report.segments_compacted == 0) {
+    std::printf("  nothing to compact: no rolled segment holds quarantined "
+                "bytes\n");
+  } else {
+    std::printf("  compacted %u segment(s): %llu live blocks rewritten, "
+                "%llu dead blocks tombstoned, %llu bytes reclaimed "
+                "-> gen %llu\n",
+                report.segments_compacted,
+                static_cast<unsigned long long>(report.blocks_rewritten),
+                static_cast<unsigned long long>(report.blocks_dropped),
+                static_cast<unsigned long long>(report.bytes_reclaimed),
+                static_cast<unsigned long long>(report.manifest_gen));
+  }
   return 0;
 }
 
 int ReplayMode(const std::string& path, const std::string& stream_out,
-               const std::string& store_dir, int threads) {
+               const std::string& store_dir, int threads, long cache_mb) {
   using namespace sidq;
   const StatusOr<stream::EventLog> log = stream::ReadEventLogFile(path);
   if (!log.ok()) {
@@ -300,7 +366,7 @@ int ReplayMode(const std::string& path, const std::string& stream_out,
     std::printf("  stream output -> %s\n", stream_out.c_str());
   }
   if (!store_dir.empty()) {
-    return IngestIntoStore(*streamed, log->field_name, store_dir);
+    return IngestIntoStore(*streamed, log->field_name, store_dir, cache_mb);
   }
   return 0;
 }
@@ -321,6 +387,8 @@ int main(int argc, char** argv) {
   std::string stream_out;
   std::string store_dir;
   std::string store_scan;
+  long cache_mb = 64;
+  bool compact = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
@@ -344,6 +412,14 @@ int main(int argc, char** argv) {
       store_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--store-scan") == 0 && i + 1 < argc) {
       store_scan = argv[++i];
+    } else if (std::strcmp(argv[i], "--cache-mb") == 0 && i + 1 < argc) {
+      cache_mb = std::atol(argv[++i]);
+      if (cache_mb < 0) {
+        std::fprintf(stderr, "--cache-mb must be >= 0 (0 = unbounded)\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--compact") == 0) {
+      compact = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--deadline-ms D] "
@@ -351,21 +427,29 @@ int main(int argc, char** argv) {
                    "[--metrics-out FILE] [--trace-out FILE] "
                    "[--record-log FILE] "
                    "[--replay FILE [--stream-out FILE] [--store-dir DIR]] "
-                   "[--store-dir DIR --store-scan FILE]\n",
+                   "[--store-dir DIR --store-scan FILE] "
+                   "[--store-dir DIR --compact] [--cache-mb N]\n",
                    argv[0]);
       return 2;
     }
   }
   if (!record_log.empty()) return RecordLogMode(record_log);
+  if (compact) {
+    if (store_dir.empty()) {
+      std::fprintf(stderr, "--compact requires --store-dir\n");
+      return 2;
+    }
+    return CompactMode(store_dir, cache_mb);
+  }
   if (!store_scan.empty()) {
     if (store_dir.empty()) {
       std::fprintf(stderr, "--store-scan requires --store-dir\n");
       return 2;
     }
-    return StoreScanMode(store_dir, store_scan);
+    return StoreScanMode(store_dir, store_scan, cache_mb);
   }
   if (!replay_log.empty()) {
-    return ReplayMode(replay_log, stream_out, store_dir, threads);
+    return ReplayMode(replay_log, stream_out, store_dir, threads, cache_mb);
   }
   const bool observed_run = !metrics_out.empty() || !trace_out.empty();
 

@@ -47,7 +47,8 @@ from pathlib import Path
 TIME_KEYS = {"seconds", "scalar_s", "kernel_s"}
 RATIO_KEYS = {"speedup", "traj_per_s"}
 # Quotients where growth is the bad direction (e.g. instrumented/plain).
-SLOWDOWN_KEYS = {"obs_slowdown", "scan_slowdown_vs_ram"}
+SLOWDOWN_KEYS = {"obs_slowdown", "scan_slowdown_vs_ram",
+                 "cached_scan_slowdown_vs_ram"}
 # Run metadata that legitimately differs between two recordings.
 SKIP_KEYS = {"recorded_utc"}
 

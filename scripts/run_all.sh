@@ -97,6 +97,41 @@ cmp "${obs_tmp}/scan_torn.txt" "${obs_tmp}/scan_again.txt" || {
   echo "FAILED: store recovery is not idempotent" >&2; exit 1; }
 echo "store recovery gate: OK"
 
+# Compaction gate: grow a multi-segment store (repeated ingests of the same
+# log compose by append), corrupt an interior block of the first rolled
+# segment the way bad media would, and require that (a) compaction rewrites
+# that segment smaller, (b) the readable rows before and after compaction
+# are byte-identical -- maintenance reclaims space, it never touches data --
+# and (c) a second pass finds nothing to do. cmp, not a parser: the
+# contract is bytes.
+for _ in $(seq 1 10); do
+  build/examples/fleet_cleaning --replay "${obs_tmp}/events.log" --threads 4 \
+    --store-dir "${obs_tmp}/cstore" > /dev/null
+done
+first_seg="${obs_tmp}/cstore/000000.seg"
+printf 'CORRUPTION' | dd of="${first_seg}" bs=1 seek=40 conv=notrunc \
+  2> /dev/null
+build/examples/fleet_cleaning --store-dir "${obs_tmp}/cstore" \
+  --store-scan "${obs_tmp}/cscan_pocked.txt" > /dev/null
+pre_size="$(stat -c %s "${first_seg}")"
+build/examples/fleet_cleaning --store-dir "${obs_tmp}/cstore" --compact \
+  | grep -q "compacted 1 segment" || {
+  echo "FAILED: compaction did not rewrite the pocked segment" >&2; exit 1; }
+post_size="$(stat -c %s "${first_seg}")"
+if [[ "${post_size}" -ge "${pre_size}" ]]; then
+  echo "FAILED: compaction reclaimed no bytes" \
+       "(${pre_size} -> ${post_size})" >&2
+  exit 1
+fi
+build/examples/fleet_cleaning --store-dir "${obs_tmp}/cstore" \
+  --store-scan "${obs_tmp}/cscan_compacted.txt" > /dev/null
+cmp "${obs_tmp}/cscan_pocked.txt" "${obs_tmp}/cscan_compacted.txt" || {
+  echo "FAILED: compaction changed the readable rows" >&2; exit 1; }
+build/examples/fleet_cleaning --store-dir "${obs_tmp}/cstore" --compact \
+  | grep -q "nothing to compact" || {
+  echo "FAILED: compaction is not idempotent" >&2; exit 1; }
+echo "store compaction gate: OK"
+
 # Refresh the recorded parallel-execution perf artifact (also re-checks the
 # serial-vs-parallel determinism gate and the <=5% instrumentation-overhead
 # gate baked into the bench). The instrumented run's metrics snapshot rides

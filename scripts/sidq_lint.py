@@ -96,6 +96,15 @@ Rules
                          std::ifstream are allowed (they cannot lose
                          data). Justified exceptions annotate with
                          `// sidq: allow-raw-io(<reason>)`.
+  R16 raw-read           whole-file `Vfs::ReadFile(` inside src/store/
+                         outside the Vfs implementation and the bounded
+                         BlockReader. Segment data is read positionally
+                         in block-sized chunks (store/block_reader.h) so
+                         peak scan RSS is capped by the cache budget, not
+                         the dataset; a whole-segment slurp silently
+                         reintroduces O(segment) memory. Small bounded
+                         control files (manifests, CURRENT) annotate with
+                         `// sidq: allow-raw-read(<reason>)`.
 
 Suppression syntax
 ------------------
@@ -166,6 +175,7 @@ RULES = {
     "R13": "stream-wallclock-watermark",
     "R14": "hotloop-heap-alloc",
     "R15": "raw-io",
+    "R16": "raw-read",
     "S1": "legacy-suppression",
     "S2": "unknown-suppression",
     "S3": "missing-reason",
@@ -176,7 +186,7 @@ SLUG_TO_RULE = {v: k for k, v in RULES.items()}
 SUPPRESSIBLE = {
     "ignored-status", "stray-thread", "scalar-haversine", "wallclock",
     "raw-mutex", "unordered-iter", "guarded-by-unknown-lock",
-    "hotloop-heap-alloc", "raw-io",
+    "hotloop-heap-alloc", "raw-io", "raw-read",
 }
 LEGACY_SPELLINGS = {
     "ignore-status": "allow-ignored-status",
@@ -250,6 +260,19 @@ ARENA_VEC_DECL_RE = re.compile(
 # deliberately NOT matched.
 RAW_IO_RE = re.compile(r"\b(?:std::)?ofstream\b|\b(?:std::)?fopen\s*\(")
 RAW_IO_ALLOWED_FILE = "src/store/vfs.cc"
+
+# R16: whole-file reads inside the store. Segment bytes flow through
+# NewRandomAccessFile + the BlockReader in block-sized chunks so peak
+# read RSS is bounded by the cache budget; a Vfs::ReadFile of a segment
+# silently reintroduces the load-everything scan path. Only the seam
+# itself and the bounded reader may call it unannotated.
+# Member-access call sites only (vfs->ReadFile(...)), so interface and
+# override declarations do not fire.
+RAW_READ_RE = re.compile(r"(?:\.|->)\s*ReadFile\s*\(")
+RAW_READ_SCOPED = re.compile(r"(^|/)src/store/")
+RAW_READ_ALLOWED_FILES = {
+    "src/store/vfs.cc", "src/store/vfs.h", "src/store/block_reader.cc",
+}
 
 # R11 scope: layers whose iteration order can reach snapshots, exports,
 # serialized traces or query/analytics results.
@@ -586,6 +609,20 @@ def run_line_rules(ctx):
                         "(store::AtomicWriteFile / WritableFile) so "
                         "durability faults stay injectable, or annotate "
                         "with '// sidq: allow-raw-io(<reason>)'")
+
+        # R16: whole-file ReadFile inside src/store/ outside the Vfs seam
+        # and the bounded block reader.
+        if (RAW_READ_SCOPED.search(rel)
+                and rel not in RAW_READ_ALLOWED_FILES
+                and RAW_READ_RE.search(code)):
+            if not ctx.suppressed(lineno, "raw-read"):
+                ctx.add(lineno, "R16",
+                        "whole-file Vfs::ReadFile inside src/store/; read "
+                        "segment data positionally through the BlockReader "
+                        "(store/block_reader.h) so peak RSS stays bounded "
+                        "by the cache budget, or annotate a bounded "
+                        "control-file read with "
+                        "'// sidq: allow-raw-read(<reason>)'")
 
         # R14: heap allocation inside a kernel-layer hot loop. Scratch
         # belongs in the arena; the sanctioned growth paths are ArenaVec

@@ -74,7 +74,7 @@ def main():
         failures.append(f"dirty corpus must exit 1, got {rc}")
     covered = {rule for _, _, rule in expected}
     for rule in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
-                 "R10", "R11", "R12", "R13", "R14", "R15",
+                 "R10", "R11", "R12", "R13", "R14", "R15", "R16",
                  "S1", "S2", "S3", "S4"):
         if rule not in covered:
             failures.append(f"fixture corpus has no case for {rule}")

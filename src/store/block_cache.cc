@@ -1,0 +1,208 @@
+#include "store/block_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sidq {
+namespace store {
+
+namespace {
+
+// SplitMix64: decorrelates the (segment << 40 | offset) key structure so
+// consecutive blocks of one segment spread across shards instead of
+// serializing on one mutex.
+uint64_t ShardMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PinnedBlock& PinnedBlock::operator=(PinnedBlock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    cache_ = other.cache_;
+    key_ = other.key_;
+    block_ = std::move(other.block_);
+    other.cache_ = nullptr;
+    other.block_.reset();
+  }
+  return *this;
+}
+
+void PinnedBlock::Release() {
+  if (cache_ != nullptr && block_ != nullptr) {
+    cache_->Unpin(key_);
+  }
+  cache_ = nullptr;
+  block_.reset();
+}
+
+BlockCache::BlockCache(size_t capacity_bytes, size_t shards,
+                       obs::MetricsRegistry* obs)
+    : capacity_bytes_(capacity_bytes) {
+  shards = std::max<size_t>(1, shards);
+  shard_capacity_ =
+      capacity_bytes_ == 0 ? 0 : std::max<size_t>(1, capacity_bytes_ / shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (obs != nullptr) {
+    hit_metric_ = obs->counter("store.cache.hit");
+    miss_metric_ = obs->counter("store.cache.miss");
+    insert_metric_ = obs->counter("store.cache.insert");
+    eviction_metric_ = obs->counter("store.cache.eviction");
+    resident_metric_ = obs->gauge("store.cache.resident_bytes");
+  }
+}
+
+size_t BlockCache::ShardOf(uint64_t key) const {
+  return static_cast<size_t>(ShardMix(key) % shards_.size());
+}
+
+PinnedBlock BlockCache::Lookup(uint32_t segment, uint64_t offset) {
+  const uint64_t key = KeyOf(segment, offset);
+  Shard& sh = *shards_[ShardOf(key)];
+  MutexLock lock(sh.mu);
+  auto it = sh.table.find(key);
+  if (it == sh.table.end()) {
+    ++sh.misses;
+    miss_metric_.Increment();
+    return PinnedBlock();
+  }
+  ++sh.hits;
+  hit_metric_.Increment();
+  Entry& e = it->second;
+  if (e.in_lru) {
+    sh.lru.erase(e.lru_it);
+    e.in_lru = false;
+    sh.unpinned_bytes -= e.charge;
+  }
+  ++e.pins;
+  return PinnedBlock(this, key, e.block);
+}
+
+PinnedBlock BlockCache::Insert(uint32_t segment, uint64_t offset,
+                               ColumnarBlock block) {
+  const uint64_t key = KeyOf(segment, offset);
+  Shard& sh = *shards_[ShardOf(key)];
+  MutexLock lock(sh.mu);
+  auto it = sh.table.find(key);
+  if (it != sh.table.end()) {
+    // Raced with another reader decoding the same block: keep the
+    // incumbent so existing pins stay coherent.
+    Entry& e = it->second;
+    if (e.in_lru) {
+      sh.lru.erase(e.lru_it);
+      e.in_lru = false;
+      sh.unpinned_bytes -= e.charge;
+    }
+    ++e.pins;
+    return PinnedBlock(this, key, e.block);
+  }
+  Entry e;
+  e.charge = ChargeOf(block.size());
+  e.block = std::make_shared<const ColumnarBlock>(std::move(block));
+  e.pins = 1;
+  e.in_lru = false;
+  sh.resident_bytes += e.charge;
+  ++sh.inserts;
+  insert_metric_.Increment();
+  resident_metric_.Add(static_cast<int64_t>(e.charge));
+  auto inserted = sh.table.emplace(key, std::move(e)).first;
+  EvictIfNeeded(sh);
+  return PinnedBlock(this, key, inserted->second.block);
+}
+
+void BlockCache::Unpin(uint64_t key) {
+  Shard& sh = *shards_[ShardOf(key)];
+  MutexLock lock(sh.mu);
+  auto it = sh.table.find(key);
+  if (it == sh.table.end()) return;  // invalidated while pinned
+  Entry& e = it->second;
+  if (e.pins == 0) return;  // stale handle from a removed+reinserted key
+  if (--e.pins == 0) {
+    e.lru_it = sh.lru.insert(sh.lru.end(), key);
+    e.in_lru = true;
+    sh.unpinned_bytes += e.charge;
+    EvictIfNeeded(sh);
+  }
+}
+
+void BlockCache::EvictIfNeeded(Shard& shard) {
+  if (shard_capacity_ == 0) return;  // unbounded
+  while (shard.unpinned_bytes > shard_capacity_ && !shard.lru.empty()) {
+    const uint64_t victim = shard.lru.front();
+    auto it = shard.table.find(victim);
+    EraseLocked(shard, it, /*count_as_eviction=*/true);
+  }
+}
+
+void BlockCache::EraseLocked(Shard& shard,
+                             std::map<uint64_t, Entry>::iterator it,
+                             bool count_as_eviction) {
+  Entry& e = it->second;
+  if (e.in_lru) {
+    shard.lru.erase(e.lru_it);
+    shard.unpinned_bytes -= e.charge;
+  }
+  shard.resident_bytes -= e.charge;
+  resident_metric_.Add(-static_cast<int64_t>(e.charge));
+  if (count_as_eviction) {
+    ++shard.evictions;
+    eviction_metric_.Increment();
+  }
+  shard.table.erase(it);
+}
+
+void BlockCache::EraseSegment(uint32_t segment) {
+  for (auto& shard : shards_) {
+    Shard& sh = *shard;
+    MutexLock lock(sh.mu);
+    for (auto it = sh.table.begin(); it != sh.table.end();) {
+      auto next = std::next(it);
+      if (SegmentOf(it->first) == segment) {
+        EraseLocked(sh, it, /*count_as_eviction=*/false);
+      }
+      it = next;
+    }
+  }
+}
+
+void BlockCache::Clear() {
+  for (auto& shard : shards_) {
+    Shard& sh = *shard;
+    MutexLock lock(sh.mu);
+    for (auto it = sh.table.begin(); it != sh.table.end();) {
+      auto next = std::next(it);
+      EraseLocked(sh, it, /*count_as_eviction=*/false);
+      it = next;
+    }
+  }
+}
+
+BlockCache::Stats BlockCache::GetStats() const {
+  Stats out;
+  for (const auto& shard : shards_) {
+    const Shard& sh = *shard;
+    MutexLock lock(sh.mu);
+    out.hits += sh.hits;
+    out.misses += sh.misses;
+    out.inserts += sh.inserts;
+    out.evictions += sh.evictions;
+    out.resident_bytes += sh.resident_bytes;
+    out.unpinned_bytes += sh.unpinned_bytes;
+    out.resident_blocks += sh.table.size();
+    for (const auto& [key, e] : sh.table) {
+      (void)key;
+      if (e.pins > 0) ++out.pinned_blocks;
+    }
+  }
+  return out;
+}
+
+}  // namespace store
+}  // namespace sidq

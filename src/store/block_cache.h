@@ -1,0 +1,182 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+#include "obs/metrics.h"
+#include "store/format.h"
+
+namespace sidq {
+namespace store {
+
+class BlockCache;
+
+// -------------------------------------------------------------------------
+// BlockCache: sharded LRU over CRC-verified decoded blocks, the RAM arm of
+// the ≫-RAM scan path (DESIGN.md "Store v2"). Shaped after rippled's
+// TaggedCache (beast/container): a fixed byte budget, entry pinning so a
+// block being scanned can never be evicted under the reader, and
+// deterministic per-shard LRU order.
+//
+// Invariants (pinned by the model-based property test in
+// tests/store_cache_test.cc):
+//   - UNPINNED resident bytes in a shard never exceed the shard budget
+//     (capacity_bytes / shards) after any operation returns. Pinned bytes
+//     may transiently exceed it -- a budget of one block must still be
+//     able to pin the block currently under the scan cursor.
+//   - A pinned entry is never evicted; eviction only consumes the LRU
+//     list, which holds exactly the unpinned entries.
+//   - hits/misses count Lookup outcomes exactly; inserts/evictions count
+//     entry lifecycle exactly.
+//
+// Sharding is deterministic: ShardOf(KeyOf(segment, offset)) is a pure
+// function, exposed so the reference model in the property test can
+// mirror per-shard budgets bit-exactly.
+//
+// Thread safety: each shard is guarded by its own sidq::Mutex; entries
+// are handed out as shared_ptrs, so an entry erased mid-pin (segment
+// invalidation during compaction) stays alive until its last PinnedBlock
+// drops.
+// -------------------------------------------------------------------------
+
+// RAII pin on a cached block. While alive, the block cannot be evicted
+// and the pointer stays valid even if the entry is invalidated under it.
+class PinnedBlock {
+ public:
+  PinnedBlock() = default;
+  PinnedBlock(PinnedBlock&& other) noexcept { *this = std::move(other); }
+  PinnedBlock& operator=(PinnedBlock&& other) noexcept;
+  PinnedBlock(const PinnedBlock&) = delete;
+  PinnedBlock& operator=(const PinnedBlock&) = delete;
+  ~PinnedBlock() { Release(); }
+
+  explicit operator bool() const { return block_ != nullptr; }
+  const ColumnarBlock& operator*() const { return *block_; }
+  const ColumnarBlock* operator->() const { return block_.get(); }
+  [[nodiscard]] const ColumnarBlock* get() const { return block_.get(); }
+
+  // Unpins early (idempotent).
+  void Release();
+
+ private:
+  friend class BlockCache;
+  friend class BlockReader;  // cache-less fallback pins (null cache_)
+  PinnedBlock(BlockCache* cache, uint64_t key,
+              std::shared_ptr<const ColumnarBlock> block)
+      : cache_(cache), key_(key), block_(std::move(block)) {}
+
+  BlockCache* cache_ = nullptr;
+  uint64_t key_ = 0;
+  std::shared_ptr<const ColumnarBlock> block_;
+};
+
+class BlockCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    uint64_t resident_bytes = 0;  // pinned + unpinned
+    uint64_t unpinned_bytes = 0;
+    uint64_t resident_blocks = 0;
+    uint64_t pinned_blocks = 0;
+  };
+
+  // capacity_bytes == 0 means unbounded (nothing is ever evicted); the
+  // budget is split evenly across `shards` (>= 1). `obs` may be null --
+  // metric handles degrade to no-ops.
+  BlockCache(size_t capacity_bytes, size_t shards, obs::MetricsRegistry* obs);
+
+  // (segment, offset) -> cache key. Segment files roll at tens of MiB, so
+  // 40 offset bits (1 TiB) can never collide with the segment number.
+  [[nodiscard]] static uint64_t KeyOf(uint32_t segment, uint64_t offset) {
+    return (static_cast<uint64_t>(segment) << 40) | offset;
+  }
+  [[nodiscard]] static uint32_t SegmentOf(uint64_t key) {
+    return static_cast<uint32_t>(key >> 40);
+  }
+  // Deterministic shard placement (exposed for the model test).
+  [[nodiscard]] size_t ShardOf(uint64_t key) const;
+
+  // Bytes an entry is charged for: the decoded columns plus fixed
+  // bookkeeping overhead. Exposed so tests and budget flags can reason in
+  // whole blocks.
+  [[nodiscard]] static size_t ChargeOf(size_t rows) {
+    return sizeof(ColumnarBlock) + rows * 48 + 64;
+  }
+
+  // Hit: pins the entry and returns it (counts one hit). Miss: returns a
+  // null handle (counts one miss).
+  [[nodiscard]] PinnedBlock Lookup(uint32_t segment, uint64_t offset);
+
+  // Inserts a decoded block and returns it pinned. If the key is already
+  // resident the existing entry is pinned and returned instead (neither a
+  // hit nor a miss: Lookup already counted this key's miss).
+  [[nodiscard]] PinnedBlock Insert(uint32_t segment, uint64_t offset,
+                                   ColumnarBlock block);
+
+  // Drops every resident entry of `segment` (compaction / truncation
+  // invalidation). Pinned entries are unlinked immediately -- later
+  // lookups miss -- and their memory is freed when the last pin drops.
+  void EraseSegment(uint32_t segment);
+
+  // Drops everything (same pinned-entry semantics as EraseSegment).
+  void Clear();
+
+  [[nodiscard]] Stats GetStats() const;
+  [[nodiscard]] size_t capacity_bytes() const { return capacity_bytes_; }
+  [[nodiscard]] size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] size_t shard_capacity_bytes() const { return shard_capacity_; }
+
+ private:
+  friend class PinnedBlock;
+
+  struct Entry {
+    std::shared_ptr<const ColumnarBlock> block;
+    size_t charge = 0;
+    uint32_t pins = 0;
+    bool in_lru = false;
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  struct Shard {
+    mutable Mutex mu;
+    // std::map, not unordered: eviction order must be a pure function of
+    // the operation sequence, and invalidation walks the table.
+    std::map<uint64_t, Entry> table SIDQ_GUARDED_BY(mu);
+    // front = next eviction victim; holds exactly the unpinned entries.
+    std::list<uint64_t> lru SIDQ_GUARDED_BY(mu);
+    size_t resident_bytes SIDQ_GUARDED_BY(mu) = 0;
+    size_t unpinned_bytes SIDQ_GUARDED_BY(mu) = 0;
+    uint64_t hits SIDQ_GUARDED_BY(mu) = 0;
+    uint64_t misses SIDQ_GUARDED_BY(mu) = 0;
+    uint64_t inserts SIDQ_GUARDED_BY(mu) = 0;
+    uint64_t evictions SIDQ_GUARDED_BY(mu) = 0;
+  };
+
+  void Unpin(uint64_t key);
+  // Evicts LRU entries until the shard's unpinned bytes fit the budget.
+  void EvictIfNeeded(Shard& shard) SIDQ_REQUIRES(shard.mu);
+  // Unlinks one entry from table + LRU and updates accounting/metrics.
+  void EraseLocked(Shard& shard, std::map<uint64_t, Entry>::iterator it,
+                   bool count_as_eviction) SIDQ_REQUIRES(shard.mu);
+
+  size_t capacity_bytes_;
+  size_t shard_capacity_;  // capacity_bytes_ / shards (0 = unbounded)
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  obs::Counter hit_metric_;
+  obs::Counter miss_metric_;
+  obs::Counter insert_metric_;
+  obs::Counter eviction_metric_;
+  obs::Gauge resident_metric_;
+};
+
+}  // namespace store
+}  // namespace sidq

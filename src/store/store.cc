@@ -1,6 +1,7 @@
 #include "store/store.h"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -50,7 +51,12 @@ std::string RecoveryReport::Summary() const {
 }
 
 Store::Store(Vfs* vfs, std::string dir, StoreOptions options)
-    : vfs_(vfs), dir_(std::move(dir)), options_(std::move(options)) {}
+    : vfs_(vfs), dir_(std::move(dir)), options_(std::move(options)) {
+  cache_ = std::make_unique<BlockCache>(options_.cache_bytes,
+                                        options_.cache_shards,
+                                        options_.obs.metrics);
+  reader_ = std::make_unique<BlockReader>(vfs_, dir_, cache_.get());
+}
 
 StatusOr<std::unique_ptr<Store>> Store::Open(Vfs* vfs, std::string dir,
                                              StoreOptions options) {
@@ -94,6 +100,7 @@ Status Store::Recover() {
   }
   std::vector<uint64_t> manifest_gens;
   std::vector<uint32_t> disk_segments;
+  std::vector<std::string> compaction_temps;  // NNNNNN.seg.cmp
   for (const std::string& name : names) {
     uint64_t gen = 0;
     uint32_t seg = 0;
@@ -101,6 +108,10 @@ Status Store::Recover() {
       manifest_gens.push_back(gen);
     } else if (ParseSegmentFileName(name, &seg)) {
       disk_segments.push_back(seg);
+    } else if (name.size() > 4 &&
+               name.compare(name.size() - 4, 4, ".cmp") == 0 &&
+               ParseSegmentFileName(name.substr(0, name.size() - 4), &seg)) {
+      compaction_temps.push_back(name);
     }
     // Anything else (CURRENT, stray *.tmp from an interrupted atomic
     // publish) is not data.
@@ -111,6 +122,7 @@ Status Store::Recover() {
   auto load_manifest = [&](uint64_t gen) -> StatusOr<ParsedManifest> {
     SIDQ_ASSIGN_OR_RETURN(
         std::string text,
+        // sidq: allow-raw-read(manifests are small bounded control files)
         vfs_->ReadFile(dir_ + "/" + ManifestFileName(gen)));
     SIDQ_ASSIGN_OR_RETURN(ParsedManifest parsed, ParseManifest(text));
     if (parsed.manifest.gen != gen) {
@@ -127,7 +139,9 @@ Status Store::Recover() {
   bool have_manifest = false;
   const std::string current_path = dir_ + "/" + kCurrentFileName;
   if (vfs_->Exists(current_path)) {
-    StatusOr<std::string> current = vfs_->ReadFile(current_path);
+    StatusOr<std::string> current =
+        // sidq: allow-raw-read(CURRENT is a one-line control file)
+        vfs_->ReadFile(current_path);
     if (current.ok()) {
       uint64_t gen = 0;
       uint32_t crc = 0;
@@ -177,6 +191,18 @@ Status Store::Recover() {
     }
   }
 
+  // 2.5 Compaction roll-forward. A crash between a compaction's manifest
+  //     commit and its segment rename leaves NNNNNN.seg.cmp beside a
+  //     stale NNNNNN.seg whose layout the chosen manifest no longer
+  //     describes. When every live entry the chosen manifest holds for
+  //     that segment verifies against the .cmp bytes, the rename is
+  //     completed here; any other .cmp is a dead intermediate of an
+  //     uncommitted pass and is removed. Either way recovery then serves
+  //     exactly one committed generation -- never a blend.
+  for (const std::string& name : compaction_temps) {
+    SIDQ_RETURN_IF_ERROR(RollForwardCompaction(manifest, have_manifest, name));
+  }
+
   field_name_ = have_manifest ? manifest.field_name : options_.field_name;
   next_row_ = manifest.rows;
 
@@ -198,30 +224,16 @@ Status Store::Recover() {
 
   // 4. CRC-verify every manifested block against both its self-checksum
   //    and its manifest entry; defects are quarantined, never dropped.
-  std::map<uint32_t, std::string> segment_data;
-  auto load_segment = [&](uint32_t segment) -> const std::string& {
-    auto it = segment_data.find(segment);
-    if (it == segment_data.end()) {
-      StatusOr<std::string> data =
-          vfs_->ReadFile(dir_ + "/" + SegmentFileName(segment));
-      // A missing segment reads as empty: every block in it fails with
-      // short-header, which is the right verdict.
-      it = segment_data
-               .emplace(segment, data.ok() ? std::move(data).value() : "")
-               .first;
-    }
-    return it->second;
-  };
+  //    Bounded reads through the block reader: verified decodes land in
+  //    the cache (budget-evicted), so recovery RSS stays flat on stores
+  //    far larger than RAM. A missing/unreadable segment verdicts as
+  //    short-header, exactly like the empty file it effectively is.
   for (const BlockEntry& entry : manifest.blocks) {
     account(entry.segment, entry.offset, entry.length, entry.index);
-    const std::string& data = load_segment(entry.segment);
-    ParsedBlock parsed = ParseBlockAt(data, entry.offset);
-    BlockDefect defect = parsed.defect;
-    if (defect == BlockDefect::kNone &&
-        (parsed.crc != entry.crc || parsed.bytes_consumed != entry.length ||
-         parsed.block.size() != entry.row_count)) {
-      defect = BlockDefect::kManifestMismatch;
-    }
+    BlockDefect defect = BlockDefect::kNone;
+    PinnedBlock block;
+    SIDQ_RETURN_IF_ERROR(reader_->Read(
+        entry, BlockReader::MissingPolicy::kDefect, &defect, &block));
     if (defect == BlockDefect::kNone) {
       committed_.push_back(entry);
       CountRecovered(entry);
@@ -256,36 +268,43 @@ Status Store::Recover() {
     const std::string path = dir_ + "/" + SegmentFileName(segment);
     if (torn) {
       SIDQ_RETURN_IF_ERROR(vfs_->Remove(path));
+      reader_->Invalidate(segment);
       ++recovery_.orphan_segments_removed;
       dirty_ = true;
       continue;
     }
-    const std::string& data = load_segment(segment);
+    StatusOr<uint64_t> size_or = reader_->SegmentSize(segment);
+    if (!size_or.ok()) continue;  // vanished under us: nothing to adopt
+    const uint64_t size = *size_or;
     const auto [start, start_index] = accounted[segment];
-    if (start > data.size()) continue;  // already quarantined as short
-    SegmentScan scan = ScanSegment(data, start, start_index);
-    for (ScannedBlock& b : scan.blocks) {
-      BlockEntry entry;
-      entry.segment = segment;
-      entry.index = b.index;
-      entry.offset = b.offset;
-      entry.length = b.length;
-      entry.crc = b.crc;
-      entry.row_start = next_row_;
-      entry.row_count = static_cast<uint32_t>(b.block.size());
-      entry.sensor_rows = SensorRowsOf(b.block);
-      next_row_ += entry.row_count;
-      account(segment, entry.offset, entry.length, entry.index);
-      committed_.push_back(entry);
-      CountRecovered(entry);
-      ++recovery_.tail_blocks_recovered;
-      dirty_ = true;
-    }
-    if (scan.defect != BlockDefect::kNone && scan.valid_bytes < data.size()) {
+    if (start > size) continue;  // already quarantined as short
+    // Streamed ScanSegment: adopted blocks are decoded one at a time, so
+    // even a never-committed store recovers in bounded memory.
+    SIDQ_ASSIGN_OR_RETURN(
+        BlockReader::TailScanResult scan,
+        reader_->TailScan(segment, start, start_index, [&](ScannedBlock&& b) {
+          BlockEntry entry;
+          entry.segment = segment;
+          entry.index = b.index;
+          entry.offset = b.offset;
+          entry.length = b.length;
+          entry.crc = b.crc;
+          entry.row_start = next_row_;
+          entry.row_count = static_cast<uint32_t>(b.block.size());
+          entry.sensor_rows = SensorRowsOf(b.block);
+          next_row_ += entry.row_count;
+          account(segment, entry.offset, entry.length, entry.index);
+          committed_.push_back(entry);
+          CountRecovered(entry);
+          ++recovery_.tail_blocks_recovered;
+          dirty_ = true;
+        }));
+    if (scan.defect != BlockDefect::kNone && scan.valid_bytes < size) {
       SIDQ_RETURN_IF_ERROR(vfs_->Truncate(path, scan.valid_bytes));
+      reader_->Invalidate(segment);
       recovery_.tail_truncated = true;
       recovery_.tail_segment = segment;
-      recovery_.tail_bytes_discarded = data.size() - scan.valid_bytes;
+      recovery_.tail_bytes_discarded = size - scan.valid_bytes;
       recovery_.tail_defect = scan.defect;
       torn = true;
       dirty_ = true;
@@ -312,6 +331,67 @@ Status Store::Recover() {
     }
   }
   open_row_start_ = next_row_;
+  return Status::OK();
+}
+
+Status Store::RollForwardCompaction(const Manifest& manifest,
+                                    bool have_manifest,
+                                    const std::string& name) {
+  const std::string cmp_path = dir_ + "/" + name;
+  uint32_t seg = 0;
+  if (!ParseSegmentFileName(name.substr(0, name.size() - 4), &seg)) {
+    return Status::Internal("unparseable compaction temp " + name);
+  }
+  bool adopt = false;
+  // Adoption needs the chosen manifest to actually describe the .cmp
+  // layout: a committed generation, a rolled (never-tail) segment it still
+  // references, and every live block entry verifying byte-for-byte
+  // against the temp. The pre-compaction generation fails the verify
+  // (offsets moved), so a crash before the manifest commit rolls back.
+  if (have_manifest && manifest.num_segments > 0 &&
+      seg < manifest.num_segments - 1) {
+    bool referenced = false;
+    for (const QuarantinedBlockEntry& q : manifest.quarantined) {
+      if (q.segment == seg) {
+        referenced = true;
+        break;
+      }
+    }
+    for (const BlockEntry& b : manifest.blocks) {
+      if (b.segment == seg) {
+        referenced = true;
+        break;
+      }
+    }
+    if (referenced) {
+      StatusOr<std::unique_ptr<RandomAccessFile>> file =
+          vfs_->NewRandomAccessFile(cmp_path);
+      if (file.ok()) {
+        adopt = true;
+        std::string scratch;
+        for (const BlockEntry& b : manifest.blocks) {
+          if (b.segment != seg) continue;
+          BlockDefect defect = BlockDefect::kNone;
+          const Status st =
+              BlockReader::VerifyAt(file->get(), &scratch, b, &defect,
+                                    /*out=*/nullptr);
+          if (!st.ok() || defect != BlockDefect::kNone) {
+            adopt = false;
+            break;
+          }
+        }
+      }
+    }
+  }
+  if (adopt) {
+    SIDQ_RETURN_IF_ERROR(
+        vfs_->Rename(cmp_path, dir_ + "/" + SegmentFileName(seg)));
+    SIDQ_RETURN_IF_ERROR(vfs_->SyncDir(dir_));
+    reader_->Invalidate(seg);
+  } else {
+    SIDQ_RETURN_IF_ERROR(vfs_->Remove(cmp_path));
+    SIDQ_RETURN_IF_ERROR(vfs_->SyncDir(dir_));
+  }
   return Status::OK();
 }
 
@@ -380,6 +460,19 @@ Status Store::SealOpenBlock() {
   return Status::OK();
 }
 
+uint32_t Store::ComputeNumSegments() const {
+  uint32_t n = 0;
+  for (const BlockEntry& b : committed_) n = std::max(n, b.segment + 1);
+  for (const BlockEntry& b : pending_) n = std::max(n, b.segment + 1);
+  for (const QuarantinedBlockEntry& q : quarantined_) {
+    n = std::max(n, q.segment + 1);
+  }
+  if (writer_ != nullptr || segment_blocks_ > 0) {
+    n = std::max(n, current_segment_ + 1);
+  }
+  return n;
+}
+
 Status Store::Commit() {
   SIDQ_RETURN_IF_ERROR(SealOpenBlock());
   if (pending_.empty() && !dirty_ && manifest_gen_ > 0) {
@@ -391,6 +484,10 @@ Status Store::Commit() {
   if (writer_ != nullptr) {
     SIDQ_RETURN_IF_ERROR(writer_->Sync());
   }
+  return PublishManifest();
+}
+
+Status Store::PublishManifest() {
   Manifest m;
   m.gen = manifest_gen_ + 1;
   m.prev_gen = manifest_gen_;
@@ -400,15 +497,7 @@ Status Store::Commit() {
   m.blocks = committed_;
   m.blocks.insert(m.blocks.end(), pending_.begin(), pending_.end());
   m.quarantined = quarantined_;
-  for (const BlockEntry& b : m.blocks) {
-    m.num_segments = std::max(m.num_segments, b.segment + 1);
-  }
-  for (const QuarantinedBlockEntry& q : m.quarantined) {
-    m.num_segments = std::max(m.num_segments, q.segment + 1);
-  }
-  if (writer_ != nullptr || segment_blocks_ > 0) {
-    m.num_segments = std::max(m.num_segments, current_segment_ + 1);
-  }
+  m.num_segments = ComputeNumSegments();
   const std::string serialized = SerializeManifest(m);
   const uint32_t crc = CommitCrcOf(serialized);
   // The manifest publish and the CURRENT repoint are each atomic; a crash
@@ -437,6 +526,113 @@ Status Store::Commit() {
   return Status::OK();
 }
 
+Status Store::Compact(CompactionReport* report) {
+  CompactionReport local;
+  // Seal and publish everything pending first: compaction rewrites only
+  // committed state, and the pre-compaction generation must be complete
+  // on disk so a crash anywhere in the pass recovers it exactly.
+  SIDQ_RETURN_IF_ERROR(Commit());
+  local.manifest_gen = manifest_gen_;
+
+  // Eligible: rolled segments holding quarantined bytes. The active tail
+  // segment (highest-numbered) is never rewritten -- recovery's tail-scan
+  // and adoption rules own it, and rewriting it would race the writer.
+  const uint32_t num_segments = ComputeNumSegments();
+  const uint32_t first_tail = num_segments == 0 ? 0 : num_segments - 1;
+  std::set<uint32_t> targets;
+  for (const QuarantinedBlockEntry& q : quarantined_) {
+    if (q.length > 0 && q.segment < first_tail) targets.insert(q.segment);
+  }
+  if (targets.empty()) {
+    if (report != nullptr) *report = local;
+    return Status::OK();
+  }
+
+  // Phase 1: write each replacement NNNNNN.seg.cmp -- live blocks copied
+  // verbatim in row order -- and make the temps durable. Nothing the live
+  // manifest references is touched, so a crash anywhere in this phase
+  // leaves dead temps that recovery's roll-forward check removes.
+  std::vector<std::pair<size_t, uint64_t>> relocations;  // index, new offset
+  for (uint32_t seg : targets) {
+    SIDQ_ASSIGN_OR_RETURN(uint64_t old_size, reader_->SegmentSize(seg));
+    SIDQ_ASSIGN_OR_RETURN(
+        std::unique_ptr<WritableFile> out,
+        vfs_->NewWritableFile(dir_ + "/" + SegmentFileName(seg) + ".cmp",
+                              WriteMode::kTruncate));
+    uint64_t new_offset = 0;
+    for (size_t i = 0; i < committed_.size(); ++i) {
+      const BlockEntry& entry = committed_[i];
+      if (entry.segment != seg) continue;
+      SIDQ_ASSIGN_OR_RETURN(
+          std::string bytes,
+          reader_->ReadRange(seg, entry.offset, entry.length));
+      if (bytes.size() != entry.length) {
+        return Status::DataLoss(SegmentFileName(seg) +
+                                " truncated under compaction; reopen the "
+                                "store to recover");
+      }
+      SIDQ_RETURN_IF_ERROR(out->Append(bytes));
+      relocations.emplace_back(i, new_offset);
+      new_offset += entry.length;
+      ++local.blocks_rewritten;
+    }
+    SIDQ_RETURN_IF_ERROR(out->Sync());
+    SIDQ_RETURN_IF_ERROR(out->Close());
+    ++local.segments_compacted;
+    local.bytes_reclaimed += old_size - new_offset;
+  }
+  SIDQ_RETURN_IF_ERROR(vfs_->SyncDir(dir_));
+
+  // Phase 2: commit the post-compaction layout. Live entries take their
+  // .cmp offsets; dropped quarantines become zero-length tombstones (the
+  // verdict, row-id gap, and per-sensor loss survive -- only the bytes
+  // go). Recovery from a crash before this publish serves the
+  // pre-compaction generation; from one after it, the roll-forward
+  // completes any rename below that didn't happen.
+  for (const auto& [index, new_offset] : relocations) {
+    committed_[index].offset = new_offset;
+  }
+  for (QuarantinedBlockEntry& q : quarantined_) {
+    if (q.length > 0 && targets.count(q.segment) != 0) {
+      q.offset = 0;
+      q.length = 0;
+      ++local.blocks_dropped;
+    }
+  }
+  dirty_ = true;
+  SIDQ_RETURN_IF_ERROR(PublishManifest());
+  local.manifest_gen = manifest_gen_;
+
+  // Phase 3: complete each rewrite with an atomic rename, then drop every
+  // stale handle and cached decode of the rewritten segments.
+  for (uint32_t seg : targets) {
+    SIDQ_RETURN_IF_ERROR(
+        vfs_->Rename(dir_ + "/" + SegmentFileName(seg) + ".cmp",
+                     dir_ + "/" + SegmentFileName(seg)));
+    reader_->Invalidate(seg);
+  }
+  SIDQ_RETURN_IF_ERROR(vfs_->SyncDir(dir_));
+
+  if (obs::MetricsRegistry* m = options_.obs.metrics) {
+    m->counter("store.compaction.passes").Increment();
+    m->counter("store.compaction.segments")
+        .Increment(static_cast<int64_t>(local.segments_compacted));
+    m->counter("store.compaction.blocks_dropped")
+        .Increment(static_cast<int64_t>(local.blocks_dropped));
+    m->counter("store.compaction.bytes_reclaimed")
+        .Increment(static_cast<int64_t>(local.bytes_reclaimed));
+  }
+  if (obs::Tracer* t = options_.obs.tracer) {
+    t->Instant(obs::kProcessKey, "store.compact", "store", nullptr,
+               "segments=" + std::to_string(local.segments_compacted) +
+                   " dropped=" + std::to_string(local.blocks_dropped) +
+                   " reclaimed=" + std::to_string(local.bytes_reclaimed) +
+                   " gen=" + std::to_string(local.manifest_gen));
+  }
+  if (report != nullptr) *report = local;
+  return Status::OK();
+}
+
 Status Store::Close() {
   SIDQ_RETURN_IF_ERROR(Commit());
   if (writer_ != nullptr) {
@@ -449,26 +645,23 @@ Status Store::Close() {
 Status Store::ScanEntries(
     const std::vector<BlockEntry>& entries,
     const std::function<void(uint64_t, const StRecord&)>& fn) const {
-  uint32_t loaded_segment = 0;
-  bool loaded = false;
-  std::string data;
+  // Every block flows through the bounded reader: a cache hit costs no
+  // I/O, a miss reads exactly one block, and peak RSS is capped by the
+  // cache budget plus the block under the cursor (which stays pinned for
+  // the duration of its rows).
   for (const BlockEntry& entry : entries) {
-    if (!loaded || entry.segment != loaded_segment) {
-      SIDQ_ASSIGN_OR_RETURN(
-          data, vfs_->ReadFile(dir_ + "/" + SegmentFileName(entry.segment)));
-      loaded_segment = entry.segment;
-      loaded = true;
-    }
-    ParsedBlock parsed = ParseBlockAt(data, entry.offset);
-    if (parsed.defect != BlockDefect::kNone ||
-        parsed.block.size() != entry.row_count) {
+    BlockDefect defect = BlockDefect::kNone;
+    PinnedBlock block;
+    SIDQ_RETURN_IF_ERROR(reader_->Read(
+        entry, BlockReader::MissingPolicy::kError, &defect, &block));
+    if (defect != BlockDefect::kNone) {
       return Status::DataLoss(
           "block " + std::to_string(entry.index) + " in " +
           SegmentFileName(entry.segment) + " failed verification mid-scan (" +
-          BlockDefectName(parsed.defect) + "); reopen the store to recover");
+          BlockDefectName(defect) + "); reopen the store to recover");
     }
-    for (size_t i = 0; i < parsed.block.size(); ++i) {
-      fn(entry.row_start + i, parsed.block.Record(i));
+    for (size_t i = 0; i < block->size(); ++i) {
+      fn(entry.row_start + i, block->Record(i));
     }
   }
   return Status::OK();

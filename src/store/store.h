@@ -12,6 +12,8 @@
 #include "core/stid.h"
 #include "core/types.h"
 #include "obs/observer.h"
+#include "store/block_cache.h"
+#include "store/block_reader.h"
 #include "store/format.h"
 #include "store/segment.h"
 #include "store/vfs.h"
@@ -29,9 +31,27 @@ struct StoreOptions {
   // Thematic field name stamped into the manifest (a recovered store's
   // manifest wins over this).
   std::string field_name = "stid";
+  // Byte budget of the decoded-block cache backing the scan path; peak
+  // read RSS is bounded by this, not by the dataset (0 = unbounded).
+  size_t cache_bytes = 64ull << 20;
+  // LRU shards the budget is split across (clamped to >= 1).
+  size_t cache_shards = 8;
   // Optional metrics/trace sinks (store.* counters, store open/commit
   // instants). Null sinks drop the signals.
   obs::ObsSinks obs;
+};
+
+// What one Compact() pass rewrote. Compaction drops quarantined blocks'
+// bytes from rolled segments while keeping their verdicts (tombstoned
+// with offset/length 0) so row-id gaps and per-sensor loss accounting
+// survive -- quality metadata travels with the data, it is not laundered
+// away by maintenance.
+struct CompactionReport {
+  uint32_t segments_compacted = 0;
+  uint64_t blocks_rewritten = 0;  // live blocks copied verbatim
+  uint64_t blocks_dropped = 0;    // quarantined blocks tombstoned
+  uint64_t bytes_reclaimed = 0;
+  uint64_t manifest_gen = 0;  // generation that committed the pass
 };
 
 // Per-trajectory recovery quality: how many of a sensor's rows survived
@@ -114,6 +134,17 @@ class Store {
   // dropping a store loses uncommitted appends, exactly like a crash.
   [[nodiscard]] Status Close();
 
+  // Deterministic maintenance pass: rewrites every rolled segment that
+  // holds quarantined bytes, dropping the dead blocks and tombstoning
+  // their verdicts, then commits a new manifest generation and completes
+  // each rewrite with an atomic rename. Crash-safe at every I/O op:
+  // recovery serves either the pre- or the post-compaction generation
+  // bit-identically (the NNNNNN.seg.cmp roll-forward in Recover()
+  // finishes or discards interrupted renames). The active tail segment is
+  // never touched. After a non-crash I/O error the in-memory state may be
+  // ahead of disk -- reopen the store, as with any mid-scan DataLoss.
+  [[nodiscard]] Status Compact(CompactionReport* report);
+
   // Calls `fn(row_id, record)` for every readable row in row-id order.
   [[nodiscard]] Status Scan(
       const std::function<void(uint64_t, const StRecord&)>& fn) const;
@@ -125,6 +156,11 @@ class Store {
   [[nodiscard]] uint64_t rows_readable() const;
   [[nodiscard]] const std::string& dir() const { return dir_; }
   [[nodiscard]] const std::string& field_name() const { return field_name_; }
+  // Segment files 0..num_segments-1 exist (what the next manifest says).
+  [[nodiscard]] uint32_t num_segments() const { return ComputeNumSegments(); }
+  [[nodiscard]] BlockCache::Stats cache_stats() const {
+    return cache_->GetStats();
+  }
 
   // Surfaces recovery verdicts into a stream-side quarantine ledger
   // (reasons kStoreCorruptBlock / kStoreTornTail), seq = first lost row.
@@ -132,8 +168,15 @@ class Store {
 
  private:
   [[nodiscard]] Status Recover();
+  [[nodiscard]] Status RollForwardCompaction(const Manifest& manifest,
+                                             bool have_manifest,
+                                             const std::string& name);
   [[nodiscard]] Status EnsureWriter();
   [[nodiscard]] Status SealOpenBlock();
+  // Serializes + atomically publishes manifest gen+1 from the current
+  // in-memory state (the commit tail shared by Commit and Compact).
+  [[nodiscard]] Status PublishManifest();
+  [[nodiscard]] uint32_t ComputeNumSegments() const;
   [[nodiscard]] Status ScanEntries(
       const std::vector<BlockEntry>& entries,
       const std::function<void(uint64_t, const StRecord&)>& fn) const;
@@ -144,6 +187,12 @@ class Store {
   std::string dir_;
   StoreOptions options_;
   std::string field_name_;
+
+  // Out-of-core read path: decoded-block cache + bounded segment reader
+  // (mutable: Scan() is logically const but warms the cache and rotates
+  // read handles; the store is externally synchronized).
+  std::unique_ptr<BlockCache> cache_;
+  mutable std::unique_ptr<BlockReader> reader_;
 
   // Committed state (mirrors the live manifest).
   std::vector<BlockEntry> committed_;

@@ -2,6 +2,7 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -95,6 +96,87 @@ class RealWritableFile : public WritableFile {
   std::string path_;
 };
 
+// Positional reads served from an mmap of the file. The mapping covers
+// the size observed at open (or last Refresh); a read past the mapped
+// range re-stats and remaps, so a reader handle opened before the tail
+// segment grew still sees appended blocks. When mmap is unavailable
+// (length-0 files, exotic filesystems) every read falls back to pread --
+// same semantics, one extra copy.
+class RealRandomAccessFile : public RandomAccessFile {
+ public:
+  RealRandomAccessFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {
+    (void)Refresh();  // sidq: allow-ignored-status(best-effort initial map; reads re-stat on miss)
+  }
+
+  ~RealRandomAccessFile() override {
+    Unmap();
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  StatusOr<std::string_view> Read(uint64_t offset, size_t n,
+                                  char* scratch) override {
+    if (offset + n > size_ || map_ == nullptr) {
+      SIDQ_RETURN_IF_ERROR(Refresh());
+    }
+    if (offset >= size_) return std::string_view();
+    const size_t avail = static_cast<size_t>(size_ - offset);
+    const size_t len = std::min(n, avail);
+    if (map_ != nullptr) {
+      return std::string_view(static_cast<const char*>(map_) + offset, len);
+    }
+    // pread fallback: short reads mean the file shrank under us.
+    size_t got = 0;
+    while (got < len) {
+      const ssize_t r = ::pread(fd_, scratch + got, len - got,
+                                static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::Unavailable(ErrnoMessage("pread failed for", path_));
+      }
+      if (r == 0) break;
+      got += static_cast<size_t>(r);
+    }
+    return std::string_view(scratch, got);
+  }
+
+  StatusOr<uint64_t> Size() override {
+    SIDQ_RETURN_IF_ERROR(Refresh());
+    return size_;
+  }
+
+ private:
+  Status Refresh() {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Status::Unavailable(ErrnoMessage("fstat failed for", path_));
+    }
+    const uint64_t size = static_cast<uint64_t>(st.st_size);
+    if (size != size_ || (map_ == nullptr && size > 0)) {
+      Unmap();
+      size_ = size;
+      if (size_ > 0) {
+        void* m = ::mmap(nullptr, static_cast<size_t>(size_), PROT_READ,
+                         MAP_SHARED, fd_, 0);
+        if (m != MAP_FAILED) map_ = m;  // else: pread fallback
+      }
+    }
+    return Status::OK();
+  }
+
+  void Unmap() {
+    if (map_ != nullptr) {
+      ::munmap(map_, static_cast<size_t>(size_));
+      map_ = nullptr;
+    }
+  }
+
+  int fd_;
+  std::string path_;
+  void* map_ = nullptr;
+  uint64_t size_ = 0;
+};
+
 class RealVfs : public Vfs {
  public:
   StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
@@ -129,6 +211,16 @@ class RealVfs : public Vfs {
     }
     ::close(fd);
     return out;
+  }
+
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) const override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Status::Unavailable(ErrnoMessage("cannot open", path));
+    }
+    return {std::make_unique<RealRandomAccessFile>(fd, path)};
   }
 
   StatusOr<uint64_t> FileSize(const std::string& path) const override {
@@ -291,6 +383,41 @@ class MemWritableFile : public WritableFile {
   bool closed_ = false;
 };
 
+// Mem positional reads re-resolve the path on every call, so a handle
+// held across a crash / rename / remove degrades to NotFound instead of
+// serving stale bytes -- the strictest form of the "discard handles after
+// mutation" contract, which keeps the crash sweeps honest.
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  MemRandomAccessFile(const MemVfs* vfs, std::string path)
+      : vfs_(vfs), path_(std::move(path)) {}
+
+  StatusOr<std::string_view> Read(uint64_t offset, size_t n,
+                                  char* scratch) override {
+    auto it = vfs_->files_.find(path_);
+    if (it == vfs_->files_.end()) {
+      return Status::NotFound("no such file: " + path_);
+    }
+    const std::string& data = it->second.data;
+    if (offset >= data.size()) return std::string_view();
+    const size_t len = std::min(n, data.size() - offset);
+    std::memcpy(scratch, data.data() + offset, len);
+    return std::string_view(scratch, len);
+  }
+
+  StatusOr<uint64_t> Size() override {
+    auto it = vfs_->files_.find(path_);
+    if (it == vfs_->files_.end()) {
+      return Status::NotFound("no such file: " + path_);
+    }
+    return static_cast<uint64_t>(it->second.data.size());
+  }
+
+ private:
+  const MemVfs* vfs_;
+  std::string path_;
+};
+
 StatusOr<std::unique_ptr<WritableFile>> MemVfs::NewWritableFile(
     const std::string& path, WriteMode mode) {
   auto it = files_.find(path);
@@ -313,6 +440,14 @@ StatusOr<std::string> MemVfs::ReadFile(const std::string& path) const {
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   return it->second.data;
+}
+
+StatusOr<std::unique_ptr<RandomAccessFile>> MemVfs::NewRandomAccessFile(
+    const std::string& path) const {
+  if (files_.count(path) == 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return {std::make_unique<MemRandomAccessFile>(this, path)};
 }
 
 StatusOr<uint64_t> MemVfs::FileSize(const std::string& path) const {
@@ -614,6 +749,39 @@ StatusOr<std::unique_ptr<WritableFile>> FaultVfs::NewWritableFile(
 StatusOr<std::string> FaultVfs::ReadFile(const std::string& path) const {
   if (crashed_) return Status::Unavailable(kCrashed);
   return base_->ReadFile(path);
+}
+
+// Positional reads pass through un-numbered (the crash plan enumerates
+// mutating I/O only, so adding the read path cannot shift existing sweep
+// op indices); once the crash fired, every read fails like the rest.
+class FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(const FaultVfs* vfs,
+                        std::unique_ptr<RandomAccessFile> base)
+      : vfs_(vfs), base_(std::move(base)) {}
+
+  StatusOr<std::string_view> Read(uint64_t offset, size_t n,
+                                  char* scratch) override {
+    if (vfs_->crashed_) return Status::Unavailable(kCrashed);
+    return base_->Read(offset, n, scratch);
+  }
+
+  StatusOr<uint64_t> Size() override {
+    if (vfs_->crashed_) return Status::Unavailable(kCrashed);
+    return base_->Size();
+  }
+
+ private:
+  const FaultVfs* vfs_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+StatusOr<std::unique_ptr<RandomAccessFile>> FaultVfs::NewRandomAccessFile(
+    const std::string& path) const {
+  if (crashed_) return Status::Unavailable(kCrashed);
+  SIDQ_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> base,
+                        base_->NewRandomAccessFile(path));
+  return {std::make_unique<FaultRandomAccessFile>(this, std::move(base))};
 }
 
 StatusOr<uint64_t> FaultVfs::FileSize(const std::string& path) const {

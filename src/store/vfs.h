@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/status.h"
@@ -64,16 +65,46 @@ enum class WriteMode {
   kAppend,    // create or continue at the end
 };
 
+// A positional-read handle for the out-of-core scan path (Store v2). The
+// Real backend serves reads from an mmap of the file (remapping when the
+// file has grown since open, falling back to pread when mmap is
+// unavailable); Mem/Fault backends copy into `scratch` so crash and
+// corruption semantics stay exactly those of the in-memory model. Reads
+// past EOF are short, not errors: the returned view holds
+// min(n, size - offset) bytes (empty at/after EOF). The view is valid
+// until the next Read/Refresh on the same handle.
+//
+// Contract with the mutating API: a RandomAccessFile pins no filesystem
+// state. After a Truncate/Remove/Rename of the underlying path, the
+// handle must be discarded (the BlockReader's Invalidate hook does this);
+// reading through a stale mapping of a shrunk file is undefined.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  [[nodiscard]] virtual StatusOr<std::string_view> Read(uint64_t offset,
+                                                        size_t n,
+                                                        char* scratch) = 0;
+  // Size of the file as of the last Read/Refresh (mmap backends re-stat
+  // lazily; call Refresh() to observe growth explicitly).
+  [[nodiscard]] virtual StatusOr<uint64_t> Size() = 0;
+};
+
 class Vfs {
  public:
   virtual ~Vfs() = default;
 
   [[nodiscard]] virtual StatusOr<std::unique_ptr<WritableFile>>
   NewWritableFile(const std::string& path, WriteMode mode) = 0;
-  // Whole-file read (store blocks are bounded, segments are rolled; the
-  // mmap'd block-cache variant stays a ROADMAP item).
+  // Whole-file read. Inside src/store/ this is reserved for the small
+  // bounded control files (manifests, CURRENT); segment data goes through
+  // NewRandomAccessFile + the BlockReader so peak RSS stays bounded by
+  // the cache budget (sidq-lint R16 enforces the split).
   [[nodiscard]] virtual StatusOr<std::string> ReadFile(
       const std::string& path) const = 0;
+  // Positional-read handle for bounded block reads (mmap on RealVfs).
+  [[nodiscard]] virtual StatusOr<std::unique_ptr<RandomAccessFile>>
+  NewRandomAccessFile(const std::string& path) const = 0;
   [[nodiscard]] virtual StatusOr<uint64_t> FileSize(
       const std::string& path) const = 0;
   [[nodiscard]] virtual bool Exists(const std::string& path) const = 0;
@@ -128,6 +159,8 @@ class MemVfs : public Vfs {
   StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path, WriteMode mode) override;
   StatusOr<std::string> ReadFile(const std::string& path) const override;
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) const override;
   StatusOr<uint64_t> FileSize(const std::string& path) const override;
   bool Exists(const std::string& path) const override;
   StatusOr<std::vector<std::string>> ListDir(
@@ -150,6 +183,7 @@ class MemVfs : public Vfs {
 
  private:
   friend class MemWritableFile;
+  friend class MemRandomAccessFile;
 
   struct MemFile {
     std::string data;
@@ -216,6 +250,10 @@ class FaultVfs : public Vfs {
   StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path, WriteMode mode) override;
   StatusOr<std::string> ReadFile(const std::string& path) const override;
+  // Reads are not numbered ops (the crash plan enumerates MUTATING I/O);
+  // a read after the crash fired fails kUnavailable like everything else.
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) const override;
   StatusOr<uint64_t> FileSize(const std::string& path) const override;
   bool Exists(const std::string& path) const override;
   StatusOr<std::vector<std::string>> ListDir(
@@ -228,6 +266,7 @@ class FaultVfs : public Vfs {
 
  private:
   friend class FaultWritableFile;
+  friend class FaultRandomAccessFile;
 
   // Claims the next op number; returns the crash/injection verdict for a
   // non-append op (append handles torn/flip itself). `site` may be null

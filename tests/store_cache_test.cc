@@ -1,0 +1,525 @@
+// BlockCache property tests and the fixed-budget scan differential.
+//
+// 1. Model-based randomized test: a reference model mirrors the cache's
+//    documented semantics (sharded LRU, pinning, byte budget) operation
+//    for operation; after every op the real cache must match the model
+//    bit-exactly -- counters included -- and the core invariants must
+//    hold: unpinned resident bytes per shard never exceed the shard
+//    budget, and a pinned block is never evicted.
+//
+// 2. Differential: the same pocked store (one quarantined interior
+//    block) scanned under budgets {one block, 1 MB, 64 MB, unbounded}
+//    must produce one identical FNV-1a checksum, equal to the checksum
+//    of the expected in-memory record stream -- the cache budget may
+//    change eviction traffic, never bytes.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/stid.h"
+#include "obs/metrics.h"
+#include "store/block_cache.h"
+#include "store/format.h"
+#include "store/store.h"
+#include "store/vfs.h"
+
+namespace sidq {
+namespace store {
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t Bits(double v) {
+  uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+uint64_t FnvRecord(uint64_t h, uint64_t row, const StRecord& r) {
+  h = FnvMix(h, row);
+  h = FnvMix(h, r.sensor);
+  h = FnvMix(h, static_cast<uint64_t>(r.t));
+  h = FnvMix(h, Bits(r.loc.x));
+  h = FnvMix(h, Bits(r.loc.y));
+  h = FnvMix(h, Bits(r.value));
+  h = FnvMix(h, Bits(r.stddev));
+  return h;
+}
+
+// Deterministic op stream for the model test (R2 bans rand()).
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t x = (*state += 0x9e3779b97f4a7c15ull);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Same synthetic stream as store_test.cc (NaN row keeps bit-identity
+// honest through the checksum).
+StRecord MakeRecord(uint64_t i) {
+  StRecord r;
+  r.sensor = 1 + (i % 5);
+  r.t = static_cast<Timestamp>(1000 * i);
+  r.loc = geometry::Point(0.25 * static_cast<double>(i),
+                          -0.5 * static_cast<double>(i));
+  r.value = 20.0 + 0.125 * static_cast<double>(i);
+  r.stddev = 0.5;
+  if (i == 7) r.value = std::numeric_limits<double>::quiet_NaN();
+  return r;
+}
+
+ColumnarBlock MakeBlock(size_t rows, uint64_t salt) {
+  ColumnarBlock b;
+  for (size_t i = 0; i < rows; ++i) b.Add(MakeRecord(salt * 100 + i));
+  return b;
+}
+
+// --- reference model -----------------------------------------------------
+//
+// Mirrors BlockCache semantics exactly: per-shard table + LRU list of
+// unpinned keys, byte accounting, and the four counters. Shard placement
+// is delegated to the real cache's own (pure) ShardOf so the two stay in
+// lockstep by construction.
+
+struct ModelEntry {
+  size_t charge = 0;
+  uint32_t pins = 0;
+  bool in_lru = false;
+  std::list<uint64_t>::iterator lru_it;
+};
+
+struct ModelShard {
+  std::map<uint64_t, ModelEntry> table;
+  std::list<uint64_t> lru;  // front = next victim; unpinned keys only
+  size_t resident = 0;
+  size_t unpinned = 0;
+  uint64_t hits = 0, misses = 0, inserts = 0, evictions = 0;
+};
+
+class CacheModel {
+ public:
+  CacheModel(const BlockCache& cache, size_t shard_capacity)
+      : cache_(cache), shard_capacity_(shard_capacity),
+        shards_(cache.num_shards()) {}
+
+  void Lookup(uint64_t key, bool hit_expected_to_pin) {
+    ModelShard& sh = shards_[cache_.ShardOf(key)];
+    auto it = sh.table.find(key);
+    if (it == sh.table.end()) {
+      ++sh.misses;
+      return;
+    }
+    ++sh.hits;
+    PinLocked(sh, it->second);
+    if (!hit_expected_to_pin) Unpin(key);
+  }
+
+  bool WasHit(uint64_t key) const {
+    const ModelShard& sh = shards_[cache_.ShardOf(key)];
+    return sh.table.count(key) != 0;
+  }
+
+  void Insert(uint64_t key, size_t charge, bool keep_pin) {
+    ModelShard& sh = shards_[cache_.ShardOf(key)];
+    auto it = sh.table.find(key);
+    if (it != sh.table.end()) {
+      PinLocked(sh, it->second);
+    } else {
+      ModelEntry e;
+      e.charge = charge;
+      e.pins = 1;
+      sh.resident += charge;
+      ++sh.inserts;
+      sh.table.emplace(key, e);
+      Evict(sh);
+    }
+    if (!keep_pin) Unpin(key);
+  }
+
+  void Unpin(uint64_t key) {
+    ModelShard& sh = shards_[cache_.ShardOf(key)];
+    auto it = sh.table.find(key);
+    if (it == sh.table.end()) return;  // invalidated while pinned
+    ModelEntry& e = it->second;
+    if (e.pins == 0) return;
+    if (--e.pins == 0) {
+      e.lru_it = sh.lru.insert(sh.lru.end(), key);
+      e.in_lru = true;
+      sh.unpinned += e.charge;
+      Evict(sh);
+    }
+  }
+
+  void EraseSegment(uint32_t segment) {
+    for (ModelShard& sh : shards_) {
+      for (auto it = sh.table.begin(); it != sh.table.end();) {
+        auto next = std::next(it);
+        if (BlockCache::SegmentOf(it->first) == segment) {
+          EraseEntry(sh, it, /*eviction=*/false);
+        }
+        it = next;
+      }
+    }
+  }
+
+  void Clear() {
+    for (ModelShard& sh : shards_) {
+      for (auto it = sh.table.begin(); it != sh.table.end();) {
+        auto next = std::next(it);
+        EraseEntry(sh, it, /*eviction=*/false);
+        it = next;
+      }
+    }
+  }
+
+  BlockCache::Stats Aggregate() const {
+    BlockCache::Stats out;
+    for (const ModelShard& sh : shards_) {
+      out.hits += sh.hits;
+      out.misses += sh.misses;
+      out.inserts += sh.inserts;
+      out.evictions += sh.evictions;
+      out.resident_bytes += sh.resident;
+      out.unpinned_bytes += sh.unpinned;
+      out.resident_blocks += sh.table.size();
+      for (const auto& [key, e] : sh.table) {
+        (void)key;
+        if (e.pins > 0) ++out.pinned_blocks;
+      }
+    }
+    return out;
+  }
+
+  // Invariant: a pinned key is always resident.
+  bool Resident(uint64_t key) const {
+    const ModelShard& sh = shards_[cache_.ShardOf(key)];
+    return sh.table.count(key) != 0;
+  }
+
+ private:
+  void PinLocked(ModelShard& sh, ModelEntry& e) {
+    if (e.in_lru) {
+      sh.lru.erase(e.lru_it);
+      e.in_lru = false;
+      sh.unpinned -= e.charge;
+    }
+    ++e.pins;
+  }
+
+  void Evict(ModelShard& sh) {
+    if (shard_capacity_ == 0) return;
+    while (sh.unpinned > shard_capacity_ && !sh.lru.empty()) {
+      auto it = sh.table.find(sh.lru.front());
+      EraseEntry(sh, it, /*eviction=*/true);
+    }
+  }
+
+  void EraseEntry(ModelShard& sh, std::map<uint64_t, ModelEntry>::iterator it,
+                  bool eviction) {
+    ModelEntry& e = it->second;
+    if (e.in_lru) {
+      sh.lru.erase(e.lru_it);
+      sh.unpinned -= e.charge;
+    }
+    sh.resident -= e.charge;
+    if (eviction) ++sh.evictions;
+    sh.table.erase(it);
+  }
+
+  const BlockCache& cache_;
+  size_t shard_capacity_;
+  std::vector<ModelShard> shards_;
+};
+
+void ExpectStatsEqual(const BlockCache::Stats& got,
+                      const BlockCache::Stats& want, const char* where) {
+  EXPECT_EQ(got.hits, want.hits) << where;
+  EXPECT_EQ(got.misses, want.misses) << where;
+  EXPECT_EQ(got.inserts, want.inserts) << where;
+  EXPECT_EQ(got.evictions, want.evictions) << where;
+  EXPECT_EQ(got.resident_bytes, want.resident_bytes) << where;
+  EXPECT_EQ(got.unpinned_bytes, want.unpinned_bytes) << where;
+  EXPECT_EQ(got.resident_blocks, want.resident_blocks) << where;
+  EXPECT_EQ(got.pinned_blocks, want.pinned_blocks) << where;
+}
+
+void RunModelWorkout(size_t capacity_bytes, size_t shards, uint64_t seed,
+                     int ops) {
+  obs::MetricsRegistry metrics;
+  BlockCache cache(capacity_bytes, shards, &metrics);
+  CacheModel model(cache, cache.shard_capacity_bytes());
+
+  // Held pins: (key, rows, handle). Blocks of 1..8 rows over a small key
+  // space force constant collision/eviction traffic.
+  std::vector<std::pair<uint64_t, PinnedBlock>> held;
+  uint64_t state = seed;
+  for (int op = 0; op < ops; ++op) {
+    const uint64_t r = SplitMix64(&state);
+    const uint32_t segment = static_cast<uint32_t>(r % 3);
+    const uint64_t offset = ((r >> 8) % 12) * 1024;
+    const uint64_t key = BlockCache::KeyOf(segment, offset);
+    const size_t rows = 1 + ((r >> 16) % 8);
+    const bool keep = ((r >> 24) & 1) != 0;
+    switch ((r >> 32) % 10) {
+      case 0:
+      case 1:
+      case 2: {  // Lookup
+        const bool expect_hit = model.WasHit(key);
+        PinnedBlock pin = cache.Lookup(segment, offset);
+        EXPECT_EQ(static_cast<bool>(pin), expect_hit) << "op " << op;
+        model.Lookup(key, /*hit_expected_to_pin=*/expect_hit && keep);
+        if (pin && keep) {
+          held.emplace_back(key, std::move(pin));
+        }
+        // else: pin destructs here -> model already unpinned above
+        break;
+      }
+      case 3:
+      case 4:
+      case 5:
+      case 6: {  // Insert
+        PinnedBlock pin = cache.Insert(segment, offset, MakeBlock(rows, r));
+        ASSERT_TRUE(pin) << "op " << op;
+        model.Insert(key, BlockCache::ChargeOf(rows), keep);
+        if (keep) held.emplace_back(key, std::move(pin));
+        break;
+      }
+      case 7: {  // Release a held pin
+        if (!held.empty()) {
+          const size_t victim = (r >> 40) % held.size();
+          const uint64_t k = held[victim].first;
+          held[victim].second.Release();
+          held.erase(held.begin() + static_cast<ptrdiff_t>(victim));
+          model.Unpin(k);
+        }
+        break;
+      }
+      case 8: {  // Invalidate one segment
+        cache.EraseSegment(segment);
+        model.EraseSegment(segment);
+        break;
+      }
+      case 9: {  // Rarely, drop everything
+        if ((r >> 48) % 8 == 0) {
+          cache.Clear();
+          model.Clear();
+        }
+        break;
+      }
+    }
+
+    const BlockCache::Stats got = cache.GetStats();
+    ExpectStatsEqual(got, model.Aggregate(),
+                     ("op " + std::to_string(op)).c_str());
+    // Budget invariant: unpinned bytes never exceed the total budget
+    // (each shard is bounded individually; the sum is bounded too).
+    if (capacity_bytes != 0) {
+      EXPECT_LE(got.unpinned_bytes,
+                cache.shard_capacity_bytes() * cache.num_shards())
+          << "op " << op;
+    } else {
+      EXPECT_EQ(got.evictions, 0u) << "op " << op;
+    }
+    // Pinned entries are never evicted: every held pin's block is alive
+    // and, unless explicitly invalidated, resident.
+    for (const auto& [k, pin] : held) {
+      ASSERT_TRUE(pin.get() != nullptr) << "op " << op;
+      ASSERT_GE(pin->size(), 1u) << "op " << op;  // touch it: ASan-visible
+      EXPECT_EQ(model.Resident(k),
+                static_cast<bool>(cache.Lookup(BlockCache::SegmentOf(k),
+                                               k & ((1ull << 40) - 1))))
+          << "op " << op;
+      model.Lookup(k, false);  // mirror the probe lookup just issued
+    }
+    if (testing::Test::HasFatalFailure() ||
+        testing::Test::HasNonfatalFailure()) {
+      FAIL() << "model divergence at op " << op;
+    }
+  }
+  held.clear();
+
+  // Metrics mirror the stats counters exactly.
+  const BlockCache::Stats end = cache.GetStats();
+  const obs::MetricsSnapshot snap = metrics.Snapshot();
+  std::map<std::string, int64_t> exported;
+  for (const obs::CounterValue& c : snap.counters) exported[c.name] = c.value;
+  for (const obs::GaugeValue& g : snap.gauges) exported[g.name] = g.value;
+  EXPECT_EQ(exported["store.cache.hit"], static_cast<int64_t>(end.hits));
+  EXPECT_EQ(exported["store.cache.miss"], static_cast<int64_t>(end.misses));
+  EXPECT_EQ(exported["store.cache.insert"],
+            static_cast<int64_t>(end.inserts));
+  EXPECT_EQ(exported["store.cache.eviction"],
+            static_cast<int64_t>(end.evictions));
+  EXPECT_EQ(exported["store.cache.resident_bytes"],
+            static_cast<int64_t>(end.resident_bytes));
+}
+
+TEST(StoreCacheTest, ModelConformanceTinyBudget) {
+  // Budget of ~2 blocks per shard: eviction on nearly every unpin.
+  RunModelWorkout(2 * BlockCache::ChargeOf(8) * 2, 2, 0x5eed, 600);
+}
+
+TEST(StoreCacheTest, ModelConformanceSingleShard) {
+  RunModelWorkout(3 * BlockCache::ChargeOf(8), 1, 0xc0ffee, 600);
+}
+
+TEST(StoreCacheTest, ModelConformanceUnbounded) {
+  RunModelWorkout(0, 4, 0xdead, 400);
+}
+
+TEST(StoreCacheTest, PinnedBlockSurvivesInvalidation) {
+  BlockCache cache(BlockCache::ChargeOf(8), 1, nullptr);
+  PinnedBlock pin = cache.Insert(3, 0, MakeBlock(4, 9));
+  ASSERT_TRUE(pin);
+  cache.EraseSegment(3);
+  // The entry is gone from the table (later lookups miss) ...
+  EXPECT_FALSE(cache.Lookup(3, 0));
+  // ... but the pinned decode stays alive until the pin drops.
+  EXPECT_EQ(pin->size(), 4u);
+  pin.Release();
+  const BlockCache::Stats s = cache.GetStats();
+  EXPECT_EQ(s.resident_blocks, 0u);
+  EXPECT_EQ(s.resident_bytes, 0u);
+}
+
+// --- fixed-budget scan differential --------------------------------------
+
+StoreOptions DiffOptions(size_t cache_bytes) {
+  StoreOptions o;
+  o.block_records = 8;
+  o.segment_target_blocks = 4;
+  o.field_name = "diff";
+  o.cache_bytes = cache_bytes;
+  o.cache_shards = 1;  // makes "budget = one block" literal
+  return o;
+}
+
+constexpr uint64_t kDiffRows = 64;  // 8 blocks over 2 segments
+
+// Writes kDiffRows rows, commits, corrupts an interior block of segment
+// 0, and reopens once so the quarantine verdict is established.
+void BuildPockedStore(MemVfs* vfs) {
+  {
+    StatusOr<std::unique_ptr<Store>> store =
+        Store::Open(vfs, "db", DiffOptions(0));
+    ASSERT_TRUE(store.ok()) << store.status();
+    for (uint64_t i = 0; i < kDiffRows; ++i) {
+      ASSERT_TRUE((*store)->Append(MakeRecord(i)).ok());
+    }
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  StatusOr<std::string> seg = vfs->ReadFile("db/000000.seg");
+  ASSERT_TRUE(seg.ok());
+  const ParsedBlock first = ParseBlockAt(*seg, 0);
+  ASSERT_EQ(first.defect, BlockDefect::kNone);
+  // One flipped payload bit in block 1 (rows 8..15): kBadCrc quarantine.
+  ASSERT_TRUE(vfs->CorruptByte("db/000000.seg", first.bytes_consumed + 20,
+                               0x10).ok());
+}
+
+TEST(StoreCacheTest, FixedBudgetScanChecksumDifferential) {
+  // Expected stream: every row except the quarantined block's 8..15.
+  uint64_t want = kFnvOffset;
+  for (uint64_t i = 0; i < kDiffRows; ++i) {
+    if (i >= 8 && i < 16) continue;
+    want = FnvRecord(want, i, MakeRecord(i));
+  }
+
+  const std::vector<size_t> budgets = {
+      BlockCache::ChargeOf(8),  // exactly one decoded block
+      1ull << 20,               // 1 MB
+      64ull << 20,              // 64 MB
+      0,                        // unbounded
+  };
+  for (size_t budget : budgets) {
+    MemVfs vfs;
+    BuildPockedStore(&vfs);
+    if (HasFatalFailure()) return;
+    StatusOr<std::unique_ptr<Store>> store =
+        Store::Open(&vfs, "db", DiffOptions(budget));
+    ASSERT_TRUE(store.ok()) << store.status();
+    const Store& s = **store;
+    ASSERT_EQ(s.recovery().quarantined.size(), 1u) << "budget " << budget;
+    EXPECT_EQ(s.recovery().rows_lost, 8u);
+
+    // Two full scans: the second exercises the hit path under every
+    // budget (or the full-eviction path at one block).
+    for (int pass = 0; pass < 2; ++pass) {
+      uint64_t got = kFnvOffset;
+      ASSERT_TRUE(s.Scan([&](uint64_t row, const StRecord& rec) {
+                     got = FnvRecord(got, row, rec);
+                   }).ok())
+          << "budget " << budget << " pass " << pass;
+      EXPECT_EQ(got, want) << "budget " << budget << " pass " << pass
+                           << ": scan bytes depend on cache budget";
+    }
+
+    const BlockCache::Stats stats = s.cache_stats();
+    if (budget == 0 || budget >= (1ull << 20)) {
+      // Everything fits: the second scan (and recovery re-reads) hit.
+      EXPECT_EQ(stats.evictions, 0u) << "budget " << budget;
+      EXPECT_GT(stats.hits, 0u) << "budget " << budget;
+    } else {
+      // One-block budget: the scan cycles the cache.
+      EXPECT_GT(stats.evictions, 0u);
+    }
+    // Budget invariant after the dust settles (no pins held here).
+    if (budget != 0) {
+      EXPECT_LE(stats.unpinned_bytes, budget) << "budget " << budget;
+    }
+  }
+}
+
+TEST(StoreCacheTest, UnboundedAndBoundedAgreeOnCleanStore) {
+  // No quarantine: every budget, including "one block", serves the whole
+  // stream bit-identically.
+  uint64_t want = kFnvOffset;
+  for (uint64_t i = 0; i < kDiffRows; ++i) {
+    want = FnvRecord(want, i, MakeRecord(i));
+  }
+  for (size_t budget : {BlockCache::ChargeOf(8), size_t{0}}) {
+    MemVfs vfs;
+    {
+      StatusOr<std::unique_ptr<Store>> store =
+          Store::Open(&vfs, "db", DiffOptions(0));
+      ASSERT_TRUE(store.ok());
+      for (uint64_t i = 0; i < kDiffRows; ++i) {
+        ASSERT_TRUE((*store)->Append(MakeRecord(i)).ok());
+      }
+      ASSERT_TRUE((*store)->Close().ok());
+    }
+    StatusOr<std::unique_ptr<Store>> store =
+        Store::Open(&vfs, "db", DiffOptions(budget));
+    ASSERT_TRUE(store.ok()) << store.status();
+    uint64_t got = kFnvOffset;
+    ASSERT_TRUE((*store)
+                    ->Scan([&](uint64_t row, const StRecord& rec) {
+                      got = FnvRecord(got, row, rec);
+                    })
+                    .ok());
+    EXPECT_EQ(got, want) << "budget " << budget;
+  }
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace sidq

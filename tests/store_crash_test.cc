@@ -322,6 +322,228 @@ TEST(StoreCrashTest, LostFsyncThenCrashStillRecoversConsistently) {
   EXPECT_EQ(ScanAll(**again).size(), got.size());
 }
 
+// --- compaction crash sweep ----------------------------------------------
+//
+// Compaction rewrites committed segment files in place (via .cmp temps,
+// a manifest publish, and atomic renames), so its crash surface is
+// different from the append path: a crash must leave recovery serving
+// either the PRE-compaction or the POST-compaction generation
+// bit-identically -- never a blend of old and new segment layouts -- and
+// reopening again must change nothing further.
+
+StoreOptions CompactionOptions() {
+  StoreOptions o;
+  o.block_records = 8;
+  o.segment_target_blocks = 3;
+  o.field_name = "compact-sweep";
+  return o;
+}
+
+constexpr uint64_t kCompactionRows = 48;  // 6 blocks over segments 0..1
+
+// Deterministically builds a quarantine-pocked store: 48 rows committed,
+// one interior block of (rolled) segment 0 corrupted, one reopen+close so
+// the quarantine verdict is itself committed. Byte-identical every call.
+void BuildPockedStore(MemVfs* base) {
+  {
+    StatusOr<std::unique_ptr<Store>> store =
+        Store::Open(base, "db", CompactionOptions());
+    ASSERT_TRUE(store.ok()) << store.status();
+    for (uint64_t i = 0; i < kCompactionRows; ++i) {
+      ASSERT_TRUE((*store)->Append(MakeRecord(i)).ok());
+    }
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  StatusOr<std::string> seg = base->ReadFile("db/000000.seg");
+  ASSERT_TRUE(seg.ok());
+  const ParsedBlock first = ParseBlockAt(*seg, 0);
+  ASSERT_EQ(first.defect, BlockDefect::kNone);
+  ASSERT_TRUE(base->CorruptByte("db/000000.seg", first.bytes_consumed + 20,
+                                0x10).ok());
+  {
+    StatusOr<std::unique_ptr<Store>> store =
+        Store::Open(base, "db", CompactionOptions());
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_EQ((*store)->recovery().quarantined.size(), 1u);
+    ASSERT_TRUE((*store)->Close().ok());  // commits the quarantine
+  }
+}
+
+// Runs Open + Compact + Close through `vfs`; *report holds the last
+// successful pass.
+Status RunCompaction(Vfs* vfs, CompactionReport* report) {
+  SIDQ_ASSIGN_OR_RETURN(std::unique_ptr<Store> store,
+                        Store::Open(vfs, "db", CompactionOptions()));
+  SIDQ_RETURN_IF_ERROR(store->Compact(report));
+  return store->Close();
+}
+
+TEST(StoreCrashTest, CompactionFaultFreeReclaimsAndPreservesRows) {
+  MemVfs base;
+  BuildPockedStore(&base);
+  if (HasFatalFailure()) return;
+
+  std::map<uint64_t, StRecord> pre;
+  uint64_t pre_gen = 0;
+  {
+    StatusOr<std::unique_ptr<Store>> store =
+        Store::Open(&base, "db", CompactionOptions());
+    ASSERT_TRUE(store.ok());
+    pre = ScanAll(**store);
+    pre_gen = (*store)->manifest_gen();
+  }
+  const StatusOr<uint64_t> size_before = base.FileSize("db/000000.seg");
+  ASSERT_TRUE(size_before.ok());
+
+  CompactionReport report;
+  ASSERT_TRUE(RunCompaction(&base, &report).ok());
+  EXPECT_EQ(report.segments_compacted, 1u);
+  EXPECT_EQ(report.blocks_dropped, 1u);
+  EXPECT_EQ(report.blocks_rewritten, 2u);  // 3-block segment minus 1 dead
+  EXPECT_GT(report.bytes_reclaimed, 0u);
+  EXPECT_GT(report.manifest_gen, pre_gen);
+
+  // The dead block's bytes are physically gone ...
+  const StatusOr<uint64_t> size_after = base.FileSize("db/000000.seg");
+  ASSERT_TRUE(size_after.ok());
+  EXPECT_EQ(*size_before - *size_after, report.bytes_reclaimed);
+  EXPECT_FALSE(base.Exists("db/000000.seg.cmp"));
+
+  // ... while every readable row, the row-id gap, and the quarantine
+  // verdict (now a tombstone) survive bit-identically.
+  StatusOr<std::unique_ptr<Store>> reopened =
+      Store::Open(&base, "db", CompactionOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  const Store& r = **reopened;
+  ASSERT_EQ(r.recovery().quarantined.size(), 1u);
+  EXPECT_EQ(r.recovery().quarantined[0].length, 0u);  // tombstoned
+  EXPECT_EQ(r.recovery().quarantined[0].defect, BlockDefect::kBadCrc);
+  EXPECT_EQ(r.recovery().rows_lost, 8u);
+  const std::map<uint64_t, StRecord> post = ScanAll(r);
+  ASSERT_EQ(post.size(), pre.size());
+  for (const auto& [row, rec] : post) {
+    EXPECT_TRUE(BitIdentical(rec, pre.at(row))) << row;
+  }
+  // Idempotent: a second pass finds nothing eligible.
+  CompactionReport again;
+  ASSERT_TRUE((*reopened)->Compact(&again).ok());
+  EXPECT_EQ(again.segments_compacted, 0u);
+}
+
+TEST(StoreCrashTest, CompactionCrashSweepNeverBlendsGenerations) {
+  // Fault-free reference: op count, pre/post row images, pre/post gens.
+  std::map<uint64_t, StRecord> want;
+  uint64_t pre_gen = 0, post_gen = 0;
+  int64_t total_ops = 0;
+  {
+    MemVfs base;
+    BuildPockedStore(&base);
+    if (HasFatalFailure()) return;
+    {
+      StatusOr<std::unique_ptr<Store>> store =
+          Store::Open(&base, "db", CompactionOptions());
+      ASSERT_TRUE(store.ok());
+      pre_gen = (*store)->manifest_gen();
+      want = ScanAll(**store);
+    }
+    FaultVfs fault(&base);
+    CompactionReport report;
+    ASSERT_TRUE(RunCompaction(&fault, &report).ok());
+    total_ops = fault.ops();
+    post_gen = report.manifest_gen;
+  }
+  ASSERT_GT(total_ops, 0);
+  ASSERT_GT(post_gen, pre_gen);
+  ASSERT_EQ(want.size(), kCompactionRows - 8);
+
+  struct StyleSeed {
+    FaultVfs::CrashStyle style;
+    uint64_t seed;
+    const char* name;
+  };
+  std::vector<StyleSeed> styles = {
+      {FaultVfs::CrashStyle::kBeforeOp, 0, "before-op"},
+      {FaultVfs::CrashStyle::kTornAppend, 7, "torn"},
+      {FaultVfs::CrashStyle::kBitFlip, 11, "flip"},
+  };
+  if (Aggressive()) {
+    styles.push_back({FaultVfs::CrashStyle::kTornAppend, 131, "torn-b"});
+    styles.push_back({FaultVfs::CrashStyle::kBitFlip, 257, "flip-b"});
+  }
+
+  int fired = 0;
+  for (const StyleSeed& s : styles) {
+    for (int64_t at_op = 0; at_op < total_ops; ++at_op) {
+      const std::string label = std::string("compact-") + s.name + "@op" +
+                                std::to_string(at_op);
+      MemVfs base;
+      BuildPockedStore(&base);
+      if (HasFatalFailure()) {
+        FAIL() << "fixture build failed at " << label;
+      }
+      FaultVfs fault(&base);
+      FaultVfs::CrashPlan plan;
+      plan.at_op = at_op;
+      plan.style = s.style;
+      plan.seed = s.seed;
+      fault.set_plan(plan);
+      CompactionReport report;
+      const Status st = RunCompaction(&fault, &report);
+      if (!fault.crashed()) {
+        EXPECT_TRUE(st.ok()) << label << ": " << st;
+        continue;
+      }
+      ++fired;
+      EXPECT_FALSE(st.ok()) << label << ": crash fired but pass succeeded";
+
+      // Recovery on the crash-durable bytes: never an error, and the
+      // served generation is exactly pre or post -- a blend would show
+      // as lost rows, changed bytes, or a gen outside the pair.
+      StatusOr<std::unique_ptr<Store>> recovered =
+          Store::Open(&base, "db", CompactionOptions());
+      ASSERT_TRUE(recovered.ok()) << label << ": " << recovered.status();
+      const Store& r = **recovered;
+      EXPECT_TRUE(r.manifest_gen() == pre_gen || r.manifest_gen() == post_gen)
+          << label << ": gen " << r.manifest_gen() << " not in {" << pre_gen
+          << "," << post_gen << "}";
+      ASSERT_EQ(r.recovery().quarantined.size(), 1u) << label;
+      EXPECT_EQ(r.recovery().rows_lost, 8u) << label;
+      const std::map<uint64_t, StRecord> got = ScanAll(r);
+      ASSERT_EQ(got.size(), want.size()) << label << ": readable rows blended";
+      for (const auto& [row, rec] : got) {
+        const auto it = want.find(row);
+        ASSERT_NE(it, want.end()) << label << ": unexpected row " << row;
+        ASSERT_TRUE(BitIdentical(rec, it->second))
+            << label << ": row " << row << " bytes blended";
+      }
+      // Recovery leaves no compaction debris behind.
+      EXPECT_FALSE(base.Exists("db/000000.seg.cmp")) << label;
+
+      // Idempotent reopen: same generation, nothing further repaired.
+      StatusOr<std::unique_ptr<Store>> again =
+          Store::Open(&base, "db", CompactionOptions());
+      ASSERT_TRUE(again.ok()) << label << ": " << again.status();
+      EXPECT_EQ((*again)->manifest_gen(), r.manifest_gen()) << label;
+      EXPECT_FALSE((*again)->recovery().tail_truncated) << label;
+      EXPECT_EQ((*again)->recovery().orphan_segments_removed, 0u) << label;
+      EXPECT_EQ(ScanAll(**again).size(), got.size()) << label;
+
+      // And a re-run of compaction completes the interrupted pass.
+      CompactionReport retry;
+      ASSERT_TRUE((*again)->Compact(&retry).ok()) << label;
+      ASSERT_TRUE((*again)->Close().ok()) << label;
+      StatusOr<std::unique_ptr<Store>> final_open =
+          Store::Open(&base, "db", CompactionOptions());
+      ASSERT_TRUE(final_open.ok()) << label;
+      ASSERT_EQ(ScanAll(**final_open).size(), want.size()) << label;
+      if (HasFatalFailure()) {
+        FAIL() << "sweep aborted at " << label;
+      }
+    }
+  }
+  EXPECT_GE(fired, static_cast<int>(styles.size()));
+}
+
 }  // namespace
 }  // namespace store
 }  // namespace sidq
